@@ -1,0 +1,181 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index), plus
+// microbenchmarks of the real runtime. Set ZYGOS_FULL=1 to run the dense
+// grids used for EXPERIMENTS.md; the default keeps a full -bench=. pass
+// laptop-sized.
+package zygos
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"zygos/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Full: os.Getenv("ZYGOS_FULL") == "1",
+		Tiny: os.Getenv("ZYGOS_FULL") != "1", // keep `go test -bench=.` short by default
+		Seed: 1,
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	gen, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opt := benchOpts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := gen(opt)
+		if len(res.Tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+		if i == 0 && testing.Verbose() {
+			res.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkFig2QueueingModels regenerates Figure 2 (queueing theory).
+func BenchmarkFig2QueueingModels(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3BaselineEfficiency regenerates Figure 3 (baseline max
+// load @ SLO vs task size).
+func BenchmarkFig3BaselineEfficiency(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig6LatencyThroughput regenerates Figure 6 (p99 vs throughput,
+// 10µs and 25µs tasks).
+func BenchmarkFig6LatencyThroughput(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7ZygosEfficiency regenerates Figure 7 (max load @ SLO
+// including ZygOS).
+func BenchmarkFig7ZygosEfficiency(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8StealRate regenerates Figure 8 (steals/event vs load).
+func BenchmarkFig8StealRate(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9Memcached regenerates Figure 9 (memcached ETC/USR).
+func BenchmarkFig9Memcached(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10aSiloCCDF regenerates Figure 10a (TPC-C service times).
+func BenchmarkFig10aSiloCCDF(b *testing.B) { runExperiment(b, "fig10a") }
+
+// BenchmarkFig10bSiloLatency regenerates Figure 10b (Silo TPC-C latency
+// vs throughput).
+func BenchmarkFig10bSiloLatency(b *testing.B) { runExperiment(b, "fig10b") }
+
+// BenchmarkTable1SiloSummary regenerates Table 1 (max load @ SLO and
+// fractional-load tails).
+func BenchmarkTable1SiloSummary(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig11SLOTradeoff regenerates Figure 11 (SLO choice flips the
+// winner).
+func BenchmarkFig11SLOTradeoff(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkAblationStealCosts runs the steal/IPI cost-sensitivity
+// ablation (DESIGN.md §6).
+func BenchmarkAblationStealCosts(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkRuntimeEchoInProc measures round-trip request/response
+// throughput of the real runtime over the in-memory transport.
+func BenchmarkRuntimeEchoInProc(b *testing.B) {
+	srv, err := NewServer(Config{
+		Cores:   2,
+		Handler: func(req Request) []byte { return req.Payload },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.NewClient()
+	defer c.Close()
+	payload := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Call(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimePipelined measures pipelined (open-loop) throughput
+// with many outstanding requests per connection.
+func BenchmarkRuntimePipelined(b *testing.B) {
+	srv, err := NewServer(Config{
+		Cores:   2,
+		Handler: func(req Request) []byte { return req.Payload },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.NewClient()
+	defer c.Close()
+	var wg sync.WaitGroup
+	payload := []byte("x")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		if err := c.SendAsync(payload, func([]byte, error) { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkRuntimeStealingSkewed measures throughput when all load homes
+// on one worker and the rest must steal — the work-conservation fast
+// path.
+func BenchmarkRuntimeStealingSkewed(b *testing.B) {
+	srv, err := NewServer(Config{
+		Cores: 4,
+		Handler: func(req Request) []byte {
+			// A small spin makes stealing worthwhile. The reply must be
+			// non-nil: completion is observed through the response.
+			deadline := time.Now().Add(20 * time.Microsecond)
+			for time.Now().Before(deadline) {
+			}
+			return []byte{1}
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var skewed []*Client
+	for len(skewed) < 8 {
+		c := srv.NewClient()
+		if c.Home() == 0 {
+			skewed = append(skewed, c)
+		} else {
+			c.Close()
+		}
+	}
+	defer func() {
+		for _, c := range skewed {
+			c.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		c := skewed[i%len(skewed)]
+		if err := c.SendAsync(nil, func([]byte, error) { wg.Done() }); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			wg.Wait()
+		}
+	}
+	wg.Wait()
+	if st := srv.Stats(); st.Steals == 0 && b.N > 256 {
+		b.Log("warning: no steals observed under skew")
+	}
+	_ = fmt.Sprint()
+}

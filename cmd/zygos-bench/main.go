@@ -1,0 +1,53 @@
+// Command zygos-bench regenerates the tables and figures of the ZygOS
+// paper's evaluation from this repository's simulators and applications.
+//
+// Usage:
+//
+//	zygos-bench [-experiment all|fig2|fig3|fig6|fig7|fig8|fig9|fig10a|fig10b|table1|fig11] [-full] [-seed N]
+//
+// The default quick mode finishes in minutes; -full (or ZYGOS_FULL=1)
+// selects the dense grids used for EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zygos/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		full       = flag.Bool("full", os.Getenv("ZYGOS_FULL") == "1", "dense grids and large samples")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Full: *full, Seed: *seed}
+	run := func(id string, gen experiments.Generator) {
+		start := time.Now()
+		res := gen(opt)
+		res.Render(os.Stdout)
+		fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, e := range experiments.Registry {
+			run(e.ID, e.Gen)
+		}
+		return
+	}
+	gen, ok := experiments.ByID(*experiment)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; available:", *experiment)
+		for _, e := range experiments.Registry {
+			fmt.Fprintf(os.Stderr, " %s", e.ID)
+		}
+		fmt.Fprintln(os.Stderr)
+		os.Exit(2)
+	}
+	run(*experiment, gen)
+}

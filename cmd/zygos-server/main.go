@@ -1,0 +1,125 @@
+// Command zygos-server runs a ZygOS-style RPC server over real TCP with
+// one of three applications:
+//
+//   - spin: the paper's synthetic microbenchmark — each request carries a
+//     little-endian uint64 of nanoseconds to busy-spin before replying;
+//   - kv: the memcached-like store (pair with zygos-loadgen -workload etc|usr);
+//   - tpcc: the Silo-style database running one TPC-C mix transaction per
+//     request.
+//
+// Usage:
+//
+//	zygos-server -mode spin -addr :9000 -cores 4
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"zygos"
+	"zygos/internal/kv"
+	"zygos/internal/silo"
+	"zygos/internal/tpcc"
+)
+
+func main() {
+	var (
+		mode        = flag.String("mode", "spin", "spin|kv|tpcc")
+		addr        = flag.String("addr", ":9000", "listen address")
+		cores       = flag.Int("cores", 0, "worker cores (0 = GOMAXPROCS)")
+		partitioned = flag.Bool("partitioned", false, "disable work stealing (IX-style baseline)")
+		noInt       = flag.Bool("nointerrupts", false, "disable the IPI-analogue kernel proxying")
+		warehouses  = flag.Int("warehouses", 2, "tpcc: warehouse count")
+	)
+	flag.Parse()
+
+	handler, cleanup, err := buildHandler(*mode, *cores, *warehouses)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
+
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores:        *cores,
+		Handler:      handler,
+		Partitioned:  *partitioned,
+		NoInterrupts: *noInt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("zygos-server mode=%s cores=%d listening on %s", *mode, srv.Cores(), l.Addr())
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		st := srv.Stats()
+		log.Printf("shutting down: events=%d steals=%d (%.1f%%) proxies=%d conns=%d",
+			st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.Conns)
+		l.Close()
+	}()
+	if err := srv.Serve(l); err != nil {
+		log.Printf("serve: %v", err)
+	}
+}
+
+func buildHandler(mode string, cores, warehouses int) (zygos.Handler, func(), error) {
+	switch mode {
+	case "spin":
+		return spinHandler, func() {}, nil
+	case "kv":
+		store := kv.NewStore(64, 256<<20)
+		return func(req zygos.Request) []byte { return store.Serve(req.Payload) }, func() {}, nil
+	case "tpcc":
+		db := silo.NewDB(10 * time.Millisecond)
+		store, err := tpcc.Load(db, tpcc.Config{Warehouses: warehouses}, 1)
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		log.Printf("tpcc: loaded %d warehouses", warehouses)
+		// One RNG per worker: a worker runs one handler at a time, so
+		// indexing by req.Worker is race-free.
+		rngs := make([]*rand.Rand, 1024)
+		for i := range rngs {
+			rngs[i] = rand.New(rand.NewSource(int64(i) + 7))
+		}
+		h := func(req zygos.Request) []byte {
+			rng := rngs[req.Worker]
+			tt := tpcc.Pick(rng)
+			if err := store.Run(req.Worker, rng, tt); err != nil && err != silo.ErrUserAbort {
+				return []byte{1}
+			}
+			return []byte{0}
+		}
+		return h, db.Close, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// spinHandler busy-spins for the requested duration, emulating the
+// paper's synthetic service times.
+func spinHandler(req zygos.Request) []byte {
+	if len(req.Payload) >= 8 {
+		ns := binary.LittleEndian.Uint64(req.Payload[:8])
+		deadline := time.Now().Add(time.Duration(ns))
+		for time.Now().Before(deadline) {
+		}
+	}
+	return []byte{0}
+}

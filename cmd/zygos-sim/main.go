@@ -1,0 +1,111 @@
+// Command zygos-sim runs one ad-hoc simulation — either a full-system
+// dataplane model (ix, linux-partitioned, linux-floating, zygos) or an
+// idealized queueing model — and prints the measured latency profile.
+//
+// Examples:
+//
+//	zygos-sim -system zygos -dist exponential -mean 10 -load 0.7
+//	zygos-sim -system zygos -nointerrupts -dist bimodal-1 -mean 25 -load 0.8
+//	zygos-sim -system queueing -arrangement centralized -policy fcfs -load 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zygos/internal/dataplane"
+	"zygos/internal/dist"
+	"zygos/internal/queueing"
+)
+
+func main() {
+	var (
+		system     = flag.String("system", "zygos", "zygos|ix|linux-partitioned|linux-floating|queueing")
+		distName   = flag.String("dist", "exponential", "deterministic|exponential|bimodal-1|bimodal-2")
+		meanUS     = flag.Int64("mean", 10, "mean service time in µs")
+		load       = flag.Float64("load", 0.7, "offered load as a fraction of n/S̄")
+		cores      = flag.Int("cores", 16, "worker cores")
+		conns      = flag.Int("conns", 2752, "client connections")
+		requests   = flag.Int("requests", 200000, "requests to simulate")
+		batch      = flag.Int("batch", 64, "IX adaptive batching bound")
+		noInt      = flag.Bool("nointerrupts", false, "zygos: disable IPIs")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		policy     = flag.String("policy", "fcfs", "queueing: fcfs|ps")
+		arrange    = flag.String("arrangement", "centralized", "queueing: centralized|partitioned")
+		sloMult    = flag.Float64("slo", 10, "SLO multiple of S̄ for the max-load search (0 disables)")
+		searchLoad = flag.Bool("maxload", false, "bisect for max load @ SLO instead of a single run")
+	)
+	flag.Parse()
+
+	d, err := dist.ByName(*distName, *meanUS*1000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *system == "queueing" {
+		pol := queueing.FCFS
+		if *policy == "ps" {
+			pol = queueing.PS
+		}
+		arr := queueing.Centralized
+		if *arrange == "partitioned" {
+			arr = queueing.Partitioned
+		}
+		res := queueing.Run(queueing.Config{
+			Servers: *cores, Policy: pol, Arrangement: arr,
+			Service: d, Load: *load, Requests: *requests,
+			Warmup: *requests / 10, Seed: *seed,
+		})
+		fmt.Printf("%s %s load=%.2f: %s\n",
+			queueing.ModelName(*cores, pol, arr), d.Name(), *load,
+			res.Latencies.Summarize())
+		return
+	}
+
+	var sys dataplane.System
+	switch *system {
+	case "zygos":
+		sys = dataplane.Zygos
+	case "ix":
+		sys = dataplane.IX
+	case "linux-partitioned":
+		sys = dataplane.LinuxPartitioned
+	case "linux-floating":
+		sys = dataplane.LinuxFloating
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	cfg := dataplane.Config{
+		System:     sys,
+		Cores:      *cores,
+		Conns:      *conns,
+		Service:    d,
+		RatePerSec: *load * float64(*cores) / d.Mean() * 1e9,
+		Requests:   *requests,
+		Warmup:     *requests / 10,
+		Seed:       *seed,
+		Batch:      *batch,
+		Interrupts: !*noInt,
+	}
+
+	if *searchLoad {
+		ml := dataplane.MaxLoadAtSLO(cfg, int64(*sloMult*d.Mean()), 0.05, 0.99, 8)
+		fmt.Printf("%s %s S̄=%dµs: max load @ SLO(%.0fxS̄) = %.3f (%.3f MRPS)\n",
+			sys, d.Name(), *meanUS, *sloMult, ml,
+			ml*float64(*cores)/d.Mean()*1e3)
+		return
+	}
+
+	res := dataplane.Run(cfg)
+	fmt.Printf("%s %s S̄=%dµs load=%.2f: %s\n", sys, d.Name(), *meanUS, *load, res.Latencies.Summarize())
+	fmt.Printf("  offered=%.3f MRPS achieved=%.3f MRPS dropped=%d\n",
+		res.OfferedRPS/1e6, res.AchievedRPS/1e6, res.Dropped)
+	if sys == dataplane.Zygos {
+		fmt.Printf("  events=%d steals=%d (%.1f%%) ipis=%d\n",
+			res.Events, res.Steals, res.StealFraction()*100, res.IPIs)
+	}
+}

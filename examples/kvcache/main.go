@@ -1,0 +1,74 @@
+// kvcache: the memcached-like store served by the ZygOS runtime, driven
+// by the mutilate-style open-loop generator with the Facebook USR and ETC
+// workload models — the in-process version of the paper's §6.2 setup.
+//
+//	go run ./examples/kvcache
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"zygos"
+	"zygos/internal/kv"
+	"zygos/internal/mutilate"
+)
+
+func main() {
+	store := kv.NewStore(32, 64<<20)
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores: 4,
+		Handler: func(req zygos.Request) []byte {
+			return store.Serve(req.Payload)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, model := range []mutilate.KVModel{mutilate.USR(5000), mutilate.ETC(5000)} {
+		// Preload the keyspace (mutilate's --loadonly phase).
+		loader := srv.NewClient()
+		rng := rand.New(rand.NewSource(7))
+		for _, payload := range model.Preload(rng) {
+			if _, err := loader.Call(payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+		loader.Close()
+
+		// Open connections and generate open-loop load.
+		var targets []mutilate.Target
+		var clients []*zygos.Client
+		for i := 0; i < 16; i++ {
+			c := srv.NewClient()
+			clients = append(clients, c)
+			targets = append(targets, c)
+		}
+		rep := mutilate.Run(mutilate.Config{
+			Targets:    targets,
+			RatePerSec: 20000,
+			Requests:   40000,
+			Warmup:     4000,
+			Gen:        model.Gen(),
+			Check:      func(resp []byte) bool { return len(resp) > 0 && resp[0] != kv.ReplyError },
+			Seed:       11,
+		})
+		for _, c := range clients {
+			c.Close()
+		}
+
+		fmt.Printf("%s: offered=%.0f/s achieved=%.0f/s errors=%d\n",
+			model.Name, rep.OfferedRPS, rep.AchievedRPS, rep.Errors)
+		fmt.Printf("  latency %s\n", rep.Latencies.Summarize())
+	}
+
+	cs := store.Stats()
+	st := srv.Stats()
+	fmt.Printf("cache: hits=%d misses=%d evictions=%d bytes=%d\n",
+		cs.Hits, cs.Misses, cs.Evictions, cs.Bytes)
+	fmt.Printf("scheduler: events=%d steals=%d (%.1f%%) proxies=%d\n",
+		st.Events, st.Steals, st.StealFraction()*100, st.Proxies)
+}

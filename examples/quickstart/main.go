@@ -1,0 +1,59 @@
+// Quickstart: a minimal ZygOS-style RPC server with an in-process client.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"zygos"
+)
+
+func main() {
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores: 4,
+		Handler: func(req zygos.Request) []byte {
+			return append([]byte("echo: "), req.Payload...)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := srv.NewClient()
+	defer client.Close()
+
+	start := time.Now()
+	resp, err := client.Call([]byte("hello, shuffle queue"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reply: %q (round trip %v)\n", resp, time.Since(start))
+
+	// Pipelined requests on one connection come back in order — the §4.3
+	// ordering guarantee, with no locking in the handler.
+	const n = 5
+	done := make(chan string, n)
+	for i := 0; i < n; i++ {
+		payload := fmt.Sprintf("req-%d", i)
+		if err := client.SendAsync([]byte(payload), func(resp []byte, err error) {
+			if err != nil {
+				done <- "error: " + err.Error()
+				return
+			}
+			done <- string(resp)
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		fmt.Println("pipelined:", <-done)
+	}
+
+	st := srv.Stats()
+	fmt.Printf("stats: events=%d steals=%d proxies=%d conns=%d\n",
+		st.Events, st.Steals, st.Proxies, st.Conns)
+}

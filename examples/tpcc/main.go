@@ -1,0 +1,93 @@
+// tpcc: the Silo-style transactional database served over the ZygOS
+// runtime, executing the TPC-C mix — the in-process version of the
+// paper's §6.3 setup, finishing with the TPC-C consistency checks.
+//
+//	go run ./examples/tpcc
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"zygos"
+	"zygos/internal/mutilate"
+	"zygos/internal/silo"
+	"zygos/internal/tpcc"
+)
+
+func main() {
+	db := silo.NewDB(10 * time.Millisecond)
+	defer db.Close()
+	store, err := tpcc.Load(db, tpcc.Config{
+		Warehouses:           2,
+		CustomersPerDistrict: 300,
+		Items:                5000,
+		InitialOrders:        150,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loaded TPC-C: 2 warehouses")
+
+	// One RNG per worker: a worker runs one handler at a time.
+	rngs := make([]*rand.Rand, 256)
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(int64(i) + 13))
+	}
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores: 4,
+		Handler: func(req zygos.Request) []byte {
+			rng := rngs[req.Worker]
+			tt := tpcc.Pick(rng)
+			err := store.Run(req.Worker, rng, tt)
+			if err != nil && !errors.Is(err, silo.ErrUserAbort) {
+				return []byte{1}
+			}
+			return []byte{0}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	var targets []mutilate.Target
+	var clients []*zygos.Client
+	for i := 0; i < 16; i++ {
+		c := srv.NewClient()
+		clients = append(clients, c)
+		targets = append(targets, c)
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	rep := mutilate.Run(mutilate.Config{
+		Targets:    targets,
+		RatePerSec: 2000,
+		Requests:   10000,
+		Warmup:     1000,
+		Gen:        func(rng *rand.Rand) []byte { return []byte{0} },
+		Check:      func(resp []byte) bool { return len(resp) == 1 && resp[0] == 0 },
+		Seed:       3,
+	})
+	fmt.Printf("TPC-C over RPC: offered=%.0f TPS achieved=%.0f TPS errors=%d\n",
+		rep.OfferedRPS, rep.AchievedRPS, rep.Errors)
+	fmt.Printf("  end-to-end latency %s\n", rep.Latencies.Summarize())
+
+	commits, aborts := db.Stats()
+	st := srv.Stats()
+	fmt.Printf("database: commits=%d aborts=%d\n", commits, aborts)
+	fmt.Printf("scheduler: events=%d steals=%d (%.1f%%) proxies=%d\n",
+		st.Events, st.Steals, st.StealFraction()*100, st.Proxies)
+
+	if err := store.CheckConsistency(); err != nil {
+		log.Fatalf("CONSISTENCY VIOLATION: %v", err)
+	}
+	fmt.Println("TPC-C consistency checks 1-4: OK")
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"zygos/internal/proto"
+)
+
+// ConnState is the Figure 5 connection state machine.
+type ConnState int32
+
+// Connection states. A connection is present in its home worker's shuffle
+// queue exactly once when StateReady, and never otherwise.
+const (
+	StateIdle  ConnState = iota // no pending events, not being processed
+	StateReady                  // pending events, awaiting an executor
+	StateBusy                   // exclusively owned by an executing worker
+)
+
+// String implements fmt.Stringer.
+func (s ConnState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateReady:
+		return "ready"
+	case StateBusy:
+		return "busy"
+	}
+	return "invalid"
+}
+
+// ReplyWriter is where a connection's framed replies are written. Writes
+// are serialized by the runtime (home-core TX ordering), so implementations
+// need not be concurrency-safe against the runtime's own calls, only
+// against Close.
+type ReplyWriter interface {
+	WriteReply(frame []byte) error
+}
+
+// Conn is the runtime's view of one client connection: the protocol
+// control block of the paper, holding the parser, the per-connection event
+// queue, and the state machine.
+type Conn struct {
+	id   uint64
+	home int
+	rt   *Runtime
+	wr   ReplyWriter
+
+	closed atomic.Bool
+
+	// parser is touched only under the home worker's kernel lock.
+	parser proto.Parser
+
+	// pcb is the per-connection event queue (single producer: the home
+	// kernel step; single consumer: the owning activation), guarded by
+	// pcbMu exactly like the paper's per-PCB spinlock.
+	pcbMu sync.Mutex
+	pcb   []proto.Message
+
+	// state is guarded by the home worker's shuffle lock.
+	state ConnState
+}
+
+// ID returns the connection identifier.
+func (c *Conn) ID() uint64 { return c.id }
+
+// Home returns the index of the connection's home worker (its RSS queue).
+func (c *Conn) Home() int { return c.home }
+
+// Closed reports whether the connection has been closed.
+func (c *Conn) Closed() bool { return c.closed.Load() }
+
+// pending reports the current event-queue depth.
+func (c *Conn) pending() int {
+	c.pcbMu.Lock()
+	defer c.pcbMu.Unlock()
+	return len(c.pcb)
+}
+
+// State returns the connection's current scheduling state. It acquires the
+// home worker's shuffle lock, the lock that guards all state transitions.
+func (c *Conn) State() ConnState {
+	w := c.rt.workers[c.home]
+	w.shuffleMu.Lock()
+	defer w.shuffleMu.Unlock()
+	return c.state
+}
+
+// Ctx is the per-activation context handed to the Handler. It buffers the
+// handler's replies; the runtime transmits them afterwards in event order
+// through the home worker (or the kernel proxy standing in for an IPI).
+type Ctx struct {
+	worker *Worker // executing worker
+	stolen bool
+	// replies collects frames produced during this activation.
+	replies []byte
+	// sendErr remembers the first transport write error.
+	sendErr error
+}
+
+// Send queues a reply message for the current connection. For handlers
+// executing on the home worker the frame is written at activation end; for
+// stolen activations it is shipped to the home worker first (the remote
+// batched syscall of §4.2).
+func (x *Ctx) Send(id uint64, payload []byte) {
+	x.replies = proto.AppendFrame(x.replies, proto.Message{ID: id, Payload: payload})
+}
+
+// Worker returns the index of the worker executing this activation; useful
+// for per-core sharding inside applications.
+func (x *Ctx) Worker() int { return x.worker.id }
+
+// Stolen reports whether this activation runs on a non-home worker.
+func (x *Ctx) Stolen() bool { return x.stolen }

@@ -1,0 +1,247 @@
+// Package core implements the ZygOS execution model as a real Go runtime:
+// a fixed pool of per-core workers, each owning an ingress queue (the "NIC
+// ring"), a single-producer/multi-consumer shuffle queue of ready
+// connections, and a remote-syscall queue through which stolen work ships
+// its replies back to the home core for ordered transmission.
+//
+// Architecture (mirroring §4 of the paper):
+//
+//   - The lower networking layer is the per-connection frame parser, run
+//     under the home worker's kernel lock (coherency-free in the paper; a
+//     single-threaded critical section here).
+//   - The shuffle layer is Worker.shuffle: connections holding at least
+//     one undelivered event, present exactly once while in StateReady.
+//     The home worker consumes it; idle remote workers steal from it.
+//   - The execution layer runs the application Handler with exclusive
+//     connection ownership, so back-to-back requests on one connection
+//     are handled — and answered — in order without app-level locking.
+//
+// Go cannot deliver preemptive IPIs to a goroutine, so the paper's
+// exit-less IPI is substituted by kernel proxying: when the home worker is
+// stuck in a long application handler, any idle worker may acquire the
+// home's kernel lock and run its bounded kernel step (parse ingress,
+// replenish the shuffle queue, flush remote replies) on its behalf. The
+// schedule this produces is the one the IPI produces in the paper: pending
+// kernel work on a busy core happens promptly instead of waiting for the
+// handler to finish. Setting Config.DisableProxy reproduces the paper's
+// cooperative "no interrupts" variant.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zygos/internal/nicsim"
+	"zygos/internal/proto"
+)
+
+// Handler processes one request event. Implementations send replies
+// through Ctx.Send; replies are transmitted in event order per connection
+// regardless of which worker executed the handler.
+type Handler interface {
+	Serve(ctx *Ctx, conn *Conn, msg proto.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx *Ctx, conn *Conn, msg proto.Message)
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(ctx *Ctx, conn *Conn, msg proto.Message) { f(ctx, conn, msg) }
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Cores is the number of worker goroutines (the paper's dataplane
+	// cores). Defaults to runtime.GOMAXPROCS(0).
+	Cores int
+	// Handler is the application; required.
+	Handler Handler
+	// DisableStealing turns off the shuffle layer's work stealing,
+	// degenerating into a shared-nothing, IX-style partitioned dataplane
+	// (used as an ablation and baseline).
+	DisableStealing bool
+	// DisableProxy turns off the IPI-analogue kernel proxying, giving the
+	// paper's cooperative "ZygOS (no interrupts)" variant.
+	DisableProxy bool
+	// ParkInterval bounds how long an idle worker sleeps before rescanning
+	// for stealable work; defaults to 100µs.
+	ParkInterval time.Duration
+	// IngressCap bounds each worker's ingress queue (segments); pushes
+	// beyond it block the transport reader, providing backpressure.
+	// Defaults to 4096.
+	IngressCap int
+	// LockOSThread pins each worker goroutine to an OS thread.
+	LockOSThread bool
+}
+
+// Stats is a snapshot of runtime counters.
+type Stats struct {
+	Events  uint64 // application events executed
+	Steals  uint64 // events executed by a non-home worker
+	Proxies uint64 // kernel steps run on another worker's behalf (IPI analogue)
+	Conns   uint64 // connections created over the runtime's lifetime
+}
+
+// Runtime is a ZygOS-style work-conserving scheduler instance.
+type Runtime struct {
+	cfg     Config
+	rss     *nicsim.RSS
+	workers []*Worker
+	handler Handler
+
+	events  atomic.Uint64
+	steals  atomic.Uint64
+	proxies atomic.Uint64
+	connSeq atomic.Uint64
+	sigSeq  atomic.Uint64
+
+	running atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// New creates and starts a runtime. Callers must Close it.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("core: Config.Handler is required")
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ParkInterval <= 0 {
+		cfg.ParkInterval = 100 * time.Microsecond
+	}
+	if cfg.IngressCap <= 0 {
+		cfg.IngressCap = 4096
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		rss:     nicsim.NewRSS(cfg.Cores),
+		handler: cfg.Handler,
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		rt.workers = append(rt.workers, newWorker(rt, i))
+	}
+	rt.running.Store(true)
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.run()
+	}
+	return rt, nil
+}
+
+// Close stops all workers and waits for them to exit. In-flight handler
+// invocations complete; undelivered events are discarded.
+func (rt *Runtime) Close() {
+	if !rt.running.CompareAndSwap(true, false) {
+		return
+	}
+	for _, w := range rt.workers {
+		w.signal()
+	}
+	rt.wg.Wait()
+}
+
+// Cores returns the number of workers.
+func (rt *Runtime) Cores() int { return len(rt.workers) }
+
+// Stats returns a snapshot of the runtime counters.
+func (rt *Runtime) Stats() Stats {
+	return Stats{
+		Events:  rt.events.Load(),
+		Steals:  rt.steals.Load(),
+		Proxies: rt.proxies.Load(),
+		Conns:   rt.connSeq.Load(),
+	}
+}
+
+// NewConn registers a connection whose replies are written to wr. The
+// connection's home worker is chosen by RSS hashing of its identifier,
+// exactly as the NIC steers a flow in the paper.
+func (rt *Runtime) NewConn(wr ReplyWriter) *Conn {
+	id := rt.connSeq.Add(1)
+	c := &Conn{
+		id:   id,
+		home: rt.rss.Queue(id),
+		wr:   wr,
+		rt:   rt,
+	}
+	return c
+}
+
+// Ingress delivers raw stream bytes from a transport reader into the
+// connection's home ingress queue. The bytes are copied, so callers may
+// reuse their read buffer immediately. It blocks when the queue is full
+// (transport backpressure) and returns an error after Close.
+func (rt *Runtime) Ingress(c *Conn, data []byte) error {
+	if !rt.running.Load() {
+		return errors.New("core: runtime is closed")
+	}
+	if c.closed.Load() {
+		return fmt.Errorf("core: conn %d is closed", c.id)
+	}
+	w := rt.workers[c.home]
+	return w.pushIngress(segment{conn: c, data: append([]byte(nil), data...)})
+}
+
+// CloseConn marks the connection closed. Events already queued are still
+// delivered; subsequent Ingress calls fail. Safe to call multiple times.
+func (rt *Runtime) CloseConn(c *Conn) {
+	c.closed.Store(true)
+}
+
+// Flush blocks until every event ingressed before the call has been
+// executed and its replies written, or the timeout elapses. It is a
+// testing/shutdown aid, not a fast path.
+func (rt *Runtime) Flush(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if rt.quiescent() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func (rt *Runtime) quiescent() bool {
+	for _, w := range rt.workers {
+		if !w.quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// signalOther nudges one worker other than self, round-robin, so that an
+// idle worker notices freshly stealable or proxyable work without waiting
+// out its park interval.
+func (rt *Runtime) signalOther(self int) {
+	n := len(rt.workers)
+	if n <= 1 {
+		return
+	}
+	k := int(rt.sigSeq.Add(1)) % n
+	if k == self {
+		k = (k + 1) % n
+	}
+	rt.workers[k].signal()
+}
+
+// stealOrder fills order with a random permutation of worker indexes,
+// excluding self, using the worker-local source.
+func (rt *Runtime) stealOrder(rng *rand.Rand, self int, order []int) []int {
+	order = order[:0]
+	for i := range rt.workers {
+		if i != self {
+			order = append(order, i)
+		}
+	}
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zygos/internal/proto"
+)
+
+// errRuntimeClosed is returned to transport readers blocked on a full
+// ingress queue when the runtime shuts down.
+var errRuntimeClosed = errors.New("core: runtime is closed")
+
+// segment is one chunk of raw stream bytes from a transport reader,
+// queued on the home worker's ingress queue (the software NIC ring).
+type segment struct {
+	conn *Conn
+	data []byte
+}
+
+// remoteOp is a stolen activation's completion: the buffered reply frames
+// and the connection whose state must be advanced once they are written.
+// It is the "remote batched syscall" of §4.2.
+type remoteOp struct {
+	conn   *Conn
+	frames []byte
+}
+
+// Worker is one scheduling core: ingress queue, shuffle queue, remote
+// syscall queue, and the kernel lock serializing this core's network
+// stack.
+type Worker struct {
+	rt *Runtime
+	id int
+
+	// ingress: multi-producer (transport readers), drained by the kernel
+	// step. Bounded; producers block when full.
+	ingressMu   sync.Mutex
+	ingressCond *sync.Cond
+	ingress     []segment
+	ingressN    atomic.Int32
+
+	// kernelMu serializes this core's kernel step (parse + TX flush).
+	// Idle workers TryLock it to proxy the step — the IPI analogue.
+	kernelMu sync.Mutex
+
+	// remote: completions shipped home by stolen activations.
+	remoteMu sync.Mutex
+	remote   []remoteOp
+	remoteN  atomic.Int32
+
+	// shuffle: ready connections, guarded by shuffleMu (the paper's
+	// per-core spinlock protecting the queue and state transitions).
+	shuffleMu sync.Mutex
+	shuffle   []*Conn
+	shuffleN  atomic.Int32
+
+	wake   chan struct{}
+	rng    *rand.Rand
+	order  []int
+	inApp  atomic.Bool  // executing application code (IPI-interruptible)
+	active atomic.Int32 // activations in flight (quiescence accounting)
+}
+
+func newWorker(rt *Runtime, id int) *Worker {
+	w := &Worker{
+		rt:   rt,
+		id:   id,
+		wake: make(chan struct{}, 1),
+		rng:  rand.New(rand.NewSource(int64(id)*7919 + 1)),
+	}
+	w.ingressCond = sync.NewCond(&w.ingressMu)
+	return w
+}
+
+func (w *Worker) run() {
+	defer w.rt.wg.Done()
+	if w.rt.cfg.LockOSThread {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	for w.rt.running.Load() {
+		if w.homeWork() {
+			continue
+		}
+		if !w.rt.cfg.DisableStealing && w.stealWork() {
+			continue
+		}
+		w.park()
+	}
+	// Unblock any transport readers waiting on a full ingress queue.
+	w.ingressMu.Lock()
+	w.ingressCond.Broadcast()
+	w.ingressMu.Unlock()
+}
+
+// homeWork runs one iteration of the home loop: the kernel step (flush
+// remote replies, parse ingress into the shuffle queue), then one
+// activation from the local shuffle queue.
+func (w *Worker) homeWork() bool {
+	did := false
+	if w.kernelMu.TryLock() {
+		did = w.kernelStep()
+		w.kernelMu.Unlock()
+	}
+	if c := w.tryPopShuffle(); c != nil {
+		w.activate(c)
+		return true
+	}
+	return did
+}
+
+// kernelStep executes this core's bounded kernel work. The caller must
+// hold kernelMu; the caller may be another worker proxying on this core's
+// behalf. It reports whether it made progress.
+func (w *Worker) kernelStep() bool {
+	// Count the step as in-flight work: events drained from ingress are
+	// invisible to the queue counters until they are republished in the
+	// shuffle queue, and quiescence must not be observable in between.
+	w.active.Add(1)
+	defer w.active.Add(-1)
+	did := false
+
+	// Remote batched syscalls first: write shipped replies in order and
+	// advance the connection state machine (§4.5 handler duty 2).
+	w.remoteMu.Lock()
+	ops := w.remote
+	w.remote = nil
+	w.remoteN.Store(0)
+	w.remoteMu.Unlock()
+	for _, op := range ops {
+		did = true
+		if len(op.frames) > 0 && !op.conn.closed.Load() {
+			_ = op.conn.wr.WriteReply(op.frames) // teardown races are benign
+		}
+		w.finalize(op.conn)
+	}
+
+	// Network stack: drain ingress, parse frames, enqueue ready
+	// connections (§4.5 handler duty 1).
+	w.ingressMu.Lock()
+	segs := w.ingress
+	w.ingress = nil
+	w.ingressN.Store(0)
+	w.ingressCond.Broadcast()
+	w.ingressMu.Unlock()
+	for _, sg := range segs {
+		did = true
+		c := sg.conn
+		c.parser.Feed(sg.data)
+		events := 0
+		for {
+			m, ok, err := c.parser.Next()
+			if err != nil {
+				// Malformed stream: poison the connection. Events already
+				// queued still drain.
+				c.closed.Store(true)
+				break
+			}
+			if !ok {
+				break
+			}
+			c.pcbMu.Lock()
+			c.pcb = append(c.pcb, m)
+			c.pcbMu.Unlock()
+			events++
+		}
+		if events > 0 {
+			w.markReady(c)
+		}
+	}
+	return did
+}
+
+// markReady moves an idle connection to ready and publishes it in the
+// shuffle queue (exactly-once: ready connections are already queued, busy
+// ones re-queue themselves in finalize).
+func (w *Worker) markReady(c *Conn) {
+	w.shuffleMu.Lock()
+	if c.state == StateIdle {
+		c.state = StateReady
+		w.shuffle = append(w.shuffle, c)
+		w.shuffleN.Add(1)
+	}
+	w.shuffleMu.Unlock()
+	w.signal()
+	w.rt.signalOther(w.id)
+}
+
+// finalize advances the Figure 5 state machine after an activation's
+// replies are on the wire: back to ready (and re-queued) if events arrived
+// meanwhile, else idle. Must run on the connection's home worker's
+// structures (w is the home worker).
+func (w *Worker) finalize(c *Conn) {
+	w.shuffleMu.Lock()
+	c.pcbMu.Lock()
+	pend := len(c.pcb)
+	c.pcbMu.Unlock()
+	if pend > 0 {
+		c.state = StateReady
+		w.shuffle = append(w.shuffle, c)
+		w.shuffleN.Add(1)
+		w.shuffleMu.Unlock()
+		w.signal()
+		w.rt.signalOther(w.id)
+		return
+	}
+	c.state = StateIdle
+	w.shuffleMu.Unlock()
+}
+
+// tryPopShuffle removes the oldest ready connection, transitioning it to
+// busy. Remote workers use the same entry point (their TryLock makes steal
+// attempts contention-friendly, as in the paper).
+func (w *Worker) tryPopShuffle() *Conn {
+	if w.shuffleN.Load() == 0 {
+		return nil
+	}
+	if !w.shuffleMu.TryLock() {
+		return nil
+	}
+	var c *Conn
+	if len(w.shuffle) > 0 {
+		c = w.shuffle[0]
+		w.shuffle[0] = nil
+		w.shuffle = w.shuffle[1:]
+		w.shuffleN.Add(-1)
+		c.state = StateBusy
+	}
+	w.shuffleMu.Unlock()
+	return c
+}
+
+// activate runs the handler over the events present at dequeue time with
+// exclusive connection ownership (§4.3 ordering semantics).
+func (w *Worker) activate(c *Conn) {
+	w.active.Add(1)
+	defer w.active.Add(-1)
+
+	home := w.rt.workers[c.home]
+	stolen := w != home
+
+	c.pcbMu.Lock()
+	n := len(c.pcb)
+	evs := append([]proto.Message(nil), c.pcb[:n]...)
+	c.pcb = c.pcb[n:]
+	c.pcbMu.Unlock()
+
+	ctx := &Ctx{worker: w, stolen: stolen}
+	w.inApp.Store(true)
+	for _, m := range evs {
+		w.rt.events.Add(1)
+		if stolen {
+			w.rt.steals.Add(1)
+		}
+		w.rt.handler.Serve(ctx, c, m)
+	}
+	w.inApp.Store(false)
+
+	if !stolen {
+		// Home execution: eager TX on the home core.
+		if len(ctx.replies) > 0 && !c.closed.Load() {
+			_ = c.wr.WriteReply(ctx.replies)
+		}
+		w.finalize(c)
+		return
+	}
+
+	// Stolen execution: ship the batched syscalls home (§4.2 step b).
+	home.pushRemote(remoteOp{conn: c, frames: ctx.replies})
+	home.signal()
+	if !w.rt.cfg.DisableProxy {
+		w.tryProxy(home)
+	}
+}
+
+// tryProxy is the IPI analogue: if the target worker is stuck in
+// application code, run its kernel step on its behalf so pending TX and
+// shuffle replenishment do not wait for the handler to return.
+func (w *Worker) tryProxy(target *Worker) bool {
+	if !target.inApp.Load() {
+		return false
+	}
+	if !target.kernelMu.TryLock() {
+		return false
+	}
+	w.rt.proxies.Add(1)
+	did := target.kernelStep()
+	target.kernelMu.Unlock()
+	return did
+}
+
+// stealWork is the idle loop (§5): scan other workers' shuffle queues
+// first, then proxy the kernel step of workers with undrained ingress or
+// unflushed remote replies, in randomized victim order.
+func (w *Worker) stealWork() bool {
+	w.order = w.rt.stealOrder(w.rng, w.id, w.order)
+	for _, v := range w.order {
+		if c := w.rt.workers[v].tryPopShuffle(); c != nil {
+			w.activate(c)
+			return true
+		}
+	}
+	if !w.rt.cfg.DisableProxy {
+		for _, v := range w.order {
+			victim := w.rt.workers[v]
+			if victim.ingressN.Load() == 0 && victim.remoteN.Load() == 0 {
+				continue
+			}
+			if w.tryProxy(victim) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pushIngress queues a raw segment, blocking while the queue is full
+// (transport backpressure). It fails once the runtime closes.
+func (w *Worker) pushIngress(sg segment) error {
+	w.ingressMu.Lock()
+	for len(w.ingress) >= w.rt.cfg.IngressCap {
+		if !w.rt.running.Load() {
+			w.ingressMu.Unlock()
+			return errRuntimeClosed
+		}
+		w.ingressCond.Wait()
+	}
+	w.ingress = append(w.ingress, sg)
+	w.ingressN.Add(1)
+	w.ingressMu.Unlock()
+	w.signal()
+	if w.inApp.Load() {
+		// The home core is busy in application code; nudge another worker
+		// so an idle one can steal or proxy promptly.
+		w.rt.signalOther(w.id)
+	}
+	return nil
+}
+
+func (w *Worker) pushRemote(op remoteOp) {
+	w.remoteMu.Lock()
+	w.remote = append(w.remote, op)
+	w.remoteN.Add(1)
+	w.remoteMu.Unlock()
+}
+
+// signal wakes the worker if it is parked; it never blocks.
+func (w *Worker) signal() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// park sleeps until signalled or until the park interval elapses; the
+// interval bounds how stale an idle worker's view of stealable work can
+// get (the polling idle loop of §5, without burning a host CPU).
+func (w *Worker) park() {
+	timer := time.NewTimer(w.rt.cfg.ParkInterval)
+	select {
+	case <-w.wake:
+		timer.Stop()
+	case <-timer.C:
+	}
+}
+
+// quiescent reports whether this worker has no queued or in-flight work.
+func (w *Worker) quiescent() bool {
+	return w.ingressN.Load() == 0 &&
+		w.remoteN.Load() == 0 &&
+		w.shuffleN.Load() == 0 &&
+		w.active.Load() == 0
+}

@@ -1,0 +1,114 @@
+package dataplane
+
+import (
+	"testing"
+
+	"zygos/internal/dist"
+)
+
+// A single-core ZygOS has nobody to steal from or interrupt; it must
+// degenerate to a plain FCFS server without deadlock or counters firing.
+func TestSingleCore(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	cfg := Config{
+		System:     Zygos,
+		Cores:      1,
+		Conns:      64,
+		Service:    d,
+		RatePerSec: 0.5 / d.Mean() * 1e9,
+		Requests:   20000,
+		Warmup:     2000,
+		Seed:       3,
+		Interrupts: true,
+	}
+	res := Run(cfg)
+	if res.Completed != 18000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	if res.Steals != 0 {
+		t.Fatalf("single core stole %d events", res.Steals)
+	}
+	if res.IPIs != 0 {
+		t.Fatalf("single core sent %d IPIs", res.IPIs)
+	}
+}
+
+// Low fan-in (fewer connections than cores x queue depth) exercises the
+// per-connection serialization: with very few connections, per-connection
+// ordering limits parallelism but nothing may deadlock or drop.
+func TestLowFanIn(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	for _, conns := range []int{1, 2, 8} {
+		cfg := base(Zygos, d, 0.3)
+		cfg.Conns = conns
+		cfg.Requests = 20000
+		cfg.Warmup = 2000
+		res := Run(cfg)
+		if res.Completed != 18000 {
+			t.Fatalf("conns=%d completed %d", conns, res.Completed)
+		}
+	}
+}
+
+// Back-to-back events on one connection are processed by a single
+// activation (the §6.2 implicit batching): with one connection and bursty
+// arrivals, events must never interleave across cores — observable as
+// zero steals while an activation drains the queue... at minimum the
+// run completes with per-connection serialization intact.
+func TestImplicitBatchingSingleConn(t *testing.T) {
+	d := dist.Deterministic{V: 5 * us}
+	cfg := base(Zygos, d, 0.2)
+	cfg.Conns = 1
+	cfg.Requests = 10000
+	cfg.Warmup = 1000
+	res := Run(cfg)
+	if res.Completed != 9000 {
+		t.Fatalf("completed %d", res.Completed)
+	}
+	// One connection bounds throughput at one core's rate; sojourns can
+	// exceed naive expectations but the system must remain stable at 20%
+	// aggregate load (= 3.2x one core's capacity... so drops are in fact
+	// acceptable here only via ring overflow; ensure no silent loss).
+	total := int(res.Dropped) + res.Completed + cfg.Warmup
+	if total < cfg.Requests {
+		t.Fatalf("lost requests: dropped=%d completed=%d", res.Dropped, res.Completed)
+	}
+}
+
+// The three-layer model must hold up under the pathological bimodal-2
+// distribution (0.1% of requests are 500x the mean): ZygOS's stealing
+// plus IPIs keep the tail bounded by the giant tasks themselves, while a
+// partitioned system's tail explodes by queueing behind them.
+func TestBimodal2Pathology(t *testing.T) {
+	d := dist.NewBimodal2(10 * us)
+	zy := Run(base(Zygos, d, 0.5)).Latencies.P99()
+	ix := Run(base(IX, d, 0.5)).Latencies.P99()
+	if zy >= ix {
+		t.Errorf("bimodal-2: zygos p99 %dns should beat IX %dns", zy, ix)
+	}
+}
+
+// Cost-model zero value must be replaced by defaults, not used as "free".
+func TestZeroCostsGetDefaults(t *testing.T) {
+	d := dist.Deterministic{V: 10 * us}
+	cfg := base(IX, d, 0.5)
+	cfg.Costs = CostModel{}
+	res := Run(cfg)
+	// With defaults applied, minimum latency must exceed pure service
+	// time (there is always stack overhead).
+	if res.Latencies.Min() <= 10*us {
+		t.Fatalf("min latency %dns implies zero-cost model was used", res.Latencies.Min())
+	}
+}
+
+// Warmup must actually exclude early samples.
+func TestWarmupExcluded(t *testing.T) {
+	d := dist.Deterministic{V: 10 * us}
+	cfg := base(IX, d, 0.5)
+	cfg.Requests = 10000
+	cfg.Warmup = 9000
+	res := Run(cfg)
+	if res.Completed != 1000 {
+		t.Fatalf("measured %d, want 1000", res.Completed)
+	}
+}

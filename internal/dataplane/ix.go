@@ -1,0 +1,80 @@
+package dataplane
+
+import (
+	"zygos/internal/nicsim"
+	"zygos/internal/sim"
+)
+
+// ixModel simulates the IX dataplane (§2.2, §3.3): RSS partitions
+// connections onto cores; each core runs to completion over adaptively
+// bounded batches — it dequeues up to B packets from its hardware ring,
+// carries the whole batch through the networking stack, runs the
+// application handler for every event, and transmits all responses at the
+// end of the batch. There is no communication between cores, so a loaded
+// core cannot shed work to an idle one (partitioned-FCFS behaviour), and a
+// long task holds back every other event in its batch and ring
+// (head-of-line blocking).
+type ixModel struct {
+	s     *sim.Sim
+	cfg   Config
+	rss   *nicsim.RSS
+	done  func(*Request, sim.Time)
+	res   *Result
+	cores []*ixCore
+}
+
+type ixCore struct {
+	ring *nicsim.Ring[*Request]
+	busy bool
+}
+
+func newIXModel(s *sim.Sim, cfg Config, rss *nicsim.RSS, done func(*Request, sim.Time), res *Result) *ixModel {
+	m := &ixModel{s: s, cfg: cfg, rss: rss, done: done, res: res}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &ixCore{ring: nicsim.NewRing[*Request](cfg.RingCap)})
+	}
+	return m
+}
+
+func (m *ixModel) arrive(now sim.Time, r *Request) {
+	c := m.cores[m.rss.Queue(uint64(r.Conn))]
+	if !c.ring.Push(r) {
+		m.res.Dropped++
+		return
+	}
+	if !c.busy {
+		c.busy = true
+		m.runBatch(now, c)
+	}
+}
+
+// runBatch executes one run-to-completion iteration: RX batch → app × k →
+// TX batch. All completions land at the end of the batch, which is exactly
+// what bounded batching trades for throughput (Figure 11).
+func (m *ixModel) runBatch(now sim.Time, c *ixCore) {
+	k := c.ring.Len()
+	if k > m.cfg.Batch {
+		k = m.cfg.Batch
+	}
+	if k == 0 {
+		c.busy = false
+		return
+	}
+	batch := make([]*Request, 0, k)
+	for i := 0; i < k; i++ {
+		r, _ := c.ring.Pop()
+		batch = append(batch, r)
+	}
+	cost := m.cfg.Costs.NetStackFixed + int64(k)*m.cfg.Costs.NetStackPerPkt
+	for _, r := range batch {
+		cost += r.Service + m.cfg.Costs.AppDispatch
+	}
+	cost += int64(k) * m.cfg.Costs.TXPerPkt
+	m.s.At(now+cost, func(end sim.Time) {
+		for _, r := range batch {
+			m.res.Events++
+			m.done(r, end)
+		}
+		m.runBatch(end, c)
+	})
+}

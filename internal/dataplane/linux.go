@@ -1,0 +1,114 @@
+package dataplane
+
+import (
+	"zygos/internal/nicsim"
+	"zygos/internal/sim"
+)
+
+// linuxModel simulates the two Linux event-driven configurations of §3.3.
+//
+// Partitioned mode pins each connection's events to its RSS home core,
+// where a dedicated thread loops epoll_wait(maxevents=1) → read → handler →
+// write. This is partitioned-FCFS plus per-event syscall cost and
+// scheduling jitter.
+//
+// Floating mode places all connections in one shared pool served by every
+// thread (the EPOLLEXCLUSIVE pattern): work-conserving centralized-FCFS
+// plus the same syscall costs, a pool lock, and a wakeup latency when an
+// idle (sleeping) thread must be kicked.
+type linuxModel struct {
+	s        *sim.Sim
+	cfg      Config
+	rss      *nicsim.RSS
+	done     func(*Request, sim.Time)
+	res      *Result
+	floating bool
+
+	// Partitioned state: one queue per core.
+	queues []*nicsim.Ring[*Request]
+	busy   []bool
+
+	// Floating state: one shared queue, idle-thread count.
+	shared *nicsim.Ring[*Request]
+	idle   int
+}
+
+func newLinuxModel(s *sim.Sim, cfg Config, rss *nicsim.RSS, done func(*Request, sim.Time), res *Result, floating bool) *linuxModel {
+	m := &linuxModel{s: s, cfg: cfg, rss: rss, done: done, res: res, floating: floating}
+	if floating {
+		// The shared pool is bounded only by socket memory; scale the cap
+		// with core count so saturation behaviour matches partitioned mode.
+		m.shared = nicsim.NewRing[*Request](cfg.RingCap * cfg.Cores)
+		m.idle = cfg.Cores
+	} else {
+		for i := 0; i < cfg.Cores; i++ {
+			m.queues = append(m.queues, nicsim.NewRing[*Request](cfg.RingCap))
+		}
+		m.busy = make([]bool, cfg.Cores)
+	}
+	return m
+}
+
+func (m *linuxModel) arrive(now sim.Time, r *Request) {
+	if m.floating {
+		if !m.shared.Push(r) {
+			m.res.Dropped++
+			return
+		}
+		if m.idle > 0 {
+			m.idle--
+			// An idle worker sleeps in epoll_wait; waking it costs a futex
+			// round trip before it can pick up the event.
+			m.s.After(m.cfg.Costs.WakeLatency, func(at sim.Time) { m.serveShared(at) })
+		}
+		return
+	}
+	core := m.rss.Queue(uint64(r.Conn))
+	if !m.queues[core].Push(r) {
+		m.res.Dropped++
+		return
+	}
+	if !m.busy[core] {
+		m.busy[core] = true
+		m.servePartitioned(now, core)
+	}
+}
+
+// eventCost draws the per-event syscall-path cost: fixed epoll/read/write
+// path, lognormal jitter, and a rare scheduler/softirq hiccup that is the
+// dominant contributor to Linux's small-task tail (§3.4).
+func (m *linuxModel) eventCost() int64 {
+	c := m.cfg.Costs.SyscallFixed + lognormalJitter(m.s, m.cfg.Costs.SyscallJitter, m.cfg.Costs.SyscallSigma)
+	if m.cfg.Costs.HiccupProb > 0 && m.s.Rand.Float64() < m.cfg.Costs.HiccupProb {
+		c += m.cfg.Costs.HiccupCost
+	}
+	return c
+}
+
+func (m *linuxModel) servePartitioned(now sim.Time, core int) {
+	r, ok := m.queues[core].Pop()
+	if !ok {
+		m.busy[core] = false
+		return
+	}
+	cost := m.eventCost() + r.Service
+	m.s.At(now+cost, func(end sim.Time) {
+		m.res.Events++
+		m.done(r, end)
+		m.servePartitioned(end, core)
+	})
+}
+
+func (m *linuxModel) serveShared(now sim.Time) {
+	r, ok := m.shared.Pop()
+	if !ok {
+		m.idle++
+		return
+	}
+	cost := m.cfg.Costs.LockCost + m.cfg.Costs.FloatingContention + m.eventCost() + r.Service
+	m.s.At(now+cost, func(end sim.Time) {
+		m.res.Events++
+		m.done(r, end)
+		m.serveShared(end)
+	})
+}

@@ -1,0 +1,406 @@
+package dataplane
+
+import (
+	"zygos/internal/nicsim"
+	"zygos/internal/sim"
+)
+
+// zygosModel simulates the ZygOS architecture (§4): per-core NIC rings and
+// networking stacks (coherency-free on the home core), a per-core shuffle
+// queue of ready connections that idle remote cores steal from, remote
+// batched syscalls shipped back to the home core for TX ordering, and
+// inter-processor interrupts that force a home core busy in application
+// code to replenish its shuffle queue and flush remote syscalls —
+// eliminating head-of-line blocking. Setting Config.Interrupts=false gives
+// the paper's cooperative "ZygOS (no interrupts)" variant.
+type zygosModel struct {
+	s     *sim.Sim
+	cfg   Config
+	rss   *nicsim.RSS
+	done  func(*Request, sim.Time)
+	res   *Result
+	cores []*zcore
+	conns []*zconn
+	scan  []int // scratch for randomized victim order
+}
+
+type connState int
+
+const (
+	connIdle connState = iota
+	connReady
+	connBusy
+)
+
+// zconn is the simulated protocol control block: per-connection event
+// queue plus the Figure 5 state machine.
+type zconn struct {
+	id    int
+	home  int
+	state connState
+	pcb   []*Request // pending events, FIFO
+}
+
+type coreState int
+
+const (
+	coreIdle coreState = iota
+	coreKernel
+	coreApp
+)
+
+type zcore struct {
+	id       int
+	ring     *nicsim.Ring[*Request] // NIC hardware/software receive queue
+	shuffle  []*zconn               // ready connections (FIFO), stealable
+	remoteTX []*Request             // remote batched syscalls awaiting home-core TX
+	state    coreState
+	waking   bool // a wake event is already scheduled
+	ipiBound bool // an IPI is in flight to this core
+
+	// Preemption bookkeeping for the current application segment.
+	appEnd    sim.Time
+	appHandle sim.Handle
+	appResume func(end sim.Time)
+}
+
+func newZygosModel(s *sim.Sim, cfg Config, rss *nicsim.RSS, done func(*Request, sim.Time), res *Result) *zygosModel {
+	m := &zygosModel{s: s, cfg: cfg, rss: rss, done: done, res: res}
+	for i := 0; i < cfg.Cores; i++ {
+		m.cores = append(m.cores, &zcore{id: i, ring: nicsim.NewRing[*Request](cfg.RingCap)})
+		m.scan = append(m.scan, i)
+	}
+	for i := 0; i < cfg.Conns; i++ {
+		m.conns = append(m.conns, &zconn{id: i, home: rss.Queue(uint64(i))})
+	}
+	return m
+}
+
+func (m *zygosModel) arrive(now sim.Time, r *Request) {
+	conn := m.conns[r.Conn]
+	home := m.cores[conn.home]
+	if !home.ring.Push(r) {
+		m.res.Dropped++
+		return
+	}
+	if home.state == coreIdle {
+		m.wake(home, 0)
+		return
+	}
+	// The home core is busy: give an idle remote core a chance to notice
+	// the pending packet (it will steal, or IPI the home core).
+	m.wakeOneIdle()
+}
+
+// wake schedules a core to re-run its main loop after delay, once.
+func (m *zygosModel) wake(c *zcore, delay int64) {
+	if c.waking {
+		return
+	}
+	c.waking = true
+	m.s.After(delay, func(now sim.Time) {
+		c.waking = false
+		if c.state == coreIdle {
+			m.step(c, now)
+		}
+	})
+}
+
+// wakeOneIdle wakes one randomly chosen idle core after the polling
+// detection delay, emulating the randomized idle-loop scan of §5.
+func (m *zygosModel) wakeOneIdle() { m.wakeIdle(1) }
+
+// wakeIdle wakes up to n randomly chosen idle cores. One wake per unit of
+// newly-available work keeps the drain parallel, as concurrent idle-loop
+// polling does in the real system.
+func (m *zygosModel) wakeIdle(n int) {
+	idle := m.idleCores()
+	for i := 0; i < n && len(idle) > 0; i++ {
+		k := m.s.Rand.Intn(len(idle))
+		m.wake(idle[k], m.cfg.Costs.PollDelay)
+		idle[k] = idle[len(idle)-1]
+		idle = idle[:len(idle)-1]
+	}
+}
+
+func (m *zygosModel) idleCores() []*zcore {
+	var out []*zcore
+	for _, c := range m.cores {
+		if c.state == coreIdle && !c.waking {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// step is the per-core main loop. Priority order: flush remote syscalls
+// (latency-critical TX for stolen work), serve the shuffle queue, run the
+// network stack over the local ring when the shuffle queue is empty, then
+// steal (§5 idle-loop order).
+func (m *zygosModel) step(c *zcore, now sim.Time) {
+	switch {
+	case len(c.remoteTX) > 0:
+		m.flushRemoteTX(c, now, func(end sim.Time) { m.step(c, end) })
+	case len(c.shuffle) > 0:
+		conn := c.shuffle[0]
+		c.shuffle = c.shuffle[1:]
+		m.activate(c, conn, now)
+	case c.ring.Len() > 0:
+		m.netstack(c, now)
+	default:
+		m.stealScan(c, now)
+	}
+}
+
+// flushRemoteTX transmits all responses queued by remote cores. It runs in
+// kernel mode on the home core, preserving coherency-free TX ordering.
+func (m *zygosModel) flushRemoteTX(c *zcore, now sim.Time, next func(sim.Time)) {
+	ops := c.remoteTX
+	c.remoteTX = nil
+	c.state = coreKernel
+	var cost int64
+	for _, r := range ops {
+		cost += m.cfg.Costs.TXPerPkt
+		req, at := r, now+cost
+		m.s.At(at, func(end sim.Time) { m.done(req, end) })
+	}
+	m.s.At(now+cost, func(end sim.Time) { next(end) })
+}
+
+// netstack runs one bounded batch of RX protocol processing on the local
+// ring, then enqueues newly-ready connections into the shuffle queue.
+func (m *zygosModel) netstack(c *zcore, now sim.Time) {
+	k := c.ring.Len()
+	if k > m.cfg.Batch {
+		k = m.cfg.Batch
+	}
+	batch := make([]*Request, 0, k)
+	for i := 0; i < k; i++ {
+		r, _ := c.ring.Pop()
+		batch = append(batch, r)
+	}
+	c.state = coreKernel
+	cost := m.cfg.Costs.NetStackFixed + int64(k)*m.cfg.Costs.NetStackPerPkt
+	m.s.At(now+cost, func(end sim.Time) {
+		newReady := 0
+		for _, r := range batch {
+			conn := m.conns[r.Conn]
+			conn.pcb = append(conn.pcb, r)
+			if conn.state == connIdle {
+				conn.state = connReady
+				c.shuffle = append(c.shuffle, conn)
+				newReady++
+			}
+		}
+		if newReady > 0 {
+			// Stealable work just appeared; let idle cores race for it.
+			m.wakeIdle(newReady)
+		}
+		m.step(c, end)
+	})
+}
+
+// activate processes one ready connection on core c (home or remote). Per
+// §4.3 the executing core owns the socket exclusively until every event
+// condition present at dequeue time has been handled and its replies sent,
+// giving ordered responses for pipelined requests (and the implicit
+// same-flow batching discussed in §6.2).
+func (m *zygosModel) activate(c *zcore, conn *zconn, now sim.Time) {
+	conn.state = connBusy
+	n := len(conn.pcb) // snapshot: events arriving mid-activation wait
+	home := m.cores[conn.home]
+	stolen := c != home
+
+	var processNext func(i int, at sim.Time)
+	finish := func(at sim.Time) {
+		if len(conn.pcb) > 0 {
+			// More data arrived while we held the socket: back to ready,
+			// re-enqueued on the home core's shuffle queue.
+			conn.state = connReady
+			home.shuffle = append(home.shuffle, conn)
+			if home.state == coreIdle {
+				m.wake(home, 0)
+			} else {
+				m.wakeOneIdle()
+			}
+		} else {
+			conn.state = connIdle
+		}
+		m.step(c, at)
+	}
+	processNext = func(i int, at sim.Time) {
+		if i >= n {
+			finish(at)
+			return
+		}
+		r := conn.pcb[0]
+		conn.pcb = conn.pcb[1:]
+		m.res.Events++
+		if stolen {
+			m.res.Steals++
+		}
+		dur := r.Service + m.cfg.Costs.AppDispatch + m.cfg.Costs.ZygosInterleave
+		m.appSegment(c, at, dur, func(end sim.Time) {
+			if !stolen {
+				// Home execution: eager TX inline (kernel segment).
+				c.state = coreKernel
+				tx := m.cfg.Costs.TXPerPkt
+				req := r
+				m.s.At(end+tx, func(txEnd sim.Time) {
+					m.done(req, txEnd)
+					processNext(i+1, txEnd)
+				})
+				return
+			}
+			// Stolen execution: ship the batched syscalls home.
+			home.remoteTX = append(home.remoteTX, r)
+			switch {
+			case home.state == coreIdle:
+				m.wake(home, 0)
+				processNext(i+1, end)
+			case home.state == coreApp && m.cfg.Interrupts:
+				// Pay the IPI send cost in kernel mode, then continue.
+				c.state = coreKernel
+				m.sendIPI(home, end)
+				m.s.At(end+m.cfg.Costs.IPISendCost, func(k sim.Time) { processNext(i+1, k) })
+			default:
+				// Home is in kernel mode (or interrupts are disabled): it
+				// will flush on its next loop iteration.
+				processNext(i+1, end)
+			}
+		})
+	}
+	processNext(0, now)
+}
+
+// appSegment runs dur nanoseconds of user-level execution on c, the only
+// core state IPIs may interrupt. fn receives the (possibly extended)
+// segment end time.
+func (m *zygosModel) appSegment(c *zcore, now sim.Time, dur int64, fn func(end sim.Time)) {
+	c.state = coreApp
+	c.appEnd = now + dur
+	c.appResume = fn
+	m.scheduleAppEnd(c)
+}
+
+func (m *zygosModel) scheduleAppEnd(c *zcore) {
+	c.appHandle = m.s.At(c.appEnd, func(end sim.Time) {
+		resume := c.appResume
+		c.appResume = nil
+		resume(end)
+	})
+}
+
+// sendIPI delivers an exit-less IPI to the target core after the delivery
+// latency. Delivery is deduplicated per target (hardware coalescing); IPIs
+// are hints, so one arriving when the target is no longer at user level is
+// simply dropped (§5).
+func (m *zygosModel) sendIPI(target *zcore, now sim.Time) {
+	if target.ipiBound {
+		return
+	}
+	target.ipiBound = true
+	m.res.IPIs++
+	m.s.At(now+m.cfg.Costs.IPILatency, func(at sim.Time) {
+		target.ipiBound = false
+		if target.state != coreApp {
+			return // lost hint: kernel code runs with interrupts disabled
+		}
+		m.ipiHandler(target, at)
+	})
+}
+
+// ipiHandler implements the two duties of the shared IPI handler (§4.5):
+// (1) process incoming packets if the shuffle queue is empty, and
+// (2) execute all remote system calls and transmit pending responses.
+// The handler's cost extends the interrupted application segment.
+func (m *zygosModel) ipiHandler(c *zcore, now sim.Time) {
+	extra := m.cfg.Costs.IPIHandler
+
+	if len(c.shuffle) == 0 && c.ring.Len() > 0 {
+		k := c.ring.Len()
+		if k > m.cfg.Batch {
+			k = m.cfg.Batch
+		}
+		batch := make([]*Request, 0, k)
+		for i := 0; i < k; i++ {
+			r, _ := c.ring.Pop()
+			batch = append(batch, r)
+		}
+		netCost := m.cfg.Costs.NetStackFixed + int64(k)*m.cfg.Costs.NetStackPerPkt
+		effectAt := now + m.cfg.Costs.IPIHandler + netCost
+		m.s.At(effectAt, func(at sim.Time) {
+			newReady := 0
+			for _, r := range batch {
+				conn := m.conns[r.Conn]
+				conn.pcb = append(conn.pcb, r)
+				if conn.state == connIdle {
+					conn.state = connReady
+					c.shuffle = append(c.shuffle, conn)
+					newReady++
+				}
+			}
+			if newReady > 0 {
+				m.wakeIdle(newReady)
+			}
+		})
+		extra += netCost
+	}
+
+	if len(c.remoteTX) > 0 {
+		ops := c.remoteTX
+		c.remoteTX = nil
+		for _, r := range ops {
+			extra += m.cfg.Costs.TXPerPkt
+			req, at := r, now+extra
+			m.s.At(at, func(end sim.Time) { m.done(req, end) })
+		}
+	}
+
+	// Push back the interrupted application segment by the handler cost.
+	c.appEnd += extra
+	m.s.Cancel(c.appHandle)
+	m.scheduleAppEnd(c)
+}
+
+// stealScan is the idle loop (§5): scan other cores' shuffle queues first,
+// then their raw packet queues, in randomized order. Finding a stealable
+// connection costs StealCost; finding only undrained packets on a core
+// stuck in application code triggers an IPI (when enabled). If nothing is
+// found the core goes idle.
+func (m *zygosModel) stealScan(c *zcore, now sim.Time) {
+	m.s.Rand.Shuffle(len(m.scan), func(i, j int) { m.scan[i], m.scan[j] = m.scan[j], m.scan[i] })
+
+	// Pass 1: shuffle queues.
+	for _, v := range m.scan {
+		victim := m.cores[v]
+		if victim == c || len(victim.shuffle) == 0 {
+			continue
+		}
+		conn := victim.shuffle[0]
+		victim.shuffle = victim.shuffle[1:]
+		c.state = coreKernel
+		m.s.At(now+m.cfg.Costs.StealCost, func(at sim.Time) {
+			m.activate(c, conn, at)
+		})
+		return
+	}
+
+	// Pass 2: raw packet queues of cores that cannot drain them.
+	if m.cfg.Interrupts {
+		for _, v := range m.scan {
+			victim := m.cores[v]
+			if victim == c || victim.ring.Len() == 0 {
+				continue
+			}
+			if victim.state == coreApp && !victim.ipiBound {
+				c.state = coreKernel
+				m.sendIPI(victim, now)
+				m.s.At(now+m.cfg.Costs.IPISendCost, func(at sim.Time) { m.step(c, at) })
+				return
+			}
+		}
+	}
+
+	c.state = coreIdle
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zygos/internal/dataplane"
+)
+
+// AblationSteal quantifies the design-space sensitivity DESIGN.md §6
+// calls out: how ZygOS's max load @ SLO(10×S̄) for exponential 10µs tasks
+// degrades as the stealing and interrupt machinery gets more expensive.
+// It answers "how cheap do steals/IPIs have to be for work conservation
+// to pay off?" — the tradeoff §7 of the paper discusses qualitatively.
+func AblationSteal(opt Options) Result {
+	res := Result{
+		ID:    "ablation",
+		Title: "ZygOS sensitivity to steal and IPI costs (exp, S̄=10µs, SLO 100µs)",
+	}
+	const mean = 10000
+	requests := opt.requests(40000, 150000)
+	d := distByName("exponential", mean)
+
+	maxLoad := func(costs dataplane.CostModel, interrupts bool) float64 {
+		cfg := dataplane.Config{
+			System:     dataplane.Zygos,
+			Service:    d,
+			RatePerSec: 1,
+			Requests:   requests,
+			Warmup:     requests / 10,
+			Seed:       opt.Seed + 20,
+			Interrupts: interrupts,
+			Costs:      costs,
+		}
+		return dataplane.MaxLoadAtSLO(cfg, 10*mean, 0.05, 0.99, opt.bisectIters())
+	}
+
+	stealCosts := gridI(opt,
+		[]int64{400, 3200},
+		[]int64{100, 400, 800, 1600, 3200},
+		[]int64{100, 200, 400, 800, 1600, 3200, 6400})
+	t1 := Table{
+		Title:  "steal cost sweep (IPIs on, default IPI costs)",
+		Header: []string{"steal cost (ns)", "max load @ SLO"},
+	}
+	for _, sc := range stealCosts {
+		c := dataplane.DefaultCosts()
+		c.StealCost = sc
+		t1.Rows = append(t1.Rows, []string{fmt.Sprint(sc), f3(maxLoad(c, true))})
+	}
+	res.Tables = append(res.Tables, t1)
+
+	ipiLats := gridI(opt,
+		[]int64{800, 6400},
+		[]int64{200, 800, 1600, 3200, 6400},
+		[]int64{200, 400, 800, 1600, 3200, 6400, 12800})
+	t2 := Table{
+		Title:  "IPI delivery latency sweep (default steal cost)",
+		Header: []string{"IPI latency (ns)", "max load @ SLO"},
+	}
+	for _, il := range ipiLats {
+		c := dataplane.DefaultCosts()
+		c.IPILatency = il
+		t2.Rows = append(t2.Rows, []string{fmt.Sprint(il), f3(maxLoad(c, true))})
+	}
+	res.Tables = append(res.Tables, t2)
+
+	// The architecture-level ablations for reference: interrupts off, and
+	// the partitioned baseline (IX B=1) as the "no shuffle layer" floor.
+	t3 := Table{
+		Title:  "architecture ablations (default costs)",
+		Header: []string{"variant", "max load @ SLO"},
+	}
+	t3.Rows = append(t3.Rows, []string{"zygos", f3(maxLoad(dataplane.DefaultCosts(), true))})
+	t3.Rows = append(t3.Rows, []string{"zygos-no-interrupts", f3(maxLoad(dataplane.DefaultCosts(), false))})
+	ixCfg := dataplane.Config{
+		System:     dataplane.IX,
+		Service:    d,
+		RatePerSec: 1,
+		Requests:   requests,
+		Warmup:     requests / 10,
+		Seed:       opt.Seed + 20,
+		Batch:      1,
+		Interrupts: true,
+	}
+	t3.Rows = append(t3.Rows, []string{"no stealing (ix B=1)",
+		f3(dataplane.MaxLoadAtSLO(ixCfg, 10*mean, 0.05, 0.99, opt.bisectIters()))})
+	res.Tables = append(res.Tables, t3)
+
+	res.Notes = append(res.Notes,
+		"expected: max load degrades smoothly with steal cost and IPI latency, and collapses toward the partitioned floor when stealing machinery costs approach the task size")
+	return res
+}

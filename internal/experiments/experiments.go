@@ -1,0 +1,149 @@
+// Package experiments regenerates every table and figure of the ZygOS
+// paper's evaluation (§2.3 Figure 2; §3.4 Figure 3; §6.1 Figures 6-8;
+// §6.2 Figure 9; §6.3 Figures 10a/10b and Table 1; §7 Figure 11) from
+// this repository's simulators and applications. Each generator returns
+// structured series that print as aligned tables; EXPERIMENTS.md records
+// the paper-vs-measured comparison.
+//
+// Two parameter sets exist: the default "quick" set keeps a full
+// reproduction under a few minutes on a laptop; Options.Full selects the
+// dense grids and larger sample counts (set ZYGOS_FULL=1 for the CLI and
+// benchmarks).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Options control experiment fidelity.
+type Options struct {
+	// Full selects dense sweeps and large sample counts.
+	Full bool
+	// Tiny shrinks grids and sample counts to smoke-test size; meant for
+	// unit tests, not for producing meaningful numbers.
+	Tiny bool
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+func (o Options) requests(quick, full int) int {
+	switch {
+	case o.Tiny:
+		// Tail estimation and saturation detection need a floor: shorter
+		// runs make overloaded systems look healthy (the queue never has
+		// time to build).
+		n := quick / 2
+		if n < 20000 {
+			n = 20000
+		}
+		return n
+	case o.Full:
+		return full
+	default:
+		return quick
+	}
+}
+
+// grid picks a sweep grid by fidelity.
+func gridF(o Options, tiny, quick, full []float64) []float64 {
+	switch {
+	case o.Tiny:
+		return tiny
+	case o.Full:
+		return full
+	default:
+		return quick
+	}
+}
+
+func gridI(o Options, tiny, quick, full []int64) []int64 {
+	switch {
+	case o.Tiny:
+		return tiny
+	case o.Full:
+		return full
+	default:
+		return quick
+	}
+}
+
+// bisectIters is the bisection depth for max-load solvers.
+func (o Options) bisectIters() int {
+	if o.Tiny {
+		return 4
+	}
+	return 7
+}
+
+// Table is one printable result table (one figure panel or table).
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []Table
+	Notes  []string
+}
+
+// Render writes the result as aligned text.
+func (r Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		fmt.Fprintf(w, "\n--- %s ---\n", t.Title)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, strings.Join(t.Header, "\t"))
+		for _, row := range t.Rows {
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+		tw.Flush()
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Generator runs one experiment.
+type Generator func(Options) Result
+
+// Registry maps experiment ids to their generators, in paper order.
+var Registry = []struct {
+	ID  string
+	Gen Generator
+}{
+	{"fig2", Fig2},
+	{"fig3", Fig3},
+	{"fig6", Fig6},
+	{"fig7", Fig7},
+	{"fig8", Fig8},
+	{"fig9", Fig9},
+	{"fig10a", Fig10a},
+	{"fig10b", Fig10b},
+	{"table1", Table1},
+	{"fig11", Fig11},
+	{"ablation", AblationSteal},
+}
+
+// ByID returns the generator for an experiment id.
+func ByID(id string) (Generator, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Gen, true
+		}
+	}
+	return nil, false
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// usToStr renders nanoseconds as microseconds.
+func usToStr(ns int64) string { return fmt.Sprintf("%.1f", float64(ns)/1e3) }

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"zygos/internal/stats"
+	"zygos/internal/tpcc"
+)
+
+func tiny() Options { return Options{Tiny: true, Seed: 1} }
+
+// Every generator must produce a well-formed result that renders.
+func TestAllGeneratorsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test is slow")
+	}
+	for _, e := range Registry {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Gen(tiny())
+			if res.ID != e.ID {
+				t.Fatalf("result ID %q, want %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range res.Tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %q has no rows", tb.Title)
+				}
+				for _, row := range tb.Rows {
+					if len(row) != len(tb.Header) {
+						t.Fatalf("table %q row width %d != header %d", tb.Title, len(row), len(tb.Header))
+					}
+				}
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatal("Render produced nothing")
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig2"); !ok {
+		t.Fatal("fig2 must be registered")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}
+
+// The paper-calibrated mixture must land on the paper's Silo profile
+// (§6.3.2: mean 33µs, median 20µs, p99 203µs).
+func TestPaperSiloMixCalibration(t *testing.T) {
+	d := PaperSiloMix()
+	rng := rand.New(rand.NewSource(7))
+	s := stats.NewSample(400000)
+	for i := 0; i < 400000; i++ {
+		s.Add(d.Sample(rng))
+	}
+	mean := s.Mean() / 1e3
+	p50 := float64(s.Percentile(0.5)) / 1e3
+	p99 := float64(s.Percentile(0.99)) / 1e3
+	if math.Abs(mean-33) > 3 {
+		t.Errorf("mixture mean %.1fµs, want 33±3", mean)
+	}
+	if math.Abs(p50-20) > 3 {
+		t.Errorf("mixture p50 %.1fµs, want 20±3", p50)
+	}
+	if math.Abs(p99-203) > 40 {
+		t.Errorf("mixture p99 %.1fµs, want 203±40", p99)
+	}
+}
+
+// The measured Go Silo must show the paper's qualitative shape: Delivery
+// and StockLevel are the slow transaction types.
+func TestMeasuredSiloShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement is slow")
+	}
+	perType, mix, tps := MeasureSilo(tiny())
+	if tps <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	if mix.Len() < 1000 {
+		t.Fatalf("only %d samples", mix.Len())
+	}
+	fast := perType[tpcc.TxPayment].Percentile(0.5)
+	slow := perType[tpcc.TxDelivery].Percentile(0.5)
+	if slow <= fast {
+		t.Errorf("Delivery median %dns should exceed Payment median %dns", slow, fast)
+	}
+}
+
+// Table 1 must reproduce the paper's ordering: zygos > ix > linux in max
+// load, with zygos's 90%-load tail under ix's.
+func TestTable1Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table1 is slow")
+	}
+	res := Table1(Options{Tiny: true, Seed: 3})
+	tb := res.Tables[0]
+	get := func(row int) float64 {
+		v, err := strconv.ParseFloat(tb.Rows[row][1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	linux, ix, zygos := get(0), get(1), get(2)
+	if !(zygos > ix && ix > linux) {
+		t.Errorf("max loads linux=%v ix=%v zygos=%v: want zygos > ix > linux", linux, ix, zygos)
+	}
+	speedup := zygos / linux
+	if speedup < 1.2 || speedup > 2.6 {
+		t.Errorf("zygos speedup over linux %.2fx outside plausible band (paper: 1.63x)", speedup)
+	}
+}
+
+func TestFig8StealShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 is slow")
+	}
+	res := Fig8(tiny())
+	rows := res.Tables[0].Rows
+	// Tiny grid is [0.25, 0.7, 0.98]: mid must exceed both ends for the
+	// with-interrupt series (column 2).
+	parse := func(r int) float64 {
+		v, err := strconv.ParseFloat(rows[r][2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	low, mid, high := parse(0), parse(1), parse(2)
+	if mid <= low || mid <= high {
+		t.Errorf("steal rate not inverted-U: %.1f %.1f %.1f", low, mid, high)
+	}
+}

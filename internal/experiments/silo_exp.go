@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"zygos/internal/dataplane"
+	"zygos/internal/dist"
+	"zygos/internal/silo"
+	"zygos/internal/stats"
+	"zygos/internal/tpcc"
+)
+
+// PaperSiloMix returns the paper-calibrated TPC-C service-time
+// distribution: a mixture of per-transaction-type lognormals whose
+// composite statistics match Silo's measured profile in §6.3.2 — mix
+// mean ≈ 33µs, median ≈ 20µs, p99 ≈ 203µs — with the standard
+// 45/43/4/4/4 type weights. It drives the Figure 10b/Table 1 dataplane
+// comparison at the paper's operating point regardless of how fast this
+// machine runs the Go Silo.
+func PaperSiloMix() dist.Dist {
+	mk := func(meanUS float64, sigma float64) dist.Dist {
+		return dist.NewLognormalMean(meanUS*1000, sigma)
+	}
+	m, err := dist.NewMixture("tpcc-paper",
+		[]dist.Dist{
+			mk(34, 0.55),  // NewOrder
+			mk(14, 0.60),  // Payment
+			mk(14, 0.60),  // OrderStatus
+			mk(160, 0.45), // Delivery
+			mk(110, 0.50), // StockLevel
+		},
+		[]float64{0.45, 0.43, 0.04, 0.04, 0.04})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// MeasureSilo runs the Go Silo+TPC-C closed-loop on this machine (as the
+// paper does with GC disabled and no network, §6.3.2) and returns
+// per-transaction-type service-time samples plus the mix.
+func MeasureSilo(opt Options) (perType map[tpcc.TxType]*stats.Sample, mix *stats.Sample, tps float64) {
+	cfg := tpcc.Config{
+		Warehouses:           1,
+		DistrictsPerWH:       10,
+		CustomersPerDistrict: 300,
+		Items:                2000,
+		InitialOrders:        150,
+	}
+	iters := opt.requests(4000, 40000)
+	if opt.Full {
+		cfg.CustomersPerDistrict = 3000
+		cfg.Items = 100000
+		cfg.InitialOrders = 3000
+	}
+	db := silo.NewDB(10 * time.Millisecond)
+	defer db.Close()
+	store, err := tpcc.Load(db, cfg, opt.Seed+9)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 10))
+	perType = make(map[tpcc.TxType]*stats.Sample)
+	mix = stats.NewSample(iters)
+	begin := time.Now()
+	for i := 0; i < iters; i++ {
+		tt := tpcc.Pick(rng)
+		start := time.Now()
+		err := store.Run(0, rng, tt)
+		lat := time.Since(start).Nanoseconds()
+		if err != nil && !errors.Is(err, silo.ErrUserAbort) {
+			panic(err)
+		}
+		s := perType[tt]
+		if s == nil {
+			s = stats.NewSample(1024)
+			perType[tt] = s
+		}
+		s.Add(lat)
+		mix.Add(lat)
+	}
+	tps = float64(iters) / time.Since(begin).Seconds()
+	return perType, mix, tps
+}
+
+// Fig10a reproduces Figure 10a: the service-time distribution of the
+// TPC-C transaction types, both measured from this repository's Go Silo
+// and from the paper-calibrated mixture used to drive Figure 10b.
+func Fig10a(opt Options) Result {
+	res := Result{
+		ID:    "fig10a",
+		Title: "TPC-C service time CCDF per transaction type",
+	}
+	perType, mix, tps := MeasureSilo(opt)
+
+	t := Table{
+		Title:  "measured on this machine (Go Silo, closed loop, GC-by-epoch disabled)",
+		Header: []string{"txn", "count", "mean(µs)", "p50(µs)", "p90(µs)", "p99(µs)", "max(µs)"},
+	}
+	order := []tpcc.TxType{tpcc.TxOrderStatus, tpcc.TxPayment, tpcc.TxNewOrder, tpcc.TxStockLevel, tpcc.TxDelivery}
+	for _, tt := range order {
+		s := perType[tt]
+		if s == nil {
+			continue
+		}
+		sum := s.Summarize()
+		t.Rows = append(t.Rows, []string{
+			tt.String(), fmt.Sprint(sum.Count), f2(sum.Mean / 1e3),
+			usToStr(sum.P50), usToStr(sum.P90), usToStr(sum.P99), usToStr(sum.Max),
+		})
+	}
+	msum := mix.Summarize()
+	t.Rows = append(t.Rows, []string{
+		"Mix", fmt.Sprint(msum.Count), f2(msum.Mean / 1e3),
+		usToStr(msum.P50), usToStr(msum.P90), usToStr(msum.P99), usToStr(msum.Max),
+	})
+	res.Tables = append(res.Tables, t)
+
+	// The calibrated mixture, sampled, against the paper's numbers.
+	paper := PaperSiloMix()
+	rng := rand.New(rand.NewSource(opt.Seed + 11))
+	samples := opt.requests(200000, 1000000)
+	ps := stats.NewSample(samples)
+	for i := 0; i < samples; i++ {
+		ps.Add(paper.Sample(rng))
+	}
+	sum := ps.Summarize()
+	t2 := Table{
+		Title:  "paper-calibrated mixture (drives fig10b/table1)",
+		Header: []string{"source", "mean(µs)", "p50(µs)", "p99(µs)"},
+		Rows: [][]string{
+			{"mixture", f2(sum.Mean / 1e3), usToStr(sum.P50), usToStr(sum.P99)},
+			{"paper (§6.3.2)", "33.0", "20.0", "203.0"},
+		},
+	}
+	res.Tables = append(res.Tables, t2)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("Go Silo closed-loop rate on this machine: %.0f TPS single-worker (paper: 460 KTPS on 16 hyperthreads)", tps),
+		"shape anchor: Delivery and StockLevel are the slow modes; Payment/OrderStatus the fast ones; the mix is multi-modal")
+	return res
+}
+
+// tpccCosts is the cost model at the TPC-C operating point. TPC-C RPCs
+// are hundreds of bytes (multi-packet, marshalled rows), so per-event
+// protocol and dispatch work is an order of magnitude above the tiny
+// synthetic RPCs of §6.1. The anchors are the paper's own Table 1
+// light-load tails: Linux p99 at 50% of its max load is already 310µs
+// against a 203µs service p99 — roughly 100µs of non-queueing tail noise
+// — and ZygOS's 344 KTPS ceiling implies ~13µs of per-transaction
+// overhead plus residual imbalance on 16 cores.
+func tpccCosts() dataplane.CostModel {
+	c := dataplane.DefaultCosts()
+	c.NetStackFixed = 1200
+	c.NetStackPerPkt = 1500
+	c.TXPerPkt = 1200
+	c.AppDispatch = 3000
+	c.ZygosInterleave = 800
+	c.StealCost = 800
+
+	// The paper's Linux ceiling (211 KTPS on 16 cores with a 33µs mix)
+	// implies ~40µs of kernel-path work per RPC at TPC-C message sizes:
+	// epoll_wait + read + write, multi-segment TCP RX/TX in softirq,
+	// wakeups and shared-pool contention.
+	c.SyscallFixed = 18000
+	c.SyscallJitter = 8000
+	c.SyscallSigma = 1.0
+	c.WakeLatency = 4000
+	c.FloatingContention = 6000
+	c.HiccupProb = 0.008
+	c.HiccupCost = 100000
+	return c
+}
+
+// fig10bSystems is the shared system list for Figure 10b and Table 1.
+func fig10bSystems() []struct {
+	name  string
+	sys   dataplane.System
+	batch int
+} {
+	return []struct {
+		name  string
+		sys   dataplane.System
+		batch int
+	}{
+		{"linux", dataplane.LinuxFloating, 64},
+		{"ix", dataplane.IX, 1},
+		{"zygos", dataplane.Zygos, 64},
+	}
+}
+
+// Fig10b reproduces Figure 10b: p99 end-to-end latency versus throughput
+// for Silo/TPC-C served by Linux, IX and ZygOS, driven by the calibrated
+// service-time mixture, with the paper's 1000µs SLO.
+func Fig10b(opt Options) Result {
+	res := Result{
+		ID:    "fig10b",
+		Title: "Silo TPC-C: p99 latency vs throughput (SLO 1000µs at p99)",
+	}
+	service := PaperSiloMix()
+	satRate := 16.0 / service.Mean() * 1e9 // ≈485 KTPS zero-overhead
+	loads := gridF(opt,
+		[]float64{0.35, 0.7},
+		[]float64{0.2, 0.35, 0.5, 0.6, 0.7, 0.8, 0.9},
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9})
+	requests := opt.requests(40000, 200000)
+
+	t := Table{
+		Title:  "curves (achieved-KRPS/p99-µs; * marks drops)",
+		Header: []string{"load", "linux", "ix", "zygos"},
+	}
+	curves := map[string][]curvePoint{}
+	for _, sc := range fig10bSystems() {
+		var pts []curvePoint
+		for _, load := range loads {
+			r := dataplane.Run(dataplane.Config{
+				System:     sc.sys,
+				Service:    service,
+				RatePerSec: load * satRate,
+				Requests:   requests,
+				Warmup:     requests / 10,
+				Seed:       opt.Seed + 12,
+				Batch:      sc.batch,
+				Interrupts: true,
+				Costs:      tpccCosts(),
+			})
+			pts = append(pts, curvePoint{mrps: r.AchievedRPS / 1e6, p99: r.Latencies.P99(), ok: r.Dropped == 0})
+		}
+		curves[sc.name] = pts
+	}
+	for i, load := range loads {
+		row := []string{f2(load)}
+		for _, sc := range fig10bSystems() {
+			p := curves[sc.name][i]
+			s := fmt.Sprintf("%.0f/%s", p.mrps*1e3, usToStr(p.p99))
+			if !p.ok {
+				s += "*"
+			}
+			row = append(row, s)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"paper anchors: ZygOS sustains the SLO nearly to saturation; IX's tail detaches early (partitioned queues); Linux saturates first (syscall overheads)")
+	return res
+}
+
+// Table1 reproduces Table 1: maximum throughput under the 1000µs SLO with
+// speedups over Linux, and tail latency at ~50/75/90% of each system's
+// own maximum load (ratios are to the 203µs service-time p99).
+func Table1(opt Options) Result {
+	res := Result{
+		ID:    "table1",
+		Title: "Silo TPC-C maximum load @ SLO(1000µs) and tail at fractional loads",
+	}
+	service := PaperSiloMix()
+	satRate := 16.0 / service.Mean() * 1e9
+	requests := opt.requests(40000, 150000)
+	const sloNS = 1000 * 1000
+	const serviceP99US = 203.0
+
+	type rowData struct {
+		name    string
+		maxLoad float64
+		ktps    float64
+		tails   [3]int64 // p99 at 50/75/90% of own max load
+	}
+	var rows []rowData
+	for _, sc := range fig10bSystems() {
+		cfg := dataplane.Config{
+			System:     sc.sys,
+			Service:    service,
+			RatePerSec: 1,
+			Requests:   requests,
+			Warmup:     requests / 10,
+			Seed:       opt.Seed + 13,
+			Batch:      sc.batch,
+			Interrupts: true,
+			Costs:      tpccCosts(),
+		}
+		maxLoad := dataplane.MaxLoadAtSLO(cfg, sloNS, 0.05, 0.99, opt.bisectIters())
+		rd := rowData{name: sc.name, maxLoad: maxLoad, ktps: maxLoad * satRate / 1e3}
+		for i, frac := range []float64{0.5, 0.75, 0.9} {
+			cfg.RatePerSec = frac * maxLoad * satRate
+			r := dataplane.Run(cfg)
+			rd.tails[i] = r.Latencies.P99()
+		}
+		rows = append(rows, rd)
+	}
+
+	linuxKTPS := rows[0].ktps
+	t := Table{
+		Title: "summary",
+		Header: []string{"system", "max load@SLO (KTPS)", "speedup",
+			"p99@50% (µs, ×svc-p99)", "p99@75%", "p99@90%"},
+	}
+	for _, rd := range rows {
+		cell := func(i int) string {
+			us := float64(rd.tails[i]) / 1e3
+			return fmt.Sprintf("%.0f (%.1fx)", us, us/serviceP99US)
+		}
+		t.Rows = append(t.Rows, []string{
+			rd.name,
+			fmt.Sprintf("%.0f", rd.ktps),
+			fmt.Sprintf("%.2fx", rd.ktps/linuxKTPS),
+			cell(0), cell(1), cell(2),
+		})
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"paper: Linux 211 KTPS (1.00x), IX 267 KTPS (1.26x), ZygOS 344 KTPS (1.63x)",
+		"paper tails: ZygOS 1.3x/1.4x/1.6x of the 203µs service p99; IX 1.9x/2.6x/3.8x; Linux 1.5x/1.6x/1.8x")
+	return res
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"zygos/internal/dataplane"
+)
+
+// Fig8 reproduces Figure 8: the normalized steal rate (steals per
+// application event) versus throughput for exponential service with
+// S̄ = 25µs, with and without inter-processor interrupts.
+func Fig8(opt Options) Result {
+	res := Result{
+		ID:    "fig8",
+		Title: "steals per event vs throughput (exponential, S̄=25µs)",
+	}
+	loads := gridF(opt,
+		[]float64{0.25, 0.7, 0.98},
+		[]float64{0.1, 0.25, 0.4, 0.55, 0.7, 0.8, 0.9, 0.98},
+		[]float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.77, 0.85, 0.9, 0.95, 0.99})
+	requests := opt.requests(40000, 200000)
+	const mean = 25000
+	d := distByName("exponential", mean)
+	satRate := 16.0 / d.Mean() * 1e9
+
+	t := Table{
+		Title:  "steal rate",
+		Header: []string{"load", "MRPS", "zygos steals/event %", "zygos IPIs/event", "no-int steals/event %"},
+	}
+	for _, load := range loads {
+		mk := func(interrupts bool) dataplane.Result {
+			return dataplane.Run(dataplane.Config{
+				System:     dataplane.Zygos,
+				Service:    d,
+				RatePerSec: load * satRate,
+				Requests:   requests,
+				Warmup:     requests / 10,
+				Seed:       opt.Seed + 8,
+				Interrupts: interrupts,
+			})
+		}
+		with := mk(true)
+		without := mk(false)
+		ipiPerEvent := 0.0
+		if with.Events > 0 {
+			ipiPerEvent = float64(with.IPIs) / float64(with.Events)
+		}
+		t.Rows = append(t.Rows, []string{
+			f2(load),
+			f3(with.AchievedRPS / 1e6),
+			f2(with.StealFraction() * 100),
+			f2(ipiPerEvent),
+			f2(without.StealFraction() * 100),
+		})
+	}
+	res.Tables = append(res.Tables, t)
+	res.Notes = append(res.Notes,
+		"paper anchors: cooperative (no-interrupt) steal rate peaks at ~33-35%; interrupts raise the peak substantially",
+		"steals vanish at saturation as every core stays busy with its own queue")
+	return res
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"zygos/internal/dist"
+	"zygos/internal/queueing"
+)
+
+// theoryMean is the unit service time used for Figure 2 (S̄ = 1 in the
+// paper; 1 µs here, with latencies reported normalized to S̄).
+const theoryMean = 1000 // ns
+
+// Fig2 reproduces Figure 2: 99th-percentile tail latency (normalized to
+// S̄) versus load for the four queueing models and four service-time
+// distributions, n = 16.
+func Fig2(opt Options) Result {
+	res := Result{
+		ID:    "fig2",
+		Title: "p99 latency vs load for four queueing models (n=16, S̄=1)",
+	}
+	var fullLoads []float64
+	for l := 0.05; l < 0.99; l += 0.025 {
+		fullLoads = append(fullLoads, l)
+	}
+	loads := gridF(opt,
+		[]float64{0.3, 0.7, 0.9},
+		[]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95},
+		fullLoads)
+	requests := opt.requests(60000, 400000)
+
+	models := []struct {
+		name string
+		pol  queueing.Policy
+		arr  queueing.Arrangement
+	}{
+		{"16xM/G/1/PS", queueing.PS, queueing.Partitioned},
+		{"16xM/G/1/FCFS", queueing.FCFS, queueing.Partitioned},
+		{"M/G/16/FCFS", queueing.FCFS, queueing.Centralized},
+		{"M/G/16/PS", queueing.PS, queueing.Centralized},
+	}
+	for _, d := range fig2Dists() {
+		t := Table{
+			Title:  d.Name(),
+			Header: []string{"load", models[0].name, models[1].name, models[2].name, models[3].name},
+		}
+		for _, load := range loads {
+			row := []string{f2(load)}
+			for _, m := range models {
+				r := queueing.Run(queueing.Config{
+					Servers:     16,
+					Policy:      m.pol,
+					Arrangement: m.arr,
+					Service:     d,
+					Load:        load,
+					Requests:    requests,
+					Warmup:      requests / 10,
+					Seed:        opt.Seed + 1,
+				})
+				row = append(row, f2(float64(r.Latencies.P99())/theoryMean))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		res.Tables = append(res.Tables, t)
+	}
+	res.Notes = append(res.Notes,
+		"latencies are normalized to S̄; compare against paper Figure 2 panels (a)-(d)",
+		"expected floors: det=1.0, exp≈4.6, bimodal-1≈5.5, bimodal-2≈0.5 at low load")
+	return res
+}
+
+func fig2Dists() []dist.Dist {
+	return []dist.Dist{
+		dist.Deterministic{V: theoryMean},
+		dist.Exponential{MeanNS: theoryMean},
+		dist.NewBimodal1(theoryMean),
+		dist.NewBimodal2(theoryMean),
+	}
+}
+
+// idealMaxLoad computes the zero-overhead bound on max load at the
+// "p99 ≤ slo×S̄" SLO for the centralized or partitioned FCFS model, by
+// bisection over the simulated queueing model (the grey lines of Figures
+// 3 and 7).
+func idealMaxLoad(d dist.Dist, arrangement queueing.Arrangement, sloMult float64, requests, iters int, seed int64) float64 {
+	slo := int64(sloMult * d.Mean())
+	eval := func(load float64) int64 {
+		r := queueing.Run(queueing.Config{
+			Servers:     16,
+			Policy:      queueing.FCFS,
+			Arrangement: arrangement,
+			Service:     d,
+			Load:        load,
+			Requests:    requests,
+			Warmup:      requests / 10,
+			Seed:        seed,
+		})
+		return r.Latencies.P99()
+	}
+	return queueing.MaxLoadAtSLO(eval, slo, 0.05, 0.99, iters)
+}
+
+func distByName(name string, meanNS int64) dist.Dist {
+	d, err := dist.ByName(name, meanNS)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return d
+}

@@ -1,0 +1,237 @@
+// Package kv is a memcached-like in-memory key-value store: a sharded
+// hash table with per-shard LRU eviction under a byte budget, plus the
+// compact request/reply encoding served over the runtime. It is the
+// "tiny task" application of the paper's §6.2 (memcached ETC/USR), where
+// per-request work is <2µs and dataplane overheads dominate.
+package kv
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"sync"
+)
+
+// Op codes of the wire encoding: [op:1][klen:2][key][value].
+const (
+	OpGet byte = iota
+	OpSet
+	OpDelete
+)
+
+// Reply codes: [code:1][value].
+const (
+	ReplyHit byte = iota
+	ReplyMiss
+	ReplyStored
+	ReplyDeleted
+	ReplyNotFound
+	ReplyError
+)
+
+// ErrBadRequest reports a malformed request payload.
+var ErrBadRequest = errors.New("kv: malformed request")
+
+// EncodeGet builds a GET request payload.
+func EncodeGet(buf []byte, key []byte) []byte {
+	buf = append(buf, OpGet)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	return append(buf, key...)
+}
+
+// EncodeSet builds a SET request payload.
+func EncodeSet(buf []byte, key, value []byte) []byte {
+	buf = append(buf, OpSet)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	return append(buf, value...)
+}
+
+// EncodeDelete builds a DELETE request payload.
+func EncodeDelete(buf []byte, key []byte) []byte {
+	buf = append(buf, OpDelete)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	return append(buf, key...)
+}
+
+// DecodeRequest splits a request payload into op, key and value.
+func DecodeRequest(p []byte) (op byte, key, value []byte, err error) {
+	if len(p) < 3 {
+		return 0, nil, nil, ErrBadRequest
+	}
+	op = p[0]
+	klen := int(binary.LittleEndian.Uint16(p[1:3]))
+	if len(p) < 3+klen {
+		return 0, nil, nil, ErrBadRequest
+	}
+	return op, p[3 : 3+klen], p[3+klen:], nil
+}
+
+// Store is a sharded LRU cache.
+type Store struct {
+	shards []*shard
+	mask   uint32
+}
+
+type entry struct {
+	key   string
+	value []byte
+}
+
+type shard struct {
+	mu       sync.Mutex
+	items    map[string]*list.Element
+	lru      *list.List // front = most recent
+	bytes    int
+	maxBytes int
+	hits     uint64
+	misses   uint64
+	evicts   uint64
+}
+
+// NewStore creates a store with the given shard count (rounded up to a
+// power of two) and per-shard byte budget.
+func NewStore(shards, maxBytesPerShard int) *Store {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	if maxBytesPerShard <= 0 {
+		maxBytesPerShard = 64 << 20
+	}
+	s := &Store{mask: uint32(n - 1)}
+	for i := 0; i < n; i++ {
+		s.shards = append(s.shards, &shard{
+			items:    make(map[string]*list.Element),
+			lru:      list.New(),
+			maxBytes: maxBytesPerShard,
+		})
+	}
+	return s
+}
+
+func (s *Store) shardFor(key []byte) *shard {
+	h := fnv.New32a()
+	h.Write(key)
+	return s.shards[h.Sum32()&s.mask]
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[string(key)]
+	if !ok {
+		sh.misses++
+		return nil, false
+	}
+	sh.hits++
+	sh.lru.MoveToFront(el)
+	v := el.Value.(*entry).value
+	return append([]byte(nil), v...), true
+}
+
+// Set stores a copy of value under key, evicting LRU entries as needed.
+func (s *Store) Set(key, value []byte) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vcopy := append([]byte(nil), value...)
+	if el, ok := sh.items[string(key)]; ok {
+		e := el.Value.(*entry)
+		sh.bytes += len(vcopy) - len(e.value)
+		e.value = vcopy
+		sh.lru.MoveToFront(el)
+	} else {
+		e := &entry{key: string(key), value: vcopy}
+		sh.items[e.key] = sh.lru.PushFront(e)
+		sh.bytes += len(e.key) + len(vcopy)
+	}
+	for sh.bytes > sh.maxBytes && sh.lru.Len() > 1 {
+		oldest := sh.lru.Back()
+		e := oldest.Value.(*entry)
+		sh.lru.Remove(oldest)
+		delete(sh.items, e.key)
+		sh.bytes -= len(e.key) + len(e.value)
+		sh.evicts++
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key []byte) bool {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[string(key)]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*entry)
+	sh.lru.Remove(el)
+	delete(sh.items, e.key)
+	sh.bytes -= len(e.key) + len(e.value)
+	return true
+}
+
+// Len returns the total number of stored entries.
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats aggregates hit/miss/eviction counters.
+type CacheStats struct {
+	Hits, Misses, Evictions uint64
+	Bytes                   int
+}
+
+// Stats returns aggregate counters across shards.
+func (s *Store) Stats() CacheStats {
+	var cs CacheStats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		cs.Hits += sh.hits
+		cs.Misses += sh.misses
+		cs.Evictions += sh.evicts
+		cs.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return cs
+}
+
+// Serve handles one encoded request and returns the encoded reply. It is
+// the application handler mounted on the runtime.
+func (s *Store) Serve(req []byte) []byte {
+	op, key, value, err := DecodeRequest(req)
+	if err != nil {
+		return []byte{ReplyError}
+	}
+	switch op {
+	case OpGet:
+		v, ok := s.Get(key)
+		if !ok {
+			return []byte{ReplyMiss}
+		}
+		return append([]byte{ReplyHit}, v...)
+	case OpSet:
+		s.Set(key, value)
+		return []byte{ReplyStored}
+	case OpDelete:
+		if s.Delete(key) {
+			return []byte{ReplyDeleted}
+		}
+		return []byte{ReplyNotFound}
+	default:
+		return []byte{ReplyError}
+	}
+}

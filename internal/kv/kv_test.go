@@ -1,0 +1,178 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(key, value []byte) bool {
+		if len(key) > 65535 {
+			key = key[:65535]
+		}
+		p := EncodeSet(nil, key, value)
+		op, k, v, err := DecodeRequest(p)
+		return err == nil && op == OpSet && bytes.Equal(k, key) && bytes.Equal(v, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	for _, p := range [][]byte{nil, {OpGet}, {OpGet, 10, 0, 'a'}} {
+		if _, _, _, err := DecodeRequest(p); err == nil {
+			t.Errorf("payload %v must fail to decode", p)
+		}
+	}
+}
+
+func TestGetSetDelete(t *testing.T) {
+	s := NewStore(4, 1<<20)
+	if _, ok := s.Get([]byte("k")); ok {
+		t.Fatal("empty store must miss")
+	}
+	s.Set([]byte("k"), []byte("v1"))
+	v, ok := s.Get([]byte("k"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("got %q %v", v, ok)
+	}
+	s.Set([]byte("k"), []byte("v2"))
+	if v, _ := s.Get([]byte("k")); string(v) != "v2" {
+		t.Fatal("update did not take")
+	}
+	if !s.Delete([]byte("k")) || s.Delete([]byte("k")) {
+		t.Fatal("delete semantics broken")
+	}
+	if s.Len() != 0 {
+		t.Fatal("Len after delete")
+	}
+}
+
+func TestValueCopied(t *testing.T) {
+	s := NewStore(1, 1<<20)
+	val := []byte("abc")
+	s.Set([]byte("k"), val)
+	val[0] = 'z'
+	got, _ := s.Get([]byte("k"))
+	if string(got) != "abc" {
+		t.Fatal("store must copy values on Set")
+	}
+	got[0] = 'q'
+	got2, _ := s.Get([]byte("k"))
+	if string(got2) != "abc" {
+		t.Fatal("store must copy values on Get")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// One shard, tiny budget: inserting beyond the budget evicts the
+	// least recently used entries.
+	s := NewStore(1, 64)
+	for i := 0; i < 10; i++ {
+		s.Set([]byte(fmt.Sprintf("key%02d", i)), bytes.Repeat([]byte{'v'}, 10))
+	}
+	if s.Len() >= 10 {
+		t.Fatalf("no eviction happened: %d entries", s.Len())
+	}
+	// The most recent key survives.
+	if _, ok := s.Get([]byte("key09")); !ok {
+		t.Fatal("most recent key evicted")
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("eviction counter not incremented")
+	}
+}
+
+func TestLRUOrderRespectsAccess(t *testing.T) {
+	s := NewStore(1, 40)
+	s.Set([]byte("a"), bytes.Repeat([]byte{'x'}, 15))
+	s.Set([]byte("b"), bytes.Repeat([]byte{'x'}, 15))
+	s.Get([]byte("a")) // refresh a
+	s.Set([]byte("c"), bytes.Repeat([]byte{'x'}, 15))
+	if _, ok := s.Get([]byte("a")); !ok {
+		t.Fatal("recently used key evicted")
+	}
+	if _, ok := s.Get([]byte("b")); ok {
+		t.Fatal("LRU key survived")
+	}
+}
+
+func TestServe(t *testing.T) {
+	s := NewStore(4, 1<<20)
+	if r := s.Serve(EncodeGet(nil, []byte("k"))); r[0] != ReplyMiss {
+		t.Fatalf("miss reply %v", r)
+	}
+	if r := s.Serve(EncodeSet(nil, []byte("k"), []byte("hello"))); r[0] != ReplyStored {
+		t.Fatalf("set reply %v", r)
+	}
+	r := s.Serve(EncodeGet(nil, []byte("k")))
+	if r[0] != ReplyHit || string(r[1:]) != "hello" {
+		t.Fatalf("hit reply %v", r)
+	}
+	if r := s.Serve(EncodeDelete(nil, []byte("k"))); r[0] != ReplyDeleted {
+		t.Fatalf("delete reply %v", r)
+	}
+	if r := s.Serve(EncodeDelete(nil, []byte("k"))); r[0] != ReplyNotFound {
+		t.Fatalf("re-delete reply %v", r)
+	}
+	if r := s.Serve([]byte{}); r[0] != ReplyError {
+		t.Fatalf("malformed reply %v", r)
+	}
+	if r := s.Serve([]byte{99, 0, 0}); r[0] != ReplyError {
+		t.Fatalf("unknown op reply %v", r)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := NewStore(2, 1<<20)
+	s.Set([]byte("k"), []byte("v"))
+	s.Get([]byte("k"))
+	s.Get([]byte("nope"))
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes == 0 {
+		t.Fatal("bytes accounting missing")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(8, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := []byte(fmt.Sprintf("key-%d", i%100))
+				switch i % 3 {
+				case 0:
+					s.Set(key, key)
+				case 1:
+					if v, ok := s.Get(key); ok && !bytes.Equal(v, key) {
+						t.Error("corrupted value")
+						return
+					}
+				default:
+					s.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkServeGet(b *testing.B) {
+	s := NewStore(16, 1<<20)
+	s.Set([]byte("benchkey"), bytes.Repeat([]byte{'v'}, 100))
+	req := EncodeGet(nil, []byte("benchkey"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Serve(req)
+	}
+}

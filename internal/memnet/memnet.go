@@ -1,0 +1,122 @@
+// Package memnet provides an in-process transport for the runtime: a
+// client "connection" whose request frames are delivered straight into the
+// runtime's ingress path and whose replies come back through the normal
+// home-core TX path. It exists so tests, examples and benchmarks can
+// exercise the full scheduling architecture — parser, shuffle queue,
+// stealing, remote syscalls — without sockets.
+package memnet
+
+import (
+	"errors"
+	"sync"
+
+	"zygos/internal/core"
+	"zygos/internal/proto"
+)
+
+// ErrClosed is returned by calls on a closed client connection.
+var ErrClosed = errors.New("memnet: connection closed")
+
+// Transport creates in-memory client connections bound to one runtime.
+type Transport struct {
+	rt *core.Runtime
+}
+
+// NewTransport binds a transport to a runtime.
+func NewTransport(rt *core.Runtime) *Transport {
+	return &Transport{rt: rt}
+}
+
+// ClientConn is one in-memory client connection. It is safe for concurrent
+// use; requests may be pipelined.
+type ClientConn struct {
+	rt     *core.Runtime
+	server *core.Conn
+	disp   *proto.Dispatcher
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// replyWriter delivers the server's reply frames into the client-side
+// dispatcher, standing in for the response path of a socket.
+type replyWriter struct {
+	cc *ClientConn
+}
+
+// WriteReply implements core.ReplyWriter.
+func (w replyWriter) WriteReply(frame []byte) error {
+	return w.cc.disp.Feed(frame)
+}
+
+// Dial creates a new client connection. The server side is registered with
+// the runtime and steered to its home worker by RSS, as any flow would be.
+func (t *Transport) Dial() *ClientConn {
+	cc := &ClientConn{rt: t.rt, disp: proto.NewDispatcher()}
+	cc.server = t.rt.NewConn(replyWriter{cc})
+	return cc
+}
+
+// ServerConn exposes the runtime-side connection, for tests that assert on
+// scheduling state.
+func (c *ClientConn) ServerConn() *core.Conn { return c.server }
+
+// SendAsync issues a request and invokes cb with the reply payload (or an
+// error) exactly once. It is the open-loop primitive the load generator
+// uses.
+func (c *ClientConn) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	id, err := c.disp.Register(func(m proto.Message, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(m.Payload, nil)
+	})
+	if err != nil {
+		return err
+	}
+	frame := proto.AppendFrame(nil, proto.Message{ID: id, Payload: payload})
+	return c.rt.Ingress(c.server, frame)
+}
+
+// Call issues a request and blocks for its reply.
+func (c *ClientConn) Call(payload []byte) ([]byte, error) {
+	type result struct {
+		resp []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	if err := c.SendAsync(payload, func(resp []byte, err error) {
+		ch <- result{resp, err}
+	}); err != nil {
+		return nil, err
+	}
+	r := <-ch
+	return r.resp, r.err
+}
+
+// WriteRaw injects raw bytes into the server-side stream, bypassing
+// framing. Tests use it to exercise malformed input handling.
+func (c *ClientConn) WriteRaw(data []byte) error {
+	return c.rt.Ingress(c.server, data)
+}
+
+// Close tears the connection down: the server side stops accepting
+// ingress and outstanding calls fail with ErrDispatcherClosed.
+func (c *ClientConn) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.rt.CloseConn(c.server)
+	c.disp.Close()
+}

@@ -1,0 +1,163 @@
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"zygos/internal/core"
+	"zygos/internal/proto"
+)
+
+func newRT(t *testing.T, h core.Handler) *core.Runtime {
+	t.Helper()
+	rt, err := core.New(core.Config{Cores: 2, Handler: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func echo() core.Handler {
+	return core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
+		ctx.Send(m.ID, m.Payload)
+	})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	rt := newRT(t, echo())
+	cc := NewTransport(rt).Dial()
+	defer cc.Close()
+	resp, err := cc.Call([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "hello" {
+		t.Fatalf("got %q", resp)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	rt := newRT(t, echo())
+	tr := NewTransport(rt)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		cc := tr.Dial()
+		defer cc.Close()
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				want := fmt.Sprintf("g%d-%d", g, i)
+				resp, err := cc.Call([]byte(want))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(resp) != want {
+					t.Errorf("got %q want %q", resp, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSendAsyncPipelining(t *testing.T) {
+	rt := newRT(t, echo())
+	cc := NewTransport(rt).Dial()
+	defer cc.Close()
+	const n = 200
+	done := make(chan string, n)
+	for i := 0; i < n; i++ {
+		payload := fmt.Sprintf("req-%d", i)
+		if err := cc.SendAsync([]byte(payload), func(resp []byte, err error) {
+			if err != nil {
+				done <- "err:" + err.Error()
+				return
+			}
+			done <- string(resp)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]bool{}
+	for i := 0; i < n; i++ {
+		select {
+		case r := <-done:
+			got[r] = true
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d replies", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("req-%d", i)] {
+			t.Fatalf("missing reply %d", i)
+		}
+	}
+}
+
+func TestCloseFailsOutstanding(t *testing.T) {
+	block := make(chan struct{})
+	h := core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
+		<-block
+		ctx.Send(m.ID, nil)
+	})
+	rt := newRT(t, h)
+	cc := NewTransport(rt).Dial()
+	errCh := make(chan error, 1)
+	if err := cc.SendAsync([]byte("x"), func(_ []byte, err error) {
+		errCh <- err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	cc.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, proto.ErrDispatcherClosed) {
+			t.Fatalf("want ErrDispatcherClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("outstanding call never failed")
+	}
+	close(block)
+	if err := cc.SendAsync([]byte("y"), func([]byte, error) {}); err == nil {
+		t.Fatal("send after close must error")
+	}
+	if _, err := cc.Call([]byte("z")); err == nil {
+		t.Fatal("call after close must error")
+	}
+	cc.Close() // idempotent
+}
+
+func TestWriteRawMalformed(t *testing.T) {
+	rt := newRT(t, echo())
+	cc := NewTransport(rt).Dial()
+	defer cc.Close()
+	bad := make([]byte, proto.HeaderSize)
+	bad[3] = 0x7f
+	if err := cc.WriteRaw(bad); err != nil {
+		t.Fatal(err)
+	}
+	rt.Flush(2 * time.Second)
+	if !cc.ServerConn().Closed() {
+		t.Fatal("malformed stream must poison the server conn")
+	}
+}
+
+func TestDistinctHomes(t *testing.T) {
+	rt := newRT(t, echo())
+	tr := NewTransport(rt)
+	homes := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		homes[tr.Dial().ServerConn().Home()] = true
+	}
+	if len(homes) < 2 {
+		t.Fatal("64 connections should spread over both workers")
+	}
+}

@@ -1,0 +1,224 @@
+// Package mutilate is an open-loop load generator in the spirit of the
+// mutilate tool the paper uses (§3.2): Poisson arrivals spread over many
+// connections, latency measured per request, with the ETC and USR
+// memcached workload models of Atikoglu et al. (the Facebook traces) and
+// arbitrary request generators for other applications.
+//
+// Latency is measured from the request's scheduled (intended) arrival
+// time, not from the moment the sender got around to writing it, so a
+// slow server cannot hide queueing delay by slowing the generator down —
+// the "coordinated omission" correction open-loop methodology requires.
+package mutilate
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zygos/internal/dist"
+	"zygos/internal/kv"
+	"zygos/internal/stats"
+)
+
+// Target is one connection to the system under test. Both zygos.Client
+// and zygos.TCPClient satisfy it.
+type Target interface {
+	SendAsync(payload []byte, cb func(resp []byte, err error)) error
+}
+
+// Config parameterizes a load-generation run.
+type Config struct {
+	// Targets are the open connections load is spread over; each request
+	// picks one uniformly at random (the paper's high fan-in pattern).
+	Targets []Target
+	// RatePerSec is the offered load.
+	RatePerSec float64
+	// Requests is the total number of requests to issue.
+	Requests int
+	// Warmup requests are issued but excluded from measurement.
+	Warmup int
+	// Gen builds the next request payload.
+	Gen func(rng *rand.Rand) []byte
+	// Check optionally validates each response; failures count as errors.
+	Check func(resp []byte) bool
+	Seed  int64
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	Latencies   *stats.Sample // ns, measured from scheduled arrival
+	Sent        int
+	Completed   int
+	Errors      int
+	OfferedRPS  float64
+	AchievedRPS float64
+	Elapsed     time.Duration
+}
+
+// Run drives the configured open-loop workload to completion (all
+// responses received or failed).
+func Run(cfg Config) Report {
+	if len(cfg.Targets) == 0 || cfg.Gen == nil || cfg.RatePerSec <= 0 || cfg.Requests <= 0 {
+		panic("mutilate: Targets, Gen, RatePerSec and Requests are required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	arrivals := dist.PoissonArrivals{RatePerSec: cfg.RatePerSec}
+
+	rep := Report{
+		Latencies:  stats.NewSample(cfg.Requests),
+		OfferedRPS: cfg.RatePerSec,
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var errs atomic.Int64
+
+	start := time.Now()
+	next := start
+	for i := 0; i < cfg.Requests; i++ {
+		// Open loop: arrival times come from the Poisson process alone.
+		next = next.Add(time.Duration(arrivals.NextGap(rng)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		payload := cfg.Gen(rng)
+		target := cfg.Targets[rng.Intn(len(cfg.Targets))]
+		scheduled := next
+		measured := i >= cfg.Warmup
+		wg.Add(1)
+		err := target.SendAsync(payload, func(resp []byte, err error) {
+			defer wg.Done()
+			if err != nil || (cfg.Check != nil && !cfg.Check(resp)) {
+				errs.Add(1)
+				return
+			}
+			if measured {
+				lat := time.Since(scheduled).Nanoseconds()
+				mu.Lock()
+				rep.Latencies.Add(lat)
+				rep.Completed++
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			wg.Done()
+			errs.Add(1)
+			continue
+		}
+		rep.Sent++
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(start)
+	rep.Errors = int(errs.Load())
+	if rep.Elapsed > 0 {
+		rep.AchievedRPS = float64(rep.Sent) / rep.Elapsed.Seconds()
+	}
+	return rep
+}
+
+// KVModel generates memcached-style GET/SET traffic over a fixed keyspace.
+type KVModel struct {
+	// Name identifies the model ("etc", "usr", ...).
+	Name string
+	// Keys is the keyspace size; keys are "key-<n>" padded to KeyLen.
+	Keys int
+	// KeyLen draws a key length in bytes.
+	KeyLen func(rng *rand.Rand) int
+	// ValueLen draws a value length in bytes for SETs.
+	ValueLen func(rng *rand.Rand) int
+	// GetFraction is the fraction of GET operations.
+	GetFraction float64
+}
+
+// ETC approximates the Facebook ETC workload as modeled by mutilate:
+// ~30:1 GET:SET, short keys (generalized-extreme-value-ish lengths around
+// 30 bytes) and generalized-Pareto value sizes (scale 214.48, shape
+// 0.3482), clamped to sane bounds.
+func ETC(keys int) KVModel {
+	valDist := dist.GeneralizedPareto{MuLoc: 15, Scale: 214.476, Shape: 0.348238}
+	return KVModel{
+		Name: "etc",
+		Keys: keys,
+		KeyLen: func(rng *rand.Rand) int {
+			n := 20 + int(rng.ExpFloat64()*10)
+			if n > 250 {
+				n = 250
+			}
+			return n
+		},
+		ValueLen: func(rng *rand.Rand) int {
+			n := int(valDist.Sample(rng))
+			if n < 1 {
+				n = 1
+			}
+			if n > 8192 {
+				n = 8192
+			}
+			return n
+		},
+		GetFraction: 30.0 / 31.0,
+	}
+}
+
+// USR approximates the Facebook USR workload: 99.8% GETs, 19-21 byte
+// keys, 2 byte values — the near-deterministic tiny-task case the paper
+// calls a near worst case for ZygOS (§6.2).
+func USR(keys int) KVModel {
+	return KVModel{
+		Name:        "usr",
+		Keys:        keys,
+		KeyLen:      func(rng *rand.Rand) int { return 19 + rng.Intn(3) },
+		ValueLen:    func(rng *rand.Rand) int { return 2 },
+		GetFraction: 0.998,
+	}
+}
+
+// Gen returns a request generator for the model, suitable for Config.Gen.
+func (m KVModel) Gen() func(rng *rand.Rand) []byte {
+	return func(rng *rand.Rand) []byte {
+		key := m.key(rng)
+		if rng.Float64() < m.GetFraction {
+			return kv.EncodeGet(nil, key)
+		}
+		val := make([]byte, m.ValueLen(rng))
+		for i := range val {
+			val[i] = byte('a' + i%26)
+		}
+		return kv.EncodeSet(nil, key, val)
+	}
+}
+
+// Preload returns SET payloads covering the whole keyspace, used to warm
+// the store before measuring (mutilate's --loadonly phase).
+func (m KVModel) Preload(rng *rand.Rand) [][]byte {
+	out := make([][]byte, 0, m.Keys)
+	for i := 0; i < m.Keys; i++ {
+		key := m.keyN(rng, i)
+		val := make([]byte, m.ValueLen(rng))
+		out = append(out, kv.EncodeSet(nil, key, val))
+	}
+	return out
+}
+
+func (m KVModel) key(rng *rand.Rand) []byte {
+	return m.keyN(rng, rng.Intn(m.Keys))
+}
+
+// keyN builds the n-th key, deterministically, padded to the drawn
+// length.
+func (m KVModel) keyN(rng *rand.Rand, n int) []byte {
+	kl := m.KeyLen(rng)
+	if kl < 12 {
+		kl = 12
+	}
+	key := make([]byte, kl)
+	copy(key, "key-")
+	for i := 4; i < 12; i++ {
+		key[i] = byte('0' + n%10)
+		n /= 10
+	}
+	for i := 12; i < kl; i++ {
+		key[i] = 'x'
+	}
+	return key
+}

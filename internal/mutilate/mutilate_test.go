@@ -1,0 +1,196 @@
+package mutilate
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"zygos/internal/kv"
+)
+
+// fakeTarget answers every request immediately on the caller's goroutine.
+type fakeTarget struct {
+	calls atomic.Int64
+	fail  bool
+}
+
+func (f *fakeTarget) SendAsync(payload []byte, cb func([]byte, error)) error {
+	f.calls.Add(1)
+	if f.fail {
+		cb(nil, errors.New("boom"))
+		return nil
+	}
+	cb([]byte{kv.ReplyHit}, nil)
+	return nil
+}
+
+func TestRunCompletesAllRequests(t *testing.T) {
+	tgt := &fakeTarget{}
+	rep := Run(Config{
+		Targets:    []Target{tgt},
+		RatePerSec: 1e6,
+		Requests:   500,
+		Warmup:     100,
+		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Seed:       1,
+	})
+	if rep.Sent != 500 {
+		t.Fatalf("sent %d", rep.Sent)
+	}
+	if rep.Completed != 400 {
+		t.Fatalf("completed %d, want 400 measured", rep.Completed)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("errors %d", rep.Errors)
+	}
+	if rep.Latencies.Len() != 400 {
+		t.Fatalf("latencies %d", rep.Latencies.Len())
+	}
+	if rep.AchievedRPS <= 0 {
+		t.Fatal("achieved rate missing")
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	tgt := &fakeTarget{fail: true}
+	rep := Run(Config{
+		Targets:    []Target{tgt},
+		RatePerSec: 1e6,
+		Requests:   100,
+		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Seed:       1,
+	})
+	if rep.Errors != 100 || rep.Completed != 0 {
+		t.Fatalf("errors=%d completed=%d", rep.Errors, rep.Completed)
+	}
+}
+
+func TestRunCheckRejects(t *testing.T) {
+	tgt := &fakeTarget{}
+	rep := Run(Config{
+		Targets:    []Target{tgt},
+		RatePerSec: 1e6,
+		Requests:   50,
+		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Check:      func(resp []byte) bool { return false },
+		Seed:       1,
+	})
+	if rep.Errors != 50 {
+		t.Fatalf("errors=%d", rep.Errors)
+	}
+}
+
+func TestRunSpreadsOverTargets(t *testing.T) {
+	a, b := &fakeTarget{}, &fakeTarget{}
+	Run(Config{
+		Targets:    []Target{a, b},
+		RatePerSec: 1e6,
+		Requests:   1000,
+		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Seed:       3,
+	})
+	ca, cb := a.calls.Load(), b.calls.Load()
+	if ca == 0 || cb == 0 {
+		t.Fatalf("load not spread: %d/%d", ca, cb)
+	}
+	if ca+cb != 1000 {
+		t.Fatalf("total %d", ca+cb)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing config must panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestETCModelShape(t *testing.T) {
+	m := ETC(1000)
+	rng := rand.New(rand.NewSource(1))
+	gets, sets := 0, 0
+	gen := m.Gen()
+	for i := 0; i < 20000; i++ {
+		p := gen(rng)
+		op, key, value, err := kv.DecodeRequest(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(key) < 12 || len(key) > 250 {
+			t.Fatalf("key length %d out of range", len(key))
+		}
+		switch op {
+		case kv.OpGet:
+			gets++
+		case kv.OpSet:
+			sets++
+			if len(value) < 1 || len(value) > 8192 {
+				t.Fatalf("value length %d out of range", len(value))
+			}
+		}
+	}
+	frac := float64(gets) / float64(gets+sets)
+	if frac < 0.95 || frac > 0.99 {
+		t.Fatalf("ETC GET fraction %.3f, want ~0.968", frac)
+	}
+}
+
+func TestUSRModelShape(t *testing.T) {
+	m := USR(1000)
+	rng := rand.New(rand.NewSource(2))
+	gen := m.Gen()
+	gets := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		p := gen(rng)
+		op, key, value, err := kv.DecodeRequest(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(key) < 19 || len(key) > 21 {
+			t.Fatalf("USR key length %d", len(key))
+		}
+		if op == kv.OpGet {
+			gets++
+		} else if len(value) != 2 {
+			t.Fatalf("USR value length %d", len(value))
+		}
+	}
+	frac := float64(gets) / n
+	if frac < 0.99 {
+		t.Fatalf("USR GET fraction %.4f, want ~0.998", frac)
+	}
+}
+
+func TestPreloadCoversKeyspace(t *testing.T) {
+	m := USR(100)
+	rng := rand.New(rand.NewSource(3))
+	payloads := m.Preload(rng)
+	if len(payloads) != 100 {
+		t.Fatalf("preload %d payloads", len(payloads))
+	}
+	seen := map[string]bool{}
+	for _, p := range payloads {
+		op, key, _, err := kv.DecodeRequest(p)
+		if err != nil || op != kv.OpSet {
+			t.Fatal("preload must be SETs")
+		}
+		seen[string(key[:12])] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("preload covered %d distinct keys", len(seen))
+	}
+}
+
+func TestKeyDeterministicPerIndex(t *testing.T) {
+	m := USR(10)
+	rng := rand.New(rand.NewSource(4))
+	a := m.keyN(rng, 7)
+	b := m.keyN(rng, 7)
+	if string(a[:12]) != string(b[:12]) {
+		t.Fatal("key identity must be deterministic in the index")
+	}
+}

@@ -1,0 +1,138 @@
+// Package nicsim models the pieces of a multi-queue NIC that the ZygOS
+// scheduling experiments depend on: receive-side scaling (RSS) — the
+// flow-consistent hashing of connections onto per-core hardware queues —
+// and bounded descriptor rings with tail-drop semantics.
+//
+// The same RSS mapping is shared by the discrete-event dataplane models
+// (internal/dataplane) and the real runtime (internal/core), so a
+// connection's "home core" is computed identically everywhere.
+package nicsim
+
+// IndirectionSize is the number of entries in the RSS indirection table,
+// matching the 128-entry table of the Intel 82599 NIC used in the paper.
+const IndirectionSize = 128
+
+// RSS maps flow identifiers to queues (cores) through a hash and an
+// indirection table, as NIC hardware does. The zero value is not usable;
+// construct with NewRSS.
+type RSS struct {
+	table [IndirectionSize]int
+	n     int
+}
+
+// NewRSS returns an RSS steering flows onto n queues with the conventional
+// round-robin-initialized indirection table.
+func NewRSS(n int) *RSS {
+	if n <= 0 {
+		panic("nicsim: RSS needs at least one queue")
+	}
+	r := &RSS{n: n}
+	for i := range r.table {
+		r.table[i] = i % n
+	}
+	return r
+}
+
+// Queues returns the number of queues the table spreads over.
+func (r *RSS) Queues() int { return r.n }
+
+// Queue returns the queue (home core) for the given flow identifier.
+func (r *RSS) Queue(flow uint64) int {
+	return r.table[Hash(flow)%IndirectionSize]
+}
+
+// Retarget overwrites one indirection-table bucket, as a control plane
+// would when rebalancing flow groups (§5, control plane interactions).
+func (r *RSS) Retarget(bucket, queue int) {
+	if bucket < 0 || bucket >= IndirectionSize {
+		panic("nicsim: bucket out of range")
+	}
+	if queue < 0 || queue >= r.n {
+		panic("nicsim: queue out of range")
+	}
+	r.table[bucket] = queue
+}
+
+// Bucket returns the indirection bucket a flow hashes into.
+func (r *RSS) Bucket(flow uint64) int {
+	return int(Hash(flow) % IndirectionSize)
+}
+
+// Hash is the flow hash: a 64-bit FNV-1a avalanche standing in for the
+// Toeplitz hash real NICs use. It only needs to be deterministic and
+// well-mixed; the scheduling results do not depend on the exact function.
+func Hash(flow uint64) uint32 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= flow & 0xff
+		h *= prime
+		flow >>= 8
+	}
+	// Fold to 32 bits, mixing the halves.
+	return uint32(h ^ (h >> 32))
+}
+
+// Ring is a bounded FIFO descriptor ring with tail-drop, standing in for a
+// NIC hardware receive ring. Push on a full ring drops the descriptor and
+// counts it, as hardware does when the host cannot keep up.
+type Ring[T any] struct {
+	buf     []T
+	head    int
+	size    int
+	dropped uint64
+}
+
+// NewRing returns a ring with the given capacity (must be positive).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic("nicsim: ring capacity must be positive")
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Push appends a descriptor; it reports false (and counts a drop) if the
+// ring is full.
+func (r *Ring[T]) Push(v T) bool {
+	if r.size == len(r.buf) {
+		r.dropped++
+		return false
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = v
+	r.size++
+	return true
+}
+
+// Pop removes and returns the oldest descriptor.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return v, true
+}
+
+// Len reports the number of queued descriptors.
+func (r *Ring[T]) Len() int { return r.size }
+
+// Cap reports the ring capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Dropped reports how many descriptors were tail-dropped.
+func (r *Ring[T]) Dropped() uint64 { return r.dropped }
+
+// Peek returns the oldest descriptor without removing it.
+func (r *Ring[T]) Peek() (T, bool) {
+	var zero T
+	if r.size == 0 {
+		return zero, false
+	}
+	return r.buf[r.head], true
+}

@@ -1,0 +1,179 @@
+package nicsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRSSDeterministic(t *testing.T) {
+	r := NewRSS(16)
+	for flow := uint64(0); flow < 1000; flow++ {
+		a := r.Queue(flow)
+		b := r.Queue(flow)
+		if a != b {
+			t.Fatalf("flow %d mapped to %d then %d", flow, a, b)
+		}
+		if a < 0 || a >= 16 {
+			t.Fatalf("flow %d mapped out of range: %d", flow, a)
+		}
+	}
+}
+
+func TestRSSBalance(t *testing.T) {
+	// With many flows, the spread across 16 queues should be roughly even.
+	r := NewRSS(16)
+	counts := make([]int, 16)
+	const flows = 16000
+	for flow := uint64(0); flow < flows; flow++ {
+		counts[r.Queue(flow)]++
+	}
+	want := float64(flows) / 16
+	for q, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.35 {
+			t.Errorf("queue %d got %d flows, want ~%.0f", q, c, want)
+		}
+	}
+}
+
+func TestRSSRetarget(t *testing.T) {
+	r := NewRSS(4)
+	flow := uint64(1234)
+	b := r.Bucket(flow)
+	r.Retarget(b, 3)
+	if r.Queue(flow) != 3 {
+		t.Fatal("retargeted bucket did not take effect")
+	}
+	if r.Queues() != 4 {
+		t.Fatal("Queues() wrong")
+	}
+}
+
+func TestRSSPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero queues", func() { NewRSS(0) })
+	r := NewRSS(2)
+	mustPanic("bad bucket", func() { r.Retarget(-1, 0) })
+	mustPanic("bad queue", func() { r.Retarget(0, 7) })
+	mustPanic("zero ring", func() { NewRing[int](0) })
+}
+
+func TestHashAvalanche(t *testing.T) {
+	// Nearby flow IDs must not collide systematically.
+	seen := map[uint32]bool{}
+	collisions := 0
+	for i := uint64(0); i < 10000; i++ {
+		h := Hash(i)
+		if seen[h] {
+			collisions++
+		}
+		seen[h] = true
+	}
+	if collisions > 3 {
+		t.Fatalf("%d hash collisions in 10k sequential flows", collisions)
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 1; i <= 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.Push(5) {
+		t.Fatal("push on full ring must fail")
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", r.Dropped())
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v, want %d", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop on empty ring must fail")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing[int](3)
+	next := 0
+	popped := 0
+	for round := 0; round < 100; round++ {
+		for r.Len() < r.Cap() {
+			r.Push(next)
+			next++
+		}
+		v, _ := r.Pop()
+		if v != popped {
+			t.Fatalf("wraparound broke FIFO: got %d want %d", v, popped)
+		}
+		popped++
+	}
+}
+
+func TestRingPeek(t *testing.T) {
+	r := NewRing[string](2)
+	if _, ok := r.Peek(); ok {
+		t.Fatal("peek on empty must fail")
+	}
+	r.Push("a")
+	r.Push("b")
+	v, ok := r.Peek()
+	if !ok || v != "a" {
+		t.Fatal("peek must return oldest without removing")
+	}
+	if r.Len() != 2 {
+		t.Fatal("peek must not remove")
+	}
+}
+
+// Property: a ring behaves exactly like a bounded queue.
+func TestRingMatchesReference(t *testing.T) {
+	f := func(ops []uint8) bool {
+		r := NewRing[int](8)
+		var ref []int
+		next := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				ok := r.Push(next)
+				refOK := len(ref) < 8
+				if ok != refOK {
+					return false
+				}
+				if ok {
+					ref = append(ref, next)
+				}
+				next++
+			} else {
+				v, ok := r.Pop()
+				if ok != (len(ref) > 0) {
+					return false
+				}
+				if ok {
+					if v != ref[0] {
+						return false
+					}
+					ref = ref[1:]
+				}
+			}
+			if r.Len() != len(ref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

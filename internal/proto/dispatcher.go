@@ -1,0 +1,104 @@
+package proto
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrDispatcherClosed is delivered to callbacks still pending when a
+// Dispatcher shuts down.
+var ErrDispatcherClosed = errors.New("proto: dispatcher closed")
+
+// Dispatcher matches response messages to outstanding requests by ID. It
+// is the client-side counterpart of the runtime: transports feed it raw
+// response bytes and it invokes the callback registered for each ID.
+// It is safe for concurrent use.
+type Dispatcher struct {
+	mu      sync.Mutex
+	parser  Parser
+	pending map[uint64]func(Message, error)
+	nextID  uint64
+	closed  bool
+}
+
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{pending: make(map[uint64]func(Message, error))}
+}
+
+// Register allocates a request ID and installs cb to receive its response.
+// cb is invoked exactly once: with the response, or with an error if the
+// dispatcher closes first.
+func (d *Dispatcher) Register(cb func(Message, error)) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrDispatcherClosed
+	}
+	d.nextID++
+	id := d.nextID
+	d.pending[id] = cb
+	return id, nil
+}
+
+// Feed parses raw response bytes and dispatches completed messages.
+// Responses with unknown IDs are dropped (late replies after timeout).
+func (d *Dispatcher) Feed(data []byte) error {
+	d.mu.Lock()
+	d.parser.Feed(data)
+	var ready []struct {
+		cb func(Message, error)
+		m  Message
+	}
+	var err error
+	for {
+		m, ok, perr := d.parser.Next()
+		if perr != nil {
+			err = perr
+			break
+		}
+		if !ok {
+			break
+		}
+		if cb, found := d.pending[m.ID]; found {
+			delete(d.pending, m.ID)
+			ready = append(ready, struct {
+				cb func(Message, error)
+				m  Message
+			}{cb, m})
+		}
+	}
+	d.mu.Unlock()
+	// Invoke outside the lock: callbacks may re-enter Register.
+	for _, r := range ready {
+		r.cb(r.m, nil)
+	}
+	return err
+}
+
+// Pending reports the number of outstanding requests.
+func (d *Dispatcher) Pending() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// Close fails all outstanding requests with ErrDispatcherClosed and
+// rejects future registrations. It is idempotent.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	cbs := make([]func(Message, error), 0, len(d.pending))
+	for id, cb := range d.pending {
+		delete(d.pending, id)
+		cbs = append(cbs, cb)
+	}
+	d.mu.Unlock()
+	for _, cb := range cbs {
+		cb(Message{}, ErrDispatcherClosed)
+	}
+}

@@ -1,0 +1,143 @@
+package proto
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestDispatcherRoundTrip(t *testing.T) {
+	d := NewDispatcher()
+	got := make(chan Message, 1)
+	id, err := d.Register(func(m Message, err error) {
+		if err != nil {
+			t.Error(err)
+		}
+		got <- m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Feed(AppendFrame(nil, Message{ID: id, Payload: []byte("pong")})); err != nil {
+		t.Fatal(err)
+	}
+	m := <-got
+	if m.ID != id || string(m.Payload) != "pong" {
+		t.Fatalf("got %+v", m)
+	}
+	if d.Pending() != 0 {
+		t.Fatal("request still pending after dispatch")
+	}
+}
+
+func TestDispatcherUnknownIDDropped(t *testing.T) {
+	d := NewDispatcher()
+	if err := d.Feed(AppendFrame(nil, Message{ID: 999, Payload: []byte("late")})); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Fatal("no pending expected")
+	}
+}
+
+func TestDispatcherCloseFailsPending(t *testing.T) {
+	d := NewDispatcher()
+	errCh := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := d.Register(func(_ Message, err error) { errCh <- err }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Close()
+	d.Close() // idempotent
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; !errors.Is(err, ErrDispatcherClosed) {
+			t.Fatalf("want ErrDispatcherClosed, got %v", err)
+		}
+	}
+	if _, err := d.Register(func(Message, error) {}); !errors.Is(err, ErrDispatcherClosed) {
+		t.Fatal("register after close must fail")
+	}
+}
+
+func TestDispatcherPartialFrames(t *testing.T) {
+	d := NewDispatcher()
+	got := make(chan Message, 1)
+	id, _ := d.Register(func(m Message, err error) { got <- m })
+	frame := AppendFrame(nil, Message{ID: id, Payload: []byte("split")})
+	for _, b := range frame {
+		if err := d.Feed([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := <-got; string(m.Payload) != "split" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestDispatcherMalformedStream(t *testing.T) {
+	d := NewDispatcher()
+	bad := make([]byte, HeaderSize)
+	bad[3] = 0x7f
+	if err := d.Feed(bad); err == nil {
+		t.Fatal("malformed stream must error")
+	}
+}
+
+// Callbacks may re-enter Register (pipelined request chains) without
+// deadlocking.
+func TestDispatcherReentrantCallback(t *testing.T) {
+	d := NewDispatcher()
+	done := make(chan struct{})
+	id1, _ := d.Register(func(m Message, err error) {
+		if _, err := d.Register(func(Message, error) {}); err != nil {
+			t.Error(err)
+		}
+		close(done)
+	})
+	if err := d.Feed(AppendFrame(nil, Message{ID: id1})); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if d.Pending() != 1 {
+		t.Fatalf("pending %d, want the re-registered request", d.Pending())
+	}
+}
+
+func TestDispatcherConcurrent(t *testing.T) {
+	d := NewDispatcher()
+	const n = 200
+	var wg sync.WaitGroup
+	ids := make(chan uint64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		id, err := d.Register(func(m Message, err error) {
+			if err == nil {
+				wg.Done()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids <- id
+	}
+	close(ids)
+	var feeders sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		feeders.Add(1)
+		go func() {
+			defer feeders.Done()
+			for id := range ids {
+				if err := d.Feed(AppendFrame(nil, Message{ID: id})); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	feeders.Wait()
+	wg.Wait()
+	if d.Pending() != 0 {
+		t.Fatalf("pending %d after all responses", d.Pending())
+	}
+}

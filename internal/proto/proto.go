@@ -1,0 +1,100 @@
+// Package proto implements the wire framing used by the runtime's RPC
+// transports: a fixed 12-byte header (4-byte little-endian payload length,
+// 8-byte request identifier) followed by the payload.
+//
+// The Parser is incremental: it accepts arbitrary byte-stream fragments —
+// including fragments that split a header or pipeline several back-to-back
+// requests, the case §4.3 of the paper is about — and yields complete
+// messages in order.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderSize is the fixed frame-header length in bytes.
+const HeaderSize = 12
+
+// MaxPayload bounds a single frame's payload to keep a malformed or
+// hostile peer from forcing unbounded buffering.
+const MaxPayload = 16 << 20
+
+// ErrFrameTooLarge is returned when a header announces a payload larger
+// than MaxPayload.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds maximum payload size")
+
+// Message is one framed request or response.
+type Message struct {
+	ID      uint64
+	Payload []byte
+}
+
+// AppendFrame appends the encoded frame for m to buf and returns the
+// extended slice.
+func AppendFrame(buf []byte, m Message) []byte {
+	var hdr [HeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(m.Payload)))
+	binary.LittleEndian.PutUint64(hdr[4:12], m.ID)
+	buf = append(buf, hdr[:]...)
+	return append(buf, m.Payload...)
+}
+
+// FrameSize returns the encoded size of a frame carrying n payload bytes.
+func FrameSize(n int) int { return HeaderSize + n }
+
+// Parser incrementally decodes a frame stream. The zero value is ready to
+// use.
+type Parser struct {
+	buf []byte
+	err error
+}
+
+// Feed appends stream bytes to the parser. Call Next until it reports no
+// more messages.
+func (p *Parser) Feed(data []byte) {
+	if p.err != nil {
+		return
+	}
+	p.buf = append(p.buf, data...)
+}
+
+// Next returns the next complete message, if any. The returned payload is
+// a copy and remains valid after further Feed calls. It returns an error
+// if the stream is malformed.
+func (p *Parser) Next() (Message, bool, error) {
+	if p.err != nil {
+		return Message{}, false, p.err
+	}
+	if len(p.buf) < HeaderSize {
+		return Message{}, false, nil
+	}
+	n := int(binary.LittleEndian.Uint32(p.buf[0:4]))
+	if n > MaxPayload {
+		p.err = fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+		return Message{}, false, p.err
+	}
+	if len(p.buf) < HeaderSize+n {
+		return Message{}, false, nil
+	}
+	m := Message{
+		ID:      binary.LittleEndian.Uint64(p.buf[4:12]),
+		Payload: append([]byte(nil), p.buf[HeaderSize:HeaderSize+n]...),
+	}
+	// Shift the consumed frame out. Copy-down keeps the buffer from
+	// growing without bound under pipelining.
+	rest := len(p.buf) - (HeaderSize + n)
+	copy(p.buf, p.buf[HeaderSize+n:])
+	p.buf = p.buf[:rest]
+	return m, true, nil
+}
+
+// Buffered reports how many undecoded bytes the parser is holding.
+func (p *Parser) Buffered() int { return len(p.buf) }
+
+// Reset discards buffered bytes and any sticky error.
+func (p *Parser) Reset() {
+	p.buf = p.buf[:0]
+	p.err = nil
+}

@@ -1,0 +1,179 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var p Parser
+	frame := AppendFrame(nil, Message{ID: 42, Payload: []byte("hello")})
+	p.Feed(frame)
+	m, ok, err := p.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v %v", ok, err)
+	}
+	if m.ID != 42 || string(m.Payload) != "hello" {
+		t.Fatalf("got %+v", m)
+	}
+	if _, ok, _ := p.Next(); ok {
+		t.Fatal("no more messages expected")
+	}
+	if p.Buffered() != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	var p Parser
+	p.Feed(AppendFrame(nil, Message{ID: 7}))
+	m, ok, err := p.Next()
+	if err != nil || !ok || m.ID != 7 || len(m.Payload) != 0 {
+		t.Fatalf("got %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+func TestByteAtATime(t *testing.T) {
+	var p Parser
+	frame := AppendFrame(nil, Message{ID: 9, Payload: []byte("fragmented")})
+	for _, b := range frame {
+		if _, ok, _ := p.Next(); ok {
+			t.Fatal("message completed early")
+		}
+		p.Feed([]byte{b})
+	}
+	m, ok, err := p.Next()
+	if err != nil || !ok || string(m.Payload) != "fragmented" {
+		t.Fatalf("got %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+func TestPipelinedMessages(t *testing.T) {
+	var p Parser
+	var stream []byte
+	for i := 0; i < 50; i++ {
+		stream = AppendFrame(stream, Message{ID: uint64(i), Payload: bytes.Repeat([]byte{byte(i)}, i)})
+	}
+	p.Feed(stream)
+	for i := 0; i < 50; i++ {
+		m, ok, err := p.Next()
+		if err != nil || !ok {
+			t.Fatalf("message %d missing: %v", i, err)
+		}
+		if m.ID != uint64(i) || len(m.Payload) != i {
+			t.Fatalf("message %d corrupted: %+v", i, m)
+		}
+	}
+	if _, ok, _ := p.Next(); ok {
+		t.Fatal("extra message")
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var p Parser
+	bad := make([]byte, HeaderSize)
+	bad[0] = 0xff
+	bad[1] = 0xff
+	bad[2] = 0xff
+	bad[3] = 0x7f
+	p.Feed(bad)
+	_, _, err := p.Next()
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// Error is sticky.
+	p.Feed([]byte{0})
+	if _, _, err := p.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatal("error must be sticky")
+	}
+	// Reset clears it.
+	p.Reset()
+	p.Feed(AppendFrame(nil, Message{ID: 1}))
+	if _, ok, err := p.Next(); !ok || err != nil {
+		t.Fatal("parser must recover after Reset")
+	}
+}
+
+func TestPayloadCopied(t *testing.T) {
+	var p Parser
+	frame := AppendFrame(nil, Message{ID: 1, Payload: []byte("abc")})
+	p.Feed(frame)
+	m, _, _ := p.Next()
+	p.Feed(bytes.Repeat([]byte{0xee}, 64)) // overwrite internal buffer
+	if string(m.Payload) != "abc" {
+		t.Fatal("payload must be stable after further feeds")
+	}
+}
+
+func TestFrameSize(t *testing.T) {
+	if FrameSize(100) != HeaderSize+100 {
+		t.Fatal("FrameSize wrong")
+	}
+	f := AppendFrame(nil, Message{ID: 3, Payload: make([]byte, 100)})
+	if len(f) != FrameSize(100) {
+		t.Fatal("encoded length mismatch")
+	}
+}
+
+// Property: any sequence of messages encoded then fed in arbitrary chunk
+// sizes decodes identically.
+func TestRandomSplitRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, seed int64) bool {
+		var stream []byte
+		for i, pl := range payloads {
+			if len(pl) > 1024 {
+				pl = pl[:1024]
+				payloads[i] = pl
+			}
+			stream = AppendFrame(stream, Message{ID: uint64(i), Payload: pl})
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var p Parser
+		var got []Message
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(37)
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			p.Feed(stream[off : off+n])
+			off += n
+			for {
+				m, ok, err := p.Next()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				got = append(got, m)
+			}
+		}
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i, m := range got {
+			if m.ID != uint64(i) || !bytes.Equal(m.Payload, payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	frame := AppendFrame(nil, Message{ID: 1, Payload: make([]byte, 64)})
+	var p Parser
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Feed(frame)
+		if _, ok, _ := p.Next(); !ok {
+			b.Fatal("missing message")
+		}
+	}
+}

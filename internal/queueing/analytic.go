@@ -1,0 +1,96 @@
+package queueing
+
+import "math"
+
+// Analytic formulas for Markovian systems, used to validate the simulated
+// models and to compute the paper's theoretical anchors (e.g., the 53.7% /
+// 96.3% maximum loads at the 10×S̄ SLO for exponential service, §3.1).
+
+// MM1SojournP quantile: for an M/M/1 FCFS queue with service rate mu and
+// arrival rate lambda, sojourn time T is exponential with rate mu-lambda, so
+// P[T > t] = exp(-(mu-lambda)t) and the p-quantile is -ln(1-p)/(mu-lambda).
+// Rates are per nanosecond; the result is in nanoseconds.
+func MM1SojournQuantile(lambda, mu, p float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / (mu - lambda)
+}
+
+// MM1MeanSojourn returns 1/(mu-lambda).
+func MM1MeanSojourn(lambda, mu float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// ErlangC returns the probability that an arriving job must wait in an
+// M/M/c queue with offered load a = lambda/mu (in Erlangs).
+func ErlangC(c int, a float64) float64 {
+	if a >= float64(c) {
+		return 1
+	}
+	// Compute iteratively to avoid overflow: inv = B(c,a) Erlang-B first.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	return b / (1 - rho + rho*b)
+}
+
+// MMcMeanWait returns the mean queueing delay (excluding service) of an
+// M/M/c queue, rates per nanosecond.
+func MMcMeanWait(c int, lambda, mu float64) float64 {
+	a := lambda / mu
+	if a >= float64(c) {
+		return math.Inf(1)
+	}
+	pw := ErlangC(c, a)
+	return pw / (float64(c)*mu - lambda)
+}
+
+// MMcWaitTail returns P[W > t] for the M/M/c FCFS queue: the waiting time is
+// 0 with probability 1-ErlangC and exponential with rate c·mu−lambda
+// otherwise.
+func MMcWaitTail(c int, lambda, mu float64, t float64) float64 {
+	a := lambda / mu
+	if a >= float64(c) {
+		return 1
+	}
+	return ErlangC(c, a) * math.Exp(-(float64(c)*mu-lambda)*t)
+}
+
+// MM1MaxLoadAtSLO returns the exact maximum load of an M/M/1 queue meeting
+// "p-quantile of sojourn ≤ slo·S̄": from the quantile formula,
+// load = 1 + ln(1-p)/(slo) when positive. For p=0.99, slo=10 this is
+// 1 - ln(100)/10 ≈ 0.5395, the paper's ≈53.7% partitioned-FCFS anchor.
+func MM1MaxLoadAtSLO(p, sloMultiple float64) float64 {
+	l := 1 + math.Log(1-p)/sloMultiple
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// MaxLoadAtSLO finds, by bisection, the largest load in (lo, hi) for which
+// p99 (as computed by eval) does not exceed slo. eval must be monotone in
+// load up to simulation noise. It returns lo if even that violates the SLO.
+func MaxLoadAtSLO(eval func(load float64) int64, slo int64, lo, hi float64, iters int) float64 {
+	if eval(hi) <= slo {
+		return hi
+	}
+	if eval(lo) > slo {
+		return lo
+	}
+	for i := 0; i < iters; i++ {
+		mid := (lo + hi) / 2
+		if eval(mid) <= slo {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,365 @@
+// Package queueing implements the paper's four idealized open-loop queueing
+// models (§2.3, Figure 1) on top of the discrete-event kernel:
+//
+//   - centralized-FCFS  (M/G/n/FCFS):  one queue, n servers, FCFS
+//   - partitioned-FCFS  (n×M/G/1/FCFS): n queues, random assignment, FCFS
+//   - centralized-PS    (M/G/n/PS):    all jobs share n processors equally
+//   - partitioned-PS    (n×M/G/1/PS):  n independent PS-1 queues
+//
+// All models assume Poisson arrivals and are zero-overhead: they are the
+// theoretical upper bounds against which the dataplane models are compared
+// (the grey lines of Figures 3 and 7).
+package queueing
+
+import (
+	"fmt"
+
+	"zygos/internal/dist"
+	"zygos/internal/sim"
+	"zygos/internal/stats"
+)
+
+// Policy selects the scheduling discipline of a model.
+type Policy int
+
+// Scheduling disciplines.
+const (
+	FCFS Policy = iota // first-come-first-served
+	PS                 // processor sharing
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "FCFS"
+	case PS:
+		return "PS"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Arrangement selects how arrivals map to servers.
+type Arrangement int
+
+// Queue arrangements.
+const (
+	// Centralized uses a single queue feeding all n servers (M/G/n/*).
+	Centralized Arrangement = iota
+	// Partitioned assigns each arrival uniformly at random to one of n
+	// single-server queues (n×M/G/1/*), modeling RSS flow hashing over a
+	// high connection count.
+	Partitioned
+)
+
+// String implements fmt.Stringer.
+func (a Arrangement) String() string {
+	switch a {
+	case Centralized:
+		return "centralized"
+	case Partitioned:
+		return "partitioned"
+	}
+	return fmt.Sprintf("Arrangement(%d)", int(a))
+}
+
+// Config parameterizes one queueing-model run.
+type Config struct {
+	Servers     int         // n, number of processors
+	Policy      Policy      // FCFS or PS
+	Arrangement Arrangement // Centralized or Partitioned
+	Service     dist.Dist   // service-time distribution
+	Load        float64     // offered load in (0, 1): λ = Load·n/S̄
+	Requests    int         // measured requests (after warmup)
+	Warmup      int         // requests discarded before measurement
+	Seed        int64
+}
+
+// Result holds the outcome of a run.
+type Result struct {
+	Latencies *stats.Sample // sojourn times (queueing + service), ns
+	Completed int
+}
+
+// ModelName renders the Kendall-style name used in the paper's figures,
+// e.g. "M/G/16/FCFS" or "16xM/G/1/PS".
+func ModelName(n int, p Policy, a Arrangement) string {
+	if a == Centralized {
+		return fmt.Sprintf("M/G/%d/%s", n, p)
+	}
+	return fmt.Sprintf("%dxM/G/1/%s", n, p)
+}
+
+// Run simulates the configured model and returns measured sojourn times.
+func Run(cfg Config) Result {
+	if cfg.Servers <= 0 {
+		panic("queueing: Servers must be positive")
+	}
+	if cfg.Load <= 0 || cfg.Load >= 1.05 {
+		panic(fmt.Sprintf("queueing: Load %v out of range", cfg.Load))
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 100000
+	}
+	if cfg.Warmup < 0 {
+		cfg.Warmup = 0
+	}
+	s := sim.New(cfg.Seed)
+	mean := cfg.Service.Mean()
+	lambda := cfg.Load * float64(cfg.Servers) / mean * 1e9 // req/s
+	arrivals := dist.PoissonArrivals{RatePerSec: lambda}
+
+	total := cfg.Requests + cfg.Warmup
+	res := Result{Latencies: stats.NewSample(cfg.Requests)}
+	record := func(idx int, sojourn sim.Time) {
+		if idx >= cfg.Warmup {
+			res.Latencies.Add(sojourn)
+			res.Completed++
+		}
+	}
+
+	var station interface {
+		arrive(now sim.Time, size int64, done func(sim.Time))
+	}
+	switch {
+	case cfg.Policy == FCFS && cfg.Arrangement == Centralized:
+		station = newFCFSCentral(s, cfg.Servers)
+	case cfg.Policy == FCFS && cfg.Arrangement == Partitioned:
+		station = newFCFSPartitioned(s, cfg.Servers)
+	case cfg.Policy == PS && cfg.Arrangement == Centralized:
+		station = newPSCentral(s, cfg.Servers)
+	default:
+		station = newPSPartitioned(s, cfg.Servers)
+	}
+
+	idx := 0
+	var schedule func(at sim.Time)
+	schedule = func(at sim.Time) {
+		if idx >= total {
+			return
+		}
+		myIdx := idx
+		idx++
+		s.At(at, func(now sim.Time) {
+			size := cfg.Service.Sample(s.Rand)
+			if size < 1 {
+				size = 1
+			}
+			start := now
+			station.arrive(now, size, func(end sim.Time) {
+				record(myIdx, end-start)
+			})
+		})
+		schedule(at + arrivals.NextGap(s.Rand))
+	}
+	schedule(0)
+	s.Run()
+	return res
+}
+
+// fcfsCentral is a single FCFS queue with n servers.
+type fcfsCentral struct {
+	s    *sim.Sim
+	idle int
+	q    []job
+}
+
+type job struct {
+	size int64
+	done func(sim.Time)
+}
+
+func newFCFSCentral(s *sim.Sim, n int) *fcfsCentral {
+	return &fcfsCentral{s: s, idle: n}
+}
+
+func (f *fcfsCentral) arrive(now sim.Time, size int64, done func(sim.Time)) {
+	if f.idle > 0 {
+		f.idle--
+		f.start(now, job{size, done})
+		return
+	}
+	f.q = append(f.q, job{size, done})
+}
+
+func (f *fcfsCentral) start(now sim.Time, j job) {
+	f.s.At(now+j.size, func(end sim.Time) {
+		j.done(end)
+		if len(f.q) > 0 {
+			next := f.q[0]
+			f.q = f.q[1:]
+			f.start(end, next)
+			return
+		}
+		f.idle++
+	})
+}
+
+// fcfsPartitioned is n independent single-server FCFS queues with uniform
+// random assignment.
+type fcfsPartitioned struct {
+	s     *sim.Sim
+	units []*fcfsCentral
+}
+
+func newFCFSPartitioned(s *sim.Sim, n int) *fcfsPartitioned {
+	p := &fcfsPartitioned{s: s}
+	for i := 0; i < n; i++ {
+		p.units = append(p.units, newFCFSCentral(s, 1))
+	}
+	return p
+}
+
+func (p *fcfsPartitioned) arrive(now sim.Time, size int64, done func(sim.Time)) {
+	p.units[p.s.Rand.Intn(len(p.units))].arrive(now, size, done)
+}
+
+// psCentral implements M/G/n/PS: with k jobs in the system each receives
+// service at rate min(1, n/k). Because every job always progresses at the
+// same rate, completion order equals remaining-work order; we track a
+// virtual drained-work clock and keep jobs keyed by (virtual arrival work +
+// size).
+type psCentral struct {
+	s       *sim.Sim
+	n       int
+	virtual float64  // cumulative per-job drained work, ns
+	lastUpd sim.Time // when virtual was last advanced
+	jobs    psHeap
+	pending sim.Handle
+	haveEv  bool
+}
+
+type psJob struct {
+	key  float64 // virtual + size at arrival
+	done func(sim.Time)
+	idx  int
+}
+
+type psHeap []*psJob
+
+func (h psHeap) Len() int           { return len(h) }
+func (h psHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h psHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].idx = i; h[j].idx = j }
+func (h *psHeap) Push(x any)        { j := x.(*psJob); j.idx = len(*h); *h = append(*h, j) }
+func (h *psHeap) Pop() any          { old := *h; n := len(old); j := old[n-1]; *h = old[:n-1]; return j }
+func (h psHeap) peek() *psJob       { return h[0] }
+
+func newPSCentral(s *sim.Sim, n int) *psCentral {
+	return &psCentral{s: s, n: n}
+}
+
+// rate returns the per-job service rate given k jobs in system.
+func (p *psCentral) rate() float64 {
+	k := len(p.jobs)
+	if k == 0 {
+		return 0
+	}
+	if k <= p.n {
+		return 1
+	}
+	return float64(p.n) / float64(k)
+}
+
+func (p *psCentral) advance(now sim.Time) {
+	if now > p.lastUpd {
+		p.virtual += float64(now-p.lastUpd) * p.rate()
+		p.lastUpd = now
+	}
+}
+
+func (p *psCentral) arrive(now sim.Time, size int64, done func(sim.Time)) {
+	p.advance(now)
+	j := &psJob{key: p.virtual + float64(size), done: done}
+	pushPS(&p.jobs, j)
+	p.resched(now)
+}
+
+func pushPS(h *psHeap, j *psJob) {
+	*h = append(*h, j)
+	j.idx = len(*h) - 1
+	up(*h, j.idx)
+}
+
+func up(h psHeap, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].key <= h[i].key {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+
+func popPS(h *psHeap) *psJob {
+	old := *h
+	n := len(old)
+	j := old[0]
+	old.Swap(0, n-1)
+	*h = old[:n-1]
+	if len(*h) > 0 {
+		down(*h, 0)
+	}
+	return j
+}
+
+func down(h psHeap, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l].key < h[small].key {
+			small = l
+		}
+		if r < n && h[r].key < h[small].key {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.Swap(i, small)
+		i = small
+	}
+}
+
+func (p *psCentral) resched(now sim.Time) {
+	if p.haveEv {
+		p.s.Cancel(p.pending)
+		p.haveEv = false
+	}
+	if len(p.jobs) == 0 {
+		return
+	}
+	head := p.jobs.peek()
+	remaining := head.key - p.virtual
+	if remaining < 0 {
+		remaining = 0
+	}
+	dt := sim.Time(remaining / p.rate())
+	p.pending = p.s.At(now+dt, func(end sim.Time) {
+		p.haveEv = false
+		p.advance(end)
+		j := popPS(&p.jobs)
+		j.done(end)
+		p.resched(end)
+	})
+	p.haveEv = true
+}
+
+// psPartitioned is n independent single-server PS queues.
+type psPartitioned struct {
+	s     *sim.Sim
+	units []*psCentral
+}
+
+func newPSPartitioned(s *sim.Sim, n int) *psPartitioned {
+	p := &psPartitioned{s: s}
+	for i := 0; i < n; i++ {
+		p.units = append(p.units, newPSCentral(s, 1))
+	}
+	return p
+}
+
+func (p *psPartitioned) arrive(now sim.Time, size int64, done func(sim.Time)) {
+	p.units[p.s.Rand.Intn(len(p.units))].arrive(now, size, done)
+}

@@ -1,0 +1,276 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"zygos/internal/dist"
+)
+
+const us = int64(1000)
+
+func run(t *testing.T, pol Policy, arr Arrangement, d dist.Dist, load float64, n int) Result {
+	t.Helper()
+	return Run(Config{
+		Servers:     n,
+		Policy:      pol,
+		Arrangement: arr,
+		Service:     d,
+		Load:        load,
+		Requests:    60000,
+		Warmup:      5000,
+		Seed:        12345,
+	})
+}
+
+// M/M/1 sanity: simulated mean sojourn must match 1/(mu-lambda).
+func TestMM1MeanSojourn(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	for _, load := range []float64{0.3, 0.6, 0.8} {
+		res := run(t, FCFS, Centralized, d, load, 1)
+		mu := 1.0 / float64(10*us)
+		lambda := load * mu
+		want := MM1MeanSojourn(lambda, mu)
+		got := res.Latencies.Mean()
+		if math.Abs(got-want)/want > 0.08 {
+			t.Errorf("load %.1f: mean sojourn %v, want ~%v", load, got, want)
+		}
+	}
+}
+
+// M/M/1 p99 must match the closed form -ln(0.01)/(mu-lambda).
+// p99 estimates need a large sample: 60k observations carry ~±10% seed noise
+// at this quantile, so this test uses 300k.
+func TestMM1P99(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	load := 0.7
+	res := Run(Config{
+		Servers: 1, Policy: FCFS, Arrangement: Centralized,
+		Service: d, Load: load, Requests: 300000, Warmup: 5000, Seed: 12345,
+	})
+	mu := 1.0 / float64(10*us)
+	want := MM1SojournQuantile(load*mu, mu, 0.99)
+	got := float64(res.Latencies.P99())
+	if math.Abs(got-want)/want > 0.06 {
+		t.Errorf("p99 %v, want ~%v", got, want)
+	}
+}
+
+// M/M/16 mean wait must match Erlang-C.
+func TestMM16MeanWaitErlangC(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	load := 0.8
+	res := run(t, FCFS, Centralized, d, load, 16)
+	mu := 1.0 / float64(10*us)
+	lambda := load * 16 * mu
+	wantSojourn := MMcMeanWait(16, lambda, mu) + 1/mu
+	got := res.Latencies.Mean()
+	if math.Abs(got-wantSojourn)/wantSojourn > 0.08 {
+		t.Errorf("mean sojourn %v, want ~%v", got, wantSojourn)
+	}
+}
+
+func TestErlangCBounds(t *testing.T) {
+	if p := ErlangC(16, 15.99); p < 0.9 {
+		t.Errorf("near saturation ErlangC should approach 1, got %v", p)
+	}
+	if p := ErlangC(16, 0.1); p > 1e-10 {
+		t.Errorf("light load ErlangC should be ~0, got %v", p)
+	}
+	if p := ErlangC(16, 17); p != 1 {
+		t.Errorf("overload ErlangC must be 1, got %v", p)
+	}
+	if p := ErlangC(1, 0.5); math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("ErlangC(1, a) must equal a (=rho), got %v", p)
+	}
+}
+
+func TestMMcWaitTail(t *testing.T) {
+	if MMcWaitTail(4, 5, 1, 1) != 1 {
+		t.Error("overloaded tail must be 1")
+	}
+	got := MMcWaitTail(2, 1, 1, 0)
+	if math.Abs(got-ErlangC(2, 1)) > 1e-12 {
+		t.Error("tail at 0 must equal ErlangC")
+	}
+}
+
+// The paper's anchor (§3.1): for exponential service and SLO p99 <= 10·S̄,
+// the partitioned model maxes at ~53.7% and the centralized at ~96.3%.
+func TestPaperAnchorPartitioned(t *testing.T) {
+	if got := MM1MaxLoadAtSLO(0.99, 10); math.Abs(got-0.5395) > 0.005 {
+		t.Fatalf("analytic M/M/1 max load = %v, want ~0.5395", got)
+	}
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	eval := func(load float64) int64 {
+		return run(t, FCFS, Partitioned, d, load, 16).Latencies.P99()
+	}
+	got := MaxLoadAtSLO(eval, 100*us, 0.05, 0.99, 7)
+	if math.Abs(got-0.537) > 0.05 {
+		t.Errorf("simulated partitioned max load = %v, want ~0.537", got)
+	}
+}
+
+func TestPaperAnchorCentralized(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	eval := func(load float64) int64 {
+		return run(t, FCFS, Centralized, d, load, 16).Latencies.P99()
+	}
+	got := MaxLoadAtSLO(eval, 100*us, 0.5, 0.995, 7)
+	if math.Abs(got-0.963) > 0.04 {
+		t.Errorf("simulated centralized max load = %v, want ~0.963", got)
+	}
+}
+
+// Observation 1 (§2.3): single-queue beats multi-queue at the tail.
+func TestCentralizedBeatsPartitioned(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	for _, pol := range []Policy{FCFS, PS} {
+		c := run(t, pol, Centralized, d, 0.7, 16).Latencies.P99()
+		p := run(t, pol, Partitioned, d, 0.7, 16).Latencies.P99()
+		if c >= p {
+			t.Errorf("%v: centralized p99 %d should beat partitioned %d", pol, c, p)
+		}
+	}
+}
+
+// Observation 2 (§2.3): FCFS beats PS for low-dispersion distributions,
+// PS wins for bimodal-2 (very high dispersion).
+func TestFCFSvsPSByDispersion(t *testing.T) {
+	low := dist.Deterministic{V: 10 * us}
+	fc := run(t, FCFS, Centralized, low, 0.8, 16).Latencies.P99()
+	ps := run(t, PS, Centralized, low, 0.8, 16).Latencies.P99()
+	if fc >= ps {
+		t.Errorf("deterministic: FCFS p99 %d should beat PS %d", fc, ps)
+	}
+
+	high := dist.NewBimodal2(10 * us)
+	fc = run(t, FCFS, Centralized, high, 0.7, 16).Latencies.P99()
+	ps = run(t, PS, Centralized, high, 0.7, 16).Latencies.P99()
+	if ps >= fc {
+		t.Errorf("bimodal-2: PS p99 %d should beat FCFS %d", ps, fc)
+	}
+}
+
+// Deterministic service at n=16: minimum p99 is the service time itself and
+// latency grows with load.
+func TestDeterministicFloor(t *testing.T) {
+	d := dist.Deterministic{V: 10 * us}
+	lo := run(t, FCFS, Centralized, d, 0.2, 16)
+	if lo.Latencies.Min() < 10*us {
+		t.Fatal("sojourn cannot be below service time")
+	}
+	if p := lo.Latencies.P99(); p > 12*us {
+		t.Errorf("light-load p99 %d should be near 10us", p)
+	}
+	hi := run(t, FCFS, Centralized, d, 0.95, 16)
+	if hi.Latencies.P99() <= lo.Latencies.P99() {
+		t.Error("p99 must increase with load")
+	}
+}
+
+// PS with a single job must behave like dedicated service.
+func TestPSSingleJob(t *testing.T) {
+	d := dist.Deterministic{V: 10 * us}
+	res := run(t, PS, Centralized, d, 0.05, 16)
+	// At 5% load on 16 servers collisions are rare: p50 equals service time.
+	if p := res.Latencies.Percentile(0.5); p != 10*us {
+		t.Errorf("p50 %d, want exactly 10us", p)
+	}
+}
+
+// PS fairness: two equal jobs arriving together on one server finish at ~2x.
+func TestPSSharing(t *testing.T) {
+	// Build a tiny deterministic scenario via the exported Run interface:
+	// 1 server, high load, deterministic service. Mean sojourn under PS-1
+	// must exceed FCFS-1 mean (PS delays everything under determinism).
+	d := dist.Deterministic{V: 10 * us}
+	ps := run(t, PS, Centralized, d, 0.8, 1).Latencies.Mean()
+	fc := run(t, FCFS, Centralized, d, 0.8, 1).Latencies.Mean()
+	if ps <= fc {
+		t.Errorf("PS mean %v should exceed FCFS mean %v for deterministic work", ps, fc)
+	}
+}
+
+func TestModelName(t *testing.T) {
+	if got := ModelName(16, FCFS, Centralized); got != "M/G/16/FCFS" {
+		t.Errorf("got %q", got)
+	}
+	if got := ModelName(16, PS, Partitioned); got != "16xM/G/1/PS" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPolicyArrangementStrings(t *testing.T) {
+	if FCFS.String() != "FCFS" || PS.String() != "PS" {
+		t.Error("policy strings")
+	}
+	if Centralized.String() != "centralized" || Partitioned.String() != "partitioned" {
+		t.Error("arrangement strings")
+	}
+	if Policy(9).String() == "" || Arrangement(9).String() == "" {
+		t.Error("unknown values must still render")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	d := dist.Deterministic{V: 10}
+	mustPanic := func(cfg Config) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("config %+v must panic", cfg)
+			}
+		}()
+		Run(cfg)
+	}
+	mustPanic(Config{Servers: 0, Service: d, Load: 0.5})
+	mustPanic(Config{Servers: 1, Service: d, Load: 0})
+	mustPanic(Config{Servers: 1, Service: d, Load: 2})
+}
+
+func TestSeedDeterminism(t *testing.T) {
+	d := dist.Exponential{MeanNS: float64(10 * us)}
+	a := run(t, FCFS, Centralized, d, 0.5, 4).Latencies.P99()
+	b := run(t, FCFS, Centralized, d, 0.5, 4).Latencies.P99()
+	if a != b {
+		t.Fatal("same-seed runs must be identical")
+	}
+}
+
+func TestMaxLoadAtSLOEdges(t *testing.T) {
+	// eval below slo everywhere -> hi.
+	got := MaxLoadAtSLO(func(float64) int64 { return 1 }, 10, 0.1, 0.9, 5)
+	if got != 0.9 {
+		t.Errorf("always-ok eval should return hi, got %v", got)
+	}
+	// eval above slo everywhere -> lo.
+	got = MaxLoadAtSLO(func(float64) int64 { return 100 }, 10, 0.1, 0.9, 5)
+	if got != 0.1 {
+		t.Errorf("never-ok eval should return lo, got %v", got)
+	}
+	// threshold at 0.5.
+	got = MaxLoadAtSLO(func(l float64) int64 {
+		if l <= 0.5 {
+			return 5
+		}
+		return 50
+	}, 10, 0, 1, 20)
+	if math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("threshold search got %v, want 0.5", got)
+	}
+}
+
+func TestMM1Infinite(t *testing.T) {
+	if !math.IsInf(MM1SojournQuantile(2, 1, 0.99), 1) {
+		t.Error("overload quantile must be +Inf")
+	}
+	if !math.IsInf(MM1MeanSojourn(1, 1), 1) {
+		t.Error("critical load mean must be +Inf")
+	}
+	if !math.IsInf(MMcMeanWait(2, 3, 1), 1) {
+		t.Error("overload MMc wait must be +Inf")
+	}
+	if MM1MaxLoadAtSLO(0.99, 1) != 0 {
+		t.Error("impossible SLO must give 0 load")
+	}
+}

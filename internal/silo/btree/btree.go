@@ -1,0 +1,392 @@
+// Package btree implements the ordered index underneath the Silo-style
+// transaction engine: a concurrent B+-tree with per-node reader/writer
+// lock coupling ("crabbing") and linked leaves for range scans.
+//
+// It stands in for Silo's Masstree. Two Masstree properties matter to the
+// transaction protocol and are preserved here:
+//
+//   - concurrent readers and writers without a global lock, and
+//   - per-leaf version counters, bumped on every structural or membership
+//     change, which the engine's commit protocol re-validates to prevent
+//     phantoms (Silo §4.5).
+//
+// Deletions remove keys from leaves but never merge nodes (the classical
+// simplification, also used by several production B-trees); lookups and
+// scans remain correct, underfull leaves are simply tolerated.
+package btree
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+)
+
+// maxKeys is the node fan-out. 32 keeps trees shallow while exercising
+// splits heavily in tests.
+const maxKeys = 32
+
+// node is both internal node and leaf. For internal nodes children[i]
+// holds keys < keys[i] (children has len(keys)+1 entries). For leaves,
+// vals[i] corresponds to keys[i] and next links the right sibling.
+type node struct {
+	mu      sync.RWMutex
+	leaf    bool
+	keys    [][]byte
+	childs  []*node
+	vals    []any
+	next    *node
+	version atomic.Uint64 // bumped on every leaf membership change
+}
+
+// Tree is a concurrent B+-tree mapping byte-string keys to values.
+type Tree struct {
+	root  atomic.Pointer[node]
+	count atomic.Int64
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	t := &Tree{}
+	t.root.Store(&node{leaf: true})
+	return t
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return int(t.count.Load()) }
+
+// NodeVersion is a leaf snapshot captured during reads; the transaction
+// engine revalidates these at commit to detect phantoms.
+type NodeVersion struct {
+	n *node
+	v uint64
+}
+
+// Validate reports whether the leaf is unchanged since capture.
+func (nv NodeVersion) Validate() bool { return nv.n.version.Load() == nv.v }
+
+// lockedRoot returns the current root with the requested lock held,
+// retrying if a root split swapped the pointer in between.
+func (t *Tree) lockedRoot(write bool) *node {
+	for {
+		r := t.root.Load()
+		if write {
+			r.mu.Lock()
+		} else {
+			r.mu.RLock()
+		}
+		if t.root.Load() == r {
+			return r
+		}
+		if write {
+			r.mu.Unlock()
+		} else {
+			r.mu.RUnlock()
+		}
+	}
+}
+
+// search returns the index of the first key >= k, and whether it equals k.
+func search(keys [][]byte, k []byte) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	eq := lo < len(keys) && bytes.Equal(keys[lo], k)
+	return lo, eq
+}
+
+// childIndex returns which child to descend into for key k.
+func childIndex(keys [][]byte, k []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(k, keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// descendRead crabs read locks from the root to the leaf containing k and
+// returns the leaf, read-locked.
+func (t *Tree) descendRead(k []byte) *node {
+	n := t.lockedRoot(false)
+	for !n.leaf {
+		c := n.childs[childIndex(n.keys, k)]
+		c.mu.RLock()
+		n.mu.RUnlock()
+		n = c
+	}
+	return n
+}
+
+// Get returns the value stored under k.
+func (t *Tree) Get(k []byte) (any, bool) {
+	n := t.descendRead(k)
+	defer n.mu.RUnlock()
+	i, eq := search(n.keys, k)
+	if !eq {
+		return nil, false
+	}
+	return n.vals[i], true
+}
+
+// GetVersioned is Get plus the leaf version snapshot, so absent reads can
+// be revalidated at commit (phantom protection for point misses).
+func (t *Tree) GetVersioned(k []byte) (any, bool, NodeVersion) {
+	n := t.descendRead(k)
+	defer n.mu.RUnlock()
+	nv := NodeVersion{n: n, v: n.version.Load()}
+	i, eq := search(n.keys, k)
+	if !eq {
+		return nil, false, nv
+	}
+	return n.vals[i], true, nv
+}
+
+// Put inserts or replaces the value under k, returning the previous value
+// if any. The key is copied.
+func (t *Tree) Put(k []byte, v any) (prev any, existed bool) {
+	leaf, locked := t.descendWrite(k)
+	i, eq := search(leaf.keys, k)
+	if eq {
+		prev = leaf.vals[i]
+		leaf.vals[i] = v
+		leaf.version.Add(1)
+		unlockAll(locked)
+		return prev, true
+	}
+	kc := append([]byte(nil), k...)
+	leaf.keys = insertKey(leaf.keys, i, kc)
+	leaf.vals = insertVal(leaf.vals, i, v)
+	leaf.version.Add(1)
+	t.count.Add(1)
+	if len(leaf.keys) > maxKeys {
+		t.splitUp(locked)
+	}
+	unlockAll(locked)
+	return nil, false
+}
+
+// PutIfAbsent inserts v under k only if k is not present. It returns the
+// value that is in the tree after the call and whether it was already
+// there. The key is copied.
+func (t *Tree) PutIfAbsent(k []byte, v any) (cur any, existed bool) {
+	leaf, locked := t.descendWrite(k)
+	i, eq := search(leaf.keys, k)
+	if eq {
+		cur = leaf.vals[i]
+		unlockAll(locked)
+		return cur, true
+	}
+	kc := append([]byte(nil), k...)
+	leaf.keys = insertKey(leaf.keys, i, kc)
+	leaf.vals = insertVal(leaf.vals, i, v)
+	leaf.version.Add(1)
+	t.count.Add(1)
+	if len(leaf.keys) > maxKeys {
+		t.splitUp(locked)
+	}
+	unlockAll(locked)
+	return v, false
+}
+
+// Delete removes k, reporting whether it was present. Nodes are never
+// merged; structure above leaves only grows.
+func (t *Tree) Delete(k []byte) bool {
+	// Descend with read crabbing to the leaf's parent, then write-lock the
+	// leaf. Lock order stays strictly top-down, so this cannot deadlock
+	// with inserts (which take write locks top-down).
+	n := t.lockedRoot(false)
+	if n.leaf {
+		// Single-node tree: upgrade by restarting with a write lock.
+		n.mu.RUnlock()
+		return t.deleteRootLeaf(k)
+	}
+	for {
+		c := n.childs[childIndex(n.keys, k)]
+		if c.leaf {
+			c.mu.Lock()
+			n.mu.RUnlock()
+			ok := deleteFromLeaf(c, k)
+			if ok {
+				t.count.Add(-1)
+			}
+			c.mu.Unlock()
+			return ok
+		}
+		c.mu.RLock()
+		n.mu.RUnlock()
+		n = c
+	}
+}
+
+func (t *Tree) deleteRootLeaf(k []byte) bool {
+	for {
+		r := t.root.Load()
+		r.mu.Lock()
+		if t.root.Load() != r {
+			r.mu.Unlock()
+			continue
+		}
+		ok := false
+		if r.leaf {
+			ok = deleteFromLeaf(r, k)
+			if ok {
+				t.count.Add(-1)
+			}
+			r.mu.Unlock()
+			return ok
+		}
+		// The root grew an internal level since we looked: retry the
+		// general path.
+		r.mu.Unlock()
+		return t.Delete(k)
+	}
+}
+
+func deleteFromLeaf(leaf *node, k []byte) bool {
+	i, eq := search(leaf.keys, k)
+	if !eq {
+		return false
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+	leaf.version.Add(1)
+	return true
+}
+
+// descendWrite locks the path needed for an insert: write locks crab from
+// the root, releasing ancestors once the child has room for a split key.
+// It returns the leaf and the list of still-locked nodes (root-first,
+// leaf last).
+func (t *Tree) descendWrite(k []byte) (*node, []*node) {
+	n := t.lockedRoot(true)
+	locked := []*node{n}
+	for !n.leaf {
+		c := n.childs[childIndex(n.keys, k)]
+		c.mu.Lock()
+		if len(c.keys) < maxKeys { // child cannot split its parent
+			unlockAll(locked)
+			locked = locked[:0]
+		}
+		locked = append(locked, c)
+		n = c
+	}
+	return n, locked
+}
+
+func unlockAll(nodes []*node) {
+	for _, n := range nodes {
+		n.mu.Unlock()
+	}
+}
+
+// splitUp splits the overfull tail of the locked path, propagating
+// separators upward. All nodes in locked are write-locked, root-first.
+func (t *Tree) splitUp(locked []*node) {
+	for i := len(locked) - 1; i >= 0; i-- {
+		n := locked[i]
+		if len(n.keys) <= maxKeys {
+			return
+		}
+		sep, right := splitNode(n)
+		if i > 0 {
+			parent := locked[i-1]
+			j := childIndex(parent.keys, sep)
+			parent.keys = insertKey(parent.keys, j, sep)
+			parent.childs = insertChild(parent.childs, j+1, right)
+			continue
+		}
+		// Root split: grow a new root. n is the current root (validated
+		// under its lock in lockedRoot), so the swap is safe.
+		newRoot := &node{
+			keys:   [][]byte{sep},
+			childs: []*node{n, right},
+		}
+		t.root.Store(newRoot)
+	}
+}
+
+// splitNode splits an overfull node in half, returning the separator key
+// and the new right sibling.
+func splitNode(n *node) ([]byte, *node) {
+	mid := len(n.keys) / 2
+	right := &node{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		right.next = n.next
+		n.next = right
+		n.version.Add(1)
+		right.version.Add(1)
+		sep := append([]byte(nil), right.keys[0]...)
+		return sep, right
+	}
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.childs = append(right.childs, n.childs[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.childs = n.childs[: mid+1 : mid+1]
+	return sep, right
+}
+
+func insertKey(keys [][]byte, i int, k []byte) [][]byte {
+	keys = append(keys, nil)
+	copy(keys[i+1:], keys[i:])
+	keys[i] = k
+	return keys
+}
+
+func insertVal(vals []any, i int, v any) []any {
+	vals = append(vals, nil)
+	copy(vals[i+1:], vals[i:])
+	vals[i] = v
+	return vals
+}
+
+func insertChild(childs []*node, i int, c *node) []*node {
+	childs = append(childs, nil)
+	copy(childs[i+1:], childs[i:])
+	childs[i] = c
+	return childs
+}
+
+// Scan visits keys in [from, to) in ascending order, calling fn for each;
+// fn returning false stops the scan. It returns the leaf versions touched,
+// for commit-time phantom validation. A nil to scans to the end.
+func (t *Tree) Scan(from, to []byte, fn func(k []byte, v any) bool) []NodeVersion {
+	var versions []NodeVersion
+	n := t.descendRead(from)
+	for {
+		versions = append(versions, NodeVersion{n: n, v: n.version.Load()})
+		i, _ := search(n.keys, from)
+		for ; i < len(n.keys); i++ {
+			if to != nil && bytes.Compare(n.keys[i], to) >= 0 {
+				n.mu.RUnlock()
+				return versions
+			}
+			if !fn(n.keys[i], n.vals[i]) {
+				n.mu.RUnlock()
+				return versions
+			}
+		}
+		next := n.next
+		if next == nil {
+			n.mu.RUnlock()
+			return versions
+		}
+		next.mu.RLock()
+		n.mu.RUnlock()
+		n = next
+	}
+}

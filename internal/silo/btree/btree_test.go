@@ -1,0 +1,368 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func k(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(k(1)); ok {
+		t.Fatal("empty tree must miss")
+	}
+	prev, existed := tr.Put(k(1), "a")
+	if existed || prev != nil {
+		t.Fatal("fresh insert must not report previous")
+	}
+	v, ok := tr.Get(k(1))
+	if !ok || v != "a" {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	prev, existed = tr.Put(k(1), "b")
+	if !existed || prev != "a" {
+		t.Fatalf("replace: prev=%v existed=%v", prev, existed)
+	}
+	if v, _ := tr.Get(k(1)); v != "b" {
+		t.Fatal("replace did not take")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+}
+
+func TestManyInsertsSplits(t *testing.T) {
+	tr := New()
+	const n = 10000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Put(k(i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len=%d want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(k(i))
+		if !ok || v != i {
+			t.Fatalf("key %d: got %v %v", i, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Put(k(i), i)
+	}
+	for i := 0; i < 1000; i += 2 {
+		if !tr.Delete(k(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Delete(k(0)) {
+		t.Fatal("double delete must fail")
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len=%d want 500", tr.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		_, ok := tr.Get(k(i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+}
+
+func TestDeleteOnRootLeaf(t *testing.T) {
+	tr := New()
+	tr.Put(k(1), 1)
+	tr.Put(k(2), 2)
+	if !tr.Delete(k(1)) || tr.Delete(k(1)) {
+		t.Fatal("root-leaf delete semantics broken")
+	}
+	if tr.Len() != 1 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i++ {
+		tr.Put(k(i*2), i*2) // even keys only
+	}
+	var got []int
+	tr.Scan(k(100), k(200), func(key []byte, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	want := 0
+	for i := 100; i < 200; i += 2 {
+		if got[want] != i {
+			t.Fatalf("scan[%d]=%d want %d", want, got[want], i)
+		}
+		want++
+	}
+	if len(got) != want {
+		t.Fatalf("scan returned %d keys want %d", len(got), want)
+	}
+}
+
+func TestScanEarlyStopAndOpenEnd(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(k(i), i)
+	}
+	var got []int
+	tr.Scan(k(90), nil, func(key []byte, v any) bool {
+		got = append(got, v.(int))
+		return len(got) < 5
+	})
+	if len(got) != 5 || got[0] != 90 || got[4] != 94 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestScanOrdering(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		tr.Put(k(rng.Intn(100000)), i)
+	}
+	var prev []byte
+	tr.Scan(nil, nil, func(key []byte, v any) bool {
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], key...)
+		return true
+	})
+}
+
+func TestNodeVersionChangesOnMutation(t *testing.T) {
+	tr := New()
+	tr.Put(k(1), 1)
+	_, _, nv := tr.GetVersioned(k(2)) // absent read
+	if !nv.Validate() {
+		t.Fatal("fresh version must validate")
+	}
+	tr.Put(k(2), 2) // phantom insert into the same leaf
+	if nv.Validate() {
+		t.Fatal("insert into scanned leaf must invalidate version")
+	}
+}
+
+func TestScanVersionsDetectPhantom(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i += 2 {
+		tr.Put(k(i), i)
+	}
+	versions := tr.Scan(k(10), k(30), func([]byte, any) bool { return true })
+	ok := true
+	for _, nv := range versions {
+		ok = ok && nv.Validate()
+	}
+	if !ok {
+		t.Fatal("unmodified scan must validate")
+	}
+	tr.Put(k(11), 11) // phantom in range
+	ok = true
+	for _, nv := range versions {
+		ok = ok && nv.Validate()
+	}
+	if ok {
+		t.Fatal("phantom insert must invalidate a scanned leaf version")
+	}
+}
+
+func TestKeyCopied(t *testing.T) {
+	tr := New()
+	key := []byte{1, 2, 3}
+	tr.Put(key, "v")
+	key[0] = 9 // mutate caller's buffer
+	if _, ok := tr.Get([]byte{1, 2, 3}); !ok {
+		t.Fatal("tree must copy keys on insert")
+	}
+}
+
+// Property: the tree agrees with a reference map under random ops.
+func TestMatchesReferenceMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		tr := New()
+		ref := map[string]int{}
+		rng := rand.New(rand.NewSource(seed))
+		for opIdx, raw := range ops {
+			key := k(int(raw % 512))
+			switch rng.Intn(3) {
+			case 0:
+				tr.Put(key, opIdx)
+				ref[string(key)] = opIdx
+			case 1:
+				got := tr.Delete(key)
+				_, want := ref[string(key)]
+				if got != want {
+					return false
+				}
+				delete(ref, string(key))
+			default:
+				v, ok := tr.Get(key)
+				want, wok := ref[string(key)]
+				if ok != wok || (ok && v.(int) != want) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		// Full scan must equal sorted reference.
+		var keys []string
+		for s := range ref {
+			keys = append(keys, s)
+		}
+		sort.Strings(keys)
+		i := 0
+		okScan := true
+		tr.Scan(nil, nil, func(key []byte, v any) bool {
+			if i >= len(keys) || string(key) != keys[i] || v.(int) != ref[keys[i]] {
+				okScan = false
+				return false
+			}
+			i++
+			return true
+		})
+		return okScan && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrency: parallel writers on disjoint key ranges plus concurrent
+// readers and scanners. Run under -race.
+func TestConcurrentDisjointWriters(t *testing.T) {
+	tr := New()
+	const writers = 8
+	const per = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Put(k(w*per+i), w)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			tr.Scan(nil, nil, func([]byte, any) bool { return true })
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.Len() != writers*per {
+		t.Fatalf("Len=%d want %d", tr.Len(), writers*per)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < per; i++ {
+			if v, ok := tr.Get(k(w*per + i)); !ok || v != w {
+				t.Fatalf("key %d lost", w*per+i)
+			}
+		}
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	tr := New()
+	for i := 0; i < 4096; i++ {
+		tr.Put(k(i), i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 3000; i++ {
+				key := k(rng.Intn(8192))
+				switch rng.Intn(4) {
+				case 0:
+					tr.Put(key, g)
+				case 1:
+					tr.Delete(key)
+				case 2:
+					tr.Get(key)
+				default:
+					n := 0
+					tr.Scan(key, nil, func([]byte, any) bool {
+						n++
+						return n < 20
+					})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Structural sanity: scan visits Len() keys in order.
+	n := 0
+	var prev []byte
+	tr.Scan(nil, nil, func(key []byte, v any) bool {
+		if prev != nil && bytes.Compare(prev, key) >= 0 {
+			t.Fatal("order violated after concurrent ops")
+		}
+		prev = append(prev[:0], key...)
+		n++
+		return true
+	})
+	if n != tr.Len() {
+		t.Fatalf("scan saw %d keys, Len()=%d", n, tr.Len())
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	tr := New()
+	words := []string{"pear", "apple", "fig", "banana", "cherry", "fig2"}
+	for i, w := range words {
+		tr.Put([]byte(w), i)
+	}
+	var got []string
+	tr.Scan([]byte("b"), []byte("g"), func(key []byte, v any) bool {
+		got = append(got, string(key))
+		return true
+	})
+	want := []string{"banana", "cherry", "fig", "fig2"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Put(k(i), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Put(k(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(k(i % 100000))
+	}
+}

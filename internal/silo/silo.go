@@ -1,0 +1,582 @@
+// Package silo is an in-memory transactional database in the style of
+// Silo (Tu et al., SOSP '13), the system the ZygOS paper uses for its
+// TPC-C evaluation: optimistic concurrency control with an epoch-based
+// commit protocol over an ordered concurrent index (internal/silo/btree
+// standing in for Masstree).
+//
+// The commit protocol follows Silo §4:
+//
+//  1. lock the write set in deterministic (table, key) order, installing
+//     locked "absent" placeholders for inserts;
+//  2. take an epoch fence;
+//  3. validate the read set — every record read must have an unchanged
+//     version and must not be locked by another transaction — and the
+//     node set: every index leaf observed by a scan or an absent read
+//     must be unmodified (phantom protection);
+//  4. pick a TID greater than every observed TID, in the current epoch;
+//  5. apply writes, stamping the new TID, and release locks.
+//
+// Lock acquisition uses try-lock with abort-and-retry instead of Silo's
+// spinning, which cannot deadlock and suits an OCC retry loop. As in the
+// ZygOS paper's evaluation (§6.3.1), epoch-based garbage collection is
+// out of scope: deleted records are unlinked from the index and reclaimed
+// by the Go collector once concurrent readers drain.
+package silo
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zygos/internal/silo/btree"
+)
+
+// ErrConflict aborts a transaction whose read set, node set, or write
+// locks failed validation; callers retry (see Run).
+var ErrConflict = errors.New("silo: transaction conflict")
+
+// ErrUserAbort is returned by Run when the transaction body requested a
+// rollback (e.g., TPC-C's 1% intentionally-aborted NewOrder transactions).
+var ErrUserAbort = errors.New("silo: user abort")
+
+// TID word layout: [epoch:23][sequence:38][dead:1][absent:1][lock:1].
+const (
+	lockBit    = uint64(1)
+	absentBit  = uint64(2)
+	deadBit    = uint64(4)
+	seqShift   = 3
+	epochShift = 41
+	seqMask    = (uint64(1) << (epochShift - seqShift)) - 1
+)
+
+func packTID(epoch, seq uint64) uint64 {
+	return epoch<<epochShift | seq<<seqShift
+}
+
+// versionOf strips the lock bit; the comparable version keeps the absent
+// and dead bits (observing a record live and validating it deleted must
+// fail, and vice versa).
+func versionOf(word uint64) uint64 { return word &^ lockBit }
+
+// Record is one row version holder: the value is replaced wholesale on
+// write (installed rows are immutable) and the TID word carries Silo's
+// version protocol.
+type Record struct {
+	tid atomic.Uint64
+	val atomic.Value // holds rowBox
+}
+
+// rowBox wraps row values so atomic.Value accepts differing concrete
+// types, including nil rows in placeholders.
+type rowBox struct{ v any }
+
+// stableRead returns a consistent (value, word) snapshot via the seqlock
+// pattern of Silo §4.2.1. Dead records (rolled-back insert placeholders)
+// are permanently locked and returned as-is; their version can never
+// validate.
+//
+// Unlike Silo's pinned cores, Go goroutines can be descheduled while
+// holding a record lock, so the spin yields to the scheduler after a few
+// iterations: without the yield, spinning readers can occupy every CPU
+// and starve the very writer they are waiting for.
+func (r *Record) stableRead() (any, uint64) {
+	for spins := 0; ; spins++ {
+		w1 := r.tid.Load()
+		if w1&deadBit != 0 {
+			return nil, w1
+		}
+		if w1&lockBit != 0 {
+			if spins > 16 {
+				runtime.Gosched()
+			}
+			continue // a committer is installing; the window is tiny
+		}
+		box, _ := r.val.Load().(rowBox)
+		w2 := r.tid.Load()
+		if w1 == w2 {
+			return box.v, w1
+		}
+	}
+}
+
+func (r *Record) tryLock() bool {
+	w := r.tid.Load()
+	return w&(lockBit|deadBit) == 0 && r.tid.CompareAndSwap(w, w|lockBit)
+}
+
+func (r *Record) unlock() {
+	for {
+		w := r.tid.Load()
+		if r.tid.CompareAndSwap(w, w&^lockBit) {
+			return
+		}
+	}
+}
+
+// Table is one named, ordered tree of records.
+type Table struct {
+	name string
+	idx  *btree.Tree
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of index entries (including not-yet-collected
+// absent records).
+func (t *Table) Len() int { return t.idx.Len() }
+
+// LoadInsert installs a row non-transactionally. It is the bulk-load path
+// for benchmark population and must not run concurrently with
+// transactions on the same key space.
+func (t *Table) LoadInsert(key []byte, row any) {
+	rec := &Record{}
+	rec.val.Store(rowBox{v: row})
+	rec.tid.Store(packTID(1, 0))
+	t.idx.Put(key, rec)
+}
+
+// DB is a Silo-style in-memory database.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	epoch   atomic.Uint64
+	stopGen chan struct{}
+	genOnce sync.Once
+
+	tidMu    sync.Mutex
+	lastTIDs map[int]*uint64
+
+	commits atomic.Uint64
+	aborts  atomic.Uint64
+}
+
+// NewDB returns an empty database with the epoch counter running.
+// epochInterval controls advancement (Silo uses 40ms); zero selects 10ms.
+func NewDB(epochInterval time.Duration) *DB {
+	if epochInterval <= 0 {
+		epochInterval = 10 * time.Millisecond
+	}
+	db := &DB{
+		tables:   make(map[string]*Table),
+		stopGen:  make(chan struct{}),
+		lastTIDs: make(map[int]*uint64),
+	}
+	db.epoch.Store(1)
+	go func() {
+		t := time.NewTicker(epochInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				db.epoch.Add(1)
+			case <-db.stopGen:
+				return
+			}
+		}
+	}()
+	return db
+}
+
+// Close stops the epoch generator.
+func (db *DB) Close() {
+	db.genOnce.Do(func() { close(db.stopGen) })
+}
+
+// Epoch returns the current global epoch.
+func (db *DB) Epoch() uint64 { return db.epoch.Load() }
+
+// Stats returns cumulative commit and abort counts.
+func (db *DB) Stats() (commits, aborts uint64) {
+	return db.commits.Load(), db.aborts.Load()
+}
+
+// CreateTable registers a table; creating an existing table is an error.
+func (db *DB) CreateTable(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("silo: table %q exists", name)
+	}
+	t := &Table{name: name, idx: btree.New()}
+	db.tables[name] = t
+	return t, nil
+}
+
+// MustTable returns a registered table, panicking if absent (schema
+// errors are programming errors).
+func (db *DB) MustTable(name string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("silo: unknown table %q", name))
+	}
+	return t
+}
+
+func (db *DB) lastTIDSlot(worker int) *uint64 {
+	db.tidMu.Lock()
+	defer db.tidMu.Unlock()
+	p, ok := db.lastTIDs[worker]
+	if !ok {
+		p = new(uint64)
+		db.lastTIDs[worker] = p
+	}
+	return p
+}
+
+// writeKind distinguishes write-set entries.
+type writeKind int
+
+const (
+	writeUpdate writeKind = iota // upsert
+	writeInsert                  // must not exist as a live row
+	writeDelete
+)
+
+type writeEntry struct {
+	table *Table
+	key   []byte
+	kind  writeKind
+	val   any
+	rec   *Record
+	added bool // this txn installed the index placeholder
+}
+
+type readEntry struct {
+	rec  *Record
+	word uint64
+}
+
+// Txn is one transaction. A Txn is used by a single goroutine.
+type Txn struct {
+	db     *DB
+	worker int
+
+	reads    []readEntry
+	readIdx  map[*Record]struct{}
+	writes   []writeEntry
+	writeIdx map[string]int
+	nodes    []btree.NodeVersion
+	lastTID  *uint64
+	done     bool
+}
+
+// Begin starts a transaction attributed to the given worker (core) index,
+// which keeps that worker's TIDs monotonic as Silo requires.
+func (db *DB) Begin(worker int) *Txn {
+	return &Txn{
+		db:       db,
+		worker:   worker,
+		readIdx:  make(map[*Record]struct{}),
+		writeIdx: make(map[string]int),
+		lastTID:  db.lastTIDSlot(worker),
+	}
+}
+
+func wkey(t *Table, key []byte) string {
+	return t.name + "\x00" + string(key)
+}
+
+// Get returns the row stored under key, observing the transaction's own
+// buffered writes first.
+func (t *Txn) Get(tbl *Table, key []byte) (any, bool) {
+	if i, ok := t.writeIdx[wkey(tbl, key)]; ok {
+		w := t.writes[i]
+		if w.kind == writeDelete {
+			return nil, false
+		}
+		return w.val, true
+	}
+	v, found, nv := tbl.idx.GetVersioned(key)
+	if !found {
+		// Absent read: remember the leaf so a racing insert aborts us.
+		t.nodes = append(t.nodes, nv)
+		return nil, false
+	}
+	rec := v.(*Record)
+	row, word := rec.stableRead()
+	t.trackRead(rec, word)
+	if word&(absentBit|deadBit) != 0 {
+		return nil, false
+	}
+	return row, true
+}
+
+func (t *Txn) trackRead(rec *Record, word uint64) {
+	if _, ok := t.readIdx[rec]; ok {
+		// Keep the first observation; if the record changed in between,
+		// validation fails on that first word anyway.
+		return
+	}
+	t.readIdx[rec] = struct{}{}
+	t.reads = append(t.reads, readEntry{rec: rec, word: word})
+}
+
+// Put buffers an upsert.
+func (t *Txn) Put(tbl *Table, key []byte, row any) {
+	t.bufferWrite(tbl, key, writeUpdate, row)
+}
+
+// Insert buffers the insertion of a key expected to be new. A live row
+// under the key at commit time is treated as a conflict: under OCC retry
+// semantics a racing insert invalidates whatever read justified the key
+// choice.
+func (t *Txn) Insert(tbl *Table, key []byte, row any) {
+	t.bufferWrite(tbl, key, writeInsert, row)
+}
+
+// Delete buffers the removal of a key.
+func (t *Txn) Delete(tbl *Table, key []byte) {
+	t.bufferWrite(tbl, key, writeDelete, nil)
+}
+
+func (t *Txn) bufferWrite(tbl *Table, key []byte, kind writeKind, row any) {
+	k := wkey(tbl, key)
+	if i, ok := t.writeIdx[k]; ok {
+		t.writes[i].kind = kind
+		t.writes[i].val = row
+		return
+	}
+	t.writeIdx[k] = len(t.writes)
+	t.writes = append(t.writes, writeEntry{
+		table: tbl,
+		key:   append([]byte(nil), key...),
+		kind:  kind,
+		val:   row,
+	})
+}
+
+// Scan visits live rows with keys in [from, to) in ascending order,
+// observing the transaction's own buffered updates and deletes for keys
+// already in the index. fn returning false stops the scan. Touched index
+// leaves join the node set for commit-time phantom validation. Rows
+// buffered by this transaction's own Inserts are not visited (they are
+// not in the index until commit).
+func (t *Txn) Scan(tbl *Table, from, to []byte, fn func(key []byte, row any) bool) {
+	nvs := tbl.idx.Scan(from, to, func(key []byte, v any) bool {
+		rec := v.(*Record)
+		if i, ok := t.writeIdx[wkey(tbl, key)]; ok {
+			w := t.writes[i]
+			if w.kind == writeDelete {
+				return true
+			}
+			return fn(key, w.val)
+		}
+		row, word := rec.stableRead()
+		t.trackRead(rec, word)
+		if word&(absentBit|deadBit) != 0 {
+			return true
+		}
+		return fn(key, row)
+	})
+	t.nodes = append(t.nodes, nvs...)
+}
+
+// Commit runs the Silo commit protocol. On ErrConflict all effects have
+// been rolled back and the transaction may be retried.
+func (t *Txn) Commit() error {
+	if t.done {
+		return errors.New("silo: transaction already finished")
+	}
+	t.done = true
+
+	// Phase 1: lock the write set in deterministic order.
+	order := make([]int, len(t.writes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := &t.writes[order[a]], &t.writes[order[b]]
+		if wa.table.name != wb.table.name {
+			return wa.table.name < wb.table.name
+		}
+		return bytes.Compare(wa.key, wb.key) < 0
+	})
+
+	var locked []*writeEntry
+	abort := func() error {
+		t.releaseLocked(locked)
+		t.db.aborts.Add(1)
+		return ErrConflict
+	}
+
+	for _, oi := range order {
+		w := &t.writes[oi]
+		if !t.resolveAndLock(w) {
+			return abort()
+		}
+		locked = append(locked, w)
+		if w.kind == writeInsert && !w.added && w.rec.tid.Load()&absentBit == 0 {
+			// A live row already exists under this key.
+			return abort()
+		}
+	}
+
+	// Fence: the serialization epoch.
+	epoch := t.db.epoch.Load()
+
+	// Phase 2: validate the read set and node set.
+	for _, re := range t.reads {
+		w := re.rec.tid.Load()
+		if versionOf(w) != versionOf(re.word) {
+			return abort()
+		}
+		if w&lockBit != 0 && !t.inWriteSet(re.rec) {
+			return abort()
+		}
+	}
+	for _, nv := range t.nodes {
+		if !nv.Validate() {
+			return abort()
+		}
+	}
+
+	// Phase 3: compute the TID and install the writes.
+	maxSeen := *t.lastTID
+	for _, re := range t.reads {
+		if v := versionOf(re.word); v > maxSeen {
+			maxSeen = v
+		}
+	}
+	for i := range t.writes {
+		if v := versionOf(t.writes[i].rec.tid.Load()); v > maxSeen {
+			maxSeen = v
+		}
+	}
+	seq := (maxSeen >> seqShift) & seqMask
+	tidEpoch := maxSeen >> epochShift
+	if epoch > tidEpoch {
+		tidEpoch, seq = epoch, 0
+	} else {
+		seq++
+	}
+	newTID := packTID(tidEpoch, seq)
+	*t.lastTID = newTID
+
+	for _, oi := range order {
+		w := &t.writes[oi]
+		switch w.kind {
+		case writeDelete:
+			// Publish the deletion (absent, unlocked), then unlink the key.
+			// Readers holding the record pointer see the absent version;
+			// the leaf version bump aborts overlapping scanners.
+			w.rec.val.Store(rowBox{})
+			w.rec.tid.Store(newTID | absentBit)
+			w.table.idx.Delete(w.key)
+		default:
+			w.rec.val.Store(rowBox{v: w.val})
+			w.rec.tid.Store(newTID) // publishes and unlocks
+		}
+	}
+	t.db.commits.Add(1)
+	return nil
+}
+
+// resolveAndLock binds the write entry to its record, installing a locked
+// absent placeholder for keys not yet in the index, and acquires the
+// record lock. It reports false on lock failure.
+func (t *Txn) resolveAndLock(w *writeEntry) bool {
+	v, found := w.table.idx.Get(w.key)
+	if found {
+		w.rec = v.(*Record)
+		return w.rec.tryLock()
+	}
+	if w.kind == writeDelete {
+		// Deleting a key that is gone: the read justifying the delete is
+		// stale.
+		return false
+	}
+	rec := &Record{}
+	rec.val.Store(rowBox{})
+	rec.tid.Store(absentBit | lockBit)
+	prev, existed := w.table.idx.PutIfAbsent(w.key, rec)
+	if existed {
+		w.rec = prev.(*Record)
+		return w.rec.tryLock()
+	}
+	w.rec = rec
+	w.added = true
+	return true
+}
+
+// releaseLocked rolls back phase-1 effects: locked pre-existing records
+// are unlocked; placeholders this transaction installed are unlinked and
+// poisoned (left permanently locked+dead) so that racing transactions
+// holding the stale pointer abort instead of writing to a dangling
+// record.
+func (t *Txn) releaseLocked(locked []*writeEntry) {
+	for _, w := range locked {
+		if w.added {
+			w.rec.tid.Store(absentBit | deadBit | lockBit)
+			w.table.idx.Delete(w.key)
+			w.added = false
+			continue
+		}
+		w.rec.unlock()
+	}
+}
+
+func (t *Txn) inWriteSet(rec *Record) bool {
+	for i := range t.writes {
+		if t.writes[i].rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// Abort rolls back a transaction that has not committed. Buffered writes
+// are discarded; nothing was installed (phase 1 only runs inside Commit).
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.db.aborts.Add(1)
+}
+
+// Run executes fn in a transaction, retrying on ErrConflict up to
+// maxRetries (≤0 selects 100). fn returning ErrUserAbort rolls back and
+// returns ErrUserAbort without retrying; any other error from fn aborts
+// and is returned as-is.
+//
+// Retries back off quadratically after the first few attempts. Without
+// backoff, scan-heavy transactions (TPC-C Delivery, StockLevel) livelock
+// against a stream of inserts invalidating their node sets: every retry
+// re-scans, gets invalidated again, and burns a core. A short randomized
+// pause lets the conflicting insert stream drain past.
+func (db *DB) Run(worker, maxRetries int, fn func(tx *Txn) error) error {
+	if maxRetries <= 0 {
+		maxRetries = 100
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ {
+		tx := db.Begin(worker)
+		if err := fn(tx); err != nil {
+			tx.Abort()
+			return err
+		}
+		err := tx.Commit()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) {
+			return err
+		}
+		if attempt >= 2 {
+			pause := time.Duration(attempt*attempt) * 3 * time.Microsecond
+			if pause > 300*time.Microsecond {
+				pause = 300 * time.Microsecond
+			}
+			time.Sleep(pause)
+		}
+	}
+	return fmt.Errorf("silo: transaction starved after %d retries: %w", maxRetries, ErrConflict)
+}

@@ -1,0 +1,431 @@
+package silo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func newDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB(time.Millisecond)
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestBasicCommit(t *testing.T) {
+	db := newDB(t)
+	tbl, err := db.CreateTable("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin(0)
+	tx.Insert(tbl, key(1), "v1")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx = db.Begin(0)
+	v, ok := tx.Get(tbl, key(1))
+	if !ok || v != "v1" {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	c, a := db.Stats()
+	if c != 2 || a != 0 {
+		t.Fatalf("stats %d/%d", c, a)
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	tx := db.Begin(0)
+	tx.Insert(tbl, key(1), "a")
+	if v, ok := tx.Get(tbl, key(1)); !ok || v != "a" {
+		t.Fatal("must read own insert")
+	}
+	tx.Put(tbl, key(1), "b")
+	if v, _ := tx.Get(tbl, key(1)); v != "b" {
+		t.Fatal("must read own update")
+	}
+	tx.Delete(tbl, key(1))
+	if _, ok := tx.Get(tbl, key(1)); ok {
+		t.Fatal("must observe own delete")
+	}
+	tx.Abort()
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	mustRun(t, db, func(tx *Txn) error { tx.Insert(tbl, key(1), 10); return nil })
+	mustRun(t, db, func(tx *Txn) error { tx.Put(tbl, key(1), 20); return nil })
+	mustRun(t, db, func(tx *Txn) error {
+		if v, ok := tx.Get(tbl, key(1)); !ok || v != 20 {
+			t.Fatalf("got %v %v", v, ok)
+		}
+		tx.Delete(tbl, key(1))
+		return nil
+	})
+	mustRun(t, db, func(tx *Txn) error {
+		if _, ok := tx.Get(tbl, key(1)); ok {
+			t.Fatal("deleted row visible")
+		}
+		return nil
+	})
+}
+
+func mustRun(t *testing.T, db *DB, fn func(tx *Txn) error) {
+	t.Helper()
+	if err := db.Run(0, 0, fn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertDuplicateConflicts(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	mustRun(t, db, func(tx *Txn) error { tx.Insert(tbl, key(1), "x"); return nil })
+	tx := db.Begin(0)
+	tx.Insert(tbl, key(1), "y")
+	if err := tx.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("duplicate insert: got %v, want conflict", err)
+	}
+}
+
+func TestWriteWriteConflictAborts(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	mustRun(t, db, func(tx *Txn) error { tx.Insert(tbl, key(1), 0); return nil })
+
+	// Reader validates against a concurrent committed write.
+	tx1 := db.Begin(0)
+	v, _ := tx1.Get(tbl, key(1))
+	_ = v
+	tx1.Put(tbl, key(1), 1)
+
+	tx2 := db.Begin(1)
+	tx2.Get(tbl, key(1))
+	tx2.Put(tbl, key(1), 2)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale read-modify-write: got %v, want conflict", err)
+	}
+}
+
+func TestPhantomProtectionPointMiss(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	tx1 := db.Begin(0)
+	if _, ok := tx1.Get(tbl, key(5)); ok {
+		t.Fatal("key must be absent")
+	}
+	tx1.Insert(tbl, key(100), "unrelated")
+
+	// A concurrent insert materializes the key tx1 observed as absent.
+	mustRun(t, db, func(tx *Txn) error { tx.Insert(tbl, key(5), "phantom"); return nil })
+
+	if err := tx1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("phantom point-miss: got %v, want conflict", err)
+	}
+}
+
+func TestPhantomProtectionScan(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	for i := 0; i < 20; i += 2 {
+		mustRun(t, db, func(tx *Txn) error { tx.Insert(tbl, key(i), i); return nil })
+	}
+	tx1 := db.Begin(0)
+	sum := 0
+	tx1.Scan(tbl, key(0), key(20), func(k []byte, row any) bool {
+		sum += row.(int)
+		return true
+	})
+	tx1.Put(tbl, key(100), sum)
+
+	mustRun(t, db, func(tx *Txn) error { tx.Insert(tbl, key(3), 3); return nil })
+
+	if err := tx1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("phantom in scanned range: got %v, want conflict", err)
+	}
+}
+
+func TestScanSeesOwnUpdatesAndDeletes(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	for i := 0; i < 5; i++ {
+		mustRun(t, db, func(tx *Txn) error { tx.Insert(tbl, key(i), i); return nil })
+	}
+	tx := db.Begin(0)
+	tx.Put(tbl, key(2), 200)
+	tx.Delete(tbl, key(3))
+	var got []int
+	tx.Scan(tbl, nil, nil, func(k []byte, row any) bool {
+		got = append(got, row.(int))
+		return true
+	})
+	want := fmt.Sprint([]int{0, 1, 200, 4})
+	if fmt.Sprint(got) != want {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	tx.Abort()
+}
+
+func TestUserAbort(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	err := db.Run(0, 0, func(tx *Txn) error {
+		tx.Insert(tbl, key(1), "x")
+		return ErrUserAbort
+	})
+	if !errors.Is(err, ErrUserAbort) {
+		t.Fatalf("got %v", err)
+	}
+	mustRun(t, db, func(tx *Txn) error {
+		if _, ok := tx.Get(tbl, key(1)); ok {
+			t.Fatal("aborted insert visible")
+		}
+		return nil
+	})
+}
+
+func TestCreateTableTwiceFails(t *testing.T) {
+	db := newDB(t)
+	if _, err := db.CreateTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t"); err == nil {
+		t.Fatal("duplicate table must fail")
+	}
+	if db.MustTable("t") == nil {
+		t.Fatal("MustTable must return the table")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable of unknown table must panic")
+		}
+	}()
+	db.MustTable("nope")
+}
+
+func TestCommitTwiceFails(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	tx := db.Begin(0)
+	tx.Insert(tbl, key(1), 1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("second commit must fail")
+	}
+}
+
+func TestLoadInsertVisible(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	for i := 0; i < 100; i++ {
+		tbl.LoadInsert(key(i), i)
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len=%d", tbl.Len())
+	}
+	mustRun(t, db, func(tx *Txn) error {
+		n := 0
+		tx.Scan(tbl, nil, nil, func(k []byte, row any) bool { n++; return true })
+		if n != 100 {
+			t.Fatalf("scan saw %d rows", n)
+		}
+		return nil
+	})
+}
+
+// The classic serializability smoke test: concurrent transfers between
+// accounts preserve the total balance.
+func TestBankTransferInvariant(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("accounts")
+	const accounts = 20
+	const initial = 1000
+	for i := 0; i < accounts; i++ {
+		tbl.LoadInsert(key(i), initial)
+	}
+	const workers = 8
+	const transfers = 400
+	var wg sync.WaitGroup
+	var starved atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				from := (w*31 + i) % accounts
+				to := (from + 1 + i%7) % accounts
+				if from == to {
+					continue
+				}
+				err := db.Run(w, 1000, func(tx *Txn) error {
+					fv, ok1 := tx.Get(tbl, key(from))
+					tv, ok2 := tx.Get(tbl, key(to))
+					if !ok1 || !ok2 {
+						t.Error("account missing")
+						return ErrUserAbort
+					}
+					amount := 1 + i%5
+					tx.Put(tbl, key(from), fv.(int)-amount)
+					tx.Put(tbl, key(to), tv.(int)+amount)
+					return nil
+				})
+				if err != nil {
+					starved.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if starved.Load() > 0 {
+		t.Fatalf("%d transfers starved", starved.Load())
+	}
+	total := 0
+	mustRun(t, db, func(tx *Txn) error {
+		total = 0
+		tx.Scan(tbl, nil, nil, func(k []byte, row any) bool {
+			total += row.(int)
+			return true
+		})
+		return nil
+	})
+	if total != accounts*initial {
+		t.Fatalf("money not conserved: %d, want %d", total, accounts*initial)
+	}
+}
+
+// Concurrent insert/delete/scan stress; verifies commits+aborts add up and
+// the table converges to the expected membership. Run under -race.
+func TestConcurrentInsertDeleteStress(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	const workers = 6
+	const keys = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key((w*131 + i*17) % keys)
+				switch i % 3 {
+				case 0:
+					db.Run(w, 50, func(tx *Txn) error {
+						tx.Put(tbl, k, w)
+						return nil
+					})
+				case 1:
+					db.Run(w, 50, func(tx *Txn) error {
+						if _, ok := tx.Get(tbl, k); ok {
+							tx.Delete(tbl, k)
+						}
+						return nil
+					})
+				default:
+					db.Run(w, 50, func(tx *Txn) error {
+						tx.Scan(tbl, k, nil, func([]byte, any) bool { return false })
+						return nil
+					})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Post-condition: every live row is readable and consistent.
+	mustRun(t, db, func(tx *Txn) error {
+		tx.Scan(tbl, nil, nil, func(k []byte, row any) bool {
+			if row == nil {
+				t.Error("live row with nil value")
+			}
+			return true
+		})
+		return nil
+	})
+	c, a := db.Stats()
+	t.Logf("commits=%d aborts=%d", c, a)
+	if c == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+// Serializability under read-modify-write on one hot counter: the final
+// value equals the number of successful increments.
+func TestCounterSerializability(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	tbl.LoadInsert(key(0), 0)
+	const workers = 8
+	const perWorker = 200
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				err := db.Run(w, 0, func(tx *Txn) error {
+					v, _ := tx.Get(tbl, key(0))
+					tx.Put(tbl, key(0), v.(int)+1)
+					return nil
+				})
+				if err == nil {
+					committed.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var final int
+	mustRun(t, db, func(tx *Txn) error {
+		v, _ := tx.Get(tbl, key(0))
+		final = v.(int)
+		return nil
+	})
+	if int64(final) != committed.Load() {
+		t.Fatalf("counter=%d, committed=%d: lost or duplicated increments", final, committed.Load())
+	}
+}
+
+func TestEpochAdvances(t *testing.T) {
+	db := newDB(t)
+	e0 := db.Epoch()
+	time.Sleep(20 * time.Millisecond)
+	if db.Epoch() <= e0 {
+		t.Fatal("epoch did not advance")
+	}
+}
+
+func TestTIDsMonotonicPerWorker(t *testing.T) {
+	db := newDB(t)
+	tbl, _ := db.CreateTable("t")
+	var last uint64
+	for i := 0; i < 100; i++ {
+		mustRun(t, db, func(tx *Txn) error { tx.Put(tbl, key(i), i); return nil })
+		cur := *db.lastTIDSlot(0)
+		if cur <= last {
+			t.Fatalf("TID not monotonic: %d then %d", last, cur)
+		}
+		last = cur
+	}
+}

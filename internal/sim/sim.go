@@ -1,0 +1,162 @@
+// Package sim is a small deterministic discrete-event simulation kernel.
+//
+// Time is an int64 count of nanoseconds since simulation start. Events are
+// scheduled onto a binary-heap calendar and dispatched in (time, sequence)
+// order, so simultaneous events fire in their scheduling order and a run is
+// a pure function of its seed.
+//
+// The kernel is deliberately minimal: higher layers (internal/queueing,
+// internal/dataplane) build queueing stations, NICs, cores and schedulers
+// on top of it.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Time is a simulation timestamp in nanoseconds.
+type Time = int64
+
+// Event is a closure scheduled to run at a point in simulated time.
+type Event func(now Time)
+
+type item struct {
+	at   Time
+	seq  uint64
+	call Event
+	idx  int
+	dead bool
+}
+
+type calendar []*item
+
+func (c calendar) Len() int { return len(c) }
+func (c calendar) Less(i, j int) bool {
+	if c[i].at != c[j].at {
+		return c[i].at < c[j].at
+	}
+	return c[i].seq < c[j].seq
+}
+func (c calendar) Swap(i, j int) {
+	c[i], c[j] = c[j], c[i]
+	c[i].idx = i
+	c[j].idx = j
+}
+func (c *calendar) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*c)
+	*c = append(*c, it)
+}
+func (c *calendar) Pop() any {
+	old := *c
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*c = old[:n-1]
+	return it
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ it *item }
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now   Time
+	seq   uint64
+	cal   calendar
+	Rand  *rand.Rand
+	steps uint64
+}
+
+// New returns a simulator whose random stream is seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps returns the number of events dispatched so far.
+func (s *Sim) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute time at. Scheduling in the past panics:
+// it always indicates a model bug.
+func (s *Sim) At(at Time, fn Event) Handle {
+	if at < s.now {
+		panic("sim: scheduling event in the past")
+	}
+	it := &item{at: at, seq: s.seq, call: fn}
+	s.seq++
+	heap.Push(&s.cal, it)
+	return Handle{it: it}
+}
+
+// After schedules fn to run delay nanoseconds from now.
+func (s *Sim) After(delay Time, fn Event) Handle {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(h Handle) {
+	if h.it == nil || h.it.dead {
+		return
+	}
+	h.it.dead = true
+}
+
+// Step dispatches the next event. It reports false when the calendar is empty.
+func (s *Sim) Step() bool {
+	for len(s.cal) > 0 {
+		it := heap.Pop(&s.cal).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		s.steps++
+		it.call(s.now)
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the calendar is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps ≤ deadline, advancing the clock
+// to exactly deadline if the calendar empties or only later events remain.
+func (s *Sim) RunUntil(deadline Time) {
+	for len(s.cal) > 0 {
+		// Peek.
+		it := s.cal[0]
+		if it.dead {
+			heap.Pop(&s.cal)
+			continue
+		}
+		if it.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending reports the number of scheduled (non-cancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, it := range s.cal {
+		if !it.dead {
+			n++
+		}
+	}
+	return n
+}

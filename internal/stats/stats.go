@@ -1,0 +1,182 @@
+// Package stats provides the measurement primitives used throughout the
+// ZygOS reproduction: exact percentile computation over recorded samples,
+// a log-bucketed histogram for high-volume latency recording (HDR-style),
+// complementary CDFs, and small summary helpers.
+//
+// All latency values are expressed in nanoseconds as int64, matching the
+// simulator clock (internal/sim) and time.Duration.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is a collection of raw observations. The zero value is ready to use.
+// Sample keeps every observation and therefore computes exact percentiles;
+// use Histogram for bounded-memory recording of very large runs.
+type Sample struct {
+	values []int64
+	sorted bool
+}
+
+// NewSample returns a Sample with capacity preallocated for n observations.
+func NewSample(n int) *Sample {
+	return &Sample{values: make([]int64, 0, n)}
+}
+
+// Add records one observation.
+func (s *Sample) Add(v int64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// Len reports the number of recorded observations.
+func (s *Sample) Len() int { return len(s.values) }
+
+// Reset discards all observations but keeps the allocated capacity.
+func (s *Sample) Reset() {
+	s.values = s.values[:0]
+	s.sorted = false
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the value at quantile p in [0,1] using the
+// nearest-rank method. It returns 0 for an empty sample.
+func (s *Sample) Percentile(p float64) int64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	rank := int(math.Ceil(p * float64(len(s.values))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s.values) {
+		rank = len(s.values)
+	}
+	return s.values[rank-1]
+}
+
+// P99 is shorthand for Percentile(0.99), the paper's SLO metric.
+func (s *Sample) P99() int64 { return s.Percentile(0.99) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += float64(v)
+	}
+	return sum / float64(len(s.values))
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() int64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[len(s.values)-1]
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() int64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.values[0]
+}
+
+// StdDev returns the population standard deviation of the sample.
+func (s *Sample) StdDev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	mean := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := float64(v) - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// CCDF returns the complementary cumulative distribution P[X > x] evaluated
+// at each recorded value, as (value, probability) pairs sorted by value.
+// Duplicate values are merged. It returns nil for an empty sample.
+func (s *Sample) CCDF() []CCDFPoint {
+	if len(s.values) == 0 {
+		return nil
+	}
+	s.ensureSorted()
+	n := len(s.values)
+	var out []CCDFPoint
+	for i := 0; i < n; {
+		j := i
+		for j < n && s.values[j] == s.values[i] {
+			j++
+		}
+		out = append(out, CCDFPoint{Value: s.values[i], Prob: float64(n-j) / float64(n)})
+		i = j
+	}
+	return out
+}
+
+// CCDFPoint is one point of a complementary CDF: Prob = P[X > Value].
+type CCDFPoint struct {
+	Value int64
+	Prob  float64
+}
+
+// Summary holds the classical summary statistics of a run.
+type Summary struct {
+	Count  int
+	Mean   float64
+	P50    int64
+	P90    int64
+	P95    int64
+	P99    int64
+	P999   int64
+	Max    int64
+	StdDev float64
+}
+
+// Summarize computes a Summary from the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		Count:  s.Len(),
+		Mean:   s.Mean(),
+		P50:    s.Percentile(0.50),
+		P90:    s.Percentile(0.90),
+		P95:    s.Percentile(0.95),
+		P99:    s.Percentile(0.99),
+		P999:   s.Percentile(0.999),
+		Max:    s.Max(),
+		StdDev: s.StdDev(),
+	}
+}
+
+// String renders the summary in microseconds, the paper's unit of record.
+func (s Summary) String() string {
+	us := func(v int64) float64 { return float64(v) / 1e3 }
+	return fmt.Sprintf("n=%d mean=%.2fus p50=%.2fus p90=%.2fus p99=%.2fus p999=%.2fus max=%.2fus",
+		s.Count, s.Mean/1e3, us(s.P50), us(s.P90), us(s.P99), us(s.P999), us(s.Max))
+}

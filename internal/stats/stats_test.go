@@ -1,0 +1,307 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(0.99) != 0 || s.Mean() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	if s.CCDF() != nil {
+		t.Fatal("empty sample CCDF should be nil")
+	}
+}
+
+func TestSamplePercentileNearestRank(t *testing.T) {
+	s := NewSample(10)
+	for i := int64(1); i <= 10; i++ {
+		s.Add(i * 10)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{0.0, 10}, {0.1, 10}, {0.5, 50}, {0.90, 90}, {0.99, 100}, {1.0, 100},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSampleOrderInsensitive(t *testing.T) {
+	a := NewSample(0)
+	b := NewSample(0)
+	vals := []int64{5, 3, 9, 1, 7, 7, 2}
+	for _, v := range vals {
+		a.Add(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Add(vals[i])
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("percentile %v differs by insertion order", p)
+		}
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	s := NewSample(4)
+	for _, v := range []int64{2, 4, 4, 10} {
+		s.Add(v)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := s.Max(); got != 10 {
+		t.Errorf("Max = %v, want 10", got)
+	}
+	want := math.Sqrt((9 + 1 + 1 + 25) / 4.0)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	s := NewSample(2)
+	s.Add(1)
+	s.Add(2)
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatal("reset should empty the sample")
+	}
+	s.Add(7)
+	if s.Percentile(0.5) != 7 {
+		t.Fatal("sample unusable after reset")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	s := NewSample(4)
+	for _, v := range []int64{1, 1, 2, 4} {
+		s.Add(v)
+	}
+	pts := s.CCDF()
+	want := []CCDFPoint{{1, 0.5}, {2, 0.25}, {4, 0}}
+	if len(pts) != len(want) {
+		t.Fatalf("CCDF len = %d, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Errorf("CCDF[%d] = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := NewSample(1000)
+	for i := 0; i < 1000; i++ {
+		s.Add(rng.Int63n(500))
+	}
+	pts := s.CCDF()
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value <= pts[i-1].Value {
+			t.Fatal("CCDF values must be strictly increasing")
+		}
+		if pts[i].Prob > pts[i-1].Prob {
+			t.Fatal("CCDF probabilities must be non-increasing")
+		}
+	}
+	if pts[len(pts)-1].Prob != 0 {
+		t.Fatal("last CCDF point must have probability 0")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := NewSample(1)
+	s.Add(12345)
+	sum := s.Summarize()
+	if sum.Count != 1 || sum.P99 != 12345 {
+		t.Fatalf("unexpected summary %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+// Property: histogram percentile is within one bucket (≤1% relative error for
+// values ≥128) of the exact sample percentile.
+func TestHistogramMatchesSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram()
+		s := NewSample(5000)
+		for i := 0; i < 5000; i++ {
+			// Mix scales: ns to tens of ms.
+			var v int64
+			switch rng.Intn(3) {
+			case 0:
+				v = rng.Int63n(1000)
+			case 1:
+				v = rng.Int63n(1000000)
+			default:
+				v = rng.Int63n(50000000)
+			}
+			h.Record(v)
+			s.Add(v)
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+			exact := s.Percentile(p)
+			est := h.Percentile(p)
+			if est < exact {
+				t.Fatalf("p%v: histogram %d below exact %d", p, est, exact)
+			}
+			// Upper bound error: one bucket width ≈ value/128 + 1.
+			slack := exact/64 + 2
+			if est > exact+slack {
+				t.Fatalf("p%v: histogram %d too far above exact %d", p, est, exact)
+			}
+		}
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Record(100)
+	h.Record(200)
+	h.Record(300)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 200 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 300 || h.Min() != 100 {
+		t.Fatalf("Max/Min = %d/%d", h.Max(), h.Min())
+	}
+	if h.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 {
+		t.Fatalf("negative values must clamp to 0, got min %d", h.Min())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i + 1000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 1099 || a.Min() != 0 {
+		t.Fatalf("merged max/min = %d/%d", a.Max(), a.Min())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset should clear histogram")
+	}
+	h.Record(9)
+	if h.Percentile(1) != 9 {
+		t.Fatal("histogram unusable after reset")
+	}
+}
+
+// Property: bucketIndex is monotone and bucketLow inverts it.
+func TestBucketIndexProperties(t *testing.T) {
+	h := NewHistogram()
+	f := func(raw uint32) bool {
+		v := int64(raw)
+		i := h.bucketIndex(v)
+		lo := h.bucketLow(i)
+		up := h.bucketUp(i)
+		return lo <= v && v <= up && h.bucketIndex(lo) == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketIndexMonotone(t *testing.T) {
+	h := NewHistogram()
+	prev := -1
+	for v := int64(0); v < 100000; v += 37 {
+		i := h.bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = i
+	}
+}
+
+func TestLeadingZeros(t *testing.T) {
+	if leadingZeros64(0) != 64 {
+		t.Fatal("lz(0) != 64")
+	}
+	if leadingZeros64(1) != 63 {
+		t.Fatal("lz(1) != 63")
+	}
+	if leadingZeros64(1<<63) != 0 {
+		t.Fatal("lz(msb) != 0")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000) * 1000)
+	}
+}
+
+func BenchmarkSamplePercentile(b *testing.B) {
+	s := NewSample(100000)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		s.Add(rng.Int63n(1000000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.sorted = false
+		_ = s.Percentile(0.99)
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	// Percentile must equal a manual sort's nearest-rank result.
+	rng := rand.New(rand.NewSource(3))
+	s := NewSample(0)
+	var raw []int64
+	for i := 0; i < 997; i++ {
+		v := rng.Int63n(10000)
+		s.Add(v)
+		raw = append(raw, v)
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	rank := int(math.Ceil(0.99 * float64(len(raw))))
+	if got := s.Percentile(0.99); got != raw[rank-1] {
+		t.Fatalf("p99 = %d, want %d", got, raw[rank-1])
+	}
+}

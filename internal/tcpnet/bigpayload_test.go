@@ -1,0 +1,84 @@
+package tcpnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// Large payloads span many TCP segments and many Ingress calls; the
+// incremental parser must reassemble them and the reply path must carry
+// them back intact.
+func TestLargePayloadRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, size := range []int{1, 1000, 64 << 10, 1 << 20} {
+		payload := bytes.Repeat([]byte{0xAB}, size)
+		for i := 0; i < size && i < 256; i++ {
+			payload[i] = byte(i)
+		}
+		resp, err := c.Call(payload)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(resp, payload) {
+			t.Fatalf("size %d: corrupted round trip", size)
+		}
+	}
+}
+
+// Interleaved large and small pipelined requests on one connection must
+// come back in order despite multi-segment reassembly.
+func TestMixedSizePipelineOrdering(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 40
+	type reply struct {
+		idx  int
+		size int
+	}
+	done := make(chan reply, n)
+	for i := 0; i < n; i++ {
+		size := 16
+		if i%3 == 0 {
+			size = 128 << 10
+		}
+		payload := bytes.Repeat([]byte{byte(i)}, size)
+		idx := i
+		if err := c.SendAsync(payload, func(resp []byte, err error) {
+			if err != nil {
+				done <- reply{idx, -1}
+				return
+			}
+			done <- reply{idx, len(resp)}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizes := map[int]int{}
+	for i := 0; i < n; i++ {
+		select {
+		case r := <-done:
+			sizes[r.idx] = r.size
+		case <-time.After(20 * time.Second):
+			t.Fatalf("timed out after %d replies", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := 16
+		if i%3 == 0 {
+			want = 128 << 10
+		}
+		if sizes[i] != want {
+			t.Fatalf("reply %d size %d, want %d", i, sizes[i], want)
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Package tcpnet adapts the runtime to real TCP sockets using only the
+// standard library: an accept loop registers each connection with the
+// runtime (RSS hashing picks its home worker), a per-connection reader
+// goroutine feeds raw stream bytes into the ingress path, and replies are
+// written back by the runtime's home-core TX path.
+//
+// The Go net poller stands in for the NIC driver here; what the package
+// preserves from the paper is everything above it — flow-consistent home
+// assignment, the shuffle layer, stealing, and ordered replies.
+package tcpnet
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"zygos/internal/core"
+	"zygos/internal/proto"
+)
+
+// readBufSize is the per-connection read buffer handed to the kernel.
+const readBufSize = 64 << 10
+
+// Server accepts TCP connections and feeds them to a runtime.
+type Server struct {
+	rt *core.Runtime
+
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer binds a server to a runtime.
+func NewServer(rt *core.Runtime) *Server {
+	return &Server{rt: rt, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on l until l is closed or Close is called.
+// It always returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.lis = l
+	s.mu.Unlock()
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return net.ErrClosed
+		}
+		s.conns[nc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(nc)
+	}
+}
+
+// Close stops accepting, closes all connections and waits for readers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for nc := range s.conns {
+		nc.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+		nc.Close()
+	}()
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// Microsecond-scale RPC cannot afford Nagle delays.
+		_ = tc.SetNoDelay(true)
+	}
+	conn := s.rt.NewConn(&connWriter{nc: nc})
+	defer s.rt.CloseConn(conn)
+	buf := make([]byte, readBufSize)
+	for {
+		n, err := nc.Read(buf)
+		if n > 0 {
+			if ierr := s.rt.Ingress(conn, buf[:n]); ierr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// connWriter serializes reply writes onto the socket. The runtime already
+// orders reply batches per connection; the mutex only guards against
+// teardown races.
+type connWriter struct {
+	mu sync.Mutex
+	nc net.Conn
+}
+
+// WriteReply implements core.ReplyWriter.
+func (w *connWriter) WriteReply(frame []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, err := w.nc.Write(frame)
+	return err
+}
+
+// Client is a TCP RPC client speaking the proto framing. It supports
+// pipelined concurrent requests over one connection.
+type Client struct {
+	nc   net.Conn
+	disp *proto.Dispatcher
+
+	wmu    sync.Mutex
+	wr     *bufio.Writer
+	closed bool
+}
+
+// Dial connects to a tcpnet server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c := &Client{nc: nc, disp: proto.NewDispatcher(), wr: bufio.NewWriterSize(nc, 32<<10)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	buf := make([]byte, readBufSize)
+	for {
+		n, err := c.nc.Read(buf)
+		if n > 0 {
+			if derr := c.disp.Feed(buf[:n]); derr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	c.disp.Close()
+}
+
+// SendAsync issues a request; cb runs exactly once with the reply or an
+// error. The write is flushed immediately (open-loop latency measurement
+// cannot tolerate client-side batching).
+func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	id, err := c.disp.Register(func(m proto.Message, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(m.Payload, nil)
+	})
+	if err != nil {
+		return err
+	}
+	frame := proto.AppendFrame(nil, proto.Message{ID: id, Payload: payload})
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return errors.New("tcpnet: client closed")
+	}
+	if _, err := c.wr.Write(frame); err != nil {
+		return err
+	}
+	return c.wr.Flush()
+}
+
+// Call issues a request and blocks for the reply.
+func (c *Client) Call(payload []byte) ([]byte, error) {
+	type result struct {
+		resp []byte
+		err  error
+	}
+	ch := make(chan result, 1)
+	if err := c.SendAsync(payload, func(resp []byte, err error) {
+		ch <- result{resp, err}
+	}); err != nil {
+		return nil, err
+	}
+	r := <-ch
+	return r.resp, r.err
+}
+
+// Close shuts the connection down; outstanding calls fail.
+func (c *Client) Close() {
+	c.wmu.Lock()
+	c.closed = true
+	c.wmu.Unlock()
+	c.nc.Close()
+	c.disp.Close()
+}

@@ -1,0 +1,173 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"zygos/internal/core"
+	"zygos/internal/proto"
+)
+
+func startServer(t *testing.T) (*core.Runtime, *Server, string) {
+	t.Helper()
+	rt, err := core.New(core.Config{
+		Cores: 2,
+		Handler: core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
+			ctx.Send(m.ID, m.Payload)
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(rt)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() {
+		srv.Close()
+		rt.Close()
+	})
+	return rt, srv, l.Addr().String()
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call([]byte("over-tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "over-tcp" {
+		t.Fatalf("got %q", resp)
+	}
+}
+
+func TestTCPManyClients(t *testing.T) {
+	_, _, addr := startServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr, time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				want := fmt.Sprintf("c%d-%d", g, i)
+				resp, err := c.Call([]byte(want))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if string(resp) != want {
+					t.Errorf("got %q want %q", resp, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTCPPipelining(t *testing.T) {
+	_, _, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 300
+	done := make(chan struct{}, n)
+	var mu sync.Mutex
+	got := map[string]bool{}
+	for i := 0; i < n; i++ {
+		payload := fmt.Sprintf("p%d", i)
+		if err := c.SendAsync([]byte(payload), func(resp []byte, err error) {
+			if err == nil {
+				mu.Lock()
+				got[string(resp)] = true
+				mu.Unlock()
+			}
+			done <- struct{}{}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out after %d replies", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("p%d", i)] {
+			t.Fatalf("missing reply %d", i)
+		}
+	}
+}
+
+func TestClientCloseFailsOutstanding(t *testing.T) {
+	rt, srv, addr := startServer(t)
+	_ = rt
+	_ = srv
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Call([]byte("x")); err == nil {
+		t.Fatal("call on closed client must fail")
+	}
+}
+
+func TestServerCloseDisconnectsClients(t *testing.T) {
+	_, srv, addr := startServer(t)
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Call([]byte("x")); err != nil {
+			return // disconnected as expected
+		}
+	}
+	t.Fatal("client calls kept succeeding after server close")
+}
+
+func TestServeAfterCloseFails(t *testing.T) {
+	rt, err := core.New(core.Config{Cores: 1, Handler: core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	srv := NewServer(rt)
+	srv.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := srv.Serve(l); err == nil {
+		t.Fatal("Serve after Close must fail")
+	}
+}

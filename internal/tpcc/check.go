@@ -1,0 +1,120 @@
+package tpcc
+
+import (
+	"fmt"
+	"math"
+
+	"zygos/internal/silo"
+)
+
+// CheckConsistency runs the TPC-C consistency conditions (spec §3.3.2)
+// that remain invariant under the transaction mix:
+//
+//  1. W_YTD = Σ D_YTD over the warehouse's districts;
+//  2. D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID) per district (when
+//     undelivered orders exist);
+//  3. NEW-ORDER rows per district are contiguous:
+//     count = max(NO_O_ID) - min(NO_O_ID) + 1;
+//  4. Σ O_OL_CNT = count of ORDER-LINE rows per district.
+//
+// It runs as one big read-only transaction and is meant for tests and
+// post-benchmark verification, not steady-state use.
+func (s *Store) CheckConsistency() error {
+	var problem error
+	err := s.DB.Run(0, 5, func(tx *silo.Txn) error {
+		problem = nil
+		for w := uint32(1); w <= uint32(s.Cfg.Warehouses); w++ {
+			wv, ok := tx.Get(s.warehouse, WarehouseKey(w))
+			if !ok {
+				problem = fmt.Errorf("warehouse %d missing", w)
+				return nil
+			}
+			var dYTD float64
+			for d := uint32(1); d <= uint32(s.Cfg.DistrictsPerWH); d++ {
+				dv, ok := tx.Get(s.district, DistrictKey(w, d))
+				if !ok {
+					problem = fmt.Errorf("district %d/%d missing", w, d)
+					return nil
+				}
+				dist := dv.(*District)
+				dYTD += dist.YTD
+				if err := s.checkDistrict(tx, w, dist); err != nil {
+					problem = err
+					return nil
+				}
+			}
+			if diff := math.Abs(wv.(*Warehouse).YTD - dYTD); diff > 0.01 {
+				problem = fmt.Errorf("consistency 1: W%d YTD %.2f != sum(D_YTD) %.2f",
+					w, wv.(*Warehouse).YTD, dYTD)
+				return nil
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("tpcc: consistency check transaction failed: %w", err)
+	}
+	return problem
+}
+
+func (s *Store) checkDistrict(tx *silo.Txn, w uint32, dist *District) error {
+	d := dist.ID
+
+	// Max order id.
+	var maxO uint32
+	op := OrderKey(w, d, 0)[:8]
+	tx.Scan(s.order, op, PrefixEnd(op), func(key []byte, row any) bool {
+		if o := row.(*Order).ID; o > maxO {
+			maxO = o
+		}
+		return true
+	})
+	if maxO != dist.NextOID-1 {
+		return fmt.Errorf("consistency 2: D%d/%d next_o_id-1=%d but max(o_id)=%d",
+			w, d, dist.NextOID-1, maxO)
+	}
+
+	// New-order contiguity and max.
+	var noCount, minNO, maxNO uint32
+	minNO = math.MaxUint32
+	np := NewOrderKey(w, d, 0)[:8]
+	tx.Scan(s.newOrder, np, PrefixEnd(np), func(key []byte, row any) bool {
+		o := row.(*NewOrderRow).OID
+		noCount++
+		if o < minNO {
+			minNO = o
+		}
+		if o > maxNO {
+			maxNO = o
+		}
+		return true
+	})
+	if noCount > 0 {
+		if maxNO != dist.NextOID-1 {
+			return fmt.Errorf("consistency 2: D%d/%d max(no_o_id)=%d, want %d",
+				w, d, maxNO, dist.NextOID-1)
+		}
+		if noCount != maxNO-minNO+1 {
+			return fmt.Errorf("consistency 3: D%d/%d %d new-orders span [%d,%d]",
+				w, d, noCount, minNO, maxNO)
+		}
+	}
+
+	// Order-line counts.
+	var olWant uint64
+	tx.Scan(s.order, op, PrefixEnd(op), func(key []byte, row any) bool {
+		olWant += uint64(row.(*Order).OLCount)
+		return true
+	})
+	var olGot uint64
+	lp := OrderLineKey(w, d, 0, 0)[:8]
+	tx.Scan(s.orderLine, lp, PrefixEnd(lp), func(key []byte, row any) bool {
+		olGot++
+		return true
+	})
+	if olGot != olWant {
+		return fmt.Errorf("consistency 4: D%d/%d has %d order lines, want %d",
+			w, d, olGot, olWant)
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"zygos/internal/silo"
+)
+
+// Config scales the TPC-C population. The specification's values are the
+// defaults; tests shrink Items/CustomersPerDistrict to keep load times
+// short — the transaction logic is scale-independent.
+type Config struct {
+	Warehouses           int
+	DistrictsPerWH       int // spec: 10
+	CustomersPerDistrict int // spec: 3000
+	Items                int // spec: 100000
+	InitialOrders        int // orders pre-loaded per district; spec: 3000
+}
+
+func (c *Config) fillDefaults() {
+	if c.Warehouses <= 0 {
+		c.Warehouses = 1
+	}
+	if c.DistrictsPerWH <= 0 {
+		c.DistrictsPerWH = 10
+	}
+	if c.CustomersPerDistrict <= 0 {
+		c.CustomersPerDistrict = 3000
+	}
+	if c.Items <= 0 {
+		c.Items = 100000
+	}
+	if c.InitialOrders < 0 || c.InitialOrders > c.CustomersPerDistrict {
+		c.InitialOrders = c.CustomersPerDistrict
+	}
+	if c.InitialOrders == 0 {
+		c.InitialOrders = min(c.CustomersPerDistrict, 100)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Store binds a populated TPC-C database to its configuration.
+type Store struct {
+	DB  *silo.DB
+	Cfg Config
+
+	warehouse, district, customer, customerName *silo.Table
+	history, newOrder, order, orderCust         *silo.Table
+	orderLine, item, stock                      *silo.Table
+
+	histSeq atomic.Uint32
+	cLoad   uint32 // NURand C constant used at load time for C_LAST
+}
+
+// Syllables builds TPC-C customer last names (spec 4.3.2.3).
+var Syllables = [10]string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// LastName composes the spec last name for a number in [0, 999].
+func LastName(num int) string {
+	return Syllables[num/100%10] + Syllables[num/10%10] + Syllables[num%10]
+}
+
+// Load creates the schema and populates it per the specification's
+// distributions. It must run before any transactions.
+func Load(db *silo.DB, cfg Config, seed int64) (*Store, error) {
+	cfg.fillDefaults()
+	s := &Store{DB: db, Cfg: cfg, cLoad: 123}
+	for _, name := range Tables {
+		if _, err := db.CreateTable(name); err != nil {
+			return nil, fmt.Errorf("tpcc: %w", err)
+		}
+	}
+	s.warehouse = db.MustTable(TabWarehouse)
+	s.district = db.MustTable(TabDistrict)
+	s.customer = db.MustTable(TabCustomer)
+	s.customerName = db.MustTable(TabCustomerName)
+	s.history = db.MustTable(TabHistory)
+	s.newOrder = db.MustTable(TabNewOrder)
+	s.order = db.MustTable(TabOrder)
+	s.orderCust = db.MustTable(TabOrderCust)
+	s.orderLine = db.MustTable(TabOrderLine)
+	s.item = db.MustTable(TabItem)
+	s.stock = db.MustTable(TabStock)
+
+	rng := rand.New(rand.NewSource(seed))
+	s.loadItems(rng)
+	for w := 1; w <= cfg.Warehouses; w++ {
+		s.loadWarehouse(rng, uint32(w))
+	}
+	return s, nil
+}
+
+func randAString(rng *rand.Rand, lo, hi int) string {
+	n := lo + rng.Intn(hi-lo+1)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func randZip(rng *rand.Rand) string {
+	return fmt.Sprintf("%04d11111", rng.Intn(10000))
+}
+
+func (s *Store) loadItems(rng *rand.Rand) {
+	for i := 1; i <= s.Cfg.Items; i++ {
+		data := randAString(rng, 26, 50)
+		if rng.Intn(10) == 0 {
+			data = data[:len(data)/2] + "ORIGINAL" + data[len(data)/2:]
+		}
+		s.item.LoadInsert(ItemKey(uint32(i)), &Item{
+			ID:    uint32(i),
+			ImID:  uint32(1 + rng.Intn(10000)),
+			Name:  randAString(rng, 14, 24),
+			Price: 1 + rng.Float64()*99,
+			Data:  data,
+		})
+	}
+}
+
+func (s *Store) loadWarehouse(rng *rand.Rand, w uint32) {
+	s.warehouse.LoadInsert(WarehouseKey(w), &Warehouse{
+		ID:      w,
+		Name:    randAString(rng, 6, 10),
+		Street1: randAString(rng, 10, 20),
+		City:    randAString(rng, 10, 20),
+		State:   randAString(rng, 2, 2),
+		Zip:     randZip(rng),
+		Tax:     rng.Float64() * 0.2,
+		// Consistency condition 1 requires W_YTD = Σ D_YTD at load time;
+		// the spec's 300000 assumes exactly 10 districts.
+		YTD: 30000 * float64(s.Cfg.DistrictsPerWH),
+	})
+	for i := 1; i <= s.Cfg.Items; i++ {
+		var dists [10]string
+		for d := range dists {
+			dists[d] = randAString(rng, 24, 24)
+		}
+		data := randAString(rng, 26, 50)
+		if rng.Intn(10) == 0 {
+			data = data[:len(data)/2] + "ORIGINAL" + data[len(data)/2:]
+		}
+		s.stock.LoadInsert(StockKey(w, uint32(i)), &Stock{
+			WID:      w,
+			IID:      uint32(i),
+			Quantity: int32(10 + rng.Intn(91)),
+			Dists:    dists,
+			Data:     data,
+		})
+	}
+	for d := 1; d <= s.Cfg.DistrictsPerWH; d++ {
+		s.loadDistrict(rng, w, uint32(d))
+	}
+}
+
+func (s *Store) loadDistrict(rng *rand.Rand, w, d uint32) {
+	nCust := s.Cfg.CustomersPerDistrict
+	nOrders := s.Cfg.InitialOrders
+	s.district.LoadInsert(DistrictKey(w, d), &District{
+		WID:     w,
+		ID:      d,
+		Name:    randAString(rng, 6, 10),
+		Street1: randAString(rng, 10, 20),
+		City:    randAString(rng, 10, 20),
+		Tax:     rng.Float64() * 0.2,
+		YTD:     30000,
+		NextOID: uint32(nOrders + 1),
+	})
+	for c := 1; c <= nCust; c++ {
+		s.loadCustomer(rng, w, d, uint32(c))
+	}
+	// Initial orders: a random permutation of customers, per spec.
+	perm := rng.Perm(nCust)
+	for o := 1; o <= nOrders; o++ {
+		s.loadOrder(rng, w, d, uint32(o), uint32(perm[o-1]+1), o > nOrders*7/10)
+	}
+}
+
+func (s *Store) loadCustomer(rng *rand.Rand, w, d, c uint32) {
+	var last string
+	if int(c) <= 1000 {
+		last = LastName(int(c) - 1)
+	} else {
+		last = LastName(nuRand(rng, 255, 0, 999, s.cLoad))
+	}
+	credit := "GC"
+	if rng.Intn(10) == 0 {
+		credit = "BC"
+	}
+	cust := &Customer{
+		WID:       w,
+		DID:       d,
+		ID:        c,
+		First:     randAString(rng, 8, 16),
+		Middle:    "OE",
+		Last:      last,
+		Street1:   randAString(rng, 10, 20),
+		City:      randAString(rng, 10, 20),
+		State:     randAString(rng, 2, 2),
+		Zip:       randZip(rng),
+		Phone:     randAString(rng, 16, 16),
+		Since:     time.Now(),
+		Credit:    credit,
+		CreditLim: 50000,
+		Discount:  rng.Float64() * 0.5,
+		Balance:   -10,
+		Data:      randAString(rng, 300, 500),
+	}
+	s.customer.LoadInsert(CustomerKey(w, d, c), cust)
+	s.customerName.LoadInsert(CustomerNameKey(w, d, last, cust.First, c), c)
+	s.history.LoadInsert(HistoryKey(w, d, c, s.histSeq.Add(1)), &History{
+		CID: c, CDID: d, CWID: w, DID: d, WID: w,
+		Date: time.Now(), Amount: 10, Data: randAString(rng, 12, 24),
+	})
+}
+
+func (s *Store) loadOrder(rng *rand.Rand, w, d, o, c uint32, undelivered bool) {
+	olCnt := uint32(5 + rng.Intn(11))
+	carrier := uint32(1 + rng.Intn(10))
+	if undelivered {
+		carrier = 0
+	}
+	s.order.LoadInsert(OrderKey(w, d, o), &Order{
+		ID: o, DID: d, WID: w, CID: c,
+		EntryDate: time.Now(), Carrier: carrier,
+		OLCount: olCnt, AllLocal: true,
+	})
+	s.orderCust.LoadInsert(OrderCustKey(w, d, c, o), o)
+	if undelivered {
+		s.newOrder.LoadInsert(NewOrderKey(w, d, o), &NewOrderRow{OID: o, DID: d, WID: w})
+	}
+	for n := uint32(1); n <= olCnt; n++ {
+		amount := 0.0
+		deliv := time.Now()
+		if undelivered {
+			amount = 0.01 + rng.Float64()*9999.98
+			deliv = time.Time{}
+		}
+		s.orderLine.LoadInsert(OrderLineKey(w, d, o, n), &OrderLine{
+			OID: o, DID: d, WID: w, Number: n,
+			IID:       uint32(1 + rng.Intn(s.Cfg.Items)),
+			SupplyWID: w,
+			Delivery:  deliv,
+			Quantity:  5,
+			Amount:    amount,
+			DistInfo:  randAString(rng, 24, 24),
+		})
+	}
+}

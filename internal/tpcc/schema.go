@@ -1,0 +1,249 @@
+// Package tpcc implements the TPC-C transaction mix over the Silo-style
+// engine, as the ZygOS paper's §6.3 evaluation does: the nine standard
+// tables, two secondary indexes (customer-by-name, order-by-customer),
+// data population per the specification's distributions, and the five
+// transactions (NewOrder, Payment, OrderStatus, Delivery, StockLevel)
+// with the standard 45/43/4/4/4 mix.
+package tpcc
+
+import (
+	"encoding/binary"
+	"time"
+)
+
+// Row types mirror the TPC-C schema. Rows are immutable once installed;
+// transactions copy-and-replace (the engine's write model).
+
+// Warehouse is one row of the WAREHOUSE table.
+type Warehouse struct {
+	ID      uint32
+	Name    string
+	Street1 string
+	City    string
+	State   string
+	Zip     string
+	Tax     float64
+	YTD     float64
+}
+
+// District is one row of the DISTRICT table.
+type District struct {
+	WID     uint32
+	ID      uint32
+	Name    string
+	Street1 string
+	City    string
+	Tax     float64
+	YTD     float64
+	NextOID uint32
+}
+
+// Customer is one row of the CUSTOMER table.
+type Customer struct {
+	WID         uint32
+	DID         uint32
+	ID          uint32
+	First       string
+	Middle      string
+	Last        string
+	Street1     string
+	City        string
+	State       string
+	Zip         string
+	Phone       string
+	Since       time.Time
+	Credit      string // "GC" or "BC"
+	CreditLim   float64
+	Discount    float64
+	Balance     float64
+	YTDPayment  float64
+	PaymentCnt  uint32
+	DeliveryCnt uint32
+	Data        string
+}
+
+// History is one row of the HISTORY table.
+type History struct {
+	CID    uint32
+	CDID   uint32
+	CWID   uint32
+	DID    uint32
+	WID    uint32
+	Date   time.Time
+	Amount float64
+	Data   string
+}
+
+// NewOrderRow is one row of the NEW-ORDER table.
+type NewOrderRow struct {
+	OID uint32
+	DID uint32
+	WID uint32
+}
+
+// Order is one row of the ORDER table.
+type Order struct {
+	ID        uint32
+	DID       uint32
+	WID       uint32
+	CID       uint32
+	EntryDate time.Time
+	Carrier   uint32 // 0 means not yet delivered
+	OLCount   uint32
+	AllLocal  bool
+}
+
+// OrderLine is one row of the ORDER-LINE table.
+type OrderLine struct {
+	OID       uint32
+	DID       uint32
+	WID       uint32
+	Number    uint32
+	IID       uint32
+	SupplyWID uint32
+	Delivery  time.Time // zero until delivered
+	Quantity  uint32
+	Amount    float64
+	DistInfo  string
+}
+
+// Item is one row of the ITEM table.
+type Item struct {
+	ID    uint32
+	ImID  uint32
+	Name  string
+	Price float64
+	Data  string
+}
+
+// Stock is one row of the STOCK table.
+type Stock struct {
+	WID       uint32
+	IID       uint32
+	Quantity  int32
+	Dists     [10]string
+	YTD       float64
+	OrderCnt  uint32
+	RemoteCnt uint32
+	Data      string
+}
+
+// Table names.
+const (
+	TabWarehouse    = "warehouse"
+	TabDistrict     = "district"
+	TabCustomer     = "customer"
+	TabCustomerName = "customer_name" // secondary: (w,d,last,first,c) -> c
+	TabHistory      = "history"
+	TabNewOrder     = "new_order"
+	TabOrder        = "order"
+	TabOrderCust    = "order_cust" // secondary: (w,d,c,^o) -> o
+	TabOrderLine    = "order_line"
+	TabItem         = "item"
+	TabStock        = "stock"
+)
+
+// Tables lists every table the workload creates.
+var Tables = []string{
+	TabWarehouse, TabDistrict, TabCustomer, TabCustomerName, TabHistory,
+	TabNewOrder, TabOrder, TabOrderCust, TabOrderLine, TabItem, TabStock,
+}
+
+// Key encoders. All composite keys are big-endian so byte order equals
+// numeric order in the B+-tree.
+
+func u32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.BigEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+// padStr right-pads (or truncates) s to n bytes so string fields compare
+// with fixed width inside composite keys.
+func padStr(b []byte, s string, n int) []byte {
+	for i := 0; i < n; i++ {
+		if i < len(s) {
+			b = append(b, s[i])
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// WarehouseKey encodes (w).
+func WarehouseKey(w uint32) []byte { return u32(nil, w) }
+
+// DistrictKey encodes (w, d).
+func DistrictKey(w, d uint32) []byte { return u32(u32(nil, w), d) }
+
+// CustomerKey encodes (w, d, c).
+func CustomerKey(w, d, c uint32) []byte { return u32(u32(u32(nil, w), d), c) }
+
+// CustomerNameKey encodes (w, d, last, first, c) for the by-name index.
+func CustomerNameKey(w, d uint32, last, first string, c uint32) []byte {
+	b := u32(u32(nil, w), d)
+	b = padStr(b, last, 16)
+	b = padStr(b, first, 16)
+	return u32(b, c)
+}
+
+// CustomerNamePrefix encodes the scan prefix (w, d, last).
+func CustomerNamePrefix(w, d uint32, last string) []byte {
+	b := u32(u32(nil, w), d)
+	return padStr(b, last, 16)
+}
+
+// HistoryKey encodes (w, d, c, seq); seq disambiguates multiple payments.
+func HistoryKey(w, d, c, seq uint32) []byte {
+	return u32(u32(u32(u32(nil, w), d), c), seq)
+}
+
+// NewOrderKey encodes (w, d, o); ascending scans find the oldest
+// undelivered order first.
+func NewOrderKey(w, d, o uint32) []byte { return u32(u32(u32(nil, w), d), o) }
+
+// OrderKey encodes (w, d, o).
+func OrderKey(w, d, o uint32) []byte { return u32(u32(u32(nil, w), d), o) }
+
+// OrderCustKey encodes (w, d, c, ^o): the order id is bit-inverted so an
+// ascending scan yields the most recent order first (OrderStatus needs
+// the newest order; the tree only scans ascending).
+func OrderCustKey(w, d, c, o uint32) []byte {
+	return u32(u32(u32(u32(nil, w), d), c), ^o)
+}
+
+// OrderCustPrefix encodes the scan prefix (w, d, c).
+func OrderCustPrefix(w, d, c uint32) []byte {
+	return u32(u32(u32(nil, w), d), c)
+}
+
+// OrderLineKey encodes (w, d, o, n).
+func OrderLineKey(w, d, o, n uint32) []byte {
+	return u32(u32(u32(u32(nil, w), d), o), n)
+}
+
+// OrderLinePrefix encodes the scan prefix (w, d, o).
+func OrderLinePrefix(w, d, o uint32) []byte {
+	return u32(u32(u32(nil, w), d), o)
+}
+
+// ItemKey encodes (i).
+func ItemKey(i uint32) []byte { return u32(nil, i) }
+
+// StockKey encodes (w, i).
+func StockKey(w, i uint32) []byte { return u32(u32(nil, w), i) }
+
+// PrefixEnd returns the exclusive upper bound for scanning all keys with
+// the given prefix: the prefix with its last byte "incremented" with
+// carry. A nil return means scan to the end of the table.
+func PrefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xff {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}

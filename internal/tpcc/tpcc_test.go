@@ -1,0 +1,291 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"zygos/internal/silo"
+)
+
+// smallCfg keeps load time short while exercising all code paths.
+func smallCfg() Config {
+	return Config{
+		Warehouses:           2,
+		DistrictsPerWH:       4,
+		CustomersPerDistrict: 120,
+		Items:                500,
+		InitialOrders:        60,
+	}
+}
+
+func newStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	db := silo.NewDB(time.Millisecond)
+	t.Cleanup(db.Close)
+	s, err := Load(db, cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadPopulation(t *testing.T) {
+	cfg := smallCfg()
+	s := newStore(t, cfg)
+	if got := s.warehouse.Len(); got != cfg.Warehouses {
+		t.Errorf("warehouses: %d", got)
+	}
+	if got := s.district.Len(); got != cfg.Warehouses*cfg.DistrictsPerWH {
+		t.Errorf("districts: %d", got)
+	}
+	wantCust := cfg.Warehouses * cfg.DistrictsPerWH * cfg.CustomersPerDistrict
+	if got := s.customer.Len(); got != wantCust {
+		t.Errorf("customers: %d want %d", got, wantCust)
+	}
+	if got := s.customerName.Len(); got != wantCust {
+		t.Errorf("customer-name index: %d want %d", got, wantCust)
+	}
+	if got := s.item.Len(); got != cfg.Items {
+		t.Errorf("items: %d", got)
+	}
+	if got := s.stock.Len(); got != cfg.Warehouses*cfg.Items {
+		t.Errorf("stock: %d", got)
+	}
+	wantOrders := cfg.Warehouses * cfg.DistrictsPerWH * cfg.InitialOrders
+	if got := s.order.Len(); got != wantOrders {
+		t.Errorf("orders: %d want %d", got, wantOrders)
+	}
+	// 30% of initial orders are undelivered.
+	wantNO := cfg.Warehouses * cfg.DistrictsPerWH * (cfg.InitialOrders * 3 / 10)
+	if got := s.newOrder.Len(); got != wantNO {
+		t.Errorf("new-orders: %d want %d", got, wantNO)
+	}
+}
+
+func TestFreshLoadIsConsistent(t *testing.T) {
+	s := newStore(t, smallCfg())
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Errorf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Errorf("LastName(999) = %q", LastName(999))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Errorf("LastName(371) = %q", LastName(371))
+	}
+}
+
+func TestNURandInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := nuRand(rng, 1023, 1, 3000, cRun)
+		if v < 1 || v > 3000 {
+			t.Fatalf("nuRand out of range: %d", v)
+		}
+	}
+}
+
+func TestNewOrderCommitsAndAdvancesDistrict(t *testing.T) {
+	s := newStore(t, smallCfg())
+	rng := rand.New(rand.NewSource(2))
+	before := map[string]uint32{}
+	s.DB.Run(0, 0, func(tx *silo.Txn) error {
+		for d := uint32(1); d <= uint32(s.Cfg.DistrictsPerWH); d++ {
+			dv, _ := tx.Get(s.district, DistrictKey(1, d))
+			before[string(DistrictKey(1, d))] = dv.(*District).NextOID
+		}
+		return nil
+	})
+	committed := 0
+	for i := 0; i < 50; i++ {
+		err := s.NewOrder(0, rng, 1)
+		if err == nil {
+			committed++
+		} else if !errors.Is(err, silo.ErrUserAbort) {
+			t.Fatal(err)
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no NewOrder committed")
+	}
+	total := uint32(0)
+	s.DB.Run(0, 0, func(tx *silo.Txn) error {
+		total = 0
+		for d := uint32(1); d <= uint32(s.Cfg.DistrictsPerWH); d++ {
+			dv, _ := tx.Get(s.district, DistrictKey(1, d))
+			total += dv.(*District).NextOID - before[string(DistrictKey(1, d))]
+		}
+		return nil
+	})
+	if int(total) != committed {
+		t.Fatalf("district counters advanced %d, committed %d", total, committed)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderRollbackRate(t *testing.T) {
+	s := newStore(t, smallCfg())
+	rng := rand.New(rand.NewSource(3))
+	aborts := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := s.NewOrder(0, rng, 1); errors.Is(err, silo.ErrUserAbort) {
+			aborts++
+		}
+	}
+	// Spec: 1% intentional rollbacks. Allow 0.3%..3% at this sample size.
+	if aborts < n/333 || aborts > n*3/100 {
+		t.Errorf("rollback rate %d/%d outside ~1%%", aborts, n)
+	}
+}
+
+func TestPaymentUpdatesBalances(t *testing.T) {
+	s := newStore(t, smallCfg())
+	rng := rand.New(rand.NewSource(4))
+	var wBefore float64
+	s.DB.Run(0, 0, func(tx *silo.Txn) error {
+		wv, _ := tx.Get(s.warehouse, WarehouseKey(1))
+		wBefore = wv.(*Warehouse).YTD
+		return nil
+	})
+	for i := 0; i < 100; i++ {
+		if err := s.Payment(0, rng, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wAfter float64
+	s.DB.Run(0, 0, func(tx *silo.Txn) error {
+		wv, _ := tx.Get(s.warehouse, WarehouseKey(1))
+		wAfter = wv.(*Warehouse).YTD
+		return nil
+	})
+	if wAfter <= wBefore {
+		t.Fatal("warehouse YTD did not grow")
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderStatusAndStockLevelReadOnly(t *testing.T) {
+	s := newStore(t, smallCfg())
+	rng := rand.New(rand.NewSource(5))
+	c0, _ := s.DB.Stats()
+	for i := 0; i < 50; i++ {
+		if err := s.OrderStatus(0, rng, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StockLevel(0, rng, 1, uint32(1+rng.Intn(s.Cfg.DistrictsPerWH))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, _ := s.DB.Stats()
+	if c1-c0 != 100 {
+		t.Fatalf("committed %d read-only transactions, want 100", c1-c0)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeliveryConsumesNewOrders(t *testing.T) {
+	s := newStore(t, smallCfg())
+	rng := rand.New(rand.NewSource(6))
+	before := s.newOrder.Len()
+	if err := s.Delivery(0, rng, 1); err != nil {
+		t.Fatal(err)
+	}
+	after := s.newOrder.Len()
+	if after >= before {
+		t.Fatalf("delivery consumed nothing: %d -> %d", before, after)
+	}
+	// One order per district at most.
+	if before-after > s.Cfg.DistrictsPerWH {
+		t.Fatalf("delivery consumed %d orders, max %d", before-after, s.Cfg.DistrictsPerWH)
+	}
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPickMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	counts := map[TxType]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[Pick(rng)]++
+	}
+	within := func(tt TxType, want, tol float64) {
+		got := float64(counts[tt]) / n
+		if got < want-tol || got > want+tol {
+			t.Errorf("%v rate %.3f, want %.2f±%.2f", tt, got, want, tol)
+		}
+	}
+	within(TxNewOrder, 0.45, 0.01)
+	within(TxPayment, 0.43, 0.01)
+	within(TxOrderStatus, 0.04, 0.005)
+	within(TxDelivery, 0.04, 0.005)
+	within(TxStockLevel, 0.04, 0.005)
+}
+
+func TestTxTypeString(t *testing.T) {
+	names := []string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}
+	for i, want := range names {
+		if TxType(i).String() != want {
+			t.Errorf("TxType(%d) = %q", i, TxType(i).String())
+		}
+	}
+	if TxType(99).String() == "" {
+		t.Error("unknown type must render")
+	}
+}
+
+// The headline integration test: hammer the full mix concurrently, then
+// verify all four consistency conditions.
+func TestConcurrentMixConsistency(t *testing.T) {
+	s := newStore(t, smallCfg())
+	const workers = 4
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < perWorker; i++ {
+				tt := Pick(rng)
+				if err := s.Run(w, rng, tt); err != nil && !errors.Is(err, silo.ErrUserAbort) {
+					t.Errorf("worker %d %v: %v", w, tt, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	c, a := s.DB.Stats()
+	t.Logf("commits=%d aborts=%d", c, a)
+	if c < workers*perWorker/2 {
+		t.Fatalf("too few commits: %d", c)
+	}
+}
+
+func TestRunUnknownType(t *testing.T) {
+	s := newStore(t, smallCfg())
+	if err := s.Run(0, rand.New(rand.NewSource(1)), TxType(42)); err == nil {
+		t.Fatal("unknown tx type must error")
+	}
+}

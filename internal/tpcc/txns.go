@@ -1,0 +1,446 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"zygos/internal/silo"
+)
+
+// TxType identifies one of the five TPC-C transactions.
+type TxType int
+
+// The five transactions.
+const (
+	TxNewOrder TxType = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+	numTxTypes
+)
+
+// String implements fmt.Stringer.
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "NewOrder"
+	case TxPayment:
+		return "Payment"
+	case TxOrderStatus:
+		return "OrderStatus"
+	case TxDelivery:
+		return "Delivery"
+	case TxStockLevel:
+		return "StockLevel"
+	}
+	return fmt.Sprintf("TxType(%d)", int(t))
+}
+
+// nuRand is the specification's non-uniform random function (2.1.6).
+func nuRand(rng *rand.Rand, a, x, y int, c uint32) int {
+	return ((rng.Intn(a+1)|(x+rng.Intn(y-x+1)))+int(c))%(y-x+1) + x
+}
+
+// cRun is the NURand C constant used at run time (valid per spec 2.1.6.1
+// relative to the load-time constant).
+const cRun = 97
+
+func (s *Store) randCustomerID(rng *rand.Rand) uint32 {
+	return uint32(nuRand(rng, 1023, 1, s.Cfg.CustomersPerDistrict, cRun))
+}
+
+func (s *Store) randItemID(rng *rand.Rand) uint32 {
+	return uint32(nuRand(rng, 8191, 1, s.Cfg.Items, cRun))
+}
+
+func (s *Store) randLastName(rng *rand.Rand) string {
+	max := 999
+	if s.Cfg.CustomersPerDistrict < 1000 {
+		max = s.Cfg.CustomersPerDistrict - 1
+	}
+	return LastName(nuRand(rng, 255, 0, max, cRun))
+}
+
+// Pick selects the next transaction type with the standard 45/43/4/4/4
+// mix.
+func Pick(rng *rand.Rand) TxType {
+	r := rng.Intn(100)
+	switch {
+	case r < 45:
+		return TxNewOrder
+	case r < 88:
+		return TxPayment
+	case r < 92:
+		return TxOrderStatus
+	case r < 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// Run executes one transaction of the given type against a uniformly
+// chosen home warehouse, retrying on conflicts. It returns ErrUserAbort
+// for the 1% of NewOrder transactions the spec rolls back.
+func (s *Store) Run(worker int, rng *rand.Rand, tt TxType) error {
+	w := uint32(1 + rng.Intn(s.Cfg.Warehouses))
+	switch tt {
+	case TxNewOrder:
+		return s.NewOrder(worker, rng, w)
+	case TxPayment:
+		return s.Payment(worker, rng, w)
+	case TxOrderStatus:
+		return s.OrderStatus(worker, rng, w)
+	case TxDelivery:
+		return s.Delivery(worker, rng, w)
+	case TxStockLevel:
+		return s.StockLevel(worker, rng, w, uint32(1+rng.Intn(s.Cfg.DistrictsPerWH)))
+	}
+	return fmt.Errorf("tpcc: unknown transaction %v", tt)
+}
+
+// NewOrder implements TPC-C §2.4. 1% of invocations roll back on an
+// unused item id, per the specification.
+func (s *Store) NewOrder(worker int, rng *rand.Rand, w uint32) error {
+	d := uint32(1 + rng.Intn(s.Cfg.DistrictsPerWH))
+	c := s.randCustomerID(rng)
+	olCnt := 5 + rng.Intn(11)
+	rollback := rng.Intn(100) == 0
+
+	type line struct {
+		iid    uint32
+		supply uint32
+		qty    uint32
+	}
+	lines := make([]line, olCnt)
+	allLocal := true
+	for i := range lines {
+		lines[i].iid = s.randItemID(rng)
+		if rollback && i == olCnt-1 {
+			lines[i].iid = uint32(s.Cfg.Items) + 1 // unused item id
+		}
+		lines[i].supply = w
+		if s.Cfg.Warehouses > 1 && rng.Intn(100) == 0 {
+			for {
+				r := uint32(1 + rng.Intn(s.Cfg.Warehouses))
+				if r != w {
+					lines[i].supply = r
+					allLocal = false
+					break
+				}
+			}
+		}
+		lines[i].qty = uint32(1 + rng.Intn(10))
+	}
+
+	return s.DB.Run(worker, 0, func(tx *silo.Txn) error {
+		wv, ok := tx.Get(s.warehouse, WarehouseKey(w))
+		if !ok {
+			return fmt.Errorf("tpcc: warehouse %d missing", w)
+		}
+		wh := wv.(*Warehouse)
+
+		dv, ok := tx.Get(s.district, DistrictKey(w, d))
+		if !ok {
+			return fmt.Errorf("tpcc: district %d/%d missing", w, d)
+		}
+		dist := *dv.(*District)
+		oid := dist.NextOID
+		dist.NextOID++
+		tx.Put(s.district, DistrictKey(w, d), &dist)
+
+		cv, ok := tx.Get(s.customer, CustomerKey(w, d, c))
+		if !ok {
+			return fmt.Errorf("tpcc: customer %d/%d/%d missing", w, d, c)
+		}
+		cust := cv.(*Customer)
+
+		total := 0.0
+		for i, ln := range lines {
+			iv, ok := tx.Get(s.item, ItemKey(ln.iid))
+			if !ok {
+				// Unused item: the spec's intentional rollback path.
+				return silo.ErrUserAbort
+			}
+			item := iv.(*Item)
+
+			sv, ok := tx.Get(s.stock, StockKey(ln.supply, ln.iid))
+			if !ok {
+				return fmt.Errorf("tpcc: stock %d/%d missing", ln.supply, ln.iid)
+			}
+			st := *sv.(*Stock)
+			if st.Quantity >= int32(ln.qty)+10 {
+				st.Quantity -= int32(ln.qty)
+			} else {
+				st.Quantity = st.Quantity - int32(ln.qty) + 91
+			}
+			st.YTD += float64(ln.qty)
+			st.OrderCnt++
+			if ln.supply != w {
+				st.RemoteCnt++
+			}
+			tx.Put(s.stock, StockKey(ln.supply, ln.iid), &st)
+
+			amount := float64(ln.qty) * item.Price
+			total += amount
+			tx.Insert(s.orderLine, OrderLineKey(w, d, oid, uint32(i+1)), &OrderLine{
+				OID: oid, DID: d, WID: w, Number: uint32(i + 1),
+				IID: ln.iid, SupplyWID: ln.supply,
+				Quantity: ln.qty, Amount: amount,
+				DistInfo: st.Dists[d-1],
+			})
+		}
+		total *= (1 - cust.Discount) * (1 + wh.Tax + dist.Tax)
+
+		tx.Insert(s.order, OrderKey(w, d, oid), &Order{
+			ID: oid, DID: d, WID: w, CID: c,
+			EntryDate: time.Now(), OLCount: uint32(olCnt), AllLocal: allLocal,
+		})
+		tx.Insert(s.orderCust, OrderCustKey(w, d, c, oid), oid)
+		tx.Insert(s.newOrder, NewOrderKey(w, d, oid), &NewOrderRow{OID: oid, DID: d, WID: w})
+		return nil
+	})
+}
+
+// lookupCustomer resolves a customer by id (40%) or by last name (60%),
+// per §2.5.1.2/§2.6.1.2: by-name picks the ceil(n/2)-th customer in
+// first-name order.
+func (s *Store) lookupCustomer(tx *silo.Txn, rng *rand.Rand, w, d uint32, byName bool) (*Customer, error) {
+	if !byName {
+		c := s.randCustomerID(rng)
+		cv, ok := tx.Get(s.customer, CustomerKey(w, d, c))
+		if !ok {
+			return nil, fmt.Errorf("tpcc: customer %d/%d/%d missing", w, d, c)
+		}
+		return cv.(*Customer), nil
+	}
+	last := s.randLastName(rng)
+	prefix := CustomerNamePrefix(w, d, last)
+	var ids []uint32
+	tx.Scan(s.customerName, prefix, PrefixEnd(prefix), func(key []byte, row any) bool {
+		ids = append(ids, row.(uint32))
+		return true
+	})
+	if len(ids) == 0 {
+		// The run-time C constant can generate names with no customers at
+		// small scale factors; treat as a skippable transaction.
+		return nil, errNoSuchCustomer
+	}
+	c := ids[(len(ids)-1)/2] // ceil(n/2)-th, 1-based
+	cv, ok := tx.Get(s.customer, CustomerKey(w, d, c))
+	if !ok {
+		return nil, fmt.Errorf("tpcc: named customer %d/%d/%d missing", w, d, c)
+	}
+	return cv.(*Customer), nil
+}
+
+var errNoSuchCustomer = errors.New("tpcc: no customer with generated last name")
+
+// Payment implements TPC-C §2.5.
+func (s *Store) Payment(worker int, rng *rand.Rand, w uint32) error {
+	d := uint32(1 + rng.Intn(s.Cfg.DistrictsPerWH))
+	amount := 1 + rng.Float64()*4999
+	byName := rng.Intn(100) < 60
+
+	// 15% of payments are for a customer of a remote warehouse.
+	cw, cd := w, d
+	if s.Cfg.Warehouses > 1 && rng.Intn(100) < 15 {
+		for {
+			r := uint32(1 + rng.Intn(s.Cfg.Warehouses))
+			if r != w {
+				cw = r
+				cd = uint32(1 + rng.Intn(s.Cfg.DistrictsPerWH))
+				break
+			}
+		}
+	}
+
+	err := s.DB.Run(worker, 0, func(tx *silo.Txn) error {
+		wv, ok := tx.Get(s.warehouse, WarehouseKey(w))
+		if !ok {
+			return fmt.Errorf("tpcc: warehouse %d missing", w)
+		}
+		wh := *wv.(*Warehouse)
+		wh.YTD += amount
+		tx.Put(s.warehouse, WarehouseKey(w), &wh)
+
+		dv, ok := tx.Get(s.district, DistrictKey(w, d))
+		if !ok {
+			return fmt.Errorf("tpcc: district %d/%d missing", w, d)
+		}
+		dist := *dv.(*District)
+		dist.YTD += amount
+		tx.Put(s.district, DistrictKey(w, d), &dist)
+
+		custPtr, err := s.lookupCustomer(tx, rng, cw, cd, byName)
+		if err != nil {
+			return err
+		}
+		cust := *custPtr
+		cust.Balance -= amount
+		cust.YTDPayment += amount
+		cust.PaymentCnt++
+		if cust.Credit == "BC" {
+			data := fmt.Sprintf("%d %d %d %d %d %.2f|%s", cust.ID, cd, cw, d, w, amount, cust.Data)
+			if len(data) > 500 {
+				data = data[:500]
+			}
+			cust.Data = data
+		}
+		tx.Put(s.customer, CustomerKey(cw, cd, cust.ID), &cust)
+
+		tx.Insert(s.history, HistoryKey(w, d, cust.ID, s.histSeq.Add(1)), &History{
+			CID: cust.ID, CDID: cd, CWID: cw, DID: d, WID: w,
+			Date: time.Now(), Amount: amount,
+			Data: wh.Name + "    " + dist.Name,
+		})
+		return nil
+	})
+	if errors.Is(err, errNoSuchCustomer) {
+		return nil // skipped, counts as a no-op rather than a failure
+	}
+	return err
+}
+
+// OrderStatus implements TPC-C §2.6 (read-only).
+func (s *Store) OrderStatus(worker int, rng *rand.Rand, w uint32) error {
+	d := uint32(1 + rng.Intn(s.Cfg.DistrictsPerWH))
+	byName := rng.Intn(100) < 60
+	err := s.DB.Run(worker, 0, func(tx *silo.Txn) error {
+		cust, err := s.lookupCustomer(tx, rng, w, d, byName)
+		if err != nil {
+			return err
+		}
+		// Most recent order: the order-by-customer index stores ^o, so
+		// the first entry of an ascending scan is the newest order.
+		var oid uint32
+		found := false
+		prefix := OrderCustPrefix(w, d, cust.ID)
+		tx.Scan(s.orderCust, prefix, PrefixEnd(prefix), func(key []byte, row any) bool {
+			oid = row.(uint32)
+			found = true
+			return false
+		})
+		if !found {
+			return nil // customer has no orders (possible at small scale)
+		}
+		ov, ok := tx.Get(s.order, OrderKey(w, d, oid))
+		if !ok {
+			return fmt.Errorf("tpcc: order %d/%d/%d missing", w, d, oid)
+		}
+		order := ov.(*Order)
+		n := uint32(0)
+		lp := OrderLinePrefix(w, d, oid)
+		tx.Scan(s.orderLine, lp, PrefixEnd(lp), func(key []byte, row any) bool {
+			n++
+			return true
+		})
+		if n != order.OLCount {
+			return fmt.Errorf("tpcc: order %d has %d lines, expected %d", oid, n, order.OLCount)
+		}
+		return nil
+	})
+	if errors.Is(err, errNoSuchCustomer) {
+		return nil
+	}
+	return err
+}
+
+// Delivery implements TPC-C §2.7: one batch delivering the oldest
+// undelivered order of every district.
+func (s *Store) Delivery(worker int, rng *rand.Rand, w uint32) error {
+	carrier := uint32(1 + rng.Intn(10))
+	now := time.Now()
+	return s.DB.Run(worker, 0, func(tx *silo.Txn) error {
+		for d := uint32(1); d <= uint32(s.Cfg.DistrictsPerWH); d++ {
+			// Oldest undelivered order.
+			var oid uint32
+			found := false
+			prefix := NewOrderKey(w, d, 0)[:8] // (w, d) prefix
+			tx.Scan(s.newOrder, prefix, PrefixEnd(prefix), func(key []byte, row any) bool {
+				oid = row.(*NewOrderRow).OID
+				found = true
+				return false
+			})
+			if !found {
+				continue
+			}
+			tx.Delete(s.newOrder, NewOrderKey(w, d, oid))
+
+			ov, ok := tx.Get(s.order, OrderKey(w, d, oid))
+			if !ok {
+				return fmt.Errorf("tpcc: undelivered order %d/%d/%d missing", w, d, oid)
+			}
+			order := *ov.(*Order)
+			order.Carrier = carrier
+			tx.Put(s.order, OrderKey(w, d, oid), &order)
+
+			total := 0.0
+			lp := OrderLinePrefix(w, d, oid)
+			type olUpd struct {
+				key []byte
+				row OrderLine
+			}
+			var upds []olUpd
+			tx.Scan(s.orderLine, lp, PrefixEnd(lp), func(key []byte, row any) bool {
+				ol := *row.(*OrderLine)
+				total += ol.Amount
+				ol.Delivery = now
+				upds = append(upds, olUpd{key: append([]byte(nil), key...), row: ol})
+				return true
+			})
+			for i := range upds {
+				tx.Put(s.orderLine, upds[i].key, &upds[i].row)
+			}
+
+			cv, ok := tx.Get(s.customer, CustomerKey(w, d, order.CID))
+			if !ok {
+				return fmt.Errorf("tpcc: customer %d/%d/%d missing", w, d, order.CID)
+			}
+			cust := *cv.(*Customer)
+			cust.Balance += total
+			cust.DeliveryCnt++
+			tx.Put(s.customer, CustomerKey(w, d, order.CID), &cust)
+		}
+		return nil
+	})
+}
+
+// StockLevel implements TPC-C §2.8 (read-only): count distinct items from
+// the district's last 20 orders with stock below a threshold.
+func (s *Store) StockLevel(worker int, rng *rand.Rand, w, d uint32) error {
+	threshold := int32(10 + rng.Intn(11))
+	return s.DB.Run(worker, 0, func(tx *silo.Txn) error {
+		dv, ok := tx.Get(s.district, DistrictKey(w, d))
+		if !ok {
+			return fmt.Errorf("tpcc: district %d/%d missing", w, d)
+		}
+		next := dv.(*District).NextOID
+		lo := uint32(1)
+		if next > 20 {
+			lo = next - 20
+		}
+		seen := make(map[uint32]struct{})
+		from := OrderLineKey(w, d, lo, 0)
+		to := OrderLineKey(w, d, next, 0)
+		tx.Scan(s.orderLine, from, to, func(key []byte, row any) bool {
+			seen[row.(*OrderLine).IID] = struct{}{}
+			return true
+		})
+		low := 0
+		for iid := range seen {
+			sv, ok := tx.Get(s.stock, StockKey(w, iid))
+			if !ok {
+				continue
+			}
+			if sv.(*Stock).Quantity < threshold {
+				low++
+			}
+		}
+		_ = low
+		return nil
+	})
+}

@@ -1,0 +1,225 @@
+// Package zygos is a Go implementation of the ZygOS execution model
+// (Prekas, Kogias, Bugnion — SOSP '17): a work-conserving scheduler for
+// microsecond-scale RPC serving that eliminates head-of-line blocking
+// through per-connection shuffle queues, work stealing across cores, and
+// prompt kernel-side TX of stolen work's replies.
+//
+// A Server owns a fixed pool of per-core workers. Each connection is
+// steered to a home worker by RSS-style flow hashing; its requests are
+// parsed there and published on the home's shuffle queue, from which idle
+// workers steal. A connection is owned exclusively while its events
+// execute, so pipelined requests on one connection are answered in order
+// with no application-level locking — the paper's §4.3 guarantee.
+//
+// Quick start:
+//
+//	srv, _ := zygos.NewServer(zygos.Config{
+//		Cores: 4,
+//		Handler: func(req zygos.Request) []byte {
+//			return append([]byte("echo:"), req.Payload...)
+//		},
+//	})
+//	defer srv.Close()
+//	l, _ := net.Listen("tcp", ":9000")
+//	go srv.Serve(l)
+//
+// or, in-process (no sockets):
+//
+//	c := srv.NewClient()
+//	resp, _ := c.Call([]byte("hi"))
+package zygos
+
+import (
+	"errors"
+	"net"
+	"time"
+
+	"zygos/internal/core"
+	"zygos/internal/memnet"
+	"zygos/internal/proto"
+	"zygos/internal/tcpnet"
+)
+
+// Request is one incoming RPC delivered to a Handler.
+type Request struct {
+	// ID is the client-assigned request identifier echoed on the reply.
+	ID uint64
+	// Payload is the request body.
+	Payload []byte
+	// Conn identifies the connection the request arrived on.
+	Conn uint64
+	// Worker is the index of the worker executing the handler — useful
+	// for per-core sharding inside applications.
+	Worker int
+	// Stolen reports whether the request executes on a non-home worker.
+	Stolen bool
+}
+
+// Handler processes one request and returns the reply payload. Returning
+// nil sends no reply (one-way requests). Handlers run with exclusive
+// ownership of their connection: two requests from the same connection
+// never execute concurrently, and replies are transmitted in request
+// order.
+type Handler func(req Request) []byte
+
+// Config parameterizes a Server.
+type Config struct {
+	// Cores is the number of scheduler workers; defaults to GOMAXPROCS.
+	Cores int
+	// Handler is the application; required.
+	Handler Handler
+	// Partitioned disables work stealing, degrading the scheduler to a
+	// shared-nothing dataplane (the IX baseline's behaviour). Ablation.
+	Partitioned bool
+	// NoInterrupts disables the IPI-analogue kernel proxying, reproducing
+	// the paper's cooperative "ZygOS (no interrupts)" variant. Ablation.
+	NoInterrupts bool
+	// ParkInterval bounds idle workers' sleep between steal scans;
+	// defaults to 100µs.
+	ParkInterval time.Duration
+	// LockOSThread pins each worker goroutine to an OS thread.
+	LockOSThread bool
+}
+
+// Stats is a snapshot of scheduler counters.
+type Stats struct {
+	// Events is the number of application events executed.
+	Events uint64
+	// Steals counts events executed by a non-home worker.
+	Steals uint64
+	// Proxies counts kernel steps executed on another worker's behalf —
+	// the stand-in for the paper's inter-processor interrupts.
+	Proxies uint64
+	// Conns counts connections ever created.
+	Conns uint64
+}
+
+// StealFraction returns steals per executed event (the Figure 8 metric).
+func (s Stats) StealFraction() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.Steals) / float64(s.Events)
+}
+
+// Server is a ZygOS-style RPC server.
+type Server struct {
+	rt  *core.Runtime
+	mem *memnet.Transport
+	tcp *tcpnet.Server
+}
+
+// NewServer creates and starts a server's worker pool.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("zygos: Config.Handler is required")
+	}
+	h := cfg.Handler
+	rt, err := core.New(core.Config{
+		Cores: cfg.Cores,
+		Handler: core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
+			resp := h(Request{
+				ID:      m.ID,
+				Payload: m.Payload,
+				Conn:    c.ID(),
+				Worker:  ctx.Worker(),
+				Stolen:  ctx.Stolen(),
+			})
+			if resp != nil {
+				ctx.Send(m.ID, resp)
+			}
+		}),
+		DisableStealing: cfg.Partitioned,
+		DisableProxy:    cfg.NoInterrupts,
+		ParkInterval:    cfg.ParkInterval,
+		LockOSThread:    cfg.LockOSThread,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{rt: rt}
+	s.mem = memnet.NewTransport(rt)
+	s.tcp = tcpnet.NewServer(rt)
+	return s, nil
+}
+
+// Serve accepts TCP connections on l until l closes or Close is called.
+func (s *Server) Serve(l net.Listener) error {
+	return s.tcp.Serve(l)
+}
+
+// NewClient returns an in-process client connection that exercises the
+// full scheduling path (parser, shuffle queue, stealing, ordered TX)
+// without sockets.
+func (s *Server) NewClient() *Client {
+	return &Client{cc: s.mem.Dial()}
+}
+
+// Stats returns a snapshot of scheduler counters.
+func (s *Server) Stats() Stats {
+	st := s.rt.Stats()
+	return Stats{Events: st.Events, Steals: st.Steals, Proxies: st.Proxies, Conns: st.Conns}
+}
+
+// Cores returns the number of scheduler workers.
+func (s *Server) Cores() int { return s.rt.Cores() }
+
+// Flush blocks until all ingested requests have executed and replied, or
+// the timeout elapses. Intended for tests and orderly shutdown.
+func (s *Server) Flush(timeout time.Duration) bool { return s.rt.Flush(timeout) }
+
+// Close stops the TCP acceptor (if any) and the worker pool.
+func (s *Server) Close() {
+	s.tcp.Close()
+	s.rt.Close()
+}
+
+// Client is an in-process connection to a Server. It is safe for
+// concurrent use and supports pipelining.
+type Client struct {
+	cc *memnet.ClientConn
+}
+
+// Call issues a request and blocks for its reply.
+func (c *Client) Call(payload []byte) ([]byte, error) { return c.cc.Call(payload) }
+
+// Home returns the index of the worker this connection is homed on (its
+// RSS queue). Useful for locality-aware sharding and for constructing
+// skewed workloads in tests.
+func (c *Client) Home() int { return c.cc.ServerConn().Home() }
+
+// SendAsync issues a request; cb runs exactly once with the reply payload
+// or an error. This is the open-loop load-generation primitive.
+func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	return c.cc.SendAsync(payload, cb)
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *Client) Close() { c.cc.Close() }
+
+// DialClient connects to a remote Server over TCP.
+func DialClient(addr string, timeout time.Duration) (*TCPClient, error) {
+	tc, err := tcpnet.Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &TCPClient{tc: tc}, nil
+}
+
+// TCPClient is a TCP connection to a Server, with the same calling
+// conventions as Client.
+type TCPClient struct {
+	tc *tcpnet.Client
+}
+
+// Call issues a request and blocks for its reply.
+func (c *TCPClient) Call(payload []byte) ([]byte, error) { return c.tc.Call(payload) }
+
+// SendAsync issues a request; cb runs exactly once with the reply or an
+// error.
+func (c *TCPClient) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	return c.tc.SendAsync(payload, cb)
+}
+
+// Close tears down the connection; outstanding calls fail.
+func (c *TCPClient) Close() { c.tc.Close() }

@@ -1,0 +1,205 @@
+package zygos
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newEchoServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Handler == nil {
+		cfg.Handler = func(req Request) []byte { return req.Payload }
+	}
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestServerInProcess(t *testing.T) {
+	s := newEchoServer(t, Config{Cores: 2})
+	c := s.NewClient()
+	defer c.Close()
+	resp, err := c.Call([]byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "hi" {
+		t.Fatalf("got %q", resp)
+	}
+	if s.Cores() != 2 {
+		t.Fatalf("Cores() = %d", s.Cores())
+	}
+}
+
+func TestServerOverTCP(t *testing.T) {
+	s := newEchoServer(t, Config{Cores: 2})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	c, err := DialClient(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Call([]byte("tcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "tcp" {
+		t.Fatalf("got %q", resp)
+	}
+}
+
+func TestNilReplyIsOneWay(t *testing.T) {
+	var mu sync.Mutex
+	seen := 0
+	s := newEchoServer(t, Config{Cores: 1, Handler: func(req Request) []byte {
+		mu.Lock()
+		seen++
+		mu.Unlock()
+		if bytes.Equal(req.Payload, []byte("oneway")) {
+			return nil
+		}
+		return req.Payload
+	}})
+	c := s.NewClient()
+	defer c.Close()
+	if err := c.SendAsync([]byte("oneway"), func(_ []byte, err error) {
+		// The callback fires with an error at client teardown; only a
+		// successful reply would violate one-way semantics.
+		if err == nil {
+			t.Error("one-way request must not be answered")
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A follow-up round trip proves the one-way request was processed.
+	if _, err := c.Call([]byte("sync")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen != 2 {
+		t.Fatalf("handler ran %d times, want 2", seen)
+	}
+}
+
+func TestRequestMetadata(t *testing.T) {
+	got := make(chan Request, 1)
+	s := newEchoServer(t, Config{Cores: 2, Handler: func(req Request) []byte {
+		select {
+		case got <- req:
+		default:
+		}
+		return req.Payload
+	}})
+	c := s.NewClient()
+	defer c.Close()
+	if _, err := c.Call([]byte("meta")); err != nil {
+		t.Fatal(err)
+	}
+	req := <-got
+	if req.Conn == 0 {
+		t.Error("Conn must be set")
+	}
+	if req.Worker < 0 || req.Worker >= 2 {
+		t.Errorf("Worker %d out of range", req.Worker)
+	}
+	if string(req.Payload) != "meta" {
+		t.Errorf("payload %q", req.Payload)
+	}
+}
+
+func TestStatsAndStealFraction(t *testing.T) {
+	s := newEchoServer(t, Config{Cores: 4, Handler: func(req Request) []byte {
+		time.Sleep(200 * time.Microsecond)
+		return req.Payload
+	}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		c := s.NewClient()
+		defer c.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Call([]byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Events != 400 {
+		t.Fatalf("events %d, want 400", st.Events)
+	}
+	if st.Conns < 8 {
+		t.Fatalf("conns %d, want >= 8", st.Conns)
+	}
+	if f := st.StealFraction(); f < 0 || f > 1 {
+		t.Fatalf("steal fraction %v out of range", f)
+	}
+	if (Stats{}).StealFraction() != 0 {
+		t.Fatal("zero stats must have zero steal fraction")
+	}
+}
+
+func TestPartitionedModeNeverSteals(t *testing.T) {
+	s := newEchoServer(t, Config{Cores: 4, Partitioned: true, Handler: func(req Request) []byte {
+		time.Sleep(100 * time.Microsecond)
+		return req.Payload
+	}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		c := s.NewClient()
+		defer c.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				if _, err := c.Call([]byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Steals != 0 {
+		t.Fatalf("partitioned server stole %d events", st.Steals)
+	}
+}
+
+func TestConfigRequiresHandler(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Fatal("NewServer without handler must fail")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	s := newEchoServer(t, Config{Cores: 2})
+	c := s.NewClient()
+	defer c.Close()
+	for i := 0; i < 100; i++ {
+		if err := c.SendAsync([]byte(fmt.Sprintf("%d", i)), func([]byte, error) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Flush(5 * time.Second) {
+		t.Fatal("flush timed out")
+	}
+	if st := s.Stats(); st.Events != 100 {
+		t.Fatalf("events %d after flush, want 100", st.Events)
+	}
+}
