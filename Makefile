@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: all build test vet bench-smoke
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification: the whole tree must vet and test clean.
+test: vet
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of every benchmark, as a compile-and-run smoke check.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"time"
 
 	"zygos"
@@ -25,7 +26,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "localhost:9000", "server address")
 		workload = flag.String("workload", "spin", "spin|etc|usr|tpcc")
-		distName = flag.String("dist", "exponential", "spin: service-time distribution")
+		distName = flag.String("dist", "exponential", "spin: service-time distribution ("+strings.Join(dist.Names(), "|")+")")
 		meanUS   = flag.Int64("mean", 10, "spin: mean service time µs")
 		conns    = flag.Int("conns", 32, "TCP connections")
 		rate     = flag.Float64("rate", 10000, "offered requests/second")

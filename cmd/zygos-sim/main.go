@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"zygos/internal/dataplane"
 	"zygos/internal/dist"
@@ -22,7 +23,7 @@ import (
 func main() {
 	var (
 		system     = flag.String("system", "zygos", "zygos|ix|linux-partitioned|linux-floating|queueing")
-		distName   = flag.String("dist", "exponential", "deterministic|exponential|bimodal-1|bimodal-2")
+		distName   = flag.String("dist", "exponential", strings.Join(dist.Names(), "|"))
 		meanUS     = flag.Int64("mean", 10, "mean service time in µs")
 		load       = flag.Float64("load", 0.7, "offered load as a fraction of n/S̄")
 		cores      = flag.Int("cores", 16, "worker cores")

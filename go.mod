@@ -1,0 +1,3 @@
+module zygos
+
+go 1.24

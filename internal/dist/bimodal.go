@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Bimodal is a two-point distribution: V1 with probability P1, else V2.
+// The paper's Figure 2 uses two calibrated instances (NewBimodal1,
+// NewBimodal2) to show how tail latency degrades with dispersion.
+type Bimodal struct {
+	V1, V2 int64
+	P1     float64
+	name   string
+}
+
+// NewBimodal returns a two-point distribution taking v1 with probability
+// p1 and v2 otherwise. It panics if p1 is outside [0, 1].
+func NewBimodal(v1, v2 int64, p1 float64) Bimodal {
+	if p1 < 0 || p1 > 1 {
+		panic(fmt.Sprintf("dist: bimodal p1 %v outside [0, 1]", p1))
+	}
+	return Bimodal{V1: v1, V2: v2, P1: p1, name: "bimodal"}
+}
+
+// NewBimodal1 returns the paper's Bimodal-1 service-time distribution for
+// target mean S̄: 90% of tasks take ½·S̄ and 10% take 5.5·S̄ (CV² ≈ 2.25).
+func NewBimodal1(mean int64) Bimodal {
+	b := NewBimodal(mean/2, 11*mean/2, 0.9)
+	b.name = "bimodal-1"
+	return b
+}
+
+// NewBimodal2 returns the paper's Bimodal-2 distribution for target mean
+// S̄: 99.9% of tasks take ½·S̄ and 0.1% take 500·S̄ — the very-high
+// dispersion case (CV² ≈ 250) where processor sharing beats FCFS.
+func NewBimodal2(mean int64) Bimodal {
+	b := NewBimodal(mean/2, 500*mean, 0.999)
+	b.name = "bimodal-2"
+	return b
+}
+
+// Sample implements Dist.
+func (b Bimodal) Sample(rng *rand.Rand) int64 {
+	if rng.Float64() < b.P1 {
+		return b.V1
+	}
+	return b.V2
+}
+
+// Mean implements Dist.
+func (b Bimodal) Mean() float64 {
+	return b.P1*float64(b.V1) + (1-b.P1)*float64(b.V2)
+}
+
+// Name implements Dist.
+func (b Bimodal) Name() string {
+	if b.name == "" {
+		return "bimodal"
+	}
+	return b.name
+}
+
+// SecondMoment implements Moments: E[X²] = p1·v1² + (1−p1)·v2².
+func (b Bimodal) SecondMoment() float64 {
+	return b.P1*float64(b.V1)*float64(b.V1) + (1-b.P1)*float64(b.V2)*float64(b.V2)
+}
+
+// CDF returns P(X ≤ x) for the two-point distribution.
+func (b Bimodal) CDF(x float64) float64 {
+	lo, hi := float64(b.V1), float64(b.V2)
+	pLo := b.P1
+	if lo > hi {
+		lo, hi = hi, lo
+		pLo = 1 - b.P1
+	}
+	switch {
+	case x < lo:
+		return 0
+	case x < hi:
+		return pLo
+	default:
+		return 1
+	}
+}
+
+// Quantile returns the p-quantile (the lower mode for p up to its mass,
+// the higher mode beyond).
+func (b Bimodal) Quantile(p float64) float64 {
+	lo, hi := float64(b.V1), float64(b.V2)
+	pLo := b.P1
+	if lo > hi {
+		lo, hi = hi, lo
+		pLo = 1 - b.P1
+	}
+	if p <= pLo {
+		return lo
+	}
+	return hi
+}

@@ -1,0 +1,118 @@
+// Package dist provides the random-variate distributions that drive every
+// simulation and load generator in this repository: service-time models
+// (deterministic, exponential, the paper's two bimodals, lognormal,
+// mixtures), the generalized-Pareto value-size model of the Facebook ETC
+// trace, and Poisson inter-arrival gaps.
+//
+// Service-time distributions implement Dist and sample in integer
+// nanoseconds. The paper's tail-latency results (§2.3, Figure 2) are a
+// function of service-time dispersion, so each distribution also exposes
+// its analytic second moment and squared coefficient of variation
+// (CV² = Var/Mean²), which the M/G/1 bounds in internal/queueing consume,
+// plus CDF/quantile helpers where a closed form exists.
+//
+// All sampling is driven by an explicit *rand.Rand so simulations remain
+// a pure function of their seed.
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist is a non-negative random variate measured in nanoseconds.
+type Dist interface {
+	// Sample draws one variate using rng.
+	Sample(rng *rand.Rand) int64
+	// Mean returns the analytic mean in nanoseconds.
+	Mean() float64
+	// Name identifies the distribution (e.g. in figure titles).
+	Name() string
+}
+
+// Moments is implemented by distributions with an analytic second moment.
+type Moments interface {
+	// SecondMoment returns E[X²] in ns².
+	SecondMoment() float64
+}
+
+// SecondMoment returns E[X²] for d, or NaN if d does not expose one.
+func SecondMoment(d Dist) float64 {
+	if m, ok := d.(Moments); ok {
+		return m.SecondMoment()
+	}
+	return math.NaN()
+}
+
+// CV2 returns the squared coefficient of variation Var(X)/E[X]², the
+// dispersion measure the paper's model comparison is organized around
+// (CV²=0 deterministic, 1 exponential, ≫1 heavy-tailed), or NaN if d has
+// no analytic second moment.
+func CV2(d Dist) float64 {
+	m2 := SecondMoment(d)
+	mean := d.Mean()
+	if math.IsNaN(m2) || mean <= 0 {
+		return math.NaN()
+	}
+	return m2/(mean*mean) - 1
+}
+
+// Deterministic is a point mass: every task takes exactly V nanoseconds.
+type Deterministic struct {
+	V int64
+}
+
+// Sample implements Dist.
+func (d Deterministic) Sample(rng *rand.Rand) int64 { return d.V }
+
+// Mean implements Dist.
+func (d Deterministic) Mean() float64 { return float64(d.V) }
+
+// Name implements Dist.
+func (d Deterministic) Name() string { return "deterministic" }
+
+// SecondMoment implements Moments: E[X²] = V².
+func (d Deterministic) SecondMoment() float64 { return float64(d.V) * float64(d.V) }
+
+// CDF returns P(X ≤ x).
+func (d Deterministic) CDF(x float64) float64 {
+	if x < float64(d.V) {
+		return 0
+	}
+	return 1
+}
+
+// Quantile returns the p-quantile, which is V for every p in (0, 1].
+func (d Deterministic) Quantile(p float64) float64 { return float64(d.V) }
+
+// Exponential is the memoryless distribution with mean MeanNS (CV² = 1).
+type Exponential struct {
+	MeanNS float64
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) int64 {
+	return int64(rng.ExpFloat64() * e.MeanNS)
+}
+
+// Mean implements Dist.
+func (e Exponential) Mean() float64 { return e.MeanNS }
+
+// Name implements Dist.
+func (e Exponential) Name() string { return "exponential" }
+
+// SecondMoment implements Moments: E[X²] = 2·mean².
+func (e Exponential) SecondMoment() float64 { return 2 * e.MeanNS * e.MeanNS }
+
+// CDF returns P(X ≤ x) = 1 − e^(−x/mean).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-x/e.MeanNS)
+}
+
+// Quantile returns the p-quantile −mean·ln(1−p).
+func (e Exponential) Quantile(p float64) float64 {
+	return -e.MeanNS * math.Log1p(-p)
+}

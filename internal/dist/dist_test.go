@@ -1,0 +1,344 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const us = int64(1000)
+
+// sampleStats draws n variates and returns their empirical mean and
+// second moment.
+func sampleStats(t *testing.T, d Dist, seed int64, n int) (mean, m2 float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := float64(d.Sample(rng))
+		if x < 0 {
+			t.Fatalf("%s: negative sample %v", d.Name(), x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	return sum / float64(n), sumSq / float64(n)
+}
+
+// testDists enumerates one calibrated instance of every distribution,
+// with a sample count large enough that the seeded empirical mean lands
+// within 2% of the analytic mean (bimodal-2's rare 500·S̄ mode needs the
+// biggest sample).
+func testDists() []struct {
+	d Dist
+	n int
+} {
+	mix, err := NewMixture("test-mix",
+		[]Dist{Exponential{MeanNS: 10000}, Deterministic{V: 50000}},
+		[]float64{0.75, 0.25})
+	if err != nil {
+		panic(err)
+	}
+	return []struct {
+		d Dist
+		n int
+	}{
+		{Deterministic{V: 10 * us}, 1000},
+		{Exponential{MeanNS: float64(10 * us)}, 400000},
+		{NewBimodal(5*us, 55*us, 0.5), 400000},
+		{NewBimodal1(10 * us), 400000},
+		{NewBimodal2(10 * us), 4000000},
+		{NewLognormalMean(33000, 0.55), 400000},
+		{GeneralizedPareto{MuLoc: 15, Scale: 214.476, Shape: 0.348238}, 1000000},
+		{mix, 400000},
+	}
+}
+
+func TestSampledMeanMatchesAnalytic(t *testing.T) {
+	for _, tc := range testDists() {
+		mean, _ := sampleStats(t, tc.d, 42, tc.n)
+		want := tc.d.Mean()
+		if rel := math.Abs(mean-want) / want; rel > 0.02 {
+			t.Errorf("%s: sampled mean %v vs analytic %v (%.1f%% off)",
+				tc.d.Name(), mean, want, rel*100)
+		}
+	}
+}
+
+func TestSampledSecondMomentMatchesAnalytic(t *testing.T) {
+	for _, tc := range testDists() {
+		want := SecondMoment(tc.d)
+		if math.IsNaN(want) || math.IsInf(want, 0) {
+			t.Errorf("%s: second moment should be finite, got %v", tc.d.Name(), want)
+			continue
+		}
+		_, m2 := sampleStats(t, tc.d, 43, tc.n)
+		// Second moments converge slower than means; 10% is comfortable
+		// at these sample sizes for every instance above.
+		if rel := math.Abs(m2-want) / want; rel > 0.10 {
+			t.Errorf("%s: sampled E[X²] %v vs analytic %v (%.1f%% off)",
+				tc.d.Name(), m2, want, rel*100)
+		}
+	}
+}
+
+func TestDeterminismUnderSeed(t *testing.T) {
+	for _, tc := range testDists() {
+		a := rand.New(rand.NewSource(7))
+		b := rand.New(rand.NewSource(7))
+		for i := 0; i < 1000; i++ {
+			if x, y := tc.d.Sample(a), tc.d.Sample(b); x != y {
+				t.Fatalf("%s: same-seed draw %d diverged: %d vs %d", tc.d.Name(), i, x, y)
+			}
+		}
+	}
+}
+
+func TestCV2(t *testing.T) {
+	cases := []struct {
+		d    Dist
+		want float64
+		tol  float64
+	}{
+		{Deterministic{V: 10 * us}, 0, 1e-12},
+		{Exponential{MeanNS: float64(10 * us)}, 1, 1e-12},
+		// Bimodal-1: E[X]=S̄, E[X²]=0.9·0.25+0.1·30.25 = 3.25·S̄².
+		{NewBimodal1(10 * us), 2.25, 1e-12},
+		// Lognormal: CV² = e^σ² − 1.
+		{NewLognormalMean(10000, 0.5), math.Exp(0.25) - 1, 1e-12},
+	}
+	for _, tc := range cases {
+		if got := CV2(tc.d); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("%s: CV² = %v, want %v", tc.d.Name(), got, tc.want)
+		}
+	}
+	// Bimodal-2 is the paper's very-high-dispersion case: CV² ≈ 250.
+	if got := CV2(NewBimodal2(10 * us)); got < 200 || got > 300 {
+		t.Errorf("bimodal-2 CV² = %v, want ≈250", got)
+	}
+}
+
+func TestBimodalModeProbabilities(t *testing.T) {
+	b := NewBimodal1(10 * us)
+	rng := rand.New(rand.NewSource(11))
+	n := 200000
+	var low, high int
+	for i := 0; i < n; i++ {
+		switch b.Sample(rng) {
+		case b.V1:
+			low++
+		case b.V2:
+			high++
+		default:
+			t.Fatal("bimodal sample outside its two modes")
+		}
+	}
+	if p := float64(low) / float64(n); math.Abs(p-0.9) > 0.005 {
+		t.Errorf("low-mode fraction %v, want 0.9", p)
+	}
+	if low+high != n {
+		t.Error("samples must split across exactly the two modes")
+	}
+}
+
+func TestBimodalPresetModes(t *testing.T) {
+	b1 := NewBimodal1(10 * us)
+	if b1.V1 != 5*us || b1.V2 != 55*us || b1.P1 != 0.9 {
+		t.Errorf("bimodal-1 = %+v, want ½S̄/5.5S̄ at 90/10", b1)
+	}
+	b2 := NewBimodal2(10 * us)
+	if b2.V1 != 5*us || b2.V2 != 5000*us || b2.P1 != 0.999 {
+		t.Errorf("bimodal-2 = %+v, want ½S̄/500S̄ at 99.9/0.1", b2)
+	}
+	// Figure 2's low-load anchor: bimodal-2's p99 is the low mode.
+	if q := b2.Quantile(0.99); q != float64(5*us) {
+		t.Errorf("bimodal-2 p99 = %v, want the ½S̄ mode", q)
+	}
+	if q := b1.Quantile(0.99); q != float64(55*us) {
+		t.Errorf("bimodal-1 p99 = %v, want the 5.5S̄ mode", q)
+	}
+}
+
+func TestNewBimodalValidatesP1(t *testing.T) {
+	for _, p1 := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewBimodal with p1=%v must panic", p1)
+				}
+			}()
+			NewBimodal(1, 2, p1)
+		}()
+	}
+}
+
+func TestPoissonGapMean(t *testing.T) {
+	for _, rate := range []float64{1000, 50000, 2e6} {
+		p := PoissonArrivals{RatePerSec: rate}
+		want := 1e9 / rate
+		if got := p.MeanGap(); got != want {
+			t.Errorf("rate %v: MeanGap %v, want %v", rate, got, want)
+		}
+		rng := rand.New(rand.NewSource(3))
+		n := 400000
+		var sum float64
+		for i := 0; i < n; i++ {
+			g := p.NextGap(rng)
+			if g < 0 {
+				t.Fatal("negative gap")
+			}
+			sum += float64(g)
+		}
+		if got := sum / float64(n); math.Abs(got-want)/want > 0.02 {
+			t.Errorf("rate %v: sampled mean gap %v, want %v", rate, got, want)
+		}
+	}
+}
+
+func TestPoissonGapRequiresPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-rate NextGap must panic")
+		}
+	}()
+	PoissonArrivals{}.NextGap(rand.New(rand.NewSource(1)))
+}
+
+func TestLognormalMeanParameterization(t *testing.T) {
+	l := NewLognormalMean(33000, 0.55)
+	if math.Abs(l.Mean()-33000) > 1e-6 {
+		t.Errorf("Mean %v, want exactly 33000", l.Mean())
+	}
+	wantMedian := 33000 * math.Exp(-0.55*0.55/2)
+	if math.Abs(l.Median()-wantMedian) > 1e-6 {
+		t.Errorf("Median %v, want %v", l.Median(), wantMedian)
+	}
+	if math.Abs(l.Quantile(0.5)-wantMedian) > 1e-6 {
+		t.Errorf("Quantile(0.5) %v, want the median %v", l.Quantile(0.5), wantMedian)
+	}
+}
+
+func TestCDFQuantileRoundTrip(t *testing.T) {
+	type cq interface {
+		CDF(x float64) float64
+		Quantile(p float64) float64
+	}
+	dists := []Dist{
+		Exponential{MeanNS: float64(10 * us)},
+		NewLognormalMean(33000, 0.55),
+		GeneralizedPareto{MuLoc: 15, Scale: 214.476, Shape: 0.348238},
+	}
+	for _, d := range dists {
+		c, ok := d.(cq)
+		if !ok {
+			t.Fatalf("%s lacks CDF/Quantile", d.Name())
+		}
+		for _, p := range []float64{0.01, 0.5, 0.9, 0.99, 0.999} {
+			x := c.Quantile(p)
+			if got := c.CDF(x); math.Abs(got-p) > 1e-9 {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", d.Name(), p, got)
+			}
+		}
+	}
+	// Exponential p99 closed form: −mean·ln(0.01).
+	e := Exponential{MeanNS: 1000}
+	if got, want := e.Quantile(0.99), -1000*math.Log(0.01); math.Abs(got-want) > 1e-9 {
+		t.Errorf("exponential p99 %v, want %v", got, want)
+	}
+}
+
+func TestGeneralizedParetoETCShape(t *testing.T) {
+	// mutilate's Facebook ETC value-size parameters: mean ≈ 344 bytes.
+	g := GeneralizedPareto{MuLoc: 15, Scale: 214.476, Shape: 0.348238}
+	if m := g.Mean(); math.Abs(m-(15+214.476/(1-0.348238))) > 1e-9 {
+		t.Errorf("ETC mean %v", m)
+	}
+	if g.CDF(15) != 0 {
+		t.Error("CDF at the location must be 0")
+	}
+	if inf := (GeneralizedPareto{Scale: 1, Shape: 1}).Mean(); !math.IsInf(inf, 1) {
+		t.Error("shape ≥ 1 must have infinite mean")
+	}
+	if inf := (GeneralizedPareto{Scale: 1, Shape: 0.6}).SecondMoment(); !math.IsInf(inf, 1) {
+		t.Error("shape ≥ ½ must have infinite second moment")
+	}
+	// ξ=0 degenerates to a shifted exponential.
+	z := GeneralizedPareto{MuLoc: 10, Scale: 100, Shape: 0}
+	if got, want := z.Quantile(0.5), 10-100*math.Log(0.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ξ=0 median %v, want %v", got, want)
+	}
+}
+
+func TestMixtureValidation(t *testing.T) {
+	ds := []Dist{Exponential{MeanNS: 1000}, Deterministic{V: 5000}}
+	cases := []struct {
+		name string
+		ds   []Dist
+		ws   []float64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", ds, []float64{1}},
+		{"negative weight", ds, []float64{1.5, -0.5}},
+		{"sum below 1", ds, []float64{0.5, 0.4}},
+		{"sum above 1", ds, []float64{30, 1}},
+	}
+	for _, tc := range cases {
+		if _, err := NewMixture("bad", tc.ds, tc.ws); err == nil {
+			t.Errorf("%s: NewMixture must reject", tc.name)
+		}
+	}
+	m, err := NewMixture("ok", ds, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.25*1000 + 0.75*5000; math.Abs(m.Mean()-want) > 1e-9 {
+		t.Errorf("mixture mean %v, want %v", m.Mean(), want)
+	}
+	if want := 0.25*2e6 + 0.75*25e6; math.Abs(m.SecondMoment()-want) > 1e-9 {
+		t.Errorf("mixture E[X²] %v, want %v", m.SecondMoment(), want)
+	}
+	if m.Components() != 2 || m.Name() != "ok" {
+		t.Error("mixture metadata")
+	}
+}
+
+func TestByNameRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no registered names")
+	}
+	for _, name := range names {
+		d, err := ByName(name, 10*us)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, d.Name())
+		}
+		// Every registered constructor targets the requested mean;
+		// bimodal-2's modes make it 0.9995·S̄ by construction.
+		wantMean := float64(10 * us)
+		if name == "bimodal-2" {
+			wantMean = 0.9995 * wantMean
+		}
+		if math.Abs(d.Mean()-wantMean)/wantMean > 1e-9 {
+			t.Errorf("ByName(%q).Mean() = %v, want %v", name, d.Mean(), wantMean)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	_, err := ByName("zipf", 1000)
+	if err == nil {
+		t.Fatal("unknown name must error")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q should list valid name %q", err, name)
+		}
+	}
+	if _, err := ByName("exponential", 0); err == nil {
+		t.Error("non-positive mean must error")
+	}
+}

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Lognormal is the distribution of e^N where N ~ Normal(Mu, Sigma²). It
+// models the multiplicative service-time profiles of real applications
+// (the TPC-C transaction types of §6.3, memcached request costs of §6.2).
+type Lognormal struct {
+	Mu    float64 // location of the underlying normal (ln ns)
+	Sigma float64 // scale of the underlying normal
+}
+
+// NewLognormalMean returns the lognormal with the given mean (ns) and
+// underlying-normal sigma, i.e. μ = ln(mean) − σ²/2 so that
+// E[X] = e^(μ+σ²/2) = mean exactly.
+func NewLognormalMean(meanNS, sigma float64) Lognormal {
+	if meanNS <= 0 {
+		panic("dist: lognormal mean must be positive")
+	}
+	if sigma < 0 {
+		panic("dist: lognormal sigma must be non-negative")
+	}
+	return Lognormal{Mu: math.Log(meanNS) - sigma*sigma/2, Sigma: sigma}
+}
+
+// Sample implements Dist.
+func (l Lognormal) Sample(rng *rand.Rand) int64 {
+	return int64(math.Exp(l.Mu + l.Sigma*rng.NormFloat64()))
+}
+
+// Mean implements Dist: E[X] = e^(μ+σ²/2).
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+// Name implements Dist.
+func (l Lognormal) Name() string { return "lognormal" }
+
+// SecondMoment implements Moments: E[X²] = e^(2μ+2σ²).
+func (l Lognormal) SecondMoment() float64 {
+	return math.Exp(2*l.Mu + 2*l.Sigma*l.Sigma)
+}
+
+// Median returns the distribution's median e^μ.
+func (l Lognormal) Median() float64 { return math.Exp(l.Mu) }
+
+// CDF returns P(X ≤ x) = Φ((ln x − μ)/σ).
+func (l Lognormal) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if l.Sigma == 0 {
+		if math.Log(x) < l.Mu {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * (1 + math.Erf((math.Log(x)-l.Mu)/(l.Sigma*math.Sqrt2)))
+}
+
+// Quantile returns the p-quantile e^(μ+σ·Φ⁻¹(p)).
+func (l Lognormal) Quantile(p float64) float64 {
+	return math.Exp(l.Mu + l.Sigma*math.Sqrt2*math.Erfinv(2*p-1))
+}

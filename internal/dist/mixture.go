@@ -1,0 +1,96 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Mixture draws from one of several component distributions chosen by
+// fixed weights. It composes per-class service-time models into one
+// workload profile (e.g. the TPC-C transaction mix of §6.3.2).
+type Mixture struct {
+	name string
+	ds   []Dist
+	ws   []float64
+	cum  []float64 // cumulative weights, cum[len-1] == 1
+}
+
+// weightTolerance is how far from 1.0 a weight vector's sum may be before
+// NewMixture rejects it; generous enough for decimal rounding of a few
+// hand-written weights, strict enough to catch unnormalized vectors.
+const weightTolerance = 1e-6
+
+// NewMixture returns a mixture of ds with the given probability weights.
+// It rejects empty or length-mismatched inputs, negative weights, and
+// weight vectors that do not sum to 1 (within a small tolerance).
+func NewMixture(name string, ds []Dist, ws []float64) (Mixture, error) {
+	if len(ds) == 0 {
+		return Mixture{}, fmt.Errorf("dist: mixture %q has no components", name)
+	}
+	if len(ds) != len(ws) {
+		return Mixture{}, fmt.Errorf("dist: mixture %q has %d components but %d weights",
+			name, len(ds), len(ws))
+	}
+	sum := 0.0
+	for i, w := range ws {
+		if w < 0 || math.IsNaN(w) {
+			return Mixture{}, fmt.Errorf("dist: mixture %q weight %d is %v, must be non-negative",
+				name, i, w)
+		}
+		sum += w
+	}
+	if math.Abs(sum-1) > weightTolerance {
+		return Mixture{}, fmt.Errorf("dist: mixture %q weights sum to %v, must sum to 1",
+			name, sum)
+	}
+	m := Mixture{
+		name: name,
+		ds:   append([]Dist(nil), ds...),
+		ws:   append([]float64(nil), ws...),
+		cum:  make([]float64, len(ws)),
+	}
+	c := 0.0
+	for i, w := range m.ws {
+		c += w / sum // normalize away the residual rounding error
+		m.cum[i] = c
+	}
+	m.cum[len(m.cum)-1] = 1
+	return m, nil
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	for i, c := range m.cum {
+		if u < c {
+			return m.ds[i].Sample(rng)
+		}
+	}
+	return m.ds[len(m.ds)-1].Sample(rng)
+}
+
+// Mean implements Dist: Σ wᵢ·E[Xᵢ].
+func (m Mixture) Mean() float64 {
+	mean := 0.0
+	for i, d := range m.ds {
+		mean += m.ws[i] * d.Mean()
+	}
+	return mean
+}
+
+// Name implements Dist.
+func (m Mixture) Name() string { return m.name }
+
+// SecondMoment implements Moments: Σ wᵢ·E[Xᵢ²]. It is NaN if any
+// component lacks an analytic second moment.
+func (m Mixture) SecondMoment() float64 {
+	m2 := 0.0
+	for i, d := range m.ds {
+		m2 += m.ws[i] * SecondMoment(d)
+	}
+	return m2
+}
+
+// Components returns the mixture's component count.
+func (m Mixture) Components() int { return len(m.ds) }

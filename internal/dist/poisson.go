@@ -1,0 +1,27 @@
+package dist
+
+import (
+	"math/rand"
+
+	"zygos/internal/sim"
+)
+
+// PoissonArrivals generates the inter-arrival gaps of a Poisson process:
+// independent exponential gaps with mean 1e9/RatePerSec nanoseconds. All
+// open-loop generators in the repository (the queueing models, the
+// dataplane simulator, the mutilate-style load generator) draw their
+// arrival times from it.
+type PoissonArrivals struct {
+	RatePerSec float64
+}
+
+// NextGap draws the nanoseconds until the next arrival.
+func (p PoissonArrivals) NextGap(rng *rand.Rand) sim.Time {
+	if p.RatePerSec <= 0 {
+		panic("dist: PoissonArrivals rate must be positive")
+	}
+	return sim.Time(rng.ExpFloat64() * 1e9 / p.RatePerSec)
+}
+
+// MeanGap returns the expected gap 1e9/RatePerSec in nanoseconds.
+func (p PoissonArrivals) MeanGap() float64 { return 1e9 / p.RatePerSec }

@@ -1,0 +1,48 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DefaultLognormalSigma is the underlying-normal sigma used when a
+// lognormal is requested by name with only a mean (CV² = e^σ² − 1 ≈ 0.28,
+// between deterministic and exponential dispersion).
+const DefaultLognormalSigma = 0.5
+
+// registry maps the CLI-facing distribution names to constructors taking
+// the target mean in nanoseconds.
+var registry = map[string]func(meanNS int64) Dist{
+	"deterministic": func(meanNS int64) Dist { return Deterministic{V: meanNS} },
+	"exponential":   func(meanNS int64) Dist { return Exponential{MeanNS: float64(meanNS)} },
+	"bimodal-1":     func(meanNS int64) Dist { return NewBimodal1(meanNS) },
+	"bimodal-2":     func(meanNS int64) Dist { return NewBimodal2(meanNS) },
+	"lognormal":     func(meanNS int64) Dist { return NewLognormalMean(float64(meanNS), DefaultLognormalSigma) },
+}
+
+// Names returns the registered distribution names, sorted, for CLI help
+// and error messages.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds the named service-time distribution with the given target
+// mean in nanoseconds. Unknown names yield an error listing the valid
+// ones.
+func ByName(name string, meanNS int64) (Dist, error) {
+	mk, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown distribution %q (valid: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	if meanNS <= 0 {
+		return nil, fmt.Errorf("dist: %s mean %dns must be positive", name, meanNS)
+	}
+	return mk(meanNS), nil
+}

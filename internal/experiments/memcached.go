@@ -17,7 +17,7 @@ func etcService() dist.Dist {
 			dist.NewLognormalMean(1900, 0.25), // GETs with varying value sizes
 			dist.NewLognormalMean(2600, 0.35), // SETs (allocation + copy)
 		},
-		[]float64{30, 1})
+		[]float64{30.0 / 31, 1.0 / 31}) // 30:1 GET:SET
 	if err != nil {
 		panic(err)
 	}
