@@ -86,7 +86,7 @@ func BenchmarkAblationStealCosts(b *testing.B) { runExperiment(b, "ablation") }
 func BenchmarkRuntimeEchoInProc(b *testing.B) {
 	srv, err := NewServer(Config{
 		Cores:   2,
-		Handler: func(req Request) []byte { return req.Payload },
+		Handler: func(w ResponseWriter, req *Request) { w.Reply(req.Payload) },
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -108,7 +108,7 @@ func BenchmarkRuntimeEchoInProc(b *testing.B) {
 func BenchmarkRuntimePipelined(b *testing.B) {
 	srv, err := NewServer(Config{
 		Cores:   2,
-		Handler: func(req Request) []byte { return req.Payload },
+		Handler: func(w ResponseWriter, req *Request) { w.Reply(req.Payload) },
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -134,13 +134,13 @@ func BenchmarkRuntimePipelined(b *testing.B) {
 func BenchmarkRuntimeStealingSkewed(b *testing.B) {
 	srv, err := NewServer(Config{
 		Cores: 4,
-		Handler: func(req Request) []byte {
-			// A small spin makes stealing worthwhile. The reply must be
-			// non-nil: completion is observed through the response.
+		Handler: func(w ResponseWriter, req *Request) {
+			// A small spin makes stealing worthwhile; completion is
+			// observed through the response.
 			deadline := time.Now().Add(20 * time.Microsecond)
 			for time.Now().Before(deadline) {
 			}
-			return []byte{1}
+			w.Reply([]byte{1})
 		},
 	})
 	if err != nil {

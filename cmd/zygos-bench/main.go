@@ -4,18 +4,25 @@
 // Usage:
 //
 //	zygos-bench [-experiment all|fig2|fig3|fig6|fig7|fig8|fig9|fig10a|fig10b|table1|fig11] [-full] [-seed N]
+//	zygos-bench -live [-requests N] [-cores N]
 //
 // The default quick mode finishes in minutes; -full (or ZYGOS_FULL=1)
-// selects the dense grids used for EXPERIMENTS.md.
+// selects the dense grids used for EXPERIMENTS.md. -live skips the
+// simulators and measures the real runtime instead: one Caller-generic
+// echo measurement driven over both the in-process and the TCP loopback
+// transport.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
+	"zygos"
 	"zygos/internal/experiments"
+	"zygos/internal/stats"
 )
 
 func main() {
@@ -23,8 +30,19 @@ func main() {
 		experiment = flag.String("experiment", "all", "experiment id or 'all'")
 		full       = flag.Bool("full", os.Getenv("ZYGOS_FULL") == "1", "dense grids and large samples")
 		seed       = flag.Int64("seed", 1, "simulation seed")
+		live       = flag.Bool("live", false, "measure the real runtime instead of the simulators")
+		requests   = flag.Int("requests", 50000, "live: requests per transport")
+		cores      = flag.Int("cores", 0, "live: worker cores (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *live {
+		if err := runLive(*requests, *cores); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	opt := experiments.Options{Full: *full, Seed: *seed}
 	run := func(id string, gen experiments.Generator) {
@@ -50,4 +68,61 @@ func main() {
 		os.Exit(2)
 	}
 	run(*experiment, gen)
+}
+
+// runLive measures closed-loop echo latency of the real runtime. The
+// measurement function takes a zygos.Caller, so the same code path
+// drives the in-process transport and the TCP loopback transport; only
+// the dial differs.
+func runLive(requests, cores int) error {
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores:   cores,
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) { w.Reply(req.Payload) },
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.Use(srv.LatencyRecording())
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go srv.Serve(l)
+
+	measure := func(name string, dial func() (zygos.Caller, error)) error {
+		c, err := dial()
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		sample := stats.NewSample(requests)
+		payload := []byte("0123456789abcdef")
+		start := time.Now()
+		for i := 0; i < requests; i++ {
+			t0 := time.Now()
+			if _, err := c.Call(payload); err != nil {
+				return fmt.Errorf("%s call %d: %w", name, i, err)
+			}
+			sample.Add(time.Since(t0).Nanoseconds())
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("%-8s %8.0f req/s  %s\n", name,
+			float64(requests)/elapsed.Seconds(), sample.Summarize())
+		return nil
+	}
+
+	if err := measure("inproc", func() (zygos.Caller, error) { return srv.NewClient(), nil }); err != nil {
+		return err
+	}
+	if err := measure("tcp", func() (zygos.Caller, error) {
+		return zygos.DialClient(l.Addr().String(), 5*time.Second)
+	}); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	fmt.Printf("server: events=%d steals=%d proxies=%d  latency %v\n",
+		st.Events, st.Steals, st.Proxies, st.Latency)
+	return nil
 }

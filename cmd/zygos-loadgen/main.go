@@ -1,11 +1,18 @@
 // Command zygos-loadgen is a mutilate-style open-loop load generator for
-// zygos-server: Poisson arrivals over many TCP connections, latency
-// measured from intended arrival times (coordinated-omission safe).
+// zygos-server: Poisson arrivals over many connections, latency measured
+// from intended arrival times (coordinated-omission safe).
+//
+// Connections are zygos.Caller values, so one code path drives either
+// transport: TCP against a remote zygos-server (the default), or an
+// in-process server (-inproc) that runs the spin workload on this
+// process's cores — handy for trying the scheduler without a second
+// terminal.
 //
 // Usage:
 //
 //	zygos-loadgen -addr localhost:9000 -workload spin -mean 10 -dist exponential -rate 50000 -requests 200000
 //	zygos-loadgen -addr localhost:9000 -workload etc -rate 100000
+//	zygos-loadgen -inproc -workload spin -rate 50000 -requests 200000
 package main
 
 import (
@@ -25,10 +32,13 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "localhost:9000", "server address")
+		inproc   = flag.Bool("inproc", false, "serve in-process instead of dialing addr (spin workload server)")
+		cores    = flag.Int("cores", 0, "inproc: worker cores (0 = GOMAXPROCS)")
+		shed     = flag.Int("shed", 0, "inproc: admission-control depth (0 = off)")
 		workload = flag.String("workload", "spin", "spin|etc|usr|tpcc")
 		distName = flag.String("dist", "exponential", "spin: service-time distribution ("+strings.Join(dist.Names(), "|")+")")
 		meanUS   = flag.Int64("mean", 10, "spin: mean service time µs")
-		conns    = flag.Int("conns", 32, "TCP connections")
+		conns    = flag.Int("conns", 32, "connections")
 		rate     = flag.Float64("rate", 10000, "offered requests/second")
 		requests = flag.Int("requests", 100000, "total requests")
 		warmup   = flag.Int("warmup", 0, "warmup requests excluded from stats (default 10%)")
@@ -39,22 +49,34 @@ func main() {
 	if *warmup == 0 {
 		*warmup = *requests / 10
 	}
+	if *inproc && *workload != "spin" {
+		log.Fatalf("-inproc starts a spin-mode server; workload %q needs a real zygos-server -mode %s", *workload, *workload)
+	}
 
 	gen, check, err := buildWorkload(*workload, *distName, *meanUS, *keys, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	targets := make([]mutilate.Target, 0, *conns)
-	for i := 0; i < *conns; i++ {
-		c, err := zygos.DialClient(*addr, 5*time.Second)
-		if err != nil {
-			log.Fatalf("dial %d: %v", i, err)
-		}
-		defer c.Close()
-		targets = append(targets, c)
+	callers, srv, err := dialTargets(*inproc, *addr, *conns, *cores, *shed)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer func() {
+		for _, c := range callers {
+			c.Close()
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}()
 
+	// Both client types satisfy zygos.Caller, which satisfies
+	// mutilate.Target: the run below is transport-agnostic.
+	targets := make([]mutilate.Target, len(callers))
+	for i, c := range callers {
+		targets[i] = c
+	}
 	rep := mutilate.Run(mutilate.Config{
 		Targets:    targets,
 		RatePerSec: *rate,
@@ -67,6 +89,54 @@ func main() {
 	fmt.Printf("workload=%s offered=%.0f/s achieved=%.0f/s sent=%d completed=%d errors=%d\n",
 		*workload, rep.OfferedRPS, rep.AchievedRPS, rep.Sent, rep.Completed, rep.Errors)
 	fmt.Printf("latency: %s\n", rep.Latencies.Summarize())
+
+	if srv != nil {
+		st := srv.Stats()
+		fmt.Printf("server: events=%d steals=%d (%.1f%%) proxies=%d shed=%d\n",
+			st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.Shed)
+		fmt.Printf("server latency: %v\n", st.Latency)
+		fmt.Printf("server queue delay: %v\n", st.QueueDelay)
+	}
+}
+
+// dialTargets opens conns connections as zygos.Caller values: TCP
+// clients against addr, or in-process clients against a freshly started
+// spin server.
+func dialTargets(inproc bool, addr string, conns, cores, shed int) ([]zygos.Caller, *zygos.Server, error) {
+	callers := make([]zygos.Caller, 0, conns)
+	if !inproc {
+		for i := 0; i < conns; i++ {
+			c, err := zygos.DialClient(addr, 5*time.Second)
+			if err != nil {
+				return nil, nil, fmt.Errorf("dial %d: %w", i, err)
+			}
+			callers = append(callers, c)
+		}
+		return callers, nil, nil
+	}
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores: cores,
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
+			if len(req.Payload) >= 8 {
+				ns := binary.LittleEndian.Uint64(req.Payload[:8])
+				deadline := time.Now().Add(time.Duration(ns))
+				for time.Now().Before(deadline) {
+				}
+			}
+			w.Reply([]byte{0})
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv.Use(srv.LatencyRecording())
+	if shed > 0 {
+		srv.Use(srv.AdmissionControl(shed))
+	}
+	for i := 0; i < conns; i++ {
+		callers = append(callers, srv.NewClient())
+	}
+	return callers, srv, nil
 }
 
 func buildWorkload(name, distName string, meanUS int64, keys int, seed int64) (func(*rand.Rand) []byte, func([]byte) bool, error) {

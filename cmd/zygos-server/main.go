@@ -7,9 +7,17 @@
 //   - tpcc: the Silo-style database running one TPC-C mix transaction per
 //     request.
 //
+// The server installs the latency-recording middleware, and optionally a
+// queue-depth admission controller (-shed) that rejects excess load with
+// a StatusShed wire status instead of letting queues build.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop accepting, flush
+// in-flight requests (including detached replies), print a final stats
+// line, then close.
+//
 // Usage:
 //
-//	zygos-server -mode spin -addr :9000 -cores 4
+//	zygos-server -mode spin -addr :9000 -cores 4 [-shed 1024]
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"zygos"
@@ -37,10 +46,12 @@ func main() {
 		partitioned = flag.Bool("partitioned", false, "disable work stealing (IX-style baseline)")
 		noInt       = flag.Bool("nointerrupts", false, "disable the IPI-analogue kernel proxying")
 		warehouses  = flag.Int("warehouses", 2, "tpcc: warehouse count")
+		shed        = flag.Int("shed", 0, "admission control: max in-flight requests before shedding (0 = off)")
+		flushWait   = flag.Duration("flushwait", 5*time.Second, "graceful shutdown: max wait for in-flight requests")
 	)
 	flag.Parse()
 
-	handler, cleanup, err := buildHandler(*mode, *cores, *warehouses)
+	handler, cleanup, err := buildHandler(*mode, *warehouses)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,35 +66,53 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+	srv.Use(srv.LatencyRecording())
+	if *shed > 0 {
+		srv.Use(srv.AdmissionControl(*shed))
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("zygos-server mode=%s cores=%d listening on %s", *mode, srv.Cores(), l.Addr())
+	log.Printf("zygos-server mode=%s cores=%d shed=%d listening on %s", *mode, srv.Cores(), *shed, l.Addr())
 
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
-		st := srv.Stats()
-		log.Printf("shutting down: events=%d steals=%d (%.1f%%) proxies=%d conns=%d",
-			st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.Conns)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("received %v: draining", s)
 		l.Close()
 	}()
 	if err := srv.Serve(l); err != nil {
 		log.Printf("serve: %v", err)
 	}
+
+	// Graceful shutdown: flush everything already ingested — detached
+	// replies included — then report and close.
+	if !srv.Flush(*flushWait) {
+		log.Printf("flush: in-flight requests still pending after %v", *flushWait)
+	}
+	st := srv.Stats()
+	log.Printf("final stats: events=%d steals=%d (%.1f%%) proxies=%d conns=%d detached=%d shed=%d",
+		st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.Conns, st.Detached, st.Shed)
+	if st.Latency.Count > 0 {
+		log.Printf("final latency: %v", st.Latency)
+		log.Printf("final queue delay: %v", st.QueueDelay)
+	}
+	srv.Close()
 }
 
-func buildHandler(mode string, cores, warehouses int) (zygos.Handler, func(), error) {
+func buildHandler(mode string, warehouses int) (zygos.Handler, func(), error) {
 	switch mode {
 	case "spin":
 		return spinHandler, func() {}, nil
 	case "kv":
 		store := kv.NewStore(64, 256<<20)
-		return func(req zygos.Request) []byte { return store.Serve(req.Payload) }, func() {}, nil
+		h := func(w zygos.ResponseWriter, req *zygos.Request) {
+			w.Reply(store.Serve(req.Payload))
+		}
+		return h, func() {}, nil
 	case "tpcc":
 		db := silo.NewDB(10 * time.Millisecond)
 		store, err := tpcc.Load(db, tpcc.Config{Warehouses: warehouses}, 1)
@@ -98,13 +127,14 @@ func buildHandler(mode string, cores, warehouses int) (zygos.Handler, func(), er
 		for i := range rngs {
 			rngs[i] = rand.New(rand.NewSource(int64(i) + 7))
 		}
-		h := func(req zygos.Request) []byte {
+		h := func(w zygos.ResponseWriter, req *zygos.Request) {
 			rng := rngs[req.Worker]
 			tt := tpcc.Pick(rng)
 			if err := store.Run(req.Worker, rng, tt); err != nil && err != silo.ErrUserAbort {
-				return []byte{1}
+				w.Error(zygos.StatusAppError, fmt.Sprintf("tpcc %v: %v", tt, err))
+				return
 			}
-			return []byte{0}
+			w.Reply([]byte{0})
 		}
 		return h, db.Close, nil
 	default:
@@ -114,12 +144,12 @@ func buildHandler(mode string, cores, warehouses int) (zygos.Handler, func(), er
 
 // spinHandler busy-spins for the requested duration, emulating the
 // paper's synthetic service times.
-func spinHandler(req zygos.Request) []byte {
+func spinHandler(w zygos.ResponseWriter, req *zygos.Request) {
 	if len(req.Payload) >= 8 {
 		ns := binary.LittleEndian.Uint64(req.Payload[:8])
 		deadline := time.Now().Add(time.Duration(ns))
 		for time.Now().Before(deadline) {
 		}
 	}
-	return []byte{0}
+	w.Reply([]byte{0})
 }

@@ -19,14 +19,15 @@ func main() {
 	store := kv.NewStore(32, 64<<20)
 	srv, err := zygos.NewServer(zygos.Config{
 		Cores: 4,
-		Handler: func(req zygos.Request) []byte {
-			return store.Serve(req.Payload)
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
+			w.Reply(store.Serve(req.Payload))
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.Use(srv.LatencyRecording())
 
 	for _, model := range []mutilate.KVModel{mutilate.USR(5000), mutilate.ETC(5000)} {
 		// Preload the keyspace (mutilate's --loadonly phase).
@@ -71,4 +72,5 @@ func main() {
 		cs.Hits, cs.Misses, cs.Evictions, cs.Bytes)
 	fmt.Printf("scheduler: events=%d steals=%d (%.1f%%) proxies=%d\n",
 		st.Events, st.Steals, st.StealFraction()*100, st.Proxies)
+	fmt.Printf("server-side latency: %v\n", st.Latency)
 }

@@ -1,9 +1,12 @@
-// Quickstart: a minimal ZygOS-style RPC server with an in-process client.
+// Quickstart: a minimal ZygOS-style RPC server with an in-process client,
+// showing the ResponseWriter API — synchronous replies, wire-level
+// errors, a detached (deferred) reply, and the middleware chain.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 	"time"
@@ -14,14 +17,35 @@ import (
 func main() {
 	srv, err := zygos.NewServer(zygos.Config{
 		Cores: 4,
-		Handler: func(req zygos.Request) []byte {
-			return append([]byte("echo: "), req.Payload...)
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
+			switch {
+			case bytes.Equal(req.Payload, []byte("boom")):
+				// Errors travel as a wire status, distinguishable from
+				// any payload; clients see a typed *zygos.StatusError.
+				w.Error(zygos.StatusAppError, "that one always fails")
+			case bytes.Equal(req.Payload, []byte("slow")):
+				// A long task detaches: the worker is immediately free
+				// to run or steal other events, and the reply completes
+				// later from another goroutine — still delivered in
+				// request order.
+				co := w.Detach()
+				go func() {
+					time.Sleep(2 * time.Millisecond)
+					co.Reply([]byte("slow reply, ordered anyway"))
+				}()
+			default:
+				w.Reply(append([]byte("echo: "), req.Payload...))
+			}
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+
+	// Cross-cutting concerns stack as middleware: latency histograms
+	// (surfaced in srv.Stats()) and queue-depth admission control.
+	srv.Use(srv.LatencyRecording(), srv.AdmissionControl(1024))
 
 	client := srv.NewClient()
 	defer client.Close()
@@ -33,13 +57,17 @@ func main() {
 	}
 	fmt.Printf("reply: %q (round trip %v)\n", resp, time.Since(start))
 
+	if _, err := client.Call([]byte("boom")); err != nil {
+		fmt.Printf("error reply: %v\n", err)
+	}
+
 	// Pipelined requests on one connection come back in order — the §4.3
-	// ordering guarantee, with no locking in the handler.
-	const n = 5
-	done := make(chan string, n)
-	for i := 0; i < n; i++ {
-		payload := fmt.Sprintf("req-%d", i)
-		if err := client.SendAsync([]byte(payload), func(resp []byte, err error) {
+	// ordering guarantee — even when the "slow" request's reply is
+	// completed late by a detached goroutine.
+	payloads := []string{"req-0", "slow", "req-2", "req-3", "req-4"}
+	done := make(chan string, len(payloads))
+	for _, p := range payloads {
+		if err := client.SendAsync([]byte(p), func(resp []byte, err error) {
 			if err != nil {
 				done <- "error: " + err.Error()
 				return
@@ -49,11 +77,12 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	for i := 0; i < n; i++ {
+	for range payloads {
 		fmt.Println("pipelined:", <-done)
 	}
 
 	st := srv.Stats()
-	fmt.Printf("stats: events=%d steals=%d proxies=%d conns=%d\n",
-		st.Events, st.Steals, st.Proxies, st.Conns)
+	fmt.Printf("stats: events=%d steals=%d proxies=%d conns=%d detached=%d shed=%d\n",
+		st.Events, st.Steals, st.Proxies, st.Conns, st.Detached, st.Shed)
+	fmt.Printf("latency: %v\n", st.Latency)
 }

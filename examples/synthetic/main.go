@@ -25,11 +25,11 @@ func run(partitioned bool) (time.Duration, zygos.Stats) {
 	srv, err := zygos.NewServer(zygos.Config{
 		Cores:       workers,
 		Partitioned: partitioned,
-		Handler: func(req zygos.Request) []byte {
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
 			deadline := time.Now().Add(taskTime)
 			for time.Now().Before(deadline) {
 			}
-			return []byte{1}
+			w.Reply([]byte{1})
 		},
 	})
 	if err != nil {

@@ -39,14 +39,15 @@ func main() {
 	}
 	srv, err := zygos.NewServer(zygos.Config{
 		Cores: 4,
-		Handler: func(req zygos.Request) []byte {
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
 			rng := rngs[req.Worker]
 			tt := tpcc.Pick(rng)
 			err := store.Run(req.Worker, rng, tt)
 			if err != nil && !errors.Is(err, silo.ErrUserAbort) {
-				return []byte{1}
+				w.Error(zygos.StatusAppError, err.Error())
+				return
 			}
-			return []byte{0}
+			w.Reply([]byte{0})
 		},
 	})
 	if err != nil {

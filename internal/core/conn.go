@@ -1,11 +1,17 @@
 package core
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zygos/internal/proto"
 )
+
+// ErrCompleted is returned by Ctx and Completion reply methods when the
+// event's reply has already been produced.
+var ErrCompleted = errors.New("core: reply already completed")
 
 // ConnState is the Figure 5 connection state machine.
 type ConnState int32
@@ -32,16 +38,41 @@ func (s ConnState) String() string {
 }
 
 // ReplyWriter is where a connection's framed replies are written. Writes
-// are serialized by the runtime (home-core TX ordering), so implementations
+// are serialized by the connection's TX sequencer, so implementations
 // need not be concurrency-safe against the runtime's own calls, only
 // against Close.
 type ReplyWriter interface {
 	WriteReply(frame []byte) error
 }
 
+// TransportCloser is optionally implemented by ReplyWriters that can
+// tear down their underlying transport. The runtime invokes it when a
+// malformed stream poisons the connection, so a hostile or broken peer
+// is disconnected instead of silently ignored.
+type TransportCloser interface {
+	CloseTransport()
+}
+
+// event is one parsed request together with its completion token: the
+// per-connection sequence number that fixes its reply's transmit order,
+// and the arrival timestamp middleware uses for queue-delay accounting.
+type event struct {
+	msg proto.Message
+	seq uint64
+	at  time.Time
+}
+
+// completion is one resolved token: the frames to transmit when seq's
+// turn comes. Nil frames advance the sequencer without transmitting
+// (one-way requests and handlers that never reply).
+type completion struct {
+	seq    uint64
+	frames []byte
+}
+
 // Conn is the runtime's view of one client connection: the protocol
 // control block of the paper, holding the parser, the per-connection event
-// queue, and the state machine.
+// queue, the state machine, and the reply sequencer.
 type Conn struct {
 	id   uint64
 	home int
@@ -55,9 +86,20 @@ type Conn struct {
 
 	// pcb is the per-connection event queue (single producer: the home
 	// kernel step; single consumer: the owning activation), guarded by
-	// pcbMu exactly like the paper's per-PCB spinlock.
-	pcbMu sync.Mutex
-	pcb   []proto.Message
+	// pcbMu exactly like the paper's per-PCB spinlock. seqAlloc assigns
+	// completion tokens in parse order under the same lock.
+	pcbMu    sync.Mutex
+	pcb      []event
+	seqAlloc uint64
+
+	// The TX sequencer: replies may complete out of order (stolen
+	// activations, detached handlers), but are transmitted strictly in
+	// token order. txWait holds completed-but-blocked reply frames;
+	// txNext is the next token allowed on the wire. Writes to wr happen
+	// under txMu, which serializes and orders them.
+	txMu   sync.Mutex
+	txNext uint64
+	txWait map[uint64][]byte
 
 	// state is guarded by the home worker's shuffle lock.
 	state ConnState
@@ -88,24 +130,98 @@ func (c *Conn) State() ConnState {
 	return c.state
 }
 
-// Ctx is the per-activation context handed to the Handler. It buffers the
-// handler's replies; the runtime transmits them afterwards in event order
-// through the home worker (or the kernel proxy standing in for an IPI).
-type Ctx struct {
-	worker *Worker // executing worker
-	stolen bool
-	// replies collects frames produced during this activation.
-	replies []byte
-	// sendErr remembers the first transport write error.
-	sendErr error
+// completeBatch resolves a batch of completion tokens and transmits every
+// reply the sequencer now allows, in token order. It is safe to call from
+// any goroutine; txMu orders concurrent resolvers.
+func (c *Conn) completeBatch(comps []completion) {
+	if len(comps) == 0 {
+		return
+	}
+	c.txMu.Lock()
+	defer c.txMu.Unlock()
+	for _, e := range comps {
+		c.txWait[e.seq] = e.frames
+	}
+	var out []byte
+	for {
+		f, ok := c.txWait[c.txNext]
+		if !ok {
+			break
+		}
+		delete(c.txWait, c.txNext)
+		c.txNext++
+		out = append(out, f...)
+	}
+	if len(out) > 0 && !c.closed.Load() {
+		_ = c.wr.WriteReply(out) // teardown races are benign
+	}
 }
 
-// Send queues a reply message for the current connection. For handlers
-// executing on the home worker the frame is written at activation end; for
-// stolen activations it is shipped to the home worker first (the remote
-// batched syscall of §4.2).
-func (x *Ctx) Send(id uint64, payload []byte) {
-	x.replies = proto.AppendFrame(x.replies, proto.Message{ID: id, Payload: payload})
+// poison marks the connection's stream malformed: no further ingress is
+// accepted and, when the transport supports it, the underlying connection
+// is closed so the peer sees the rejection instead of a stall. Events
+// already queued still drain.
+func (c *Conn) poison() {
+	if c.closed.CompareAndSwap(false, true) {
+		if tc, ok := c.wr.(TransportCloser); ok {
+			tc.CloseTransport()
+		}
+	}
+}
+
+// Ctx is the per-event context handed to the Handler: the completion
+// token's reply side. Exactly one reply is produced per event — through
+// Reply or Error, synchronously or after Detach — and the runtime
+// transmits it in event order through the connection's TX sequencer,
+// regardless of which worker or goroutine completes it.
+type Ctx struct {
+	worker *Worker
+	conn   *Conn
+	stolen bool
+	ev     event
+
+	// mu guards the completion state: a detached event may be completed
+	// from any goroutine, concurrently with the activation loop.
+	mu       sync.Mutex
+	detached bool
+	done     bool
+	frames   []byte // stashed sync reply, consumed by the activation loop
+}
+
+// Reply completes the event with a successful (StatusOK) reply carrying
+// payload. It returns ErrCompleted if a reply was already produced.
+func (x *Ctx) Reply(payload []byte) error {
+	return x.complete(proto.StatusOK, payload)
+}
+
+// Error completes the event with a wire-level error status; msg travels
+// as the reply payload. A code of StatusOK is coerced to StatusAppError
+// so an error reply is always distinguishable from success. For peers
+// still speaking the v1 framing the status byte cannot travel; they see
+// a v1 reply whose payload is msg.
+func (x *Ctx) Error(code uint8, msg string) error {
+	if code == proto.StatusOK {
+		code = proto.StatusAppError
+	}
+	return x.complete(code, []byte(msg))
+}
+
+// Detach releases the event from its activation: the handler may return
+// immediately — freeing the worker to run or steal other events — and the
+// returned Completion completes the reply later, from any goroutine. The
+// reply is still delivered in request order through the connection's TX
+// sequencer. Detach must be called from within the handler invocation;
+// calling it after the reply was produced yields a Completion whose
+// methods return ErrCompleted.
+func (x *Ctx) Detach() *Completion {
+	x.mu.Lock()
+	if !x.done && !x.detached {
+		x.detached = true
+		x.worker.rt.detachedN.Add(1)
+		x.worker.rt.detachTotal.Add(1)
+	}
+	x.mu.Unlock()
+	return &Completion{x: x}
 }
 
 // Worker returns the index of the worker executing this activation; useful
@@ -114,3 +230,103 @@ func (x *Ctx) Worker() int { return x.worker.id }
 
 // Stolen reports whether this activation runs on a non-home worker.
 func (x *Ctx) Stolen() bool { return x.stolen }
+
+// ArrivedAt returns when the event was parsed off the wire on the home
+// core — the timestamp queue-delay middleware measures from.
+func (x *Ctx) ArrivedAt() time.Time { return x.ev.at }
+
+// Seq returns the event's completion token: its per-connection sequence
+// number, which is also its guaranteed reply position.
+func (x *Ctx) Seq() uint64 { return x.ev.seq }
+
+// complete produces the event's reply exactly once and routes it to the
+// TX sequencer: synchronous completions are stashed for the activation
+// loop to batch, detached completions travel through the home worker's
+// remote-syscall queue (or resolve inline once the runtime is closed).
+func (x *Ctx) complete(status uint8, payload []byte) error {
+	x.mu.Lock()
+	if x.done {
+		x.mu.Unlock()
+		return ErrCompleted
+	}
+	x.done = true
+	// The event's reply exists from this moment; count it out of the
+	// admission backlog per event, not per activation batch, so a long
+	// pipelined activation releases depth as it progresses.
+	x.worker.rt.completedN.Add(1)
+	detached := x.detached
+	var frames []byte
+	if x.ev.msg.Flags&proto.FlagOneWay == 0 {
+		// A reply that cannot be represented in the frame's length field
+		// would corrupt the whole connection; degrade it to a wire error
+		// the client can at least diagnose.
+		limit := proto.MaxPayload
+		if x.ev.msg.V2 {
+			limit = proto.MaxPayloadV2
+		}
+		if len(payload) > limit {
+			status = proto.StatusInternal
+			payload = []byte(proto.ErrPayloadTooLarge.Error())
+		}
+		frames = proto.AppendMessage(nil, proto.Message{
+			ID:      x.ev.msg.ID,
+			Payload: payload,
+			Status:  status,
+			V2:      x.ev.msg.V2,
+		})
+	}
+	if !detached {
+		x.frames = frames
+		x.mu.Unlock()
+		return nil
+	}
+	x.mu.Unlock()
+	x.resolveDetached(frames)
+	return nil
+}
+
+// resolveDetached ships a detached completion token home through the
+// remote-syscall path — the same path stolen activations use — so the
+// home core (or an idle worker proxying for it) transmits it promptly.
+func (x *Ctx) resolveDetached(frames []byte) {
+	rt := x.worker.rt
+	c := x.conn
+	comp := completion{seq: x.ev.seq, frames: frames}
+	if !rt.running.Load() {
+		// Workers are gone; resolve inline so the completion is not lost.
+		c.completeBatch([]completion{comp})
+		rt.detachedN.Add(-1)
+		return
+	}
+	home := rt.workers[c.home]
+	home.pushRemote(remoteOp{conn: c, comps: []completion{comp}})
+	home.signal()
+	// Decrement only after the op is visible in the remote queue, so
+	// quiescence never observes the completion in neither place.
+	rt.detachedN.Add(-1)
+	if !rt.running.Load() {
+		// The runtime began closing between the check above and the
+		// push: the home worker may have exited after its final drain,
+		// so run its kernel step ourselves rather than lose the reply.
+		home.kernelMu.Lock()
+		home.kernelStep()
+		home.kernelMu.Unlock()
+		return
+	}
+	if !rt.cfg.DisableProxy {
+		rt.tryProxy(home)
+	}
+}
+
+// Completion is a detached event's reply handle. It is safe to use from
+// any goroutine; exactly one Reply or Error wins, later calls return
+// ErrCompleted.
+type Completion struct {
+	x *Ctx
+}
+
+// Reply completes the detached event with a successful reply.
+func (co *Completion) Reply(payload []byte) error { return co.x.Reply(payload) }
+
+// Error completes the detached event with a wire-level error status.
+func (co *Completion) Error(code uint8, msg string) error { return co.x.Error(code, msg) }

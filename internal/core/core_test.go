@@ -42,7 +42,7 @@ func (w *captureWriter) messages() []proto.Message {
 // echoHandler replies with the request payload.
 func echoHandler() Handler {
 	return HandlerFunc(func(ctx *Ctx, c *Conn, m proto.Message) {
-		ctx.Send(m.ID, m.Payload)
+		ctx.Reply(m.Payload)
 	})
 }
 
@@ -130,7 +130,7 @@ func TestPerConnectionOrdering(t *testing.T) {
 func TestOrderingUnderConcurrency(t *testing.T) {
 	handler := HandlerFunc(func(ctx *Ctx, c *Conn, m proto.Message) {
 		time.Sleep(time.Duration(m.ID%3) * time.Microsecond)
-		ctx.Send(m.ID, nil)
+		ctx.Reply(nil)
 	})
 	rt := newTestRuntime(t, Config{Cores: 4, Handler: handler})
 	const conns = 16
@@ -190,7 +190,7 @@ func TestStealingBalancesSkew(t *testing.T) {
 	const spin = 3 * time.Millisecond
 	handler := HandlerFunc(func(ctx *Ctx, c *Conn, m proto.Message) {
 		time.Sleep(spin)
-		ctx.Send(m.ID, nil)
+		ctx.Reply(nil)
 	})
 	rt := newTestRuntime(t, Config{Cores: 4, Handler: handler, ParkInterval: 50 * time.Microsecond})
 	conns := connsWithHome(rt, 0, 8)
@@ -216,7 +216,7 @@ func TestStealingBalancesSkew(t *testing.T) {
 func TestDisableStealing(t *testing.T) {
 	handler := HandlerFunc(func(ctx *Ctx, c *Conn, m proto.Message) {
 		time.Sleep(time.Millisecond)
-		ctx.Send(m.ID, nil)
+		ctx.Reply(nil)
 	})
 	rt := newTestRuntime(t, Config{Cores: 4, Handler: handler, DisableStealing: true})
 	conns := connsWithHome(rt, 0, 6)
@@ -248,7 +248,7 @@ func TestProxyEliminatesHOLBlocking(t *testing.T) {
 				once.Do(blocked.Done)
 				<-block // simulates a very long request
 			}
-			ctx.Send(m.ID, nil)
+			ctx.Reply(nil)
 		})
 		rt, err := New(Config{
 			Cores:        3,
@@ -310,7 +310,7 @@ func TestExactlyOnceDelivery(t *testing.T) {
 	var count atomic.Uint64
 	handler := HandlerFunc(func(ctx *Ctx, c *Conn, m proto.Message) {
 		count.Add(1)
-		ctx.Send(m.ID, nil)
+		ctx.Reply(nil)
 	})
 	rt := newTestRuntime(t, Config{Cores: 4, Handler: handler})
 	const conns = 8
@@ -455,7 +455,7 @@ func TestCtxWorkerAndStolen(t *testing.T) {
 		default:
 		}
 		_ = ctx.Stolen()
-		ctx.Send(m.ID, nil)
+		ctx.Reply(nil)
 	})
 	rt := newTestRuntime(t, Config{Cores: 2, Handler: handler})
 	c := rt.NewConn(&captureWriter{})

@@ -40,9 +40,10 @@ import (
 	"zygos/internal/proto"
 )
 
-// Handler processes one request event. Implementations send replies
-// through Ctx.Send; replies are transmitted in event order per connection
-// regardless of which worker executed the handler.
+// Handler processes one request event. Implementations complete each
+// event through Ctx.Reply or Ctx.Error — synchronously, or later via
+// Ctx.Detach — and replies are transmitted in event order per connection
+// regardless of which worker or goroutine completed them.
 type Handler interface {
 	Serve(ctx *Ctx, conn *Conn, msg proto.Message)
 }
@@ -80,10 +81,11 @@ type Config struct {
 
 // Stats is a snapshot of runtime counters.
 type Stats struct {
-	Events  uint64 // application events executed
-	Steals  uint64 // events executed by a non-home worker
-	Proxies uint64 // kernel steps run on another worker's behalf (IPI analogue)
-	Conns   uint64 // connections created over the runtime's lifetime
+	Events   uint64 // application events executed
+	Steals   uint64 // events executed by a non-home worker
+	Proxies  uint64 // kernel steps run on another worker's behalf (IPI analogue)
+	Conns    uint64 // connections created over the runtime's lifetime
+	Detached uint64 // events whose handlers detached their reply
 }
 
 // Runtime is a ZygOS-style work-conserving scheduler instance.
@@ -93,11 +95,21 @@ type Runtime struct {
 	workers []*Worker
 	handler Handler
 
-	events  atomic.Uint64
-	steals  atomic.Uint64
-	proxies atomic.Uint64
-	connSeq atomic.Uint64
-	sigSeq  atomic.Uint64
+	events      atomic.Uint64
+	steals      atomic.Uint64
+	proxies     atomic.Uint64
+	connSeq     atomic.Uint64
+	sigSeq      atomic.Uint64
+	detachTotal atomic.Uint64
+	// detachedN counts detached events whose Completion has not resolved
+	// yet; quiescence (and therefore Flush) waits for them.
+	detachedN atomic.Int64
+	// parsedN/completedN count events parsed off the wire and completion
+	// tokens resolved; their difference is the runtime-wide backlog of
+	// admitted-but-unanswered requests (queued, executing, or detached),
+	// the signal admission control sheds on.
+	parsedN    atomic.Int64
+	completedN atomic.Int64
 
 	running atomic.Bool
 	wg      sync.WaitGroup
@@ -148,13 +160,26 @@ func (rt *Runtime) Close() {
 // Cores returns the number of workers.
 func (rt *Runtime) Cores() int { return len(rt.workers) }
 
+// Backlog returns the number of events parsed off the wire whose reply
+// has not completed yet — queued in per-connection event queues,
+// executing in handlers, or detached. It is the queue depth admission
+// control sheds on.
+func (rt *Runtime) Backlog() int64 {
+	b := rt.parsedN.Load() - rt.completedN.Load()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
 // Stats returns a snapshot of the runtime counters.
 func (rt *Runtime) Stats() Stats {
 	return Stats{
-		Events:  rt.events.Load(),
-		Steals:  rt.steals.Load(),
-		Proxies: rt.proxies.Load(),
-		Conns:   rt.connSeq.Load(),
+		Events:   rt.events.Load(),
+		Steals:   rt.steals.Load(),
+		Proxies:  rt.proxies.Load(),
+		Conns:    rt.connSeq.Load(),
+		Detached: rt.detachTotal.Load(),
 	}
 }
 
@@ -164,10 +189,11 @@ func (rt *Runtime) Stats() Stats {
 func (rt *Runtime) NewConn(wr ReplyWriter) *Conn {
 	id := rt.connSeq.Add(1)
 	c := &Conn{
-		id:   id,
-		home: rt.rss.Queue(id),
-		wr:   wr,
-		rt:   rt,
+		id:     id,
+		home:   rt.rss.Queue(id),
+		wr:     wr,
+		rt:     rt,
+		txWait: make(map[uint64][]byte),
 	}
 	return c
 }
@@ -210,12 +236,33 @@ func (rt *Runtime) Flush(timeout time.Duration) bool {
 }
 
 func (rt *Runtime) quiescent() bool {
+	if rt.detachedN.Load() != 0 {
+		return false
+	}
 	for _, w := range rt.workers {
 		if !w.quiescent() {
 			return false
 		}
 	}
 	return true
+}
+
+// tryProxy is the IPI analogue: if the target worker is stuck in
+// application code, run its kernel step on its behalf so pending TX and
+// shuffle replenishment do not wait for the handler to return. It is
+// safe from any goroutine — idle workers and detached-reply resolvers
+// both use it.
+func (rt *Runtime) tryProxy(target *Worker) bool {
+	if !target.inApp.Load() {
+		return false
+	}
+	if !target.kernelMu.TryLock() {
+		return false
+	}
+	rt.proxies.Add(1)
+	did := target.kernelStep()
+	target.kernelMu.Unlock()
+	return did
 }
 
 // signalOther nudges one worker other than self, round-robin, so that an

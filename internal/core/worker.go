@@ -7,8 +7,6 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"zygos/internal/proto"
 )
 
 // errRuntimeClosed is returned to transport readers blocked on a full
@@ -22,12 +20,15 @@ type segment struct {
 	data []byte
 }
 
-// remoteOp is a stolen activation's completion: the buffered reply frames
-// and the connection whose state must be advanced once they are written.
-// It is the "remote batched syscall" of §4.2.
+// remoteOp is a batch of completion tokens shipped to the home core: the
+// "remote batched syscall" of §4.2. Stolen activations ship their
+// synchronous completions this way (fin advances the connection state
+// machine afterwards); detached replies travel the same path with just
+// their one token.
 type remoteOp struct {
-	conn   *Conn
-	frames []byte
+	conn  *Conn
+	comps []completion
+	fin   bool
 }
 
 // Worker is one scheduling core: ingress queue, shuffle queue, remote
@@ -48,7 +49,8 @@ type Worker struct {
 	// Idle workers TryLock it to proxy the step — the IPI analogue.
 	kernelMu sync.Mutex
 
-	// remote: completions shipped home by stolen activations.
+	// remote: completions shipped home by stolen activations and
+	// detached replies.
 	remoteMu sync.Mutex
 	remote   []remoteOp
 	remoteN  atomic.Int32
@@ -92,6 +94,13 @@ func (w *Worker) run() {
 		}
 		w.park()
 	}
+	// Final drain: resolve completion tokens shipped while this worker
+	// was exiting, so detached replies racing Close are not lost (their
+	// resolvers only drain the queue themselves if they observe the
+	// runtime closed after pushing).
+	w.kernelMu.Lock()
+	w.kernelStep()
+	w.kernelMu.Unlock()
 	// Unblock any transport readers waiting on a full ingress queue.
 	w.ingressMu.Lock()
 	w.ingressCond.Broadcast()
@@ -99,7 +108,7 @@ func (w *Worker) run() {
 }
 
 // homeWork runs one iteration of the home loop: the kernel step (flush
-// remote replies, parse ingress into the shuffle queue), then one
+// remote completions, parse ingress into the shuffle queue), then one
 // activation from the local shuffle queue.
 func (w *Worker) homeWork() bool {
 	did := false
@@ -125,8 +134,9 @@ func (w *Worker) kernelStep() bool {
 	defer w.active.Add(-1)
 	did := false
 
-	// Remote batched syscalls first: write shipped replies in order and
-	// advance the connection state machine (§4.5 handler duty 2).
+	// Remote batched syscalls first: resolve shipped completion tokens —
+	// the sequencer transmits whatever is now in order — and advance the
+	// connection state machine (§4.5 handler duty 2).
 	w.remoteMu.Lock()
 	ops := w.remote
 	w.remote = nil
@@ -134,10 +144,10 @@ func (w *Worker) kernelStep() bool {
 	w.remoteMu.Unlock()
 	for _, op := range ops {
 		did = true
-		if len(op.frames) > 0 && !op.conn.closed.Load() {
-			_ = op.conn.wr.WriteReply(op.frames) // teardown races are benign
+		op.conn.completeBatch(op.comps)
+		if op.fin {
+			w.finalize(op.conn)
 		}
-		w.finalize(op.conn)
 	}
 
 	// Network stack: drain ingress, parse frames, enqueue ready
@@ -148,6 +158,7 @@ func (w *Worker) kernelStep() bool {
 	w.ingressN.Store(0)
 	w.ingressCond.Broadcast()
 	w.ingressMu.Unlock()
+	now := time.Now()
 	for _, sg := range segs {
 		did = true
 		c := sg.conn
@@ -156,17 +167,20 @@ func (w *Worker) kernelStep() bool {
 		for {
 			m, ok, err := c.parser.Next()
 			if err != nil {
-				// Malformed stream: poison the connection. Events already
-				// queued still drain.
-				c.closed.Store(true)
+				// Malformed stream: poison the connection and close its
+				// transport. Events already queued still drain.
+				c.poison()
 				break
 			}
 			if !ok {
 				break
 			}
 			c.pcbMu.Lock()
-			c.pcb = append(c.pcb, m)
+			seq := c.seqAlloc
+			c.seqAlloc++
+			c.pcb = append(c.pcb, event{msg: m, seq: seq, at: now})
 			c.pcbMu.Unlock()
+			w.rt.parsedN.Add(1)
 			events++
 		}
 		if events > 0 {
@@ -191,10 +205,10 @@ func (w *Worker) markReady(c *Conn) {
 	w.rt.signalOther(w.id)
 }
 
-// finalize advances the Figure 5 state machine after an activation's
-// replies are on the wire: back to ready (and re-queued) if events arrived
-// meanwhile, else idle. Must run on the connection's home worker's
-// structures (w is the home worker).
+// finalize advances the Figure 5 state machine after an activation ends:
+// back to ready (and re-queued) if events arrived meanwhile, else idle.
+// Must run on the connection's home worker's structures (w is the home
+// worker).
 func (w *Worker) finalize(c *Conn) {
 	w.shuffleMu.Lock()
 	c.pcbMu.Lock()
@@ -236,7 +250,11 @@ func (w *Worker) tryPopShuffle() *Conn {
 }
 
 // activate runs the handler over the events present at dequeue time with
-// exclusive connection ownership (§4.3 ordering semantics).
+// exclusive connection ownership (§4.3 ordering semantics). Each event
+// carries a completion token; synchronous replies are batched and
+// resolved at activation end (eagerly on the home core, via the remote
+// syscall queue for stolen work), while detached events resolve later
+// through their Completion handles.
 func (w *Worker) activate(c *Conn) {
 	w.active.Add(1)
 	defer w.active.Add(-1)
@@ -246,57 +264,58 @@ func (w *Worker) activate(c *Conn) {
 
 	c.pcbMu.Lock()
 	n := len(c.pcb)
-	evs := append([]proto.Message(nil), c.pcb[:n]...)
+	evs := append([]event(nil), c.pcb[:n]...)
 	c.pcb = c.pcb[n:]
 	c.pcbMu.Unlock()
 
-	ctx := &Ctx{worker: w, stolen: stolen}
+	comps := make([]completion, 0, len(evs))
 	w.inApp.Store(true)
-	for _, m := range evs {
+	for _, ev := range evs {
 		w.rt.events.Add(1)
 		if stolen {
 			w.rt.steals.Add(1)
 		}
-		w.rt.handler.Serve(ctx, c, m)
+		x := &Ctx{worker: w, conn: c, stolen: stolen, ev: ev}
+		w.rt.handler.Serve(x, c, ev.msg)
+		x.mu.Lock()
+		if x.detached {
+			// The Completion handle owns this token now; it resolves
+			// through the remote-syscall path whenever the application
+			// completes it.
+			x.mu.Unlock()
+			continue
+		}
+		if !x.done {
+			// A handler that never replied is a one-way event; count its
+			// completion here (replied events were counted in complete).
+			x.done = true
+			w.rt.completedN.Add(1)
+		}
+		frames := x.frames
+		x.frames = nil
+		x.mu.Unlock()
+		comps = append(comps, completion{seq: ev.seq, frames: frames})
 	}
 	w.inApp.Store(false)
 
 	if !stolen {
 		// Home execution: eager TX on the home core.
-		if len(ctx.replies) > 0 && !c.closed.Load() {
-			_ = c.wr.WriteReply(ctx.replies)
-		}
+		c.completeBatch(comps)
 		w.finalize(c)
 		return
 	}
 
 	// Stolen execution: ship the batched syscalls home (§4.2 step b).
-	home.pushRemote(remoteOp{conn: c, frames: ctx.replies})
+	home.pushRemote(remoteOp{conn: c, comps: comps, fin: true})
 	home.signal()
 	if !w.rt.cfg.DisableProxy {
-		w.tryProxy(home)
+		w.rt.tryProxy(home)
 	}
-}
-
-// tryProxy is the IPI analogue: if the target worker is stuck in
-// application code, run its kernel step on its behalf so pending TX and
-// shuffle replenishment do not wait for the handler to return.
-func (w *Worker) tryProxy(target *Worker) bool {
-	if !target.inApp.Load() {
-		return false
-	}
-	if !target.kernelMu.TryLock() {
-		return false
-	}
-	w.rt.proxies.Add(1)
-	did := target.kernelStep()
-	target.kernelMu.Unlock()
-	return did
 }
 
 // stealWork is the idle loop (§5): scan other workers' shuffle queues
 // first, then proxy the kernel step of workers with undrained ingress or
-// unflushed remote replies, in randomized victim order.
+// unflushed remote completions, in randomized victim order.
 func (w *Worker) stealWork() bool {
 	w.order = w.rt.stealOrder(w.rng, w.id, w.order)
 	for _, v := range w.order {
@@ -311,7 +330,7 @@ func (w *Worker) stealWork() bool {
 			if victim.ingressN.Load() == 0 && victim.remoteN.Load() == 0 {
 				continue
 			}
-			if w.tryProxy(victim) {
+			if w.rt.tryProxy(victim) {
 				return true
 			}
 		}

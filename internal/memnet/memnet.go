@@ -49,6 +49,13 @@ func (w replyWriter) WriteReply(frame []byte) error {
 	return w.cc.disp.Feed(frame)
 }
 
+// CloseTransport implements core.TransportCloser: when the runtime
+// poisons the connection (malformed stream), outstanding client calls
+// fail instead of hanging.
+func (w replyWriter) CloseTransport() {
+	w.cc.disp.Close()
+}
+
 // Dial creates a new client connection. The server side is registered with
 // the runtime and steered to its home worker by RSS, as any flow would be.
 func (t *Transport) Dial() *ClientConn {
@@ -62,26 +69,40 @@ func (t *Transport) Dial() *ClientConn {
 func (c *ClientConn) ServerConn() *core.Conn { return c.server }
 
 // SendAsync issues a request and invokes cb with the reply payload (or an
-// error) exactly once. It is the open-loop primitive the load generator
+// error) exactly once. Replies carrying a non-OK wire status surface as
+// *proto.StatusError. It is the open-loop primitive the load generator
 // uses.
 func (c *ClientConn) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
 	c.mu.Unlock()
-	id, err := c.disp.Register(func(m proto.Message, err error) {
-		if err != nil {
-			cb(nil, err)
-			return
-		}
-		cb(m.Payload, nil)
-	})
+	id, err := c.disp.Register(proto.ReplyCallback(cb))
 	if err != nil {
 		return err
 	}
-	frame := proto.AppendFrame(nil, proto.Message{ID: id, Payload: payload})
+	frame := proto.AppendFrameV2(nil, proto.Message{ID: id, Payload: payload})
+	return c.rt.Ingress(c.server, frame)
+}
+
+// SendOneWay issues a fire-and-forget request: the server executes it
+// but sends no reply, and no client-side state is kept.
+func (c *ClientConn) SendOneWay(payload []byte) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	frame := proto.AppendFrameV2(nil, proto.Message{Flags: proto.FlagOneWay, Payload: payload})
 	return c.rt.Ingress(c.server, frame)
 }
 

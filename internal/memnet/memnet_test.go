@@ -23,7 +23,7 @@ func newRT(t *testing.T, h core.Handler) *core.Runtime {
 
 func echo() core.Handler {
 	return core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
-		ctx.Send(m.ID, m.Payload)
+		ctx.Reply(m.Payload)
 	})
 }
 
@@ -105,7 +105,7 @@ func TestCloseFailsOutstanding(t *testing.T) {
 	block := make(chan struct{})
 	h := core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
 		<-block
-		ctx.Send(m.ID, nil)
+		ctx.Reply(nil)
 	})
 	rt := newRT(t, h)
 	cc := NewTransport(rt).Dial()

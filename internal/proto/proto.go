@@ -1,11 +1,25 @@
 // Package proto implements the wire framing used by the runtime's RPC
-// transports: a fixed 12-byte header (4-byte little-endian payload length,
-// 8-byte request identifier) followed by the payload.
+// transports. Two frame versions coexist on the same stream:
+//
+//   - v1 (legacy): a fixed 12-byte header — 4-byte little-endian payload
+//     length, 8-byte request identifier — followed by the payload.
+//   - v2: a fixed 14-byte header — 24-bit little-endian payload length,
+//     a magic version byte, a flags byte, a status byte, and the 8-byte
+//     request identifier — followed by the payload. The flags byte
+//     carries one-way markers; the status byte carries wire-level error
+//     codes, so a reply can be an error distinguishable from a payload.
+//
+// The two are distinguished by the fourth header byte: it is the most
+// significant byte of the v1 length word, which any in-range v1 frame
+// leaves at 0x00 or 0x01, while every v2 frame sets it to Magic2. A v1
+// peer therefore keeps round-tripping against a v2 server unchanged
+// (though without a status channel its error replies degrade to plain
+// payloads), and a malformed stream is detected exactly as before.
 //
 // The Parser is incremental: it accepts arbitrary byte-stream fragments —
 // including fragments that split a header or pipeline several back-to-back
 // requests, the case §4.3 of the paper is about — and yields complete
-// messages in order.
+// messages of either version in order.
 package proto
 
 import (
@@ -14,25 +28,105 @@ import (
 	"fmt"
 )
 
-// HeaderSize is the fixed frame-header length in bytes.
+// HeaderSize is the fixed v1 frame-header length in bytes.
 const HeaderSize = 12
 
-// MaxPayload bounds a single frame's payload to keep a malformed or
+// HeaderSizeV2 is the fixed v2 frame-header length in bytes.
+const HeaderSizeV2 = 14
+
+// Magic2 marks a v2 frame in the fourth header byte. Interpreted as the
+// top byte of a v1 length it would announce a ~2.7 GB payload, far above
+// MaxPayload, so no valid v1 frame can alias a v2 frame.
+const Magic2 = 0xA2
+
+// MaxPayload bounds a single v1 frame's payload to keep a malformed or
 // hostile peer from forcing unbounded buffering.
 const MaxPayload = 16 << 20
 
+// MaxPayloadV2 bounds a v2 frame's payload (the v2 length field is 24
+// bits wide).
+const MaxPayloadV2 = 1<<24 - 1
+
 // ErrFrameTooLarge is returned when a header announces a payload larger
-// than MaxPayload.
+// than the version's maximum.
 var ErrFrameTooLarge = errors.New("proto: frame exceeds maximum payload size")
+
+// ErrPayloadTooLarge is returned by senders refusing to encode a payload
+// that does not fit the frame version's length field. Encoding it anyway
+// would corrupt the stream (the v2 length field is 24 bits wide).
+var ErrPayloadTooLarge = errors.New("proto: payload exceeds maximum frame size")
+
+// Frame flag bits (v2 only).
+const (
+	// FlagOneWay marks a request whose sender expects no reply; the
+	// server executes it and sends nothing back.
+	FlagOneWay uint8 = 1 << 0
+)
+
+// Wire status codes (v2 only). A v1 reply has no status channel and is
+// always implicitly StatusOK.
+const (
+	// StatusOK is a successful reply; the payload is the response body.
+	StatusOK uint8 = 0
+	// StatusAppError is an application-level error; the payload is a
+	// human-readable message.
+	StatusAppError uint8 = 1
+	// StatusShed reports that admission control rejected the request
+	// before it ran; the client may retry elsewhere or back off.
+	StatusShed uint8 = 2
+	// StatusInternal reports a server-side failure unrelated to the
+	// request contents.
+	StatusInternal uint8 = 3
+)
+
+// StatusText returns a short human-readable name for a status code.
+func StatusText(code uint8) string {
+	switch code {
+	case StatusOK:
+		return "ok"
+	case StatusAppError:
+		return "application error"
+	case StatusShed:
+		return "shed by admission control"
+	case StatusInternal:
+		return "internal server error"
+	}
+	return fmt.Sprintf("status %d", code)
+}
+
+// StatusError is the typed error surfaced to callers when a reply
+// carries a non-OK wire status.
+type StatusError struct {
+	// Code is the wire status byte.
+	Code uint8
+	// Msg is the reply payload, by convention a human-readable message.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *StatusError) Error() string {
+	if e.Msg == "" {
+		return fmt.Sprintf("zygos: %s (status %d)", StatusText(e.Code), e.Code)
+	}
+	return fmt.Sprintf("zygos: %s (status %d): %s", StatusText(e.Code), e.Code, e.Msg)
+}
 
 // Message is one framed request or response.
 type Message struct {
 	ID      uint64
 	Payload []byte
+	// Flags is the v2 flags byte (FlagOneWay, ...); zero on v1 frames.
+	Flags uint8
+	// Status is the v2 status byte; StatusOK on v1 frames.
+	Status uint8
+	// V2 records which frame version the message arrived in, and selects
+	// the version AppendMessage encodes. Replies mirror the request's
+	// version so legacy peers never see a v2 header.
+	V2 bool
 }
 
-// AppendFrame appends the encoded frame for m to buf and returns the
-// extended slice.
+// AppendFrame appends the encoded v1 frame for m to buf and returns the
+// extended slice. Flags and Status do not travel in v1.
 func AppendFrame(buf []byte, m Message) []byte {
 	var hdr [HeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(m.Payload)))
@@ -41,11 +135,65 @@ func AppendFrame(buf []byte, m Message) []byte {
 	return append(buf, m.Payload...)
 }
 
-// FrameSize returns the encoded size of a frame carrying n payload bytes.
+// AppendFrameV2 appends the encoded v2 frame for m to buf and returns
+// the extended slice. The payload must not exceed MaxPayloadV2 — a
+// longer one cannot be represented in the 24-bit length field and would
+// corrupt the stream, so callers (transports, the reply path) reject it
+// with ErrPayloadTooLarge before encoding; this function panics if they
+// did not.
+func AppendFrameV2(buf []byte, m Message) []byte {
+	n := len(m.Payload)
+	if n > MaxPayloadV2 {
+		panic("proto: AppendFrameV2 payload exceeds MaxPayloadV2")
+	}
+	var hdr [HeaderSizeV2]byte
+	hdr[0] = byte(n)
+	hdr[1] = byte(n >> 8)
+	hdr[2] = byte(n >> 16)
+	hdr[3] = Magic2
+	hdr[4] = m.Flags
+	hdr[5] = m.Status
+	binary.LittleEndian.PutUint64(hdr[6:14], m.ID)
+	buf = append(buf, hdr[:]...)
+	return append(buf, m.Payload...)
+}
+
+// AppendMessage encodes m in the frame version indicated by m.V2.
+func AppendMessage(buf []byte, m Message) []byte {
+	if m.V2 {
+		return AppendFrameV2(buf, m)
+	}
+	return AppendFrame(buf, m)
+}
+
+// FrameSize returns the encoded size of a v1 frame carrying n payload
+// bytes.
 func FrameSize(n int) int { return HeaderSize + n }
 
-// Parser incrementally decodes a frame stream. The zero value is ready to
-// use.
+// FrameSizeV2 returns the encoded size of a v2 frame carrying n payload
+// bytes.
+func FrameSizeV2(n int) int { return HeaderSizeV2 + n }
+
+// ReplyCallback adapts a payload-level callback to the Message-level
+// callback a Dispatcher invokes, converting non-OK reply statuses into
+// *StatusError. Transports share it so both client types surface typed
+// errors identically.
+func ReplyCallback(cb func(resp []byte, err error)) func(Message, error) {
+	return func(m Message, err error) {
+		if err != nil {
+			cb(nil, err)
+			return
+		}
+		if m.Status != StatusOK {
+			cb(nil, &StatusError{Code: m.Status, Msg: string(m.Payload)})
+			return
+		}
+		cb(m.Payload, nil)
+	}
+}
+
+// Parser incrementally decodes a frame stream carrying any mix of v1 and
+// v2 frames. The zero value is ready to use.
 type Parser struct {
 	buf []byte
 	err error
@@ -70,6 +218,9 @@ func (p *Parser) Next() (Message, bool, error) {
 	if len(p.buf) < HeaderSize {
 		return Message{}, false, nil
 	}
+	if p.buf[3] == Magic2 {
+		return p.nextV2()
+	}
 	n := int(binary.LittleEndian.Uint32(p.buf[0:4]))
 	if n > MaxPayload {
 		p.err = fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
@@ -82,12 +233,37 @@ func (p *Parser) Next() (Message, bool, error) {
 		ID:      binary.LittleEndian.Uint64(p.buf[4:12]),
 		Payload: append([]byte(nil), p.buf[HeaderSize:HeaderSize+n]...),
 	}
-	// Shift the consumed frame out. Copy-down keeps the buffer from
-	// growing without bound under pipelining.
-	rest := len(p.buf) - (HeaderSize + n)
-	copy(p.buf, p.buf[HeaderSize+n:])
-	p.buf = p.buf[:rest]
+	p.consume(HeaderSize + n)
 	return m, true, nil
+}
+
+// nextV2 decodes a v2 frame; the caller has verified the magic byte and
+// that at least HeaderSize bytes are buffered.
+func (p *Parser) nextV2() (Message, bool, error) {
+	if len(p.buf) < HeaderSizeV2 {
+		return Message{}, false, nil
+	}
+	n := int(p.buf[0]) | int(p.buf[1])<<8 | int(p.buf[2])<<16
+	if len(p.buf) < HeaderSizeV2+n {
+		return Message{}, false, nil
+	}
+	m := Message{
+		Flags:   p.buf[4],
+		Status:  p.buf[5],
+		ID:      binary.LittleEndian.Uint64(p.buf[6:14]),
+		Payload: append([]byte(nil), p.buf[HeaderSizeV2:HeaderSizeV2+n]...),
+		V2:      true,
+	}
+	p.consume(HeaderSizeV2 + n)
+	return m, true, nil
+}
+
+// consume shifts n consumed bytes out. Copy-down keeps the buffer from
+// growing without bound under pipelining.
+func (p *Parser) consume(n int) {
+	rest := len(p.buf) - n
+	copy(p.buf, p.buf[n:])
+	p.buf = p.buf[:rest]
 }
 
 // Buffered reports how many undecoded bytes the parser is holding.

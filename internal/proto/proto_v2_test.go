@@ -1,0 +1,209 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestV2RoundTrip(t *testing.T) {
+	var p Parser
+	frame := AppendFrameV2(nil, Message{
+		ID:      99,
+		Payload: []byte("v2 body"),
+		Flags:   FlagOneWay,
+		Status:  StatusShed,
+	})
+	if len(frame) != FrameSizeV2(7) {
+		t.Fatalf("encoded length %d, want %d", len(frame), FrameSizeV2(7))
+	}
+	p.Feed(frame)
+	m, ok, err := p.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v %v", ok, err)
+	}
+	if m.ID != 99 || string(m.Payload) != "v2 body" || m.Flags != FlagOneWay || m.Status != StatusShed || !m.V2 {
+		t.Fatalf("got %+v", m)
+	}
+	if p.Buffered() != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestV2ByteAtATime(t *testing.T) {
+	var p Parser
+	frame := AppendFrameV2(nil, Message{ID: 5, Payload: []byte("fragmented-v2"), Status: StatusAppError})
+	for _, b := range frame {
+		if _, ok, _ := p.Next(); ok {
+			t.Fatal("message completed early")
+		}
+		p.Feed([]byte{b})
+	}
+	m, ok, err := p.Next()
+	if err != nil || !ok || string(m.Payload) != "fragmented-v2" || m.Status != StatusAppError {
+		t.Fatalf("got %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+// A stream may interleave v1 and v2 frames; the parser must decode both
+// in order and tag each with its version.
+func TestMixedVersionStream(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 40; i++ {
+		m := Message{ID: uint64(i), Payload: bytes.Repeat([]byte{byte(i)}, i%7), V2: i%2 == 0}
+		if m.V2 {
+			m.Status = uint8(i % 4)
+		}
+		stream = AppendMessage(stream, m)
+	}
+	var p Parser
+	p.Feed(stream)
+	for i := 0; i < 40; i++ {
+		m, ok, err := p.Next()
+		if err != nil || !ok {
+			t.Fatalf("message %d missing: %v", i, err)
+		}
+		if m.ID != uint64(i) || len(m.Payload) != i%7 {
+			t.Fatalf("message %d corrupted: %+v", i, m)
+		}
+		if m.V2 != (i%2 == 0) {
+			t.Fatalf("message %d version tag wrong: %+v", i, m)
+		}
+		if m.V2 && m.Status != uint8(i%4) {
+			t.Fatalf("message %d status lost: %+v", i, m)
+		}
+	}
+}
+
+// No valid v1 frame can alias the v2 magic: the fourth byte of a v1
+// header is the top byte of the length, and any length whose top byte is
+// Magic2 exceeds MaxPayload.
+func TestMagicDoesNotAliasV1(t *testing.T) {
+	aliased := uint32(Magic2) << 24
+	if aliased <= MaxPayload {
+		t.Fatalf("magic-aliased v1 length %d must exceed MaxPayload %d", aliased, MaxPayload)
+	}
+	f := AppendFrame(nil, Message{ID: 1, Payload: make([]byte, MaxPayload)})
+	if f[3] == Magic2 {
+		t.Fatal("maximum v1 frame must not carry the v2 magic byte")
+	}
+}
+
+func TestV2EmptyPayloadAndOneWay(t *testing.T) {
+	var p Parser
+	p.Feed(AppendFrameV2(nil, Message{ID: 0, Flags: FlagOneWay}))
+	m, ok, err := p.Next()
+	if err != nil || !ok || m.ID != 0 || len(m.Payload) != 0 || m.Flags&FlagOneWay == 0 {
+		t.Fatalf("got %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+func TestStatusErrorAndText(t *testing.T) {
+	e := &StatusError{Code: StatusShed, Msg: "queue full"}
+	if e.Error() == "" || StatusText(StatusShed) == "" {
+		t.Fatal("empty renderings")
+	}
+	var se *StatusError
+	var err error = e
+	if !errors.As(err, &se) || se.Code != StatusShed {
+		t.Fatal("errors.As must match StatusError")
+	}
+	if StatusText(200) == "" {
+		t.Fatal("unknown codes must still render")
+	}
+	if (&StatusError{Code: StatusInternal}).Error() == "" {
+		t.Fatal("message-less errors must render")
+	}
+}
+
+func TestReplyCallback(t *testing.T) {
+	var gotPayload []byte
+	var gotErr error
+	cb := ReplyCallback(func(resp []byte, err error) { gotPayload, gotErr = resp, err })
+
+	cb(Message{Payload: []byte("ok")}, nil)
+	if gotErr != nil || string(gotPayload) != "ok" {
+		t.Fatalf("ok reply mangled: %q %v", gotPayload, gotErr)
+	}
+
+	cb(Message{Status: StatusAppError, Payload: []byte("boom")}, nil)
+	var se *StatusError
+	if !errors.As(gotErr, &se) || se.Code != StatusAppError || se.Msg != "boom" {
+		t.Fatalf("error reply not converted: %v", gotErr)
+	}
+
+	sentinel := errors.New("transport down")
+	cb(Message{}, sentinel)
+	if !errors.Is(gotErr, sentinel) {
+		t.Fatalf("transport error not passed through: %v", gotErr)
+	}
+}
+
+// Property: mixed-version streams fed in arbitrary chunk sizes decode
+// identically (the v2 analogue of TestRandomSplitRoundTrip).
+func TestV2RandomSplitRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stream []byte
+		var want []Message
+		for i, pl := range payloads {
+			if len(pl) > 1024 {
+				pl = pl[:1024]
+			}
+			m := Message{ID: uint64(i), Payload: pl, V2: rng.Intn(2) == 0}
+			if m.V2 {
+				m.Flags = uint8(rng.Intn(2))
+				m.Status = uint8(rng.Intn(4))
+			}
+			want = append(want, m)
+			stream = AppendMessage(stream, m)
+		}
+		var p Parser
+		var got []Message
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(37)
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			p.Feed(stream[off : off+n])
+			off += n
+			for {
+				m, ok, err := p.Next()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				got = append(got, m)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i, m := range got {
+			w := want[i]
+			if m.ID != w.ID || !bytes.Equal(m.Payload, w.Payload) || m.V2 != w.V2 || m.Flags != w.Flags || m.Status != w.Status {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseV2(b *testing.B) {
+	frame := AppendFrameV2(nil, Message{ID: 1, Payload: make([]byte, 64)})
+	var p Parser
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Feed(frame)
+		if _, ok, _ := p.Next(); !ok {
+			b.Fatal("missing message")
+		}
+	}
+}

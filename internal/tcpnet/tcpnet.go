@@ -129,6 +129,13 @@ func (w *connWriter) WriteReply(frame []byte) error {
 	return err
 }
 
+// CloseTransport implements core.TransportCloser: a peer whose stream is
+// malformed is disconnected — its reader unblocks, the connection is torn
+// down, and no other connection is affected.
+func (w *connWriter) CloseTransport() {
+	w.nc.Close()
+}
+
 // Client is a TCP RPC client speaking the proto framing. It supports
 // pipelined concurrent requests over one connection.
 type Client struct {
@@ -171,20 +178,30 @@ func (c *Client) readLoop() {
 }
 
 // SendAsync issues a request; cb runs exactly once with the reply or an
-// error. The write is flushed immediately (open-loop latency measurement
-// cannot tolerate client-side batching).
+// error. Replies carrying a non-OK wire status surface as
+// *proto.StatusError. The write is flushed immediately (open-loop latency
+// measurement cannot tolerate client-side batching).
 func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
-	id, err := c.disp.Register(func(m proto.Message, err error) {
-		if err != nil {
-			cb(nil, err)
-			return
-		}
-		cb(m.Payload, nil)
-	})
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.disp.Register(proto.ReplyCallback(cb))
 	if err != nil {
 		return err
 	}
-	frame := proto.AppendFrame(nil, proto.Message{ID: id, Payload: payload})
+	return c.write(proto.AppendFrameV2(nil, proto.Message{ID: id, Payload: payload}))
+}
+
+// SendOneWay issues a fire-and-forget request: the server executes it
+// but sends no reply, and no client-side state is kept.
+func (c *Client) SendOneWay(payload []byte) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	return c.write(proto.AppendFrameV2(nil, proto.Message{Flags: proto.FlagOneWay, Payload: payload}))
+}
+
+func (c *Client) write(frame []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.closed {

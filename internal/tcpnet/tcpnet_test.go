@@ -16,7 +16,7 @@ func startServer(t *testing.T) (*core.Runtime, *Server, string) {
 	rt, err := core.New(core.Config{
 		Cores: 2,
 		Handler: core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
-			ctx.Send(m.ID, m.Payload)
+			ctx.Reply(m.Payload)
 		}),
 	})
 	if err != nil {

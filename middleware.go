@@ -1,0 +1,135 @@
+package zygos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"zygos/internal/core"
+	"zygos/internal/stats"
+)
+
+// ErrCompleted is returned by ResponseWriter and Completion methods when
+// the request's reply has already been produced.
+var ErrCompleted = core.ErrCompleted
+
+// lockedHistogram is a mutex-guarded stats.Histogram: recordings arrive
+// from every worker and, for detached replies, from arbitrary
+// application goroutines.
+type lockedHistogram struct {
+	mu sync.Mutex
+	h  *stats.Histogram
+}
+
+func (l *lockedHistogram) record(d time.Duration) {
+	l.mu.Lock()
+	if l.h == nil {
+		l.h = stats.NewHistogram()
+	}
+	l.h.Record(d.Nanoseconds())
+	l.mu.Unlock()
+}
+
+func (l *lockedHistogram) snapshot() LatencySnapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.h == nil || l.h.Count() == 0 {
+		return LatencySnapshot{}
+	}
+	return LatencySnapshot{
+		Count: l.h.Count(),
+		Mean:  time.Duration(l.h.Mean()),
+		P50:   time.Duration(l.h.Percentile(0.50)),
+		P99:   time.Duration(l.h.Percentile(0.99)),
+		Max:   time.Duration(l.h.Max()),
+	}
+}
+
+// String renders the snapshot in microseconds, the paper's unit of
+// record.
+func (s LatencySnapshot) String() string {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return fmt.Sprintf("n=%d mean=%.2fus p50=%.2fus p99=%.2fus max=%.2fus",
+		s.Count, us(s.Mean), us(s.P50), us(s.P99), us(s.Max))
+}
+
+// LatencyRecording returns middleware that records each request's queue
+// delay (arrival to handler start) and end-to-end latency (arrival to
+// reply completion, including time spent detached) into the server's
+// histograms. Snapshots appear in Stats().QueueDelay and
+// Stats().Latency.
+func (s *Server) LatencyRecording() Middleware {
+	return func(next Handler) Handler {
+		return func(w ResponseWriter, req *Request) {
+			s.qdelay.record(req.QueueDelay)
+			next(&timingWriter{inner: w, s: s, start: req.ArrivedAt}, req)
+		}
+	}
+}
+
+// timingWriter records end-to-end latency when the reply completes,
+// following the request through Detach. Shed rejections are excluded:
+// they complete in near-zero time and would dilute the tail-latency
+// metric exactly when overload makes it interesting (they are counted
+// in Stats().Shed instead).
+type timingWriter struct {
+	inner ResponseWriter
+	s     *Server
+	start time.Time
+}
+
+func (w *timingWriter) finish(err error) error {
+	if err == nil {
+		w.s.latency.record(time.Since(w.start))
+	}
+	return err
+}
+
+func (w *timingWriter) Reply(payload []byte) error { return w.finish(w.inner.Reply(payload)) }
+func (w *timingWriter) Error(code uint8, msg string) error {
+	if code == StatusShed {
+		return w.inner.Error(code, msg)
+	}
+	return w.finish(w.inner.Error(code, msg))
+}
+func (w *timingWriter) Detach() Completion {
+	return &timingCompletion{co: w.inner.Detach(), w: w}
+}
+
+type timingCompletion struct {
+	co Completion
+	w  *timingWriter
+}
+
+func (c *timingCompletion) Reply(payload []byte) error { return c.w.finish(c.co.Reply(payload)) }
+func (c *timingCompletion) Error(code uint8, msg string) error {
+	if code == StatusShed {
+		return c.co.Error(code, msg)
+	}
+	return c.w.finish(c.co.Error(code, msg))
+}
+
+// AdmissionControl returns middleware that sheds load once the runtime's
+// backlog — every request parsed off the wire whose reply has not
+// completed yet, whether queued behind busy workers, executing, or
+// detached — exceeds maxDepth. Instead of letting excess requests stall
+// in ever-deeper queues, the server answers them immediately with
+// StatusShed on the wire, which clients see as a typed *StatusError.
+// Shed requests are counted in Stats().Shed.
+//
+// Because the signal is the runtime-wide queue depth rather than a count
+// of running handlers, shedding engages for purely synchronous
+// workloads (where concurrency is bounded by the core count but queues
+// grow without bound) as well as for detach-heavy ones.
+func (s *Server) AdmissionControl(maxDepth int) Middleware {
+	return func(next Handler) Handler {
+		return func(w ResponseWriter, req *Request) {
+			if s.rt.Backlog() > int64(maxDepth) {
+				s.shed.Add(1)
+				w.Error(StatusShed, "admission control: queue depth exceeded")
+				return
+			}
+			next(w, req)
+		}
+	}
+}

@@ -11,27 +11,49 @@
 // execute, so pipelined requests on one connection are answered in order
 // with no application-level locking — the paper's §4.3 guarantee.
 //
-// Quick start:
+// # Handlers and replies
+//
+// The application is a Handler in the style of net/http:
 //
 //	srv, _ := zygos.NewServer(zygos.Config{
 //		Cores: 4,
-//		Handler: func(req zygos.Request) []byte {
-//			return append([]byte("echo:"), req.Payload...)
+//		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
+//			w.Reply(append([]byte("echo:"), req.Payload...))
 //		},
 //	})
 //	defer srv.Close()
 //	l, _ := net.Listen("tcp", ":9000")
 //	go srv.Serve(l)
 //
-// or, in-process (no sockets):
+// A handler completes each request exactly once — successfully with
+// Reply, or with a wire-level status code with Error, which clients see
+// as a typed *StatusError. A handler that returns without replying sends
+// nothing (one-way semantics).
 //
-//	c := srv.NewClient()
-//	resp, _ := c.Call([]byte("hi"))
+// Long tasks need not pin their worker: Detach returns a Completion that
+// can finish the reply later from any goroutine, while the worker moves
+// on to run or steal other events. Replies — detached or not — are always
+// transmitted in per-connection request order; the runtime's completion
+// tokens and TX sequencer enforce it.
+//
+//	Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
+//		co := w.Detach()
+//		go func() { co.Reply(slowLookup(req.Payload)) }()
+//	}
+//
+// Cross-cutting concerns stack as middleware:
+//
+//	srv.Use(srv.LatencyRecording(), srv.AdmissionControl(1024))
+//
+// In-process clients (srv.NewClient) and TCP clients (DialClient) share
+// the Caller interface and the same calling conventions.
 package zygos
 
 import (
 	"errors"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"zygos/internal/core"
@@ -40,7 +62,34 @@ import (
 	"zygos/internal/tcpnet"
 )
 
-// Request is one incoming RPC delivered to a Handler.
+// Wire status codes carried in the reply header's status byte (v2
+// framing). StatusOK replies deliver their payload; any other status
+// surfaces to callers as *StatusError.
+const (
+	// StatusOK is a successful reply.
+	StatusOK = proto.StatusOK
+	// StatusAppError is an application-level error; the message travels
+	// as the reply payload.
+	StatusAppError = proto.StatusAppError
+	// StatusShed reports that admission control rejected the request
+	// before it ran.
+	StatusShed = proto.StatusShed
+	// StatusInternal reports a server-side failure.
+	StatusInternal = proto.StatusInternal
+)
+
+// StatusError is the typed error clients receive when a reply carries a
+// non-OK wire status. Use errors.As to inspect the code:
+//
+//	var se *zygos.StatusError
+//	if errors.As(err, &se) && se.Code == zygos.StatusShed { backoff() }
+type StatusError = proto.StatusError
+
+// StatusText returns a short human-readable name for a status code.
+func StatusText(code uint8) string { return proto.StatusText(code) }
+
+// Request is one incoming RPC delivered to a Handler. Middleware may
+// annotate it; the pointer is shared down the chain.
 type Request struct {
 	// ID is the client-assigned request identifier echoed on the reply.
 	ID uint64
@@ -53,14 +102,62 @@ type Request struct {
 	Worker int
 	// Stolen reports whether the request executes on a non-home worker.
 	Stolen bool
+	// OneWay reports that the sender expects no reply; Reply and Error
+	// still complete the request but transmit nothing.
+	OneWay bool
+	// ArrivedAt is when the request was parsed off the wire on its home
+	// core.
+	ArrivedAt time.Time
+	// QueueDelay is how long the request waited between arrival and
+	// handler start — scheduling delay, the paper's tail-latency metric.
+	QueueDelay time.Duration
 }
 
-// Handler processes one request and returns the reply payload. Returning
-// nil sends no reply (one-way requests). Handlers run with exclusive
-// ownership of their connection: two requests from the same connection
-// never execute concurrently, and replies are transmitted in request
-// order.
-type Handler func(req Request) []byte
+// ResponseWriter completes a request. Exactly one completion wins —
+// Reply, Error, or a detached Completion's — and later attempts return
+// core.ErrCompleted. Replies are delivered in per-connection request
+// order regardless of completion order.
+type ResponseWriter interface {
+	// Reply completes the request successfully with payload.
+	Reply(payload []byte) error
+	// Error completes the request with a wire-level status code; msg
+	// travels as the reply payload. Clients surface it as *StatusError.
+	Error(code uint8, msg string) error
+	// Detach releases the request from its worker: the handler may
+	// return immediately and complete the reply later, from any
+	// goroutine, through the returned Completion.
+	Detach() Completion
+}
+
+// Completion is a detached request's reply handle. It is safe for use
+// from any goroutine.
+type Completion interface {
+	Reply(payload []byte) error
+	Error(code uint8, msg string) error
+}
+
+// Handler processes one request and completes it through w. Handlers run
+// with exclusive ownership of their connection: two requests from the
+// same connection never execute concurrently, and replies are
+// transmitted in request order.
+type Handler func(w ResponseWriter, req *Request)
+
+// SyncHandler adapts the legacy synchronous signature — return the reply
+// payload, or nil to send no reply — to a Handler. It eases migration;
+// new code should use the ResponseWriter form directly.
+func SyncHandler(f func(req *Request) []byte) Handler {
+	return func(w ResponseWriter, req *Request) {
+		if resp := f(req); resp != nil {
+			w.Reply(resp)
+		}
+	}
+}
+
+// Middleware wraps a Handler with a cross-cutting concern. Chains are
+// installed with Server.Use; the first middleware installed is the
+// outermost. A middleware may wrap w to observe the reply — including
+// replies completed after Detach.
+type Middleware func(next Handler) Handler
 
 // Config parameterizes a Server.
 type Config struct {
@@ -81,7 +178,16 @@ type Config struct {
 	LockOSThread bool
 }
 
-// Stats is a snapshot of scheduler counters.
+// LatencySnapshot summarizes one of the server's latency histograms.
+type LatencySnapshot struct {
+	Count uint64
+	Mean  time.Duration
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Stats is a snapshot of scheduler and middleware counters.
 type Stats struct {
 	// Events is the number of application events executed.
 	Events uint64
@@ -92,6 +198,17 @@ type Stats struct {
 	Proxies uint64
 	// Conns counts connections ever created.
 	Conns uint64
+	// Detached counts requests whose handlers detached their reply.
+	Detached uint64
+	// Shed counts requests rejected by the AdmissionControl middleware.
+	Shed uint64
+	// Latency summarizes end-to-end latency (arrival to reply,
+	// including detached time); populated once LatencyRecording is
+	// installed.
+	Latency LatencySnapshot
+	// QueueDelay summarizes scheduling delay (arrival to handler
+	// start); populated once LatencyRecording is installed.
+	QueueDelay LatencySnapshot
 }
 
 // StealFraction returns steals per executed event (the Figure 8 metric).
@@ -107,6 +224,17 @@ type Server struct {
 	rt  *core.Runtime
 	mem *memnet.Transport
 	tcp *tcpnet.Server
+
+	// The middleware chain. handler holds the composed Handler; Use
+	// recomputes it under mu. The hot path loads it atomically.
+	mu      sync.Mutex
+	base    Handler
+	mws     []Middleware
+	handler atomic.Value // of Handler
+
+	latency lockedHistogram
+	qdelay  lockedHistogram
+	shed    atomic.Uint64
 }
 
 // NewServer creates and starts a server's worker pool.
@@ -114,20 +242,23 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("zygos: Config.Handler is required")
 	}
-	h := cfg.Handler
+	s := &Server{base: cfg.Handler}
+	s.handler.Store(cfg.Handler)
 	rt, err := core.New(core.Config{
 		Cores: cfg.Cores,
 		Handler: core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
-			resp := h(Request{
-				ID:      m.ID,
-				Payload: m.Payload,
-				Conn:    c.ID(),
-				Worker:  ctx.Worker(),
-				Stolen:  ctx.Stolen(),
-			})
-			if resp != nil {
-				ctx.Send(m.ID, resp)
+			req := &Request{
+				ID:         m.ID,
+				Payload:    m.Payload,
+				Conn:       c.ID(),
+				Worker:     ctx.Worker(),
+				Stolen:     ctx.Stolen(),
+				OneWay:     m.Flags&proto.FlagOneWay != 0,
+				ArrivedAt:  ctx.ArrivedAt(),
+				QueueDelay: time.Since(ctx.ArrivedAt()),
 			}
+			h := s.handler.Load().(Handler)
+			h(coreWriter{ctx}, req)
 		}),
 		DisableStealing: cfg.Partitioned,
 		DisableProxy:    cfg.NoInterrupts,
@@ -137,11 +268,36 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{rt: rt}
+	s.rt = rt
 	s.mem = memnet.NewTransport(rt)
 	s.tcp = tcpnet.NewServer(rt)
 	return s, nil
 }
+
+// Use appends middleware to the server's chain and recomposes it. The
+// first middleware installed is the outermost (it sees the request
+// first and the reply last). Installing middleware while requests are in
+// flight is safe; each request binds the chain current at its delivery.
+func (s *Server) Use(mws ...Middleware) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mws = append(s.mws, mws...)
+	h := s.base
+	for i := len(s.mws) - 1; i >= 0; i-- {
+		h = s.mws[i](h)
+	}
+	s.handler.Store(h)
+}
+
+// coreWriter adapts the runtime's per-event Ctx to the public
+// ResponseWriter.
+type coreWriter struct {
+	ctx *core.Ctx
+}
+
+func (w coreWriter) Reply(payload []byte) error         { return w.ctx.Reply(payload) }
+func (w coreWriter) Error(code uint8, msg string) error { return w.ctx.Error(code, msg) }
+func (w coreWriter) Detach() Completion                 { return w.ctx.Detach() }
 
 // Serve accepts TCP connections on l until l closes or Close is called.
 func (s *Server) Serve(l net.Listener) error {
@@ -155,17 +311,27 @@ func (s *Server) NewClient() *Client {
 	return &Client{cc: s.mem.Dial()}
 }
 
-// Stats returns a snapshot of scheduler counters.
+// Stats returns a snapshot of scheduler and middleware counters.
 func (s *Server) Stats() Stats {
 	st := s.rt.Stats()
-	return Stats{Events: st.Events, Steals: st.Steals, Proxies: st.Proxies, Conns: st.Conns}
+	return Stats{
+		Events:     st.Events,
+		Steals:     st.Steals,
+		Proxies:    st.Proxies,
+		Conns:      st.Conns,
+		Detached:   st.Detached,
+		Shed:       s.shed.Load(),
+		Latency:    s.latency.snapshot(),
+		QueueDelay: s.qdelay.snapshot(),
+	}
 }
 
 // Cores returns the number of scheduler workers.
 func (s *Server) Cores() int { return s.rt.Cores() }
 
-// Flush blocks until all ingested requests have executed and replied, or
-// the timeout elapses. Intended for tests and orderly shutdown.
+// Flush blocks until all ingested requests have executed and replied —
+// including detached replies — or the timeout elapses. Intended for
+// tests and orderly shutdown.
 func (s *Server) Flush(timeout time.Duration) bool { return s.rt.Flush(timeout) }
 
 // Close stops the TCP acceptor (if any) and the worker pool.
@@ -173,6 +339,25 @@ func (s *Server) Close() {
 	s.tcp.Close()
 	s.rt.Close()
 }
+
+// Caller is one client connection to a Server, independent of transport.
+// Both Client (in-process) and TCPClient satisfy it; load generators and
+// benchmarks program against Caller so one code path drives either.
+type Caller interface {
+	// Call issues a request and blocks for its reply. Non-OK reply
+	// statuses surface as *StatusError.
+	Call(payload []byte) ([]byte, error)
+	// SendAsync issues a request; cb runs exactly once with the reply
+	// payload or an error. This is the open-loop primitive.
+	SendAsync(payload []byte, cb func(resp []byte, err error)) error
+	// Close tears down the connection; outstanding calls fail.
+	Close()
+}
+
+var (
+	_ Caller = (*Client)(nil)
+	_ Caller = (*TCPClient)(nil)
+)
 
 // Client is an in-process connection to a Server. It is safe for
 // concurrent use and supports pipelining.
@@ -193,6 +378,10 @@ func (c *Client) Home() int { return c.cc.ServerConn().Home() }
 func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
 	return c.cc.SendAsync(payload, cb)
 }
+
+// SendOneWay issues a fire-and-forget request: the server executes it
+// but transmits no reply.
+func (c *Client) SendOneWay(payload []byte) error { return c.cc.SendOneWay(payload) }
 
 // Close tears down the connection; outstanding calls fail.
 func (c *Client) Close() { c.cc.Close() }
@@ -220,6 +409,10 @@ func (c *TCPClient) Call(payload []byte) ([]byte, error) { return c.tc.Call(payl
 func (c *TCPClient) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
 	return c.tc.SendAsync(payload, cb)
 }
+
+// SendOneWay issues a fire-and-forget request: the server executes it
+// but transmits no reply.
+func (c *TCPClient) SendOneWay(payload []byte) error { return c.tc.SendOneWay(payload) }
 
 // Close tears down the connection; outstanding calls fail.
 func (c *TCPClient) Close() { c.tc.Close() }

@@ -12,7 +12,7 @@ import (
 func newEchoServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
 	if cfg.Handler == nil {
-		cfg.Handler = func(req Request) []byte { return req.Payload }
+		cfg.Handler = func(w ResponseWriter, req *Request) { w.Reply(req.Payload) }
 	}
 	s, err := NewServer(cfg)
 	if err != nil {
@@ -62,14 +62,14 @@ func TestServerOverTCP(t *testing.T) {
 func TestNilReplyIsOneWay(t *testing.T) {
 	var mu sync.Mutex
 	seen := 0
-	s := newEchoServer(t, Config{Cores: 1, Handler: func(req Request) []byte {
+	s := newEchoServer(t, Config{Cores: 1, Handler: func(w ResponseWriter, req *Request) {
 		mu.Lock()
 		seen++
 		mu.Unlock()
 		if bytes.Equal(req.Payload, []byte("oneway")) {
-			return nil
+			return // no reply: one-way semantics
 		}
-		return req.Payload
+		w.Reply(req.Payload)
 	}})
 	c := s.NewClient()
 	defer c.Close()
@@ -95,12 +95,12 @@ func TestNilReplyIsOneWay(t *testing.T) {
 
 func TestRequestMetadata(t *testing.T) {
 	got := make(chan Request, 1)
-	s := newEchoServer(t, Config{Cores: 2, Handler: func(req Request) []byte {
+	s := newEchoServer(t, Config{Cores: 2, Handler: func(w ResponseWriter, req *Request) {
 		select {
-		case got <- req:
+		case got <- *req:
 		default:
 		}
-		return req.Payload
+		w.Reply(req.Payload)
 	}})
 	c := s.NewClient()
 	defer c.Close()
@@ -120,9 +120,9 @@ func TestRequestMetadata(t *testing.T) {
 }
 
 func TestStatsAndStealFraction(t *testing.T) {
-	s := newEchoServer(t, Config{Cores: 4, Handler: func(req Request) []byte {
+	s := newEchoServer(t, Config{Cores: 4, Handler: func(w ResponseWriter, req *Request) {
 		time.Sleep(200 * time.Microsecond)
-		return req.Payload
+		w.Reply(req.Payload)
 	}})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
@@ -156,9 +156,9 @@ func TestStatsAndStealFraction(t *testing.T) {
 }
 
 func TestPartitionedModeNeverSteals(t *testing.T) {
-	s := newEchoServer(t, Config{Cores: 4, Partitioned: true, Handler: func(req Request) []byte {
+	s := newEchoServer(t, Config{Cores: 4, Partitioned: true, Handler: func(w ResponseWriter, req *Request) {
 		time.Sleep(100 * time.Microsecond)
-		return req.Payload
+		w.Reply(req.Payload)
 	}})
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
