@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet bench-smoke
+# The bench targets pipe `go test` into benchjson; pipefail makes the
+# recipe fail on a failed benchmark run instead of recording partial
+# results as success.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build test vet bench bench-smoke
 
 all: build test
 
@@ -14,6 +20,15 @@ test: vet
 vet:
 	$(GO) vet ./...
 
-# One iteration of every benchmark, as a compile-and-run smoke check.
+# Hot-path benchmark trajectory: run the BenchmarkHotPath* suite and
+# update the "current" section of BENCH_hotpath.json (the committed
+# "baseline" section is preserved for comparison).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label current
+
+# One iteration of every benchmark, as a compile-and-run smoke check,
+# plus a 1x hot-path pass recorded in the "smoke" section of
+# BENCH_hotpath.json (uploaded as a CI artifact).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label smoke -note "1x smoke pass, not a performance measurement"

@@ -18,12 +18,40 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"time"
 
 	"zygos"
 	"zygos/internal/experiments"
 	"zygos/internal/stats"
 )
+
+// gcDelta captures GC and allocation activity across a measured region,
+// so live runs expose allocation regressions in the hot path directly in
+// their stats line.
+type gcDelta struct {
+	start runtime.MemStats
+}
+
+func startGCDelta() *gcDelta {
+	g := &gcDelta{}
+	runtime.ReadMemStats(&g.start)
+	return g
+}
+
+// line renders "gc=N pause=D allocs/op=F" for ops operations since start.
+func (g *gcDelta) line(ops int) string {
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	numGC := end.NumGC - g.start.NumGC
+	pause := time.Duration(end.PauseTotalNs - g.start.PauseTotalNs)
+	allocs := float64(end.Mallocs - g.start.Mallocs)
+	perOp := 0.0
+	if ops > 0 {
+		perOp = allocs / float64(ops)
+	}
+	return fmt.Sprintf("gc=%d pause=%v allocs/op=%.1f", numGC, pause.Round(time.Microsecond), perOp)
+}
 
 func main() {
 	var (
@@ -99,17 +127,21 @@ func runLive(requests, cores int) error {
 		defer c.Close()
 		sample := stats.NewSample(requests)
 		payload := []byte("0123456789abcdef")
+		var buf []byte
+		gc := startGCDelta()
 		start := time.Now()
 		for i := 0; i < requests; i++ {
 			t0 := time.Now()
-			if _, err := c.Call(payload); err != nil {
+			r, err := c.CallInto(payload, buf[:0])
+			if err != nil {
 				return fmt.Errorf("%s call %d: %w", name, i, err)
 			}
+			buf = r
 			sample.Add(time.Since(t0).Nanoseconds())
 		}
 		elapsed := time.Since(start)
-		fmt.Printf("%-8s %8.0f req/s  %s\n", name,
-			float64(requests)/elapsed.Seconds(), sample.Summarize())
+		fmt.Printf("%-8s %8.0f req/s  %s  %s\n", name,
+			float64(requests)/elapsed.Seconds(), sample.Summarize(), gc.line(requests))
 		return nil
 	}
 

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"runtime"
 	"strings"
 	"time"
 
@@ -77,6 +78,8 @@ func main() {
 	for i, c := range callers {
 		targets[i] = c
 	}
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	rep := mutilate.Run(mutilate.Config{
 		Targets:    targets,
 		RatePerSec: *rate,
@@ -86,9 +89,22 @@ func main() {
 		Check:      check,
 		Seed:       *seed,
 	})
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	allocsPerOp := 0.0
+	if rep.Sent > 0 {
+		allocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rep.Sent)
+	}
 	fmt.Printf("workload=%s offered=%.0f/s achieved=%.0f/s sent=%d completed=%d errors=%d\n",
 		*workload, rep.OfferedRPS, rep.AchievedRPS, rep.Sent, rep.Completed, rep.Errors)
 	fmt.Printf("latency: %s\n", rep.Latencies.Summarize())
+	// GC activity during the run: on an in-process run this covers both
+	// sides of the hot path, so a hot-path allocation regression shows up
+	// here long before it shows up as tail latency.
+	fmt.Printf("gc: numgc=%d pause=%v allocs/op=%.1f\n",
+		msAfter.NumGC-msBefore.NumGC,
+		time.Duration(msAfter.PauseTotalNs-msBefore.PauseTotalNs).Round(time.Microsecond),
+		allocsPerOp)
 
 	if srv != nil {
 		st := srv.Stats()

@@ -1,0 +1,168 @@
+// Hot-path microbenchmarks: the request/reply data path in isolation,
+// reported as ns/op and allocs/op. These are the numbers BENCH_hotpath.json
+// tracks across PRs (`make bench` regenerates the "current" section); the
+// steady-state target is zero allocations per operation on the echo path.
+//
+// The four shapes cover the paths the scheduler distinguishes:
+//
+//   - MemnetEcho: closed-loop round trip over the in-memory transport —
+//     parser, event queue, activation, reply encode, TX sequencer.
+//   - PipelinedV2: open-loop with a deep window of v2 frames on one
+//     connection, the §4.3 pipelining case; reply batches coalesce.
+//   - StealHeavy: all load homed on worker 0 of four, so most activations
+//     are steals and replies travel the remote-syscall path home.
+//   - DetachHeavy: every handler detaches and completes immediately,
+//     exercising the detached-completion path without goroutine overhead.
+package zygos
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func newBenchEchoServer(b *testing.B, cores int) *Server {
+	b.Helper()
+	srv, err := NewServer(Config{
+		Cores:   cores,
+		Handler: func(w ResponseWriter, req *Request) { w.Reply(req.Payload) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// BenchmarkHotPathMemnetEcho measures the closed-loop echo round trip over
+// the in-memory transport with a caller-owned reply buffer (CallInto), the
+// zero-allocation configuration.
+func BenchmarkHotPathMemnetEcho(b *testing.B) {
+	srv := newBenchEchoServer(b, 2)
+	c := srv.NewClient()
+	defer c.Close()
+	payload := []byte("0123456789abcdef")
+	var buf []byte
+	// Warm the pools before measuring.
+	for i := 0; i < 128; i++ {
+		r, err := c.CallInto(payload, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = r
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.CallInto(payload, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = r
+	}
+}
+
+// BenchmarkHotPathPipelinedV2 measures open-loop throughput with a deep
+// pipeline of v2-framed requests on a single connection.
+func BenchmarkHotPathPipelinedV2(b *testing.B) {
+	srv := newBenchEchoServer(b, 2)
+	c := srv.NewClient()
+	defer c.Close()
+	const window = 128
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	var wg sync.WaitGroup
+	cb := func([]byte, error) { wg.Done() }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		if err := c.SendAsync(payload, cb); err != nil {
+			b.Fatal(err)
+		}
+		if i%window == window-1 {
+			wg.Wait()
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkHotPathStealHeavy homes every connection on worker 0 of four,
+// so under pipelined load most activations are steals and their replies
+// ship home through the remote-syscall path.
+func BenchmarkHotPathStealHeavy(b *testing.B) {
+	srv, err := NewServer(Config{
+		Cores: 4,
+		Handler: func(w ResponseWriter, req *Request) {
+			// A short spin makes stealing worthwhile relative to the
+			// scheduling cost, as in the paper's 10µs tasks (scaled down).
+			deadline := time.Now().Add(2 * time.Microsecond)
+			for time.Now().Before(deadline) {
+			}
+			w.Reply(req.Payload)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	var skewed []*Client
+	for len(skewed) < 8 {
+		c := srv.NewClient()
+		if c.Home() == 0 {
+			skewed = append(skewed, c)
+		} else {
+			c.Close()
+		}
+	}
+	defer func() {
+		for _, c := range skewed {
+			c.Close()
+		}
+	}()
+	const window = 64
+	payload := []byte("steal")
+	var wg sync.WaitGroup
+	cb := func([]byte, error) { wg.Done() }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wg.Add(1)
+		if err := skewed[i%len(skewed)].SendAsync(payload, cb); err != nil {
+			b.Fatal(err)
+		}
+		if i%window == window-1 {
+			wg.Wait()
+		}
+	}
+	wg.Wait()
+}
+
+// BenchmarkHotPathDetachHeavy detaches every request and completes it
+// immediately, so each reply travels the detached-completion path (the
+// remote-syscall queue) rather than the synchronous batch.
+func BenchmarkHotPathDetachHeavy(b *testing.B) {
+	srv, err := NewServer(Config{
+		Cores: 2,
+		Handler: func(w ResponseWriter, req *Request) {
+			co := w.Detach()
+			co.Reply(req.Payload)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.NewClient()
+	defer c.Close()
+	payload := []byte("detach")
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.CallInto(payload, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = r
+	}
+}

@@ -1,0 +1,108 @@
+// Package bufpool provides size-classed pools of byte slices for the
+// runtime's hot path. Every per-request buffer — ingress segments, frame
+// encodes, parser blocks, TX batches — cycles through here, so a server
+// in steady state performs no per-request heap allocations.
+//
+// The pools are plain locked freelists rather than sync.Pool: Put must
+// not allocate (boxing a []byte in an interface does), and the freelists
+// are bounded so an idle server does not pin a burst's worth of memory.
+package bufpool
+
+import "sync"
+
+// classes are the pooled capacity classes. Get rounds requests up to the
+// next class; larger requests are allocated exactly and never pooled.
+var classes = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+
+// classBudget bounds each freelist by retained bytes rather than buffer
+// count: a pipelined window keeps hundreds of small buffers in flight at
+// once, and dropping them on Put would turn every window into a fresh
+// allocation burst. Small classes therefore hold many buffers, large
+// classes few; the worst case across all classes is ~20 MB, reached
+// only after traffic actually used that much at once.
+const classBudget = 2 << 20
+
+// maxPerClass and minPerClass clamp the per-class buffer count derived
+// from the byte budget.
+const (
+	maxPerClass = 4096
+	minPerClass = 8
+)
+
+type freelist struct {
+	mu   sync.Mutex
+	bufs [][]byte
+	max  int
+}
+
+var pools = func() (p [len(classes)]freelist) {
+	for i, c := range classes {
+		n := classBudget / c
+		if n < minPerClass {
+			n = minPerClass
+		}
+		if n > maxPerClass {
+			n = maxPerClass
+		}
+		p[i].max = n
+	}
+	return
+}()
+
+// classFor returns the index of the smallest class with capacity >= n,
+// or -1 when n exceeds the largest class.
+func classFor(n int) int {
+	for i, c := range classes {
+		if n <= c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a zero-length slice with capacity at least n. The buffer
+// contents are unspecified beyond length zero.
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	p := &pools[ci]
+	p.mu.Lock()
+	if last := len(p.bufs) - 1; last >= 0 {
+		b := p.bufs[last]
+		p.bufs[last] = nil
+		p.bufs = p.bufs[:last]
+		p.mu.Unlock()
+		return b[:0]
+	}
+	p.mu.Unlock()
+	return make([]byte, 0, classes[ci])
+}
+
+// Put returns a buffer to its capacity class. Buffers smaller than the
+// smallest class or larger than the largest are dropped. Put of a nil
+// slice is a no-op. The caller must not use b afterwards.
+func Put(b []byte) {
+	c := cap(b)
+	if c == 0 {
+		return
+	}
+	// Find the largest class the capacity can serve: a pooled buffer must
+	// satisfy any Get of its class's size.
+	ci := -1
+	for i, cl := range classes {
+		if c >= cl {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return
+	}
+	p := &pools[ci]
+	p.mu.Lock()
+	if len(p.bufs) < p.max {
+		p.bufs = append(p.bufs, b[:0])
+	}
+	p.mu.Unlock()
+}

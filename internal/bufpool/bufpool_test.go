@@ -1,0 +1,72 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGetCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 255, 256, 257, 4096, 1 << 20, 1<<20 + 1, 32 << 20} {
+		b := Get(n)
+		if len(b) != 0 {
+			t.Fatalf("Get(%d): len %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Fatalf("Get(%d): cap %d too small", n, cap(b))
+		}
+		Put(b)
+	}
+}
+
+func TestRecycle(t *testing.T) {
+	b := Get(1000)
+	b = append(b, 1, 2, 3)
+	Put(b)
+	c := Get(900)
+	if cap(c) < 900 {
+		t.Fatalf("recycled cap %d", cap(c))
+	}
+	if len(c) != 0 {
+		t.Fatalf("recycled buffer has len %d", len(c))
+	}
+}
+
+// A pooled buffer must never be handed to a Get that needs more capacity
+// than it has.
+func TestPutSmallerThanClassNeverServesBiggerGet(t *testing.T) {
+	// A 300-cap buffer belongs to the 256 class; a Get(1024) must not
+	// receive it.
+	Put(make([]byte, 0, 300))
+	b := Get(1024)
+	if cap(b) < 1024 {
+		t.Fatalf("Get(1024) got cap %d", cap(b))
+	}
+}
+
+func TestSteadyStateNoAllocs(t *testing.T) {
+	b := Get(512)
+	Put(b)
+	allocs := testing.AllocsPerRun(1000, func() {
+		x := Get(512)
+		Put(x)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Get/Put allocates %.1f/op", allocs)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				b := Get(1 << (8 + i%8))
+				b = append(b, byte(i))
+				Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zygos/internal/bufpool"
 	"zygos/internal/proto"
 )
 
@@ -40,7 +41,9 @@ func (s ConnState) String() string {
 // ReplyWriter is where a connection's framed replies are written. Writes
 // are serialized by the connection's TX sequencer, so implementations
 // need not be concurrency-safe against the runtime's own calls, only
-// against Close.
+// against Close. The frame slice is a reused batch buffer valid only for
+// the duration of the call: implementations that cannot transmit
+// synchronously must copy it before returning.
 type ReplyWriter interface {
 	WriteReply(frame []byte) error
 }
@@ -87,19 +90,24 @@ type Conn struct {
 	// pcb is the per-connection event queue (single producer: the home
 	// kernel step; single consumer: the owning activation), guarded by
 	// pcbMu exactly like the paper's per-PCB spinlock. seqAlloc assigns
-	// completion tokens in parse order under the same lock.
+	// completion tokens in parse order under the same lock. pcbSpare is
+	// the drained slice of the previous activation, swapped back in so
+	// the queue's backing array is reused instead of reallocated.
 	pcbMu    sync.Mutex
 	pcb      []event
+	pcbSpare []event
 	seqAlloc uint64
 
 	// The TX sequencer: replies may complete out of order (stolen
 	// activations, detached handlers), but are transmitted strictly in
 	// token order. txWait holds completed-but-blocked reply frames;
 	// txNext is the next token allowed on the wire. Writes to wr happen
-	// under txMu, which serializes and orders them.
+	// under txMu, which serializes and orders them. txBuf is the reused
+	// per-connection egress scratch all in-order frames coalesce into.
 	txMu   sync.Mutex
 	txNext uint64
 	txWait map[uint64][]byte
+	txBuf  []byte
 
 	// state is guarded by the home worker's shuffle lock.
 	state ConnState
@@ -130,9 +138,15 @@ func (c *Conn) State() ConnState {
 	return c.state
 }
 
+// maxTxRetain bounds the egress scratch a connection keeps between
+// flushes; a burst that grew it larger returns it to the shared pool.
+const maxTxRetain = 64 << 10
+
 // completeBatch resolves a batch of completion tokens and transmits every
-// reply the sequencer now allows, in token order. It is safe to call from
-// any goroutine; txMu orders concurrent resolvers.
+// reply the sequencer now allows, coalesced into a single frame batch in
+// token order. It is safe to call from any goroutine; txMu orders
+// concurrent resolvers. Frame buffers are returned to the pool once
+// their bytes are in the batch.
 func (c *Conn) completeBatch(comps []completion) {
 	if len(comps) == 0 {
 		return
@@ -142,7 +156,10 @@ func (c *Conn) completeBatch(comps []completion) {
 	for _, e := range comps {
 		c.txWait[e.seq] = e.frames
 	}
-	var out []byte
+	if c.txBuf == nil {
+		c.txBuf = bufpool.Get(256)
+	}
+	out := c.txBuf[:0]
 	for {
 		f, ok := c.txWait[c.txNext]
 		if !ok {
@@ -150,10 +167,19 @@ func (c *Conn) completeBatch(comps []completion) {
 		}
 		delete(c.txWait, c.txNext)
 		c.txNext++
-		out = append(out, f...)
+		if f != nil {
+			out = append(out, f...)
+			bufpool.Put(f)
+		}
 	}
 	if len(out) > 0 && !c.closed.Load() {
 		_ = c.wr.WriteReply(out) // teardown races are benign
+	}
+	if cap(out) <= maxTxRetain {
+		c.txBuf = out[:0]
+	} else {
+		bufpool.Put(out)
+		c.txBuf = nil
 	}
 }
 
@@ -215,13 +241,33 @@ func (x *Ctx) Error(code uint8, msg string) error {
 // methods return ErrCompleted.
 func (x *Ctx) Detach() *Completion {
 	x.mu.Lock()
-	if !x.done && !x.detached {
+	if x.done && !x.detached {
+		// Too late to detach: the reply exists and the activation loop
+		// will recycle this Ctx, so the handle must not reference it.
+		x.mu.Unlock()
+		return &completedHandle
+	}
+	if !x.detached {
 		x.detached = true
 		x.worker.rt.detachedN.Add(1)
 		x.worker.rt.detachTotal.Add(1)
 	}
 	x.mu.Unlock()
 	return &Completion{x: x}
+}
+
+// completedHandle is the shared dead Completion returned when Detach is
+// called after the reply was already produced.
+var completedHandle = Completion{}
+
+// Detached reports whether the event has been detached from its
+// activation. The server glue uses it to decide whether per-request
+// state may be recycled when the handler returns.
+func (x *Ctx) Detached() bool {
+	x.mu.Lock()
+	d := x.detached
+	x.mu.Unlock()
+	return d
 }
 
 // Worker returns the index of the worker executing this activation; useful
@@ -243,6 +289,8 @@ func (x *Ctx) Seq() uint64 { return x.ev.seq }
 // TX sequencer: synchronous completions are stashed for the activation
 // loop to batch, detached completions travel through the home worker's
 // remote-syscall queue (or resolve inline once the runtime is closed).
+// The reply frame is encoded into a pooled buffer that the TX sequencer
+// returns to the pool after coalescing it into the egress batch.
 func (x *Ctx) complete(status uint8, payload []byte) error {
 	x.mu.Lock()
 	if x.done {
@@ -268,7 +316,7 @@ func (x *Ctx) complete(status uint8, payload []byte) error {
 			status = proto.StatusInternal
 			payload = []byte(proto.ErrPayloadTooLarge.Error())
 		}
-		frames = proto.AppendMessage(nil, proto.Message{
+		frames = proto.AppendMessage(bufpool.Get(proto.FrameSizeV2(len(payload))), proto.Message{
 			ID:      x.ev.msg.ID,
 			Payload: payload,
 			Status:  status,
@@ -280,6 +328,11 @@ func (x *Ctx) complete(status uint8, payload []byte) error {
 		x.mu.Unlock()
 		return nil
 	}
+	// The frame is encoded (the request payload has been copied into it),
+	// so the detached event's hold on the parse buffer can end here. The
+	// activation loop releases synchronous events itself: their payload
+	// stays valid for the whole handler invocation.
+	x.ev.msg.Release()
 	x.mu.Unlock()
 	x.resolveDetached(frames)
 	return nil
@@ -291,15 +344,17 @@ func (x *Ctx) complete(status uint8, payload []byte) error {
 func (x *Ctx) resolveDetached(frames []byte) {
 	rt := x.worker.rt
 	c := x.conn
-	comp := completion{seq: x.ev.seq, frames: frames}
+	cb := getComps()
+	cb.s = append(cb.s, completion{seq: x.ev.seq, frames: frames})
 	if !rt.running.Load() {
 		// Workers are gone; resolve inline so the completion is not lost.
-		c.completeBatch([]completion{comp})
+		c.completeBatch(cb.s)
+		putComps(cb)
 		rt.detachedN.Add(-1)
 		return
 	}
 	home := rt.workers[c.home]
-	home.pushRemote(remoteOp{conn: c, comps: []completion{comp}})
+	home.pushRemote(remoteOp{conn: c, comps: cb})
 	home.signal()
 	// Decrement only after the op is visible in the remote queue, so
 	// quiescence never observes the completion in neither place.
@@ -320,13 +375,24 @@ func (x *Ctx) resolveDetached(frames []byte) {
 
 // Completion is a detached event's reply handle. It is safe to use from
 // any goroutine; exactly one Reply or Error wins, later calls return
-// ErrCompleted.
+// ErrCompleted. A handle with no context (Detach after the reply was
+// already produced) always returns ErrCompleted.
 type Completion struct {
 	x *Ctx
 }
 
 // Reply completes the detached event with a successful reply.
-func (co *Completion) Reply(payload []byte) error { return co.x.Reply(payload) }
+func (co *Completion) Reply(payload []byte) error {
+	if co.x == nil {
+		return ErrCompleted
+	}
+	return co.x.Reply(payload)
+}
 
 // Error completes the detached event with a wire-level error status.
-func (co *Completion) Error(code uint8, msg string) error { return co.x.Error(code, msg) }
+func (co *Completion) Error(code uint8, msg string) error {
+	if co.x == nil {
+		return ErrCompleted
+	}
+	return co.x.Error(code, msg)
+}

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zygos/internal/bufpool"
 	"zygos/internal/nicsim"
 	"zygos/internal/proto"
 )
@@ -199,18 +200,35 @@ func (rt *Runtime) NewConn(wr ReplyWriter) *Conn {
 }
 
 // Ingress delivers raw stream bytes from a transport reader into the
-// connection's home ingress queue. The bytes are copied, so callers may
-// reuse their read buffer immediately. It blocks when the queue is full
-// (transport backpressure) and returns an error after Close.
+// connection's home ingress queue. The bytes are copied (into a pooled
+// segment buffer), so callers may reuse their read buffer immediately.
+// It blocks when the queue is full (transport backpressure) and returns
+// an error after Close.
 func (rt *Runtime) Ingress(c *Conn, data []byte) error {
+	return rt.IngressOwned(c, append(bufpool.Get(len(data)), data...))
+}
+
+// GetSegment returns a pooled, zero-length buffer with capacity at least
+// n, suitable for handing to IngressOwned. Transport readers use it to
+// read directly into runtime-owned memory, eliminating the ingress copy.
+func (rt *Runtime) GetSegment(n int) []byte { return bufpool.Get(n) }
+
+// IngressOwned is Ingress without the copy: ownership of data (which
+// must come from GetSegment) transfers to the runtime unconditionally —
+// even on error — and the buffer returns to the segment pool once the
+// kernel step has parsed it. It blocks when the home ingress queue is
+// full and returns an error after Close.
+func (rt *Runtime) IngressOwned(c *Conn, data []byte) error {
 	if !rt.running.Load() {
+		bufpool.Put(data)
 		return errors.New("core: runtime is closed")
 	}
 	if c.closed.Load() {
+		bufpool.Put(data)
 		return fmt.Errorf("core: conn %d is closed", c.id)
 	}
 	w := rt.workers[c.home]
-	return w.pushIngress(segment{conn: c, data: append([]byte(nil), data...)})
+	return w.pushIngress(segment{conn: c, data: data})
 }
 
 // CloseConn marks the connection closed. Events already queued are still

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"zygos/internal/bufpool"
 )
 
 // errRuntimeClosed is returned to transport readers blocked on a full
@@ -15,9 +17,30 @@ var errRuntimeClosed = errors.New("core: runtime is closed")
 
 // segment is one chunk of raw stream bytes from a transport reader,
 // queued on the home worker's ingress queue (the software NIC ring).
+// The data buffer is owned by the runtime from enqueue until the kernel
+// step has fed it to the parser, at which point it returns to the pool.
 type segment struct {
 	conn *Conn
 	data []byte
+}
+
+// compsBuf is a pooled batch of completion tokens. Activations and
+// detached resolvers fill one, the TX flush empties it, and it cycles
+// back through the pool.
+type compsBuf struct {
+	s []completion
+}
+
+var compsPool = sync.Pool{New: func() any { return new(compsBuf) }}
+
+func getComps() *compsBuf { return compsPool.Get().(*compsBuf) }
+
+func putComps(cb *compsBuf) {
+	for i := range cb.s {
+		cb.s[i] = completion{}
+	}
+	cb.s = cb.s[:0]
+	compsPool.Put(cb)
 }
 
 // remoteOp is a batch of completion tokens shipped to the home core: the
@@ -27,9 +50,15 @@ type segment struct {
 // their one token.
 type remoteOp struct {
 	conn  *Conn
-	comps []completion
+	comps *compsBuf
 	fin   bool
 }
+
+// ctxPool recycles per-event contexts. Detached contexts are never
+// pooled: their Completion handle may outlive the activation
+// arbitrarily, and a recycled Ctx under a live handle would complete
+// someone else's event.
+var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
 
 // Worker is one scheduling core: ingress queue, shuffle queue, remote
 // syscall queue, and the kernel lock serializing this core's network
@@ -39,33 +68,42 @@ type Worker struct {
 	id int
 
 	// ingress: multi-producer (transport readers), drained by the kernel
-	// step. Bounded; producers block when full.
-	ingressMu   sync.Mutex
-	ingressCond *sync.Cond
-	ingress     []segment
-	ingressN    atomic.Int32
+	// step. Bounded; producers block when full. ingressSpare is the
+	// drained slice of the previous kernel step, swapped back in so the
+	// queue's backing array is reused (it is touched only under
+	// kernelMu).
+	ingressMu    sync.Mutex
+	ingressCond  *sync.Cond
+	ingress      []segment
+	ingressSpare []segment
+	ingressN     atomic.Int32
 
 	// kernelMu serializes this core's kernel step (parse + TX flush).
 	// Idle workers TryLock it to proxy the step — the IPI analogue.
 	kernelMu sync.Mutex
 
 	// remote: completions shipped home by stolen activations and
-	// detached replies.
-	remoteMu sync.Mutex
-	remote   []remoteOp
-	remoteN  atomic.Int32
+	// detached replies. remoteSpare mirrors ingressSpare.
+	remoteMu    sync.Mutex
+	remote      []remoteOp
+	remoteSpare []remoteOp
+	remoteN     atomic.Int32
 
 	// shuffle: ready connections, guarded by shuffleMu (the paper's
-	// per-core spinlock protecting the queue and state transitions).
+	// per-core spinlock protecting the queue and state transitions). The
+	// slice is used as a ring with shufHead as the consume index, so
+	// popping does not slide the backing array out from under appends.
 	shuffleMu sync.Mutex
 	shuffle   []*Conn
+	shufHead  int
 	shuffleN  atomic.Int32
 
-	wake   chan struct{}
-	rng    *rand.Rand
-	order  []int
-	inApp  atomic.Bool  // executing application code (IPI-interruptible)
-	active atomic.Int32 // activations in flight (quiescence accounting)
+	wake      chan struct{}
+	parkTimer *time.Timer
+	rng       *rand.Rand
+	order     []int
+	inApp     atomic.Bool  // executing application code (IPI-interruptible)
+	active    atomic.Int32 // activations in flight (quiescence accounting)
 }
 
 func newWorker(rt *Runtime, id int) *Worker {
@@ -76,6 +114,8 @@ func newWorker(rt *Runtime, id int) *Worker {
 		rng:  rand.New(rand.NewSource(int64(id)*7919 + 1)),
 	}
 	w.ingressCond = sync.NewCond(&w.ingressMu)
+	w.parkTimer = time.NewTimer(time.Hour)
+	w.parkTimer.Stop()
 	return w
 }
 
@@ -139,22 +179,29 @@ func (w *Worker) kernelStep() bool {
 	// connection state machine (§4.5 handler duty 2).
 	w.remoteMu.Lock()
 	ops := w.remote
-	w.remote = nil
+	w.remote = w.remoteSpare
+	w.remoteSpare = nil
 	w.remoteN.Store(0)
 	w.remoteMu.Unlock()
 	for _, op := range ops {
 		did = true
-		op.conn.completeBatch(op.comps)
+		op.conn.completeBatch(op.comps.s)
+		putComps(op.comps)
 		if op.fin {
 			w.finalize(op.conn)
 		}
 	}
+	for i := range ops {
+		ops[i] = remoteOp{}
+	}
+	w.remoteSpare = ops[:0] // kernelMu-protected hand-back
 
 	// Network stack: drain ingress, parse frames, enqueue ready
 	// connections (§4.5 handler duty 1).
 	w.ingressMu.Lock()
 	segs := w.ingress
-	w.ingress = nil
+	w.ingress = w.ingressSpare
+	w.ingressSpare = nil
 	w.ingressN.Store(0)
 	w.ingressCond.Broadcast()
 	w.ingressMu.Unlock()
@@ -163,13 +210,19 @@ func (w *Worker) kernelStep() bool {
 		did = true
 		c := sg.conn
 		c.parser.Feed(sg.data)
+		bufpool.Put(sg.data)
 		events := 0
 		for {
 			m, ok, err := c.parser.Next()
 			if err != nil {
 				// Malformed stream: poison the connection and close its
-				// transport. Events already queued still drain.
+				// transport. Events already queued still drain; the parse
+				// buffer goes back to the pool. The parser's error stays
+				// sticky, so segments still queued behind the malformed one
+				// feed into a dead parser instead of being re-interpreted
+				// from an arbitrary mid-stream offset.
 				c.poison()
+				c.parser.ReleaseBuffer()
 				break
 			}
 			if !ok {
@@ -187,6 +240,10 @@ func (w *Worker) kernelStep() bool {
 			w.markReady(c)
 		}
 	}
+	for i := range segs {
+		segs[i] = segment{}
+	}
+	w.ingressSpare = segs[:0] // kernelMu-protected hand-back
 	return did
 }
 
@@ -197,12 +254,27 @@ func (w *Worker) markReady(c *Conn) {
 	w.shuffleMu.Lock()
 	if c.state == StateIdle {
 		c.state = StateReady
-		w.shuffle = append(w.shuffle, c)
-		w.shuffleN.Add(1)
+		w.pushShuffleLocked(c)
 	}
 	w.shuffleMu.Unlock()
 	w.signal()
 	w.rt.signalOther(w.id)
+}
+
+// pushShuffleLocked appends to the shuffle ring; the caller holds
+// shuffleMu. When the backing array is full but has consumed headroom,
+// it compacts in place instead of growing.
+func (w *Worker) pushShuffleLocked(c *Conn) {
+	if w.shufHead > 0 && len(w.shuffle) == cap(w.shuffle) {
+		n := copy(w.shuffle, w.shuffle[w.shufHead:])
+		for i := n; i < len(w.shuffle); i++ {
+			w.shuffle[i] = nil
+		}
+		w.shuffle = w.shuffle[:n]
+		w.shufHead = 0
+	}
+	w.shuffle = append(w.shuffle, c)
+	w.shuffleN.Add(1)
 }
 
 // finalize advances the Figure 5 state machine after an activation ends:
@@ -216,8 +288,7 @@ func (w *Worker) finalize(c *Conn) {
 	c.pcbMu.Unlock()
 	if pend > 0 {
 		c.state = StateReady
-		w.shuffle = append(w.shuffle, c)
-		w.shuffleN.Add(1)
+		w.pushShuffleLocked(c)
 		w.shuffleMu.Unlock()
 		w.signal()
 		w.rt.signalOther(w.id)
@@ -238,10 +309,14 @@ func (w *Worker) tryPopShuffle() *Conn {
 		return nil
 	}
 	var c *Conn
-	if len(w.shuffle) > 0 {
-		c = w.shuffle[0]
-		w.shuffle[0] = nil
-		w.shuffle = w.shuffle[1:]
+	if w.shufHead < len(w.shuffle) {
+		c = w.shuffle[w.shufHead]
+		w.shuffle[w.shufHead] = nil
+		w.shufHead++
+		if w.shufHead == len(w.shuffle) {
+			w.shuffle = w.shuffle[:0]
+			w.shufHead = 0
+		}
 		w.shuffleN.Add(-1)
 		c.state = StateBusy
 	}
@@ -254,7 +329,9 @@ func (w *Worker) tryPopShuffle() *Conn {
 // carries a completion token; synchronous replies are batched and
 // resolved at activation end (eagerly on the home core, via the remote
 // syscall queue for stolen work), while detached events resolve later
-// through their Completion handles.
+// through their Completion handles. Per-event contexts and the
+// completion batch come from pools; a synchronous event's parse-buffer
+// lease is released here, after its handler has returned.
 func (w *Worker) activate(c *Conn) {
 	w.active.Add(1)
 	defer w.active.Add(-1)
@@ -262,26 +339,31 @@ func (w *Worker) activate(c *Conn) {
 	home := w.rt.workers[c.home]
 	stolen := w != home
 
+	// Take the whole queue, leaving the previously drained backing array
+	// in its place: the two slices ping-pong between producer and
+	// consumer, so steady-state activations allocate nothing.
 	c.pcbMu.Lock()
-	n := len(c.pcb)
-	evs := append([]event(nil), c.pcb[:n]...)
-	c.pcb = c.pcb[n:]
+	evs := c.pcb
+	c.pcb = c.pcbSpare[:0]
+	c.pcbSpare = nil
 	c.pcbMu.Unlock()
 
-	comps := make([]completion, 0, len(evs))
+	cb := getComps()
 	w.inApp.Store(true)
 	for _, ev := range evs {
 		w.rt.events.Add(1)
 		if stolen {
 			w.rt.steals.Add(1)
 		}
-		x := &Ctx{worker: w, conn: c, stolen: stolen, ev: ev}
+		x := ctxPool.Get().(*Ctx)
+		x.worker, x.conn, x.stolen, x.ev = w, c, stolen, ev
+		x.detached, x.done, x.frames = false, false, nil
 		w.rt.handler.Serve(x, c, ev.msg)
 		x.mu.Lock()
 		if x.detached {
-			// The Completion handle owns this token now; it resolves
-			// through the remote-syscall path whenever the application
-			// completes it.
+			// The Completion handle owns this token (and the Ctx) now; it
+			// resolves through the remote-syscall path whenever the
+			// application completes it, releasing the payload lease then.
 			x.mu.Unlock()
 			continue
 		}
@@ -294,19 +376,36 @@ func (w *Worker) activate(c *Conn) {
 		frames := x.frames
 		x.frames = nil
 		x.mu.Unlock()
-		comps = append(comps, completion{seq: ev.seq, frames: frames})
+		cb.s = append(cb.s, completion{seq: ev.seq, frames: frames})
+		// The reply is encoded and the handler has returned: the event's
+		// view into the parse buffer ends here.
+		x.ev.msg.Release()
+		x.worker, x.conn = nil, nil
+		x.ev = event{}
+		ctxPool.Put(x)
 	}
 	w.inApp.Store(false)
 
+	// Hand the drained backing array back for the producer to refill.
+	for i := range evs {
+		evs[i] = event{}
+	}
+	c.pcbMu.Lock()
+	if c.pcbSpare == nil {
+		c.pcbSpare = evs[:0]
+	}
+	c.pcbMu.Unlock()
+
 	if !stolen {
 		// Home execution: eager TX on the home core.
-		c.completeBatch(comps)
+		c.completeBatch(cb.s)
+		putComps(cb)
 		w.finalize(c)
 		return
 	}
 
 	// Stolen execution: ship the batched syscalls home (§4.2 step b).
-	home.pushRemote(remoteOp{conn: c, comps: comps, fin: true})
+	home.pushRemote(remoteOp{conn: c, comps: cb, fin: true})
 	home.signal()
 	if !w.rt.cfg.DisableProxy {
 		w.rt.tryProxy(home)
@@ -339,12 +438,15 @@ func (w *Worker) stealWork() bool {
 }
 
 // pushIngress queues a raw segment, blocking while the queue is full
-// (transport backpressure). It fails once the runtime closes.
+// (transport backpressure). It fails once the runtime closes. Ownership
+// of the segment's buffer passes to the runtime either way: on error it
+// is returned to the pool here.
 func (w *Worker) pushIngress(sg segment) error {
 	w.ingressMu.Lock()
 	for len(w.ingress) >= w.rt.cfg.IngressCap {
 		if !w.rt.running.Load() {
 			w.ingressMu.Unlock()
+			bufpool.Put(sg.data)
 			return errRuntimeClosed
 		}
 		w.ingressCond.Wait()
@@ -378,13 +480,15 @@ func (w *Worker) signal() {
 
 // park sleeps until signalled or until the park interval elapses; the
 // interval bounds how stale an idle worker's view of stealable work can
-// get (the polling idle loop of §5, without burning a host CPU).
+// get (the polling idle loop of §5, without burning a host CPU). The
+// timer is owned by this worker and reused across parks — Go 1.23+
+// timer semantics make the bare Reset/Stop pattern race-free.
 func (w *Worker) park() {
-	timer := time.NewTimer(w.rt.cfg.ParkInterval)
+	w.parkTimer.Reset(w.rt.cfg.ParkInterval)
 	select {
 	case <-w.wake:
-		timer.Stop()
-	case <-timer.C:
+		w.parkTimer.Stop()
+	case <-w.parkTimer.C:
 	}
 }
 

@@ -70,8 +70,11 @@ func (c *ClientConn) ServerConn() *core.Conn { return c.server }
 
 // SendAsync issues a request and invokes cb with the reply payload (or an
 // error) exactly once. Replies carrying a non-OK wire status surface as
-// *proto.StatusError. It is the open-loop primitive the load generator
-// uses.
+// *proto.StatusError. The resp slice is a view into a pooled parse
+// buffer valid only for the duration of the callback; retain a copy. It
+// is the open-loop primitive the load generator uses. The request frame
+// is encoded into a pooled segment handed straight to the runtime — no
+// intermediate copies.
 func (c *ClientConn) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
@@ -82,12 +85,13 @@ func (c *ClientConn) SendAsync(payload []byte, cb func(resp []byte, err error)) 
 		return ErrClosed
 	}
 	c.mu.Unlock()
-	id, err := c.disp.Register(proto.ReplyCallback(cb))
+	id, err := c.disp.Register(cb)
 	if err != nil {
 		return err
 	}
-	frame := proto.AppendFrameV2(nil, proto.Message{ID: id, Payload: payload})
-	return c.rt.Ingress(c.server, frame)
+	frame := proto.AppendFrameV2(c.rt.GetSegment(proto.FrameSizeV2(len(payload))),
+		proto.Message{ID: id, Payload: payload})
+	return c.rt.IngressOwned(c.server, frame)
 }
 
 // SendOneWay issues a fire-and-forget request: the server executes it
@@ -102,24 +106,27 @@ func (c *ClientConn) SendOneWay(payload []byte) error {
 		return ErrClosed
 	}
 	c.mu.Unlock()
-	frame := proto.AppendFrameV2(nil, proto.Message{Flags: proto.FlagOneWay, Payload: payload})
-	return c.rt.Ingress(c.server, frame)
+	frame := proto.AppendFrameV2(c.rt.GetSegment(proto.FrameSizeV2(len(payload))),
+		proto.Message{Flags: proto.FlagOneWay, Payload: payload})
+	return c.rt.IngressOwned(c.server, frame)
 }
 
-// Call issues a request and blocks for its reply.
+// Call issues a request and blocks for its reply. The returned slice is
+// owned by the caller.
 func (c *ClientConn) Call(payload []byte) ([]byte, error) {
-	type result struct {
-		resp []byte
-		err  error
-	}
-	ch := make(chan result, 1)
-	if err := c.SendAsync(payload, func(resp []byte, err error) {
-		ch <- result{resp, err}
-	}); err != nil {
+	return c.CallInto(payload, nil)
+}
+
+// CallInto issues a request, blocks for its reply, and appends the reply
+// payload to buf, returning the extended slice. Passing a reused buffer
+// makes the round trip allocation-free at steady state.
+func (c *ClientConn) CallInto(payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
 		return nil, err
 	}
-	r := <-ch
-	return r.resp, r.err
+	return w.Wait()
 }
 
 // WriteRaw injects raw bytes into the server-side stream, bypassing

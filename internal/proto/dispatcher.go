@@ -11,25 +11,46 @@ var ErrDispatcherClosed = errors.New("proto: dispatcher closed")
 
 // Dispatcher matches response messages to outstanding requests by ID. It
 // is the client-side counterpart of the runtime: transports feed it raw
-// response bytes and it invokes the callback registered for each ID.
-// It is safe for concurrent use.
+// response bytes and it invokes the callback registered for each ID,
+// converting non-OK wire statuses into *StatusError so both client
+// types surface typed errors identically.
+//
+// The resp slice passed to a callback is a view into the dispatcher's
+// pooled parse buffer and is valid only for the duration of the
+// callback; callbacks that retain it must copy. It is safe for
+// concurrent use.
 type Dispatcher struct {
+	// feedMu serializes Feed (and with it the parser and the ready
+	// scratch), so callbacks run without holding mu and the scratch list
+	// is reused without allocation.
+	feedMu sync.Mutex
+	parser Parser
+	ready  []readyReply
+
 	mu      sync.Mutex
-	parser  Parser
-	pending map[uint64]func(Message, error)
+	pending map[uint64]func(resp []byte, err error)
 	nextID  uint64
 	closed  bool
 }
 
-// NewDispatcher returns an empty dispatcher.
-func NewDispatcher() *Dispatcher {
-	return &Dispatcher{pending: make(map[uint64]func(Message, error))}
+// readyReply is one decoded response matched to its callback, staged so
+// the callback can run outside the registry lock.
+type readyReply struct {
+	cb func(resp []byte, err error)
+	m  Message
 }
 
-// Register allocates a request ID and installs cb to receive its response.
-// cb is invoked exactly once: with the response, or with an error if the
-// dispatcher closes first.
-func (d *Dispatcher) Register(cb func(Message, error)) (uint64, error) {
+// NewDispatcher returns an empty dispatcher.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{pending: make(map[uint64]func(resp []byte, err error))}
+}
+
+// Register allocates a request ID and installs cb to receive its
+// response payload. cb is invoked exactly once: with the response (or a
+// *StatusError for non-OK wire statuses), or with an error if the
+// dispatcher closes first. The resp slice is valid only during the
+// callback.
+func (d *Dispatcher) Register(cb func(resp []byte, err error)) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.closed {
@@ -44,13 +65,11 @@ func (d *Dispatcher) Register(cb func(Message, error)) (uint64, error) {
 // Feed parses raw response bytes and dispatches completed messages.
 // Responses with unknown IDs are dropped (late replies after timeout).
 func (d *Dispatcher) Feed(data []byte) error {
-	d.mu.Lock()
+	d.feedMu.Lock()
 	d.parser.Feed(data)
-	var ready []struct {
-		cb func(Message, error)
-		m  Message
-	}
+	ready := d.ready[:0]
 	var err error
+	d.mu.Lock()
 	for {
 		m, ok, perr := d.parser.Next()
 		if perr != nil {
@@ -62,17 +81,25 @@ func (d *Dispatcher) Feed(data []byte) error {
 		}
 		if cb, found := d.pending[m.ID]; found {
 			delete(d.pending, m.ID)
-			ready = append(ready, struct {
-				cb func(Message, error)
-				m  Message
-			}{cb, m})
+			ready = append(ready, readyReply{cb, m})
+		} else {
+			m.Release()
 		}
 	}
 	d.mu.Unlock()
-	// Invoke outside the lock: callbacks may re-enter Register.
-	for _, r := range ready {
-		r.cb(r.m, nil)
+	// Invoke outside the registry lock: callbacks may re-enter Register.
+	for i := range ready {
+		r := &ready[i]
+		if r.m.Status != StatusOK {
+			r.cb(nil, &StatusError{Code: r.m.Status, Msg: string(r.m.Payload)})
+		} else {
+			r.cb(r.m.Payload, nil)
+		}
+		r.m.Release()
+		*r = readyReply{}
 	}
+	d.ready = ready[:0]
+	d.feedMu.Unlock()
 	return err
 }
 
@@ -92,13 +119,13 @@ func (d *Dispatcher) Close() {
 		return
 	}
 	d.closed = true
-	cbs := make([]func(Message, error), 0, len(d.pending))
+	cbs := make([]func(resp []byte, err error), 0, len(d.pending))
 	for id, cb := range d.pending {
 		delete(d.pending, id)
 		cbs = append(cbs, cb)
 	}
 	d.mu.Unlock()
 	for _, cb := range cbs {
-		cb(Message{}, ErrDispatcherClosed)
+		cb(nil, ErrDispatcherClosed)
 	}
 }

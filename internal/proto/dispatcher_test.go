@@ -8,12 +8,13 @@ import (
 
 func TestDispatcherRoundTrip(t *testing.T) {
 	d := NewDispatcher()
-	got := make(chan Message, 1)
-	id, err := d.Register(func(m Message, err error) {
+	got := make(chan string, 1)
+	id, err := d.Register(func(resp []byte, err error) {
 		if err != nil {
 			t.Error(err)
 		}
-		got <- m
+		// resp is only valid during the callback; copy out.
+		got <- string(resp)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -21,12 +22,29 @@ func TestDispatcherRoundTrip(t *testing.T) {
 	if err := d.Feed(AppendFrame(nil, Message{ID: id, Payload: []byte("pong")})); err != nil {
 		t.Fatal(err)
 	}
-	m := <-got
-	if m.ID != id || string(m.Payload) != "pong" {
-		t.Fatalf("got %+v", m)
+	if r := <-got; r != "pong" {
+		t.Fatalf("got %q", r)
 	}
 	if d.Pending() != 0 {
 		t.Fatal("request still pending after dispatch")
+	}
+}
+
+// Non-OK v2 statuses surface as typed *StatusError.
+func TestDispatcherStatusError(t *testing.T) {
+	d := NewDispatcher()
+	got := make(chan error, 1)
+	id, err := d.Register(func(resp []byte, err error) { got <- err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := AppendFrameV2(nil, Message{ID: id, Status: StatusShed, Payload: []byte("busy"), V2: true})
+	if err := d.Feed(frame); err != nil {
+		t.Fatal(err)
+	}
+	var se *StatusError
+	if err := <-got; !errors.As(err, &se) || se.Code != StatusShed || se.Msg != "busy" {
+		t.Fatalf("want StatusShed StatusError, got %v", err)
 	}
 }
 
@@ -44,7 +62,7 @@ func TestDispatcherCloseFailsPending(t *testing.T) {
 	d := NewDispatcher()
 	errCh := make(chan error, 2)
 	for i := 0; i < 2; i++ {
-		if _, err := d.Register(func(_ Message, err error) { errCh <- err }); err != nil {
+		if _, err := d.Register(func(_ []byte, err error) { errCh <- err }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -55,23 +73,23 @@ func TestDispatcherCloseFailsPending(t *testing.T) {
 			t.Fatalf("want ErrDispatcherClosed, got %v", err)
 		}
 	}
-	if _, err := d.Register(func(Message, error) {}); !errors.Is(err, ErrDispatcherClosed) {
+	if _, err := d.Register(func([]byte, error) {}); !errors.Is(err, ErrDispatcherClosed) {
 		t.Fatal("register after close must fail")
 	}
 }
 
 func TestDispatcherPartialFrames(t *testing.T) {
 	d := NewDispatcher()
-	got := make(chan Message, 1)
-	id, _ := d.Register(func(m Message, err error) { got <- m })
+	got := make(chan string, 1)
+	id, _ := d.Register(func(resp []byte, err error) { got <- string(resp) })
 	frame := AppendFrame(nil, Message{ID: id, Payload: []byte("split")})
 	for _, b := range frame {
 		if err := d.Feed([]byte{b}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if m := <-got; string(m.Payload) != "split" {
-		t.Fatalf("got %+v", m)
+	if r := <-got; r != "split" {
+		t.Fatalf("got %q", r)
 	}
 }
 
@@ -89,8 +107,8 @@ func TestDispatcherMalformedStream(t *testing.T) {
 func TestDispatcherReentrantCallback(t *testing.T) {
 	d := NewDispatcher()
 	done := make(chan struct{})
-	id1, _ := d.Register(func(m Message, err error) {
-		if _, err := d.Register(func(Message, error) {}); err != nil {
+	id1, _ := d.Register(func(resp []byte, err error) {
+		if _, err := d.Register(func([]byte, error) {}); err != nil {
 			t.Error(err)
 		}
 		close(done)
@@ -111,7 +129,7 @@ func TestDispatcherConcurrent(t *testing.T) {
 	ids := make(chan uint64, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
-		id, err := d.Register(func(m Message, err error) {
+		id, err := d.Register(func(resp []byte, err error) {
 			if err == nil {
 				wg.Done()
 			}

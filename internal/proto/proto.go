@@ -20,12 +20,26 @@
 // including fragments that split a header or pipeline several back-to-back
 // requests, the case §4.3 of the paper is about — and yields complete
 // messages of either version in order.
+//
+// # Buffer ownership
+//
+// Parsed payloads are views into a pooled, reference-counted parse
+// buffer, not copies. A Message obtained from Parser.Next (or a
+// Dispatcher callback) pins its buffer until Message.Release is called;
+// releasing the last reference returns the buffer to the pool for
+// reuse. Consumers that never Release simply leave the buffer to the
+// garbage collector — correct, just not allocation-free. A payload
+// needed beyond Release must be copied first.
 package proto
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"zygos/internal/bufpool"
 )
 
 // HeaderSize is the fixed v1 frame-header length in bytes.
@@ -123,6 +137,55 @@ type Message struct {
 	// the version AppendMessage encodes. Replies mirror the request's
 	// version so legacy peers never see a v2 header.
 	V2 bool
+
+	// lease pins the parse buffer Payload points into; nil for messages
+	// built by hand (whose payloads the caller owns).
+	lease *parseBuf
+}
+
+// Release returns the payload's backing parse buffer to its pool once
+// every message parsed from it has been released. Payload must not be
+// used afterwards. Release is a no-op on hand-built messages and on the
+// zero Message; call it exactly once per parsed message.
+func (m *Message) Release() {
+	if l := m.lease; l != nil {
+		m.lease = nil
+		l.release()
+	}
+}
+
+// parseBuf is a pooled, reference-counted parse buffer block: the parser
+// holds one reference while it is filling the block, and every Message
+// whose payload views the block holds another.
+type parseBuf struct {
+	data []byte
+	refs atomic.Int32
+}
+
+var parseBufPool = sync.Pool{New: func() any { return new(parseBuf) }}
+
+// newParseBuf returns a block with capacity for at least n bytes and the
+// caller's reference already counted.
+func newParseBuf(n int) *parseBuf {
+	pb := parseBufPool.Get().(*parseBuf)
+	if cap(pb.data) < n {
+		if pb.data != nil {
+			bufpool.Put(pb.data)
+		}
+		pb.data = bufpool.Get(n)
+	}
+	pb.data = pb.data[:0]
+	pb.refs.Store(1)
+	return pb
+}
+
+func (pb *parseBuf) retain() { pb.refs.Add(1) }
+
+func (pb *parseBuf) release() {
+	if pb.refs.Add(-1) == 0 {
+		pb.data = pb.data[:0]
+		parseBufPool.Put(pb)
+	}
 }
 
 // AppendFrame appends the encoded v1 frame for m to buf and returns the
@@ -174,103 +237,174 @@ func FrameSize(n int) int { return HeaderSize + n }
 // bytes.
 func FrameSizeV2(n int) int { return HeaderSizeV2 + n }
 
-// ReplyCallback adapts a payload-level callback to the Message-level
-// callback a Dispatcher invokes, converting non-OK reply statuses into
-// *StatusError. Transports share it so both client types surface typed
-// errors identically.
-func ReplyCallback(cb func(resp []byte, err error)) func(Message, error) {
-	return func(m Message, err error) {
-		if err != nil {
-			cb(nil, err)
-			return
-		}
-		if m.Status != StatusOK {
-			cb(nil, &StatusError{Code: m.Status, Msg: string(m.Payload)})
-			return
-		}
-		cb(m.Payload, nil)
-	}
-}
-
 // Parser incrementally decodes a frame stream carrying any mix of v1 and
 // v2 frames. The zero value is ready to use.
+//
+// Payloads returned by Next are views into the parser's pooled buffer;
+// see the package comment for the ownership rules. The parser never
+// moves or reuses bytes that an unreleased Message can still observe:
+// in-place compaction and reuse happen only while the parser holds the
+// buffer's sole reference, otherwise it migrates to a fresh block and
+// leaves the old one pinned by its messages.
 type Parser struct {
-	buf []byte
-	err error
+	pb    *parseBuf
+	start int // offset of the first unparsed byte in pb.data
+	err   error
 }
 
 // Feed appends stream bytes to the parser. Call Next until it reports no
 // more messages.
 func (p *Parser) Feed(data []byte) {
-	if p.err != nil {
+	if p.err != nil || len(data) == 0 {
 		return
 	}
-	p.buf = append(p.buf, data...)
+	if p.pb == nil {
+		p.pb = newParseBuf(len(data))
+	}
+	pb := p.pb
+	if len(pb.data)+len(data) > cap(pb.data) {
+		unparsed := len(pb.data) - p.start
+		if p.start > 0 && pb.refs.Load() == 1 {
+			// Sole owner: compact the unparsed tail in place. This is the
+			// steady-state path under pipelining — one memmove per buffer
+			// wrap instead of one per consumed frame.
+			copy(pb.data, pb.data[p.start:])
+			pb.data = pb.data[:unparsed]
+			p.start = 0
+		}
+		if len(pb.data)+len(data) > cap(pb.data) {
+			// Still too small (or outstanding payload views forbid moving
+			// bytes): migrate the unparsed tail to a larger block. Old
+			// blocks stay alive exactly as long as their messages do.
+			npb := newParseBuf(unparsed + len(data))
+			npb.data = append(npb.data, pb.data[p.start:]...)
+			p.pb = npb
+			p.start = 0
+			pb.release()
+			pb = npb
+		}
+	}
+	pb.data = append(pb.data, data...)
 }
 
-// Next returns the next complete message, if any. The returned payload is
-// a copy and remains valid after further Feed calls. It returns an error
-// if the stream is malformed.
+// Next returns the next complete message, if any. The returned payload
+// is a view into the parser's pooled buffer and is valid until
+// Message.Release; it returns an error if the stream is malformed.
 func (p *Parser) Next() (Message, bool, error) {
 	if p.err != nil {
 		return Message{}, false, p.err
 	}
-	if len(p.buf) < HeaderSize {
+	if p.buffered() < HeaderSize {
 		return Message{}, false, nil
 	}
-	if p.buf[3] == Magic2 {
-		return p.nextV2()
+	buf := p.pb.data[p.start:]
+	if buf[3] == Magic2 {
+		return p.nextV2(buf)
 	}
-	n := int(binary.LittleEndian.Uint32(p.buf[0:4]))
+	n := int(binary.LittleEndian.Uint32(buf[0:4]))
 	if n > MaxPayload {
 		p.err = fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 		return Message{}, false, p.err
 	}
-	if len(p.buf) < HeaderSize+n {
+	if len(buf) < HeaderSize+n {
 		return Message{}, false, nil
 	}
 	m := Message{
-		ID:      binary.LittleEndian.Uint64(p.buf[4:12]),
-		Payload: append([]byte(nil), p.buf[HeaderSize:HeaderSize+n]...),
+		ID:      binary.LittleEndian.Uint64(buf[4:12]),
+		Payload: p.view(buf, HeaderSize, n),
 	}
-	p.consume(HeaderSize + n)
+	if m.Payload != nil {
+		m.lease = p.pb
+	}
+	p.consume(HeaderSize+n, m.Payload != nil)
 	return m, true, nil
 }
 
 // nextV2 decodes a v2 frame; the caller has verified the magic byte and
-// that at least HeaderSize bytes are buffered.
-func (p *Parser) nextV2() (Message, bool, error) {
-	if len(p.buf) < HeaderSizeV2 {
+// that at least HeaderSize bytes are buffered. buf is pb.data[start:].
+func (p *Parser) nextV2(buf []byte) (Message, bool, error) {
+	if len(buf) < HeaderSizeV2 {
 		return Message{}, false, nil
 	}
-	n := int(p.buf[0]) | int(p.buf[1])<<8 | int(p.buf[2])<<16
-	if len(p.buf) < HeaderSizeV2+n {
+	n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16
+	if len(buf) < HeaderSizeV2+n {
 		return Message{}, false, nil
 	}
 	m := Message{
-		Flags:   p.buf[4],
-		Status:  p.buf[5],
-		ID:      binary.LittleEndian.Uint64(p.buf[6:14]),
-		Payload: append([]byte(nil), p.buf[HeaderSizeV2:HeaderSizeV2+n]...),
+		Flags:   buf[4],
+		Status:  buf[5],
+		ID:      binary.LittleEndian.Uint64(buf[6:14]),
+		Payload: p.view(buf, HeaderSizeV2, n),
 		V2:      true,
 	}
-	p.consume(HeaderSizeV2 + n)
+	if m.Payload != nil {
+		m.lease = p.pb
+	}
+	p.consume(HeaderSizeV2+n, m.Payload != nil)
 	return m, true, nil
 }
 
-// consume shifts n consumed bytes out. Copy-down keeps the buffer from
-// growing without bound under pipelining.
-func (p *Parser) consume(n int) {
-	rest := len(p.buf) - n
-	copy(p.buf, p.buf[n:])
-	p.buf = p.buf[:rest]
+// view returns the n-byte payload at offset off of buf as a
+// capacity-clamped slice so appends by the consumer can never scribble
+// over neighbouring frames. Empty payloads take no buffer reference.
+func (p *Parser) view(buf []byte, off, n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	return buf[off : off+n : off+n]
+}
+
+// consume advances past one decoded frame of total size n; leased
+// records whether the yielded message took a payload view (and must be
+// handed a reference with it).
+func (p *Parser) consume(n int, leased bool) {
+	if leased {
+		p.pb.retain()
+	}
+	p.start += n
+	if p.start == len(p.pb.data) {
+		// Fully parsed. If no payload views are outstanding, rewind the
+		// block in place; otherwise drop our reference and start fresh on
+		// the next Feed — the block returns to the pool when its last
+		// message releases it.
+		if p.pb.refs.Load() == 1 {
+			p.pb.data = p.pb.data[:0]
+		} else {
+			p.pb.release()
+			p.pb = nil
+		}
+		p.start = 0
+	}
+}
+
+// buffered is Buffered without the nil check indirection.
+func (p *Parser) buffered() int {
+	if p.pb == nil {
+		return 0
+	}
+	return len(p.pb.data) - p.start
 }
 
 // Buffered reports how many undecoded bytes the parser is holding.
-func (p *Parser) Buffered() int { return len(p.buf) }
+func (p *Parser) Buffered() int { return p.buffered() }
 
-// Reset discards buffered bytes and any sticky error.
+// ReleaseBuffer discards buffered bytes and drops the parser's hold on
+// its pooled block (outstanding payload views keep it alive), while
+// preserving any sticky parse error. A poisoned connection uses it to
+// give its memory back without reopening the stream: keeping the error
+// sticky means bytes queued behind a malformed frame are never
+// re-parsed from an arbitrary mid-stream offset.
+func (p *Parser) ReleaseBuffer() {
+	if p.pb != nil {
+		p.pb.release()
+		p.pb = nil
+	}
+	p.start = 0
+}
+
+// Reset discards buffered bytes and any sticky error, returning the
+// parse buffer to its pool if no payload views are outstanding.
 func (p *Parser) Reset() {
-	p.buf = p.buf[:0]
+	p.ReleaseBuffer()
 	p.err = nil
 }

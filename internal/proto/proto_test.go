@@ -169,11 +169,14 @@ func TestRandomSplitRoundTrip(t *testing.T) {
 func BenchmarkParse(b *testing.B) {
 	frame := AppendFrame(nil, Message{ID: 1, Payload: make([]byte, 64)})
 	var p Parser
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Feed(frame)
-		if _, ok, _ := p.Next(); !ok {
+		m, ok, _ := p.Next()
+		if !ok {
 			b.Fatal("missing message")
 		}
+		m.Release()
 	}
 }

@@ -118,29 +118,6 @@ func TestStatusErrorAndText(t *testing.T) {
 	}
 }
 
-func TestReplyCallback(t *testing.T) {
-	var gotPayload []byte
-	var gotErr error
-	cb := ReplyCallback(func(resp []byte, err error) { gotPayload, gotErr = resp, err })
-
-	cb(Message{Payload: []byte("ok")}, nil)
-	if gotErr != nil || string(gotPayload) != "ok" {
-		t.Fatalf("ok reply mangled: %q %v", gotPayload, gotErr)
-	}
-
-	cb(Message{Status: StatusAppError, Payload: []byte("boom")}, nil)
-	var se *StatusError
-	if !errors.As(gotErr, &se) || se.Code != StatusAppError || se.Msg != "boom" {
-		t.Fatalf("error reply not converted: %v", gotErr)
-	}
-
-	sentinel := errors.New("transport down")
-	cb(Message{}, sentinel)
-	if !errors.Is(gotErr, sentinel) {
-		t.Fatalf("transport error not passed through: %v", gotErr)
-	}
-}
-
 // Property: mixed-version streams fed in arbitrary chunk sizes decode
 // identically (the v2 analogue of TestRandomSplitRoundTrip).
 func TestV2RandomSplitRoundTrip(t *testing.T) {

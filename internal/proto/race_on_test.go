@@ -1,0 +1,8 @@
+//go:build race
+
+package proto
+
+// raceEnabled reports whether the race detector is active; allocation
+// accounting tests skip under it (instrumentation allocates, and
+// sync.Pool deliberately drops Puts in race mode).
+const raceEnabled = true

@@ -1,0 +1,67 @@
+package proto
+
+import "sync"
+
+// waitResult carries one reply from the dispatcher callback to the
+// blocked caller.
+type waitResult struct {
+	resp []byte
+	err  error
+}
+
+// Waiter is a pooled rendezvous for blocking calls built on an async
+// SendAsync primitive: it owns a reusable one-slot channel and a
+// pre-bound callback, so a closed-loop Call/CallInto round trip performs
+// no allocations at steady state.
+//
+// Usage: w := GetWaiter(buf); pass w.Callback() to SendAsync; if the
+// send failed call w.Abandon(), otherwise return w.Wait().
+type Waiter struct {
+	ch  chan waitResult
+	buf []byte
+	cb  func(resp []byte, err error)
+}
+
+var waiterPool = sync.Pool{New: func() any {
+	w := &Waiter{ch: make(chan waitResult, 1)}
+	// Bind the method value once; reusing it across calls keeps the
+	// callback allocation out of the hot path.
+	w.cb = w.deliver
+	return w
+}}
+
+// GetWaiter returns a waiter that will append the reply payload to buf
+// (which may be nil to allocate a fresh reply slice).
+func GetWaiter(buf []byte) *Waiter {
+	w := waiterPool.Get().(*Waiter)
+	w.buf = buf
+	return w
+}
+
+// Callback returns the function to hand to SendAsync. It copies the
+// reply out of the transport's parse buffer, so the reply outlives the
+// callback scope.
+func (w *Waiter) Callback() func(resp []byte, err error) { return w.cb }
+
+func (w *Waiter) deliver(resp []byte, err error) {
+	if err != nil {
+		w.ch <- waitResult{nil, err}
+		return
+	}
+	w.ch <- waitResult{append(w.buf, resp...), nil}
+}
+
+// Wait blocks for the reply and returns the waiter to the pool.
+func (w *Waiter) Wait() ([]byte, error) {
+	r := <-w.ch
+	w.buf = nil
+	waiterPool.Put(w)
+	return r.resp, r.err
+}
+
+// Abandon discards a waiter whose callback may still fire (the send
+// failed after registration). The waiter is intentionally NOT pooled: a
+// late callback must land in this instance, not in a recycled one.
+func (w *Waiter) Abandon() {
+	w.buf = nil
+}

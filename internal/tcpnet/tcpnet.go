@@ -2,11 +2,18 @@
 // standard library: an accept loop registers each connection with the
 // runtime (RSS hashing picks its home worker), a per-connection reader
 // goroutine feeds raw stream bytes into the ingress path, and replies are
-// written back by the runtime's home-core TX path.
+// written back by the runtime's home-core TX path through a batching
+// egress writer.
 //
 // The Go net poller stands in for the NIC driver here; what the package
 // preserves from the paper is everything above it — flow-consistent home
-// assignment, the shuffle layer, stealing, and ordered replies.
+// assignment, the shuffle layer, stealing, and ordered replies. Two
+// batching layers keep syscall counts down: the runtime coalesces every
+// in-order completion into one reply batch, and the per-connection
+// egress writer aggregates batches that complete while a previous write
+// syscall is still in flight (a writev-style gather), preserving the
+// per-connection ordering guarantee because a single flusher drains the
+// pending buffer in append order.
 package tcpnet
 
 import (
@@ -16,12 +23,24 @@ import (
 	"sync"
 	"time"
 
+	"zygos/internal/bufpool"
 	"zygos/internal/core"
 	"zygos/internal/proto"
 )
 
-// readBufSize is the per-connection read buffer handed to the kernel.
+// readBufSize is the per-connection read buffer leased from the segment
+// pool and handed to the kernel.
 const readBufSize = 64 << 10
+
+// readHandoffSize is the read size at which the reader hands its whole
+// buffer to the runtime zero-copy instead of copying into a right-sized
+// pooled segment; below it the copy is cheaper than churning another
+// readBufSize lease through the pool.
+const readHandoffSize = 8 << 10
+
+// closeDrainTimeout bounds how long Server.Close waits for egress
+// writers to drain pending replies before severing their sockets.
+const closeDrainTimeout = 500 * time.Millisecond
 
 // Server accepts TCP connections and feeds them to a runtime.
 type Server struct {
@@ -29,14 +48,14 @@ type Server struct {
 
 	mu     sync.Mutex
 	lis    net.Listener
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*connWriter
 	closed bool
 	wg     sync.WaitGroup
 }
 
 // NewServer binds a server to a runtime.
 func NewServer(rt *core.Runtime) *Server {
-	return &Server{rt: rt, conns: make(map[net.Conn]struct{})}
+	return &Server{rt: rt, conns: make(map[net.Conn]*connWriter)}
 }
 
 // Serve accepts connections on l until l is closed or Close is called.
@@ -60,14 +79,17 @@ func (s *Server) Serve(l net.Listener) error {
 			nc.Close()
 			return net.ErrClosed
 		}
-		s.conns[nc] = struct{}{}
+		w := newConnWriter(nc)
+		s.conns[nc] = w
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.handle(nc)
+		go s.handle(nc, w)
 	}
 }
 
-// Close stops accepting, closes all connections and waits for readers.
+// Close stops accepting, drains egress writers briefly so already
+// completed replies reach the wire, then closes all connections and
+// waits for readers.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -78,31 +100,66 @@ func (s *Server) Close() {
 	if s.lis != nil {
 		s.lis.Close()
 	}
-	for nc := range s.conns {
-		nc.Close()
+	writers := make([]*connWriter, 0, len(s.conns))
+	for _, w := range s.conns {
+		writers = append(writers, w)
+	}
+	s.mu.Unlock()
+	deadline := time.Now().Add(closeDrainTimeout)
+	for _, w := range writers {
+		w.drain(deadline)
+	}
+	s.mu.Lock()
+	for _, w := range s.conns {
+		w.close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 }
 
-func (s *Server) handle(nc net.Conn) {
+func (s *Server) handle(nc net.Conn, w *connWriter) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, nc)
 		s.mu.Unlock()
-		nc.Close()
+		// Let in-flight replies reach the wire before severing the
+		// socket; a dead peer fails the pending write promptly.
+		w.drain(time.Now().Add(closeDrainTimeout))
+		w.close()
 	}()
 	if tc, ok := nc.(*net.TCPConn); ok {
 		// Microsecond-scale RPC cannot afford Nagle delays.
 		_ = tc.SetNoDelay(true)
 	}
-	conn := s.rt.NewConn(&connWriter{nc: nc})
+	conn := s.rt.NewConn(w)
 	defer s.rt.CloseConn(conn)
-	buf := make([]byte, readBufSize)
+	// The connection leases one large read buffer and keeps reusing it:
+	// small reads (the common case at microsecond RPC sizes) are copied
+	// into a right-sized pooled segment, while a read big enough to be
+	// worth a zero-copy handoff transfers the whole buffer's ownership to
+	// the runtime and the next iteration leases a fresh one. This keeps
+	// per-connection memory at one buffer regardless of connection count
+	// instead of churning 64KB leases through the pool on every read.
+	var buf []byte
+	defer func() {
+		if buf != nil {
+			bufpool.Put(buf)
+		}
+	}()
 	for {
+		if buf == nil {
+			buf = s.rt.GetSegment(readBufSize)
+			buf = buf[:cap(buf)]
+		}
 		n, err := nc.Read(buf)
-		if n > 0 {
+		if n >= readHandoffSize {
+			if ierr := s.rt.IngressOwned(conn, buf[:n]); ierr != nil {
+				buf = nil
+				return
+			}
+			buf = nil
+		} else if n > 0 {
 			if ierr := s.rt.Ingress(conn, buf[:n]); ierr != nil {
 				return
 			}
@@ -113,27 +170,143 @@ func (s *Server) handle(nc net.Conn) {
 	}
 }
 
-// connWriter serializes reply writes onto the socket. The runtime already
-// orders reply batches per connection; the mutex only guards against
-// teardown races.
+// connWriter is the per-connection batching egress path. WriteReply
+// appends the (runtime-owned, call-scoped) frame batch to a pending
+// buffer and returns; a dedicated flusher goroutine gathers everything
+// appended while its previous write syscall was in flight into the next
+// write. All state, including teardown, is guarded by one mutex — the
+// socket is never closed while a writer holds the lock.
 type connWriter struct {
-	mu sync.Mutex
-	nc net.Conn
+	mu      sync.Mutex
+	cond    *sync.Cond
+	nc      net.Conn
+	pending []byte
+	spare   []byte
+	writing bool // flusher is inside nc.Write
+	closed  bool
+	err     error
 }
 
-// WriteReply implements core.ReplyWriter.
+// maxPendingEgress is the high-water mark on staged reply bytes per
+// connection. A peer that pipelines requests but stalls its read side
+// would otherwise grow pending without bound; at the mark, WriteReply
+// blocks until the flusher makes progress — the same backpressure a
+// synchronous socket write used to provide, now engaged only when the
+// socket is actually backed up.
+const maxPendingEgress = 4 << 20
+
+func newConnWriter(nc net.Conn) *connWriter {
+	w := &connWriter{nc: nc}
+	w.cond = sync.NewCond(&w.mu)
+	go w.flushLoop()
+	return w
+}
+
+// WriteReply implements core.ReplyWriter: it stages the batch for the
+// flusher and returns without blocking on the socket — unless the peer
+// has let maxPendingEgress bytes pile up, in which case it blocks for
+// flusher progress (transport backpressure).
 func (w *connWriter) WriteReply(frame []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	_, err := w.nc.Write(frame)
-	return err
+	for len(w.pending) >= maxPendingEgress && !w.closed && w.err == nil {
+		w.cond.Wait()
+	}
+	if w.closed {
+		return net.ErrClosed
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if w.pending == nil {
+		w.pending = bufpool.Get(len(frame))
+	}
+	w.pending = append(w.pending, frame...)
+	w.cond.Signal()
+	return nil
+}
+
+// flushLoop is the single drainer: it swaps the pending buffer for the
+// spare, writes the batch outside the lock, and repeats. Append order is
+// write order, so the runtime's per-connection reply ordering survives.
+func (w *connWriter) flushLoop() {
+	w.mu.Lock()
+	for {
+		for len(w.pending) == 0 && !w.closed && w.err == nil {
+			w.cond.Wait()
+		}
+		if w.closed || w.err != nil {
+			w.releaseBuffersLocked()
+			w.mu.Unlock()
+			return
+		}
+		buf := w.pending
+		w.pending = w.spare
+		w.spare = nil
+		w.writing = true
+		// The staging buffer just emptied; writers blocked at the
+		// high-water mark can refill it while the syscall is in flight.
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		_, err := w.nc.Write(buf)
+		w.mu.Lock()
+		w.writing = false
+		w.spare = buf[:0]
+		if err != nil {
+			w.err = err
+		}
+		// Wake anyone draining: the staged bytes reached the socket (or
+		// the writer died and never will).
+		w.cond.Broadcast()
+	}
+}
+
+// releaseBuffersLocked returns the scratch buffers to the pool; the
+// caller holds mu and the flusher is exiting.
+func (w *connWriter) releaseBuffersLocked() {
+	bufpool.Put(w.pending)
+	bufpool.Put(w.spare)
+	w.pending, w.spare = nil, nil
+}
+
+// drain waits until staged replies have reached the socket, the writer
+// has failed, or the deadline passes. The timeout is a flag flipped
+// under the mutex before the broadcast, so the wakeup cannot be lost in
+// the window before Wait parks.
+func (w *connWriter) drain(deadline time.Time) {
+	timedOut := false
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		w.mu.Lock()
+		timedOut = true
+		w.mu.Unlock()
+		w.cond.Broadcast()
+	})
+	defer timer.Stop()
+	w.mu.Lock()
+	for (len(w.pending) > 0 || w.writing) && !w.closed && w.err == nil && !timedOut {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// close tears the writer down and closes the socket under the same
+// mutex every writer takes, so teardown cannot race a write.
+func (w *connWriter) close() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		w.nc.Close()
+		w.cond.Broadcast()
+	}
+	w.mu.Unlock()
 }
 
 // CloseTransport implements core.TransportCloser: a peer whose stream is
-// malformed is disconnected — its reader unblocks, the connection is torn
-// down, and no other connection is affected.
+// malformed is disconnected immediately — its reader unblocks, the
+// connection is torn down, and no other connection is affected. Pending
+// output is dropped; the peer is hostile by definition here.
 func (w *connWriter) CloseTransport() {
-	w.nc.Close()
+	w.close()
 }
 
 // Client is a TCP RPC client speaking the proto framing. It supports
@@ -179,17 +352,22 @@ func (c *Client) readLoop() {
 
 // SendAsync issues a request; cb runs exactly once with the reply or an
 // error. Replies carrying a non-OK wire status surface as
-// *proto.StatusError. The write is flushed immediately (open-loop latency
-// measurement cannot tolerate client-side batching).
+// *proto.StatusError. The resp slice is valid only for the duration of
+// the callback; retain a copy. The write is flushed immediately
+// (open-loop latency measurement cannot tolerate client-side batching).
 func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
 	}
-	id, err := c.disp.Register(proto.ReplyCallback(cb))
+	id, err := c.disp.Register(cb)
 	if err != nil {
 		return err
 	}
-	return c.write(proto.AppendFrameV2(nil, proto.Message{ID: id, Payload: payload}))
+	frame := proto.AppendFrameV2(bufpool.Get(proto.FrameSizeV2(len(payload))),
+		proto.Message{ID: id, Payload: payload})
+	err = c.write(frame)
+	bufpool.Put(frame)
+	return err
 }
 
 // SendOneWay issues a fire-and-forget request: the server executes it
@@ -198,7 +376,11 @@ func (c *Client) SendOneWay(payload []byte) error {
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
 	}
-	return c.write(proto.AppendFrameV2(nil, proto.Message{Flags: proto.FlagOneWay, Payload: payload}))
+	frame := proto.AppendFrameV2(bufpool.Get(proto.FrameSizeV2(len(payload))),
+		proto.Message{Flags: proto.FlagOneWay, Payload: payload})
+	err := c.write(frame)
+	bufpool.Put(frame)
+	return err
 }
 
 func (c *Client) write(frame []byte) error {
@@ -213,20 +395,23 @@ func (c *Client) write(frame []byte) error {
 	return c.wr.Flush()
 }
 
-// Call issues a request and blocks for the reply.
+// Call issues a request and blocks for the reply. The returned slice is
+// owned by the caller.
 func (c *Client) Call(payload []byte) ([]byte, error) {
-	type result struct {
-		resp []byte
-		err  error
-	}
-	ch := make(chan result, 1)
-	if err := c.SendAsync(payload, func(resp []byte, err error) {
-		ch <- result{resp, err}
-	}); err != nil {
+	return c.CallInto(payload, nil)
+}
+
+// CallInto issues a request, blocks for its reply, and appends the reply
+// payload to buf, returning the extended slice. Passing a reused buffer
+// makes the client side of the round trip allocation-free at steady
+// state.
+func (c *Client) CallInto(payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
 		return nil, err
 	}
-	r := <-ch
-	return r.resp, r.err
+	return w.Wait()
 }
 
 // Close shuts the connection down; outstanding calls fail.

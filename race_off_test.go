@@ -1,0 +1,8 @@
+//go:build !race
+
+package zygos
+
+// raceEnabled reports whether the race detector is active; allocation
+// guards skip under it (instrumentation allocates, and sync.Pool
+// deliberately drops Puts in race mode).
+const raceEnabled = false

@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into the BENCH_hotpath.json trajectory file. It updates one section
+// (-label, default "current") and preserves the rest, so the committed
+// baseline survives regeneration:
+//
+//	go test -run '^$' -bench BenchmarkHotPath -benchmem . | go run ./scripts/benchjson -out BENCH_hotpath.json
+//
+// The first run against a missing file also seeds the "baseline"
+// section, bootstrapping the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op"`
+	AllocsPerOp float64 `json:"allocs_op"`
+	Iterations  int64   `json:"n"`
+}
+
+// Section is one labelled snapshot of the benchmark suite.
+type Section struct {
+	Label      string            `json:"label,omitempty"`
+	Date       string            `json:"date"`
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "trajectory file to update")
+	label := flag.String("label", "current", "section to replace (baseline|current|smoke|...)")
+	note := flag.String("note", "", "free-form note stored in the section")
+	flag.Parse()
+
+	benches := parse(os.Stdin)
+	if len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no Benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := map[string]*Section{}
+	if data, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not a trajectory file: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+	sec := &Section{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Note:       *note,
+		Benchmarks: benches,
+	}
+	doc[*label] = sec
+	if doc["baseline"] == nil && *label == "current" {
+		// Bootstrap the baseline only from a real measurement pass, never
+		// from a 1x smoke section, and mark how it came to be.
+		doc["baseline"] = &Section{
+			Label:      "baseline",
+			Date:       sec.Date,
+			Note:       strings.TrimSpace("bootstrapped from first `make bench` run. " + *note),
+			Benchmarks: benches,
+		}
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s section %q\n", len(benches), *out, *label)
+}
+
+// parse extracts Benchmark lines of the form
+//
+//	BenchmarkName-8   12345   987.6 ns/op   12 B/op   3 allocs/op
+//
+// from r. Missing -benchmem columns simply leave zeros.
+func parse(r *os.File) map[string]Result {
+	benches := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo the raw line so piping through benchjson still shows the run.
+		fmt.Println(line)
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 {
+			continue
+		}
+		name := strings.SplitN(f[0], "-", 2)[0]
+		n, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Iterations: n}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		benches[name] = res
+	}
+	return benches
+}

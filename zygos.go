@@ -90,6 +90,12 @@ func StatusText(code uint8) string { return proto.StatusText(code) }
 
 // Request is one incoming RPC delivered to a Handler. Middleware may
 // annotate it; the pointer is shared down the chain.
+//
+// Ownership: the Request and its Payload are valid for the duration of
+// the handler invocation — Payload is a view into a pooled parse buffer
+// and the Request itself is recycled when the handler returns. A handler
+// that called Detach keeps both until it completes the reply through the
+// Completion; anything retained beyond that must be copied first.
 type Request struct {
 	// ID is the client-assigned request identifier echoed on the reply.
 	ID uint64
@@ -247,7 +253,8 @@ func NewServer(cfg Config) (*Server, error) {
 	rt, err := core.New(core.Config{
 		Cores: cfg.Cores,
 		Handler: core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
-			req := &Request{
+			req := reqPool.Get().(*Request)
+			*req = Request{
 				ID:         m.ID,
 				Payload:    m.Payload,
 				Conn:       c.ID(),
@@ -259,6 +266,13 @@ func NewServer(cfg Config) (*Server, error) {
 			}
 			h := s.handler.Load().(Handler)
 			h(coreWriter{ctx}, req)
+			if !ctx.Detached() {
+				// The handler is done with the request (detached handlers
+				// keep it until their Completion resolves and are left to
+				// the garbage collector).
+				*req = Request{}
+				reqPool.Put(req)
+			}
 		}),
 		DisableStealing: cfg.Partitioned,
 		DisableProxy:    cfg.NoInterrupts,
@@ -288,6 +302,11 @@ func (s *Server) Use(mws ...Middleware) {
 	}
 	s.handler.Store(h)
 }
+
+// reqPool recycles Request objects across handler invocations; detached
+// requests are excluded since their handler goroutine may hold them
+// arbitrarily long.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
 
 // coreWriter adapts the runtime's per-event Ctx to the public
 // ResponseWriter.
@@ -345,10 +364,17 @@ func (s *Server) Close() {
 // benchmarks program against Caller so one code path drives either.
 type Caller interface {
 	// Call issues a request and blocks for its reply. Non-OK reply
-	// statuses surface as *StatusError.
+	// statuses surface as *StatusError. The returned slice is owned by
+	// the caller.
 	Call(payload []byte) ([]byte, error)
+	// CallInto is Call with a caller-owned reply buffer: the reply
+	// payload is appended to buf and the extended slice returned.
+	// Reusing the returned buffer makes closed-loop calling
+	// allocation-free at steady state.
+	CallInto(payload, buf []byte) ([]byte, error)
 	// SendAsync issues a request; cb runs exactly once with the reply
-	// payload or an error. This is the open-loop primitive.
+	// payload or an error. The resp slice is valid only for the duration
+	// of the callback. This is the open-loop primitive.
 	SendAsync(payload []byte, cb func(resp []byte, err error)) error
 	// Close tears down the connection; outstanding calls fail.
 	Close()
@@ -367,6 +393,12 @@ type Client struct {
 
 // Call issues a request and blocks for its reply.
 func (c *Client) Call(payload []byte) ([]byte, error) { return c.cc.Call(payload) }
+
+// CallInto issues a request, blocks for its reply, and appends the reply
+// payload to buf, returning the extended slice. Reusing the returned
+// buffer across calls makes the round trip allocation-free at steady
+// state.
+func (c *Client) CallInto(payload, buf []byte) ([]byte, error) { return c.cc.CallInto(payload, buf) }
 
 // Home returns the index of the worker this connection is homed on (its
 // RSS queue). Useful for locality-aware sharding and for constructing
@@ -403,6 +435,14 @@ type TCPClient struct {
 
 // Call issues a request and blocks for its reply.
 func (c *TCPClient) Call(payload []byte) ([]byte, error) { return c.tc.Call(payload) }
+
+// CallInto issues a request, blocks for its reply, and appends the reply
+// payload to buf, returning the extended slice. Reusing the returned
+// buffer across calls makes the client side allocation-free at steady
+// state.
+func (c *TCPClient) CallInto(payload, buf []byte) ([]byte, error) {
+	return c.tc.CallInto(payload, buf)
+}
 
 // SendAsync issues a request; cb runs exactly once with the reply or an
 // error.
