@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test vet bench bench-smoke
+.PHONY: all build test vet bench bench-sched bench-smoke bench-gate
 
 all: build test
 
@@ -22,13 +22,31 @@ vet:
 
 # Hot-path benchmark trajectory: run the BenchmarkHotPath* suite and
 # update the "current" section of BENCH_hotpath.json (the committed
-# "baseline" section is preserved for comparison).
-bench:
+# "baseline" section is preserved for comparison), then do the same for
+# the scheduler-scaling suite in BENCH_sched.json.
+bench: bench-sched
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label current
 
-# One iteration of every benchmark, as a compile-and-run smoke check,
-# plus a 1x hot-path pass recorded in the "smoke" section of
-# BENCH_hotpath.json (uploaded as a CI artifact).
+# Scheduler-scaling trajectory: BenchmarkSchedScale{1,2,4,8} plus the
+# wake-latency probe, recorded to BENCH_sched.json.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'BenchmarkSched' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_sched.json -label current
+
+# One iteration of every benchmark as a compile-and-run smoke check,
+# then 1x hot-path+sched passes at GOMAXPROCS=1 and GOMAXPROCS=4
+# recorded as separate sections, so a scaling regression is visible in
+# the CI artifact even when the single-core column looks healthy.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
-	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label smoke -note "1x smoke pass, not a performance measurement"
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'BenchmarkHotPath|BenchmarkSched' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label smoke-p1 -note "1x smoke pass at GOMAXPROCS=1, not a performance measurement"
+	GOMAXPROCS=4 $(GO) test -run '^$$' -bench 'BenchmarkHotPath|BenchmarkSched' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label smoke-p4 -note "1x smoke pass at GOMAXPROCS=4, not a performance measurement"
+
+# Regression gate: re-measure the hot-path suite and fail if any
+# benchmark's ns/op regressed more than the threshold against the
+# committed reference section ("current", falling back to "baseline").
+# The default threshold is generous because CI machines differ from the
+# machine that recorded the reference; tune GATE_PCT down for a quiet
+# local box.
+GATE_PCT ?= 150
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -gate $(GATE_PCT)

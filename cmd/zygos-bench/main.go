@@ -154,7 +154,8 @@ func runLive(requests, cores int) error {
 		return err
 	}
 	st := srv.Stats()
-	fmt.Printf("server: events=%d steals=%d proxies=%d  latency %v\n",
-		st.Events, st.Steals, st.Proxies, st.Latency)
+	fmt.Printf("server: events=%d steals=%d (%.1f%%) proxies=%d (%.1f%%) parks=%d wakes=%d  latency %v\n",
+		st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.ProxyFraction()*100,
+		st.Parks, st.Wakes, st.Latency)
 	return nil
 }

@@ -94,8 +94,9 @@ func main() {
 		log.Printf("flush: in-flight requests still pending after %v", *flushWait)
 	}
 	st := srv.Stats()
-	log.Printf("final stats: events=%d steals=%d (%.1f%%) proxies=%d conns=%d detached=%d shed=%d",
-		st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.Conns, st.Detached, st.Shed)
+	log.Printf("final stats: events=%d steals=%d (%.1f%%) proxies=%d (%.1f%%) parks=%d wakes=%d conns=%d detached=%d shed=%d",
+		st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.ProxyFraction()*100,
+		st.Parks, st.Wakes, st.Conns, st.Detached, st.Shed)
 	if st.Latency.Count > 0 {
 		log.Printf("final latency: %v", st.Latency)
 		log.Printf("final queue delay: %v", st.QueueDelay)

@@ -10,6 +10,26 @@ package bufpool
 
 import "sync"
 
+// Outstanding reports gets minus puts: how many pooled buffers are
+// currently checked out across the process. The counters live inside
+// each freelist, under the lock Get/Put already take, so the accounting
+// adds no shared cache line to the hot path; oversized checkouts (beyond
+// the largest class) are credited to the largest class, mirroring where
+// Put credits their return. Components that legitimately retain buffers
+// (per-connection parser blocks, TX scratch) keep it nonzero while
+// alive; leak tests compare snapshots across a full setup/teardown cycle
+// rather than asserting absolute zero.
+func Outstanding() int64 {
+	var n int64
+	for i := range pools {
+		p := &pools[i]
+		p.mu.Lock()
+		n += p.gets - p.puts
+		p.mu.Unlock()
+	}
+	return n
+}
+
 // classes are the pooled capacity classes. Get rounds requests up to the
 // next class; larger requests are allocated exactly and never pooled.
 var classes = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
@@ -30,9 +50,10 @@ const (
 )
 
 type freelist struct {
-	mu   sync.Mutex
-	bufs [][]byte
-	max  int
+	mu         sync.Mutex
+	bufs       [][]byte
+	max        int
+	gets, puts int64 // checkout accounting, guarded by mu
 }
 
 var pools = func() (p [len(classes)]freelist) {
@@ -65,10 +86,18 @@ func classFor(n int) int {
 func Get(n int) []byte {
 	ci := classFor(n)
 	if ci < 0 {
+		// Oversized: allocated exactly, never pooled. Its checkout is
+		// credited to the largest class because that is where Put will
+		// credit its return (the capacity matches that class's test).
+		p := &pools[len(pools)-1]
+		p.mu.Lock()
+		p.gets++
+		p.mu.Unlock()
 		return make([]byte, 0, n)
 	}
 	p := &pools[ci]
 	p.mu.Lock()
+	p.gets++
 	if last := len(p.bufs) - 1; last >= 0 {
 		b := p.bufs[last]
 		p.bufs[last] = nil
@@ -97,11 +126,18 @@ func Put(b []byte) {
 		}
 	}
 	if ci < 0 {
+		// Below the smallest class: not poolable, and (since Get never
+		// hands such buffers out) not checked-out inventory either.
 		return
 	}
 	p := &pools[ci]
 	p.mu.Lock()
-	if len(p.bufs) < p.max {
+	p.puts++
+	// Pool only class-sized buffers: an oversized one (beyond the largest
+	// class) would pin an arbitrarily large array in the freelist and
+	// blow the class byte budget, so its checkout is balanced here and
+	// the buffer itself is left to the garbage collector.
+	if c <= classes[len(classes)-1] && len(p.bufs) < p.max {
 		p.bufs = append(p.bufs, b[:0])
 	}
 	p.mu.Unlock()

@@ -98,6 +98,16 @@ type Conn struct {
 	pcbSpare []event
 	seqAlloc uint64
 
+	// state is the Figure 5 state machine, stored atomically. Every
+	// transition to Ready accompanies a ready-ring push and runs under
+	// that ring's kernel lock (the home worker's for parse/finalize, a
+	// thief's own for re-published steal-batch surplus); the Ready→Busy
+	// transition is owned by whichever consumer won the ring's head CAS,
+	// and Busy connections are owned exclusively by their executor. That
+	// split is what lets reads — and the steal path — skip locks
+	// entirely.
+	state atomic.Int32
+
 	// The TX sequencer: replies may complete out of order (stolen
 	// activations, detached handlers), but are transmitted strictly in
 	// token order. txWait holds completed-but-blocked reply frames;
@@ -108,9 +118,6 @@ type Conn struct {
 	txNext uint64
 	txWait map[uint64][]byte
 	txBuf  []byte
-
-	// state is guarded by the home worker's shuffle lock.
-	state ConnState
 }
 
 // ID returns the connection identifier.
@@ -129,13 +136,11 @@ func (c *Conn) pending() int {
 	return len(c.pcb)
 }
 
-// State returns the connection's current scheduling state. It acquires the
-// home worker's shuffle lock, the lock that guards all state transitions.
+// State returns the connection's current scheduling state (an atomic
+// snapshot; transitions are ordered by the home worker's kernel lock and
+// the ready ring's head CAS).
 func (c *Conn) State() ConnState {
-	w := c.rt.workers[c.home]
-	w.shuffleMu.Lock()
-	defer w.shuffleMu.Unlock()
-	return c.state
+	return ConnState(c.state.Load())
 }
 
 // maxTxRetain bounds the egress scratch a connection keeps between
@@ -153,14 +158,28 @@ func (c *Conn) completeBatch(comps []completion) {
 	}
 	c.txMu.Lock()
 	defer c.txMu.Unlock()
-	for _, e := range comps {
-		c.txWait[e.seq] = e.frames
-	}
 	if c.txBuf == nil {
 		c.txBuf = bufpool.Get(256)
 	}
 	out := c.txBuf[:0]
-	for {
+	// Fast path: with nothing parked out of order, a batch whose tokens
+	// are exactly the next expected sequence numbers (the overwhelmingly
+	// common case — synchronous activations complete in event order)
+	// coalesces straight into the egress batch without touching the map.
+	i := 0
+	if len(c.txWait) == 0 {
+		for ; i < len(comps) && comps[i].seq == c.txNext; i++ {
+			c.txNext++
+			if f := comps[i].frames; f != nil {
+				out = append(out, f...)
+				bufpool.Put(f)
+			}
+		}
+	}
+	for _, e := range comps[i:] {
+		c.txWait[e.seq] = e.frames
+	}
+	for len(c.txWait) > 0 {
 		f, ok := c.txWait[c.txNext]
 		if !ok {
 			break
@@ -172,12 +191,15 @@ func (c *Conn) completeBatch(comps []completion) {
 			bufpool.Put(f)
 		}
 	}
-	if len(out) > 0 && !c.closed.Load() {
+	closed := c.closed.Load()
+	if len(out) > 0 && !closed {
 		_ = c.wr.WriteReply(out) // teardown races are benign
 	}
-	if cap(out) <= maxTxRetain {
+	if cap(out) <= maxTxRetain && !closed && c.rt.running.Load() {
 		c.txBuf = out[:0]
 	} else {
+		// Oversized burst, closed connection, or closing runtime: no
+		// point retaining per-connection scratch any longer.
 		bufpool.Put(out)
 		c.txBuf = nil
 	}
@@ -201,10 +223,11 @@ func (c *Conn) poison() {
 // transmits it in event order through the connection's TX sequencer,
 // regardless of which worker or goroutine completes it.
 type Ctx struct {
-	worker *Worker
-	conn   *Conn
-	stolen bool
-	ev     event
+	worker  *Worker
+	conn    *Conn
+	stolen  bool
+	ev      event
+	started time.Time // activation start, shared by the batch
 
 	// mu guards the completion state: a detached event may be completed
 	// from any goroutine, concurrently with the activation loop.
@@ -281,14 +304,23 @@ func (x *Ctx) Stolen() bool { return x.stolen }
 // core — the timestamp queue-delay middleware measures from.
 func (x *Ctx) ArrivedAt() time.Time { return x.ev.at }
 
+// QueueDelay returns how long the event waited between arrival and the
+// start of its activation — the paper's scheduling-delay metric. The
+// activation timestamp is taken once per batch, so reading it here costs
+// no clock call; events pipelined behind earlier ones in the same batch
+// report the shared batch start, deliberately excluding predecessors'
+// handler time (service order, not scheduling — end-to-end latency
+// middleware captures it).
+func (x *Ctx) QueueDelay() time.Duration { return x.started.Sub(x.ev.at) }
+
 // Seq returns the event's completion token: its per-connection sequence
 // number, which is also its guaranteed reply position.
 func (x *Ctx) Seq() uint64 { return x.ev.seq }
 
 // complete produces the event's reply exactly once and routes it to the
 // TX sequencer: synchronous completions are stashed for the activation
-// loop to batch, detached completions travel through the home worker's
-// remote-syscall queue (or resolve inline once the runtime is closed).
+// loop to batch, detached completions resolve inline through the
+// sequencer from whatever goroutine completed them.
 // The reply frame is encoded into a pooled buffer that the TX sequencer
 // returns to the pool after coalescing it into the egress batch.
 func (x *Ctx) complete(status uint8, payload []byte) error {
@@ -338,39 +370,22 @@ func (x *Ctx) complete(status uint8, payload []byte) error {
 	return nil
 }
 
-// resolveDetached ships a detached completion token home through the
-// remote-syscall path — the same path stolen activations use — so the
-// home core (or an idle worker proxying for it) transmits it promptly.
+// resolveDetached resolves a detached completion token directly through
+// the connection's TX sequencer. No trip through the scheduler is
+// needed: txMu orders concurrent resolvers and the token fixes the
+// transmit position, the connection's state machine advanced when its
+// activation ended, and if the transport exerts backpressure it blocks
+// this resolver goroutine — the producer of the reply — rather than a
+// scheduler worker. detachedN (which Flush waits on) drops only after
+// the reply is on its way.
 func (x *Ctx) resolveDetached(frames []byte) {
 	rt := x.worker.rt
 	c := x.conn
 	cb := getComps()
 	cb.s = append(cb.s, completion{seq: x.ev.seq, frames: frames})
-	if !rt.running.Load() {
-		// Workers are gone; resolve inline so the completion is not lost.
-		c.completeBatch(cb.s)
-		putComps(cb)
-		rt.detachedN.Add(-1)
-		return
-	}
-	home := rt.workers[c.home]
-	home.pushRemote(remoteOp{conn: c, comps: cb})
-	home.signal()
-	// Decrement only after the op is visible in the remote queue, so
-	// quiescence never observes the completion in neither place.
+	c.completeBatch(cb.s)
+	putComps(cb)
 	rt.detachedN.Add(-1)
-	if !rt.running.Load() {
-		// The runtime began closing between the check above and the
-		// push: the home worker may have exited after its final drain,
-		// so run its kernel step ourselves rather than lose the reply.
-		home.kernelMu.Lock()
-		home.kernelStep()
-		home.kernelMu.Unlock()
-		return
-	}
-	if !rt.cfg.DisableProxy {
-		rt.tryProxy(home)
-	}
 }
 
 // Completion is a detached event's reply handle. It is safe to use from

@@ -515,3 +515,67 @@ func TestStress(t *testing.T) {
 		t.Fatalf("lost replies: %d of %d", total, conns*per)
 	}
 }
+
+// blockingWriter blocks WriteReply until released, simulating a peer
+// that stalls its read side past the transport's egress backpressure.
+type blockingWriter struct {
+	blocked chan struct{} // closed once WriteReply has parked
+	release chan struct{}
+	once    sync.Once
+}
+
+func (w *blockingWriter) WriteReply(frame []byte) error {
+	w.once.Do(func() { close(w.blocked) })
+	<-w.release
+	return nil
+}
+
+// A worker wedged outside both application code and its kernel step —
+// blocked writing a stalled peer's reply — must not take every other
+// connection homed on it down with it: idle workers proxy its kernel
+// step on queue depth alone, so the healthy connections' events are
+// parsed, stolen, and answered while the write stays stuck.
+func TestProxyUnwedgesBlockedEgress(t *testing.T) {
+	rt := newTestRuntime(t, Config{Cores: 2, Handler: echoHandler(), ParkInterval: 50 * time.Microsecond})
+	bw := &blockingWriter{blocked: make(chan struct{}), release: make(chan struct{})}
+	defer close(bw.release)
+
+	// Two connections with the same home: one whose replies wedge their
+	// writer, one healthy.
+	var stalled, healthy *Conn
+	healthyWr := &captureWriter{}
+	for stalled == nil || healthy == nil {
+		if stalled == nil {
+			if c := rt.NewConn(bw); c.Home() == 0 {
+				stalled = c
+			}
+		} else {
+			if c := rt.NewConn(healthyWr); c.Home() == 0 {
+				healthy = c
+			}
+		}
+	}
+
+	if err := rt.Ingress(stalled, frame(1, "wedge")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-bw.blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled connection's reply write never started")
+	}
+
+	const n = 32
+	for i := uint64(0); i < n; i++ {
+		if err := rt.Ingress(healthy, frame(i, "alive")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(healthyWr.messages()) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d replies while a sibling connection's write is wedged", len(healthyWr.messages()), n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// eventcount is the wake-on-demand primitive the scheduler's idle paths
+// are built on: a waiter count plus a generation word. It replaces both
+// the timer-polled park loop (idle workers) and the ingress condition
+// variable (transport readers blocked on a full ring) with the classic
+// prepare/recheck/commit protocol:
+//
+//	g := ec.prepare()          // announce intent to sleep
+//	if workVisible() {         // recheck under the announcement
+//	    ec.cancel()
+//	    ... do the work
+//	}
+//	ec.wait(g)                 // sleep until a notify after prepare
+//
+// Publishers make their work visible (a counter increment, a ring slot
+// publish) and then call notify. Because prepare increments the waiter
+// count before the recheck, and notify bumps the generation before
+// inspecting the waiter count, every interleaving either lets the
+// recheck observe the work or lets wait observe the generation change —
+// a wakeup can be spurious but never lost.
+//
+// The fast path costs publishers one atomic increment and one atomic
+// load: when nobody is parked (the common case under load), notify never
+// touches the mutex. The mutex+cond pair underneath exists only to give
+// committed waiters something to block on; it is uncontended by design.
+type eventcount struct {
+	gen     atomic.Uint64 // bumped by every notify
+	waiters atomic.Int32  // waiters between prepare and wait-return
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (ec *eventcount) init() {
+	ec.cond = sync.NewCond(&ec.mu)
+}
+
+// prepare announces this goroutine as a prospective waiter and returns
+// the generation to pass to wait. The caller must recheck its wait
+// condition between prepare and wait, and call exactly one of cancel or
+// wait afterwards.
+func (ec *eventcount) prepare() uint64 {
+	ec.waiters.Add(1)
+	return ec.gen.Load()
+}
+
+// cancel retracts a prepare without sleeping.
+func (ec *eventcount) cancel() {
+	ec.waiters.Add(-1)
+}
+
+// wait blocks until a notify lands after the prepare that returned g.
+// Returns immediately if one already has.
+func (ec *eventcount) wait(g uint64) {
+	ec.mu.Lock()
+	for ec.gen.Load() == g {
+		ec.cond.Wait()
+	}
+	ec.mu.Unlock()
+	ec.waiters.Add(-1)
+}
+
+// notify wakes every current waiter and reports whether there was at
+// least one to wake. Publishers must make their work visible before
+// calling it.
+func (ec *eventcount) notify() bool {
+	ec.gen.Add(1)
+	if ec.waiters.Load() == 0 {
+		return false
+	}
+	ec.mu.Lock()
+	ec.cond.Broadcast()
+	ec.mu.Unlock()
+	return true
+}
+
+// parker is the single-waiter specialization of the eventcount, used for
+// worker parking. The protocol is identical — prepare, recheck the work
+// condition, then wait — but the sleep primitive is a one-token channel
+// instead of a mutex+cond pair, which makes redundant notifies nearly
+// free: once a wake token is pending, further notifies are a failed
+// non-blocking send. That matters on the ingress fast path, where a
+// burst of pushes lands while the just-woken worker is still waiting for
+// a CPU.
+type parker struct {
+	gen     atomic.Uint64
+	waiting atomic.Bool
+	ch      chan struct{}
+}
+
+func (p *parker) init() {
+	p.ch = make(chan struct{}, 1)
+}
+
+// prepare announces the owner as a prospective sleeper and returns the
+// generation to pass to wait. Exactly one of cancel or wait must follow,
+// after rechecking the wait condition.
+func (p *parker) prepare() uint64 {
+	p.waiting.Store(true)
+	return p.gen.Load()
+}
+
+// cancel retracts a prepare without sleeping.
+func (p *parker) cancel() {
+	p.waiting.Store(false)
+}
+
+// wait blocks until a notify lands after the prepare that returned g.
+// Stale wake tokens from earlier notifies cause a spurious pass through
+// the recheck loop, never a missed sleep.
+func (p *parker) wait(g uint64) {
+	for p.gen.Load() == g {
+		<-p.ch
+	}
+	p.waiting.Store(false)
+}
+
+// notify wakes the owner if it is (or is about to be) parked. It reports
+// whether this call deposited the wake token — redundant notifies while
+// a token is already pending return false and cost two atomic loads.
+func (p *parker) notify() bool {
+	p.gen.Add(1)
+	if !p.waiting.Load() {
+		return false
+	}
+	select {
+	case p.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ingressSlot is one cell of the ingress ring. seq is the slot's turn
+// number in the Vyukov protocol: equal to the enqueue position when the
+// slot is free, position+1 once the segment is published, and it gains a
+// full lap (+capacity) when the consumer empties it again.
+type ingressSlot struct {
+	seq  atomic.Uint64
+	conn *Conn
+	data []byte
+}
+
+// ingressRing is the software NIC ring: a bounded multi-producer,
+// single-consumer queue of raw stream segments. Producers are transport
+// reader goroutines; the single consumer is whoever holds the worker's
+// kernel lock (the home worker, or an idle worker proxying its kernel
+// step). It replaces the former mutex+condvar ingress queue: the
+// uncontended enqueue is one CAS on the tail plus one release-store on
+// the slot, and the dequeue is two loads and two stores, with no lock in
+// either direction.
+//
+// A full ring makes tryPush fail; pushIngress then spins briefly and
+// parks the producer on notFull, which the consumer notifies after
+// draining — transport backpressure without a wakeup poll.
+type ingressRing struct {
+	mask    uint64
+	slots   []ingressSlot
+	_       [40]byte      // keep enq off the slots header's cache line
+	enq     atomic.Uint64 // next position to reserve (producers, CAS)
+	_       [56]byte      // and deq off enq's: producer CAS traffic must
+	deq     atomic.Uint64 // not false-share with the consumer's advance
+	notFull eventcount
+}
+
+// init sizes the ring to at least capacity slots (rounded up to a power
+// of two).
+func (r *ingressRing) init(capacity int) {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r.slots = make([]ingressSlot, n)
+	r.mask = uint64(n - 1)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	r.notFull.init()
+}
+
+// tryPush publishes one segment; it fails (without blocking) when the
+// ring is full.
+func (r *ingressRing) tryPush(c *Conn, data []byte) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.conn = c
+				s.data = data
+				s.seq.Store(pos + 1) // publish: release-pairs with pop's load
+				return true
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			// The slot has not completed its previous lap: full.
+			return false
+		default:
+			// Another producer claimed pos; chase the tail.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop removes the oldest published segment. Single consumer: callers are
+// serialized by the worker's kernel lock. A reservation whose publish
+// store has not landed yet reads as empty; the ring's Len stays nonzero,
+// so the kernel loop retries rather than parking.
+func (r *ingressRing) pop() (segment, bool) {
+	pos := r.deq.Load()
+	s := &r.slots[pos&r.mask]
+	if s.seq.Load() != pos+1 {
+		return segment{}, false
+	}
+	sg := segment{conn: s.conn, data: s.data}
+	s.conn = nil
+	s.data = nil
+	s.seq.Store(pos + r.mask + 1) // free the slot for its next lap
+	r.deq.Store(pos + 1)
+	return sg, true
+}
+
+// drainInto pops up to len(buf) published segments in one sweep,
+// amortizing the consume-index update over the batch: two atomic ops per
+// segment (the slot's publish check and its lap release) plus two per
+// batch, against four per segment for repeated pop calls. Single
+// consumer, like pop.
+func (r *ingressRing) drainInto(buf []segment) int {
+	pos := r.deq.Load()
+	n := uint64(0)
+	for int(n) < len(buf) {
+		s := &r.slots[(pos+n)&r.mask]
+		if s.seq.Load() != pos+n+1 {
+			break
+		}
+		buf[n] = segment{conn: s.conn, data: s.data}
+		s.conn = nil
+		s.data = nil
+		s.seq.Store(pos + n + r.mask + 1)
+		n++
+	}
+	if n > 0 {
+		r.deq.Store(pos + n)
+	}
+	return int(n)
+}
+
+// Len reports the number of reserved-or-published segments. It counts a
+// producer's reservation from the moment of its tail CAS, so a parked
+// worker deciding whether ingress work exists never undercounts.
+func (r *ingressRing) Len() int {
+	d := r.deq.Load()
+	e := r.enq.Load()
+	if e <= d {
+		return 0
+	}
+	return int(e - d)
+}
+
+// ingressSpin bounds how many yield-spins a producer burns on a full
+// ring before parking on notFull. The consumer's drain is bounded work,
+// so a short spin usually wins; past it, sleeping is cheaper than
+// fighting the (single) CPU the consumer needs.
+const ingressSpin = 4
+
+// push publishes a segment, blocking while the ring is full (transport
+// backpressure) with a spin-then-park producer protocol. It fails only
+// once the runtime has closed; ownership of data stays with the caller
+// on error.
+func (r *ingressRing) push(w *Worker, c *Conn, data []byte) error {
+	spins := 0
+	for {
+		if !w.rt.running.Load() {
+			return errRuntimeClosed
+		}
+		if r.tryPush(c, data) {
+			return nil
+		}
+		if spins < ingressSpin {
+			spins++
+			// The consumer may just need the CPU; nudge it and yield.
+			w.signal()
+			runtime.Gosched()
+			continue
+		}
+		g := r.notFull.prepare()
+		if r.tryPush(c, data) {
+			r.notFull.cancel()
+			return nil
+		}
+		if !w.rt.running.Load() {
+			r.notFull.cancel()
+			return errRuntimeClosed
+		}
+		// Make sure the consumer is awake before committing to sleep:
+		// its drain is what will notify us.
+		w.signal()
+		r.notFull.wait(g)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active. The pool
+// checkout-balance guard skips under it: sync.Pool deliberately drops
+// Puts in race mode, stranding the parse-buffer accounting.
+const raceEnabled = false

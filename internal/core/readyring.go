@@ -1,0 +1,137 @@
+package core
+
+import "sync/atomic"
+
+// connArray is one generation of a readyRing's storage: a power-of-two
+// circular buffer addressed by absolute position & mask. Grown arrays
+// are immutable history — consumers racing a growth keep reading the old
+// generation, whose entries for every still-unconsumed position are
+// identical to the new one's.
+type connArray struct {
+	mask  uint64
+	slots []atomic.Pointer[Conn]
+}
+
+// readyRing is the shuffle queue: the per-worker FIFO of ready
+// connections, in the Chase-Lev work-stealing mold adapted to this
+// runtime's invariants. The single producer is whoever holds the
+// worker's kernel lock (every Idle→Ready transition happens there), so
+// pushes are plain stores plus one release-store of the tail. Consumers
+// — the home worker and stealing workers alike — claim entries by CAS on
+// the shared head, singly (popOne) or in steal-half batches
+// (stealBatch). No lock is taken on any path; a failed CAS means another
+// consumer took the work, which is progress for the system.
+//
+// FIFO on both ends (unlike the LIFO owner end of a textbook Chase-Lev
+// deque) is deliberate: the paper's shuffle queue drains oldest-first so
+// a pipelining connection cannot starve its neighbours, and the home
+// worker popping the same end thieves steal from keeps that property.
+//
+// The correctness argument for the unlocked reads: positions are
+// absolute uint64s, so the head CAS has no ABA; a producer reuses a
+// slot (position p+capacity) only after head has advanced past p, and
+// any consumer that read slot p beforehand fails its CAS(p) and
+// discards the read; a consumer that loads the array pointer after
+// loading the tail is guaranteed an array generation containing every
+// position it may claim.
+type readyRing struct {
+	head atomic.Uint64 // next position to consume (all consumers, CAS)
+	tail atomic.Uint64 // next position to fill (producer only)
+	arr  atomic.Pointer[connArray]
+}
+
+const readyRingInitial = 64
+
+func (r *readyRing) init() {
+	a := &connArray{mask: readyRingInitial - 1, slots: make([]atomic.Pointer[Conn], readyRingInitial)}
+	r.arr.Store(a)
+}
+
+// push appends a connection. Caller holds the worker's kernel lock (the
+// single-producer guarantee). A connection is pushed only on its
+// Idle→Ready or Busy→Ready transition, so it is present at most once —
+// the exactly-once shuffle-queue invariant.
+func (r *readyRing) push(c *Conn) {
+	t := r.tail.Load()
+	h := r.head.Load()
+	a := r.arr.Load()
+	if t-h == a.mask+1 {
+		a = r.grow(a, t)
+	}
+	a.slots[t&a.mask].Store(c)
+	r.tail.Store(t + 1) // publish: release-pairs with consumers' tail load
+}
+
+// grow doubles the storage, copying every live position. Old arrays are
+// left untouched for concurrent readers and reclaimed by the garbage
+// collector once the last straggler drops them.
+func (r *readyRing) grow(old *connArray, t uint64) *connArray {
+	na := &connArray{
+		mask:  old.mask*2 + 1,
+		slots: make([]atomic.Pointer[Conn], (old.mask+1)*2),
+	}
+	for i := r.head.Load(); i != t; i++ {
+		na.slots[i&na.mask].Store(old.slots[i&old.mask].Load())
+	}
+	r.arr.Store(na)
+	return na
+}
+
+// popOne claims the oldest ready connection and transitions it to Busy,
+// or returns nil when the ring is empty. Safe from any goroutine.
+func (r *readyRing) popOne() *Conn {
+	for {
+		h := r.head.Load()
+		t := r.tail.Load()
+		if h >= t {
+			return nil
+		}
+		a := r.arr.Load()
+		c := a.slots[h&a.mask].Load()
+		if r.head.CompareAndSwap(h, h+1) {
+			// The CAS makes position h exclusively ours, which in turn
+			// guarantees the read above saw its true occupant.
+			c.state.Store(int32(StateBusy))
+			return c
+		}
+	}
+}
+
+// stealBatch claims up to half the queued connections (capped by
+// len(buf)), oldest first, transitioning each to Busy. Batching amortizes
+// the steal CAS across several connections — the steal-half policy — and
+// returns how many were taken.
+func (r *readyRing) stealBatch(buf []*Conn) int {
+	for {
+		h := r.head.Load()
+		t := r.tail.Load()
+		if h >= t {
+			return 0
+		}
+		n := (t - h + 1) / 2
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		a := r.arr.Load()
+		for i := uint64(0); i < n; i++ {
+			buf[i] = a.slots[(h+i)&a.mask].Load()
+		}
+		if r.head.CompareAndSwap(h, h+n) {
+			for i := uint64(0); i < n; i++ {
+				buf[i].state.Store(int32(StateBusy))
+			}
+			return int(n)
+		}
+	}
+}
+
+// Len is the depth counter idle workers scan (a snapshot, exact when
+// quiescent).
+func (r *readyRing) Len() int {
+	h := r.head.Load()
+	t := r.tail.Load()
+	if t <= h {
+		return 0
+	}
+	return int(t - h)
+}

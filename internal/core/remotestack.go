@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// remoteOp is a connection state-machine advance shipped to the home
+// core — the runtime's residue of the paper's §4.2 remote batched
+// syscall. Reply bytes never travel here (stolen activations and
+// detached resolvers transmit eagerly under the TX sequencer, so no
+// kernel step can block on a peer's backpressure); what must reach the
+// home core is only the Busy→{Ready,Idle} transition, which has to run
+// under the home kernel lock. Stolen activations ship one per
+// activation, and a home activation whose kernel lock was held by a
+// proxier ships one instead of blocking. Ops are intrusive stack nodes,
+// recycled through a pool so the steady-state remote path allocates
+// nothing.
+type remoteOp struct {
+	next *remoteOp
+	conn *Conn
+}
+
+var remoteOpPool = sync.Pool{New: func() any { return new(remoteOp) }}
+
+func getRemoteOp() *remoteOp { return remoteOpPool.Get().(*remoteOp) }
+
+func putRemoteOp(op *remoteOp) {
+	*op = remoteOp{}
+	remoteOpPool.Put(op)
+}
+
+// shipRemote publishes a state-machine advance for c on target's stack,
+// then signals target. Both ship-home sites (stolen activation end, home
+// activation dodging a held kernel lock) go through here: the
+// push-before-signal order is what the lost-wakeup argument relies on.
+func shipRemote(target *Worker, c *Conn) {
+	op := getRemoteOp()
+	op.conn = c
+	target.remote.push(op)
+	target.signal()
+}
+
+// remoteStack is the remote-syscall queue: an intrusive lock-free MPSC
+// Treiber stack. Producers (stolen activations, home activations dodging
+// a held kernel lock) push with a CAS loop; the consumer — the kernel
+// step — takes the entire stack in a single atomic swap and walks it. It
+// replaces the former mutex-guarded slice: the push is wait-free against
+// the consumer and lock-free against other producers, and the drain is
+// exactly one atomic operation regardless of depth.
+type remoteStack struct {
+	head atomic.Pointer[remoteOp]
+}
+
+// push publishes one op. Safe from any goroutine.
+func (s *remoteStack) push(op *remoteOp) {
+	for {
+		old := s.head.Load()
+		op.next = old
+		if s.head.CompareAndSwap(old, op) {
+			return
+		}
+	}
+}
+
+// drain detaches the whole stack in one swap and returns it oldest-first
+// (the LIFO chain is reversed so advances resolve in rough arrival
+// order; per-connection reply order never depends on this queue at all —
+// the TX sequencer orders by token).
+func (s *remoteStack) drain() *remoteOp {
+	top := s.head.Swap(nil)
+	var rev *remoteOp
+	for top != nil {
+		next := top.next
+		top.next = rev
+		rev = top
+		top = next
+	}
+	return rev
+}
+
+// nonEmpty is the depth signal idle workers scan when deciding whether a
+// victim's kernel step is worth proxying.
+func (s *remoteStack) nonEmpty() bool {
+	return s.head.Load() != nil
+}

@@ -1,26 +1,39 @@
 // Package core implements the ZygOS execution model as a real Go runtime:
-// a fixed pool of per-core workers, each owning an ingress queue (the "NIC
-// ring"), a single-producer/multi-consumer shuffle queue of ready
-// connections, and a remote-syscall queue through which stolen work ships
-// its replies back to the home core for ordered transmission.
+// a fixed pool of per-core workers, each owning an ingress ring (the "NIC
+// ring"), a single-producer/multi-consumer ready ring of ready
+// connections (the shuffle queue), and a remote-syscall stack through
+// which work executed elsewhere ships the connection's state-machine
+// advance back to the home core. Replies themselves transmit eagerly
+// from whichever worker produced them: the per-connection TX sequencer
+// (completion tokens, transmitted strictly in order) has no core
+// affinity, so ordered transmission needs no trip home.
 //
 // Architecture (mirroring §4 of the paper):
 //
 //   - The lower networking layer is the per-connection frame parser, run
 //     under the home worker's kernel lock (coherency-free in the paper; a
 //     single-threaded critical section here).
-//   - The shuffle layer is Worker.shuffle: connections holding at least
+//   - The shuffle layer is Worker.ready: connections holding at least
 //     one undelivered event, present exactly once while in StateReady.
-//     The home worker consumes it; idle remote workers steal from it.
+//     The home worker consumes it; idle remote workers steal from it in
+//     batches.
 //   - The execution layer runs the application Handler with exclusive
 //     connection ownership, so back-to-back requests on one connection
 //     are handled — and answered — in order without app-level locking.
+//
+// The scheduling fabric is lock-free on every hot edge: the ingress ring
+// is a bounded MPSC ring with spin-then-park producers, the shuffle
+// queue is a Chase-Lev-style stealing ring with steal-half batching, the
+// remote-syscall queue is an intrusive MPSC stack drained in one atomic
+// swap, and idle workers park on an eventcount — they sleep until work
+// actually arrives instead of polling on a timer.
 //
 // Go cannot deliver preemptive IPIs to a goroutine, so the paper's
 // exit-less IPI is substituted by kernel proxying: when the home worker is
 // stuck in a long application handler, any idle worker may acquire the
 // home's kernel lock and run its bounded kernel step (parse ingress,
-// replenish the shuffle queue, flush remote replies) on its behalf. The
+// replenish the shuffle queue, advance connection state machines) on its
+// behalf. The
 // schedule this produces is the one the IPI produces in the paper: pending
 // kernel work on a busy core happens promptly instead of waiting for the
 // handler to finish. Setting Config.DisableProxy reproduces the paper's
@@ -69,12 +82,14 @@ type Config struct {
 	// DisableProxy turns off the IPI-analogue kernel proxying, giving the
 	// paper's cooperative "ZygOS (no interrupts)" variant.
 	DisableProxy bool
-	// ParkInterval bounds how long an idle worker sleeps before rescanning
-	// for stealable work; defaults to 100µs.
+	// ParkInterval is the idle watchdog: parked workers are woken on
+	// demand by the eventcount when work arrives, and this bounds how
+	// long one sleeps before a defensive rescan regardless. Defaults to
+	// 100µs.
 	ParkInterval time.Duration
-	// IngressCap bounds each worker's ingress queue (segments); pushes
-	// beyond it block the transport reader, providing backpressure.
-	// Defaults to 4096.
+	// IngressCap bounds each worker's ingress ring (segments, rounded up
+	// to a power of two); pushes beyond it block the transport reader,
+	// providing backpressure. Defaults to 4096.
 	IngressCap int
 	// LockOSThread pins each worker goroutine to an OS thread.
 	LockOSThread bool
@@ -87,6 +102,8 @@ type Stats struct {
 	Proxies  uint64 // kernel steps run on another worker's behalf (IPI analogue)
 	Conns    uint64 // connections created over the runtime's lifetime
 	Detached uint64 // events whose handlers detached their reply
+	Parks    uint64 // times a worker committed to an eventcount sleep
+	Wakes    uint64 // demand wakes delivered to parked workers
 }
 
 // Runtime is a ZygOS-style work-conserving scheduler instance.
@@ -102,6 +119,8 @@ type Runtime struct {
 	connSeq     atomic.Uint64
 	sigSeq      atomic.Uint64
 	detachTotal atomic.Uint64
+	parks       atomic.Uint64
+	wakes       atomic.Uint64
 	// detachedN counts detached events whose Completion has not resolved
 	// yet; quiescence (and therefore Flush) waits for them.
 	detachedN atomic.Int64
@@ -111,6 +130,19 @@ type Runtime struct {
 	// the signal admission control sheds on.
 	parsedN    atomic.Int64
 	completedN atomic.Int64
+	// segsLive counts pooled segment buffers currently owned by the
+	// runtime or leased to transports — the alloc-guard teardown tests
+	// assert it returns to zero after Close.
+	segsLive atomic.Int64
+	// spinning counts workers currently awake in the steal scan. It
+	// throttles demand wakes the way Go's own scheduler throttles wakep:
+	// while somebody is already scanning, freshly published work will be
+	// found by them — waking a second worker just burns context
+	// switches. Lost-wakeup safe because a scanner that gives up
+	// decrements spinning before its park-time recheck of every depth
+	// counter: a publisher that skipped the wake after seeing
+	// spinning>0 published its depth first, so the recheck sees it.
+	spinning atomic.Int32
 
 	running atomic.Bool
 	wg      sync.WaitGroup
@@ -147,13 +179,15 @@ func New(cfg Config) (*Runtime, error) {
 }
 
 // Close stops all workers and waits for them to exit. In-flight handler
-// invocations complete; undelivered events are discarded.
+// invocations complete; undelivered events are discarded and their
+// pooled buffers returned.
 func (rt *Runtime) Close() {
 	if !rt.running.CompareAndSwap(true, false) {
 		return
 	}
 	for _, w := range rt.workers {
-		w.signal()
+		w.ec.notify()
+		w.ingress.notFull.notify()
 	}
 	rt.wg.Wait()
 }
@@ -181,8 +215,16 @@ func (rt *Runtime) Stats() Stats {
 		Proxies:  rt.proxies.Load(),
 		Conns:    rt.connSeq.Load(),
 		Detached: rt.detachTotal.Load(),
+		Parks:    rt.parks.Load(),
+		Wakes:    rt.wakes.Load(),
 	}
 }
+
+// SegmentsLive reports how many pooled segment buffers the runtime
+// currently owns (queued in ingress rings or leased to transports via
+// GetSegment). The teardown stress tests assert it returns to zero after
+// Close — a nonzero residue means a buffer leaked out of the pool cycle.
+func (rt *Runtime) SegmentsLive() int64 { return rt.segsLive.Load() }
 
 // NewConn registers a connection whose replies are written to wr. The
 // connection's home worker is chosen by RSS hashing of its identifier,
@@ -200,31 +242,48 @@ func (rt *Runtime) NewConn(wr ReplyWriter) *Conn {
 }
 
 // Ingress delivers raw stream bytes from a transport reader into the
-// connection's home ingress queue. The bytes are copied (into a pooled
+// connection's home ingress ring. The bytes are copied (into a pooled
 // segment buffer), so callers may reuse their read buffer immediately.
-// It blocks when the queue is full (transport backpressure) and returns
+// It blocks when the ring is full (transport backpressure) and returns
 // an error after Close.
 func (rt *Runtime) Ingress(c *Conn, data []byte) error {
-	return rt.IngressOwned(c, append(bufpool.Get(len(data)), data...))
+	return rt.IngressOwned(c, append(rt.GetSegment(len(data)), data...))
 }
 
 // GetSegment returns a pooled, zero-length buffer with capacity at least
 // n, suitable for handing to IngressOwned. Transport readers use it to
 // read directly into runtime-owned memory, eliminating the ingress copy.
-func (rt *Runtime) GetSegment(n int) []byte { return bufpool.Get(n) }
+// A segment that ends up not being ingressed must go back through
+// PutSegment.
+func (rt *Runtime) GetSegment(n int) []byte {
+	rt.segsLive.Add(1)
+	return bufpool.Get(n)
+}
+
+// PutSegment returns a segment obtained from GetSegment that was never
+// handed to IngressOwned (a transport reader's parting buffer, say) to
+// the pool.
+func (rt *Runtime) PutSegment(b []byte) { rt.putSegment(b) }
+
+// putSegment is the single return path for segment buffers; it keeps the
+// live-segment accounting exact.
+func (rt *Runtime) putSegment(b []byte) {
+	rt.segsLive.Add(-1)
+	bufpool.Put(b)
+}
 
 // IngressOwned is Ingress without the copy: ownership of data (which
 // must come from GetSegment) transfers to the runtime unconditionally —
 // even on error — and the buffer returns to the segment pool once the
-// kernel step has parsed it. It blocks when the home ingress queue is
+// kernel step has parsed it. It blocks when the home ingress ring is
 // full and returns an error after Close.
 func (rt *Runtime) IngressOwned(c *Conn, data []byte) error {
 	if !rt.running.Load() {
-		bufpool.Put(data)
+		rt.putSegment(data)
 		return errors.New("core: runtime is closed")
 	}
 	if c.closed.Load() {
-		bufpool.Put(data)
+		rt.putSegment(data)
 		return fmt.Errorf("core: conn %d is closed", c.id)
 	}
 	w := rt.workers[c.home]
@@ -257,6 +316,17 @@ func (rt *Runtime) quiescent() bool {
 	if rt.detachedN.Load() != 0 {
 		return false
 	}
+	// The per-worker scan below is not atomic: an executor can pick work
+	// up from a worker the scan has not reached yet after the scan read
+	// its own counters as zero. The parse/completion ledger closes that
+	// window — an admitted event keeps parsedN ahead of completedN from
+	// the kernel step that parsed it until its reply (or discard) is
+	// produced, no matter which queues or local buffers carry it in
+	// between — so in-flight application work is visible here even when
+	// the scan races it.
+	if rt.parsedN.Load() != rt.completedN.Load() {
+		return false
+	}
 	for _, w := range rt.workers {
 		if !w.quiescent() {
 			return false
@@ -265,15 +335,17 @@ func (rt *Runtime) quiescent() bool {
 	return true
 }
 
-// tryProxy is the IPI analogue: if the target worker is stuck in
-// application code, run its kernel step on its behalf so pending TX and
-// shuffle replenishment do not wait for the handler to return. It is
-// safe from any goroutine — idle workers and detached-reply resolvers
-// both use it.
+// tryProxy is the IPI analogue: run the target worker's kernel step on
+// its behalf so pending ingress parsing, shuffle replenishment, and
+// remote completions do not wait for it. The kernel lock is the only
+// safety requirement — it serializes the step no matter who runs it —
+// so the proxy is not restricted to targets stuck in application code:
+// a home worker wedged outside the handler (say, blocked on a stalled
+// peer's egress backpressure) can be proxied too, keeping its other
+// connections live. A healthy target parses under its own kernel lock,
+// so the TryLock naturally fails instead of duelling with it. Safe from
+// any goroutine — idle workers and detached-reply resolvers both use it.
 func (rt *Runtime) tryProxy(target *Worker) bool {
-	if !target.inApp.Load() {
-		return false
-	}
 	if !target.kernelMu.TryLock() {
 		return false
 	}
@@ -283,19 +355,40 @@ func (rt *Runtime) tryProxy(target *Worker) bool {
 	return did
 }
 
-// signalOther nudges one worker other than self, round-robin, so that an
-// idle worker notices freshly stealable or proxyable work without waiting
-// out its park interval.
-func (rt *Runtime) signalOther(self int) {
+// wakeOther delivers a demand wake to one parked worker other than self,
+// round-robin, so freshly published stealable or proxyable work is
+// picked up without any worker polling. Workers that are awake are
+// skipped — they will find the work on their own loop — and if nobody is
+// parked there is nobody to wake.
+func (rt *Runtime) wakeOther(self int) {
 	n := len(rt.workers)
 	if n <= 1 {
 		return
 	}
-	k := int(rt.sigSeq.Add(1)) % n
-	if k == self {
-		k = (k + 1) % n
+	if rt.cfg.DisableStealing {
+		// A woken worker could not act: stealing is off, and proxying is
+		// only reachable through the steal scan. Let it sleep.
+		return
 	}
-	rt.workers[k].signal()
+	if rt.spinning.Load() > 0 {
+		// A worker is already awake and scanning; it will find the work.
+		return
+	}
+	start := int(rt.sigSeq.Add(1)) % n
+	for i := 0; i < n; i++ {
+		k := (start + i) % n
+		if k == self {
+			continue
+		}
+		w := rt.workers[k]
+		if !w.ec.waiting.Load() {
+			continue
+		}
+		if w.ec.notify() {
+			rt.wakes.Add(1)
+			return
+		}
+	}
 }
 
 // stealOrder fills order with a random permutation of worker indexes,

@@ -7,18 +7,16 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"zygos/internal/bufpool"
 )
 
 // errRuntimeClosed is returned to transport readers blocked on a full
-// ingress queue when the runtime shuts down.
+// ingress ring when the runtime shuts down.
 var errRuntimeClosed = errors.New("core: runtime is closed")
 
 // segment is one chunk of raw stream bytes from a transport reader,
-// queued on the home worker's ingress queue (the software NIC ring).
-// The data buffer is owned by the runtime from enqueue until the kernel
-// step has fed it to the parser, at which point it returns to the pool.
+// queued on the home worker's ingress ring (the software NIC ring). The
+// data buffer is owned by the runtime from enqueue until the kernel step
+// has fed it to the parser, at which point it returns to the pool.
 type segment struct {
 	conn *Conn
 	data []byte
@@ -43,78 +41,87 @@ func putComps(cb *compsBuf) {
 	compsPool.Put(cb)
 }
 
-// remoteOp is a batch of completion tokens shipped to the home core: the
-// "remote batched syscall" of §4.2. Stolen activations ship their
-// synchronous completions this way (fin advances the connection state
-// machine afterwards); detached replies travel the same path with just
-// their one token.
-type remoteOp struct {
-	conn  *Conn
-	comps *compsBuf
-	fin   bool
-}
-
 // ctxPool recycles per-event contexts. Detached contexts are never
 // pooled: their Completion handle may outlive the activation
 // arbitrarily, and a recycled Ctx under a live handle would complete
 // someone else's event.
 var ctxPool = sync.Pool{New: func() any { return new(Ctx) }}
 
-// Worker is one scheduling core: ingress queue, shuffle queue, remote
-// syscall queue, and the kernel lock serializing this core's network
-// stack.
+// stealBatchMax caps how many connections one steal takes. Steal-half
+// amortizes the victim's head CAS over a batch; the thief executes only
+// the first and re-publishes the rest in its own ready ring, so the cap
+// bounds transfer bookkeeping, not execution latency.
+const stealBatchMax = 4
+
+// Worker is one scheduling core. Its three queues are lock-free: the
+// ingress ring (bounded MPSC), the ready ring (the shuffle queue — SPMC
+// with batched stealing), and the remote stack (MPSC, swap-drained).
+// kernelMu serializes this core's kernel step — it is the single-
+// consumer guarantee for the ingress ring and the single-producer
+// guarantee for the ready ring, and idle workers TryLock it to proxy
+// the step (the IPI analogue). The worker parks on its eventcount when
+// no work is visible anywhere and sleeps until a publisher wakes it.
 type Worker struct {
 	rt *Runtime
 	id int
 
 	// ingress: multi-producer (transport readers), drained by the kernel
-	// step. Bounded; producers block when full. ingressSpare is the
-	// drained slice of the previous kernel step, swapped back in so the
-	// queue's backing array is reused (it is touched only under
-	// kernelMu).
-	ingressMu    sync.Mutex
-	ingressCond  *sync.Cond
-	ingress      []segment
-	ingressSpare []segment
-	ingressN     atomic.Int32
+	// step. Bounded; producers spin-then-park when full.
+	ingress ingressRing
 
-	// kernelMu serializes this core's kernel step (parse + TX flush).
-	// Idle workers TryLock it to proxy the step — the IPI analogue.
+	// kernelMu serializes this core's kernel step (remote state-machine
+	// advances + ingress parsing). Idle workers TryLock it to proxy the
+	// step — the IPI analogue.
 	kernelMu sync.Mutex
 
-	// remote: completions shipped home by stolen activations and
-	// detached replies. remoteSpare mirrors ingressSpare.
-	remoteMu    sync.Mutex
-	remote      []remoteOp
-	remoteSpare []remoteOp
-	remoteN     atomic.Int32
+	// remote: state-machine advances shipped home by stolen activations
+	// and lock-dodging home finalizes.
+	remote remoteStack
 
-	// shuffle: ready connections, guarded by shuffleMu (the paper's
-	// per-core spinlock protecting the queue and state transitions). The
-	// slice is used as a ring with shufHead as the consume index, so
-	// popping does not slide the backing array out from under appends.
-	shuffleMu sync.Mutex
-	shuffle   []*Conn
-	shufHead  int
-	shuffleN  atomic.Int32
+	// ready is the shuffle queue: connections holding at least one
+	// undelivered event, present exactly once while StateReady.
+	ready readyRing
 
-	wake      chan struct{}
-	parkTimer *time.Timer
-	rng       *rand.Rand
-	order     []int
-	inApp     atomic.Bool  // executing application code (IPI-interruptible)
-	active    atomic.Int32 // activations in flight (quiescence accounting)
+	// ec is what this worker parks on; parkTimer is the watchdog that
+	// bounds how stale a parked worker's view can get if a wake is
+	// somehow not warranted by the depth counters it rechecked. The
+	// watchdog backs off exponentially across consecutive fruitless
+	// fires (parkBackoff, reset whenever real work runs; timerFired
+	// distinguishes watchdog wakes from demand wakes), so an idle server
+	// converges to ~100 timer wakes per second per worker instead of
+	// polling at the ParkInterval.
+	ec          parker
+	parkTimer   *time.Timer
+	parkBackoff time.Duration
+	timerFired  atomic.Bool
+
+	rng      *rand.Rand
+	order    []int
+	stolen   [stealBatchMax]*Conn // stealBatch scratch
+	drainBuf [drainBatch]segment  // kernel-step ingress drain scratch (kernelMu-guarded)
+	inApp    atomic.Bool          // executing application code (IPI-interruptible)
+	active   atomic.Int32         // activations + kernel steps in flight (quiescence)
 }
+
+// drainBatch is how many ingress segments one kernel-step sweep takes at
+// a time: large enough to amortize the ring's consume-index update,
+// small enough to keep the step's working set and latency bounded.
+const drainBatch = 256
 
 func newWorker(rt *Runtime, id int) *Worker {
 	w := &Worker{
-		rt:   rt,
-		id:   id,
-		wake: make(chan struct{}, 1),
-		rng:  rand.New(rand.NewSource(int64(id)*7919 + 1)),
+		rt:  rt,
+		id:  id,
+		rng: rand.New(rand.NewSource(int64(id)*7919 + 1)),
 	}
-	w.ingressCond = sync.NewCond(&w.ingressMu)
-	w.parkTimer = time.NewTimer(time.Hour)
+	w.ingress.init(rt.cfg.IngressCap)
+	w.ready.init()
+	w.ec.init()
+	// Watchdog wake: not counted as a demand wake in Stats.
+	w.parkTimer = time.AfterFunc(time.Hour, func() {
+		w.timerFired.Store(true)
+		w.ec.notify()
+	})
 	w.parkTimer.Stop()
 	return w
 }
@@ -127,38 +134,62 @@ func (w *Worker) run() {
 	}
 	for w.rt.running.Load() {
 		if w.homeWork() {
+			w.parkBackoff = 0
 			continue
 		}
 		if !w.rt.cfg.DisableStealing && w.stealWork() {
+			w.parkBackoff = 0
 			continue
 		}
 		w.park()
 	}
-	// Final drain: resolve completion tokens shipped while this worker
-	// was exiting, so detached replies racing Close are not lost (their
-	// resolvers only drain the queue themselves if they observe the
-	// runtime closed after pushing).
+	// Final drain: resolve state-machine advances shipped while this
+	// worker was exiting and return queued buffers to their pools. Late
+	// producers that observe the runtime closed after publishing run
+	// this drain themselves, so nothing is stranded.
 	w.kernelMu.Lock()
-	w.kernelStep()
+	w.shutdownDrain()
 	w.kernelMu.Unlock()
-	// Unblock any transport readers waiting on a full ingress queue.
-	w.ingressMu.Lock()
-	w.ingressCond.Broadcast()
-	w.ingressMu.Unlock()
 }
 
 // homeWork runs one iteration of the home loop: the kernel step (flush
-// remote completions, parse ingress into the shuffle queue), then one
-// activation from the local shuffle queue.
+// remote completions, parse ingress into the ready ring), then one
+// activation from the local ready ring.
 func (w *Worker) homeWork() bool {
 	did := false
 	if w.kernelMu.TryLock() {
 		did = w.kernelStep()
 		w.kernelMu.Unlock()
 	}
-	if c := w.tryPopShuffle(); c != nil {
+	// The active bracket must open before the pop: from the instant a
+	// connection leaves the ready ring its events are invisible to every
+	// depth counter, and quiescence (Flush) must not be observable in
+	// that window.
+	w.active.Add(1)
+	if c := w.ready.popOne(); c != nil {
 		w.activate(c)
+		w.active.Add(-1)
 		return true
+	}
+	w.active.Add(-1)
+	return did
+}
+
+// drainRemote detaches and processes every state-machine advance in the
+// remote stack, reporting whether any was processed. Caller holds
+// kernelMu (finalizeLocked may push to the ready ring). Nothing here can
+// block — reply bytes never travel through this queue — so holding the
+// kernel lock across the drain cannot wedge the core behind a stalled
+// peer. Shared by the kernel step and the shutdown drain so op handling
+// cannot diverge between them.
+func (w *Worker) drainRemote() bool {
+	did := false
+	for op := w.remote.drain(); op != nil; {
+		next := op.next
+		did = true
+		w.finalizeLocked(op.conn)
+		putRemoteOp(op)
+		op = next
 	}
 	return did
 }
@@ -169,166 +200,125 @@ func (w *Worker) homeWork() bool {
 func (w *Worker) kernelStep() bool {
 	// Count the step as in-flight work: events drained from ingress are
 	// invisible to the queue counters until they are republished in the
-	// shuffle queue, and quiescence must not be observable in between.
+	// ready ring, and quiescence must not be observable in between.
 	w.active.Add(1)
 	defer w.active.Add(-1)
 	did := false
 
-	// Remote batched syscalls first: resolve shipped completion tokens —
-	// the sequencer transmits whatever is now in order — and advance the
-	// connection state machine (§4.5 handler duty 2).
-	w.remoteMu.Lock()
-	ops := w.remote
-	w.remote = w.remoteSpare
-	w.remoteSpare = nil
-	w.remoteN.Store(0)
-	w.remoteMu.Unlock()
-	for _, op := range ops {
+	// Remote state-machine advances first (§4.5 handler duty 2): requeue
+	// or idle the connections whose activations ended elsewhere. One
+	// atomic swap detaches the whole stack.
+	if w.drainRemote() {
 		did = true
-		op.conn.completeBatch(op.comps.s)
-		putComps(op.comps)
-		if op.fin {
-			w.finalize(op.conn)
-		}
 	}
-	for i := range ops {
-		ops[i] = remoteOp{}
-	}
-	w.remoteSpare = ops[:0] // kernelMu-protected hand-back
 
 	// Network stack: drain ingress, parse frames, enqueue ready
-	// connections (§4.5 handler duty 1).
-	w.ingressMu.Lock()
-	segs := w.ingress
-	w.ingress = w.ingressSpare
-	w.ingressSpare = nil
-	w.ingressN.Store(0)
-	w.ingressCond.Broadcast()
-	w.ingressMu.Unlock()
-	now := time.Now()
-	for _, sg := range segs {
+	// connections (§4.5 handler duty 1). The step is bounded to one lap
+	// of the ring so a proxier cannot be pinned here by a fast producer.
+	for budget := len(w.ingress.slots); budget > 0; {
+		n := w.ingress.drainInto(w.drainBuf[:])
+		if n == 0 {
+			break
+		}
+		budget -= n
 		did = true
-		c := sg.conn
-		c.parser.Feed(sg.data)
-		bufpool.Put(sg.data)
-		events := 0
-		for {
-			m, ok, err := c.parser.Next()
-			if err != nil {
-				// Malformed stream: poison the connection and close its
-				// transport. Events already queued still drain; the parse
-				// buffer goes back to the pool. The parser's error stays
-				// sticky, so segments still queued behind the malformed one
-				// feed into a dead parser instead of being re-interpreted
-				// from an arbitrary mid-stream offset.
-				c.poison()
-				c.parser.ReleaseBuffer()
-				break
+		// The batch's slots are free from this moment: unpark producers
+		// blocked on the full ring now, so they refill concurrently with
+		// the parse below instead of sleeping out the whole step. Cheap
+		// when nobody is parked (two atomic ops).
+		w.ingress.notFull.notify()
+		// One arrival timestamp per drained batch: segments pushed while
+		// an earlier batch of this sweep was parsing must not inherit its
+		// (older) snapshot, or their queue delay reads inflated.
+		now := time.Now()
+		for i := 0; i < n; i++ {
+			sg := w.drainBuf[i]
+			w.drainBuf[i] = segment{}
+			c := sg.conn
+			c.parser.Feed(sg.data)
+			w.rt.putSegment(sg.data)
+			events := 0
+			for {
+				m, ok, err := c.parser.Next()
+				if err != nil {
+					// Malformed stream: poison the connection and close its
+					// transport. Events already queued still drain; the parse
+					// buffer goes back to the pool. The parser's error stays
+					// sticky, so segments still queued behind the malformed one
+					// feed into a dead parser instead of being re-interpreted
+					// from an arbitrary mid-stream offset.
+					c.poison()
+					c.parser.ReleaseBuffer()
+					break
+				}
+				if !ok {
+					break
+				}
+				c.pcbMu.Lock()
+				seq := c.seqAlloc
+				c.seqAlloc++
+				c.pcb = append(c.pcb, event{msg: m, seq: seq, at: now})
+				c.pcbMu.Unlock()
+				w.rt.parsedN.Add(1)
+				events++
 			}
-			if !ok {
-				break
+			if events > 0 {
+				w.markReady(c)
 			}
-			c.pcbMu.Lock()
-			seq := c.seqAlloc
-			c.seqAlloc++
-			c.pcb = append(c.pcb, event{msg: m, seq: seq, at: now})
-			c.pcbMu.Unlock()
-			w.rt.parsedN.Add(1)
-			events++
-		}
-		if events > 0 {
-			w.markReady(c)
 		}
 	}
-	for i := range segs {
-		segs[i] = segment{}
-	}
-	w.ingressSpare = segs[:0] // kernelMu-protected hand-back
 	return did
 }
 
-// markReady moves an idle connection to ready and publishes it in the
-// shuffle queue (exactly-once: ready connections are already queued, busy
-// ones re-queue themselves in finalize).
+// markReady publishes an idle connection in the ready ring (exactly-once:
+// ready connections are already queued, busy ones re-queue themselves in
+// finalizeLocked). Caller holds kernelMu — every Idle↔Ready transition
+// happens under it, which is what lets the ring's push side be
+// single-producer and the transition itself be a plain store.
 func (w *Worker) markReady(c *Conn) {
-	w.shuffleMu.Lock()
-	if c.state == StateIdle {
-		c.state = StateReady
-		w.pushShuffleLocked(c)
+	if ConnState(c.state.Load()) != StateIdle {
+		return
 	}
-	w.shuffleMu.Unlock()
+	c.state.Store(int32(StateReady))
+	w.ready.push(c)
 	w.signal()
-	w.rt.signalOther(w.id)
-}
-
-// pushShuffleLocked appends to the shuffle ring; the caller holds
-// shuffleMu. When the backing array is full but has consumed headroom,
-// it compacts in place instead of growing.
-func (w *Worker) pushShuffleLocked(c *Conn) {
-	if w.shufHead > 0 && len(w.shuffle) == cap(w.shuffle) {
-		n := copy(w.shuffle, w.shuffle[w.shufHead:])
-		for i := n; i < len(w.shuffle); i++ {
-			w.shuffle[i] = nil
-		}
-		w.shuffle = w.shuffle[:n]
-		w.shufHead = 0
+	if w.ready.Len() > 1 || w.inApp.Load() {
+		// More work than the home worker can start right now (or it is
+		// stuck in application code): wake one parked worker to steal or
+		// proxy.
+		w.rt.wakeOther(w.id)
 	}
-	w.shuffle = append(w.shuffle, c)
-	w.shuffleN.Add(1)
 }
 
-// finalize advances the Figure 5 state machine after an activation ends:
-// back to ready (and re-queued) if events arrived meanwhile, else idle.
-// Must run on the connection's home worker's structures (w is the home
-// worker).
-func (w *Worker) finalize(c *Conn) {
-	w.shuffleMu.Lock()
+// finalizeLocked advances the Figure 5 state machine after an activation
+// ends: back to ready (and re-queued) if events arrived meanwhile, else
+// idle. Caller holds the home worker's kernelMu; w is the home worker.
+func (w *Worker) finalizeLocked(c *Conn) {
 	c.pcbMu.Lock()
 	pend := len(c.pcb)
 	c.pcbMu.Unlock()
 	if pend > 0 {
-		c.state = StateReady
-		w.pushShuffleLocked(c)
-		w.shuffleMu.Unlock()
+		if !w.rt.running.Load() {
+			// Shutdown: no executor will ever take this connection again;
+			// release its queued events' buffer leases instead of
+			// stranding them in the ring.
+			w.discardConn(c)
+			return
+		}
+		c.state.Store(int32(StateReady))
+		w.ready.push(c)
 		w.signal()
-		w.rt.signalOther(w.id)
+		w.rt.wakeOther(w.id)
 		return
 	}
-	c.state = StateIdle
-	w.shuffleMu.Unlock()
-}
-
-// tryPopShuffle removes the oldest ready connection, transitioning it to
-// busy. Remote workers use the same entry point (their TryLock makes steal
-// attempts contention-friendly, as in the paper).
-func (w *Worker) tryPopShuffle() *Conn {
-	if w.shuffleN.Load() == 0 {
-		return nil
-	}
-	if !w.shuffleMu.TryLock() {
-		return nil
-	}
-	var c *Conn
-	if w.shufHead < len(w.shuffle) {
-		c = w.shuffle[w.shufHead]
-		w.shuffle[w.shufHead] = nil
-		w.shufHead++
-		if w.shufHead == len(w.shuffle) {
-			w.shuffle = w.shuffle[:0]
-			w.shufHead = 0
-		}
-		w.shuffleN.Add(-1)
-		c.state = StateBusy
-	}
-	w.shuffleMu.Unlock()
-	return c
+	c.state.Store(int32(StateIdle))
 }
 
 // activate runs the handler over the events present at dequeue time with
 // exclusive connection ownership (§4.3 ordering semantics). Each event
 // carries a completion token; synchronous replies are batched and
-// resolved at activation end (eagerly on the home core, via the remote
-// syscall queue for stolen work), while detached events resolve later
+// resolved through the TX sequencer at activation end — by the executing
+// worker, home or thief alike — while detached events resolve later
 // through their Completion handles. Per-event contexts and the
 // completion batch come from pools; a synchronous event's parse-buffer
 // lease is released here, after its handler has returned.
@@ -349,6 +339,10 @@ func (w *Worker) activate(c *Conn) {
 	c.pcbMu.Unlock()
 
 	cb := getComps()
+	// One timestamp serves the whole batch: a handler's queue delay is
+	// measured to activation start, and another clock read per event
+	// would cost more than the rest of the dispatch bookkeeping.
+	started := time.Now()
 	w.inApp.Store(true)
 	for _, ev := range evs {
 		w.rt.events.Add(1)
@@ -357,12 +351,13 @@ func (w *Worker) activate(c *Conn) {
 		}
 		x := ctxPool.Get().(*Ctx)
 		x.worker, x.conn, x.stolen, x.ev = w, c, stolen, ev
+		x.started = started
 		x.detached, x.done, x.frames = false, false, nil
 		w.rt.handler.Serve(x, c, ev.msg)
 		x.mu.Lock()
 		if x.detached {
 			// The Completion handle owns this token (and the Ctx) now; it
-			// resolves through the remote-syscall path whenever the
+			// resolves straight through the TX sequencer whenever the
 			// application completes it, releasing the payload lease then.
 			x.mu.Unlock()
 			continue
@@ -397,105 +392,299 @@ func (w *Worker) activate(c *Conn) {
 	c.pcbMu.Unlock()
 
 	if !stolen {
-		// Home execution: eager TX on the home core.
+		// Home execution: eager TX on the home core, then the state
+		// transition under our own kernel lock. If a proxier holds it,
+		// ship a bare fin through the remote stack instead of blocking —
+		// the lock holder (or our next loop iteration) resolves it.
 		c.completeBatch(cb.s)
 		putComps(cb)
-		w.finalize(c)
+		if w.kernelMu.TryLock() {
+			w.finalizeLocked(c)
+			w.kernelMu.Unlock()
+		} else {
+			shipRemote(w, c)
+		}
 		return
 	}
 
-	// Stolen execution: ship the batched syscalls home (§4.2 step b).
-	home.pushRemote(remoteOp{conn: c, comps: cb, fin: true})
-	home.signal()
+	// Stolen execution. The paper ships the whole remote batched syscall
+	// home because a stolen core cannot touch the home core's NIC TX
+	// queue without coherence traffic (§4.2 step b); our TX sequencer
+	// has no such ownership — txMu orders concurrent resolvers and
+	// tokens fix the transmit order — so the thief transmits eagerly
+	// right here, shaving a kernel-step round trip off every stolen
+	// reply. Only the PCB state-machine advance still ships home: the
+	// Busy→{Ready,Idle} transition and any re-queue must happen under
+	// the home's kernel lock (the ready ring's single-producer side).
+	c.completeBatch(cb.s)
+	putComps(cb)
+	shipRemote(home, c)
 	if !w.rt.cfg.DisableProxy {
 		w.rt.tryProxy(home)
 	}
+	// The runtime may have closed while we were executing, after the home
+	// worker's final drain — in which case we just published into a dead
+	// stack and must drain it ourselves.
+	home.selfDrainIfClosed()
 }
 
-// stealWork is the idle loop (§5): scan other workers' shuffle queues
-// first, then proxy the kernel step of workers with undrained ingress or
-// unflushed remote completions, in randomized victim order.
+// stealWork is the idle loop (§5): scan other workers' depth counters —
+// plain atomic loads, no locks — steal a batch from the first victim
+// with queued connections, else proxy the kernel step of a stuck worker
+// with undrained ingress or unflushed remote completions, in randomized
+// victim order.
+//
+// The scan runs under the Runtime.spinning announcement, which throttles
+// publishers' demand wakes while this worker is already looking. The
+// announcement is strictly scoped to the scan itself: it drops (with a
+// compensating wake — the wakep handoff) before any stolen handler or
+// proxied kernel step runs, so a thief busy in application code never
+// suppresses wakes for work it is not going to find.
 func (w *Worker) stealWork() bool {
+	w.rt.spinning.Add(1)
 	w.order = w.rt.stealOrder(w.rng, w.id, w.order)
 	for _, v := range w.order {
-		if c := w.rt.workers[v].tryPopShuffle(); c != nil {
-			w.activate(c)
-			return true
+		victim := w.rt.workers[v]
+		if victim.ready.Len() == 0 {
+			continue
 		}
+		// Bracket the steal with the active counter before the batch
+		// leaves the victim's ring: connections held in the local buffer
+		// are invisible to every depth counter, and quiescence (Flush)
+		// must not be observable while they are in transit.
+		w.active.Add(1)
+		n := victim.ready.stealBatch(w.stolen[:])
+		if n == 0 {
+			w.active.Add(-1)
+			continue
+		}
+		w.doneSpinning()
+		// Re-publish everything beyond the first in our own ready ring
+		// (Go's steal-half-into-own-runq pattern): the batch amortizes
+		// the victim's head CAS, but connections pinned in this worker's
+		// local buffer would be unreachable if the first activation
+		// blocks — a stalled handler or a peer exerting egress
+		// backpressure must not add its stall to unrelated stolen
+		// connections. In our own ring they stay visible to the home
+		// loop, to other thieves, and to quiescence accounting. Our
+		// kernelMu guards our ring's producer side; if a proxier holds
+		// it, fall back to executing the batch serially.
+		if n > 1 && w.kernelMu.TryLock() {
+			for i := 1; i < n; i++ {
+				w.stolen[i].state.Store(int32(StateReady))
+				w.ready.push(w.stolen[i])
+				w.stolen[i] = nil
+			}
+			w.kernelMu.Unlock()
+			w.rt.wakeOther(w.id)
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			w.activate(w.stolen[i])
+			w.stolen[i] = nil
+		}
+		w.active.Add(-1)
+		return true
 	}
 	if !w.rt.cfg.DisableProxy {
 		for _, v := range w.order {
 			victim := w.rt.workers[v]
-			if victim.ingressN.Load() == 0 && victim.remoteN.Load() == 0 {
+			if victim.ingress.Len() == 0 && !victim.remote.nonEmpty() {
 				continue
 			}
+			// Retract the announcement before the victim's kernel step
+			// runs: the step publishes ready connections whose demand
+			// wakes must not be suppressed by our own scan gate.
+			w.doneSpinning()
 			if w.rt.tryProxy(victim) {
 				return true
 			}
+			// Lost the TryLock race (the victim, or another worker, is
+			// mid-step there); re-announce and keep scanning.
+			w.rt.spinning.Add(1)
+		}
+	}
+	w.rt.spinning.Add(-1)
+	return false
+}
+
+// doneSpinning retracts this worker's scan announcement because it found
+// work to run, and issues a compensating wake: anything published while
+// the announcement suppressed demand wakes — including leftovers of the
+// batch just stolen — is handed to another parked worker instead of
+// waiting out its watchdog. (wakeOther re-checks the gate, so if another
+// scanner is still out there the wake is skipped and they inherit the
+// obligation.)
+func (w *Worker) doneSpinning() {
+	w.rt.spinning.Add(-1)
+	w.rt.wakeOther(w.id)
+}
+
+// pushIngress queues a raw segment, blocking while the ring is full
+// (transport backpressure). It fails once the runtime closes. Ownership
+// of the segment's buffer passes to the runtime either way: on error it
+// is returned to the pool here.
+func (w *Worker) pushIngress(sg segment) error {
+	if err := w.ingress.push(w, sg.conn, sg.data); err != nil {
+		w.rt.putSegment(sg.data)
+		return err
+	}
+	w.signal()
+	if w.inApp.Load() {
+		// The home core is busy in application code; wake a parked worker
+		// so an idle one can steal or proxy promptly.
+		w.rt.wakeOther(w.id)
+	}
+	// If close raced the publish, the worker's final drain may have run
+	// before our segment landed; drain it ourselves rather than strand
+	// the buffer.
+	w.selfDrainIfClosed()
+	return nil
+}
+
+// signal wakes the worker if it is parked; it never blocks. Wakes are
+// counted only when a parked worker was actually woken.
+func (w *Worker) signal() {
+	if w.ec.notify() {
+		w.rt.wakes.Add(1)
+	}
+}
+
+// maxParkBackoff caps the watchdog interval an idle worker backs off
+// to; demand wakes carry all real work, so the watchdog only guards
+// against protocol bugs and can be this lazy.
+const maxParkBackoff = 10 * time.Millisecond
+
+// park sleeps until a publisher's wake. The eventcount protocol makes
+// the sleep race-free: prepare announces the waiter, the work recheck
+// runs under that announcement, and every publisher makes its work
+// visible in a depth counter before notifying — so either the recheck
+// sees the work or the wait observes the generation change. ParkInterval
+// survives as a watchdog rescan bound, not the wake mechanism, and a
+// watchdog fire that found nothing doubles the next interval (up to
+// maxParkBackoff) so idle workers go quiet instead of polling.
+func (w *Worker) park() {
+	g := w.ec.prepare()
+	if w.parkWorkVisible() || !w.rt.running.Load() {
+		w.ec.cancel()
+		return
+	}
+	if w.parkBackoff < w.rt.cfg.ParkInterval {
+		w.parkBackoff = w.rt.cfg.ParkInterval
+	}
+	w.rt.parks.Add(1)
+	w.timerFired.Store(false)
+	w.parkTimer.Reset(w.parkBackoff)
+	w.ec.wait(g)
+	w.parkTimer.Stop()
+	if w.timerFired.Swap(false) {
+		// Watchdog wake, not demand: nothing arrived while we slept, so
+		// the next fruitless sleep may be longer. (parkBackoff resets in
+		// the run loop the moment any work executes.)
+		w.parkBackoff *= 2
+		if limit := max(maxParkBackoff, w.rt.cfg.ParkInterval); w.parkBackoff > limit {
+			w.parkBackoff = limit
+		}
+	}
+}
+
+// parkWorkVisible scans the depth counters a parked worker could act on:
+// its own three queues, other workers' ready rings (stealable), and —
+// when proxying is enabled — the undrained ingress/remote queues of
+// workers stuck in application code.
+func (w *Worker) parkWorkVisible() bool {
+	if w.ingress.Len() > 0 || w.remote.nonEmpty() || w.ready.Len() > 0 {
+		return true
+	}
+	if w.rt.cfg.DisableStealing {
+		return false
+	}
+	for _, v := range w.rt.workers {
+		if v == w {
+			continue
+		}
+		if v.ready.Len() > 0 {
+			return true
+		}
+		// Proxyable work keeps us awake only when the victim is stuck in
+		// application code. A transient backlog on a healthy worker must
+		// NOT count — it would busy-spin every idle worker against the
+		// victim's own in-progress kernel step. A victim wedged outside
+		// both app code and its kernel step (blocked on a stalled peer's
+		// egress backpressure) is instead reached by the watchdog, whose
+		// backed-off rescans run the depth-gated proxy scan within
+		// maxParkBackoff.
+		if !w.rt.cfg.DisableProxy && v.inApp.Load() &&
+			(v.ingress.Len() > 0 || v.remote.nonEmpty()) {
+			return true
 		}
 	}
 	return false
 }
 
-// pushIngress queues a raw segment, blocking while the queue is full
-// (transport backpressure). It fails once the runtime closes. Ownership
-// of the segment's buffer passes to the runtime either way: on error it
-// is returned to the pool here.
-func (w *Worker) pushIngress(sg segment) error {
-	w.ingressMu.Lock()
-	for len(w.ingress) >= w.rt.cfg.IngressCap {
-		if !w.rt.running.Load() {
-			w.ingressMu.Unlock()
-			bufpool.Put(sg.data)
-			return errRuntimeClosed
+// selfDrainIfClosed runs this worker's shutdown drain when the runtime
+// has closed. It is the late-publisher handoff every post-close race
+// resolves through: whichever goroutine observes the closed runtime
+// after publishing (a transport reader's segment, a stolen activation's
+// fin, a detached completion) drains the queues itself, so nothing is
+// stranded behind a worker that already ran its final drain.
+func (w *Worker) selfDrainIfClosed() {
+	if w.rt.running.Load() {
+		return
+	}
+	w.kernelMu.Lock()
+	w.shutdownDrain()
+	w.kernelMu.Unlock()
+}
+
+// shutdownDrain returns every queued resource once the runtime has
+// closed: remote completions resolve (their replies are already
+// encoded), undrained ingress segments go back to the segment pool
+// unparsed, and ready connections' undelivered events release their
+// parse-buffer leases. Caller holds kernelMu. It is idempotent and may
+// be run by the exiting worker, by a late producer, or by a detached
+// resolver — whoever observes the closed runtime last.
+func (w *Worker) shutdownDrain() {
+	w.drainRemote()
+	for {
+		sg, ok := w.ingress.pop()
+		if !ok {
+			break
 		}
-		w.ingressCond.Wait()
+		w.rt.putSegment(sg.data)
 	}
-	w.ingress = append(w.ingress, sg)
-	w.ingressN.Add(1)
-	w.ingressMu.Unlock()
-	w.signal()
-	if w.inApp.Load() {
-		// The home core is busy in application code; nudge another worker
-		// so an idle one can steal or proxy promptly.
-		w.rt.signalOther(w.id)
-	}
-	return nil
-}
-
-func (w *Worker) pushRemote(op remoteOp) {
-	w.remoteMu.Lock()
-	w.remote = append(w.remote, op)
-	w.remoteN.Add(1)
-	w.remoteMu.Unlock()
-}
-
-// signal wakes the worker if it is parked; it never blocks.
-func (w *Worker) signal() {
-	select {
-	case w.wake <- struct{}{}:
-	default:
+	// Unblock any producers still parked on the full ring; they will
+	// observe the closed runtime and fail their push.
+	w.ingress.notFull.notify()
+	for {
+		c := w.ready.popOne()
+		if c == nil {
+			break
+		}
+		w.discardConn(c)
 	}
 }
 
-// park sleeps until signalled or until the park interval elapses; the
-// interval bounds how stale an idle worker's view of stealable work can
-// get (the polling idle loop of §5, without burning a host CPU). The
-// timer is owned by this worker and reused across parks — Go 1.23+
-// timer semantics make the bare Reset/Stop pattern race-free.
-func (w *Worker) park() {
-	w.parkTimer.Reset(w.rt.cfg.ParkInterval)
-	select {
-	case <-w.wake:
-		w.parkTimer.Stop()
-	case <-w.parkTimer.C:
+// discardConn drops a connection's undelivered events at shutdown,
+// releasing their parse-buffer leases and settling the backlog
+// accounting, and parks the state machine at Idle.
+func (w *Worker) discardConn(c *Conn) {
+	c.pcbMu.Lock()
+	evs := c.pcb
+	c.pcb = nil
+	c.pcbMu.Unlock()
+	for i := range evs {
+		evs[i].msg.Release()
+		evs[i] = event{}
+		w.rt.completedN.Add(1)
 	}
+	c.state.Store(int32(StateIdle))
 }
 
 // quiescent reports whether this worker has no queued or in-flight work.
 func (w *Worker) quiescent() bool {
-	return w.ingressN.Load() == 0 &&
-		w.remoteN.Load() == 0 &&
-		w.shuffleN.Load() == 0 &&
+	return w.ingress.Len() == 0 &&
+		!w.remote.nonEmpty() &&
+		w.ready.Len() == 0 &&
 		w.active.Load() == 0
 }

@@ -74,7 +74,9 @@ func (c *ClientConn) ServerConn() *core.Conn { return c.server }
 // buffer valid only for the duration of the callback; retain a copy. It
 // is the open-loop primitive the load generator uses. The request frame
 // is encoded into a pooled segment handed straight to the runtime — no
-// intermediate copies.
+// intermediate copies. When the home worker's ingress ring is full this
+// call blocks (spin-then-park) until the kernel step drains it: the
+// same backpressure a socket write would exert.
 func (c *ClientConn) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge

@@ -141,10 +141,15 @@ func (s *Server) handle(nc net.Conn, w *connWriter) {
 	// the runtime and the next iteration leases a fresh one. This keeps
 	// per-connection memory at one buffer regardless of connection count
 	// instead of churning 64KB leases through the pool on every read.
+	// The parting buffer goes back through PutSegment so the runtime's
+	// live-segment accounting stays exact. When the ingress ring fills,
+	// IngressOwned blocks this reader (spin-then-park on the ring's
+	// eventcount) — the same backpressure the old condvar provided,
+	// without a lock on the fast path.
 	var buf []byte
 	defer func() {
 		if buf != nil {
-			bufpool.Put(buf)
+			s.rt.PutSegment(buf)
 		}
 	}()
 	for {

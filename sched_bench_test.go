@@ -1,0 +1,108 @@
+// Scheduler-scaling benchmarks: the same pipelined echo load run against
+// 1, 2, 4 and 8 scheduler cores, with one connection homed on every
+// worker and an independent driver goroutine per connection. Unlike the
+// BenchmarkHotPath* suite (which isolates the data path), these stress
+// the control path end to end — ingress ring publishes, ready-ring
+// pushes and steals, remote-syscall drains, eventcount parks and wakes —
+// and how it scales as cores are added. BENCH_sched.json tracks them
+// across PRs (`make bench` regenerates the "current" section); make
+// bench-smoke additionally records GOMAXPROCS=1 and GOMAXPROCS=4 columns
+// so a scaling regression shows up even when a single-core run looks
+// healthy. Note that with GOMAXPROCS below the core count the workers
+// time-share OS threads, so ns/op then measures scheduling-fabric
+// overhead rather than hardware parallelism.
+package zygos
+
+import (
+	"sync"
+	"testing"
+)
+
+// benchSchedScale drives a pipelined window of echo requests at a
+// server with the given core count, one connection per worker.
+func benchSchedScale(b *testing.B, cores int) {
+	b.Helper()
+	srv := newBenchEchoServer(b, cores)
+
+	// One client homed on each worker, so every ingress ring, ready ring
+	// and eventcount participates.
+	clients := make([]*Client, cores)
+	for w := 0; w < cores; w++ {
+		for {
+			c := srv.NewClient()
+			if c.Home() == w {
+				clients[w] = c
+				break
+			}
+			c.Close()
+		}
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	const window = 32
+	payload := []byte("0123456789abcdef")
+	per := b.N / cores
+	extra := b.N % cores
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		n := per
+		if i < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(c *Client, n int) {
+			defer wg.Done()
+			var inflight sync.WaitGroup
+			cb := func([]byte, error) { inflight.Done() }
+			for k := 0; k < n; k++ {
+				inflight.Add(1)
+				if err := c.SendAsync(payload, cb); err != nil {
+					b.Error(err)
+					inflight.Done()
+					return
+				}
+				if k%window == window-1 {
+					inflight.Wait()
+				}
+			}
+			inflight.Wait()
+		}(c, n)
+	}
+	wg.Wait()
+}
+
+func BenchmarkSchedScale1(b *testing.B) { benchSchedScale(b, 1) }
+func BenchmarkSchedScale2(b *testing.B) { benchSchedScale(b, 2) }
+func BenchmarkSchedScale4(b *testing.B) { benchSchedScale(b, 4) }
+func BenchmarkSchedScale8(b *testing.B) { benchSchedScale(b, 8) }
+
+// BenchmarkSchedWakeLatency measures the single-request round trip with
+// a fully idle worker pool: every call parks all workers and the reply
+// requires a demand wake, so this is the eventcount's wake path latency
+// (the replacement for the old park-interval poll).
+func BenchmarkSchedWakeLatency(b *testing.B) {
+	srv := newBenchEchoServer(b, 2)
+	c := srv.NewClient()
+	defer c.Close()
+	payload := []byte("wake")
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.CallInto(payload, buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = r
+	}
+	if st := srv.Stats(); st.Parks == 0 {
+		b.Log("warning: no parks recorded; wake path not exercised")
+	}
+}

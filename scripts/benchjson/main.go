@@ -7,6 +7,13 @@
 //
 // The first run against a missing file also seeds the "baseline"
 // section, bootstrapping the trajectory.
+//
+// With -gate PCT it becomes a regression gate instead: the stdin results
+// are compared against the committed reference section of -out ("current",
+// falling back to "baseline"), nothing is written, and the exit status is
+// nonzero if any benchmark's ns/op regressed by more than PCT percent:
+//
+//	go test -run '^$' -bench BenchmarkHotPath -benchmem . | go run ./scripts/benchjson -out BENCH_hotpath.json -gate 25
 package main
 
 import (
@@ -15,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -40,12 +48,17 @@ func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "trajectory file to update")
 	label := flag.String("label", "current", "section to replace (baseline|current|smoke|...)")
 	note := flag.String("note", "", "free-form note stored in the section")
+	gate := flag.Float64("gate", 0, "regression gate: compare stdin ns/op against the committed reference section of -out (current, else baseline), write nothing, exit nonzero beyond this percentage")
 	flag.Parse()
 
 	benches := parse(os.Stdin)
 	if len(benches) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no Benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *gate > 0 {
+		os.Exit(runGate(*out, *gate, benches))
 	}
 
 	doc := map[string]*Section{}
@@ -82,6 +95,78 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s section %q\n", len(benches), *out, *label)
+}
+
+// runGate compares the measured benches against the committed reference
+// section of the trajectory file — "current" (the most recent committed
+// measurement), falling back to "baseline" — and returns the process
+// exit code: 0 when every shared benchmark's ns/op is within gatePct
+// percent of its reference, 1 otherwise. Anchoring to "current" matters:
+// gating against the never-updated baseline would let a benchmark that
+// has since improved severalfold regress all the way back without
+// tripping. Benchmarks missing from the reference are reported but do
+// not fail the gate (they gain a reference at the next `make bench`).
+func runGate(out string, gatePct float64, benches map[string]Result) int {
+	data, err := os.ReadFile(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: -gate needs a committed trajectory: %v\n", err)
+		return 1
+	}
+	doc := map[string]*Section{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s is not a trajectory file: %v\n", out, err)
+		return 1
+	}
+	base := doc["current"]
+	if base == nil || len(base.Benchmarks) == 0 {
+		base = doc["baseline"]
+	}
+	if base == nil || len(base.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s has no current or baseline section to gate against\n", out)
+		return 1
+	}
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		cur := benches[name]
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %-32s %10.0f ns/op (no reference, skipped)\n", name, cur.NsPerOp)
+			continue
+		}
+		delta := (cur.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		verdict := "ok"
+		if delta > gatePct {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate: %-32s %10.0f ns/op vs %s %10.0f (%+6.1f%%, limit +%.0f%%) %s\n",
+			name, cur.NsPerOp, base.Label, b.NsPerOp, delta, gatePct, verdict)
+	}
+	// The reverse direction must fail too: a benchmark present in the
+	// committed reference but absent from the run (renamed, or filtered
+	// out by a narrowed -bench regex) would otherwise slip out of the
+	// gate silently.
+	missing := make([]string, 0)
+	for name := range base.Benchmarks {
+		if _, ok := benches[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "benchjson: gate: %-32s in reference %q but not measured (renamed or filtered out?)\n", name, base.Label)
+		failed = true
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchjson: gate failed: ns/op regression beyond %.0f%% of the committed reference, or reference benchmarks missing from the run\n", gatePct)
+		return 1
+	}
+	return 0
 }
 
 // parse extracts Benchmark lines of the form

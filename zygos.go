@@ -114,8 +114,13 @@ type Request struct {
 	// ArrivedAt is when the request was parsed off the wire on its home
 	// core.
 	ArrivedAt time.Time
-	// QueueDelay is how long the request waited between arrival and
-	// handler start — scheduling delay, the paper's tail-latency metric.
+	// QueueDelay is how long the request waited between arrival and the
+	// start of its activation — the scheduler-induced delay the paper's
+	// tail-latency argument is about. Requests executing in one
+	// activation batch (pipelined on the same connection) share the
+	// batch's start timestamp: a predecessor's handler time is service
+	// order imposed by per-connection exclusivity, not scheduling, and
+	// is visible in the end-to-end Latency histogram instead.
 	QueueDelay time.Duration
 }
 
@@ -206,6 +211,16 @@ type Stats struct {
 	Conns uint64
 	// Detached counts requests whose handlers detached their reply.
 	Detached uint64
+	// Parks counts times an idle worker committed to sleep on its
+	// eventcount; with wake-on-demand parking this tracks genuine idle
+	// transitions, not a poll interval.
+	Parks uint64
+	// Wakes counts demand wakes delivered to parked workers by
+	// publishers (ingress arrivals, ready publications, steal
+	// propagation). Wakes ≪ Parks means workers mostly ride the
+	// watchdog; Wakes ≈ Parks means the fabric is waking them exactly
+	// when work arrives.
+	Wakes uint64
 	// Shed counts requests rejected by the AdmissionControl middleware.
 	Shed uint64
 	// Latency summarizes end-to-end latency (arrival to reply,
@@ -223,6 +238,16 @@ func (s Stats) StealFraction() float64 {
 		return 0
 	}
 	return float64(s.Steals) / float64(s.Events)
+}
+
+// ProxyFraction returns proxied kernel steps per executed event — how
+// often the IPI analogue fired relative to useful work, the companion
+// metric to StealFraction for the paper's interrupt-cost discussion.
+func (s Stats) ProxyFraction() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.Proxies) / float64(s.Events)
 }
 
 // Server is a ZygOS-style RPC server.
@@ -262,7 +287,7 @@ func NewServer(cfg Config) (*Server, error) {
 				Stolen:     ctx.Stolen(),
 				OneWay:     m.Flags&proto.FlagOneWay != 0,
 				ArrivedAt:  ctx.ArrivedAt(),
-				QueueDelay: time.Since(ctx.ArrivedAt()),
+				QueueDelay: ctx.QueueDelay(),
 			}
 			h := s.handler.Load().(Handler)
 			h(coreWriter{ctx}, req)
@@ -339,6 +364,8 @@ func (s *Server) Stats() Stats {
 		Proxies:    st.Proxies,
 		Conns:      st.Conns,
 		Detached:   st.Detached,
+		Parks:      st.Parks,
+		Wakes:      st.Wakes,
 		Shed:       s.shed.Load(),
 		Latency:    s.latency.snapshot(),
 		QueueDelay: s.qdelay.snapshot(),
