@@ -20,10 +20,11 @@ test: vet
 vet:
 	$(GO) vet ./...
 
-# Hot-path benchmark trajectory: run the BenchmarkHotPath* suite and
-# update the "current" section of BENCH_hotpath.json (the committed
-# "baseline" section is preserved for comparison), then do the same for
-# the scheduler-scaling suite in BENCH_sched.json.
+# Hot-path benchmark trajectory: run the BenchmarkHotPath* suite —
+# including BenchmarkHotPathRoutedKV, the method-dispatched GET/SET mix
+# over memnet — and update the "current" section of BENCH_hotpath.json
+# (the committed "baseline" section is preserved for comparison), then
+# do the same for the scheduler-scaling suite in BENCH_sched.json.
 bench: bench-sched
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label current
 
@@ -35,7 +36,9 @@ bench-sched:
 # One iteration of every benchmark as a compile-and-run smoke check,
 # then 1x hot-path+sched passes at GOMAXPROCS=1 and GOMAXPROCS=4
 # recorded as separate sections, so a scaling regression is visible in
-# the CI artifact even when the single-core column looks healthy.
+# the CI artifact even when the single-core column looks healthy. The
+# BenchmarkHotPath pattern includes BenchmarkHotPathRoutedKV, so the
+# method-routed serving path is smoked alongside the echo shapes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'BenchmarkHotPath|BenchmarkSched' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label smoke-p1 -note "1x smoke pass at GOMAXPROCS=1, not a performance measurement"

@@ -55,6 +55,44 @@ func TestAllocsMemnetEchoRoundTrip(t *testing.T) {
 	}
 }
 
+// The method-routed echo round trip — v3 frames both ways, Mux
+// dispatch, CallMethodInto — must stay as allocation-free as the legacy
+// path: routing adds a map lookup, not an allocation.
+func TestAllocsRoutedEchoRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is load-bearing; skip under -short")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and sync.Pool drops Puts under -race")
+	}
+	const method = 7
+	mux := NewMux()
+	mux.HandleFunc(method, func(w ResponseWriter, req *Request) { w.Reply(req.Payload) })
+	srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.NewClient()
+	defer c.Close()
+	payload := []byte("0123456789abcdef")
+	var buf []byte
+	call := func() {
+		r, err := c.CallMethodInto(method, payload, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = r
+	}
+	for i := 0; i < 512; i++ {
+		call()
+	}
+	allocs := testing.AllocsPerRun(2000, call)
+	if allocs >= allocBudget {
+		t.Fatalf("routed echo round trip allocates %.2f/op; budget %.2f (method dispatch must stay allocation-free)", allocs, allocBudget)
+	}
+}
+
 // The v2 reply encode path — what Ctx.complete does per reply — must be
 // allocation-free when the destination buffer is reused.
 func TestAllocsReplyEncodeV2(t *testing.T) {
@@ -66,5 +104,18 @@ func TestAllocsReplyEncodeV2(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("v2 reply encode allocates %.2f/op; want 0", allocs)
+	}
+}
+
+// The v3 reply encode (method-carrying frames) holds the same bar.
+func TestAllocsReplyEncodeV3(t *testing.T) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	m := proto.Message{ID: 42, Method: 7, Payload: payload, Status: proto.StatusOK, V3: true}
+	buf := make([]byte, 0, proto.FrameSizeV3(len(payload)))
+	allocs := testing.AllocsPerRun(5000, func() {
+		buf = proto.AppendMessage(buf[:0], m)
+	})
+	if allocs != 0 {
+		t.Fatalf("v3 reply encode allocates %.2f/op; want 0", allocs)
 	}
 }

@@ -3,7 +3,7 @@
 // microbenchmarks of the real runtime. Set ZYGOS_FULL=1 to run the dense
 // grids used for EXPERIMENTS.md; the default keeps a full -bench=. pass
 // laptop-sized.
-package zygos
+package zygos_test
 
 import (
 	"fmt"
@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"zygos"
 	"zygos/internal/experiments"
 )
 
@@ -84,9 +85,9 @@ func BenchmarkAblationStealCosts(b *testing.B) { runExperiment(b, "ablation") }
 // BenchmarkRuntimeEchoInProc measures round-trip request/response
 // throughput of the real runtime over the in-memory transport.
 func BenchmarkRuntimeEchoInProc(b *testing.B) {
-	srv, err := NewServer(Config{
+	srv, err := zygos.NewServer(zygos.Config{
 		Cores:   2,
-		Handler: func(w ResponseWriter, req *Request) { w.Reply(req.Payload) },
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) { w.Reply(req.Payload) },
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -106,9 +107,9 @@ func BenchmarkRuntimeEchoInProc(b *testing.B) {
 // BenchmarkRuntimePipelined measures pipelined (open-loop) throughput
 // with many outstanding requests per connection.
 func BenchmarkRuntimePipelined(b *testing.B) {
-	srv, err := NewServer(Config{
+	srv, err := zygos.NewServer(zygos.Config{
 		Cores:   2,
-		Handler: func(w ResponseWriter, req *Request) { w.Reply(req.Payload) },
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) { w.Reply(req.Payload) },
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -132,9 +133,9 @@ func BenchmarkRuntimePipelined(b *testing.B) {
 // on one worker and the rest must steal — the work-conservation fast
 // path.
 func BenchmarkRuntimeStealingSkewed(b *testing.B) {
-	srv, err := NewServer(Config{
+	srv, err := zygos.NewServer(zygos.Config{
 		Cores: 4,
-		Handler: func(w ResponseWriter, req *Request) {
+		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
 			// A small spin makes stealing worthwhile; completion is
 			// observed through the response.
 			deadline := time.Now().Add(20 * time.Microsecond)
@@ -147,7 +148,7 @@ func BenchmarkRuntimeStealingSkewed(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer srv.Close()
-	var skewed []*Client
+	var skewed []*zygos.Client
 	for len(skewed) < 8 {
 		c := srv.NewClient()
 		if c.Home() == 0 {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	zygos-bench [-experiment all|fig2|fig3|fig6|fig7|fig8|fig9|fig10a|fig10b|table1|fig11] [-full] [-seed N]
-//	zygos-bench -live [-requests N] [-cores N]
+//	zygos-bench -live [-requests N] [-cores N] [-method M]
 //
 // The default quick mode finishes in minutes; -full (or ZYGOS_FULL=1)
 // selects the dense grids used for EXPERIMENTS.md. -live skips the
@@ -61,11 +61,12 @@ func main() {
 		live       = flag.Bool("live", false, "measure the real runtime instead of the simulators")
 		requests   = flag.Int("requests", 50000, "live: requests per transport")
 		cores      = flag.Int("cores", 0, "live: worker cores (0 = GOMAXPROCS)")
+		method     = flag.Uint("method", 0, "live: route the echo through this wire method ID via a Mux (0 = bare handler, legacy frames)")
 	)
 	flag.Parse()
 
 	if *live {
-		if err := runLive(*requests, *cores); err != nil {
+		if err := runLive(*requests, *cores, uint16(*method)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -101,11 +102,20 @@ func main() {
 // runLive measures closed-loop echo latency of the real runtime. The
 // measurement function takes a zygos.Caller, so the same code path
 // drives the in-process transport and the TCP loopback transport; only
-// the dial differs.
-func runLive(requests, cores int) error {
+// the dial differs. With method != 0 the echo handler is mounted on a
+// Mux under that wire method and calls travel as v3 frames —
+// exercising the routed dispatch path end to end.
+func runLive(requests, cores int, method uint16) error {
+	echo := func(w zygos.ResponseWriter, req *zygos.Request) { w.Reply(req.Payload) }
+	handler := zygos.Handler(echo)
+	if method != 0 {
+		mux := zygos.NewMux()
+		mux.HandleFunc(method, echo)
+		handler = mux.Handler()
+	}
 	srv, err := zygos.NewServer(zygos.Config{
 		Cores:   cores,
-		Handler: func(w zygos.ResponseWriter, req *zygos.Request) { w.Reply(req.Payload) },
+		Handler: handler,
 	})
 	if err != nil {
 		return err
@@ -132,7 +142,13 @@ func runLive(requests, cores int) error {
 		start := time.Now()
 		for i := 0; i < requests; i++ {
 			t0 := time.Now()
-			r, err := c.CallInto(payload, buf[:0])
+			var r []byte
+			var err error
+			if method != 0 {
+				r, err = c.CallMethodInto(method, payload, buf[:0])
+			} else {
+				r, err = c.CallInto(payload, buf[:0])
+			}
 			if err != nil {
 				return fmt.Errorf("%s call %d: %w", name, i, err)
 			}

@@ -8,11 +8,16 @@
 // process's cores — handy for trying the scheduler without a second
 // terminal.
 //
+// Requests are method-routed (v3 frames): the kv presets (etc/usr)
+// emit real GET/SET routes, tpcc draws the five transaction methods
+// with the standard mix, and -method stamps a fixed method ID on the
+// spin workload (0 = the legacy route).
+//
 // Usage:
 //
 //	zygos-loadgen -addr localhost:9000 -workload spin -mean 10 -dist exponential -rate 50000 -requests 200000
 //	zygos-loadgen -addr localhost:9000 -workload etc -rate 100000
-//	zygos-loadgen -inproc -workload spin -rate 50000 -requests 200000
+//	zygos-loadgen -inproc -workload spin -method 7 -rate 50000 -requests 200000
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"zygos"
 	"zygos/internal/dist"
 	"zygos/internal/mutilate"
+	"zygos/internal/tpcc"
 )
 
 func main() {
@@ -37,6 +43,7 @@ func main() {
 		cores    = flag.Int("cores", 0, "inproc: worker cores (0 = GOMAXPROCS)")
 		shed     = flag.Int("shed", 0, "inproc: admission-control depth (0 = off)")
 		workload = flag.String("workload", "spin", "spin|etc|usr|tpcc")
+		method   = flag.Uint("method", 0, "spin: wire method ID to stamp on requests (0 = legacy route)")
 		distName = flag.String("dist", "exponential", "spin: service-time distribution ("+strings.Join(dist.Names(), "|")+")")
 		meanUS   = flag.Int64("mean", 10, "spin: mean service time µs")
 		conns    = flag.Int("conns", 32, "connections")
@@ -54,7 +61,7 @@ func main() {
 		log.Fatalf("-inproc starts a spin-mode server; workload %q needs a real zygos-server -mode %s", *workload, *workload)
 	}
 
-	gen, check, err := buildWorkload(*workload, *distName, *meanUS, *keys, *seed)
+	gen, check, err := buildWorkload(*workload, uint16(*method), *distName, *meanUS, *keys, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -155,17 +162,20 @@ func dialTargets(inproc bool, addr string, conns, cores, shed int) ([]zygos.Call
 	return callers, srv, nil
 }
 
-func buildWorkload(name, distName string, meanUS int64, keys int, seed int64) (func(*rand.Rand) []byte, func([]byte) bool, error) {
+// buildWorkload returns the method-routed request generator. The kv
+// presets emit real GET/SET routes and tpcc the five transaction
+// methods; the spin workload stamps the -method flag on every request.
+func buildWorkload(name string, method uint16, distName string, meanUS int64, keys int, seed int64) (func(*rand.Rand) (uint16, []byte), func([]byte) bool, error) {
 	switch name {
 	case "spin":
 		d, err := dist.ByName(distName, meanUS*1000)
 		if err != nil {
 			return nil, nil, err
 		}
-		gen := func(rng *rand.Rand) []byte {
+		gen := func(rng *rand.Rand) (uint16, []byte) {
 			var p [8]byte
 			binary.LittleEndian.PutUint64(p[:], uint64(d.Sample(rng)))
-			return p[:]
+			return method, p[:]
 		}
 		return gen, nil, nil
 	case "etc":
@@ -173,7 +183,7 @@ func buildWorkload(name, distName string, meanUS int64, keys int, seed int64) (f
 	case "usr":
 		return mutilate.USR(keys).Gen(), nil, nil
 	case "tpcc":
-		gen := func(rng *rand.Rand) []byte { return []byte{0} }
+		gen := func(rng *rand.Rand) (uint16, []byte) { return tpcc.PickMethod(rng), nil }
 		check := func(resp []byte) bool { return len(resp) == 1 && resp[0] == 0 }
 		return gen, check, nil
 	default:

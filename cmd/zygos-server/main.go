@@ -25,10 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -101,19 +101,30 @@ func main() {
 		log.Printf("final latency: %v", st.Latency)
 		log.Printf("final queue delay: %v", st.QueueDelay)
 	}
+	// Per-route (wire method) breakdown, sorted by method ID.
+	methods := make([]int, 0, len(st.Routes))
+	for m := range st.Routes {
+		methods = append(methods, int(m))
+	}
+	sort.Ints(methods)
+	for _, m := range methods {
+		rs := st.Routes[uint16(m)]
+		log.Printf("final route %d: count=%d %v", m, rs.Count, rs.Latency)
+	}
 	srv.Close()
 }
 
+// buildHandler returns the mode's Handler. The kv and tpcc applications
+// mount as method-routed Muxes (each operation or transaction type has
+// its own wire method, with a method-0 legacy route for v1/v2 clients);
+// spin stays a single bare handler.
 func buildHandler(mode string, warehouses int) (zygos.Handler, func(), error) {
 	switch mode {
 	case "spin":
 		return spinHandler, func() {}, nil
 	case "kv":
 		store := kv.NewStore(64, 256<<20)
-		h := func(w zygos.ResponseWriter, req *zygos.Request) {
-			w.Reply(store.Serve(req.Payload))
-		}
-		return h, func() {}, nil
+		return store.NewMux().Handler(), func() {}, nil
 	case "tpcc":
 		db := silo.NewDB(10 * time.Millisecond)
 		store, err := tpcc.Load(db, tpcc.Config{Warehouses: warehouses}, 1)
@@ -122,22 +133,7 @@ func buildHandler(mode string, warehouses int) (zygos.Handler, func(), error) {
 			return nil, nil, err
 		}
 		log.Printf("tpcc: loaded %d warehouses", warehouses)
-		// One RNG per worker: a worker runs one handler at a time, so
-		// indexing by req.Worker is race-free.
-		rngs := make([]*rand.Rand, 1024)
-		for i := range rngs {
-			rngs[i] = rand.New(rand.NewSource(int64(i) + 7))
-		}
-		h := func(w zygos.ResponseWriter, req *zygos.Request) {
-			rng := rngs[req.Worker]
-			tt := tpcc.Pick(rng)
-			if err := store.Run(req.Worker, rng, tt); err != nil && err != silo.ErrUserAbort {
-				w.Error(zygos.StatusAppError, fmt.Sprintf("tpcc %v: %v", tt, err))
-				return
-			}
-			w.Reply([]byte{0})
-		}
-		return h, db.Close, nil
+		return store.NewMux(7).Handler(), db.Close, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown mode %q", mode)
 	}

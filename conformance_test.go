@@ -1,0 +1,312 @@
+// Caller conformance suite: every Caller primitive must behave
+// identically over the in-process transport (srv.NewClient) and the TCP
+// transport (DialClient), so memnet and tcpnet cannot drift. The server
+// under test is a Mux with method-tagged echo routes, an error route,
+// and a one-way counter, which lets each subtest prove both the reply
+// contents and the route the request actually took. Frame-version
+// interop (v1/v2/v3 on one stream, version-mirrored replies) is checked
+// at the raw socket level at the bottom.
+package zygos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zygos/internal/proto"
+)
+
+// Conformance-server routes. Method 0 is deliberately registered too:
+// legacy (v2) traffic and v3 traffic naming method 0 must land on the
+// same handler.
+const (
+	confEchoA uint16 = 1
+	confEchoB uint16 = 2
+	confErr   uint16 = 3
+	confOne   uint16 = 4
+)
+
+// newConformanceServer mounts the conformance Mux and returns the
+// server, a TCP address serving it, and the one-way counter.
+func newConformanceServer(t *testing.T) (*Server, string, *atomic.Int64) {
+	t.Helper()
+	oneWays := new(atomic.Int64)
+	mux := NewMux()
+	// Echo routes reply [method:2 LE][payload]: the tag proves which
+	// route ran and that Request.Method survived the trip.
+	tagEcho := func(w ResponseWriter, req *Request) {
+		var hdr [2]byte
+		binary.LittleEndian.PutUint16(hdr[:], req.Method)
+		w.Reply(append(hdr[:], req.Payload...))
+	}
+	mux.HandleFunc(0, tagEcho)
+	mux.HandleFunc(confEchoA, tagEcho)
+	mux.HandleFunc(confEchoB, tagEcho)
+	mux.HandleFunc(confErr, func(w ResponseWriter, req *Request) {
+		w.Error(StatusAppError, "route says no")
+	})
+	mux.HandleFunc(confOne, func(w ResponseWriter, req *Request) {
+		if req.OneWay {
+			oneWays.Add(1)
+		}
+		w.Reply(req.Payload)
+	})
+	srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	return srv, l.Addr().String(), oneWays
+}
+
+// wantTagged asserts a [method:2][payload] reply.
+func wantTagged(t *testing.T, resp []byte, method uint16, payload string) {
+	t.Helper()
+	if len(resp) < 2 {
+		t.Fatalf("short reply %q", resp)
+	}
+	if got := binary.LittleEndian.Uint16(resp[:2]); got != method {
+		t.Fatalf("request routed to method %d, want %d", got, method)
+	}
+	if string(resp[2:]) != payload {
+		t.Fatalf("payload %q, want %q", resp[2:], payload)
+	}
+}
+
+// TestCallerConformance drives the full Caller surface over both
+// transports through one table of primitives.
+func TestCallerConformance(t *testing.T) {
+	srv, addr, oneWays := newConformanceServer(t)
+
+	steps := []struct {
+		name string
+		run  func(t *testing.T, c Caller)
+	}{
+		{"Call routes to method 0", func(t *testing.T, c Caller) {
+			resp, err := c.Call([]byte("legacy"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, resp, 0, "legacy")
+		}},
+		{"CallInto matches Call", func(t *testing.T, c Caller) {
+			buf := make([]byte, 0, 64)
+			resp, err := c.CallInto([]byte("into"), buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, resp, 0, "into")
+		}},
+		{"CallMethod routes by method", func(t *testing.T, c Caller) {
+			for _, m := range []uint16{confEchoA, confEchoB, 0} {
+				resp, err := c.CallMethod(m, []byte("routed"))
+				if err != nil {
+					t.Fatalf("method %d: %v", m, err)
+				}
+				wantTagged(t, resp, m, "routed")
+			}
+		}},
+		{"CallMethodInto matches CallMethod", func(t *testing.T, c Caller) {
+			var buf []byte
+			for i := 0; i < 3; i++ {
+				resp, err := c.CallMethodInto(confEchoB, []byte("mi"), buf[:0])
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantTagged(t, resp, confEchoB, "mi")
+				buf = resp
+			}
+		}},
+		{"SendAsync routes to method 0", func(t *testing.T, c Caller) {
+			done := make(chan []byte, 1)
+			if err := c.SendAsync([]byte("async"), func(resp []byte, err error) {
+				if err != nil {
+					t.Errorf("SendAsync: %v", err)
+				}
+				done <- append([]byte(nil), resp...)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, <-done, 0, "async")
+		}},
+		{"SendMethodAsync routes by method", func(t *testing.T, c Caller) {
+			done := make(chan []byte, 1)
+			if err := c.SendMethodAsync(confEchoA, []byte("masync"), func(resp []byte, err error) {
+				if err != nil {
+					t.Errorf("SendMethodAsync: %v", err)
+				}
+				done <- append([]byte(nil), resp...)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, <-done, confEchoA, "masync")
+		}},
+		{"SendOneWay and SendMethodOneWay execute without replies", func(t *testing.T, c Caller) {
+			before := oneWays.Load()
+			if err := c.SendMethodOneWay(confOne, []byte("ow1")); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SendOneWay([]byte("ow-legacy")); err != nil {
+				t.Fatal(err)
+			}
+			// A round trip on the same connection orders us behind the
+			// one-ways and proves nothing stray arrived in their place.
+			resp, err := c.CallMethod(confEchoA, []byte("after"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, resp, confEchoA, "after")
+			if !srv.Flush(5 * time.Second) {
+				t.Fatal("flush timed out")
+			}
+			// Only the method-routed one-way hits the counting route; the
+			// legacy one lands on method 0's echo (suppressed reply).
+			if got := oneWays.Load(); got != before+1 {
+				t.Fatalf("one-way handler ran %d times, want %d", got, before+1)
+			}
+		}},
+		{"StatusError propagates from routes", func(t *testing.T, c Caller) {
+			resp, err := c.CallMethod(confErr, []byte("x"))
+			if resp != nil {
+				t.Fatalf("error reply carried payload %q", resp)
+			}
+			var se *StatusError
+			if !errors.As(err, &se) || se.Code != StatusAppError || se.Msg != "route says no" {
+				t.Fatalf("got %v, want StatusAppError", err)
+			}
+		}},
+		{"unregistered method returns StatusNoMethod", func(t *testing.T, c Caller) {
+			_, err := c.CallMethod(60000, []byte("x"))
+			var se *StatusError
+			if !errors.As(err, &se) || se.Code != StatusNoMethod {
+				t.Fatalf("got %v, want StatusNoMethod", err)
+			}
+			// The connection survives.
+			if resp, err := c.CallMethod(confEchoA, []byte("alive")); err != nil {
+				t.Fatal(err)
+			} else {
+				wantTagged(t, resp, confEchoA, "alive")
+			}
+		}},
+	}
+
+	transports := []struct {
+		name string
+		dial func(t *testing.T) Caller
+	}{
+		{"inproc", func(t *testing.T) Caller { return srv.NewClient() }},
+		{"tcp", func(t *testing.T) Caller {
+			c, err := DialClient(addr, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}},
+	}
+	for _, tr := range transports {
+		t.Run(tr.name, func(t *testing.T) {
+			c := tr.dial(t)
+			defer c.Close()
+			for _, step := range steps {
+				t.Run(step.name, func(t *testing.T) { step.run(t, c) })
+			}
+		})
+	}
+}
+
+// TestWireVersionInterop speaks raw frames to a routed server: a v1
+// client, a v2 client, and a v3 client share one server, every reply
+// mirrors its request's version, and the v3 reply echoes the method.
+func TestWireVersionInterop(t *testing.T) {
+	_, addr, _ := newConformanceServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+
+	// Pipeline one frame of each version on one connection.
+	var stream []byte
+	stream = proto.AppendFrame(stream, proto.Message{ID: 1, Payload: []byte("v1")})
+	stream = proto.AppendFrameV2(stream, proto.Message{ID: 2, Payload: []byte("v2")})
+	stream = proto.AppendFrameV3(stream, proto.Message{ID: 3, Method: confEchoB, Payload: []byte("v3")})
+	if _, err := nc.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+
+	// v1 reply: 12-byte header, no magic, payload tagged method 0.
+	var h1 [proto.HeaderSize]byte
+	if _, err := io.ReadFull(nc, h1[:]); err != nil {
+		t.Fatal(err)
+	}
+	if h1[3] == proto.Magic2 || h1[3] == proto.Magic3 {
+		t.Fatalf("v1 request answered with magic %#x; a v1 client cannot parse it", h1[3])
+	}
+	n1 := binary.LittleEndian.Uint32(h1[0:4])
+	if id := binary.LittleEndian.Uint64(h1[4:12]); id != 1 {
+		t.Fatalf("v1 reply id %d", id)
+	}
+	b1 := make([]byte, n1)
+	if _, err := io.ReadFull(nc, b1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, append([]byte{0, 0}, []byte("v1")...)) {
+		t.Fatalf("v1 reply %q: must route to method 0", b1)
+	}
+
+	// v2 reply: Magic2 header, method-0 tagged payload.
+	var h2 [proto.HeaderSizeV2]byte
+	if _, err := io.ReadFull(nc, h2[:]); err != nil {
+		t.Fatal(err)
+	}
+	if h2[3] != proto.Magic2 {
+		t.Fatalf("v2 request answered with magic %#x, want v2 mirror", h2[3])
+	}
+	n2 := int(h2[0]) | int(h2[1])<<8 | int(h2[2])<<16
+	if id := binary.LittleEndian.Uint64(h2[6:14]); id != 2 {
+		t.Fatalf("v2 reply id %d", id)
+	}
+	b2 := make([]byte, n2)
+	if _, err := io.ReadFull(nc, b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2, append([]byte{0, 0}, []byte("v2")...)) {
+		t.Fatalf("v2 reply %q: must route to method 0", b2)
+	}
+
+	// v3 reply: Magic3 header echoing the method, tagged payload.
+	var h3 [proto.HeaderSizeV3]byte
+	if _, err := io.ReadFull(nc, h3[:]); err != nil {
+		t.Fatal(err)
+	}
+	if h3[3] != proto.Magic3 {
+		t.Fatalf("v3 request answered with magic %#x, want v3 mirror", h3[3])
+	}
+	if m := binary.LittleEndian.Uint16(h3[6:8]); m != confEchoB {
+		t.Fatalf("v3 reply header method %d, want %d", m, confEchoB)
+	}
+	if id := binary.LittleEndian.Uint64(h3[8:16]); id != 3 {
+		t.Fatalf("v3 reply id %d", id)
+	}
+	n3 := int(h3[0]) | int(h3[1])<<8 | int(h3[2])<<16
+	b3 := make([]byte, n3)
+	if _, err := io.ReadFull(nc, b3); err != nil {
+		t.Fatal(err)
+	}
+	var tag [2]byte
+	binary.LittleEndian.PutUint16(tag[:], confEchoB)
+	if !bytes.Equal(b3, append(tag[:], []byte("v3")...)) {
+		t.Fatalf("v3 reply %q: must route to method %d", b3, confEchoB)
+	}
+}

@@ -17,11 +17,12 @@ import (
 
 func main() {
 	store := kv.NewStore(32, 64<<20)
+	// The store mounts as method routes: GET/SET/DELETE each have a wire
+	// method ID, and the Mux dispatches on the frame header — no opcode
+	// byte in the payload, no dispatch switch in the handler.
 	srv, err := zygos.NewServer(zygos.Config{
-		Cores: 4,
-		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
-			w.Reply(store.Serve(req.Payload))
-		},
+		Cores:   4,
+		Handler: store.NewMux().Handler(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -34,7 +35,7 @@ func main() {
 		loader := srv.NewClient()
 		rng := rand.New(rand.NewSource(7))
 		for _, payload := range model.Preload(rng) {
-			if _, err := loader.Call(payload); err != nil {
+			if _, err := loader.CallMethod(kv.MethodSet, payload); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -54,7 +55,7 @@ func main() {
 			Requests:   40000,
 			Warmup:     4000,
 			Gen:        model.Gen(),
-			Check:      func(resp []byte) bool { return len(resp) > 0 && resp[0] != kv.ReplyError },
+			Check:      func(resp []byte) bool { return len(resp) > 0 },
 			Seed:       11,
 		})
 		for _, c := range clients {
@@ -73,4 +74,12 @@ func main() {
 	fmt.Printf("scheduler: events=%d steals=%d (%.1f%%) proxies=%d\n",
 		st.Events, st.Steals, st.StealFraction()*100, st.Proxies)
 	fmt.Printf("server-side latency: %v\n", st.Latency)
+	// Per-operation tails: the request-type mix is exactly where tails
+	// diverge, and method routing makes it observable per route.
+	names := map[uint16]string{kv.MethodGet: "GET", kv.MethodSet: "SET", kv.MethodDelete: "DELETE"}
+	for _, m := range []uint16{kv.MethodGet, kv.MethodSet, kv.MethodDelete} {
+		if rs, ok := st.Routes[m]; ok {
+			fmt.Printf("  route %-6s count=%-7d %v\n", names[m], rs.Count, rs.Latency)
+		}
+	}
 }

@@ -6,7 +6,6 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,28 +31,19 @@ func main() {
 	}
 	fmt.Println("loaded TPC-C: 2 warehouses")
 
-	// One RNG per worker: a worker runs one handler at a time.
-	rngs := make([]*rand.Rand, 256)
-	for i := range rngs {
-		rngs[i] = rand.New(rand.NewSource(int64(i) + 13))
-	}
+	// Each of the five TPC-C transactions is its own method route; the
+	// client draws the 45/43/4/4/4 mix and names the transaction in the
+	// frame header, so the server needs no dispatch switch and the
+	// per-transaction tail is observable per route.
 	srv, err := zygos.NewServer(zygos.Config{
-		Cores: 4,
-		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
-			rng := rngs[req.Worker]
-			tt := tpcc.Pick(rng)
-			err := store.Run(req.Worker, rng, tt)
-			if err != nil && !errors.Is(err, silo.ErrUserAbort) {
-				w.Error(zygos.StatusAppError, err.Error())
-				return
-			}
-			w.Reply([]byte{0})
-		},
+		Cores:   4,
+		Handler: store.NewMux(13).Handler(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	srv.Use(srv.LatencyRecording())
 
 	var targets []mutilate.Target
 	var clients []*zygos.Client
@@ -73,7 +63,7 @@ func main() {
 		RatePerSec: 2000,
 		Requests:   10000,
 		Warmup:     1000,
-		Gen:        func(rng *rand.Rand) []byte { return []byte{0} },
+		Gen:        func(rng *rand.Rand) (uint16, []byte) { return tpcc.PickMethod(rng), nil },
 		Check:      func(resp []byte) bool { return len(resp) == 1 && resp[0] == 0 },
 		Seed:       3,
 	})
@@ -86,6 +76,12 @@ func main() {
 	fmt.Printf("database: commits=%d aborts=%d\n", commits, aborts)
 	fmt.Printf("scheduler: events=%d steals=%d (%.1f%%) proxies=%d\n",
 		st.Events, st.Steals, st.StealFraction()*100, st.Proxies)
+	// Per-transaction tails, straight off the route histograms.
+	for tt := tpcc.TxNewOrder; tt <= tpcc.TxStockLevel; tt++ {
+		if rs, ok := st.Routes[tt.Method()]; ok {
+			fmt.Printf("  route %-12s count=%-6d %v\n", tt, rs.Count, rs.Latency)
+		}
+	}
 
 	if err := store.CheckConsistency(); err != nil {
 		log.Fatalf("CONSISTENCY VIOLATION: %v", err)

@@ -341,18 +341,23 @@ func (x *Ctx) complete(status uint8, payload []byte) error {
 		// would corrupt the whole connection; degrade it to a wire error
 		// the client can at least diagnose.
 		limit := proto.MaxPayload
-		if x.ev.msg.V2 {
+		if x.ev.msg.V2 || x.ev.msg.V3 {
 			limit = proto.MaxPayloadV2
 		}
 		if len(payload) > limit {
 			status = proto.StatusInternal
 			payload = []byte(proto.ErrPayloadTooLarge.Error())
 		}
-		frames = proto.AppendMessage(bufpool.Get(proto.FrameSizeV2(len(payload))), proto.Message{
+		// The reply mirrors the request's frame version and echoes its
+		// method, so a client can attribute replies per operation without
+		// tracking IDs.
+		frames = proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(payload))), proto.Message{
 			ID:      x.ev.msg.ID,
 			Payload: payload,
 			Status:  status,
+			Method:  x.ev.msg.Method,
 			V2:      x.ev.msg.V2,
+			V3:      x.ev.msg.V3,
 		})
 	}
 	if !detached {

@@ -1,8 +1,23 @@
 // Package kv is a memcached-like in-memory key-value store: a sharded
-// hash table with per-shard LRU eviction under a byte budget, plus the
-// compact request/reply encoding served over the runtime. It is the
-// "tiny task" application of the paper's §6.2 (memcached ETC/USR), where
+// hash table with per-shard LRU eviction under a byte budget, served
+// over the runtime as method-routed operations. It is the "tiny task"
+// application of the paper's §6.2 (memcached ETC/USR), where
 // per-request work is <2µs and dataplane overheads dominate.
+//
+// # Wire encodings
+//
+// Routed requests (the v3 frame's method ID names the operation, so no
+// opcode travels in the payload):
+//
+//	MethodGet:    payload = key
+//	MethodDelete: payload = key
+//	MethodSet:    payload = [klen:2 LE][key][value]
+//
+// The legacy method-0 encoding keeps one opcode byte in front:
+// [op:1][klen:2][key][value]; v1/v2 clients land there unchanged.
+// Replies carry a one-byte code ([code:1][value]) in both schemes;
+// malformed payloads and unknown opcodes surface as wire statuses
+// (StatusAppError / StatusNoMethod), not in-band bytes.
 package kv
 
 import (
@@ -11,9 +26,20 @@ import (
 	"errors"
 	"hash/fnv"
 	"sync"
+
+	"zygos"
+	"zygos/internal/bufpool"
 )
 
-// Op codes of the wire encoding: [op:1][klen:2][key][value].
+// Method IDs of the routed operations. Method 0 stays the legacy
+// opcode-in-payload route.
+const (
+	MethodGet    uint16 = 1
+	MethodSet    uint16 = 2
+	MethodDelete uint16 = 3
+)
+
+// Op codes of the legacy method-0 encoding: [op:1][klen:2][key][value].
 const (
 	OpGet byte = iota
 	OpSet
@@ -27,7 +53,6 @@ const (
 	ReplyStored
 	ReplyDeleted
 	ReplyNotFound
-	ReplyError
 )
 
 // ErrBadRequest reports a malformed request payload.
@@ -55,7 +80,7 @@ func EncodeDelete(buf []byte, key []byte) []byte {
 	return append(buf, key...)
 }
 
-// DecodeRequest splits a request payload into op, key and value.
+// DecodeRequest splits a legacy request payload into op, key and value.
 func DecodeRequest(p []byte) (op byte, key, value []byte, err error) {
 	if len(p) < 3 {
 		return 0, nil, nil, ErrBadRequest
@@ -66,6 +91,26 @@ func DecodeRequest(p []byte) (op byte, key, value []byte, err error) {
 		return 0, nil, nil, ErrBadRequest
 	}
 	return op, p[3 : 3+klen], p[3+klen:], nil
+}
+
+// EncodeSetPayload builds a routed MethodSet payload: [klen:2][key][value].
+// Routed GET and DELETE payloads are the bare key and need no encoder.
+func EncodeSetPayload(buf []byte, key, value []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(key)))
+	buf = append(buf, key...)
+	return append(buf, value...)
+}
+
+// DecodeSetPayload splits a routed MethodSet payload into key and value.
+func DecodeSetPayload(p []byte) (key, value []byte, err error) {
+	if len(p) < 2 {
+		return nil, nil, ErrBadRequest
+	}
+	klen := int(binary.LittleEndian.Uint16(p[0:2]))
+	if len(p) < 2+klen {
+		return nil, nil, ErrBadRequest
+	}
+	return p[2 : 2+klen], p[2+klen:], nil
 }
 
 // Store is a sharded LRU cache.
@@ -122,6 +167,36 @@ func (s *Store) shardFor(key []byte) *shard {
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key []byte) ([]byte, bool) {
+	v, ok := s.AppendGet(nil, key)
+	if !ok {
+		return nil, false
+	}
+	return v, true
+}
+
+// AppendGet appends the value stored under key to dst and returns the
+// extended slice — the single-copy form callers with their own buffers
+// use.
+func (s *Store) AppendGet(dst []byte, key []byte) ([]byte, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.items[string(key)]
+	if !ok {
+		sh.misses++
+		return dst, false
+	}
+	sh.hits++
+	sh.lru.MoveToFront(el)
+	return append(dst, el.Value.(*entry).value...), true
+}
+
+// getReply builds the [ReplyHit][value] reply for key in a pooled
+// buffer sized exactly for the value — the size is only known under the
+// shard lock, which is why the pool checkout happens here rather than
+// in the handler. The caller must bufpool.Put the reply once it is
+// encoded on the wire. Returns nil, false on a miss.
+func (s *Store) getReply(key []byte) ([]byte, bool) {
 	sh := s.shardFor(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -133,7 +208,8 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	sh.hits++
 	sh.lru.MoveToFront(el)
 	v := el.Value.(*entry).value
-	return append([]byte(nil), v...), true
+	buf := bufpool.Get(1 + len(v))
+	return append(append(buf, ReplyHit), v...), true
 }
 
 // Set stores a copy of value under key, evicting LRU entries as needed.
@@ -209,29 +285,96 @@ func (s *Store) Stats() CacheStats {
 	return cs
 }
 
-// Serve handles one encoded request and returns the encoded reply. It is
-// the application handler mounted on the runtime.
-func (s *Store) Serve(req []byte) []byte {
-	op, key, value, err := DecodeRequest(req)
+// RegisterRoutes mounts the store on mux: one route per operation
+// (MethodGet/MethodSet/MethodDelete) plus the legacy opcode-in-payload
+// handler on method 0, so v1/v2 clients keep round-tripping against a
+// routed server. The returned mux is the one passed in, for chaining.
+func (s *Store) RegisterRoutes(mux *zygos.Mux) *zygos.Mux {
+	mux.HandleFunc(MethodGet, s.HandleGet)
+	mux.HandleFunc(MethodSet, s.HandleSet)
+	mux.HandleFunc(MethodDelete, s.HandleDelete)
+	mux.HandleFunc(0, s.ServeLegacy)
+	return mux
+}
+
+// NewMux returns a fresh Mux with the store's routes registered — the
+// one-liner servers mount as Config.Handler.
+func (s *Store) NewMux() *zygos.Mux {
+	return s.RegisterRoutes(zygos.NewMux())
+}
+
+// replyBytes holds the single-byte replies so answering with one does
+// not allocate; index by reply code.
+var replyBytes = [...][1]byte{
+	{ReplyHit}, {ReplyMiss}, {ReplyStored}, {ReplyDeleted}, {ReplyNotFound},
+}
+
+// replyGet answers a GET for key: [ReplyHit][value] or [ReplyMiss].
+// The hit reply lives in a pooled buffer sized to the value, returned
+// once Reply has encoded it into the wire frame (Reply copies
+// synchronously), so the GET hot path allocates nothing at steady state
+// regardless of value size.
+func (s *Store) replyGet(w zygos.ResponseWriter, key []byte) {
+	v, ok := s.getReply(key)
+	if !ok {
+		w.Reply(replyBytes[ReplyMiss][:])
+		return
+	}
+	w.Reply(v)
+	bufpool.Put(v)
+}
+
+// HandleGet serves MethodGet: the payload is the key, the reply is
+// [ReplyHit][value] or [ReplyMiss].
+func (s *Store) HandleGet(w zygos.ResponseWriter, req *zygos.Request) {
+	s.replyGet(w, req.Payload)
+}
+
+// HandleSet serves MethodSet: the payload is [klen:2][key][value]; a
+// malformed payload is a StatusAppError on the wire.
+func (s *Store) HandleSet(w zygos.ResponseWriter, req *zygos.Request) {
+	key, value, err := DecodeSetPayload(req.Payload)
 	if err != nil {
-		return []byte{ReplyError}
+		w.Error(zygos.StatusAppError, err.Error())
+		return
+	}
+	s.Set(key, value)
+	w.Reply(replyBytes[ReplyStored][:])
+}
+
+// HandleDelete serves MethodDelete: the payload is the key.
+func (s *Store) HandleDelete(w zygos.ResponseWriter, req *zygos.Request) {
+	if s.Delete(req.Payload) {
+		w.Reply(replyBytes[ReplyDeleted][:])
+		return
+	}
+	w.Reply(replyBytes[ReplyNotFound][:])
+}
+
+// ServeLegacy serves the method-0 route: the pre-routing encoding with
+// an opcode byte in the payload. Malformed payloads surface as
+// StatusAppError and unknown opcodes as StatusNoMethod — wire statuses
+// a client can type-switch on, where the old Serve hid both behind an
+// in-band error byte indistinguishable from data.
+func (s *Store) ServeLegacy(w zygos.ResponseWriter, req *zygos.Request) {
+	op, key, value, err := DecodeRequest(req.Payload)
+	if err != nil {
+		w.Error(zygos.StatusAppError, err.Error())
+		return
 	}
 	switch op {
 	case OpGet:
-		v, ok := s.Get(key)
-		if !ok {
-			return []byte{ReplyMiss}
-		}
-		return append([]byte{ReplyHit}, v...)
+		s.replyGet(w, key)
 	case OpSet:
 		s.Set(key, value)
-		return []byte{ReplyStored}
+		w.Reply(replyBytes[ReplyStored][:])
 	case OpDelete:
 		if s.Delete(key) {
-			return []byte{ReplyDeleted}
+			w.Reply(replyBytes[ReplyDeleted][:])
+			return
 		}
-		return []byte{ReplyNotFound}
+		w.Reply(replyBytes[ReplyNotFound][:])
 	default:
-		return []byte{ReplyError}
+		w.Error(zygos.StatusNoMethod, "kv: unknown opcode")
 	}
 }

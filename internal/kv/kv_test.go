@@ -2,10 +2,13 @@ package kv
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"testing/quick"
+
+	"zygos"
 )
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -101,29 +104,104 @@ func TestLRUOrderRespectsAccess(t *testing.T) {
 	}
 }
 
-func TestServe(t *testing.T) {
+// newRoutedServer mounts the store's routes on a fresh in-process
+// server and returns a connected client.
+func newRoutedServer(t *testing.T, s *Store) *zygos.Client {
+	t.Helper()
+	srv, err := zygos.NewServer(zygos.Config{Cores: 2, Handler: s.NewMux().Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := srv.NewClient()
+	t.Cleanup(c.Close)
+	return c
+}
+
+// The full routed GET/SET/DELETE cycle over the runtime: the method ID
+// travels in the frame header, the payloads carry no opcode byte.
+func TestRoutedServe(t *testing.T) {
 	s := NewStore(4, 1<<20)
-	if r := s.Serve(EncodeGet(nil, []byte("k"))); r[0] != ReplyMiss {
+	c := newRoutedServer(t, s)
+	call := func(method uint16, payload []byte) []byte {
+		t.Helper()
+		r, err := c.CallMethod(method, payload)
+		if err != nil {
+			t.Fatalf("method %d: %v", method, err)
+		}
+		return r
+	}
+	if r := call(MethodGet, []byte("k")); r[0] != ReplyMiss {
 		t.Fatalf("miss reply %v", r)
 	}
-	if r := s.Serve(EncodeSet(nil, []byte("k"), []byte("hello"))); r[0] != ReplyStored {
+	if r := call(MethodSet, EncodeSetPayload(nil, []byte("k"), []byte("hello"))); r[0] != ReplyStored {
 		t.Fatalf("set reply %v", r)
 	}
-	r := s.Serve(EncodeGet(nil, []byte("k")))
+	r := call(MethodGet, []byte("k"))
 	if r[0] != ReplyHit || string(r[1:]) != "hello" {
 		t.Fatalf("hit reply %v", r)
 	}
-	if r := s.Serve(EncodeDelete(nil, []byte("k"))); r[0] != ReplyDeleted {
+	if r := call(MethodDelete, []byte("k")); r[0] != ReplyDeleted {
 		t.Fatalf("delete reply %v", r)
 	}
-	if r := s.Serve(EncodeDelete(nil, []byte("k"))); r[0] != ReplyNotFound {
+	if r := call(MethodDelete, []byte("k")); r[0] != ReplyNotFound {
 		t.Fatalf("re-delete reply %v", r)
 	}
-	if r := s.Serve([]byte{}); r[0] != ReplyError {
-		t.Fatalf("malformed reply %v", r)
+}
+
+// The method-0 legacy route keeps serving the opcode-in-payload
+// encoding, so a client that predates method routing still works.
+func TestLegacyRouteServes(t *testing.T) {
+	s := NewStore(4, 1<<20)
+	c := newRoutedServer(t, s)
+	if r, err := c.Call(EncodeSet(nil, []byte("k"), []byte("v"))); err != nil || r[0] != ReplyStored {
+		t.Fatalf("legacy set: %v %v", r, err)
 	}
-	if r := s.Serve([]byte{99, 0, 0}); r[0] != ReplyError {
-		t.Fatalf("unknown op reply %v", r)
+	r, err := c.Call(EncodeGet(nil, []byte("k")))
+	if err != nil || r[0] != ReplyHit || string(r[1:]) != "v" {
+		t.Fatalf("legacy get: %v %v", r, err)
+	}
+}
+
+// Regression (wire-status error model): unknown opcodes must surface as
+// a typed *StatusError with StatusNoMethod and malformed payloads as
+// StatusAppError — never as an in-band error byte a client could
+// mistake for data.
+func TestErrorsSurfaceAsWireStatus(t *testing.T) {
+	s := NewStore(4, 1<<20)
+	c := newRoutedServer(t, s)
+
+	statusOf := func(resp []byte, err error) uint8 {
+		t.Helper()
+		if resp != nil {
+			t.Fatalf("error reply must carry no payload, got %q", resp)
+		}
+		var se *zygos.StatusError
+		if !errors.As(err, &se) {
+			t.Fatalf("want *StatusError, got %v", err)
+		}
+		return se.Code
+	}
+
+	// Unknown opcode on the legacy route.
+	if code := statusOf(c.Call([]byte{99, 0, 0})); code != zygos.StatusNoMethod {
+		t.Fatalf("unknown opcode: status %d, want StatusNoMethod", code)
+	}
+	// Malformed legacy payload (too short to carry a key length).
+	if code := statusOf(c.Call([]byte{})); code != zygos.StatusAppError {
+		t.Fatalf("malformed legacy payload: status %d, want StatusAppError", code)
+	}
+	// Malformed routed SET payload (klen pointing past the end).
+	if code := statusOf(c.CallMethod(MethodSet, []byte{0xFF, 0xFF, 'x'})); code != zygos.StatusAppError {
+		t.Fatalf("malformed routed SET: status %d, want StatusAppError", code)
+	}
+	// An unregistered method is the Mux's NotFound: StatusNoMethod.
+	if code := statusOf(c.CallMethod(4242, []byte("x"))); code != zygos.StatusNoMethod {
+		t.Fatalf("unregistered method: status %d, want StatusNoMethod", code)
+	}
+	// The connection survives all four errors.
+	if r, err := c.CallMethod(MethodGet, []byte("k")); err != nil || r[0] != ReplyMiss {
+		t.Fatalf("connection broken after status errors: %v %v", r, err)
 	}
 }
 
@@ -167,12 +245,36 @@ func TestConcurrentAccess(t *testing.T) {
 	wg.Wait()
 }
 
-func BenchmarkServeGet(b *testing.B) {
+func TestEncodeDecodeSetPayload(t *testing.T) {
+	f := func(key, value []byte) bool {
+		if len(key) > 65535 {
+			key = key[:65535]
+		}
+		p := EncodeSetPayload(nil, key, value)
+		k, v, err := DecodeSetPayload(p)
+		return err == nil && bytes.Equal(k, key) && bytes.Equal(v, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]byte{nil, {5}, {10, 0, 'a'}} {
+		if _, _, err := DecodeSetPayload(p); err == nil {
+			t.Errorf("payload %v must fail to decode", p)
+		}
+	}
+}
+
+func BenchmarkAppendGet(b *testing.B) {
 	s := NewStore(16, 1<<20)
 	s.Set([]byte("benchkey"), bytes.Repeat([]byte{'v'}, 100))
-	req := EncodeGet(nil, []byte("benchkey"))
+	key := []byte("benchkey")
+	var buf []byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Serve(req)
+		r, ok := s.AppendGet(buf[:0], key)
+		if !ok {
+			b.Fatal("miss")
+		}
+		buf = r
 	}
 }

@@ -68,32 +68,50 @@ func (t *Transport) Dial() *ClientConn {
 // scheduling state.
 func (c *ClientConn) ServerConn() *core.Conn { return c.server }
 
-// SendAsync issues a request and invokes cb with the reply payload (or an
-// error) exactly once. Replies carrying a non-OK wire status surface as
-// *proto.StatusError. The resp slice is a view into a pooled parse
-// buffer valid only for the duration of the callback; retain a copy. It
-// is the open-loop primitive the load generator uses. The request frame
-// is encoded into a pooled segment handed straight to the runtime — no
-// intermediate copies. When the home worker's ingress ring is full this
-// call blocks (spin-then-park) until the kernel step drains it: the
-// same backpressure a socket write would exert.
-func (c *ClientConn) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
-	if len(payload) > proto.MaxPayloadV2 {
-		return proto.ErrPayloadTooLarge
-	}
+// sendFrame encodes m into a pooled segment and hands it straight to
+// the runtime — no intermediate copies. When the home worker's ingress
+// ring is full this call blocks (spin-then-park) until the kernel step
+// drains it: the same backpressure a socket write would exert. Legacy
+// (method-less) sends travel as v2 frames, method-routed sends as v3,
+// so both wire paths stay exercised in-process.
+func (c *ClientConn) sendFrame(m proto.Message) error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return ErrClosed
 	}
 	c.mu.Unlock()
+	frame := proto.AppendMessage(c.rt.GetSegment(proto.FrameSizeV3(len(m.Payload))), m)
+	return c.rt.IngressOwned(c.server, frame)
+}
+
+// SendAsync issues a request and invokes cb with the reply payload (or an
+// error) exactly once. Replies carrying a non-OK wire status surface as
+// *proto.StatusError. The resp slice is a view into a pooled parse
+// buffer valid only for the duration of the callback; retain a copy. It
+// is the open-loop primitive the load generator uses.
+func (c *ClientConn) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
 	id, err := c.disp.Register(cb)
 	if err != nil {
 		return err
 	}
-	frame := proto.AppendFrameV2(c.rt.GetSegment(proto.FrameSizeV2(len(payload))),
-		proto.Message{ID: id, Payload: payload})
-	return c.rt.IngressOwned(c.server, frame)
+	return c.sendFrame(proto.Message{ID: id, Payload: payload, V2: true})
+}
+
+// SendMethodAsync is SendAsync with a method identifier: the request
+// travels as a v3 frame and the server routes it by method.
+func (c *ClientConn) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.disp.Register(cb)
+	if err != nil {
+		return err
+	}
+	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true})
 }
 
 // SendOneWay issues a fire-and-forget request: the server executes it
@@ -102,15 +120,15 @@ func (c *ClientConn) SendOneWay(payload []byte) error {
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return ErrClosed
+	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Payload: payload, V2: true})
+}
+
+// SendMethodOneWay is SendOneWay with a method identifier (v3 frame).
+func (c *ClientConn) SendMethodOneWay(method uint16, payload []byte) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
 	}
-	c.mu.Unlock()
-	frame := proto.AppendFrameV2(c.rt.GetSegment(proto.FrameSizeV2(len(payload))),
-		proto.Message{Flags: proto.FlagOneWay, Payload: payload})
-	return c.rt.IngressOwned(c.server, frame)
+	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Method: method, Payload: payload, V3: true})
 }
 
 // Call issues a request and blocks for its reply. The returned slice is
@@ -125,6 +143,22 @@ func (c *ClientConn) Call(payload []byte) ([]byte, error) {
 func (c *ClientConn) CallInto(payload, buf []byte) ([]byte, error) {
 	w := proto.GetWaiter(buf)
 	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// CallMethod issues a method-routed request and blocks for its reply.
+func (c *ClientConn) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.CallMethodInto(method, payload, nil)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer, the
+// allocation-free closed-loop form.
+func (c *ClientConn) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
 		w.Abandon()
 		return nil, err
 	}

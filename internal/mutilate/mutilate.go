@@ -22,9 +22,10 @@ import (
 )
 
 // Target is one connection to the system under test. Both zygos.Client
-// and zygos.TCPClient satisfy it.
+// and zygos.TCPClient satisfy it. Requests travel method-routed (v3
+// frames); a Gen returning method 0 drives the target's legacy route.
 type Target interface {
-	SendAsync(payload []byte, cb func(resp []byte, err error)) error
+	SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error
 }
 
 // Config parameterizes a load-generation run.
@@ -38,8 +39,10 @@ type Config struct {
 	Requests int
 	// Warmup requests are issued but excluded from measurement.
 	Warmup int
-	// Gen builds the next request payload.
-	Gen func(rng *rand.Rand) []byte
+	// Gen builds the next request: the wire method it targets and its
+	// payload. Single-operation workloads return a constant method
+	// (0 for a server without a Mux).
+	Gen func(rng *rand.Rand) (method uint16, payload []byte)
 	// Check optionally validates each response; failures count as errors.
 	Check func(resp []byte) bool
 	Seed  int64
@@ -81,12 +84,12 @@ func Run(cfg Config) Report {
 		if d := time.Until(next); d > 0 {
 			time.Sleep(d)
 		}
-		payload := cfg.Gen(rng)
+		method, payload := cfg.Gen(rng)
 		target := cfg.Targets[rng.Intn(len(cfg.Targets))]
 		scheduled := next
 		measured := i >= cfg.Warmup
 		wg.Add(1)
-		err := target.SendAsync(payload, func(resp []byte, err error) {
+		err := target.SendMethodAsync(method, payload, func(resp []byte, err error) {
 			defer wg.Done()
 			if err != nil || (cfg.Check != nil && !cfg.Check(resp)) {
 				errs.Add(1)
@@ -173,29 +176,59 @@ func USR(keys int) KVModel {
 	}
 }
 
-// Gen returns a request generator for the model, suitable for Config.Gen.
-func (m KVModel) Gen() func(rng *rand.Rand) []byte {
-	return func(rng *rand.Rand) []byte {
-		key := m.key(rng)
-		if rng.Float64() < m.GetFraction {
-			return kv.EncodeGet(nil, key)
+// draw makes one model decision — GET or SET, which key, and (for SETs)
+// the value — shared by both generators so routed and legacy runs stay
+// statistically identical.
+func (m KVModel) draw(rng *rand.Rand) (isGet bool, key, val []byte) {
+	key = m.key(rng)
+	if rng.Float64() < m.GetFraction {
+		return true, key, nil
+	}
+	val = make([]byte, m.ValueLen(rng))
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	return false, key, val
+}
+
+// Gen returns a method-routed request generator for the model, suitable
+// for Config.Gen: GETs target kv.MethodGet with the bare key as
+// payload, SETs target kv.MethodSet with the routed [klen][key][value]
+// encoding — the opcode byte the legacy encoding spent per request now
+// travels in the frame header where the server routes on it.
+func (m KVModel) Gen() func(rng *rand.Rand) (uint16, []byte) {
+	return func(rng *rand.Rand) (uint16, []byte) {
+		isGet, key, val := m.draw(rng)
+		if isGet {
+			return kv.MethodGet, key
 		}
-		val := make([]byte, m.ValueLen(rng))
-		for i := range val {
-			val[i] = byte('a' + i%26)
-		}
-		return kv.EncodeSet(nil, key, val)
+		return kv.MethodSet, kv.EncodeSetPayload(nil, key, val)
 	}
 }
 
-// Preload returns SET payloads covering the whole keyspace, used to warm
-// the store before measuring (mutilate's --loadonly phase).
+// LegacyGen is Gen in the pre-routing encoding: every request targets
+// method 0 with an opcode byte in the payload. It exists to drive the
+// legacy route of a routed server (interop testing) or a server without
+// a Mux.
+func (m KVModel) LegacyGen() func(rng *rand.Rand) (uint16, []byte) {
+	return func(rng *rand.Rand) (uint16, []byte) {
+		isGet, key, val := m.draw(rng)
+		if isGet {
+			return 0, kv.EncodeGet(nil, key)
+		}
+		return 0, kv.EncodeSet(nil, key, val)
+	}
+}
+
+// Preload returns kv.MethodSet payloads (routed encoding) covering the
+// whole keyspace, used to warm the store before measuring (mutilate's
+// --loadonly phase): send each with CallMethod(kv.MethodSet, p).
 func (m KVModel) Preload(rng *rand.Rand) [][]byte {
 	out := make([][]byte, 0, m.Keys)
 	for i := 0; i < m.Keys; i++ {
 		key := m.keyN(rng, i)
 		val := make([]byte, m.ValueLen(rng))
-		out = append(out, kv.EncodeSet(nil, key, val))
+		out = append(out, kv.EncodeSetPayload(nil, key, val))
 	}
 	return out
 }

@@ -15,7 +15,7 @@ type fakeTarget struct {
 	fail  bool
 }
 
-func (f *fakeTarget) SendAsync(payload []byte, cb func([]byte, error)) error {
+func (f *fakeTarget) SendMethodAsync(method uint16, payload []byte, cb func([]byte, error)) error {
 	f.calls.Add(1)
 	if f.fail {
 		cb(nil, errors.New("boom"))
@@ -32,7 +32,7 @@ func TestRunCompletesAllRequests(t *testing.T) {
 		RatePerSec: 1e6,
 		Requests:   500,
 		Warmup:     100,
-		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Gen:        func(rng *rand.Rand) (uint16, []byte) { return 0, []byte{1} },
 		Seed:       1,
 	})
 	if rep.Sent != 500 {
@@ -58,7 +58,7 @@ func TestRunCountsErrors(t *testing.T) {
 		Targets:    []Target{tgt},
 		RatePerSec: 1e6,
 		Requests:   100,
-		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Gen:        func(rng *rand.Rand) (uint16, []byte) { return 0, []byte{1} },
 		Seed:       1,
 	})
 	if rep.Errors != 100 || rep.Completed != 0 {
@@ -72,7 +72,7 @@ func TestRunCheckRejects(t *testing.T) {
 		Targets:    []Target{tgt},
 		RatePerSec: 1e6,
 		Requests:   50,
-		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Gen:        func(rng *rand.Rand) (uint16, []byte) { return 0, []byte{1} },
 		Check:      func(resp []byte) bool { return false },
 		Seed:       1,
 	})
@@ -87,7 +87,7 @@ func TestRunSpreadsOverTargets(t *testing.T) {
 		Targets:    []Target{a, b},
 		RatePerSec: 1e6,
 		Requests:   1000,
-		Gen:        func(rng *rand.Rand) []byte { return []byte{1} },
+		Gen:        func(rng *rand.Rand) (uint16, []byte) { return 0, []byte{1} },
 		Seed:       3,
 	})
 	ca, cb := a.calls.Load(), b.calls.Load()
@@ -108,24 +108,39 @@ func TestRunValidatesConfig(t *testing.T) {
 	Run(Config{})
 }
 
+// decodeRouted splits one method-routed model request into key and
+// value (value nil for GETs).
+func decodeRouted(t *testing.T, method uint16, p []byte) (key, value []byte) {
+	t.Helper()
+	switch method {
+	case kv.MethodGet:
+		return p, nil
+	case kv.MethodSet:
+		k, v, err := kv.DecodeSetPayload(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k, v
+	}
+	t.Fatalf("unexpected method %d", method)
+	return nil, nil
+}
+
 func TestETCModelShape(t *testing.T) {
 	m := ETC(1000)
 	rng := rand.New(rand.NewSource(1))
 	gets, sets := 0, 0
 	gen := m.Gen()
 	for i := 0; i < 20000; i++ {
-		p := gen(rng)
-		op, key, value, err := kv.DecodeRequest(p)
-		if err != nil {
-			t.Fatal(err)
-		}
+		method, p := gen(rng)
+		key, value := decodeRouted(t, method, p)
 		if len(key) < 12 || len(key) > 250 {
 			t.Fatalf("key length %d out of range", len(key))
 		}
-		switch op {
-		case kv.OpGet:
+		switch method {
+		case kv.MethodGet:
 			gets++
-		case kv.OpSet:
+		case kv.MethodSet:
 			sets++
 			if len(value) < 1 || len(value) > 8192 {
 				t.Fatalf("value length %d out of range", len(value))
@@ -145,15 +160,12 @@ func TestUSRModelShape(t *testing.T) {
 	gets := 0
 	const n = 20000
 	for i := 0; i < n; i++ {
-		p := gen(rng)
-		op, key, value, err := kv.DecodeRequest(p)
-		if err != nil {
-			t.Fatal(err)
-		}
+		method, p := gen(rng)
+		key, value := decodeRouted(t, method, p)
 		if len(key) < 19 || len(key) > 21 {
 			t.Fatalf("USR key length %d", len(key))
 		}
-		if op == kv.OpGet {
+		if method == kv.MethodGet {
 			gets++
 		} else if len(value) != 2 {
 			t.Fatalf("USR value length %d", len(value))
@@ -162,6 +174,23 @@ func TestUSRModelShape(t *testing.T) {
 	frac := float64(gets) / n
 	if frac < 0.99 {
 		t.Fatalf("USR GET fraction %.4f, want ~0.998", frac)
+	}
+}
+
+// The legacy generator still emits the opcode-in-payload encoding on
+// method 0, for driving pre-routing servers.
+func TestLegacyGenShape(t *testing.T) {
+	m := USR(100)
+	rng := rand.New(rand.NewSource(5))
+	gen := m.LegacyGen()
+	for i := 0; i < 200; i++ {
+		method, p := gen(rng)
+		if method != 0 {
+			t.Fatalf("legacy gen produced method %d", method)
+		}
+		if _, _, _, err := kv.DecodeRequest(p); err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 
@@ -174,9 +203,9 @@ func TestPreloadCoversKeyspace(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, p := range payloads {
-		op, key, _, err := kv.DecodeRequest(p)
-		if err != nil || op != kv.OpSet {
-			t.Fatal("preload must be SETs")
+		key, _, err := kv.DecodeSetPayload(p)
+		if err != nil {
+			t.Fatal("preload must be routed SET payloads")
 		}
 		seen[string(key[:12])] = true
 	}

@@ -1,5 +1,5 @@
 // Package proto implements the wire framing used by the runtime's RPC
-// transports. Two frame versions coexist on the same stream:
+// transports. Three frame versions coexist on the same stream:
 //
 //   - v1 (legacy): a fixed 12-byte header — 4-byte little-endian payload
 //     length, 8-byte request identifier — followed by the payload.
@@ -8,13 +8,20 @@
 //     request identifier — followed by the payload. The flags byte
 //     carries one-way markers; the status byte carries wire-level error
 //     codes, so a reply can be an error distinguishable from a payload.
+//   - v3: a fixed 16-byte header — the v2 header with a 16-bit
+//     little-endian method identifier inserted before the request ID.
+//     The method names the operation (GET vs SET, NewOrder vs Payment)
+//     at the wire layer, so servers route without inspecting payloads
+//     and per-operation tail latency is observable per frame.
 //
-// The two are distinguished by the fourth header byte: it is the most
-// significant byte of the v1 length word, which any in-range v1 frame
-// leaves at 0x00 or 0x01, while every v2 frame sets it to Magic2. A v1
-// peer therefore keeps round-tripping against a v2 server unchanged
-// (though without a status channel its error replies degrade to plain
-// payloads), and a malformed stream is detected exactly as before.
+// The versions are distinguished by the fourth header byte: it is the
+// most significant byte of the v1 length word, which any in-range v1
+// frame leaves at 0x00 or 0x01, while every v2 frame sets it to Magic2
+// and every v3 frame to Magic3. A v1 peer therefore keeps round-tripping
+// against a v2/v3 server unchanged (though without a status channel its
+// error replies degrade to plain payloads), and a malformed stream is
+// detected exactly as before. Replies always mirror the request's frame
+// version, so a peer never receives a header it cannot parse.
 //
 // The Parser is incremental: it accepts arbitrary byte-stream fragments —
 // including fragments that split a header or pipeline several back-to-back
@@ -48,10 +55,18 @@ const HeaderSize = 12
 // HeaderSizeV2 is the fixed v2 frame-header length in bytes.
 const HeaderSizeV2 = 14
 
+// HeaderSizeV3 is the fixed v3 frame-header length in bytes: the v2
+// header plus the 16-bit method identifier.
+const HeaderSizeV3 = 16
+
 // Magic2 marks a v2 frame in the fourth header byte. Interpreted as the
 // top byte of a v1 length it would announce a ~2.7 GB payload, far above
 // MaxPayload, so no valid v1 frame can alias a v2 frame.
 const Magic2 = 0xA2
+
+// Magic3 marks a v3 (method-routed) frame in the fourth header byte;
+// like Magic2 it can never alias an in-range v1 length word.
+const Magic3 = 0xA3
 
 // MaxPayload bounds a single v1 frame's payload to keep a malformed or
 // hostile peer from forcing unbounded buffering.
@@ -91,6 +106,9 @@ const (
 	// StatusInternal reports a server-side failure unrelated to the
 	// request contents.
 	StatusInternal uint8 = 3
+	// StatusNoMethod reports that the request named a method no handler
+	// is registered for (the Mux's NotFound reply).
+	StatusNoMethod uint8 = 4
 )
 
 // StatusText returns a short human-readable name for a status code.
@@ -104,6 +122,8 @@ func StatusText(code uint8) string {
 		return "shed by admission control"
 	case StatusInternal:
 		return "internal server error"
+	case StatusNoMethod:
+		return "no such method"
 	}
 	return fmt.Sprintf("status %d", code)
 }
@@ -129,14 +149,20 @@ func (e *StatusError) Error() string {
 type Message struct {
 	ID      uint64
 	Payload []byte
-	// Flags is the v2 flags byte (FlagOneWay, ...); zero on v1 frames.
+	// Method is the v3 method identifier naming the operation the
+	// request targets; zero on v1/v2 frames (the legacy route).
+	Method uint16
+	// Flags is the v2/v3 flags byte (FlagOneWay, ...); zero on v1 frames.
 	Flags uint8
-	// Status is the v2 status byte; StatusOK on v1 frames.
+	// Status is the v2/v3 status byte; StatusOK on v1 frames.
 	Status uint8
-	// V2 records which frame version the message arrived in, and selects
-	// the version AppendMessage encodes. Replies mirror the request's
-	// version so legacy peers never see a v2 header.
+	// V2 records that the message arrived in a v2 frame, and selects the
+	// version AppendMessage encodes. Replies mirror the request's
+	// version so legacy peers never see a header they cannot parse.
 	V2 bool
+	// V3 records a v3 (method-carrying) frame; it takes precedence over
+	// V2 when selecting the encoding.
+	V3 bool
 
 	// lease pins the parse buffer Payload points into; nil for messages
 	// built by hand (whose payloads the caller owns).
@@ -221,8 +247,33 @@ func AppendFrameV2(buf []byte, m Message) []byte {
 	return append(buf, m.Payload...)
 }
 
-// AppendMessage encodes m in the frame version indicated by m.V2.
+// AppendFrameV3 appends the encoded v3 frame for m to buf and returns
+// the extended slice. The same 24-bit length bound as v2 applies; see
+// AppendFrameV2 for why exceeding it panics here.
+func AppendFrameV3(buf []byte, m Message) []byte {
+	n := len(m.Payload)
+	if n > MaxPayloadV2 {
+		panic("proto: AppendFrameV3 payload exceeds MaxPayloadV2")
+	}
+	var hdr [HeaderSizeV3]byte
+	hdr[0] = byte(n)
+	hdr[1] = byte(n >> 8)
+	hdr[2] = byte(n >> 16)
+	hdr[3] = Magic3
+	hdr[4] = m.Flags
+	hdr[5] = m.Status
+	binary.LittleEndian.PutUint16(hdr[6:8], m.Method)
+	binary.LittleEndian.PutUint64(hdr[8:16], m.ID)
+	buf = append(buf, hdr[:]...)
+	return append(buf, m.Payload...)
+}
+
+// AppendMessage encodes m in the frame version indicated by m.V3/m.V2
+// (v3 wins; neither selected means v1).
 func AppendMessage(buf []byte, m Message) []byte {
+	if m.V3 {
+		return AppendFrameV3(buf, m)
+	}
 	if m.V2 {
 		return AppendFrameV2(buf, m)
 	}
@@ -237,8 +288,12 @@ func FrameSize(n int) int { return HeaderSize + n }
 // bytes.
 func FrameSizeV2(n int) int { return HeaderSizeV2 + n }
 
-// Parser incrementally decodes a frame stream carrying any mix of v1 and
-// v2 frames. The zero value is ready to use.
+// FrameSizeV3 returns the encoded size of a v3 frame carrying n payload
+// bytes.
+func FrameSizeV3(n int) int { return HeaderSizeV3 + n }
+
+// Parser incrementally decodes a frame stream carrying any mix of v1,
+// v2 and v3 frames. The zero value is ready to use.
 //
 // Payloads returned by Next are views into the parser's pooled buffer;
 // see the package comment for the ownership rules. The parser never
@@ -301,6 +356,9 @@ func (p *Parser) Next() (Message, bool, error) {
 	if buf[3] == Magic2 {
 		return p.nextV2(buf)
 	}
+	if buf[3] == Magic3 {
+		return p.nextV3(buf)
+	}
 	n := int(binary.LittleEndian.Uint32(buf[0:4]))
 	if n > MaxPayload {
 		p.err = fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
@@ -341,6 +399,31 @@ func (p *Parser) nextV2(buf []byte) (Message, bool, error) {
 		m.lease = p.pb
 	}
 	p.consume(HeaderSizeV2+n, m.Payload != nil)
+	return m, true, nil
+}
+
+// nextV3 decodes a v3 frame; the caller has verified the magic byte and
+// that at least HeaderSize bytes are buffered. buf is pb.data[start:].
+func (p *Parser) nextV3(buf []byte) (Message, bool, error) {
+	if len(buf) < HeaderSizeV3 {
+		return Message{}, false, nil
+	}
+	n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16
+	if len(buf) < HeaderSizeV3+n {
+		return Message{}, false, nil
+	}
+	m := Message{
+		Flags:   buf[4],
+		Status:  buf[5],
+		Method:  binary.LittleEndian.Uint16(buf[6:8]),
+		ID:      binary.LittleEndian.Uint64(buf[8:16]),
+		Payload: p.view(buf, HeaderSizeV3, n),
+		V3:      true,
+	}
+	if m.Payload != nil {
+		m.lease = p.pb
+	}
+	p.consume(HeaderSizeV3+n, m.Payload != nil)
 	return m, true, nil
 }
 

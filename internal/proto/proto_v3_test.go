@@ -1,0 +1,158 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestV3RoundTrip(t *testing.T) {
+	var p Parser
+	frame := AppendFrameV3(nil, Message{
+		ID:      77,
+		Method:  0xBEEF,
+		Payload: []byte("v3 body"),
+		Flags:   FlagOneWay,
+		Status:  StatusNoMethod,
+	})
+	if len(frame) != FrameSizeV3(7) {
+		t.Fatalf("encoded length %d, want %d", len(frame), FrameSizeV3(7))
+	}
+	p.Feed(frame)
+	m, ok, err := p.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v %v", ok, err)
+	}
+	if m.ID != 77 || m.Method != 0xBEEF || string(m.Payload) != "v3 body" ||
+		m.Flags != FlagOneWay || m.Status != StatusNoMethod || !m.V3 || m.V2 {
+		t.Fatalf("got %+v", m)
+	}
+	if p.Buffered() != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestV3ByteAtATime(t *testing.T) {
+	var p Parser
+	frame := AppendFrameV3(nil, Message{ID: 5, Method: 3, Payload: []byte("fragmented-v3")})
+	for _, b := range frame {
+		if _, ok, _ := p.Next(); ok {
+			t.Fatal("message completed early")
+		}
+		p.Feed([]byte{b})
+	}
+	m, ok, err := p.Next()
+	if err != nil || !ok || string(m.Payload) != "fragmented-v3" || m.Method != 3 {
+		t.Fatalf("got %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+// No valid v1 frame can alias the v3 magic, exactly as for v2.
+func TestMagic3DoesNotAliasV1(t *testing.T) {
+	aliased := uint32(Magic3) << 24
+	if aliased <= MaxPayload {
+		t.Fatalf("magic-aliased v1 length %d must exceed MaxPayload %d", aliased, MaxPayload)
+	}
+}
+
+func TestV3EmptyPayloadAndMethodZero(t *testing.T) {
+	var p Parser
+	p.Feed(AppendFrameV3(nil, Message{ID: 9}))
+	m, ok, err := p.Next()
+	if err != nil || !ok || m.ID != 9 || m.Method != 0 || len(m.Payload) != 0 || !m.V3 {
+		t.Fatalf("got %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+// AppendMessage selects v3 over v2 when both are set (a reply mirroring
+// a v3 request keeps its method on the wire).
+func TestAppendMessageVersionSelection(t *testing.T) {
+	m := Message{ID: 1, Method: 7, Payload: []byte("x"), V2: true, V3: true}
+	f := AppendMessage(nil, m)
+	if f[3] != Magic3 || len(f) != FrameSizeV3(1) {
+		t.Fatalf("V3 must win the version selection, got magic %#x len %d", f[3], len(f))
+	}
+	var p Parser
+	p.Feed(f)
+	got, ok, err := p.Next()
+	if err != nil || !ok || got.Method != 7 {
+		t.Fatalf("got %+v ok=%v err=%v", got, ok, err)
+	}
+}
+
+// Property: streams mixing all three frame versions, fed in arbitrary
+// chunk sizes, decode in order with methods intact.
+func TestV3RandomSplitRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stream []byte
+		var want []Message
+		for i, pl := range payloads {
+			if len(pl) > 1024 {
+				pl = pl[:1024]
+			}
+			m := Message{ID: uint64(i), Payload: pl}
+			switch rng.Intn(3) {
+			case 0:
+				m.V3 = true
+				m.Method = uint16(rng.Intn(1 << 16))
+				m.Flags = uint8(rng.Intn(2))
+				m.Status = uint8(rng.Intn(5))
+			case 1:
+				m.V2 = true
+				m.Flags = uint8(rng.Intn(2))
+				m.Status = uint8(rng.Intn(5))
+			}
+			want = append(want, m)
+			stream = AppendMessage(stream, m)
+		}
+		var p Parser
+		var got []Message
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(37)
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			p.Feed(stream[off : off+n])
+			off += n
+			for {
+				m, ok, err := p.Next()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				got = append(got, m)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i, m := range got {
+			w := want[i]
+			if m.ID != w.ID || !bytes.Equal(m.Payload, w.Payload) ||
+				m.V2 != w.V2 || m.V3 != w.V3 || m.Method != w.Method ||
+				m.Flags != w.Flags || m.Status != w.Status {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseV3(b *testing.B) {
+	frame := AppendFrameV3(nil, Message{ID: 1, Method: 2, Payload: make([]byte, 64)})
+	var p Parser
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Feed(frame)
+		if _, ok, _ := p.Next(); !ok {
+			b.Fatal("missing message")
+		}
+	}
+}

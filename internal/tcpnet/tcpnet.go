@@ -355,11 +355,21 @@ func (c *Client) readLoop() {
 	c.disp.Close()
 }
 
+// sendFrame encodes m into a pooled buffer, writes and flushes it.
+// Legacy (method-less) sends travel as v2 frames, method-routed sends
+// as v3. The write is flushed immediately (open-loop latency
+// measurement cannot tolerate client-side batching).
+func (c *Client) sendFrame(m proto.Message) error {
+	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(m.Payload))), m)
+	err := c.write(frame)
+	bufpool.Put(frame)
+	return err
+}
+
 // SendAsync issues a request; cb runs exactly once with the reply or an
 // error. Replies carrying a non-OK wire status surface as
 // *proto.StatusError. The resp slice is valid only for the duration of
-// the callback; retain a copy. The write is flushed immediately
-// (open-loop latency measurement cannot tolerate client-side batching).
+// the callback; retain a copy.
 func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
@@ -368,11 +378,20 @@ func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) erro
 	if err != nil {
 		return err
 	}
-	frame := proto.AppendFrameV2(bufpool.Get(proto.FrameSizeV2(len(payload))),
-		proto.Message{ID: id, Payload: payload})
-	err = c.write(frame)
-	bufpool.Put(frame)
-	return err
+	return c.sendFrame(proto.Message{ID: id, Payload: payload, V2: true})
+}
+
+// SendMethodAsync is SendAsync with a method identifier: the request
+// travels as a v3 frame and the server routes it by method.
+func (c *Client) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.disp.Register(cb)
+	if err != nil {
+		return err
+	}
+	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true})
 }
 
 // SendOneWay issues a fire-and-forget request: the server executes it
@@ -381,11 +400,15 @@ func (c *Client) SendOneWay(payload []byte) error {
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
 	}
-	frame := proto.AppendFrameV2(bufpool.Get(proto.FrameSizeV2(len(payload))),
-		proto.Message{Flags: proto.FlagOneWay, Payload: payload})
-	err := c.write(frame)
-	bufpool.Put(frame)
-	return err
+	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Payload: payload, V2: true})
+}
+
+// SendMethodOneWay is SendOneWay with a method identifier (v3 frame).
+func (c *Client) SendMethodOneWay(method uint16, payload []byte) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Method: method, Payload: payload, V3: true})
 }
 
 func (c *Client) write(frame []byte) error {
@@ -413,6 +436,22 @@ func (c *Client) Call(payload []byte) ([]byte, error) {
 func (c *Client) CallInto(payload, buf []byte) ([]byte, error) {
 	w := proto.GetWaiter(buf)
 	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// CallMethod issues a method-routed request and blocks for its reply.
+func (c *Client) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.CallMethodInto(method, payload, nil)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer, the
+// allocation-free closed-loop form.
+func (c *Client) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
 		w.Abandon()
 		return nil, err
 	}

@@ -1,0 +1,105 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"zygos"
+	"zygos/internal/silo"
+)
+
+// Method IDs: one wire method per TPC-C transaction type, so the client
+// (not the server) draws the transaction mix and the scheduler can
+// observe per-transaction tail latency — the §6.3 request-type view.
+// Method 0 remains the legacy route: one transaction drawn server-side
+// from the standard mix, which is what pre-routing clients sent.
+func (t TxType) Method() uint16 { return uint16(t) + 1 }
+
+// MethodTx maps a wire method back to its transaction type.
+func MethodTx(m uint16) (TxType, bool) {
+	if m < 1 || m > uint16(numTxTypes) {
+		return 0, false
+	}
+	return TxType(m - 1), true
+}
+
+// PickMethod draws a wire method with the standard 45/43/4/4/4 mix —
+// the client-side generator counterpart of Pick.
+func PickMethod(rng *rand.Rand) uint16 { return Pick(rng).Method() }
+
+// txOK is the single-byte success reply shared by every transaction
+// route.
+var txOK = []byte{0}
+
+// workerRNGs hands each scheduler worker a private rand.Rand: a worker
+// runs one handler at a time, so indexing by req.Worker is race-free.
+// The slice is published as an atomic snapshot so the steady-state read
+// is lock-free (this sits on every transaction's hot path); the mutex
+// serializes only the one-time grows when a new worker index appears.
+type workerRNGs struct {
+	mu   sync.Mutex
+	seed int64
+	rngs atomic.Value // []*rand.Rand
+}
+
+func (w *workerRNGs) get(worker int) *rand.Rand {
+	if rngs, _ := w.rngs.Load().([]*rand.Rand); worker < len(rngs) {
+		return rngs[worker]
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rngs, _ := w.rngs.Load().([]*rand.Rand)
+	if worker < len(rngs) {
+		return rngs[worker]
+	}
+	grown := make([]*rand.Rand, worker+1)
+	copy(grown, rngs)
+	for i := len(rngs); i < len(grown); i++ {
+		grown[i] = rand.New(rand.NewSource(w.seed + int64(i)*7919))
+	}
+	w.rngs.Store(grown)
+	return grown[worker]
+}
+
+// RegisterRoutes mounts the store on mux: one route per transaction
+// type (method = TxType.Method()) and the legacy mix handler on method
+// 0. seed feeds the per-worker RNGs that draw transaction parameters.
+// The returned mux is the one passed in, for chaining.
+func (s *Store) RegisterRoutes(mux *zygos.Mux, seed int64) *zygos.Mux {
+	rngs := &workerRNGs{seed: seed}
+	for tt := TxNewOrder; tt < numTxTypes; tt++ {
+		mux.Handle(tt.Method(), s.txHandler(rngs, tt))
+	}
+	mux.HandleFunc(0, func(w zygos.ResponseWriter, req *zygos.Request) {
+		rng := rngs.get(req.Worker)
+		s.serveTx(w, req.Worker, rng, Pick(rng))
+	})
+	return mux
+}
+
+// NewMux returns a fresh Mux with the store's routes registered.
+func (s *Store) NewMux(seed int64) *zygos.Mux {
+	return s.RegisterRoutes(zygos.NewMux(), seed)
+}
+
+// txHandler builds the route handler executing one fixed transaction
+// type.
+func (s *Store) txHandler(rngs *workerRNGs, tt TxType) zygos.Handler {
+	return func(w zygos.ResponseWriter, req *zygos.Request) {
+		s.serveTx(w, req.Worker, rngs.get(req.Worker), tt)
+	}
+}
+
+// serveTx runs one transaction and completes the request: success (and
+// the spec's intentional 1% NewOrder rollbacks) replies a single OK
+// byte, anything else surfaces as StatusAppError.
+func (s *Store) serveTx(w zygos.ResponseWriter, worker int, rng *rand.Rand, tt TxType) {
+	if err := s.Run(worker, rng, tt); err != nil && !errors.Is(err, silo.ErrUserAbort) {
+		w.Error(zygos.StatusAppError, fmt.Sprintf("tpcc %v: %v", tt, err))
+		return
+	}
+	w.Reply(txOK)
+}

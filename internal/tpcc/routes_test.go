@@ -1,0 +1,91 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"zygos"
+	"zygos/internal/silo"
+)
+
+func TestMethodTxRoundTrip(t *testing.T) {
+	for tt := TxNewOrder; tt < numTxTypes; tt++ {
+		got, ok := MethodTx(tt.Method())
+		if !ok || got != tt {
+			t.Fatalf("MethodTx(%v.Method()) = %v %v", tt, got, ok)
+		}
+	}
+	if _, ok := MethodTx(0); ok {
+		t.Fatal("method 0 is the legacy mix, not a transaction")
+	}
+	if _, ok := MethodTx(uint16(numTxTypes) + 1); ok {
+		t.Fatal("out-of-range method must not map")
+	}
+}
+
+func TestPickMethodMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	counts := map[uint16]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[PickMethod(rng)]++
+	}
+	frac := float64(counts[TxNewOrder.Method()]) / n
+	if frac < 0.40 || frac > 0.50 {
+		t.Fatalf("NewOrder fraction %.3f, want ~0.45", frac)
+	}
+	for tt := TxNewOrder; tt < numTxTypes; tt++ {
+		if counts[tt.Method()] == 0 {
+			t.Fatalf("%v never drawn", tt)
+		}
+	}
+}
+
+// The routed server executes each transaction type on its own method,
+// answers the legacy method-0 mix, and rejects unknown methods with
+// StatusNoMethod — TPC-C over RPC without the server-side opcode
+// switch.
+func TestRoutedTransactions(t *testing.T) {
+	db := silo.NewDB(time.Millisecond)
+	defer db.Close()
+	store, err := Load(db, smallCfg(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := zygos.NewServer(zygos.Config{Cores: 2, Handler: store.NewMux(7).Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.NewClient()
+	defer c.Close()
+
+	for tt := TxNewOrder; tt < numTxTypes; tt++ {
+		for i := 0; i < 5; i++ {
+			resp, err := c.CallMethod(tt.Method(), nil)
+			if err != nil {
+				t.Fatalf("%v: %v", tt, err)
+			}
+			if len(resp) != 1 || resp[0] != 0 {
+				t.Fatalf("%v reply %v", tt, resp)
+			}
+		}
+	}
+	// Legacy clients draw the mix server-side on method 0.
+	if resp, err := c.Call([]byte{0}); err != nil || len(resp) != 1 || resp[0] != 0 {
+		t.Fatalf("legacy mix: %v %v", resp, err)
+	}
+	var se *zygos.StatusError
+	if _, err := c.CallMethod(99, nil); !errors.As(err, &se) || se.Code != zygos.StatusNoMethod {
+		t.Fatalf("unknown method: %v", err)
+	}
+	commits, _ := db.Stats()
+	if commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	if err := store.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

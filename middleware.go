@@ -3,6 +3,7 @@ package zygos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zygos/internal/core"
@@ -53,16 +54,49 @@ func (s LatencySnapshot) String() string {
 		s.Count, us(s.Mean), us(s.P50), us(s.P99), us(s.Max))
 }
 
+// routeRec is one wire method's share of the traffic: a dispatch
+// counter and an end-to-end latency histogram. The LatencyRecording
+// middleware creates one per method on first sight.
+type routeRec struct {
+	count atomic.Uint64
+	lat   lockedHistogram
+}
+
+// routeRec returns the record for a wire method, creating it on first
+// sight. The read-lock fast path keeps steady-state recording cheap and
+// allocation-free.
+func (s *Server) routeRec(method uint16) *routeRec {
+	s.routeMu.RLock()
+	r := s.routeRecs[method]
+	s.routeMu.RUnlock()
+	if r != nil {
+		return r
+	}
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	if r = s.routeRecs[method]; r != nil {
+		return r
+	}
+	if s.routeRecs == nil {
+		s.routeRecs = make(map[uint16]*routeRec)
+	}
+	r = new(routeRec)
+	s.routeRecs[method] = r
+	return r
+}
+
 // LatencyRecording returns middleware that records each request's queue
 // delay (arrival to handler start) and end-to-end latency (arrival to
 // reply completion, including time spent detached) into the server's
-// histograms. Snapshots appear in Stats().QueueDelay and
-// Stats().Latency.
+// histograms — overall and per wire method. Snapshots appear in
+// Stats().QueueDelay, Stats().Latency, and Stats().Routes.
 func (s *Server) LatencyRecording() Middleware {
 	return func(next Handler) Handler {
 		return func(w ResponseWriter, req *Request) {
 			s.qdelay.record(req.QueueDelay)
-			next(&timingWriter{inner: w, s: s, start: req.ArrivedAt}, req)
+			route := s.routeRec(req.Method)
+			route.count.Add(1)
+			next(&timingWriter{inner: w, s: s, route: route, start: req.ArrivedAt}, req)
 		}
 	}
 }
@@ -75,12 +109,15 @@ func (s *Server) LatencyRecording() Middleware {
 type timingWriter struct {
 	inner ResponseWriter
 	s     *Server
+	route *routeRec
 	start time.Time
 }
 
 func (w *timingWriter) finish(err error) error {
 	if err == nil {
-		w.s.latency.record(time.Since(w.start))
+		d := time.Since(w.start)
+		w.s.latency.record(d)
+		w.route.lat.record(d)
 	}
 	return err
 }

@@ -1,0 +1,191 @@
+package zygos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newMuxServer mounts mux on a fresh 2-core server.
+func newMuxServer(t *testing.T, mux *Mux) *Server {
+	t.Helper()
+	srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// Server-wide middleware wraps every route; route middleware wraps only
+// its own method, inside the server chain, in installation order.
+func TestMuxMiddlewareComposition(t *testing.T) {
+	var mu sync.Mutex
+	var trace []string
+	mw := func(name string) Middleware {
+		return func(next Handler) Handler {
+			return func(w ResponseWriter, req *Request) {
+				mu.Lock()
+				trace = append(trace, name)
+				mu.Unlock()
+				next(w, req)
+			}
+		}
+	}
+	mux := NewMux()
+	echo := func(w ResponseWriter, req *Request) { w.Reply(req.Payload) }
+	// Route middleware installed before the handler via Route, and after
+	// via the Handle chain — both must compose.
+	mux.Route(7).Use(mw("route7-a"))
+	mux.Handle(7, echo).Use(mw("route7-b"))
+	mux.HandleFunc(8, echo)
+
+	srv := newMuxServer(t, mux)
+	srv.Use(mw("server"))
+	c := srv.NewClient()
+	defer c.Close()
+
+	if _, err := c.CallMethod(7, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got := append([]string(nil), trace...)
+	trace = trace[:0]
+	mu.Unlock()
+	want := []string{"server", "route7-a", "route7-b"}
+	if len(got) != len(want) {
+		t.Fatalf("trace %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace %v, want %v", got, want)
+		}
+	}
+
+	// Method 8 has no route middleware: only the server chain runs.
+	if _, err := c.CallMethod(8, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	got = append([]string(nil), trace...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != "server" {
+		t.Fatalf("method 8 trace %v, want [server]", got)
+	}
+}
+
+// The default NotFound replies StatusNoMethod; NotFound replaces it.
+func TestMuxNotFound(t *testing.T) {
+	mux := NewMux()
+	mux.HandleFunc(1, func(w ResponseWriter, req *Request) { w.Reply([]byte("one")) })
+	srv := newMuxServer(t, mux)
+	c := srv.NewClient()
+	defer c.Close()
+
+	_, err := c.CallMethod(2, nil)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusNoMethod {
+		t.Fatalf("default NotFound: got %v, want StatusNoMethod", err)
+	}
+
+	mux.NotFound(func(w ResponseWriter, req *Request) { w.Reply([]byte("fallback")) })
+	resp, err := c.CallMethod(2, nil)
+	if err != nil || string(resp) != "fallback" {
+		t.Fatalf("custom NotFound: %q %v", resp, err)
+	}
+}
+
+// Handle replaces a route's handler in place; Methods lists registered
+// routes only.
+func TestMuxReRegisterAndMethods(t *testing.T) {
+	mux := NewMux()
+	mux.HandleFunc(5, func(w ResponseWriter, req *Request) { w.Reply([]byte("old")) })
+	mux.Route(9) // middleware slot, no handler: must not list
+	srv := newMuxServer(t, mux)
+	c := srv.NewClient()
+	defer c.Close()
+
+	if resp, _ := c.CallMethod(5, nil); string(resp) != "old" {
+		t.Fatalf("got %q", resp)
+	}
+	mux.HandleFunc(5, func(w ResponseWriter, req *Request) { w.Reply([]byte("new")) })
+	if resp, _ := c.CallMethod(5, nil); string(resp) != "new" {
+		t.Fatalf("got %q after re-register", resp)
+	}
+	ms := mux.Methods()
+	if len(ms) != 1 || ms[0] != 5 {
+		t.Fatalf("Methods() = %v, want [5]", ms)
+	}
+	// A routeless method still falls through to NotFound.
+	var se *StatusError
+	if _, err := c.CallMethod(9, nil); !errors.As(err, &se) || se.Code != StatusNoMethod {
+		t.Fatalf("handlerless route: got %v, want StatusNoMethod", err)
+	}
+}
+
+// Acceptance: Stats().Routes reports per-method Count/P50/P99 once
+// LatencyRecording is installed, including the method-0 legacy slice.
+func TestRouteStatsUnderLatencyRecording(t *testing.T) {
+	mux := NewMux()
+	fast := func(w ResponseWriter, req *Request) { w.Reply(req.Payload) }
+	slow := func(w ResponseWriter, req *Request) {
+		deadline := time.Now().Add(200 * time.Microsecond)
+		for time.Now().Before(deadline) {
+		}
+		w.Reply(req.Payload)
+	}
+	mux.HandleFunc(0, fast)
+	mux.HandleFunc(1, fast)
+	mux.HandleFunc(2, slow)
+	srv := newMuxServer(t, mux)
+	srv.Use(srv.LatencyRecording())
+	c := srv.NewClient()
+	defer c.Close()
+
+	for i := 0; i < 20; i++ {
+		if _, err := c.CallMethod(1, []byte("f")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.CallMethod(2, []byte("s")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Call([]byte("legacy")); err != nil {
+		t.Fatal(err)
+	}
+
+	routes := srv.Stats().Routes
+	if routes == nil {
+		t.Fatal("Stats().Routes nil under LatencyRecording")
+	}
+	r1, r2, r0 := routes[1], routes[2], routes[0]
+	if r1.Count != 20 || r1.Latency.Count != 20 {
+		t.Fatalf("route 1: %+v, want count 20", r1)
+	}
+	if r2.Count != 10 || r2.Latency.Count != 10 {
+		t.Fatalf("route 2: %+v, want count 10", r2)
+	}
+	if r0.Count != 1 {
+		t.Fatalf("route 0 (legacy): %+v, want count 1", r0)
+	}
+	if r1.Latency.P50 <= 0 || r1.Latency.P99 <= 0 || r2.Latency.P50 <= 0 {
+		t.Fatalf("percentiles missing: r1=%v r2=%v", r1.Latency, r2.Latency)
+	}
+	// The slow route's spin must dominate its P50; the routes must not
+	// share one histogram.
+	if r2.Latency.P50 < 150*time.Microsecond {
+		t.Fatalf("slow route P50 %v, want >= 150µs", r2.Latency.P50)
+	}
+	if r1.Latency.P50 >= r2.Latency.P50 {
+		t.Fatalf("fast route P50 %v not below slow route P50 %v", r1.Latency.P50, r2.Latency.P50)
+	}
+
+	// Without LatencyRecording no routes are reported.
+	bare := newMuxServer(t, NewMux())
+	if bare.Stats().Routes != nil {
+		t.Fatal("Routes populated without LatencyRecording")
+	}
+}

@@ -1,0 +1,75 @@
+// BenchmarkHotPathRoutedKV exercises the method-dispatched hot path end
+// to end with a real application behind it: the kv store mounted on a
+// Mux, driven closed-loop over memnet with a GET-heavy GET/SET mix (15
+// GETs per SET, ETC-flavoured). Versus the echo benchmarks this adds
+// the v3 frame, the Mux table lookup, and the store's shard work — the
+// configuration BENCH_hotpath.json tracks for the routed serving path.
+// It lives in package zygos_test because internal/kv imports zygos to
+// register its routes.
+package zygos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"zygos"
+	"zygos/internal/kv"
+)
+
+func BenchmarkHotPathRoutedKV(b *testing.B) {
+	store := kv.NewStore(32, 64<<20)
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores:   2,
+		Handler: store.NewMux().Handler(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	c := srv.NewClient()
+	defer c.Close()
+
+	// A fixed keyspace, preloaded, with the request payloads pre-encoded
+	// so the measured loop is the serving path, not the generator.
+	const keys = 512
+	getReqs := make([][]byte, keys)
+	setReqs := make([][]byte, keys)
+	value := []byte("0123456789abcdef0123456789abcdef")
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("key-%08d-pad-pad", i))
+		getReqs[i] = key
+		setReqs[i] = kv.EncodeSetPayload(nil, key, value)
+		if _, err := c.CallMethod(kv.MethodSet, setReqs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var buf []byte
+	// Warm the pools before measuring.
+	for i := 0; i < 128; i++ {
+		r, err := c.CallMethodInto(kv.MethodGet, getReqs[i%keys], buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = r
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i % keys
+		var r []byte
+		var err error
+		if i%16 == 15 {
+			r, err = c.CallMethodInto(kv.MethodSet, setReqs[k], buf[:0])
+		} else {
+			r, err = c.CallMethodInto(kv.MethodGet, getReqs[k], buf[:0])
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r) == 0 || r[0] == kv.ReplyMiss {
+			b.Fatalf("unexpected reply %v", r)
+		}
+		buf = r
+	}
+}

@@ -11,19 +11,32 @@
 // execute, so pipelined requests on one connection are answered in order
 // with no application-level locking — the paper's §4.3 guarantee.
 //
-// # Handlers and replies
+// # Handlers, methods, and replies
 //
-// The application is a Handler in the style of net/http:
+// The application is a set of method-routed Handlers in the style of
+// net/http: a Mux maps each wire method ID (carried in the v3 frame
+// header) to a handler, and the Mux itself is the server's Handler:
 //
-//	srv, _ := zygos.NewServer(zygos.Config{
-//		Cores: 4,
-//		Handler: func(w zygos.ResponseWriter, req *zygos.Request) {
-//			w.Reply(append([]byte("echo:"), req.Payload...))
-//		},
+//	mux := zygos.NewMux()
+//	mux.HandleFunc(1, func(w zygos.ResponseWriter, req *zygos.Request) {
+//		w.Reply(append([]byte("echo:"), req.Payload...))
 //	})
+//	mux.HandleFunc(2, func(w zygos.ResponseWriter, req *zygos.Request) {
+//		w.Error(zygos.StatusAppError, "not implemented")
+//	})
+//	srv, _ := zygos.NewServer(zygos.Config{Cores: 4, Handler: mux.Handler()})
 //	defer srv.Close()
 //	l, _ := net.Listen("tcp", ":9000")
 //	go srv.Serve(l)
+//
+//	c, _ := zygos.DialClient(":9000", time.Second)
+//	resp, _ := c.CallMethod(1, []byte("hi"))
+//
+// Requests from v1/v2 clients carry no method and dispatch to method 0,
+// the legacy route; calling an unregistered method returns a
+// StatusNoMethod *StatusError. Single-operation servers can skip the
+// Mux entirely and set Config.Handler to a bare Handler, exactly as
+// before.
 //
 // A handler completes each request exactly once — successfully with
 // Reply, or with a wire-level status code with Error, which clients see
@@ -76,6 +89,9 @@ const (
 	StatusShed = proto.StatusShed
 	// StatusInternal reports a server-side failure.
 	StatusInternal = proto.StatusInternal
+	// StatusNoMethod reports that the request named a method no handler
+	// is registered for (the Mux's NotFound reply).
+	StatusNoMethod = proto.StatusNoMethod
 )
 
 // StatusError is the typed error clients receive when a reply carries a
@@ -99,6 +115,10 @@ func StatusText(code uint8) string { return proto.StatusText(code) }
 type Request struct {
 	// ID is the client-assigned request identifier echoed on the reply.
 	ID uint64
+	// Method is the wire method ID naming the operation (v3 frames);
+	// zero for v1/v2 frames, which carry no method — the legacy route.
+	// A Mux dispatches on it; the reply header echoes it.
+	Method uint16
 	// Payload is the request body.
 	Payload []byte
 	// Conn identifies the connection the request arrived on.
@@ -230,6 +250,21 @@ type Stats struct {
 	// QueueDelay summarizes scheduling delay (arrival to handler
 	// start); populated once LatencyRecording is installed.
 	QueueDelay LatencySnapshot
+	// Routes breaks the traffic down by wire method ID — the
+	// per-operation view the paper's request-type-mix analysis needs.
+	// Populated once LatencyRecording is installed; method 0 aggregates
+	// legacy (v1/v2) traffic. Nil until the first recorded request.
+	Routes map[uint16]RouteStats
+}
+
+// RouteStats is one method's slice of the traffic.
+type RouteStats struct {
+	// Count is the number of requests dispatched to the route,
+	// including those still in flight.
+	Count uint64
+	// Latency summarizes the route's completed requests end to end
+	// (arrival to reply, detached time included).
+	Latency LatencySnapshot
 }
 
 // StealFraction returns steals per executed event (the Figure 8 metric).
@@ -266,6 +301,12 @@ type Server struct {
 	latency lockedHistogram
 	qdelay  lockedHistogram
 	shed    atomic.Uint64
+
+	// Per-route (per wire method) records, created on first sight of a
+	// method by the LatencyRecording middleware. Reads vastly outnumber
+	// the one-time inserts, hence the RWMutex.
+	routeMu   sync.RWMutex
+	routeRecs map[uint16]*routeRec
 }
 
 // NewServer creates and starts a server's worker pool.
@@ -281,6 +322,7 @@ func NewServer(cfg Config) (*Server, error) {
 			req := reqPool.Get().(*Request)
 			*req = Request{
 				ID:         m.ID,
+				Method:     m.Method,
 				Payload:    m.Payload,
 				Conn:       c.ID(),
 				Worker:     ctx.Worker(),
@@ -358,7 +400,7 @@ func (s *Server) NewClient() *Client {
 // Stats returns a snapshot of scheduler and middleware counters.
 func (s *Server) Stats() Stats {
 	st := s.rt.Stats()
-	return Stats{
+	out := Stats{
 		Events:     st.Events,
 		Steals:     st.Steals,
 		Proxies:    st.Proxies,
@@ -370,6 +412,15 @@ func (s *Server) Stats() Stats {
 		Latency:    s.latency.snapshot(),
 		QueueDelay: s.qdelay.snapshot(),
 	}
+	s.routeMu.RLock()
+	if len(s.routeRecs) > 0 {
+		out.Routes = make(map[uint16]RouteStats, len(s.routeRecs))
+		for method, r := range s.routeRecs {
+			out.Routes[method] = RouteStats{Count: r.count.Load(), Latency: r.lat.snapshot()}
+		}
+	}
+	s.routeMu.RUnlock()
+	return out
 }
 
 // Cores returns the number of scheduler workers.
@@ -389,6 +440,10 @@ func (s *Server) Close() {
 // Caller is one client connection to a Server, independent of transport.
 // Both Client (in-process) and TCPClient satisfy it; load generators and
 // benchmarks program against Caller so one code path drives either.
+//
+// The method-less calls travel as v2 frames and land on the server's
+// method-0 (legacy) route; the Method variants carry a wire method ID in
+// a v3 frame and are routed by the server's Mux.
 type Caller interface {
 	// Call issues a request and blocks for its reply. Non-OK reply
 	// statuses surface as *StatusError. The returned slice is owned by
@@ -399,10 +454,22 @@ type Caller interface {
 	// Reusing the returned buffer makes closed-loop calling
 	// allocation-free at steady state.
 	CallInto(payload, buf []byte) ([]byte, error)
+	// CallMethod issues a method-routed request and blocks for its
+	// reply.
+	CallMethod(method uint16, payload []byte) ([]byte, error)
+	// CallMethodInto is CallMethod with a caller-owned reply buffer.
+	CallMethodInto(method uint16, payload, buf []byte) ([]byte, error)
 	// SendAsync issues a request; cb runs exactly once with the reply
 	// payload or an error. The resp slice is valid only for the duration
 	// of the callback. This is the open-loop primitive.
 	SendAsync(payload []byte, cb func(resp []byte, err error)) error
+	// SendMethodAsync is SendAsync with a wire method ID.
+	SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error
+	// SendOneWay issues a fire-and-forget request: the server executes
+	// it but transmits no reply.
+	SendOneWay(payload []byte) error
+	// SendMethodOneWay is SendOneWay with a wire method ID.
+	SendMethodOneWay(method uint16, payload []byte) error
 	// Close tears down the connection; outstanding calls fail.
 	Close()
 }
@@ -427,6 +494,18 @@ func (c *Client) Call(payload []byte) ([]byte, error) { return c.cc.Call(payload
 // state.
 func (c *Client) CallInto(payload, buf []byte) ([]byte, error) { return c.cc.CallInto(payload, buf) }
 
+// CallMethod issues a method-routed request (v3 frame) and blocks for
+// its reply.
+func (c *Client) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.cc.CallMethod(method, payload)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer, the
+// allocation-free closed-loop form.
+func (c *Client) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	return c.cc.CallMethodInto(method, payload, buf)
+}
+
 // Home returns the index of the worker this connection is homed on (its
 // RSS queue). Useful for locality-aware sharding and for constructing
 // skewed workloads in tests.
@@ -438,9 +517,19 @@ func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) erro
 	return c.cc.SendAsync(payload, cb)
 }
 
+// SendMethodAsync is SendAsync with a wire method ID (v3 frame).
+func (c *Client) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	return c.cc.SendMethodAsync(method, payload, cb)
+}
+
 // SendOneWay issues a fire-and-forget request: the server executes it
 // but transmits no reply.
 func (c *Client) SendOneWay(payload []byte) error { return c.cc.SendOneWay(payload) }
+
+// SendMethodOneWay is SendOneWay with a wire method ID (v3 frame).
+func (c *Client) SendMethodOneWay(method uint16, payload []byte) error {
+	return c.cc.SendMethodOneWay(method, payload)
+}
 
 // Close tears down the connection; outstanding calls fail.
 func (c *Client) Close() { c.cc.Close() }
@@ -471,15 +560,37 @@ func (c *TCPClient) CallInto(payload, buf []byte) ([]byte, error) {
 	return c.tc.CallInto(payload, buf)
 }
 
+// CallMethod issues a method-routed request (v3 frame) and blocks for
+// its reply.
+func (c *TCPClient) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.tc.CallMethod(method, payload)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer, the
+// allocation-free closed-loop form.
+func (c *TCPClient) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	return c.tc.CallMethodInto(method, payload, buf)
+}
+
 // SendAsync issues a request; cb runs exactly once with the reply or an
 // error.
 func (c *TCPClient) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
 	return c.tc.SendAsync(payload, cb)
 }
 
+// SendMethodAsync is SendAsync with a wire method ID (v3 frame).
+func (c *TCPClient) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	return c.tc.SendMethodAsync(method, payload, cb)
+}
+
 // SendOneWay issues a fire-and-forget request: the server executes it
 // but transmits no reply.
 func (c *TCPClient) SendOneWay(payload []byte) error { return c.tc.SendOneWay(payload) }
+
+// SendMethodOneWay is SendOneWay with a wire method ID (v3 frame).
+func (c *TCPClient) SendMethodOneWay(method uint16, payload []byte) error {
+	return c.tc.SendMethodOneWay(method, payload)
+}
 
 // Close tears down the connection; outstanding calls fail.
 func (c *TCPClient) Close() { c.tc.Close() }
