@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test vet bench bench-sched bench-smoke bench-gate
+.PHONY: all build test vet bench bench-sched bench-conn bench-smoke bench-gate
 
 all: build test
 
@@ -25,7 +25,7 @@ vet:
 # over memnet — and update the "current" section of BENCH_hotpath.json
 # (the committed "baseline" section is preserved for comparison), then
 # do the same for the scheduler-scaling suite in BENCH_sched.json.
-bench: bench-sched
+bench: bench-sched bench-conn
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label current
 
 # Scheduler-scaling trajectory: BenchmarkSchedScale{1,2,4,8} plus the
@@ -33,14 +33,24 @@ bench: bench-sched
 bench-sched:
 	$(GO) test -run '^$$' -bench 'BenchmarkSched' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_sched.json -label current
 
+# Connection-scale trajectory: BenchmarkConnScale{1k,100k} measure
+# hot-path ns/op with an idle-connection wall resident, plus bytes/conn
+# and goroutines as extra metrics, recorded to BENCH_conn.json. The
+# iteration count is pinned so the harness doesn't re-dial the wall on
+# every calibration ramp step (setup dwarfs the measured loop).
+bench-conn:
+	$(GO) test -run '^$$' -bench 'BenchmarkConnScale' -benchtime 2000x -benchmem -count 1 -timeout 30m . | $(GO) run ./scripts/benchjson -out BENCH_conn.json -label current
+
 # One iteration of every benchmark as a compile-and-run smoke check,
 # then 1x hot-path+sched passes at GOMAXPROCS=1 and GOMAXPROCS=4
 # recorded as separate sections, so a scaling regression is visible in
 # the CI artifact even when the single-core column looks healthy. The
 # BenchmarkHotPath pattern includes BenchmarkHotPathRoutedKV, so the
 # method-routed serving path is smoked alongside the echo shapes.
+# -short keeps the ConnScale smoke at the 1k wall (the 100k wall dials
+# six figures of sockets — a measurement run, not a smoke check).
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
 	GOMAXPROCS=1 $(GO) test -run '^$$' -bench 'BenchmarkHotPath|BenchmarkSched' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label smoke-p1 -note "1x smoke pass at GOMAXPROCS=1, not a performance measurement"
 	GOMAXPROCS=4 $(GO) test -run '^$$' -bench 'BenchmarkHotPath|BenchmarkSched' -benchtime 1x -benchmem . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label smoke-p4 -note "1x smoke pass at GOMAXPROCS=4, not a performance measurement"
 

@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -48,6 +49,8 @@ func main() {
 		warehouses  = flag.Int("warehouses", 2, "tpcc: warehouse count")
 		shed        = flag.Int("shed", 0, "admission control: max in-flight requests before shedding (0 = off)")
 		flushWait   = flag.Duration("flushwait", 5*time.Second, "graceful shutdown: max wait for in-flight requests")
+		shards      = flag.Int("shards", 0, "SO_REUSEPORT accept shards (0 = one per core; Linux only, degrades to 1 elsewhere)")
+		idle        = flag.Duration("idle", 0, "close connections quiet for this long (0 = off)")
 	)
 	flag.Parse()
 
@@ -62,6 +65,7 @@ func main() {
 		Handler:      handler,
 		Partitioned:  *partitioned,
 		NoInterrupts: *noInt,
+		IdleTimeout:  *idle,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,22 +75,40 @@ func main() {
 		srv.Use(srv.AdmissionControl(*shed))
 	}
 
-	l, err := net.Listen("tcp", *addr)
+	nshards := *shards
+	if nshards <= 0 {
+		nshards = srv.Cores()
+	}
+	listeners, err := zygos.ListenShards(*addr, nshards)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("zygos-server mode=%s cores=%d shed=%d listening on %s", *mode, srv.Cores(), *shed, l.Addr())
+	log.Printf("zygos-server mode=%s cores=%d shed=%d shards=%d listening on %s",
+		*mode, srv.Cores(), *shed, len(listeners), listeners[0].Addr())
 
 	go func() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		s := <-sig
 		log.Printf("received %v: draining", s)
-		l.Close()
+		for _, l := range listeners {
+			l.Close()
+		}
 	}()
-	if err := srv.Serve(l); err != nil {
+	// One accept loop per shard; the first runs inline so the command
+	// blocks until shutdown exactly as before.
+	var wg sync.WaitGroup
+	for _, l := range listeners[1:] {
+		wg.Add(1)
+		go func(l net.Listener) {
+			defer wg.Done()
+			srv.Serve(l)
+		}(l)
+	}
+	if err := srv.Serve(listeners[0]); err != nil {
 		log.Printf("serve: %v", err)
 	}
+	wg.Wait()
 
 	// Graceful shutdown: flush everything already ingested — detached
 	// replies included — then report and close.
@@ -97,6 +119,12 @@ func main() {
 	log.Printf("final stats: events=%d steals=%d (%.1f%%) proxies=%d (%.1f%%) parks=%d wakes=%d conns=%d detached=%d shed=%d",
 		st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.ProxyFraction()*100,
 		st.Parks, st.Wakes, st.Conns, st.Detached, st.Shed)
+	// Stats().Net.AcceptShards counts listeners *currently* served — zero
+	// by the time shutdown reaches this line — so report the count this
+	// process actually opened.
+	log.Printf("final net: open=%d idle=%d accepted=%d reaped=%d pollers=%d shards=%d egress_resident=%dB",
+		st.Net.Open, st.Net.Idle, st.Net.Accepted, st.Net.Reaped, st.Net.Pollers,
+		len(listeners), st.Net.EgressBytesResident)
 	if st.Latency.Count > 0 {
 		log.Printf("final latency: %v", st.Latency)
 		log.Printf("final queue delay: %v", st.QueueDelay)

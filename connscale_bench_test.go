@@ -1,0 +1,195 @@
+//go:build unix
+
+// Connection-scale benchmarks: hot-path latency with a wall of idle
+// connections resident, plus the per-connection memory and goroutine
+// cost of that wall. BenchmarkConnScale1k and BenchmarkConnScale100k
+// feed BENCH_conn.json (make bench-conn); the gate tracks ns/op, the
+// extra metrics record bytes-resident and goroutines per idle conn.
+package zygos
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func BenchmarkConnScale1k(b *testing.B)   { benchmarkConnScale(b, 1_000) }
+func BenchmarkConnScale100k(b *testing.B) { benchmarkConnScale(b, 100_000) }
+
+func benchmarkConnScale(b *testing.B, want int) {
+	if testing.Short() && want > 1_000 {
+		b.Skipf("skipping %d-connection wall in -short mode", want)
+	}
+	conns := scaleToFDLimit(b, want)
+
+	srv, err := NewServer(Config{Cores: 2, Handler: func(w ResponseWriter, req *Request) {
+		w.Reply(req.Payload)
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Several listeners, each on its own auto-assigned port: a client
+	// has ~28k usable ephemeral ports per destination (ip, port) pair,
+	// so 100k loopback connections need multiple destination ports.
+	naddr := conns/20_000 + 1
+	listeners := make([]net.Listener, naddr)
+	addrs := make([]string, naddr)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer l.Close()
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+		go srv.Serve(l)
+	}
+
+	// Warm: one full round trip so pollers, sweeper, and pools exist
+	// before the memory baseline is read.
+	warm, err := DialClient(addrs[0], 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.Call([]byte("warm")); err != nil {
+		b.Fatal(err)
+	}
+	warm.Close()
+	for srv.Stats().Net.Open != 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	runtime.GC()
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	g0 := runtime.NumGoroutine()
+
+	// The idle wall: raw net.Conns so the client side contributes no
+	// goroutines and almost no memory — the delta measures the server.
+	raw := make([]net.Conn, 0, conns)
+	defer func() {
+		srv.Close() // server first: teardown drains instead of racing 100k client FINs
+		for _, nc := range raw {
+			nc.Close()
+		}
+	}()
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var dialErr error
+	sem := make(chan struct{}, 64)
+	for i := 0; i < conns; i++ {
+		addr := addrs[i%naddr]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			nc, err := net.DialTimeout("tcp", addr, 30*time.Second)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if dialErr == nil {
+					dialErr = fmt.Errorf("dial %s: %w", addr, err)
+				}
+				return
+			}
+			raw = append(raw, nc)
+		}()
+	}
+	wg.Wait()
+	if dialErr != nil {
+		b.Fatal(dialErr)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for srv.Stats().Net.Open != conns {
+		if time.Now().After(deadline) {
+			b.Fatalf("server registered %d/%d connections", srv.Stats().Net.Open, conns)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	runtime.GC()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
+	bytesPerConn := float64(int64(ms1.HeapAlloc)-int64(ms0.HeapAlloc)) / float64(conns)
+	if bytesPerConn < 0 {
+		bytesPerConn = 0
+	}
+	goroutines := float64(runtime.NumGoroutine() - g0)
+
+	// Hot path through the same pollers with the wall resident.
+	c, err := DialClient(addrs[0], 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	payload := []byte("0123456789abcdef")
+	buf := make([]byte, 0, 64)
+	// Settle before timing: the dial storm leaves garbage and scheduler
+	// churn whose decay otherwise bleeds into the first timed iterations
+	// and reads as a phantom per-connection latency cost.
+	for i := 0; i < 256; i++ {
+		if _, err := c.CallInto(payload, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runtime.GC()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.CallInto(payload, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Reported after the timed loop: ResetTimer discards any metrics
+	// recorded before it.
+	b.ReportMetric(bytesPerConn, "bytes/conn")
+	b.ReportMetric(goroutines, "goroutines")
+}
+
+// scaleToFDLimit raises RLIMIT_NOFILE toward what `want` loopback
+// connections need (2 fds each plus slack) and returns the connection
+// count the final limit supports. Capping is reported, never silent.
+func scaleToFDLimit(b *testing.B, want int) int {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		b.Logf("Getrlimit failed (%v); keeping %d connections", err, want)
+		return want
+	}
+	need := uint64(2*want + 512)
+	if rl.Cur < need {
+		raise := rl
+		raise.Cur = need
+		if raise.Max < need {
+			raise.Max = need // needs CAP_SYS_RESOURCE; harmless to try
+		}
+		if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raise); err != nil {
+			// Retry within the existing hard limit.
+			raise.Max = rl.Max
+			if raise.Cur > raise.Max {
+				raise.Cur = raise.Max
+			}
+			if err := syscall.Setrlimit(syscall.RLIMIT_NOFILE, &raise); err == nil {
+				rl = raise
+			}
+		} else {
+			rl = raise
+		}
+		syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+	max := int((rl.Cur - 512) / 2)
+	if max < 1 {
+		b.Skipf("fd limit %d too low for any connections", rl.Cur)
+	}
+	if want > max {
+		b.Logf("fd limit %d caps the idle wall at %d connections (wanted %d)", rl.Cur, max, want)
+		return max
+	}
+	return want
+}

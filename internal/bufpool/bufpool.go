@@ -30,6 +30,38 @@ func Outstanding() int64 {
 	return n
 }
 
+// InventoryBytes reports the bytes currently retained by the freelists —
+// pooled capacity sitting idle, the figure the transport's idle-memory
+// accounting reports alongside per-connection residency. Checked-out
+// buffers are not counted; see Outstanding for those.
+func InventoryBytes() int64 {
+	var n int64
+	for i := range pools {
+		p := &pools[i]
+		p.mu.Lock()
+		n += int64(len(p.bufs)) * int64(classes[i])
+		p.mu.Unlock()
+	}
+	return n
+}
+
+// Trim discards all idle pooled buffers, handing their memory back to
+// the garbage collector. Callers use it after a connection burst has
+// drained, when the freelists hold a peak's worth of inventory a
+// long-idle process should not pin. Checked-out buffers are unaffected
+// and still return to the (now empty) freelists on Put.
+func Trim() {
+	for i := range pools {
+		p := &pools[i]
+		p.mu.Lock()
+		for j := range p.bufs {
+			p.bufs[j] = nil
+		}
+		p.bufs = p.bufs[:0]
+		p.mu.Unlock()
+	}
+}
+
 // classes are the pooled capacity classes. Get rounds requests up to the
 // next class; larger requests are allocated exactly and never pooled.
 var classes = [...]int{256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}

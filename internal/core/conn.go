@@ -205,6 +205,19 @@ func (c *Conn) completeBatch(comps []completion) {
 	}
 }
 
+// ShrinkIdle releases the connection's retained TX scratch back to the
+// shared pool. Transports call it for connections quiet past an idle
+// threshold, so a million parked connections pin no per-connection
+// egress memory; the next burst simply re-leases from the pool.
+func (c *Conn) ShrinkIdle() {
+	c.txMu.Lock()
+	if c.txBuf != nil {
+		bufpool.Put(c.txBuf)
+		c.txBuf = nil
+	}
+	c.txMu.Unlock()
+}
+
 // poison marks the connection's stream malformed: no further ingress is
 // accepted and, when the transport supports it, the underlying connection
 // is closed so the peer sees the rejection instead of a stall. Events
@@ -214,6 +227,11 @@ func (c *Conn) poison() {
 		if tc, ok := c.wr.(TransportCloser); ok {
 			tc.CloseTransport()
 		}
+		// Return the retained TX scratch: the last completeBatch ran
+		// before closed was set and kept it for reuse. A batch racing
+		// this release re-leases and then frees it itself on seeing
+		// closed, so the buffer goes home on every interleaving.
+		c.ShrinkIdle()
 	}
 }
 

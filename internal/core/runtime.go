@@ -292,8 +292,32 @@ func (rt *Runtime) IngressOwned(c *Conn, data []byte) error {
 
 // CloseConn marks the connection closed. Events already queued are still
 // delivered; subsequent Ingress calls fail. Safe to call multiple times.
+//
+// Closing also returns the connection's pooled memory: the TX scratch
+// immediately (txMu serializes against an in-flight completeBatch, and
+// a batch that observes the closed flag frees its own buffer), and the
+// parse buffer via a nil-data pill through the home ingress ring — the
+// parser is owned by the home worker's drain loop, so the release must
+// ride the same ring as every other parser touch rather than race it.
 func (rt *Runtime) CloseConn(c *Conn) {
-	c.closed.Store(true)
+	if c.closed.Swap(true) {
+		return
+	}
+	c.ShrinkIdle()
+	w := rt.workers[c.home]
+	for i := 0; i < 8; i++ {
+		if w.ingress.tryPush(c, nil) {
+			w.signal()
+			w.selfDrainIfClosed()
+			return
+		}
+		// Ring momentarily full: yield to the draining worker and retry.
+		// If every retry fails the pill is dropped — the drain loop also
+		// releases a closed connection's parse buffer when any later
+		// segment of it drains, so at worst one pooled block stays out
+		// for a connection that went quiet with a full home ring.
+		runtime.Gosched()
+	}
 }
 
 // Flush blocks until every event ingressed before the call has been

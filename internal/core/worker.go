@@ -235,6 +235,15 @@ func (w *Worker) kernelStep() bool {
 			sg := w.drainBuf[i]
 			w.drainBuf[i] = segment{}
 			c := sg.conn
+			if sg.data == nil {
+				// CloseConn's parser-release pill: the connection is
+				// closed and this loop owns its parser, so the pooled
+				// parse block goes home here. Payload views held by
+				// still-queued events keep the block alive until those
+				// messages are released.
+				c.parser.ReleaseBuffer()
+				continue
+			}
 			c.parser.Feed(sg.data)
 			w.rt.putSegment(sg.data)
 			events := 0
@@ -261,6 +270,13 @@ func (w *Worker) kernelStep() bool {
 				c.pcbMu.Unlock()
 				w.rt.parsedN.Add(1)
 				events++
+			}
+			if c.closed.Load() {
+				// Closed while bytes were still in flight (the pill may
+				// have been dropped on a full ring): release here instead.
+				// Parsed events above still deliver; only the partial
+				// trailing frame, which can never complete, is dropped.
+				c.parser.ReleaseBuffer()
 			}
 			if events > 0 {
 				w.markReady(c)
@@ -650,6 +666,11 @@ func (w *Worker) shutdownDrain() {
 		sg, ok := w.ingress.pop()
 		if !ok {
 			break
+		}
+		if sg.data == nil {
+			// CloseConn's parser-release pill; it owns no segment.
+			sg.conn.parser.ReleaseBuffer()
+			continue
 		}
 		w.rt.putSegment(sg.data)
 	}

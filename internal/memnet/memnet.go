@@ -54,6 +54,7 @@ func (w replyWriter) WriteReply(frame []byte) error {
 // fail instead of hanging.
 func (w replyWriter) CloseTransport() {
 	w.cc.disp.Close()
+	w.cc.disp.ReleaseParser()
 }
 
 // Dial creates a new client connection. The server side is registered with
@@ -183,4 +184,5 @@ func (c *ClientConn) Close() {
 	c.mu.Unlock()
 	c.rt.CloseConn(c.server)
 	c.disp.Close()
+	c.disp.ReleaseParser()
 }

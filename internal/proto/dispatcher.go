@@ -64,8 +64,18 @@ func (d *Dispatcher) Register(cb func(resp []byte, err error)) (uint64, error) {
 
 // Feed parses raw response bytes and dispatches completed messages.
 // Responses with unknown IDs are dropped (late replies after timeout).
+// After Close, Feed discards its input without touching the parser, so
+// a straggling reply can never re-lease a pooled parse block that
+// ReleaseParser already returned.
 func (d *Dispatcher) Feed(data []byte) error {
 	d.feedMu.Lock()
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		d.feedMu.Unlock()
+		return nil
+	}
 	d.parser.Feed(data)
 	ready := d.ready[:0]
 	var err error
@@ -128,4 +138,28 @@ func (d *Dispatcher) Close() {
 	for _, cb := range cbs {
 		cb(nil, ErrDispatcherClosed)
 	}
+}
+
+// ReleaseParser returns the dispatcher's pooled parse block after
+// Close; outstanding payload views keep the underlying memory alive
+// until their messages are released. Call it from the transport's
+// teardown path (read-loop exit, CloseTransport) once no more useful
+// Feeds will happen — Close must already have been called, which is
+// what stops a late Feed from re-leasing a block afterwards.
+//
+// A Feed may still be in flight on another goroutine (or this call may
+// sit inside one of that Feed's callbacks), so the release defers to a
+// goroutine rather than block on the feed lock: the in-flight Feed
+// finishes, then the block goes home.
+func (d *Dispatcher) ReleaseParser() {
+	if d.feedMu.TryLock() {
+		d.parser.ReleaseBuffer()
+		d.feedMu.Unlock()
+		return
+	}
+	go func() {
+		d.feedMu.Lock()
+		d.parser.ReleaseBuffer()
+		d.feedMu.Unlock()
+	}()
 }

@@ -1,0 +1,168 @@
+package tcpnet
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"zygos/internal/bufpool"
+	"zygos/internal/proto"
+)
+
+// Client is a TCP RPC client speaking the proto framing. It supports
+// pipelined concurrent requests over one connection. Applications with
+// many logical callers should multiplex them over a ConnManager instead
+// of dialing one Client each.
+type Client struct {
+	nc   net.Conn
+	disp *proto.Dispatcher
+
+	wmu    sync.Mutex
+	wr     *bufio.Writer
+	closed bool
+}
+
+// Dial connects to a tcpnet server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c := &Client{nc: nc, disp: proto.NewDispatcher(), wr: bufio.NewWriterSize(nc, 32<<10)}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	buf := make([]byte, readBufSize)
+	for {
+		n, err := c.nc.Read(buf)
+		if n > 0 {
+			if derr := c.disp.Feed(buf[:n]); derr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	c.disp.Close()
+	c.disp.ReleaseParser()
+}
+
+// sendFrame encodes m into a pooled buffer, writes and flushes it.
+// Legacy (method-less) sends travel as v2 frames, method-routed sends
+// as v3. The write is flushed immediately (open-loop latency
+// measurement cannot tolerate client-side batching).
+func (c *Client) sendFrame(m proto.Message) error {
+	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(m.Payload))), m)
+	err := c.write(frame)
+	bufpool.Put(frame)
+	return err
+}
+
+// SendAsync issues a request; cb runs exactly once with the reply or an
+// error. Replies carrying a non-OK wire status surface as
+// *proto.StatusError. The resp slice is valid only for the duration of
+// the callback; retain a copy.
+func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.disp.Register(cb)
+	if err != nil {
+		return err
+	}
+	return c.sendFrame(proto.Message{ID: id, Payload: payload, V2: true})
+}
+
+// SendMethodAsync is SendAsync with a method identifier: the request
+// travels as a v3 frame and the server routes it by method.
+func (c *Client) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.disp.Register(cb)
+	if err != nil {
+		return err
+	}
+	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true})
+}
+
+// SendOneWay issues a fire-and-forget request: the server executes it
+// but sends no reply, and no client-side state is kept.
+func (c *Client) SendOneWay(payload []byte) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Payload: payload, V2: true})
+}
+
+// SendMethodOneWay is SendOneWay with a method identifier (v3 frame).
+func (c *Client) SendMethodOneWay(method uint16, payload []byte) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Method: method, Payload: payload, V3: true})
+}
+
+func (c *Client) write(frame []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return errors.New("tcpnet: client closed")
+	}
+	if _, err := c.wr.Write(frame); err != nil {
+		return err
+	}
+	return c.wr.Flush()
+}
+
+// Call issues a request and blocks for the reply. The returned slice is
+// owned by the caller.
+func (c *Client) Call(payload []byte) ([]byte, error) {
+	return c.CallInto(payload, nil)
+}
+
+// CallInto issues a request, blocks for its reply, and appends the reply
+// payload to buf, returning the extended slice. Passing a reused buffer
+// makes the client side of the round trip allocation-free at steady
+// state.
+func (c *Client) CallInto(payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// CallMethod issues a method-routed request and blocks for its reply.
+func (c *Client) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.CallMethodInto(method, payload, nil)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer, the
+// allocation-free closed-loop form.
+func (c *Client) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// Close shuts the connection down; outstanding calls fail.
+func (c *Client) Close() {
+	c.wmu.Lock()
+	c.closed = true
+	c.wmu.Unlock()
+	c.nc.Close()
+	c.disp.Close()
+}

@@ -1,0 +1,336 @@
+package tcpnet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zygos/internal/bufpool"
+	"zygos/internal/proto"
+)
+
+// ErrManagerClosed is returned by ConnManager and ManagedCaller
+// operations after the manager shuts down.
+var ErrManagerClosed = errors.New("tcpnet: conn manager closed")
+
+// ConnManager multiplexes many logical callers onto a small fixed set
+// of TCP connections. A load generator (or an application tier) with
+// thousands of logical clients would otherwise hold thousands of
+// sockets and reader goroutines; the manager holds at most `sockets` of
+// each, assigns callers round-robin, and coalesces small concurrent
+// requests from co-located callers into single write syscalls.
+//
+// Reply matching is per socket: each physical connection owns a
+// Dispatcher, request IDs are allocated from it, and every caller on
+// that socket shares it — the v1/v2/v3 reply-matching semantics are
+// exactly those of a dedicated Client.
+//
+// Ownership rules: NewCaller hands out a view, not a connection —
+// closing a ManagedCaller only fails that caller's future sends and
+// never closes the shared socket (other callers keep using it). Closing
+// the manager closes every socket and fails every outstanding request.
+// Sockets are dialed lazily on a caller's first send and redialed on a
+// later send after a socket-level failure.
+type ConnManager struct {
+	addr    string
+	timeout time.Duration
+	socks   []*managedSock
+	next    atomic.Uint64
+	closed  atomic.Bool
+}
+
+// NewConnManager creates a manager holding at most sockets physical
+// connections to addr. Sockets are dialed lazily.
+func NewConnManager(addr string, sockets int, timeout time.Duration) *ConnManager {
+	if sockets < 1 {
+		sockets = 1
+	}
+	m := &ConnManager{addr: addr, timeout: timeout, socks: make([]*managedSock, sockets)}
+	for i := range m.socks {
+		m.socks[i] = &managedSock{m: m}
+	}
+	return m
+}
+
+// NewCaller returns a logical caller multiplexed onto one of the
+// manager's sockets (round-robin assignment).
+func (m *ConnManager) NewCaller() (*ManagedCaller, error) {
+	if m.closed.Load() {
+		return nil, ErrManagerClosed
+	}
+	i := m.next.Add(1) - 1
+	return &ManagedCaller{sock: m.socks[i%uint64(len(m.socks))]}, nil
+}
+
+// Sockets reports how many physical connections are currently dialed.
+func (m *ConnManager) Sockets() int {
+	n := 0
+	for _, ms := range m.socks {
+		ms.mu.Lock()
+		if ms.nc != nil {
+			n++
+		}
+		ms.mu.Unlock()
+	}
+	return n
+}
+
+// Close tears down every socket; outstanding requests fail and future
+// operations return ErrManagerClosed.
+func (m *ConnManager) Close() {
+	if !m.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, ms := range m.socks {
+		ms.close(ErrManagerClosed)
+	}
+}
+
+// managedSock is one physical connection: a lazily dialed socket, its
+// reply dispatcher, and the write-coalescing stage. The first sender
+// becomes the flusher and keeps writing while co-located callers append
+// — many small concurrent requests leave in one syscall, the gather
+// batching a per-caller socket could never provide.
+type managedSock struct {
+	m *ConnManager
+
+	mu       sync.Mutex
+	nc       net.Conn
+	disp     *proto.Dispatcher
+	pending  []byte
+	spare    []byte
+	flushing bool
+	err      error
+}
+
+// ensureDialedLocked dials the socket on first use (and redials after a
+// failure). Caller holds ms.mu; the dial happens under it, which only
+// ever stalls co-located callers during connection setup.
+func (ms *managedSock) ensureDialedLocked() error {
+	if ms.m.closed.Load() {
+		return ErrManagerClosed
+	}
+	if ms.nc != nil {
+		return nil
+	}
+	nc, err := net.DialTimeout("tcp", ms.m.addr, ms.m.timeout)
+	if err != nil {
+		return err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	ms.nc = nc
+	ms.disp = proto.NewDispatcher()
+	ms.err = nil
+	go ms.readLoop(nc, ms.disp)
+	return nil
+}
+
+// readLoop feeds one socket's replies to its dispatcher; it is the only
+// per-socket goroutine, shared by every caller on the socket.
+func (ms *managedSock) readLoop(nc net.Conn, disp *proto.Dispatcher) {
+	buf := make([]byte, readBufSize)
+	for {
+		n, err := nc.Read(buf)
+		if n > 0 {
+			if derr := disp.Feed(buf[:n]); derr != nil {
+				break
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	ms.mu.Lock()
+	if ms.nc == nc {
+		ms.failLocked(net.ErrClosed)
+	}
+	ms.mu.Unlock()
+	disp.Close()
+	disp.ReleaseParser()
+}
+
+// failLocked marks the socket dead and closes it; a later send redials.
+// Staged bytes are dropped — they carry the dead dispatcher's request
+// IDs and must not leak onto a redialed socket. Caller holds ms.mu.
+func (ms *managedSock) failLocked(err error) {
+	if ms.nc != nil {
+		ms.nc.Close()
+		ms.nc = nil
+	}
+	ms.pending = ms.pending[:0]
+	if ms.err == nil {
+		ms.err = err
+	}
+}
+
+// close tears the socket down for good (manager shutdown).
+func (ms *managedSock) close(err error) {
+	ms.mu.Lock()
+	disp := ms.disp
+	ms.failLocked(err)
+	ms.mu.Unlock()
+	if disp != nil {
+		disp.Close()
+	}
+}
+
+// register allocates a request ID on the socket's dispatcher, dialing
+// first if needed.
+func (ms *managedSock) register(cb func(resp []byte, err error)) (uint64, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if err := ms.ensureDialedLocked(); err != nil {
+		return 0, err
+	}
+	return ms.disp.Register(cb)
+}
+
+// send stages frame and flushes the socket: if a flusher is already
+// active the bytes ride its next write; otherwise the caller becomes
+// the flusher and loops until co-located callers stop appending.
+func (ms *managedSock) send(frame []byte) error {
+	ms.mu.Lock()
+	if err := ms.ensureDialedLocked(); err != nil {
+		ms.mu.Unlock()
+		return err
+	}
+	ms.pending = append(ms.pending, frame...)
+	if ms.flushing {
+		ms.mu.Unlock()
+		return nil
+	}
+	ms.flushing = true
+	nc := ms.nc
+	for ms.err == nil && len(ms.pending) > 0 {
+		buf := ms.pending
+		ms.pending = ms.spare[:0]
+		ms.spare = nil
+		ms.mu.Unlock()
+		_, werr := nc.Write(buf)
+		ms.mu.Lock()
+		ms.spare = buf[:0]
+		if werr != nil {
+			disp := ms.disp
+			ms.disp = nil
+			ms.failLocked(werr)
+			ms.flushing = false
+			ms.mu.Unlock()
+			if disp != nil {
+				disp.Close()
+			}
+			return werr
+		}
+	}
+	err := ms.err
+	ms.flushing = false
+	ms.mu.Unlock()
+	return err
+}
+
+// sendMessage encodes m into a pooled buffer and stages it; the bytes
+// are copied into the coalescing buffer, so the frame can return to the
+// pool immediately.
+func (ms *managedSock) sendMessage(m proto.Message) error {
+	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(m.Payload))), m)
+	err := ms.send(frame)
+	bufpool.Put(frame)
+	return err
+}
+
+// ManagedCaller is one logical caller multiplexed over a ConnManager
+// socket. It implements the same calling conventions as Client; see
+// ConnManager for the ownership rules.
+type ManagedCaller struct {
+	sock   *managedSock
+	closed atomic.Bool
+}
+
+// SendAsync issues a request; cb runs exactly once with the reply or an
+// error. The resp slice is valid only for the duration of the callback.
+func (c *ManagedCaller) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	return c.sendAsync(proto.Message{Payload: payload, V2: true}, cb)
+}
+
+// SendMethodAsync is SendAsync with a method identifier (v3 frame).
+func (c *ManagedCaller) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	return c.sendAsync(proto.Message{Method: method, Payload: payload, V3: true}, cb)
+}
+
+func (c *ManagedCaller) sendAsync(m proto.Message, cb func(resp []byte, err error)) error {
+	if c.closed.Load() {
+		return net.ErrClosed
+	}
+	if len(m.Payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.sock.register(cb)
+	if err != nil {
+		return err
+	}
+	m.ID = id
+	return c.sock.sendMessage(m)
+}
+
+// SendOneWay issues a fire-and-forget request: the server executes it
+// but sends no reply, and no client-side state is kept.
+func (c *ManagedCaller) SendOneWay(payload []byte) error {
+	return c.sendOneWay(proto.Message{Flags: proto.FlagOneWay, Payload: payload, V2: true})
+}
+
+// SendMethodOneWay is SendOneWay with a method identifier (v3 frame).
+func (c *ManagedCaller) SendMethodOneWay(method uint16, payload []byte) error {
+	return c.sendOneWay(proto.Message{Flags: proto.FlagOneWay, Method: method, Payload: payload, V3: true})
+}
+
+func (c *ManagedCaller) sendOneWay(m proto.Message) error {
+	if c.closed.Load() {
+		return net.ErrClosed
+	}
+	if len(m.Payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	return c.sock.sendMessage(m)
+}
+
+// Call issues a request and blocks for the reply. The returned slice is
+// owned by the caller.
+func (c *ManagedCaller) Call(payload []byte) ([]byte, error) {
+	return c.CallInto(payload, nil)
+}
+
+// CallInto is Call with a caller-owned reply buffer, the
+// allocation-free closed-loop form.
+func (c *ManagedCaller) CallInto(payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// CallMethod issues a method-routed request and blocks for its reply.
+func (c *ManagedCaller) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.CallMethodInto(method, payload, nil)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer.
+func (c *ManagedCaller) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// Close retires the logical caller: its future sends fail. The shared
+// socket stays open for the manager's other callers; replies to this
+// caller's still-outstanding requests are delivered normally.
+func (c *ManagedCaller) Close() {
+	c.closed.Store(true)
+}

@@ -1,0 +1,143 @@
+package tcpnet
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Many callers over a two-socket manager: every call answers correctly
+// and the manager never dials more than its socket budget.
+func TestConnManagerMultiplexes(t *testing.T) {
+	_, _, addr := startReapServer(t, 0, echoHandler)
+
+	m := NewConnManager(addr, 2, time.Second)
+	defer m.Close()
+
+	const callers = 8
+	const callsPer = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		c, err := m.NewCaller()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id int, c *ManagedCaller) {
+			defer wg.Done()
+			for j := 0; j < callsPer; j++ {
+				want := []byte(fmt.Sprintf("caller-%d-call-%d", id, j))
+				got, err := c.Call(want)
+				if err != nil {
+					errs <- fmt.Errorf("caller %d call %d: %w", id, j, err)
+					return
+				}
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("caller %d call %d: got %q want %q", id, j, got, want)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := m.Sockets(); n > 2 {
+		t.Fatalf("manager dialed %d sockets, budget is 2", n)
+	}
+}
+
+// Closing one caller must not disturb its siblings on the shared
+// socket: the closed caller fails fast, the others keep working.
+func TestConnManagerCallerCloseLeavesSocket(t *testing.T) {
+	_, _, addr := startReapServer(t, 0, echoHandler)
+
+	m := NewConnManager(addr, 1, time.Second)
+	defer m.Close()
+
+	a, err := m.NewCaller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.NewCaller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Call([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := a.Call([]byte("dead")); err == nil {
+		t.Fatal("call on closed caller succeeded")
+	}
+	if got, err := b.Call([]byte("still-here")); err != nil || string(got) != "still-here" {
+		t.Fatalf("sibling caller broken after Close: %q %v", got, err)
+	}
+}
+
+// Closing the manager fails subsequent calls on every caller.
+func TestConnManagerCloseFailsCallers(t *testing.T) {
+	_, _, addr := startReapServer(t, 0, echoHandler)
+
+	m := NewConnManager(addr, 2, time.Second)
+	c, err := m.NewCaller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := c.Call([]byte("x")); err == nil {
+		t.Fatal("call succeeded after manager close")
+	}
+	if _, err := m.NewCaller(); err == nil {
+		t.Fatal("NewCaller succeeded after manager close")
+	}
+}
+
+// When the server drops a managed socket (here via idle reaping), the
+// next call redials transparently instead of failing forever.
+func TestConnManagerRedialsAfterServerClose(t *testing.T) {
+	_, srv, addr := startReapServer(t, 50*time.Millisecond, echoHandler)
+
+	m := NewConnManager(addr, 1, time.Second)
+	defer m.Close()
+	c, err := m.NewCaller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the server to reap the idle socket.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.NetStats().Open != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never reaped the managed socket")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A call may race the client noticing the close; it must succeed
+	// within a couple of attempts once the redial lands.
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		got, err := c.Call([]byte("again"))
+		if err == nil {
+			if string(got) != "again" {
+				t.Fatalf("redial echo mismatch: %q", got)
+			}
+			return
+		}
+		lastErr = err
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("calls never recovered after server-side close: %v", lastErr)
+}

@@ -1,0 +1,262 @@
+//go:build linux
+
+package tcpnet
+
+import (
+	"net"
+	"sync"
+	"syscall"
+)
+
+// newPollerSet builds the platform poller pool: epoll pollers on Linux,
+// degrading to the portable scan poller if epoll setup fails (or the
+// server forces portable mode).
+func newPollerSet(s *Server, n int) []poller {
+	if s.opt.forcePortable {
+		return newPortableSet(s, n)
+	}
+	out := make([]poller, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := newEpollPoller(s)
+		if err != nil {
+			for _, q := range out {
+				q.close()
+			}
+			return newPortableSet(s, n)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// rawFD extracts the integer fd behind a RawConn; the value is used only
+// as an epoll registration key — every syscall on it goes through a
+// SyscallConn callback, which pins the fd against close/reuse.
+func rawFD(rc syscall.RawConn) (int, bool) {
+	fd := -1
+	if err := rc.Control(func(f uintptr) { fd = int(f) }); err != nil || fd < 0 {
+		return -1, false
+	}
+	return fd, true
+}
+
+// sysWriteStep performs one nonblocking write on the raw fd (Go marks
+// its socket fds O_NONBLOCK). It reports bytes written and whether the
+// socket would block.
+func sysWriteStep(rc syscall.RawConn, buf []byte) (int, bool, error) {
+	var n int
+	var werr error
+	if cerr := rc.Control(func(fd uintptr) { n, werr = syscall.Write(int(fd), buf) }); cerr != nil {
+		return 0, false, cerr
+	}
+	if n < 0 {
+		n = 0
+	}
+	switch werr {
+	case nil:
+		return n, false, nil
+	case syscall.EAGAIN, syscall.EINTR:
+		// EINTR rides the readiness path too: the socket is still
+		// writable, so the armed poller retries immediately.
+		return n, true, nil
+	default:
+		return n, false, werr
+	}
+}
+
+// epollPoller multiplexes its connections' readiness through one epoll
+// instance, level-triggered. It coexists with Go's netpoller — the fds
+// remain registered there, but nothing blocks on that side. One read is
+// issued per readiness event so a firehose connection cannot starve its
+// poller siblings; remaining data simply re-arms the level-triggered
+// event.
+type epollPoller struct {
+	s            *Server
+	epfd         int
+	wakeR, wakeW int
+
+	mu     sync.Mutex
+	conns  map[int32]*serverConn // keyed by fd (the epoll event payload)
+	closed bool
+
+	done chan struct{}
+	buf  []byte // leased read scratch, handed off on big reads
+}
+
+func newEpollPoller(s *Server) (*epollPoller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	var pipe [2]int
+	if err := syscall.Pipe2(pipe[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	p := &epollPoller{
+		s:     s,
+		epfd:  epfd,
+		wakeR: pipe[0],
+		wakeW: pipe[1],
+		conns: make(map[int32]*serverConn),
+		done:  make(chan struct{}),
+	}
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(p.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, p.wakeR, &ev); err != nil {
+		syscall.Close(epfd)
+		syscall.Close(pipe[0])
+		syscall.Close(pipe[1])
+		return nil, err
+	}
+	go p.run()
+	return p, nil
+}
+
+func (p *epollPoller) addConn(sc *serverConn) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return net.ErrClosed
+	}
+	// Register in the lookup table before epoll so an event firing
+	// between the two finds its connection. A previous tenant of the same
+	// fd number has necessarily been torn down (the fd was closed to be
+	// reused), so overwriting is correct.
+	p.conns[int32(sc.fd)] = sc
+	p.mu.Unlock()
+	var ctlErr error
+	ev := syscall.EpollEvent{Events: syscall.EPOLLIN, Fd: int32(sc.fd)}
+	err := sc.rc.Control(func(fd uintptr) {
+		ctlErr = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, int(fd), &ev)
+	})
+	if err == nil {
+		err = ctlErr
+	}
+	if err != nil {
+		p.delConn(sc)
+		return err
+	}
+	return nil
+}
+
+// armWrite adds EPOLLOUT to the connection's event mask; called with
+// sc.mu held, which serializes it against disarm and teardown.
+func (p *epollPoller) armWrite(sc *serverConn) {
+	if sc.armed {
+		return
+	}
+	p.ctlMod(sc, syscall.EPOLLIN|syscall.EPOLLOUT)
+	sc.armed = true
+}
+
+func (p *epollPoller) disarmWrite(sc *serverConn) {
+	if !sc.armed {
+		return
+	}
+	p.ctlMod(sc, syscall.EPOLLIN)
+	sc.armed = false
+}
+
+func (p *epollPoller) ctlMod(sc *serverConn, events uint32) {
+	ev := syscall.EpollEvent{Events: events, Fd: int32(sc.fd)}
+	_ = sc.rc.Control(func(fd uintptr) {
+		_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, int(fd), &ev)
+	})
+}
+
+func (p *epollPoller) delConn(sc *serverConn) {
+	p.mu.Lock()
+	if cur, ok := p.conns[int32(sc.fd)]; ok && cur == sc {
+		delete(p.conns, int32(sc.fd))
+	}
+	p.mu.Unlock()
+	// Best effort: closing the fd deregisters it anyway.
+	_ = sc.rc.Control(func(fd uintptr) {
+		_ = syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, int(fd), nil)
+	})
+}
+
+func (p *epollPoller) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	var one = [1]byte{1}
+	_, _ = syscall.Write(p.wakeW, one[:])
+	<-p.done
+}
+
+func (p *epollPoller) run() {
+	defer close(p.done)
+	defer func() {
+		if p.buf != nil {
+			p.s.rt.PutSegment(p.buf)
+			p.buf = nil
+		}
+		syscall.Close(p.epfd)
+		syscall.Close(p.wakeR)
+		syscall.Close(p.wakeW)
+	}()
+	events := make([]syscall.EpollEvent, 128)
+	for {
+		n, err := syscall.EpollWait(p.epfd, events, -1)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			ev := &events[i]
+			if int(ev.Fd) == p.wakeR {
+				return
+			}
+			p.mu.Lock()
+			sc := p.conns[ev.Fd]
+			p.mu.Unlock()
+			if sc == nil {
+				continue
+			}
+			if ev.Events&syscall.EPOLLOUT != 0 {
+				sc.pollWritable()
+			}
+			if ev.Events&(syscall.EPOLLIN|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
+				p.readConn(sc)
+			}
+		}
+	}
+}
+
+// readConn issues one nonblocking read and routes the result: data to
+// the runtime (zero-copy for big reads), EOF or error to teardown,
+// EAGAIN onward. The read rides a SyscallConn callback so a concurrent
+// teardown cannot recycle the fd mid-syscall.
+func (p *epollPoller) readConn(sc *serverConn) {
+	if p.buf == nil {
+		b := p.s.rt.GetSegment(readBufSize)
+		p.buf = b[:cap(b)]
+	}
+	var n int
+	var rerr error
+	cerr := sc.rc.Control(func(fd uintptr) { n, rerr = syscall.Read(int(fd), p.buf) })
+	if cerr != nil {
+		sc.teardown()
+		return
+	}
+	if rerr == syscall.EAGAIN || rerr == syscall.EINTR {
+		return
+	}
+	if n > 0 {
+		var ok bool
+		p.buf, ok = sc.ingest(p.buf, n)
+		if !ok {
+			sc.teardown()
+		}
+		return
+	}
+	// Zero-byte read (EOF) or a hard error: the peer is gone.
+	sc.teardown()
+}

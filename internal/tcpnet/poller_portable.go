@@ -1,0 +1,155 @@
+package tcpnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// portableReadSlice is the per-connection read deadline one scan pass
+// spends waiting for data. Small enough that a handful of connections
+// stay responsive, long enough that an idle scan parks in the netpoller
+// instead of spinning.
+const portableReadSlice = time.Millisecond
+
+// portableIdleSleep is how long an empty poller sleeps between scans.
+const portableIdleSleep = 2 * time.Millisecond
+
+// portablePoller is the fallback readiness loop for platforms (or
+// connections) without raw-fd polling: one goroutine scans its
+// connection set, giving each a short-deadline read and resuming any
+// parked egress drains. Latency degrades linearly with the set size —
+// the portable poller exists so the full test suite runs everywhere,
+// not to hit the scalability targets; those belong to the platform
+// pollers.
+type portablePoller struct {
+	s *Server
+
+	mu     sync.Mutex
+	conns  map[*serverConn]struct{}
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+	buf  []byte // leased read scratch, handed off on big reads
+}
+
+// newPortableSet builds a pool of n portable pollers.
+func newPortableSet(s *Server, n int) []poller {
+	out := make([]poller, n)
+	for i := range out {
+		out[i] = newPortablePoller(s)
+	}
+	return out
+}
+
+func newPortablePoller(s *Server) *portablePoller {
+	p := &portablePoller{
+		s:     s,
+		conns: make(map[*serverConn]struct{}),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+func (p *portablePoller) addConn(sc *serverConn) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return net.ErrClosed
+	}
+	p.conns[sc] = struct{}{}
+	return nil
+}
+
+// armWrite is a no-op: every scan pass checks waitWrite directly.
+func (p *portablePoller) armWrite(sc *serverConn) {}
+
+func (p *portablePoller) disarmWrite(sc *serverConn) {}
+
+func (p *portablePoller) delConn(sc *serverConn) {
+	p.mu.Lock()
+	delete(p.conns, sc)
+	p.mu.Unlock()
+}
+
+func (p *portablePoller) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.stop)
+	<-p.done
+}
+
+func (p *portablePoller) run() {
+	defer close(p.done)
+	defer func() {
+		if p.buf != nil {
+			p.s.rt.PutSegment(p.buf)
+			p.buf = nil
+		}
+	}()
+	var scratch []*serverConn
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+		}
+		p.mu.Lock()
+		scratch = scratch[:0]
+		for sc := range p.conns {
+			scratch = append(scratch, sc)
+		}
+		p.mu.Unlock()
+		if len(scratch) == 0 {
+			select {
+			case <-p.stop:
+				return
+			case <-time.After(portableIdleSleep):
+			}
+			continue
+		}
+		for _, sc := range scratch {
+			sc.pollWritable()
+			p.readConn(sc)
+		}
+	}
+}
+
+// readConn gives one connection a short-deadline read and routes the
+// result: data to the runtime, EOF/error to teardown, timeout onward.
+func (p *portablePoller) readConn(sc *serverConn) {
+	if p.buf == nil {
+		b := p.s.rt.GetSegment(readBufSize)
+		p.buf = b[:cap(b)]
+	}
+	_ = sc.nc.SetReadDeadline(time.Now().Add(portableReadSlice))
+	n, err := sc.nc.Read(p.buf)
+	if n > 0 {
+		var ok bool
+		p.buf, ok = sc.ingest(p.buf, n)
+		if !ok {
+			sc.teardown()
+			return
+		}
+	}
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return
+		}
+		sc.teardown()
+		return
+	}
+	if n == 0 {
+		// A deadline-less zero-byte read without error is EOF on some
+		// net.Conn implementations.
+		sc.teardown()
+	}
+}

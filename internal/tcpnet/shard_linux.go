@@ -1,0 +1,61 @@
+//go:build linux
+
+package tcpnet
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT on Linux; the frozen stdlib syscall
+// package predates the constant, so it is spelled out here.
+const soReusePort = 0xf
+
+// reusePortConfig sets SO_REUSEPORT before bind, letting several
+// listeners share one port with the kernel load-balancing accepts
+// across them — the paper's RSS analogue for the accept path.
+func reusePortConfig() net.ListenConfig {
+	return net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+}
+
+// ListenShards opens n TCP listeners sharing one address via
+// SO_REUSEPORT, so each can be served by its own accept loop (one
+// Server.Serve call per listener) and the kernel spreads incoming
+// connections across them. With addr ending in ":0" the first listener
+// picks the port and the rest join it. On error, already opened
+// listeners are closed.
+func ListenShards(addr string, n int) ([]net.Listener, error) {
+	if n < 1 {
+		n = 1
+	}
+	lc := reusePortConfig()
+	ctx := context.Background()
+	out := make([]net.Listener, 0, n)
+	first, err := lc.Listen(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, first)
+	for len(out) < n {
+		l, err := lc.Listen(ctx, "tcp", first.Addr().String())
+		if err != nil {
+			for _, o := range out {
+				o.Close()
+			}
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}

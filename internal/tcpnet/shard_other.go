@@ -1,0 +1,17 @@
+//go:build !linux
+
+package tcpnet
+
+import "net"
+
+// ListenShards degrades to a single listener off Linux: without
+// SO_REUSEPORT wiring, one accept loop serves the address. Callers
+// already iterate over the returned slice, so the degradation is
+// transparent.
+func ListenShards(addr string, n int) ([]net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return []net.Listener{l}, nil
+}

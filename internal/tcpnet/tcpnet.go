@@ -1,95 +1,419 @@
 // Package tcpnet adapts the runtime to real TCP sockets using only the
-// standard library: an accept loop registers each connection with the
-// runtime (RSS hashing picks its home worker), a per-connection reader
-// goroutine feeds raw stream bytes into the ingress path, and replies are
-// written back by the runtime's home-core TX path through a batching
-// egress writer.
+// standard library, with a connection-scalable data plane: instead of a
+// reader goroutine and a flusher goroutine per connection, a small fixed
+// pool of poller goroutines multiplexes every connection's readiness.
+// The goroutine budget is O(pollers + accept shards), independent of the
+// connection count — the property the ROADMAP's "millions of users"
+// north star needs and the goroutine-per-connection design could not
+// deliver (2M goroutines, gigabytes of stacks, scheduler thrash).
 //
-// The Go net poller stands in for the NIC driver here; what the package
-// preserves from the paper is everything above it — flow-consistent home
-// assignment, the shuffle layer, stealing, and ordered replies. Two
-// batching layers keep syscall counts down: the runtime coalesces every
-// in-order completion into one reply batch, and the per-connection
-// egress writer aggregates batches that complete while a previous write
-// syscall is still in flight (a writev-style gather), preserving the
-// per-connection ordering guarantee because a single flusher drains the
-// pending buffer in append order.
+// On Linux each poller owns an epoll instance (via the stdlib syscall
+// package; the sockets stay registered with Go's netpoller too, but
+// nobody waits on that side) and performs nonblocking reads and writes
+// directly on the connection fds, always inside SyscallConn callbacks so
+// teardown can never race an in-flight syscall onto a recycled fd.
+// Everywhere else — and on Linux when a listener yields connections
+// without syscall access, or when WithPortablePoller forces it for test
+// coverage — a portable poller scans its connections with short read
+// deadlines; same state machine, worse constants.
+//
+// Ingress: pollers lease read segments from the runtime's pool and hand
+// large reads to Runtime.IngressOwned zero-copy (ownership transfers,
+// the poller leases a fresh segment); small reads are copied so the
+// retained scratch is per-poller, not per-connection — an idle
+// connection pins no read-buffer memory at all, by construction.
+//
+// Egress: the runtime coalesces in-order completions into one
+// WriteReply batch; WriteReply stages the batch in the connection's
+// pending buffer and the calling goroutine becomes the writer if none
+// is active, draining with nonblocking writes. A stalled peer parks the
+// connection's egress — write readiness is armed with the poller
+// (EPOLLOUT on Linux) and the poller resumes the drain — instead of
+// pinning a flusher goroutine. Append order is transmit order, so the
+// per-connection reply ordering guarantee survives, and the staging
+// buffer is bounded by a high-water mark that blocks WriteReply (the
+// same backpressure a synchronous socket write used to provide).
+//
+// The server also keeps a connection registry with idle-memory
+// accounting: a sweeper shrinks quiet connections' retained egress
+// scratch (transport staging and the runtime's TX batch buffer) back to
+// the shared pool, and — when an idle timeout is configured — reaps
+// connections quiet past the deadline.
 package tcpnet
 
 import (
-	"bufio"
-	"errors"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
-	"zygos/internal/bufpool"
 	"zygos/internal/core"
-	"zygos/internal/proto"
 )
 
-// readBufSize is the per-connection read buffer leased from the segment
+// readBufSize is the poller-owned read buffer leased from the segment
 // pool and handed to the kernel.
 const readBufSize = 64 << 10
 
-// readHandoffSize is the read size at which the reader hands its whole
+// readHandoffSize is the read size at which a poller hands its whole
 // buffer to the runtime zero-copy instead of copying into a right-sized
 // pooled segment; below it the copy is cheaper than churning another
 // readBufSize lease through the pool.
 const readHandoffSize = 8 << 10
 
-// closeDrainTimeout bounds how long Server.Close waits for egress
-// writers to drain pending replies before severing their sockets.
+// closeDrainTimeout bounds how long Server.Close waits for staged
+// egress to drain before severing the sockets.
 const closeDrainTimeout = 500 * time.Millisecond
+
+// maxPollers caps the default poller pool; readiness polling wants few
+// busy pollers, not one per core on large machines.
+const maxPollers = 4
+
+// poller multiplexes read and write readiness for a set of server
+// connections. addConn registers a connection; armWrite (called with the
+// connection's mutex held) asks for write-readiness notification after a
+// short write; delConn removes a connection during teardown (idempotent,
+// called without the connection's mutex); close stops the poller and
+// waits for its goroutine.
+type poller interface {
+	addConn(sc *serverConn) error
+	armWrite(sc *serverConn)
+	disarmWrite(sc *serverConn)
+	delConn(sc *serverConn)
+	close()
+}
+
+// options collects Server construction knobs.
+type options struct {
+	pollers       int
+	forcePortable bool
+	idleTimeout   time.Duration
+	idleAfter     time.Duration
+	sweepInterval time.Duration
+}
+
+// Option configures a Server.
+type Option func(*options)
+
+func defaultOptions() options {
+	n := runtime.GOMAXPROCS(0)
+	if n > maxPollers {
+		n = maxPollers
+	}
+	if n < 1 {
+		n = 1
+	}
+	return options{
+		pollers:       n,
+		idleAfter:     5 * time.Second,
+		sweepInterval: time.Second,
+	}
+}
+
+// NetStats is a snapshot of the transport's connection registry.
+type NetStats struct {
+	// Open is the number of currently open connections.
+	Open int
+	// Idle is how many open connections have been quiet past the idle
+	// threshold (WithIdleThreshold, default 5s).
+	Idle int
+	// Accepted counts connections ever accepted.
+	Accepted uint64
+	// Reaped counts connections closed by the idle-timeout reaper.
+	Reaped uint64
+	// Pollers is the number of poller goroutines.
+	Pollers int
+	// AcceptShards is the number of listeners currently being served
+	// (one accept-loop goroutine each).
+	AcceptShards int
+	// EgressBytesResident is the total capacity of per-connection egress
+	// staging buffers currently retained — the transport's idle-memory
+	// accounting figure.
+	EgressBytesResident int64
+}
 
 // Server accepts TCP connections and feeds them to a runtime.
 type Server struct {
-	rt *core.Runtime
+	rt  *core.Runtime
+	opt options
 
-	mu     sync.Mutex
-	lis    net.Listener
-	conns  map[net.Conn]*connWriter
-	closed bool
-	wg     sync.WaitGroup
+	mu         sync.Mutex
+	listeners  map[net.Listener]struct{}
+	conns      map[*serverConn]struct{}
+	pollers    []poller
+	fallback   poller // portable poller for fd-less conns on Linux, lazily created
+	nextPoller uint64
+	started    bool
+	closed     bool
+	sweepStop  chan struct{}
+	sweepDone  chan struct{}
+
+	accepted atomic.Uint64
+	reaped   atomic.Uint64
 }
 
-// NewServer binds a server to a runtime.
-func NewServer(rt *core.Runtime) *Server {
-	return &Server{rt: rt, conns: make(map[net.Conn]*connWriter)}
+// NewServer binds a server to a runtime. No goroutines start until the
+// first Serve call.
+func NewServer(rt *core.Runtime, opts ...Option) *Server {
+	s := &Server{
+		rt:        rt,
+		opt:       defaultOptions(),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*serverConn]struct{}),
+	}
+	for _, o := range opts {
+		o(&s.opt)
+	}
+	return s
+}
+
+// WithPollers overrides the poller goroutine count (default
+// min(GOMAXPROCS, 4)).
+func WithPollers(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.pollers = n
+		}
+	}
+}
+
+// WithPortablePoller forces the portable deadline-scan poller even where
+// an OS readiness facility is available; tests use it to cover the
+// fallback path on Linux.
+func WithPortablePoller() Option {
+	return func(o *options) { o.forcePortable = true }
+}
+
+// WithIdleTimeout enables idle-connection reaping: connections with no
+// wire activity for d are closed by the sweeper and their pooled
+// buffers returned. Zero (the default) disables reaping.
+func WithIdleTimeout(d time.Duration) Option {
+	return func(o *options) { o.idleTimeout = d }
+}
+
+// WithIdleThreshold sets how long a connection must be quiet before the
+// sweeper counts it idle and parks its retained buffers (default 5s).
+func WithIdleThreshold(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.idleAfter = d
+		}
+	}
+}
+
+// WithSweepInterval sets the registry sweeper's scan period (default
+// 1s). Tests shorten it to exercise reaping quickly.
+func WithSweepInterval(d time.Duration) Option {
+	return func(o *options) {
+		if d > 0 {
+			o.sweepInterval = d
+		}
+	}
+}
+
+// startLocked brings up the poller pool and the registry sweeper on
+// first use. Caller holds s.mu.
+func (s *Server) startLocked() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.pollers = newPollerSet(s, s.opt.pollers)
+	s.sweepStop = make(chan struct{})
+	s.sweepDone = make(chan struct{})
+	go s.sweep()
 }
 
 // Serve accepts connections on l until l is closed or Close is called.
-// It always returns a non-nil error (net.ErrClosed after Close).
+// It always returns a non-nil error (net.ErrClosed after Close). Serve
+// may be called concurrently with different listeners — that is how
+// accept sharding works: one Serve loop per ListenShards listener.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return net.ErrClosed
 	}
-	s.lis = l
+	s.startLocked()
+	s.listeners[l] = struct{}{}
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
 	for {
 		nc, err := l.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return net.ErrClosed
+			}
 			return err
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		if err := s.addConn(nc); err != nil {
 			nc.Close()
-			return net.ErrClosed
+			if err == net.ErrClosed {
+				return err
+			}
 		}
-		w := newConnWriter(nc)
-		s.conns[nc] = w
-		s.wg.Add(1)
-		s.mu.Unlock()
-		go s.handle(nc, w)
 	}
 }
 
-// Close stops accepting, drains egress writers briefly so already
-// completed replies reach the wire, then closes all connections and
-// waits for readers.
+// addConn registers an accepted connection with the runtime, the
+// registry, and a poller.
+func (s *Server) addConn(nc net.Conn) error {
+	if tc, ok := nc.(*net.TCPConn); ok {
+		// Microsecond-scale RPC cannot afford Nagle delays.
+		_ = tc.SetNoDelay(true)
+	}
+	sc := &serverConn{srv: s, nc: nc, fd: -1}
+	sc.cond = sync.NewCond(&sc.mu)
+	sc.touch()
+	if !s.opt.forcePortable {
+		if scc, ok := nc.(syscall.Conn); ok {
+			if rc, err := scc.SyscallConn(); err == nil {
+				if fd, ok := rawFD(rc); ok {
+					sc.rc, sc.fd = rc, fd
+				}
+			}
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	p := s.pollerForLocked(sc)
+	if p == nil {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	sc.p = p
+	s.conns[sc] = struct{}{}
+	s.accepted.Add(1)
+	s.mu.Unlock()
+	// The core connection must exist before the poller can deliver the
+	// first read.
+	sc.cc = s.rt.NewConn(sc)
+	if err := p.addConn(sc); err != nil {
+		sc.teardown()
+	}
+	return nil
+}
+
+// pollerForLocked assigns a connection to a poller: round-robin over the
+// pool when the connection supports the platform poller, the shared
+// portable fallback otherwise. Caller holds s.mu.
+func (s *Server) pollerForLocked(sc *serverConn) poller {
+	if len(s.pollers) == 0 {
+		return nil
+	}
+	if sc.fd >= 0 || s.pollersArePortable() {
+		i := s.nextPoller
+		s.nextPoller++
+		return s.pollers[i%uint64(len(s.pollers))]
+	}
+	if s.fallback == nil {
+		s.fallback = newPortablePoller(s)
+	}
+	return s.fallback
+}
+
+// pollersArePortable reports whether the main poller pool is the
+// portable implementation (non-Linux builds, forced portable mode, or
+// epoll setup failure).
+func (s *Server) pollersArePortable() bool {
+	if len(s.pollers) == 0 {
+		return true
+	}
+	_, ok := s.pollers[0].(*portablePoller)
+	return ok
+}
+
+// removeConn deletes a connection from the registry; teardown calls it
+// exactly once per connection.
+func (s *Server) removeConn(sc *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, sc)
+	s.mu.Unlock()
+}
+
+// snapshotConns returns the current connection set.
+func (s *Server) snapshotConns() []*serverConn {
+	s.mu.Lock()
+	out := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		out = append(out, sc)
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// sweep is the registry sweeper: every sweepInterval it parks idle
+// connections' retained buffers, and — when an idle timeout is
+// configured — reaps connections quiet past the deadline.
+func (s *Server) sweep() {
+	defer close(s.sweepDone)
+	t := time.NewTicker(s.opt.sweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.sweepStop:
+			return
+		case <-t.C:
+		}
+		now := time.Now().UnixNano()
+		for _, sc := range s.snapshotConns() {
+			quiet := time.Duration(now - sc.lastActive.Load())
+			if s.opt.idleTimeout > 0 && quiet > s.opt.idleTimeout {
+				s.reaped.Add(1)
+				sc.teardown()
+				continue
+			}
+			if quiet > s.opt.idleAfter {
+				sc.shrinkIdle()
+			}
+		}
+	}
+}
+
+// NetStats snapshots the connection registry.
+func (s *Server) NetStats() NetStats {
+	s.mu.Lock()
+	st := NetStats{
+		Open:         len(s.conns),
+		Accepted:     s.accepted.Load(),
+		Reaped:       s.reaped.Load(),
+		Pollers:      len(s.pollers),
+		AcceptShards: len(s.listeners),
+	}
+	if s.fallback != nil {
+		st.Pollers++
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	now := time.Now().UnixNano()
+	for _, sc := range conns {
+		if time.Duration(now-sc.lastActive.Load()) > s.opt.idleAfter {
+			st.Idle++
+		}
+		sc.mu.Lock()
+		st.EgressBytesResident += int64(cap(sc.pending))
+		sc.mu.Unlock()
+	}
+	return st
+}
+
+// Close stops accepting, drains staged egress briefly so already
+// completed replies reach the wire, then tears down all connections,
+// the sweeper, and the pollers.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -97,372 +421,30 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	if s.lis != nil {
-		s.lis.Close()
+	for l := range s.listeners {
+		l.Close()
 	}
-	writers := make([]*connWriter, 0, len(s.conns))
-	for _, w := range s.conns {
-		writers = append(writers, w)
-	}
+	started := s.started
+	pollers := s.pollers
+	fallback := s.fallback
 	s.mu.Unlock()
+
+	conns := s.snapshotConns()
 	deadline := time.Now().Add(closeDrainTimeout)
-	for _, w := range writers {
-		w.drain(deadline)
+	for _, sc := range conns {
+		sc.drainEgress(deadline)
 	}
-	s.mu.Lock()
-	for _, w := range s.conns {
-		w.close()
+	for _, sc := range conns {
+		sc.teardown()
 	}
-	s.mu.Unlock()
-	s.wg.Wait()
-}
-
-func (s *Server) handle(nc net.Conn, w *connWriter) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, nc)
-		s.mu.Unlock()
-		// Let in-flight replies reach the wire before severing the
-		// socket; a dead peer fails the pending write promptly.
-		w.drain(time.Now().Add(closeDrainTimeout))
-		w.close()
-	}()
-	if tc, ok := nc.(*net.TCPConn); ok {
-		// Microsecond-scale RPC cannot afford Nagle delays.
-		_ = tc.SetNoDelay(true)
-	}
-	conn := s.rt.NewConn(w)
-	defer s.rt.CloseConn(conn)
-	// The connection leases one large read buffer and keeps reusing it:
-	// small reads (the common case at microsecond RPC sizes) are copied
-	// into a right-sized pooled segment, while a read big enough to be
-	// worth a zero-copy handoff transfers the whole buffer's ownership to
-	// the runtime and the next iteration leases a fresh one. This keeps
-	// per-connection memory at one buffer regardless of connection count
-	// instead of churning 64KB leases through the pool on every read.
-	// The parting buffer goes back through PutSegment so the runtime's
-	// live-segment accounting stays exact. When the ingress ring fills,
-	// IngressOwned blocks this reader (spin-then-park on the ring's
-	// eventcount) — the same backpressure the old condvar provided,
-	// without a lock on the fast path.
-	var buf []byte
-	defer func() {
-		if buf != nil {
-			s.rt.PutSegment(buf)
+	if started {
+		close(s.sweepStop)
+		<-s.sweepDone
+		for _, p := range pollers {
+			p.close()
 		}
-	}()
-	for {
-		if buf == nil {
-			buf = s.rt.GetSegment(readBufSize)
-			buf = buf[:cap(buf)]
-		}
-		n, err := nc.Read(buf)
-		if n >= readHandoffSize {
-			if ierr := s.rt.IngressOwned(conn, buf[:n]); ierr != nil {
-				buf = nil
-				return
-			}
-			buf = nil
-		} else if n > 0 {
-			if ierr := s.rt.Ingress(conn, buf[:n]); ierr != nil {
-				return
-			}
-		}
-		if err != nil {
-			return
+		if fallback != nil {
+			fallback.close()
 		}
 	}
-}
-
-// connWriter is the per-connection batching egress path. WriteReply
-// appends the (runtime-owned, call-scoped) frame batch to a pending
-// buffer and returns; a dedicated flusher goroutine gathers everything
-// appended while its previous write syscall was in flight into the next
-// write. All state, including teardown, is guarded by one mutex — the
-// socket is never closed while a writer holds the lock.
-type connWriter struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	nc      net.Conn
-	pending []byte
-	spare   []byte
-	writing bool // flusher is inside nc.Write
-	closed  bool
-	err     error
-}
-
-// maxPendingEgress is the high-water mark on staged reply bytes per
-// connection. A peer that pipelines requests but stalls its read side
-// would otherwise grow pending without bound; at the mark, WriteReply
-// blocks until the flusher makes progress — the same backpressure a
-// synchronous socket write used to provide, now engaged only when the
-// socket is actually backed up.
-const maxPendingEgress = 4 << 20
-
-func newConnWriter(nc net.Conn) *connWriter {
-	w := &connWriter{nc: nc}
-	w.cond = sync.NewCond(&w.mu)
-	go w.flushLoop()
-	return w
-}
-
-// WriteReply implements core.ReplyWriter: it stages the batch for the
-// flusher and returns without blocking on the socket — unless the peer
-// has let maxPendingEgress bytes pile up, in which case it blocks for
-// flusher progress (transport backpressure).
-func (w *connWriter) WriteReply(frame []byte) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	for len(w.pending) >= maxPendingEgress && !w.closed && w.err == nil {
-		w.cond.Wait()
-	}
-	if w.closed {
-		return net.ErrClosed
-	}
-	if w.err != nil {
-		return w.err
-	}
-	if w.pending == nil {
-		w.pending = bufpool.Get(len(frame))
-	}
-	w.pending = append(w.pending, frame...)
-	w.cond.Signal()
-	return nil
-}
-
-// flushLoop is the single drainer: it swaps the pending buffer for the
-// spare, writes the batch outside the lock, and repeats. Append order is
-// write order, so the runtime's per-connection reply ordering survives.
-func (w *connWriter) flushLoop() {
-	w.mu.Lock()
-	for {
-		for len(w.pending) == 0 && !w.closed && w.err == nil {
-			w.cond.Wait()
-		}
-		if w.closed || w.err != nil {
-			w.releaseBuffersLocked()
-			w.mu.Unlock()
-			return
-		}
-		buf := w.pending
-		w.pending = w.spare
-		w.spare = nil
-		w.writing = true
-		// The staging buffer just emptied; writers blocked at the
-		// high-water mark can refill it while the syscall is in flight.
-		w.cond.Broadcast()
-		w.mu.Unlock()
-		_, err := w.nc.Write(buf)
-		w.mu.Lock()
-		w.writing = false
-		w.spare = buf[:0]
-		if err != nil {
-			w.err = err
-		}
-		// Wake anyone draining: the staged bytes reached the socket (or
-		// the writer died and never will).
-		w.cond.Broadcast()
-	}
-}
-
-// releaseBuffersLocked returns the scratch buffers to the pool; the
-// caller holds mu and the flusher is exiting.
-func (w *connWriter) releaseBuffersLocked() {
-	bufpool.Put(w.pending)
-	bufpool.Put(w.spare)
-	w.pending, w.spare = nil, nil
-}
-
-// drain waits until staged replies have reached the socket, the writer
-// has failed, or the deadline passes. The timeout is a flag flipped
-// under the mutex before the broadcast, so the wakeup cannot be lost in
-// the window before Wait parks.
-func (w *connWriter) drain(deadline time.Time) {
-	timedOut := false
-	timer := time.AfterFunc(time.Until(deadline), func() {
-		w.mu.Lock()
-		timedOut = true
-		w.mu.Unlock()
-		w.cond.Broadcast()
-	})
-	defer timer.Stop()
-	w.mu.Lock()
-	for (len(w.pending) > 0 || w.writing) && !w.closed && w.err == nil && !timedOut {
-		w.cond.Wait()
-	}
-	w.mu.Unlock()
-}
-
-// close tears the writer down and closes the socket under the same
-// mutex every writer takes, so teardown cannot race a write.
-func (w *connWriter) close() {
-	w.mu.Lock()
-	if !w.closed {
-		w.closed = true
-		w.nc.Close()
-		w.cond.Broadcast()
-	}
-	w.mu.Unlock()
-}
-
-// CloseTransport implements core.TransportCloser: a peer whose stream is
-// malformed is disconnected immediately — its reader unblocks, the
-// connection is torn down, and no other connection is affected. Pending
-// output is dropped; the peer is hostile by definition here.
-func (w *connWriter) CloseTransport() {
-	w.close()
-}
-
-// Client is a TCP RPC client speaking the proto framing. It supports
-// pipelined concurrent requests over one connection.
-type Client struct {
-	nc   net.Conn
-	disp *proto.Dispatcher
-
-	wmu    sync.Mutex
-	wr     *bufio.Writer
-	closed bool
-}
-
-// Dial connects to a tcpnet server.
-func Dial(addr string, timeout time.Duration) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return nil, err
-	}
-	if tc, ok := nc.(*net.TCPConn); ok {
-		_ = tc.SetNoDelay(true)
-	}
-	c := &Client{nc: nc, disp: proto.NewDispatcher(), wr: bufio.NewWriterSize(nc, 32<<10)}
-	go c.readLoop()
-	return c, nil
-}
-
-func (c *Client) readLoop() {
-	buf := make([]byte, readBufSize)
-	for {
-		n, err := c.nc.Read(buf)
-		if n > 0 {
-			if derr := c.disp.Feed(buf[:n]); derr != nil {
-				break
-			}
-		}
-		if err != nil {
-			break
-		}
-	}
-	c.disp.Close()
-}
-
-// sendFrame encodes m into a pooled buffer, writes and flushes it.
-// Legacy (method-less) sends travel as v2 frames, method-routed sends
-// as v3. The write is flushed immediately (open-loop latency
-// measurement cannot tolerate client-side batching).
-func (c *Client) sendFrame(m proto.Message) error {
-	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(m.Payload))), m)
-	err := c.write(frame)
-	bufpool.Put(frame)
-	return err
-}
-
-// SendAsync issues a request; cb runs exactly once with the reply or an
-// error. Replies carrying a non-OK wire status surface as
-// *proto.StatusError. The resp slice is valid only for the duration of
-// the callback; retain a copy.
-func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
-	if len(payload) > proto.MaxPayloadV2 {
-		return proto.ErrPayloadTooLarge
-	}
-	id, err := c.disp.Register(cb)
-	if err != nil {
-		return err
-	}
-	return c.sendFrame(proto.Message{ID: id, Payload: payload, V2: true})
-}
-
-// SendMethodAsync is SendAsync with a method identifier: the request
-// travels as a v3 frame and the server routes it by method.
-func (c *Client) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
-	if len(payload) > proto.MaxPayloadV2 {
-		return proto.ErrPayloadTooLarge
-	}
-	id, err := c.disp.Register(cb)
-	if err != nil {
-		return err
-	}
-	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true})
-}
-
-// SendOneWay issues a fire-and-forget request: the server executes it
-// but sends no reply, and no client-side state is kept.
-func (c *Client) SendOneWay(payload []byte) error {
-	if len(payload) > proto.MaxPayloadV2 {
-		return proto.ErrPayloadTooLarge
-	}
-	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Payload: payload, V2: true})
-}
-
-// SendMethodOneWay is SendOneWay with a method identifier (v3 frame).
-func (c *Client) SendMethodOneWay(method uint16, payload []byte) error {
-	if len(payload) > proto.MaxPayloadV2 {
-		return proto.ErrPayloadTooLarge
-	}
-	return c.sendFrame(proto.Message{Flags: proto.FlagOneWay, Method: method, Payload: payload, V3: true})
-}
-
-func (c *Client) write(frame []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if c.closed {
-		return errors.New("tcpnet: client closed")
-	}
-	if _, err := c.wr.Write(frame); err != nil {
-		return err
-	}
-	return c.wr.Flush()
-}
-
-// Call issues a request and blocks for the reply. The returned slice is
-// owned by the caller.
-func (c *Client) Call(payload []byte) ([]byte, error) {
-	return c.CallInto(payload, nil)
-}
-
-// CallInto issues a request, blocks for its reply, and appends the reply
-// payload to buf, returning the extended slice. Passing a reused buffer
-// makes the client side of the round trip allocation-free at steady
-// state.
-func (c *Client) CallInto(payload, buf []byte) ([]byte, error) {
-	w := proto.GetWaiter(buf)
-	if err := c.SendAsync(payload, w.Callback()); err != nil {
-		w.Abandon()
-		return nil, err
-	}
-	return w.Wait()
-}
-
-// CallMethod issues a method-routed request and blocks for its reply.
-func (c *Client) CallMethod(method uint16, payload []byte) ([]byte, error) {
-	return c.CallMethodInto(method, payload, nil)
-}
-
-// CallMethodInto is CallMethod with a caller-owned reply buffer, the
-// allocation-free closed-loop form.
-func (c *Client) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
-	w := proto.GetWaiter(buf)
-	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
-		w.Abandon()
-		return nil, err
-	}
-	return w.Wait()
-}
-
-// Close shuts the connection down; outstanding calls fail.
-func (c *Client) Close() {
-	c.wmu.Lock()
-	c.closed = true
-	c.wmu.Unlock()
-	c.nc.Close()
-	c.disp.Close()
 }

@@ -28,12 +28,15 @@ import (
 	"time"
 )
 
-// Result is one benchmark's measurement.
+// Result is one benchmark's measurement. Extra carries custom
+// b.ReportMetric units beyond the standard three — "bytes/conn",
+// "goroutines", and whatever future benchmarks report — keyed by unit.
 type Result struct {
-	NsPerOp     float64 `json:"ns_op"`
-	BytesPerOp  float64 `json:"b_op"`
-	AllocsPerOp float64 `json:"allocs_op"`
-	Iterations  int64   `json:"n"`
+	NsPerOp     float64            `json:"ns_op"`
+	BytesPerOp  float64            `json:"b_op"`
+	AllocsPerOp float64            `json:"allocs_op"`
+	Iterations  int64              `json:"n"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Section is one labelled snapshot of the benchmark suite.
@@ -206,6 +209,12 @@ func parse(r *os.File) map[string]Result {
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			default:
+				// Custom b.ReportMetric units ("bytes/conn", ...).
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[f[i+1]] = v
 			}
 		}
 		benches[name] = res

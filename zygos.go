@@ -207,6 +207,14 @@ type Config struct {
 	ParkInterval time.Duration
 	// LockOSThread pins each worker goroutine to an OS thread.
 	LockOSThread bool
+	// IdleTimeout closes TCP connections with no wire activity for this
+	// long, returning their pooled buffers. Zero (the default) disables
+	// reaping.
+	IdleTimeout time.Duration
+	// Pollers overrides the TCP transport's poller goroutine count
+	// (default min(GOMAXPROCS, 4)). The transport's goroutine budget is
+	// O(Pollers + accept shards), independent of connection count.
+	Pollers int
 }
 
 // LatencySnapshot summarizes one of the server's latency histograms.
@@ -255,6 +263,31 @@ type Stats struct {
 	// Populated once LatencyRecording is installed; method 0 aggregates
 	// legacy (v1/v2) traffic. Nil until the first recorded request.
 	Routes map[uint16]RouteStats
+	// Net is the TCP transport's connection registry snapshot. All
+	// zeros for servers never serving TCP.
+	Net NetStats
+}
+
+// NetStats is a snapshot of the TCP transport's connection registry.
+type NetStats struct {
+	// Open is the number of currently open TCP connections.
+	Open int
+	// Idle is how many open connections have been quiet past the idle
+	// threshold.
+	Idle int
+	// Accepted counts connections ever accepted.
+	Accepted uint64
+	// Reaped counts connections closed by the idle-timeout reaper
+	// (Config.IdleTimeout).
+	Reaped uint64
+	// Pollers is the number of transport poller goroutines.
+	Pollers int
+	// AcceptShards is the number of listeners currently being served —
+	// with ListenShards, the SO_REUSEPORT accept shard count.
+	AcceptShards int
+	// EgressBytesResident is the total capacity of per-connection
+	// egress staging buffers currently retained.
+	EgressBytesResident int64
 }
 
 // RouteStats is one method's slice of the traffic.
@@ -351,7 +384,14 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	s.rt = rt
 	s.mem = memnet.NewTransport(rt)
-	s.tcp = tcpnet.NewServer(rt)
+	var topts []tcpnet.Option
+	if cfg.IdleTimeout > 0 {
+		topts = append(topts, tcpnet.WithIdleTimeout(cfg.IdleTimeout))
+	}
+	if cfg.Pollers > 0 {
+		topts = append(topts, tcpnet.WithPollers(cfg.Pollers))
+	}
+	s.tcp = tcpnet.NewServer(rt, topts...)
 	return s, nil
 }
 
@@ -390,6 +430,19 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.tcp.Serve(l)
 }
 
+// ListenShards opens shards TCP listeners sharing addr via SO_REUSEPORT
+// (on Linux; elsewhere it degrades to a single listener), so the kernel
+// spreads incoming connections across independent accept loops. Serve
+// each returned listener in its own goroutine:
+//
+//	ls, _ := zygos.ListenShards(":9000", srv.Cores())
+//	for _, l := range ls {
+//		go srv.Serve(l)
+//	}
+func ListenShards(addr string, shards int) ([]net.Listener, error) {
+	return tcpnet.ListenShards(addr, shards)
+}
+
 // NewClient returns an in-process client connection that exercises the
 // full scheduling path (parser, shuffle queue, stealing, ordered TX)
 // without sockets.
@@ -420,6 +473,16 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	s.routeMu.RUnlock()
+	ns := s.tcp.NetStats()
+	out.Net = NetStats{
+		Open:                ns.Open,
+		Idle:                ns.Idle,
+		Accepted:            ns.Accepted,
+		Reaped:              ns.Reaped,
+		Pollers:             ns.Pollers,
+		AcceptShards:        ns.AcceptShards,
+		EgressBytesResident: ns.EgressBytesResident,
+	}
 	return out
 }
 
@@ -594,3 +657,93 @@ func (c *TCPClient) SendMethodOneWay(method uint16, payload []byte) error {
 
 // Close tears down the connection; outstanding calls fail.
 func (c *TCPClient) Close() { c.tc.Close() }
+
+// ConnManager multiplexes many logical Callers onto a small fixed set
+// of TCP connections: an application tier with thousands of logical
+// clients holds `sockets` sockets and reader goroutines instead of
+// thousands, and small concurrent requests from callers sharing a
+// socket coalesce into single write syscalls.
+//
+// Ownership rules: NewCaller hands out a view of a shared socket —
+// closing a returned Caller only retires that caller and never closes
+// the socket; Close on the manager closes every socket and fails every
+// outstanding request. Sockets are dialed lazily on first use and
+// redialed after socket-level failures.
+type ConnManager struct {
+	cm *tcpnet.ConnManager
+}
+
+// NewConnManager creates a manager holding at most sockets physical
+// connections to addr.
+func NewConnManager(addr string, sockets int, timeout time.Duration) *ConnManager {
+	return &ConnManager{cm: tcpnet.NewConnManager(addr, sockets, timeout)}
+}
+
+// NewCaller returns a logical Caller multiplexed onto one of the
+// manager's sockets (round-robin assignment), with the same calling
+// conventions as Client and TCPClient.
+func (m *ConnManager) NewCaller() (Caller, error) {
+	mc, err := m.cm.NewCaller()
+	if err != nil {
+		return nil, err
+	}
+	return &ManagedClient{mc: mc}, nil
+}
+
+// Sockets reports how many physical connections are currently dialed.
+func (m *ConnManager) Sockets() int { return m.cm.Sockets() }
+
+// Close tears down every socket; outstanding calls fail.
+func (m *ConnManager) Close() { m.cm.Close() }
+
+// ManagedClient is a logical client multiplexed over a ConnManager
+// socket. See ConnManager for the ownership rules.
+type ManagedClient struct {
+	mc *tcpnet.ManagedCaller
+}
+
+var _ Caller = (*ManagedClient)(nil)
+
+// Call issues a request and blocks for its reply.
+func (c *ManagedClient) Call(payload []byte) ([]byte, error) { return c.mc.Call(payload) }
+
+// CallInto is Call with a caller-owned reply buffer, the
+// allocation-free closed-loop form.
+func (c *ManagedClient) CallInto(payload, buf []byte) ([]byte, error) {
+	return c.mc.CallInto(payload, buf)
+}
+
+// CallMethod issues a method-routed request (v3 frame) and blocks for
+// its reply.
+func (c *ManagedClient) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.mc.CallMethod(method, payload)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer.
+func (c *ManagedClient) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	return c.mc.CallMethodInto(method, payload, buf)
+}
+
+// SendAsync issues a request; cb runs exactly once with the reply or an
+// error.
+func (c *ManagedClient) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	return c.mc.SendAsync(payload, cb)
+}
+
+// SendMethodAsync is SendAsync with a wire method ID (v3 frame).
+func (c *ManagedClient) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	return c.mc.SendMethodAsync(method, payload, cb)
+}
+
+// SendOneWay issues a fire-and-forget request: the server executes it
+// but transmits no reply.
+func (c *ManagedClient) SendOneWay(payload []byte) error { return c.mc.SendOneWay(payload) }
+
+// SendMethodOneWay is SendOneWay with a wire method ID (v3 frame).
+func (c *ManagedClient) SendMethodOneWay(method uint16, payload []byte) error {
+	return c.mc.SendMethodOneWay(method, payload)
+}
+
+// Close retires the logical caller; the shared socket stays open for
+// the manager's other callers.
+func (c *ManagedClient) Close() { c.mc.Close() }
