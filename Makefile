@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test vet bench bench-sched bench-conn bench-smoke bench-gate
+.PHONY: all build test vet bench bench-sched bench-conn bench-cluster bench-cluster-gate bench-smoke bench-gate
 
 all: build test
 
@@ -25,7 +25,7 @@ vet:
 # over memnet — and update the "current" section of BENCH_hotpath.json
 # (the committed "baseline" section is preserved for comparison), then
 # do the same for the scheduler-scaling suite in BENCH_sched.json.
-bench: bench-sched bench-conn
+bench: bench-sched bench-conn bench-cluster
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label current
 
 # Scheduler-scaling trajectory: BenchmarkSchedScale{1,2,4,8} plus the
@@ -40,6 +40,22 @@ bench-sched:
 # every calibration ramp step (setup dwarfs the measured loop).
 bench-conn:
 	$(GO) test -run '^$$' -bench 'BenchmarkConnScale' -benchtime 2000x -benchmem -count 1 -timeout 30m . | $(GO) run ./scripts/benchjson -out BENCH_conn.json -label current
+
+# Cluster-tier tail trajectory: BenchmarkClusterFanout measures fan-out
+# latency (P50/P99 as extra metrics) across K in {1,8,16} for
+# round-robin, P2C, and P2C+hedging over four backends with one
+# deliberate straggler, recorded to BENCH_cluster.json. The iteration
+# count is pinned so every section's P99 is computed over the same
+# sample size instead of whatever the calibration ramp landed on.
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterFanout' -benchtime 300x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_cluster.json -label current
+
+# Cluster-tier regression gate: re-measure the fan-out suite and fail
+# if the mean or any latency-shaped extra metric (p50-ns, p99-ns)
+# regressed beyond GATE_PCT against the committed reference — a tail
+# regression fails even when the mean stays flat.
+bench-cluster-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterFanout' -benchtime 300x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_cluster.json -gate $(GATE_PCT)
 
 # One iteration of every benchmark as a compile-and-run smoke check,
 # then 1x hot-path+sched passes at GOMAXPROCS=1 and GOMAXPROCS=4

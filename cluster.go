@@ -1,0 +1,115 @@
+package zygos
+
+import (
+	"errors"
+
+	"zygos/internal/cluster"
+)
+
+// Cluster tier: a ClusterCaller fronts N zygos servers behind one
+// Caller, adding tail-aware balancing (P2C/JSQ on piggybacked depth),
+// hedged requests past an adaptive per-route P99 deadline, and
+// replica-aware keyed routing on a consistent-hash ring. See package
+// internal/cluster for the mechanism documentation.
+//
+//	cl := zygos.NewCluster(zygos.ClusterConfig{
+//		Policy: zygos.PolicyP2C,
+//		Hedge:  zygos.HedgeConfig{Enabled: true},
+//	})
+//	cl.Add("a", clientA)
+//	cl.Add("b", clientB)
+//	resp, err := cl.CallMethod(method, payload) // a Caller, as before
+//
+// Mounted behind ProxyHandler on a front server, the cluster becomes a
+// standalone proxy tier (cmd/zygos-proxy).
+
+// ClusterCaller fans requests over a set of backend callers; it
+// implements Caller, so applications swap a single-server client for a
+// cluster without code changes.
+type ClusterCaller = cluster.Cluster
+
+// ClusterConfig parameterizes a ClusterCaller.
+type ClusterConfig = cluster.Config
+
+// HedgeConfig configures duplicate requests past the adaptive per-route
+// deadline.
+type HedgeConfig = cluster.HedgeConfig
+
+// Balancer is the load-aware backend picker the cluster routes with.
+type Balancer = cluster.Balancer
+
+// ClusterStats snapshots the cluster's tail-management counters.
+type ClusterStats = cluster.Stats
+
+// ClusterPolicy selects the unkeyed balancing policy.
+type ClusterPolicy = cluster.Policy
+
+// Balancing policies for ClusterConfig.Policy.
+const (
+	// PolicyRoundRobin rotates through backends, load-blind.
+	PolicyRoundRobin = cluster.RoundRobin
+	// PolicyP2C sends to the less loaded of two random backends.
+	PolicyP2C = cluster.P2C
+	// PolicyJSQ sends to the least loaded backend overall.
+	PolicyJSQ = cluster.JSQ
+)
+
+// ErrNoBackends reports a cluster with no eligible backends.
+var ErrNoBackends = cluster.ErrNoBackends
+
+// NewCluster creates an empty cluster; wire members in with Add. Every
+// zygos client type (Client, TCPClient, ManagedClient) is a valid
+// backend; backends whose transport exposes OnDepth feed the balancer
+// their live scheduling depth.
+func NewCluster(cfg ClusterConfig) *ClusterCaller { return cluster.New(cfg) }
+
+// KVKeyFunc is the ClusterConfig.KeyFunc for the kv application's
+// routed methods: GET reads, SET and DELETE write.
+func KVKeyFunc(method uint16, payload []byte) (key []byte, write, ok bool) {
+	return cluster.KVKeyFunc(method, payload)
+}
+
+var _ Caller = (*ClusterCaller)(nil)
+
+// ProxyHandler adapts a cluster into a server Handler, making the
+// server a protocol-level proxy: each incoming request detaches from
+// its worker, forwards through the cluster, and completes when the
+// winning backend reply lands. Status errors from backends propagate
+// with their original code; transport-level failures surface as
+// StatusInternal. One-way requests forward as one-way and complete
+// immediately (nothing is transmitted for them).
+func ProxyHandler(cl *ClusterCaller) Handler {
+	return func(w ResponseWriter, req *Request) {
+		if req.OneWay {
+			if req.Method != 0 {
+				_ = cl.SendMethodOneWay(req.Method, req.Payload)
+			} else {
+				_ = cl.SendOneWay(req.Payload)
+			}
+			_ = w.Reply(nil)
+			return
+		}
+		co := w.Detach()
+		cb := func(resp []byte, err error) {
+			if err == nil {
+				_ = co.Reply(resp)
+				return
+			}
+			var se *StatusError
+			if errors.As(err, &se) {
+				_ = co.Error(se.Code, se.Msg)
+				return
+			}
+			_ = co.Error(StatusInternal, "proxy: "+err.Error())
+		}
+		var err error
+		if req.Method != 0 {
+			err = cl.SendMethodAsync(req.Method, req.Payload, cb)
+		} else {
+			err = cl.SendAsync(req.Payload, cb)
+		}
+		if err != nil {
+			_ = co.Error(StatusInternal, "proxy: "+err.Error())
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Cluster tail benchmarks: the tail-at-scale fan-out experiment behind
+// BENCH_cluster.json (make bench-cluster). One of four backends is
+// deliberately slow; a "request" fans out K calls through the cluster
+// tier and waits for all of them, so its latency is the max over K —
+// exactly the regime where one straggler owns the tail. The policies
+// under test are the load-blind round-robin baseline, P2C on live
+// queue-depth signals, and P2C with adaptive hedging; the committed
+// trajectory must show hedging beating round-robin's P99 at K >= 8.
+//
+// ns/op is the mean fan-out latency; the P50/P99 fan-out latencies are
+// reported as p50-ns and p99-ns extra metrics so the benchjson gate
+// tracks the tail, not just the mean.
+package zygos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func BenchmarkClusterFanout(b *testing.B) {
+	cases := []struct {
+		name   string
+		policy ClusterPolicy
+		hedge  bool
+	}{
+		// No "-" in sub-benchmark names: benchjson truncates the key at
+		// the first dash (the GOMAXPROCS suffix).
+		{"rr", PolicyRoundRobin, false},
+		{"p2c", PolicyP2C, false},
+		{"p2c+hedge", PolicyP2C, true},
+	}
+	for _, c := range cases {
+		for _, k := range []int{1, 8, 16} {
+			b.Run(fmt.Sprintf("%s/K%d", c.name, k), func(b *testing.B) {
+				benchClusterFanout(b, c.policy, c.hedge, k)
+			})
+		}
+	}
+}
+
+func benchClusterFanout(b *testing.B, policy ClusterPolicy, hedge bool, fanout int) {
+	const (
+		method    = 21
+		backends  = 4
+		slowDelay = 3 * time.Millisecond
+	)
+
+	// Three fast echo backends and one straggler. The slow handler
+	// detaches and sleeps — yielding the CPU, so the measurement works
+	// on a single-core box — and replies a static byte slice because
+	// the request buffer is recycled once the handler returns.
+	mkBackend := func(delay time.Duration) *Server {
+		mux := NewMux()
+		mux.HandleFunc(method, func(w ResponseWriter, req *Request) {
+			if delay == 0 {
+				w.Reply(req.Payload)
+				return
+			}
+			co := w.Detach()
+			go func() {
+				time.Sleep(delay)
+				co.Reply([]byte("late"))
+			}()
+		})
+		srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler(), DepthFrames: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(srv.Close)
+		return srv
+	}
+
+	cl := NewCluster(ClusterConfig{
+		Policy: policy,
+		Hedge:  HedgeConfig{Enabled: hedge, MinDelay: 200 * time.Microsecond, MaxDelay: time.Millisecond},
+	})
+	defer cl.Close()
+	for i := 0; i < backends; i++ {
+		delay := time.Duration(0)
+		if i == backends-1 {
+			delay = slowDelay
+		}
+		cl.Add(fmt.Sprintf("b%d", i), mkBackend(delay).NewClient())
+	}
+
+	payload := []byte("0123456789abcdef")
+	var firstErr atomic.Pointer[error]
+	fanOnce := func() time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for j := 0; j < fanout; j++ {
+			wg.Add(1)
+			err := cl.SendMethodAsync(method, payload, func(_ []byte, err error) {
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+				}
+				wg.Done()
+			})
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				wg.Done()
+			}
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	// Warm: populate pools and depth reports, and feed the hedge
+	// tracker past its cold-start deadline.
+	for i := 0; i < 20; i++ {
+		fanOnce()
+	}
+	if ep := firstErr.Load(); ep != nil {
+		b.Fatalf("warmup fan-out failed: %v", *ep)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lat = append(lat, fanOnce())
+	}
+	b.StopTimer()
+	if ep := firstErr.Load(); ep != nil {
+		b.Fatalf("fan-out failed: %v", *ep)
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p int) float64 {
+		idx := len(lat) * p / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return float64(lat[idx].Nanoseconds())
+	}
+	b.ReportMetric(pct(50), "p50-ns")
+	b.ReportMetric(pct(99), "p99-ns")
+}

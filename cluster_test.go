@@ -1,0 +1,347 @@
+package zygos
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDepthFramesPiggyback proves the health-frame loop end to end: a
+// v3 request to a DepthFrames server delivers a depth report to the
+// client's OnDepth hook, while legacy (v2) traffic never does — a
+// pre-v3 peer must never see Magic3 bytes.
+func TestDepthFramesPiggyback(t *testing.T) {
+	srv, err := NewServer(Config{
+		Cores:       2,
+		Handler:     func(w ResponseWriter, req *Request) { w.Reply(req.Payload) },
+		DepthFrames: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var reports atomic.Int64
+	c := srv.NewClient()
+	defer c.Close()
+	c.OnDepth(func(depth uint32) { reports.Add(1) })
+
+	// Legacy traffic only: the connection has never spoken v3, so the
+	// server must not append health frames.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Call([]byte("legacy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := reports.Load(); got != 0 {
+		t.Fatalf("v2-only connection received %d depth reports; must receive none", got)
+	}
+
+	// One v3 frame latches the connection; replies now carry depth.
+	if _, err := c.CallMethod(0, []byte("v3")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reports.Load(); got == 0 {
+		t.Fatal("no depth report after v3 traffic on a DepthFrames server")
+	}
+}
+
+// TestServerDepths sanity-checks the cheap depth accessor: idle servers
+// report zero, and the snapshot flattens into a uint32 for the wire.
+func TestServerDepths(t *testing.T) {
+	srv, err := NewServer(Config{
+		Cores:   2,
+		Handler: func(w ResponseWriter, req *Request) { w.Reply(nil) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if d := srv.Depths(); d.Backlog != 0 || d.Ingress != 0 || d.Ready != 0 || d.Load() != 0 {
+		t.Fatalf("idle server depth snapshot %+v", d)
+	}
+}
+
+// TestClusterHedgeCancel drives the first-wins contract: with one
+// deliberately slow backend, every call still returns the fast
+// backend's reply — requests that landed on the slow backend are
+// rescued by a hedge — and the slow replies are discarded as losers
+// when they eventually arrive.
+func TestClusterHedgeCancel(t *testing.T) {
+	const method = 7
+	slowDelay := 60 * time.Millisecond
+
+	mkBackend := func(tag string, delay time.Duration) *Server {
+		mux := NewMux()
+		mux.HandleFunc(method, func(w ResponseWriter, req *Request) {
+			if delay == 0 {
+				w.Reply([]byte(tag))
+				return
+			}
+			co := w.Detach()
+			go func() {
+				time.Sleep(delay)
+				co.Reply([]byte(tag))
+			}()
+		})
+		srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler(), DepthFrames: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	slow := mkBackend("slow", slowDelay)
+	fast := mkBackend("fast", 0)
+
+	// Round-robin guarantees the slow backend gets primaries; the cold
+	// hedge deadline (MaxDelay) is far below the slow service time, so
+	// those primaries are hedged onto the fast backend and lose.
+	cl := NewCluster(ClusterConfig{
+		Policy: PolicyRoundRobin,
+		Hedge:  HedgeConfig{Enabled: true, MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+	})
+	cl.Add("slow", slow.NewClient())
+	cl.Add("fast", fast.NewClient())
+	defer cl.Close()
+
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		resp, err := cl.CallMethod(method, []byte("x"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(resp) != "fast" {
+			t.Fatalf("call %d returned %q; hedging must rescue slow primaries", i, resp)
+		}
+	}
+
+	st := cl.Stats()
+	if st.Calls != calls {
+		t.Fatalf("stats.Calls = %d, want %d", st.Calls, calls)
+	}
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("no hedges recorded (hedges=%d wins=%d) with a %v-slow backend", st.Hedges, st.HedgeWins, slowDelay)
+	}
+
+	// The slow backend's replies arrive long after the hedges won; each
+	// must be discarded as a loser, not delivered.
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.Stats().Losers < st.HedgeWins {
+		if time.Now().After(deadline) {
+			t.Fatalf("losers=%d never caught up to hedge wins=%d", cl.Stats().Losers, st.HedgeWins)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClusterStatusErrorIsFinal pins the error semantics: an
+// application-level StatusError is a valid final reply — it wins
+// immediately and is never retried on another backend.
+func TestClusterStatusErrorIsFinal(t *testing.T) {
+	const method = 9
+	var handled atomic.Int64
+	mkBackend := func() *Server {
+		mux := NewMux()
+		mux.HandleFunc(method, func(w ResponseWriter, req *Request) {
+			handled.Add(1)
+			w.Error(StatusAppError, "nope")
+		})
+		srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		return srv
+	}
+	cl := NewCluster(ClusterConfig{Policy: PolicyRoundRobin})
+	cl.Add("a", mkBackend().NewClient())
+	cl.Add("b", mkBackend().NewClient())
+	defer cl.Close()
+
+	_, err := cl.CallMethod(method, []byte("x"))
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusAppError || se.Msg != "nope" {
+		t.Fatalf("got %v, want StatusAppError(nope)", err)
+	}
+	if got := handled.Load(); got != 1 {
+		t.Fatalf("handler ran %d times for one StatusError call, want 1 (no retry)", got)
+	}
+	if st := cl.Stats(); st.Failovers != 0 {
+		t.Fatalf("StatusError triggered %d failovers; it must be final", st.Failovers)
+	}
+}
+
+// TestClusterReplicaRouting checks keyed routing: writes fan out to
+// exactly Replicas ring owners, and every read for the key lands inside
+// that owner set.
+func TestClusterReplicaRouting(t *testing.T) {
+	const (
+		methodRead  uint16 = 10
+		methodWrite uint16 = 11
+		backends           = 4
+		replicas           = 2
+	)
+	type hitSet struct {
+		mu     sync.Mutex
+		writes map[string]int
+		reads  map[string]int
+	}
+	hits := make([]*hitSet, backends)
+	servers := make([]*Server, backends)
+	for i := range servers {
+		h := &hitSet{writes: map[string]int{}, reads: map[string]int{}}
+		hits[i] = h
+		mux := NewMux()
+		mux.HandleFunc(methodRead, func(w ResponseWriter, req *Request) {
+			h.mu.Lock()
+			h.reads[string(req.Payload)]++
+			h.mu.Unlock()
+			w.Reply([]byte("r"))
+		})
+		mux.HandleFunc(methodWrite, func(w ResponseWriter, req *Request) {
+			h.mu.Lock()
+			h.writes[string(req.Payload)]++
+			h.mu.Unlock()
+			w.Reply([]byte("w"))
+		})
+		srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		servers[i] = srv
+	}
+
+	cl := NewCluster(ClusterConfig{
+		Policy:   PolicyP2C,
+		Replicas: replicas,
+		KeyFunc: func(method uint16, payload []byte) ([]byte, bool, bool) {
+			switch method {
+			case methodRead:
+				return payload, false, true
+			case methodWrite:
+				return payload, true, true
+			}
+			return nil, false, false
+		},
+	})
+	names := []string{"n0", "n1", "n2", "n3"}
+	for i, s := range servers {
+		cl.Add(names[i], s.NewClient())
+	}
+	defer cl.Close()
+
+	keys := []string{"alpha", "bravo", "charlie", "delta", "echo-key"}
+	for _, key := range keys {
+		if _, err := cl.CallMethod(methodWrite, []byte(key)); err != nil {
+			t.Fatalf("write %s: %v", key, err)
+		}
+	}
+	// Secondary replica writes complete asynchronously; settle them.
+	for _, s := range servers {
+		if !s.Flush(5 * time.Second) {
+			t.Fatal("flush timed out")
+		}
+	}
+
+	owners := make(map[string][]int)
+	for _, key := range keys {
+		for i, h := range hits {
+			h.mu.Lock()
+			n := h.writes[key]
+			h.mu.Unlock()
+			if n > 0 {
+				owners[key] = append(owners[key], i)
+				if n != 1 {
+					t.Fatalf("key %s written %d times on backend %d, want 1", key, n, i)
+				}
+			}
+		}
+		if len(owners[key]) != replicas {
+			t.Fatalf("key %s written to %d backends, want %d", key, len(owners[key]), replicas)
+		}
+	}
+
+	const readsPer = 10
+	for _, key := range keys {
+		for i := 0; i < readsPer; i++ {
+			if _, err := cl.CallMethod(methodRead, []byte(key)); err != nil {
+				t.Fatalf("read %s: %v", key, err)
+			}
+		}
+	}
+	for _, key := range keys {
+		own := map[int]bool{}
+		for _, i := range owners[key] {
+			own[i] = true
+		}
+		total := 0
+		for i, h := range hits {
+			h.mu.Lock()
+			n := h.reads[key]
+			h.mu.Unlock()
+			if n > 0 && !own[i] {
+				t.Fatalf("key %s read %d times on non-owner backend %d (owners %v)", key, n, i, owners[key])
+			}
+			total += n
+		}
+		if total != readsPer {
+			t.Fatalf("key %s: %d reads arrived, want %d", key, total, readsPer)
+		}
+	}
+}
+
+// TestClusterFailover proves transport errors are not final: with one
+// backend torn down, calls land on the survivor via failover.
+func TestClusterFailover(t *testing.T) {
+	const method = 12
+	mkBackend := func(tag string) *Server {
+		mux := NewMux()
+		mux.HandleFunc(method, func(w ResponseWriter, req *Request) { w.Reply([]byte(tag)) })
+		srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	dead := mkBackend("dead")
+	alive := mkBackend("alive")
+	t.Cleanup(alive.Close)
+
+	deadClient := dead.NewClient()
+	cl := NewCluster(ClusterConfig{Policy: PolicyRoundRobin})
+	cl.Add("dead", deadClient)
+	cl.Add("alive", alive.NewClient())
+	defer cl.Close()
+
+	// Kill one backend: its client now fails every send.
+	deadClient.Close()
+	dead.Close()
+
+	for i := 0; i < 4; i++ {
+		resp, err := cl.CallMethod(method, []byte("x"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(resp) != "alive" {
+			t.Fatalf("call %d answered by %q", i, resp)
+		}
+	}
+	if st := cl.Stats(); st.Failovers == 0 {
+		t.Fatal("no failovers recorded with a dead backend in rotation")
+	}
+}
+
+// TestMuxRejectsHealthMethod pins the reservation: application code
+// cannot mount a handler on the health-frame method.
+func TestMuxRejectsHealthMethod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Handle(MethodHealth) did not panic")
+		}
+	}()
+	NewMux().HandleFunc(MethodHealth, func(w ResponseWriter, req *Request) {})
+}

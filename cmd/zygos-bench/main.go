@@ -19,6 +19,8 @@ import (
 	"net"
 	"os"
 	"runtime"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"zygos"
@@ -62,11 +64,12 @@ func main() {
 		requests   = flag.Int("requests", 50000, "live: requests per transport")
 		cores      = flag.Int("cores", 0, "live: worker cores (0 = GOMAXPROCS)")
 		method     = flag.Uint("method", 0, "live: route the echo through this wire method ID via a Mux (0 = bare handler, legacy frames)")
+		targets    = flag.String("targets", "", "live: comma-separated remote server addresses measured through one round-robin caller (skips the local server)")
 	)
 	flag.Parse()
 
 	if *live {
-		if err := runLive(*requests, *cores, uint16(*method)); err != nil {
+		if err := runLive(*requests, *cores, uint16(*method), *targets); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -105,7 +108,10 @@ func main() {
 // the dial differs. With method != 0 the echo handler is mounted on a
 // Mux under that wire method and calls travel as v3 frames —
 // exercising the routed dispatch path end to end.
-func runLive(requests, cores int, method uint16) error {
+func runLive(requests, cores int, method uint16, targets string) error {
+	if targets != "" {
+		return runLiveTargets(requests, method, targets)
+	}
 	echo := func(w zygos.ResponseWriter, req *zygos.Request) { w.Reply(req.Payload) }
 	handler := zygos.Handler(echo)
 	if method != 0 {
@@ -174,4 +180,81 @@ func runLive(requests, cores int, method uint16) error {
 		st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.ProxyFraction()*100,
 		st.Parks, st.Wakes, st.Latency)
 	return nil
+}
+
+// runLiveTargets measures closed-loop echo latency against remote
+// servers, calls round-robined across them — the load-blind baseline a
+// zygos-proxy front (point -targets at it alone) is judged against.
+func runLiveTargets(requests int, method uint16, targets string) error {
+	var callers []zygos.Caller
+	for _, a := range strings.Split(targets, ",") {
+		if a = strings.TrimSpace(a); a == "" {
+			continue
+		}
+		c, err := zygos.DialClient(a, 5*time.Second)
+		if err != nil {
+			return fmt.Errorf("dial %s: %w", a, err)
+		}
+		callers = append(callers, c)
+	}
+	if len(callers) == 0 {
+		return fmt.Errorf("-targets: no addresses")
+	}
+	rr := &rrCaller{cs: callers}
+	defer rr.Close()
+	sample := stats.NewSample(requests)
+	payload := []byte("0123456789abcdef")
+	var buf []byte
+	gc := startGCDelta()
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		t0 := time.Now()
+		var r []byte
+		var err error
+		if method != 0 {
+			r, err = rr.CallMethodInto(method, payload, buf[:0])
+		} else {
+			r, err = rr.CallInto(payload, buf[:0])
+		}
+		if err != nil {
+			return fmt.Errorf("call %d: %w", i, err)
+		}
+		buf = r
+		sample.Add(time.Since(t0).Nanoseconds())
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%-8s %8.0f req/s  %s  %s\n", "targets",
+		float64(requests)/elapsed.Seconds(), sample.Summarize(), gc.line(requests))
+	return nil
+}
+
+// rrCaller rotates calls across a fixed set of callers — static
+// round-robin with no view of backend load.
+type rrCaller struct {
+	cs []zygos.Caller
+	n  atomic.Uint64
+}
+
+func (r *rrCaller) next() zygos.Caller { return r.cs[r.n.Add(1)%uint64(len(r.cs))] }
+
+func (r *rrCaller) Call(p []byte) ([]byte, error)          { return r.next().Call(p) }
+func (r *rrCaller) CallInto(p, buf []byte) ([]byte, error) { return r.next().CallInto(p, buf) }
+func (r *rrCaller) CallMethod(m uint16, p []byte) ([]byte, error) {
+	return r.next().CallMethod(m, p)
+}
+func (r *rrCaller) CallMethodInto(m uint16, p, buf []byte) ([]byte, error) {
+	return r.next().CallMethodInto(m, p, buf)
+}
+func (r *rrCaller) SendAsync(p []byte, cb func([]byte, error)) error {
+	return r.next().SendAsync(p, cb)
+}
+func (r *rrCaller) SendMethodAsync(m uint16, p []byte, cb func([]byte, error)) error {
+	return r.next().SendMethodAsync(m, p, cb)
+}
+func (r *rrCaller) SendOneWay(p []byte) error                 { return r.next().SendOneWay(p) }
+func (r *rrCaller) SendMethodOneWay(m uint16, p []byte) error { return r.next().SendMethodOneWay(m, p) }
+func (r *rrCaller) Close() {
+	for _, c := range r.cs {
+		c.Close()
+	}
 }

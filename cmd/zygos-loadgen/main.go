@@ -39,6 +39,7 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", "localhost:9000", "server address")
+		multi    = flag.String("targets", "", "comma-separated server addresses; connections round-robin across them (overrides -addr) — the client-side balancing baseline to compare against a zygos-proxy front")
 		inproc   = flag.Bool("inproc", false, "serve in-process instead of dialing addr (spin workload server)")
 		cores    = flag.Int("cores", 0, "inproc: worker cores (0 = GOMAXPROCS)")
 		shed     = flag.Int("shed", 0, "inproc: admission-control depth (0 = off)")
@@ -66,7 +67,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	callers, srv, err := dialTargets(*inproc, *addr, *conns, *cores, *shed)
+	addrs := []string{*addr}
+	if *multi != "" {
+		addrs = addrs[:0]
+		for _, a := range strings.Split(*multi, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			log.Fatal("-targets: no addresses")
+		}
+	}
+	callers, srv, err := dialTargets(*inproc, addrs, *conns, *cores, *shed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,15 +136,18 @@ func main() {
 }
 
 // dialTargets opens conns connections as zygos.Caller values: TCP
-// clients against addr, or in-process clients against a freshly started
-// spin server.
-func dialTargets(inproc bool, addr string, conns, cores, shed int) ([]zygos.Caller, *zygos.Server, error) {
+// clients round-robined across addrs, or in-process clients against a
+// freshly started spin server. With several addrs the conn assignment
+// is the static client-side balancing baseline: each connection sticks
+// to its server, so load spreads by count, not by live queue depth.
+func dialTargets(inproc bool, addrs []string, conns, cores, shed int) ([]zygos.Caller, *zygos.Server, error) {
 	callers := make([]zygos.Caller, 0, conns)
 	if !inproc {
 		for i := 0; i < conns; i++ {
-			c, err := zygos.DialClient(addr, 5*time.Second)
+			a := addrs[i%len(addrs)]
+			c, err := zygos.DialClient(a, 5*time.Second)
 			if err != nil {
-				return nil, nil, fmt.Errorf("dial %d: %w", i, err)
+				return nil, nil, fmt.Errorf("dial %d (%s): %w", i, a, err)
 			}
 			callers = append(callers, c)
 		}

@@ -1,0 +1,175 @@
+// Command zygos-proxy is the cluster front tier: it fronts N backend
+// zygos-servers behind one listening address, forwarding every request
+// through a tail-aware cluster Caller — power-of-two-choices or
+// join-shortest-queue balancing on the backends' piggybacked depth
+// reports, hedged requests past an adaptive per-route P99 deadline,
+// and (for the kv application) replica-aware keyed routing on a
+// consistent-hash ring.
+//
+// Backends are reached over managed TCP connections (a ConnManager per
+// backend: a small fixed socket pool, write coalescing, and jittered
+// exponential-backoff redial), so a proxy holds sockets*len(backends)
+// connections regardless of how many clients it serves.
+//
+// Usage:
+//
+//	zygos-proxy -listen :9100 -backends host1:9000,host2:9000,host3:9000 -policy p2c -hedge
+//	zygos-proxy -listen :9100 -backends a:9000,b:9000,c:9000 -kv -replicas 2
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"zygos"
+	"zygos/internal/cluster"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", ":9100", "front listen address")
+		backends  = flag.String("backends", "", "comma-separated backend addresses (required)")
+		policy    = flag.String("policy", "p2c", "balancing policy: rr|p2c|jsq")
+		hedge     = flag.Bool("hedge", true, "hedge requests past the adaptive per-route P99 deadline")
+		hedgeMin  = flag.Duration("hedge-min", 0, "hedge deadline floor (0 = 100µs default)")
+		hedgeMax  = flag.Duration("hedge-max", 0, "hedge deadline cap and cold-start deadline (0 = 20ms default)")
+		kvRoute   = flag.Bool("kv", false, "route kv methods by key on the consistent-hash ring")
+		replicas  = flag.Int("replicas", 2, "kv: ring owners per key (reads pick the least loaded, writes fan out)")
+		sockets   = flag.Int("sockets", 2, "TCP sockets per backend")
+		cores     = flag.Int("cores", 0, "front worker cores (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "SO_REUSEPORT accept shards (0 = one per core)")
+		flushWait = flag.Duration("flushwait", 5*time.Second, "graceful shutdown: max wait for in-flight requests")
+		statsTick = flag.Duration("stats", 0, "print cluster stats at this interval (0 = only at exit)")
+	)
+	flag.Parse()
+
+	addrs := splitAddrs(*backends)
+	if len(addrs) == 0 {
+		log.Fatal("zygos-proxy: -backends is required (comma-separated addresses)")
+	}
+	pol, err := cluster.ParsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := zygos.ClusterConfig{
+		Policy: pol,
+		Hedge: zygos.HedgeConfig{
+			Enabled:  *hedge,
+			MinDelay: *hedgeMin,
+			MaxDelay: *hedgeMax,
+		},
+	}
+	if *kvRoute {
+		cfg.KeyFunc = zygos.KVKeyFunc
+		cfg.Replicas = *replicas
+	}
+	cl := zygos.NewCluster(cfg)
+
+	// One ConnManager per backend: the managed caller carries the
+	// backend's depth reports to the balancer and survives redials with
+	// jittered exponential backoff. The managers outlive their callers,
+	// so close them explicitly at exit.
+	managers := make([]*zygos.ConnManager, 0, len(addrs))
+	for _, a := range addrs {
+		cm := zygos.NewConnManager(a, *sockets, 5*time.Second)
+		mc, err := cm.NewCaller()
+		if err != nil {
+			log.Fatalf("backend %s: %v", a, err)
+		}
+		cl.Add(a, mc)
+		managers = append(managers, cm)
+	}
+	defer func() {
+		for _, cm := range managers {
+			cm.Close()
+		}
+	}()
+
+	// The front runs with depth frames on, so a second proxy tier (or a
+	// depth-aware client) can balance over proxies the same way.
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores:       *cores,
+		Handler:     zygos.ProxyHandler(cl),
+		DepthFrames: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Use(srv.LatencyRecording())
+
+	nshards := *shards
+	if nshards <= 0 {
+		nshards = srv.Cores()
+	}
+	listeners, err := zygos.ListenShards(*listen, nshards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("zygos-proxy policy=%s hedge=%v kv=%v replicas=%d backends=%d sockets=%d listening on %s",
+		pol, *hedge, *kvRoute, cfg.Replicas, len(addrs), *sockets, listeners[0].Addr())
+
+	if *statsTick > 0 {
+		go func() {
+			for range time.Tick(*statsTick) {
+				logClusterStats(cl.Stats())
+			}
+		}()
+	}
+
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		s := <-sig
+		log.Printf("received %v: draining", s)
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for _, l := range listeners[1:] {
+		wg.Add(1)
+		go func(l net.Listener) {
+			defer wg.Done()
+			srv.Serve(l)
+		}(l)
+	}
+	if err := srv.Serve(listeners[0]); err != nil {
+		log.Printf("serve: %v", err)
+	}
+	wg.Wait()
+
+	if !srv.Flush(*flushWait) {
+		log.Printf("flush: in-flight requests still pending after %v", *flushWait)
+	}
+	st := srv.Stats()
+	log.Printf("front: events=%d detached=%d conns=%d latency %v", st.Events, st.Detached, st.Conns, st.Latency)
+	logClusterStats(cl.Stats())
+	srv.Close()
+	cl.Close()
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func logClusterStats(cs zygos.ClusterStats) {
+	log.Printf("cluster: calls=%d hedges=%d hedge_wins=%d failovers=%d losers=%d",
+		cs.Calls, cs.Hedges, cs.HedgeWins, cs.Failovers, cs.Losers)
+	for _, b := range cs.Backends {
+		log.Printf("  backend %s: inflight=%d depth=%d depth_age=%v", b.Name, b.Inflight, b.Depth, b.DepthAge)
+	}
+}

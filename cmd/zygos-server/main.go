@@ -51,6 +51,7 @@ func main() {
 		flushWait   = flag.Duration("flushwait", 5*time.Second, "graceful shutdown: max wait for in-flight requests")
 		shards      = flag.Int("shards", 0, "SO_REUSEPORT accept shards (0 = one per core; Linux only, degrades to 1 elsewhere)")
 		idle        = flag.Duration("idle", 0, "close connections quiet for this long (0 = off)")
+		depth       = flag.Bool("depth", true, "piggyback queue-depth health frames to v3 peers (feeds cluster-tier balancing)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,7 @@ func main() {
 		Partitioned:  *partitioned,
 		NoInterrupts: *noInt,
 		IdleTimeout:  *idle,
+		DepthFrames:  *depth,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -33,11 +33,18 @@ const (
 	confOne   uint16 = 4
 )
 
-// newConformanceServer mounts the conformance Mux and returns the
-// server, a TCP address serving it, and the one-way counter.
-func newConformanceServer(t *testing.T) (*Server, string, *atomic.Int64) {
-	t.Helper()
-	oneWays := new(atomic.Int64)
+// confEnv is what a conformance step needs beyond the Caller: the
+// shared one-way counter and a flush that settles every server behind
+// the transport (one for direct transports, front plus all backends
+// for the cluster tier).
+type confEnv struct {
+	oneWays *atomic.Int64
+	flush   func(timeout time.Duration) bool
+}
+
+// newConformanceMux mounts the conformance routes on a fresh Mux,
+// counting one-way executions in oneWays.
+func newConformanceMux(oneWays *atomic.Int64) *Mux {
 	mux := NewMux()
 	// Echo routes reply [method:2 LE][payload]: the tag proves which
 	// route ran and that Request.Method survived the trip.
@@ -58,7 +65,15 @@ func newConformanceServer(t *testing.T) (*Server, string, *atomic.Int64) {
 		}
 		w.Reply(req.Payload)
 	})
-	srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+	return mux
+}
+
+// newConformanceServer mounts the conformance Mux and returns the
+// server, a TCP address serving it, and the one-way counter.
+func newConformanceServer(t *testing.T) (*Server, string, *atomic.Int64) {
+	t.Helper()
+	oneWays := new(atomic.Int64)
+	srv, err := NewServer(Config{Cores: 2, Handler: newConformanceMux(oneWays).Handler()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,6 +84,54 @@ func newConformanceServer(t *testing.T) (*Server, string, *atomic.Int64) {
 	}
 	go srv.Serve(l)
 	return srv, l.Addr().String(), oneWays
+}
+
+// newConformanceCluster builds the cluster-tier transport: three
+// backend runtimes each serving the conformance Mux (sharing one
+// one-way counter), fronted by a proxy server whose handler forwards
+// through a hedging P2C cluster over in-process backend clients. The
+// returned env's flush settles the front first (its handlers have
+// forwarded by completion time), then every backend.
+func newConformanceCluster(t *testing.T) (*Server, *ClusterCaller, *confEnv) {
+	t.Helper()
+	oneWays := new(atomic.Int64)
+	mux := newConformanceMux(oneWays)
+	backends := make([]*Server, 3)
+	for i := range backends {
+		b, err := NewServer(Config{Cores: 2, Handler: mux.Handler(), DepthFrames: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(b.Close)
+		backends[i] = b
+	}
+	cl := NewCluster(ClusterConfig{
+		Policy: PolicyP2C,
+		Hedge:  HedgeConfig{Enabled: true},
+	})
+	for i, b := range backends {
+		cl.Add("backend-"+string(rune('a'+i)), b.NewClient())
+	}
+	front, err := NewServer(Config{Cores: 2, Handler: ProxyHandler(cl), DepthFrames: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(front.Close)
+	env := &confEnv{
+		oneWays: oneWays,
+		flush: func(timeout time.Duration) bool {
+			if !front.Flush(timeout) {
+				return false
+			}
+			for _, b := range backends {
+				if !b.Flush(timeout) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	return front, cl, env
 }
 
 // wantTagged asserts a [method:2][payload] reply.
@@ -92,16 +155,16 @@ func TestCallerConformance(t *testing.T) {
 
 	steps := []struct {
 		name string
-		run  func(t *testing.T, c Caller)
+		run  func(t *testing.T, c Caller, env *confEnv)
 	}{
-		{"Call routes to method 0", func(t *testing.T, c Caller) {
+		{"Call routes to method 0", func(t *testing.T, c Caller, env *confEnv) {
 			resp, err := c.Call([]byte("legacy"))
 			if err != nil {
 				t.Fatal(err)
 			}
 			wantTagged(t, resp, 0, "legacy")
 		}},
-		{"CallInto matches Call", func(t *testing.T, c Caller) {
+		{"CallInto matches Call", func(t *testing.T, c Caller, env *confEnv) {
 			buf := make([]byte, 0, 64)
 			resp, err := c.CallInto([]byte("into"), buf)
 			if err != nil {
@@ -109,7 +172,7 @@ func TestCallerConformance(t *testing.T) {
 			}
 			wantTagged(t, resp, 0, "into")
 		}},
-		{"CallMethod routes by method", func(t *testing.T, c Caller) {
+		{"CallMethod routes by method", func(t *testing.T, c Caller, env *confEnv) {
 			for _, m := range []uint16{confEchoA, confEchoB, 0} {
 				resp, err := c.CallMethod(m, []byte("routed"))
 				if err != nil {
@@ -118,7 +181,7 @@ func TestCallerConformance(t *testing.T) {
 				wantTagged(t, resp, m, "routed")
 			}
 		}},
-		{"CallMethodInto matches CallMethod", func(t *testing.T, c Caller) {
+		{"CallMethodInto matches CallMethod", func(t *testing.T, c Caller, env *confEnv) {
 			var buf []byte
 			for i := 0; i < 3; i++ {
 				resp, err := c.CallMethodInto(confEchoB, []byte("mi"), buf[:0])
@@ -129,7 +192,7 @@ func TestCallerConformance(t *testing.T) {
 				buf = resp
 			}
 		}},
-		{"SendAsync routes to method 0", func(t *testing.T, c Caller) {
+		{"SendAsync routes to method 0", func(t *testing.T, c Caller, env *confEnv) {
 			done := make(chan []byte, 1)
 			if err := c.SendAsync([]byte("async"), func(resp []byte, err error) {
 				if err != nil {
@@ -141,7 +204,7 @@ func TestCallerConformance(t *testing.T) {
 			}
 			wantTagged(t, <-done, 0, "async")
 		}},
-		{"SendMethodAsync routes by method", func(t *testing.T, c Caller) {
+		{"SendMethodAsync routes by method", func(t *testing.T, c Caller, env *confEnv) {
 			done := make(chan []byte, 1)
 			if err := c.SendMethodAsync(confEchoA, []byte("masync"), func(resp []byte, err error) {
 				if err != nil {
@@ -153,8 +216,8 @@ func TestCallerConformance(t *testing.T) {
 			}
 			wantTagged(t, <-done, confEchoA, "masync")
 		}},
-		{"SendOneWay and SendMethodOneWay execute without replies", func(t *testing.T, c Caller) {
-			before := oneWays.Load()
+		{"SendOneWay and SendMethodOneWay execute without replies", func(t *testing.T, c Caller, env *confEnv) {
+			before := env.oneWays.Load()
 			if err := c.SendMethodOneWay(confOne, []byte("ow1")); err != nil {
 				t.Fatal(err)
 			}
@@ -168,16 +231,16 @@ func TestCallerConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 			wantTagged(t, resp, confEchoA, "after")
-			if !srv.Flush(5 * time.Second) {
+			if !env.flush(5 * time.Second) {
 				t.Fatal("flush timed out")
 			}
 			// Only the method-routed one-way hits the counting route; the
 			// legacy one lands on method 0's echo (suppressed reply).
-			if got := oneWays.Load(); got != before+1 {
+			if got := env.oneWays.Load(); got != before+1 {
 				t.Fatalf("one-way handler ran %d times, want %d", got, before+1)
 			}
 		}},
-		{"StatusError propagates from routes", func(t *testing.T, c Caller) {
+		{"StatusError propagates from routes", func(t *testing.T, c Caller, env *confEnv) {
 			resp, err := c.CallMethod(confErr, []byte("x"))
 			if resp != nil {
 				t.Fatalf("error reply carried payload %q", resp)
@@ -187,7 +250,7 @@ func TestCallerConformance(t *testing.T) {
 				t.Fatalf("got %v, want StatusAppError", err)
 			}
 		}},
-		{"unregistered method returns StatusNoMethod", func(t *testing.T, c Caller) {
+		{"unregistered method returns StatusNoMethod", func(t *testing.T, c Caller, env *confEnv) {
 			_, err := c.CallMethod(60000, []byte("x"))
 			var se *StatusError
 			if !errors.As(err, &se) || se.Code != StatusNoMethod {
@@ -215,41 +278,50 @@ func TestCallerConformance(t *testing.T) {
 	t.Cleanup(ptcp.Close)
 	pollAddr := pl.Addr().String()
 
+	// Direct transports share the conformance server's env; the cluster
+	// variant builds its own tier (front proxy over three backends) and
+	// must settle every server in it.
+	baseEnv := &confEnv{oneWays: oneWays, flush: srv.Flush}
+
 	transports := []struct {
 		name string
-		dial func(t *testing.T) Caller
+		dial func(t *testing.T) (Caller, *confEnv)
 	}{
-		{"inproc", func(t *testing.T) Caller { return srv.NewClient() }},
-		{"tcp", func(t *testing.T) Caller {
+		{"inproc", func(t *testing.T) (Caller, *confEnv) { return srv.NewClient(), baseEnv }},
+		{"tcp", func(t *testing.T) (Caller, *confEnv) {
 			c, err := DialClient(addr, 5*time.Second)
 			if err != nil {
 				t.Fatal(err)
 			}
-			return c
+			return c, baseEnv
 		}},
-		{"tcp-portable-poller", func(t *testing.T) Caller {
+		{"tcp-portable-poller", func(t *testing.T) (Caller, *confEnv) {
 			c, err := DialClient(pollAddr, 5*time.Second)
 			if err != nil {
 				t.Fatal(err)
 			}
-			return c
+			return c, baseEnv
 		}},
-		{"connmanager", func(t *testing.T) Caller {
+		{"connmanager", func(t *testing.T) (Caller, *confEnv) {
 			m := NewConnManager(addr, 2, 5*time.Second)
 			t.Cleanup(m.Close)
 			c, err := m.NewCaller()
 			if err != nil {
 				t.Fatal(err)
 			}
-			return c
+			return c, baseEnv
+		}},
+		{"cluster", func(t *testing.T) (Caller, *confEnv) {
+			front, _, env := newConformanceCluster(t)
+			return front.NewClient(), env
 		}},
 	}
 	for _, tr := range transports {
 		t.Run(tr.name, func(t *testing.T) {
-			c := tr.dial(t)
+			c, env := tr.dial(t)
 			defer c.Close()
 			for _, step := range steps {
-				t.Run(step.name, func(t *testing.T) { step.run(t, c) })
+				t.Run(step.name, func(t *testing.T) { step.run(t, c, env) })
 			}
 		})
 	}

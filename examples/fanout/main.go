@@ -1,0 +1,133 @@
+// fanout: the tail-at-scale experiment behind the cluster tier. Four
+// backend runtimes serve an echo route, one of them with a deliberate
+// 3ms straggler delay; a front-tier Cluster fans each request out K
+// ways and waits for all replies, so request latency is the max over K
+// sub-calls. The table shows why a load-blind balancer cannot fix the
+// tail — at K=8 nearly every fan-out touches the straggler — and how
+// hedging past the adaptive P99 deadline reclaims it.
+//
+//	go run ./examples/fanout
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"zygos"
+)
+
+const (
+	method    = 1
+	backends  = 4
+	slowDelay = 3 * time.Millisecond
+	rounds    = 200
+)
+
+func main() {
+	servers := make([]*zygos.Server, backends)
+	for i := range servers {
+		delay := time.Duration(0)
+		if i == backends-1 {
+			delay = slowDelay
+		}
+		servers[i] = newBackend(delay)
+		defer servers[i].Close()
+	}
+
+	configs := []struct {
+		name   string
+		policy zygos.ClusterPolicy
+		hedge  bool
+	}{
+		{"round-robin", zygos.PolicyRoundRobin, false},
+		{"p2c", zygos.PolicyP2C, false},
+		{"p2c+hedge", zygos.PolicyP2C, true},
+	}
+
+	fmt.Printf("%d backends, one with a %v straggler; %d fan-outs per cell\n\n", backends, slowDelay, rounds)
+	fmt.Printf("%-12s %8s %12s %12s %12s\n", "policy", "fanout", "p50", "p99", "hedges")
+	for _, cfg := range configs {
+		for _, k := range []int{1, 8, 16} {
+			cl := zygos.NewCluster(zygos.ClusterConfig{
+				Policy: cfg.policy,
+				Hedge: zygos.HedgeConfig{
+					Enabled:  cfg.hedge,
+					MinDelay: 200 * time.Microsecond,
+					MaxDelay: time.Millisecond,
+				},
+			})
+			for i, s := range servers {
+				cl.Add(fmt.Sprintf("backend-%d", i), s.NewClient())
+			}
+			p50, p99 := run(cl, k)
+			st := cl.Stats()
+			fmt.Printf("%-12s %8d %12v %12v %12d\n", cfg.name, k, p50, p99, st.Hedges)
+			cl.Close()
+		}
+	}
+}
+
+func newBackend(delay time.Duration) *zygos.Server {
+	mux := zygos.NewMux()
+	mux.HandleFunc(method, func(w zygos.ResponseWriter, req *zygos.Request) {
+		if delay == 0 {
+			w.Reply(req.Payload)
+			return
+		}
+		// Detach and sleep off-runtime: the straggler yields its cores
+		// instead of blocking a worker, and replies a static buffer
+		// because the request payload is recycled once the handler
+		// returns.
+		co := w.Detach()
+		go func() {
+			time.Sleep(delay)
+			co.Reply([]byte("late"))
+		}()
+	})
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores:       2,
+		Handler:     mux.Handler(),
+		DepthFrames: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return srv
+}
+
+// run drives `rounds` K-way fan-outs through the cluster and returns
+// the P50 and P99 fan-out latencies.
+func run(cl *zygos.ClusterCaller, k int) (p50, p99 time.Duration) {
+	payload := []byte("0123456789abcdef")
+	lat := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for j := 0; j < k; j++ {
+			wg.Add(1)
+			err := cl.SendMethodAsync(method, payload, func(_ []byte, err error) {
+				if err != nil {
+					log.Fatal(err)
+				}
+				wg.Done()
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		wg.Wait()
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p int) time.Duration {
+		idx := len(lat) * p / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return lat[idx].Round(time.Microsecond)
+	}
+	return pct(50), pct(99)
+}

@@ -1,0 +1,767 @@
+// Package cluster is the front tier of a zygos deployment: one Cluster
+// fans a single Caller-shaped stream of requests out over N backend
+// runtimes, picking backends by live load, hedging slow requests
+// against a second replica, and routing keyed operations onto a
+// consistent-hash ring.
+//
+// The three tail-latency mechanisms compose the "tail at scale" recipe
+// on top of the paper's single-node work-conserving scheduler:
+//
+//   - Balancing: round-robin, power-of-two-choices, or join-shortest-
+//     queue over a score combining the client's own in-flight count with
+//     the backend's self-reported scheduling depth (carried back as
+//     piggybacked health frames, see proto.MethodHealth). Reported
+//     depth decays after DepthTTL so a silent backend is judged only by
+//     local knowledge.
+//
+//   - Hedging: a request outstanding past an adaptive per-route P99
+//     deadline is duplicated to a second backend; the first final reply
+//     wins and the loser is discarded on arrival. Application-level
+//     errors (wire StatusError) are final replies and win; transport
+//     errors instead fail over to a fresh backend.
+//
+//   - Replica routing: a KeyFunc extracts the key and read/write
+//     direction from a payload; reads go to the least-loaded of the
+//     key's R ring owners, writes fan out to all owners with the
+//     primary's reply returned. Writes are never hedged (duplicating a
+//     non-idempotent operation is not a latency optimization).
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zygos/internal/proto"
+)
+
+// Caller is the transport-side contract a backend connection must
+// satisfy; it mirrors the zygos.Caller method set exactly, so any zygos
+// client (in-process, TCP, or managed) plugs in directly — and a
+// *Cluster itself satisfies it, so tiers stack.
+type Caller interface {
+	Call(payload []byte) ([]byte, error)
+	CallInto(payload, buf []byte) ([]byte, error)
+	CallMethod(method uint16, payload []byte) ([]byte, error)
+	CallMethodInto(method uint16, payload, buf []byte) ([]byte, error)
+	SendAsync(payload []byte, cb func(resp []byte, err error)) error
+	SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error
+	SendOneWay(payload []byte) error
+	SendMethodOneWay(method uint16, payload []byte) error
+	Close()
+}
+
+// depthSource is the optional transport capability the balancer feeds
+// on: transports that expose OnDepth deliver the backend's piggybacked
+// health frames.
+type depthSource interface {
+	OnDepth(f func(depth uint32))
+}
+
+var (
+	// ErrNoBackends reports a cluster with no (eligible) backends.
+	ErrNoBackends = errors.New("cluster: no backends")
+	// ErrClosed reports calls on a closed cluster.
+	ErrClosed = errors.New("cluster: closed")
+)
+
+// Policy selects how the balancer spreads unkeyed requests.
+type Policy int
+
+const (
+	// RoundRobin rotates through backends, load-blind. The baseline.
+	RoundRobin Policy = iota
+	// P2C picks two backends at random and sends to the less loaded —
+	// near-JSQ tail behaviour at O(1) cost and without herding.
+	P2C
+	// JSQ scans every backend and sends to the least loaded.
+	JSQ
+)
+
+// String names the policy as accepted by ParsePolicy.
+func (p Policy) String() string {
+	switch p {
+	case P2C:
+		return "p2c"
+	case JSQ:
+		return "jsq"
+	default:
+		return "rr"
+	}
+}
+
+// ParsePolicy maps a flag string to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "rr", "roundrobin", "round-robin":
+		return RoundRobin, nil
+	case "p2c", "power-of-two":
+		return P2C, nil
+	case "jsq", "shortest-queue":
+		return JSQ, nil
+	}
+	return RoundRobin, errors.New("cluster: unknown policy " + s)
+}
+
+// KeyFunc extracts the routing key from a method-routed request.
+// Returning ok=false leaves the request unkeyed (balanced across all
+// backends); write=true routes it to every ring owner of the key.
+type KeyFunc func(method uint16, payload []byte) (key []byte, write, ok bool)
+
+// HedgeConfig parameterizes request hedging.
+type HedgeConfig struct {
+	// Enabled turns hedging on.
+	Enabled bool
+	// MinDelay floors the adaptive hedge deadline; defaults to 100µs.
+	// It bounds the duplicate-send rate when the route is uniformly
+	// fast.
+	MinDelay time.Duration
+	// MaxDelay caps the deadline and is also the deadline used before
+	// a route has latency history; defaults to 20ms.
+	MaxDelay time.Duration
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Policy is the unkeyed balancing policy; defaults to P2C.
+	Policy Policy
+	// Hedge configures duplicate requests past the adaptive deadline.
+	Hedge HedgeConfig
+	// Replicas is the number of ring owners per key; 0 or 1 with a nil
+	// KeyFunc disables keyed routing.
+	Replicas int
+	// KeyFunc extracts routing keys; nil disables keyed routing.
+	KeyFunc KeyFunc
+	// DepthTTL bounds how long a piggybacked depth report keeps
+	// counting toward a backend's score; defaults to 10ms.
+	DepthTTL time.Duration
+}
+
+const (
+	defaultMinHedge = 100 * time.Microsecond
+	defaultMaxHedge = 20 * time.Millisecond
+	defaultDepthTTL = 10 * time.Millisecond
+	// maxAttempts bounds sends per logical request: the primary plus
+	// one rescue (hedge or failover).
+	maxAttempts = 2
+)
+
+// Backend is one member runtime of the cluster: its connection plus the
+// live load signals the balancer scores it by.
+type Backend struct {
+	name string
+	c    Caller
+
+	// inflight is the client-side count of requests outstanding on
+	// this backend — knowledge the balancer always has, even before
+	// the first health frame arrives.
+	inflight atomic.Int64
+	// depth/depthAt hold the backend's last self-reported scheduling
+	// depth (piggybacked health frame) and its arrival time.
+	depth   atomic.Uint32
+	depthAt atomic.Int64
+}
+
+// Name returns the identifier the backend was added under.
+func (b *Backend) Name() string { return b.name }
+
+// NoteDepth records a depth report; transports with OnDepth hooks are
+// wired to it automatically.
+func (b *Backend) NoteDepth(d uint32) {
+	b.depth.Store(d)
+	b.depthAt.Store(nanotime())
+}
+
+func nanotime() int64 { return time.Now().UnixNano() }
+
+// score is the balancer's load estimate: local in-flight plus the
+// reported depth while it is fresh.
+func (b *Backend) score(now, ttl int64) int64 {
+	s := b.inflight.Load()
+	if at := b.depthAt.Load(); at > 0 && now-at <= ttl {
+		s += int64(b.depth.Load())
+	}
+	return s
+}
+
+// Balancer picks backends by policy over the live score. It is
+// stateless apart from the rotation counter and the RNG word, both
+// lock-free, so Pick is safe from any goroutine.
+type Balancer struct {
+	policy Policy
+	ttl    int64
+
+	rr  atomic.Uint64
+	rng atomic.Uint64
+}
+
+// NewBalancer returns a balancer with the given policy; depthTTL <= 0
+// defaults to 10ms.
+func NewBalancer(policy Policy, depthTTL time.Duration) *Balancer {
+	if depthTTL <= 0 {
+		depthTTL = defaultDepthTTL
+	}
+	return &Balancer{policy: policy, ttl: int64(depthTTL)}
+}
+
+// rand is a lock-free splitmix64 step: an atomic add of the golden
+// gamma followed by a stateless mix, so concurrent pickers never
+// contend on a mutex for randomness.
+func (bl *Balancer) rand() uint64 {
+	x := bl.rng.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func excluded(b *Backend, exclude []*Backend) bool {
+	for _, e := range exclude {
+		if e == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Pick selects a backend from bs by policy, skipping exclude (backends
+// already tried by this request). Returns nil if none is eligible.
+func (bl *Balancer) Pick(bs []*Backend, exclude []*Backend) *Backend {
+	n := len(bs)
+	if n == 0 {
+		return nil
+	}
+	switch bl.policy {
+	case P2C:
+		if n-len(exclude) > 2 {
+			now := nanotime()
+			r := bl.rand()
+			i := int(r % uint64(n))
+			j := int((r >> 32) % uint64(n-1))
+			if j >= i {
+				j++
+			}
+			a, b := bs[i], bs[j]
+			if excluded(a, exclude) {
+				a = nil
+			}
+			if excluded(b, exclude) {
+				b = nil
+			}
+			switch {
+			case a == nil && b == nil:
+				return bl.Least(bs, exclude)
+			case a == nil:
+				return b
+			case b == nil:
+				return a
+			}
+			if b.score(now, bl.ttl) < a.score(now, bl.ttl) {
+				return b
+			}
+			return a
+		}
+		// Too few distinct candidates for a random pair; degrade to a
+		// full scan.
+		return bl.Least(bs, exclude)
+	case JSQ:
+		return bl.Least(bs, exclude)
+	default: // RoundRobin
+		start := bl.rr.Add(1)
+		for k := 0; k < n; k++ {
+			b := bs[int((start+uint64(k))%uint64(n))]
+			if !excluded(b, exclude) {
+				return b
+			}
+		}
+		return nil
+	}
+}
+
+// Least returns the lowest-score backend in bs, skipping exclude.
+func (bl *Balancer) Least(bs []*Backend, exclude []*Backend) *Backend {
+	now := nanotime()
+	var best *Backend
+	var bestScore int64
+	for _, b := range bs {
+		if excluded(b, exclude) {
+			continue
+		}
+		s := b.score(now, bl.ttl)
+		if best == nil || s < bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+// Cluster fans requests out over its backends. It satisfies Caller (and
+// structurally zygos.Caller), so applications swap a single-server
+// client for a cluster without code changes.
+type Cluster struct {
+	cfg Config
+	bal *Balancer
+
+	mu       sync.Mutex   // guards Add rebuilding the views below
+	backends atomic.Value // []*Backend
+	ring     atomic.Value // *hashRing
+
+	trackers sync.Map // uint16 → *tracker
+	closed   atomic.Bool
+
+	nCalls     atomic.Uint64
+	nHedges    atomic.Uint64
+	nHedgeWins atomic.Uint64
+	nFailovers atomic.Uint64
+	nLosers    atomic.Uint64
+}
+
+// New creates an empty cluster; wire members in with Add.
+func New(cfg Config) *Cluster {
+	if cfg.Hedge.MinDelay <= 0 {
+		cfg.Hedge.MinDelay = defaultMinHedge
+	}
+	if cfg.Hedge.MaxDelay <= 0 {
+		cfg.Hedge.MaxDelay = defaultMaxHedge
+	}
+	if cfg.DepthTTL <= 0 {
+		cfg.DepthTTL = defaultDepthTTL
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	c := &Cluster{cfg: cfg, bal: NewBalancer(cfg.Policy, cfg.DepthTTL)}
+	c.backends.Store([]*Backend(nil))
+	c.ring.Store((*hashRing)(nil))
+	return c
+}
+
+// Add registers a backend under name. If the transport exposes OnDepth
+// (all zygos clients do), the balancer is subscribed to its piggybacked
+// depth reports. Safe to call while the cluster is serving; in-flight
+// picks use the previous membership snapshot.
+func (c *Cluster) Add(name string, caller Caller) *Backend {
+	b := &Backend{name: name, c: caller}
+	if ds, ok := caller.(depthSource); ok {
+		ds.OnDepth(b.NoteDepth)
+	}
+	c.mu.Lock()
+	old := c.backends.Load().([]*Backend)
+	bs := make([]*Backend, len(old), len(old)+1)
+	copy(bs, old)
+	bs = append(bs, b)
+	c.backends.Store(bs)
+	c.ring.Store(buildRing(bs))
+	c.mu.Unlock()
+	return b
+}
+
+// Backends returns the current membership snapshot.
+func (c *Cluster) Backends() []*Backend {
+	return c.backends.Load().([]*Backend)
+}
+
+// Stats is a snapshot of the cluster's tail-management counters.
+type Stats struct {
+	// Calls counts logical requests accepted.
+	Calls uint64
+	// Hedges counts duplicate sends issued past the hedge deadline.
+	Hedges uint64
+	// HedgeWins counts requests whose hedge attempt produced the
+	// winning reply.
+	HedgeWins uint64
+	// Failovers counts re-sends after a transport-level failure.
+	Failovers uint64
+	// Losers counts final replies that arrived after another attempt
+	// had already won and were discarded.
+	Losers uint64
+	// Backends is the per-member load view.
+	Backends []BackendStats
+}
+
+// BackendStats is one backend's slice of the cluster load view.
+type BackendStats struct {
+	Name     string
+	Inflight int64
+	Depth    uint32
+	// DepthAge is how long ago the depth report arrived; negative if
+	// none ever has.
+	DepthAge time.Duration
+}
+
+// Stats snapshots the counters.
+func (c *Cluster) Stats() Stats {
+	bs := c.Backends()
+	s := Stats{
+		Calls:     c.nCalls.Load(),
+		Hedges:    c.nHedges.Load(),
+		HedgeWins: c.nHedgeWins.Load(),
+		Failovers: c.nFailovers.Load(),
+		Losers:    c.nLosers.Load(),
+		Backends:  make([]BackendStats, len(bs)),
+	}
+	now := nanotime()
+	for i, b := range bs {
+		age := time.Duration(-1)
+		if at := b.depthAt.Load(); at > 0 {
+			age = time.Duration(now - at)
+		}
+		s.Backends[i] = BackendStats{
+			Name:     b.name,
+			Inflight: b.inflight.Load(),
+			Depth:    b.depth.Load(),
+			DepthAge: age,
+		}
+	}
+	return s
+}
+
+// Close closes every backend connection; outstanding calls fail through
+// their transports.
+func (c *Cluster) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, b := range c.Backends() {
+		b.c.Close()
+	}
+}
+
+// pickFor selects the next backend for a request: least-loaded among
+// the key's owners when the request is keyed, policy pick otherwise.
+func (c *Cluster) pickFor(owners []*Backend, tried []*Backend) *Backend {
+	if len(owners) > 0 {
+		return c.bal.Least(owners, tried)
+	}
+	return c.bal.Pick(c.Backends(), tried)
+}
+
+// route resolves keyed routing for a request: the owner set and whether
+// it is a write (fan out, never hedge).
+func (c *Cluster) route(method uint16, legacy bool, payload []byte) (owners []*Backend, write bool) {
+	kf := c.cfg.KeyFunc
+	if kf == nil || legacy {
+		return nil, false
+	}
+	key, w, ok := kf(method, payload)
+	if !ok {
+		return nil, false
+	}
+	ring := c.ring.Load().(*hashRing)
+	if ring == nil {
+		return nil, false
+	}
+	return ring.owners(key, c.cfg.Replicas, c.Backends()), w
+}
+
+// op is one logical request in flight: up to maxAttempts sends racing,
+// first final reply wins.
+type op struct {
+	c       *Cluster
+	method  uint16
+	legacy  bool
+	payload []byte // cluster-owned copy: rescue sends outlive the caller's slice
+	cb      func(resp []byte, err error)
+	owners  []*Backend // non-nil restricts rescue picks to the replica set
+
+	mu          sync.Mutex
+	done        bool
+	attempts    int
+	outstanding int
+	tried       []*Backend
+	timer       *time.Timer
+}
+
+// dispatch issues one attempt to b. On synchronous error the callback
+// will never run for this attempt; the caller owns the bookkeeping.
+func (o *op) dispatch(b *Backend, isHedge bool) error {
+	b.inflight.Add(1)
+	start := time.Now()
+	cb := func(resp []byte, err error) { o.finish(b, isHedge, start, resp, err) }
+	var err error
+	if o.legacy {
+		err = b.c.SendAsync(o.payload, cb)
+	} else {
+		err = b.c.SendMethodAsync(o.method, o.payload, cb)
+	}
+	if err != nil {
+		b.inflight.Add(-1)
+	}
+	return err
+}
+
+// finish is every attempt's completion. Exactly one final reply reaches
+// o.cb; late finals are counted as losers and dropped, transport
+// failures fail over while attempts remain.
+func (o *op) finish(b *Backend, isHedge bool, start time.Time, resp []byte, err error) {
+	b.inflight.Add(-1)
+	final := err == nil
+	if !final {
+		var se *proto.StatusError
+		final = errors.As(err, &se)
+	}
+	o.mu.Lock()
+	o.outstanding--
+	if o.done {
+		o.mu.Unlock()
+		if final {
+			o.c.nLosers.Add(1)
+		}
+		return
+	}
+	if final {
+		o.settleLocked()
+		o.c.trackerFor(o.method).record(time.Since(start), o.c.cfg.Hedge)
+		if isHedge {
+			o.c.nHedgeWins.Add(1)
+		}
+		o.cb(resp, err)
+		return
+	}
+	// Transport failure. If another attempt is still racing, let it
+	// decide the outcome; otherwise fail over once, then give up.
+	if o.outstanding > 0 {
+		o.mu.Unlock()
+		return
+	}
+	if o.attempts < maxAttempts && !o.c.closed.Load() {
+		if nb := o.c.pickFor(o.owners, o.tried); nb != nil {
+			o.attempts++
+			o.outstanding++
+			o.tried = append(o.tried, nb)
+			o.mu.Unlock()
+			o.c.nFailovers.Add(1)
+			if derr := o.dispatch(nb, false); derr == nil {
+				return
+			}
+			o.mu.Lock()
+			o.outstanding--
+			if o.done || o.outstanding > 0 {
+				o.mu.Unlock()
+				return
+			}
+		}
+	}
+	o.settleLocked()
+	o.cb(nil, err)
+}
+
+// settleLocked marks the op decided and stops the hedge timer. Caller
+// holds o.mu; it is released here so cb runs lock-free.
+func (o *op) settleLocked() {
+	o.done = true
+	if o.timer != nil {
+		o.timer.Stop()
+	}
+	o.mu.Unlock()
+}
+
+// fireHedge runs on the hedge timer: the primary is outstanding past
+// the route's deadline, so race a duplicate on a second backend.
+func (o *op) fireHedge() {
+	o.mu.Lock()
+	if o.done || o.attempts >= maxAttempts || o.c.closed.Load() {
+		o.mu.Unlock()
+		return
+	}
+	nb := o.c.pickFor(o.owners, o.tried)
+	if nb == nil {
+		o.mu.Unlock()
+		return
+	}
+	o.attempts++
+	o.outstanding++
+	o.tried = append(o.tried, nb)
+	o.mu.Unlock()
+	o.c.nHedges.Add(1)
+	if err := o.dispatch(nb, true); err != nil {
+		o.mu.Lock()
+		o.outstanding--
+		o.mu.Unlock()
+	}
+}
+
+// sendAsync is the shared async entry: route, replicate writes, arm
+// the hedge, dispatch the primary, and fail over synchronous refusals.
+func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(resp []byte, err error)) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	c.nCalls.Add(1)
+	owners, write := c.route(method, legacy, payload)
+	if write && len(owners) > 1 {
+		// Replicate to the secondaries now — transports encode
+		// synchronously, so the caller's payload is still valid — and
+		// drive the logical reply off the primary alone.
+		for _, sb := range owners[1:] {
+			sb.inflight.Add(1)
+			rb := sb
+			if err := sb.c.SendMethodAsync(method, payload, func([]byte, error) { rb.inflight.Add(-1) }); err != nil {
+				rb.inflight.Add(-1)
+			}
+		}
+		owners = owners[:1:1]
+	}
+	o := &op{
+		c:       c,
+		method:  method,
+		legacy:  legacy,
+		payload: append([]byte(nil), payload...),
+		cb:      cb,
+		owners:  owners,
+	}
+	b := c.pickFor(owners, nil)
+	if b == nil {
+		return ErrNoBackends
+	}
+	o.attempts = 1
+	o.outstanding = 1
+	o.tried = append(o.tried, b)
+	if c.cfg.Hedge.Enabled && !write {
+		delay := c.trackerFor(method).delay(c.cfg.Hedge)
+		o.timer = time.AfterFunc(delay, o.fireHedge)
+	}
+	err := o.dispatch(b, false)
+	if err == nil {
+		return nil
+	}
+	// The primary transport refused synchronously; try one failover
+	// before surfacing the error (the callback has not and will not
+	// run for the refused attempt).
+	o.mu.Lock()
+	o.outstanding--
+	if o.outstanding > 0 { // a hedge raced in already; let it decide
+		o.mu.Unlock()
+		return nil
+	}
+	if o.done { // a hedge raced in and already completed the op
+		o.mu.Unlock()
+		return nil
+	}
+	nb := c.pickFor(owners, o.tried)
+	if nb == nil || o.attempts >= maxAttempts {
+		o.settleLocked()
+		return err
+	}
+	o.attempts++
+	o.outstanding++
+	o.tried = append(o.tried, nb)
+	o.mu.Unlock()
+	c.nFailovers.Add(1)
+	if derr := o.dispatch(nb, false); derr != nil {
+		o.mu.Lock()
+		o.outstanding--
+		if o.done || o.outstanding > 0 {
+			o.mu.Unlock()
+			return nil
+		}
+		o.settleLocked()
+		return derr
+	}
+	return nil
+}
+
+// sendOneWay routes a fire-and-forget request: keyed writes fan out to
+// every owner, everything else goes to one picked backend.
+func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	c.nCalls.Add(1)
+	owners, write := c.route(method, legacy, payload)
+	if write && len(owners) > 1 {
+		var err error
+		for _, b := range owners {
+			if e := b.c.SendMethodOneWay(method, payload); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	var tried []*Backend
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		b := c.pickFor(owners, tried)
+		if b == nil {
+			if attempt == 0 {
+				return ErrNoBackends
+			}
+			break
+		}
+		var err error
+		if legacy {
+			err = b.c.SendOneWay(payload)
+		} else {
+			err = b.c.SendMethodOneWay(method, payload)
+		}
+		if err == nil {
+			return nil
+		}
+		tried = append(tried, b)
+		if attempt == maxAttempts-1 {
+			return err
+		}
+		c.nFailovers.Add(1)
+	}
+	return ErrNoBackends
+}
+
+// SendAsync issues a legacy (method-less) request; cb runs exactly once
+// with the winning reply or the terminal error.
+func (c *Cluster) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
+	return c.sendAsync(0, true, payload, cb)
+}
+
+// SendMethodAsync is SendAsync with a wire method ID (v3 frame).
+func (c *Cluster) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	return c.sendAsync(method, false, payload, cb)
+}
+
+// SendOneWay issues a fire-and-forget request to one backend.
+func (c *Cluster) SendOneWay(payload []byte) error {
+	return c.sendOneWay(0, true, payload)
+}
+
+// SendMethodOneWay is SendOneWay with a wire method ID; keyed writes
+// fan out to every replica.
+func (c *Cluster) SendMethodOneWay(method uint16, payload []byte) error {
+	return c.sendOneWay(method, false, payload)
+}
+
+// Call issues a legacy request and blocks for the winning reply.
+func (c *Cluster) Call(payload []byte) ([]byte, error) {
+	return c.CallInto(payload, nil)
+}
+
+// CallInto is Call with a caller-owned reply buffer.
+func (c *Cluster) CallInto(payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// CallMethod issues a method-routed request and blocks for the winning
+// reply.
+func (c *Cluster) CallMethod(method uint16, payload []byte) ([]byte, error) {
+	return c.CallMethodInto(method, payload, nil)
+}
+
+// CallMethodInto is CallMethod with a caller-owned reply buffer.
+func (c *Cluster) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
+	w := proto.GetWaiter(buf)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}

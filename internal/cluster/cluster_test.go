@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+)
+
+func mkBackends(names ...string) []*Backend {
+	bs := make([]*Backend, len(names))
+	for i, n := range names {
+		bs[i] = &Backend{name: n}
+	}
+	return bs
+}
+
+// The ring is a pure function of backend names: two rings built from
+// the same membership route every key identically, owners are distinct,
+// and the owner count clamps to the membership size.
+func TestRingDeterministicOwners(t *testing.T) {
+	names := []string{"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000", "10.0.0.4:9000"}
+	a := buildRing(mkBackends(names...))
+	bsB := mkBackends(names...)
+	b := buildRing(bsB)
+	bsA := mkBackends(names...)
+
+	keys := []string{"user:17", "user:42", "session:abc", "k", ""}
+	for _, key := range keys {
+		oa := a.owners([]byte(key), 2, bsA)
+		ob := b.owners([]byte(key), 2, bsB)
+		if len(oa) != 2 || len(ob) != 2 {
+			t.Fatalf("key %q: owner counts %d/%d, want 2", key, len(oa), len(ob))
+		}
+		for i := range oa {
+			if oa[i].name != ob[i].name {
+				t.Fatalf("key %q: ring not deterministic (%s vs %s at %d)", key, oa[i].name, ob[i].name, i)
+			}
+		}
+		if oa[0] == oa[1] {
+			t.Fatalf("key %q: duplicate owner %s", key, oa[0].name)
+		}
+	}
+
+	if got := a.owners([]byte("x"), 10, bsA); len(got) != len(names) {
+		t.Fatalf("replicas beyond membership returned %d owners, want %d", len(got), len(names))
+	}
+}
+
+// Vnode placement must spread keys: no backend owns a wildly outsized
+// share of primaries.
+func TestRingBalance(t *testing.T) {
+	bs := mkBackends("a", "b", "c", "d")
+	r := buildRing(bs)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		var k [8]byte
+		binary.LittleEndian.PutUint64(k[:], uint64(i)*0x9E3779B97F4A7C15)
+		counts[r.owners(k[:], 1, bs)[0].name]++
+	}
+	for n, c := range counts {
+		if c < keys/8 || c > keys/2 {
+			t.Fatalf("backend %s owns %d/%d primaries; vnode spread is broken (%v)", n, c, keys, counts)
+		}
+	}
+}
+
+// Least must score by inflight plus fresh reported depth, and stale
+// depth reports must stop counting after the TTL.
+func TestBalancerScoring(t *testing.T) {
+	bs := mkBackends("a", "b")
+	bl := NewBalancer(JSQ, 10*time.Millisecond)
+
+	bs[0].inflight.Store(5)
+	if got := bl.Least(bs, nil); got != bs[1] {
+		t.Fatalf("Least picked %s, want b (a has 5 inflight)", got.name)
+	}
+
+	// A fresh depth report outweighs a small inflight edge.
+	bs[0].inflight.Store(0)
+	bs[1].inflight.Store(1)
+	bs[0].NoteDepth(50)
+	if got := bl.Least(bs, nil); got != bs[1] {
+		t.Fatalf("Least ignored fresh depth report on a")
+	}
+
+	// Stale reports decay: backdate the report past the TTL.
+	bs[0].depthAt.Store(time.Now().Add(-time.Second).UnixNano())
+	if got := bl.Least(bs, nil); got != bs[0] {
+		t.Fatalf("Least still counts a depth report older than the TTL")
+	}
+
+	// Exclusion skips already-tried backends.
+	if got := bl.Least(bs, []*Backend{bs[0]}); got != bs[1] {
+		t.Fatalf("Least returned an excluded backend")
+	}
+	if got := bl.Least(bs, bs); got != nil {
+		t.Fatalf("Least with everything excluded returned %v", got)
+	}
+}
+
+// P2C and RoundRobin must respect exclusion and never return nil while
+// an eligible backend remains.
+func TestBalancerPickExclusion(t *testing.T) {
+	bs := mkBackends("a", "b", "c")
+	for _, pol := range []Policy{RoundRobin, P2C, JSQ} {
+		bl := NewBalancer(pol, 0)
+		seen := map[string]bool{}
+		for i := 0; i < 200; i++ {
+			b := bl.Pick(bs, []*Backend{bs[0]})
+			if b == nil {
+				t.Fatalf("%v: Pick returned nil with eligible backends", pol)
+			}
+			if b == bs[0] {
+				t.Fatalf("%v: Pick returned the excluded backend", pol)
+			}
+			seen[b.name] = true
+		}
+		// Load-aware policies break score ties deterministically, so
+		// only round-robin owes coverage of every eligible backend.
+		if pol == RoundRobin && len(seen) != 2 {
+			t.Fatalf("%v: picks covered %v, want both eligible backends", pol, seen)
+		}
+	}
+}
+
+// RoundRobin must rotate evenly with no exclusions.
+func TestBalancerRoundRobinRotation(t *testing.T) {
+	bs := mkBackends("a", "b", "c")
+	bl := NewBalancer(RoundRobin, 0)
+	counts := map[string]int{}
+	for i := 0; i < 300; i++ {
+		counts[bl.Pick(bs, nil).name]++
+	}
+	for n, c := range counts {
+		if c != 100 {
+			t.Fatalf("round robin gave %s %d/300 picks (%v)", n, c, counts)
+		}
+	}
+}
+
+// The tracker's deadline is MaxDelay cold, adapts to the observed P99
+// once the window fills, and clamps to the configured bounds.
+func TestTrackerAdaptiveDeadline(t *testing.T) {
+	cfg := HedgeConfig{MinDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	tr := &tracker{}
+
+	if got := tr.delay(cfg); got != cfg.MaxDelay {
+		t.Fatalf("cold deadline %v, want MaxDelay %v", got, cfg.MaxDelay)
+	}
+
+	// Uniform 10ms latencies: deadline converges near 10ms.
+	for i := 0; i < hedgeWindow; i++ {
+		tr.record(10*time.Millisecond, cfg)
+	}
+	if got := tr.delay(cfg); got != 10*time.Millisecond {
+		t.Fatalf("deadline %v after uniform 10ms window, want 10ms", got)
+	}
+
+	// Microsecond latencies: clamped up to MinDelay. Two full windows,
+	// so a periodic recompute definitely runs after the last slow
+	// sample has aged out of the ring.
+	for i := 0; i < 2*hedgeWindow; i++ {
+		tr.record(5*time.Microsecond, cfg)
+	}
+	if got := tr.delay(cfg); got != cfg.MinDelay {
+		t.Fatalf("deadline %v after fast window, want MinDelay %v", got, cfg.MinDelay)
+	}
+
+	// Second-long latencies: clamped down to MaxDelay.
+	for i := 0; i < 2*hedgeWindow; i++ {
+		tr.record(time.Second, cfg)
+	}
+	if got := tr.delay(cfg); got != cfg.MaxDelay {
+		t.Fatalf("deadline %v after slow window, want MaxDelay %v", got, cfg.MaxDelay)
+	}
+}
+
+// KVKeyFunc must mirror the kv application's wire layout: bare keys for
+// GET/DELETE, [klen:2][key][value] for SET, and reject short payloads.
+func TestKVKeyFunc(t *testing.T) {
+	if k, w, ok := KVKeyFunc(kvMethodGet, []byte("mykey")); !ok || w || string(k) != "mykey" {
+		t.Fatalf("GET: key=%q write=%v ok=%v", k, w, ok)
+	}
+	if k, w, ok := KVKeyFunc(kvMethodDelete, []byte("mykey")); !ok || !w || string(k) != "mykey" {
+		t.Fatalf("DELETE: key=%q write=%v ok=%v", k, w, ok)
+	}
+	set := binary.LittleEndian.AppendUint16(nil, 3)
+	set = append(set, []byte("keyvalue")...)
+	if k, w, ok := KVKeyFunc(kvMethodSet, set); !ok || !w || string(k) != "key" {
+		t.Fatalf("SET: key=%q write=%v ok=%v", k, w, ok)
+	}
+	if _, _, ok := KVKeyFunc(kvMethodSet, []byte{9}); ok {
+		t.Fatal("short SET payload reported ok")
+	}
+	if _, _, ok := KVKeyFunc(kvMethodSet, binary.LittleEndian.AppendUint16(nil, 40)); ok {
+		t.Fatal("truncated SET payload reported ok")
+	}
+	if _, _, ok := KVKeyFunc(999, []byte("x")); ok {
+		t.Fatal("unknown method reported keyed")
+	}
+}
+
+// ParsePolicy round-trips the flag spellings.
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{RoundRobin, P2C, JSQ} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("ParsePolicy accepted bogus")
+	}
+}

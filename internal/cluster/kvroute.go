@@ -1,0 +1,37 @@
+package cluster
+
+import "encoding/binary"
+
+// The kv application's routed wire contract (internal/kv), restated
+// here because kv imports the zygos root package and cluster sits
+// beneath it: GET and DELETE payloads are the bare key, SET payloads
+// are [klen:2 LE][key][value]. These are wire-protocol facts — the kv
+// conformance tests pin them — not private kv internals.
+const (
+	kvMethodGet    uint16 = 1
+	kvMethodSet    uint16 = 2
+	kvMethodDelete uint16 = 3
+)
+
+// KVKeyFunc is the KeyFunc for the kv application's routed methods:
+// GET reads, SET and DELETE write. Unknown methods are unkeyed and
+// fall back to policy balancing, so mixed workloads (kv plus other
+// routes) work on one cluster.
+func KVKeyFunc(method uint16, payload []byte) (key []byte, write, ok bool) {
+	switch method {
+	case kvMethodGet:
+		return payload, false, true
+	case kvMethodDelete:
+		return payload, true, true
+	case kvMethodSet:
+		if len(payload) < 2 {
+			return nil, false, false
+		}
+		klen := int(binary.LittleEndian.Uint16(payload[0:2]))
+		if len(payload) < 2+klen {
+			return nil, false, false
+		}
+		return payload[2 : 2+klen], true, true
+	}
+	return nil, false, false
+}

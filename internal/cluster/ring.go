@@ -1,0 +1,93 @@
+package cluster
+
+import "sort"
+
+// ringVnodes is how many virtual nodes each backend contributes; 64
+// keeps the per-backend key-share imbalance within a few percent while
+// the ring stays small enough that ownership lookups are one binary
+// search over a few hundred entries.
+const ringVnodes = 64
+
+// ringEntry maps one vnode hash to the index of its backend in the
+// membership snapshot the ring was built against.
+type ringEntry struct {
+	hash uint64
+	idx  int
+}
+
+// hashRing is an immutable consistent-hash ring over one membership
+// snapshot. Rings are rebuilt on Add and swapped atomically, so lookups
+// never lock.
+type hashRing struct {
+	entries []ringEntry
+	members int
+}
+
+// fnv64 is FNV-1a, the ring's key hash. Inlined rather than
+// hash/fnv so hashing a key allocates nothing.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer, used to spread one backend's
+// vnode hashes across the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// buildRing hashes every backend's name into ringVnodes points. The
+// placement depends only on backend names, so two front tiers with the
+// same membership route keys identically.
+func buildRing(bs []*Backend) *hashRing {
+	if len(bs) == 0 {
+		return nil
+	}
+	r := &hashRing{entries: make([]ringEntry, 0, len(bs)*ringVnodes), members: len(bs)}
+	for i, b := range bs {
+		base := fnv64([]byte(b.name))
+		for v := 0; v < ringVnodes; v++ {
+			r.entries = append(r.entries, ringEntry{hash: mix64(base + uint64(v)*0x9E3779B97F4A7C15), idx: i})
+		}
+	}
+	sort.Slice(r.entries, func(i, j int) bool { return r.entries[i].hash < r.entries[j].hash })
+	return r
+}
+
+// owners returns the first replicas distinct backends clockwise from
+// key's point on the ring, resolved against bs (the membership snapshot
+// the ring was built from). The first owner is the key's primary.
+func (r *hashRing) owners(key []byte, replicas int, bs []*Backend) []*Backend {
+	if r == nil || len(r.entries) == 0 {
+		return nil
+	}
+	if replicas > r.members {
+		replicas = r.members
+	}
+	h := fnv64(key)
+	start := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].hash >= h })
+	out := make([]*Backend, 0, replicas)
+	for i := 0; i < len(r.entries) && len(out) < replicas; i++ {
+		e := r.entries[(start+i)%len(r.entries)]
+		b := bs[e.idx]
+		dup := false
+		for _, o := range out {
+			if o == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, b)
+		}
+	}
+	return out
+}

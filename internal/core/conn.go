@@ -84,6 +84,11 @@ type Conn struct {
 
 	closed atomic.Bool
 
+	// sawV3 latches once the peer has sent a v3 frame, proving it parses
+	// v3 headers: only such peers may be sent piggybacked health frames
+	// (a v1/v2-only peer would choke on the Magic3 header).
+	sawV3 atomic.Bool
+
 	// parser is touched only under the home worker's kernel lock.
 	parser proto.Parser
 
@@ -193,6 +198,13 @@ func (c *Conn) completeBatch(comps []completion) {
 	}
 	closed := c.closed.Load()
 	if len(out) > 0 && !closed {
+		if c.rt.cfg.DepthFrames && c.sawV3.Load() {
+			// Piggyback the runtime's current scheduling depth on the
+			// tail of the batch — one fixed 20-byte frame per flush, read
+			// from atomic counters, so a tail-aware balancer on the other
+			// end routes on live queue depth without a polling RPC.
+			out = proto.AppendHealthFrame(out, c.rt.Depths().Load())
+		}
 		_ = c.wr.WriteReply(out) // teardown races are benign
 	}
 	if cap(out) <= maxTxRetain && !closed && c.rt.running.Load() {

@@ -93,6 +93,11 @@ type Config struct {
 	IngressCap int
 	// LockOSThread pins each worker goroutine to an OS thread.
 	LockOSThread bool
+	// DepthFrames piggybacks a health frame carrying the runtime's
+	// current scheduling depth (Depths().Load()) onto every egress reply
+	// batch bound for a v3-speaking peer. Clients without a depth hook
+	// drop the frame for free; a cluster tier's balancer routes on it.
+	DepthFrames bool
 }
 
 // Stats is a snapshot of runtime counters.
@@ -205,6 +210,50 @@ func (rt *Runtime) Backlog() int64 {
 		return 0
 	}
 	return b
+}
+
+// DepthSnapshot is the cheap load signal the health piggyback stamps on
+// the wire: a handful of atomic reads, no locks taken and nothing
+// allocated, safe on the TX hot path where a full Stats() (which builds
+// per-route maps at the server layer) would not be.
+type DepthSnapshot struct {
+	// Backlog is the number of admitted-but-unanswered requests: parsed
+	// off the wire, not yet replied (queued, executing, or detached).
+	Backlog int64
+	// Ingress is the number of raw stream segments sitting in worker
+	// ingress rings, not yet parsed — arrivals the Backlog cannot see
+	// yet.
+	Ingress int
+	// Ready is the number of connections currently queued in ready
+	// rings awaiting an executor.
+	Ready int
+}
+
+// Load flattens the snapshot into the single wire-friendly depth figure
+// the health frame carries: admitted backlog plus not-yet-parsed
+// ingress, clamped to uint32.
+func (d DepthSnapshot) Load() uint32 {
+	l := d.Backlog + int64(d.Ingress)
+	if l < 0 {
+		return 0
+	}
+	if l > int64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(l)
+}
+
+// Depths returns the runtime's instantaneous scheduling depths. Unlike
+// Stats it is allocation-free and touches only atomic counters, so the
+// reply hot path (the depth piggyback) and polling balancers can call
+// it per batch without perturbing the workload being measured.
+func (rt *Runtime) Depths() DepthSnapshot {
+	d := DepthSnapshot{Backlog: rt.Backlog()}
+	for _, w := range rt.workers {
+		d.Ingress += w.ingress.Len()
+		d.Ready += w.ready.Len()
+	}
+	return d
 }
 
 // Stats returns a snapshot of the runtime counters.

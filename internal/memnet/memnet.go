@@ -166,6 +166,14 @@ func (c *ClientConn) CallMethodInto(method uint16, payload, buf []byte) ([]byte,
 	return w.Wait()
 }
 
+// OnDepth installs f to receive the server's scheduling depth from
+// piggybacked health frames (servers started with depth reporting
+// append one to each reply batch). Passing nil uninstalls. f must be
+// cheap — it runs on the reply delivery path.
+func (c *ClientConn) OnDepth(f func(depth uint32)) {
+	c.disp.SetDepthFunc(f)
+}
+
 // WriteRaw injects raw bytes into the server-side stream, bypassing
 // framing. Tests use it to exercise malformed input handling.
 func (c *ClientConn) WriteRaw(data []byte) error {

@@ -3,6 +3,7 @@ package proto
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrDispatcherClosed is delivered to callbacks still pending when a
@@ -31,6 +32,13 @@ type Dispatcher struct {
 	pending map[uint64]func(resp []byte, err error)
 	nextID  uint64
 	closed  bool
+
+	// depthFn, when set, receives the queue depth carried by piggybacked
+	// health frames (reserved MethodHealth, request ID 0) the server
+	// appends to its reply batches. Without a hook the frames are
+	// dropped like any other unknown-ID reply. Stored atomically so Feed
+	// reads it without taking the registry lock.
+	depthFn atomic.Pointer[func(depth uint32)]
 }
 
 // readyReply is one decoded response matched to its callback, staged so
@@ -62,6 +70,19 @@ func (d *Dispatcher) Register(cb func(resp []byte, err error)) (uint64, error) {
 	return id, nil
 }
 
+// SetDepthFunc installs f to receive the server's queue depth from
+// piggybacked health frames (one call per Feed that saw at least one,
+// with the newest depth). Passing nil uninstalls. Safe to call
+// concurrently with Feed; f must be cheap and must not call back into
+// the dispatcher.
+func (d *Dispatcher) SetDepthFunc(f func(depth uint32)) {
+	if f == nil {
+		d.depthFn.Store(nil)
+		return
+	}
+	d.depthFn.Store(&f)
+}
+
 // Feed parses raw response bytes and dispatches completed messages.
 // Responses with unknown IDs are dropped (late replies after timeout).
 // After Close, Feed discards its input without touching the parser, so
@@ -79,6 +100,8 @@ func (d *Dispatcher) Feed(data []byte) error {
 	d.parser.Feed(data)
 	ready := d.ready[:0]
 	var err error
+	var depth uint32
+	sawDepth := false
 	d.mu.Lock()
 	for {
 		m, ok, perr := d.parser.Next()
@@ -89,6 +112,15 @@ func (d *Dispatcher) Feed(data []byte) error {
 		if !ok {
 			break
 		}
+		if m.V3 && m.Method == MethodHealth && m.ID == 0 {
+			// Piggybacked health frame: not a reply, never registered.
+			// Keep only the newest depth in this batch.
+			if dv, hok := DecodeHealthPayload(m.Payload); hok {
+				depth, sawDepth = dv, true
+			}
+			m.Release()
+			continue
+		}
 		if cb, found := d.pending[m.ID]; found {
 			delete(d.pending, m.ID)
 			ready = append(ready, readyReply{cb, m})
@@ -97,6 +129,11 @@ func (d *Dispatcher) Feed(data []byte) error {
 		}
 	}
 	d.mu.Unlock()
+	if sawDepth {
+		if f := d.depthFn.Load(); f != nil {
+			(*f)(depth)
+		}
+	}
 	// Invoke outside the registry lock: callbacks may re-enter Register.
 	for i := range ready {
 		r := &ready[i]

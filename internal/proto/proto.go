@@ -72,6 +72,22 @@ const Magic3 = 0xA3
 // hostile peer from forcing unbounded buffering.
 const MaxPayload = 16 << 20
 
+// MethodHealth is the reserved v3 method ID of piggybacked health
+// frames: a server configured for depth reporting appends one tiny
+// unsolicited v3 frame (ID 0, this method, a HealthPayloadSize-byte
+// payload carrying its current scheduling depth) to each egress reply
+// batch bound for a v3-speaking peer. Clients that installed a depth
+// hook (Dispatcher.SetDepthFunc) consume it; clients that did not drop
+// it silently, since request ID 0 is never allocated. The cluster tier's
+// tail-aware balancer routes on these — the in-network-scheduling
+// analogue of polling Stats() queue depths, without a polling RPC.
+// Application muxes must not register handlers on it.
+const MethodHealth uint16 = 0xFFFF
+
+// HealthPayloadSize is the fixed payload length of a health frame: a
+// 32-bit little-endian queue depth.
+const HealthPayloadSize = 4
+
 // MaxPayloadV2 bounds a v2 frame's payload (the v2 length field is 24
 // bits wide).
 const MaxPayloadV2 = 1<<24 - 1
@@ -266,6 +282,28 @@ func AppendFrameV3(buf []byte, m Message) []byte {
 	binary.LittleEndian.PutUint64(hdr[8:16], m.ID)
 	buf = append(buf, hdr[:]...)
 	return append(buf, m.Payload...)
+}
+
+// AppendHealthFrame appends a piggybacked health frame carrying depth to
+// buf and returns the extended slice: a v3 frame on the reserved
+// MethodHealth route with request ID 0, which no dispatcher ever
+// allocates, so peers without a depth hook drop it for free.
+func AppendHealthFrame(buf []byte, depth uint32) []byte {
+	var hdr [HeaderSizeV3 + HealthPayloadSize]byte
+	hdr[0] = HealthPayloadSize
+	hdr[3] = Magic3
+	binary.LittleEndian.PutUint16(hdr[6:8], MethodHealth)
+	binary.LittleEndian.PutUint32(hdr[16:20], depth)
+	return append(buf, hdr[:]...)
+}
+
+// DecodeHealthPayload extracts the depth from a health frame's payload;
+// ok is false if the payload is malformed.
+func DecodeHealthPayload(p []byte) (depth uint32, ok bool) {
+	if len(p) != HealthPayloadSize {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(p), true
 }
 
 // AppendMessage encodes m in the frame version indicated by m.V3/m.V2

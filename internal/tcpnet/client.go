@@ -55,6 +55,14 @@ func (c *Client) readLoop() {
 	c.disp.ReleaseParser()
 }
 
+// OnDepth installs f to receive the server's scheduling depth from
+// piggybacked health frames (servers started with depth reporting
+// append one to each reply batch). Passing nil uninstalls. f must be
+// cheap — it runs on the read loop.
+func (c *Client) OnDepth(f func(depth uint32)) {
+	c.disp.SetDepthFunc(f)
+}
+
 // sendFrame encodes m into a pooled buffer, writes and flushes it.
 // Legacy (method-less) sends travel as v2 frames, method-routed sends
 // as v3. The write is flushed immediately (open-loop latency

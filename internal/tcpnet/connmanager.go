@@ -2,6 +2,8 @@ package tcpnet
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,19 @@ import (
 // ErrManagerClosed is returned by ConnManager and ManagedCaller
 // operations after the manager shuts down.
 var ErrManagerClosed = errors.New("tcpnet: conn manager closed")
+
+// ErrDialBackoff is wrapped into errors returned while a socket is
+// sitting out its redial backoff after a failed dial: the send fails
+// fast instead of re-dialing a known-dead backend on every request.
+var ErrDialBackoff = errors.New("tcpnet: redial backing off")
+
+// Redial backoff bounds: the first retry waits about dialBackoffBase
+// (jittered ±50% so a dead backend's callers don't redial in
+// lockstep), doubling per consecutive failure up to dialBackoffMax.
+const (
+	dialBackoffBase = 20 * time.Millisecond
+	dialBackoffMax  = 2 * time.Second
+)
 
 // ConnManager multiplexes many logical callers onto a small fixed set
 // of TCP connections. A load generator (or an application tier) with
@@ -39,6 +54,7 @@ type ConnManager struct {
 	socks   []*managedSock
 	next    atomic.Uint64
 	closed  atomic.Bool
+	dials   atomic.Uint64
 }
 
 // NewConnManager creates a manager holding at most sockets physical
@@ -62,6 +78,25 @@ func (m *ConnManager) NewCaller() (*ManagedCaller, error) {
 	}
 	i := m.next.Add(1) - 1
 	return &ManagedCaller{sock: m.socks[i%uint64(len(m.socks))]}, nil
+}
+
+// Dials reports how many TCP dial attempts the manager has made over
+// its lifetime — successful or not. Tests use it to prove redial
+// backoff is rate-limiting dial storms against a dead backend.
+func (m *ConnManager) Dials() uint64 { return m.dials.Load() }
+
+// OnDepth installs f on every socket to receive the server's scheduling
+// depth from piggybacked health frames; the hook survives redials.
+// Passing nil uninstalls. f must be cheap — it runs on read loops.
+func (m *ConnManager) OnDepth(f func(depth uint32)) {
+	for _, ms := range m.socks {
+		ms.mu.Lock()
+		ms.onDepth = f
+		if ms.disp != nil {
+			ms.disp.SetDepthFunc(f)
+		}
+		ms.mu.Unlock()
+	}
 }
 
 // Sockets reports how many physical connections are currently dialed.
@@ -103,11 +138,27 @@ type managedSock struct {
 	spare    []byte
 	flushing bool
 	err      error
+
+	// onDepth is the depth hook re-installed on each redial's fresh
+	// dispatcher.
+	onDepth func(depth uint32)
+
+	// Redial backoff: after a failed dial, sends before nextDial fail
+	// fast with the sticky dial error instead of dialing again. The
+	// window grows exponentially with consecutive failures and is
+	// jittered so a fleet of callers doesn't synchronize its redials
+	// into a dial storm when the backend comes back.
+	dialFails int
+	nextDial  time.Time
+	dialErr   error
 }
 
 // ensureDialedLocked dials the socket on first use (and redials after a
 // failure). Caller holds ms.mu; the dial happens under it, which only
-// ever stalls co-located callers during connection setup.
+// ever stalls co-located callers during connection setup. While a
+// failed dial's backoff window is open, sends fail fast with the sticky
+// dial error — a dead backend costs its callers one jittered dial per
+// window, not one per request.
 func (ms *managedSock) ensureDialedLocked() error {
 	if ms.m.closed.Load() {
 		return ErrManagerClosed
@@ -115,15 +166,34 @@ func (ms *managedSock) ensureDialedLocked() error {
 	if ms.nc != nil {
 		return nil
 	}
+	if !ms.nextDial.IsZero() && time.Now().Before(ms.nextDial) {
+		return fmt.Errorf("%w (until %s): %w",
+			ErrDialBackoff, ms.nextDial.Format("15:04:05.000"), ms.dialErr)
+	}
+	ms.m.dials.Add(1)
 	nc, err := net.DialTimeout("tcp", ms.m.addr, ms.m.timeout)
 	if err != nil {
+		// Exponential backoff with ±50% jitter: window = base<<fails,
+		// capped, then scaled by a uniform factor in [0.5, 1.5).
+		ms.dialFails++
+		window := dialBackoffBase << (ms.dialFails - 1)
+		if window > dialBackoffMax || window <= 0 {
+			window = dialBackoffMax
+		}
+		window = time.Duration(float64(window) * (0.5 + rand.Float64()))
+		ms.nextDial = time.Now().Add(window)
+		ms.dialErr = err
 		return err
 	}
+	ms.dialFails = 0
+	ms.nextDial = time.Time{}
+	ms.dialErr = nil
 	if tc, ok := nc.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
 	ms.nc = nc
 	ms.disp = proto.NewDispatcher()
+	ms.disp.SetDepthFunc(ms.onDepth)
 	ms.err = nil
 	go ms.readLoop(nc, ms.disp)
 	return nil
@@ -247,6 +317,20 @@ func (ms *managedSock) sendMessage(m proto.Message) error {
 type ManagedCaller struct {
 	sock   *managedSock
 	closed atomic.Bool
+}
+
+// OnDepth installs f on this caller's socket to receive the server's
+// scheduling depth from piggybacked health frames; the hook survives
+// redials and is shared by every caller on the socket (last installer
+// wins). Passing nil uninstalls.
+func (c *ManagedCaller) OnDepth(f func(depth uint32)) {
+	ms := c.sock
+	ms.mu.Lock()
+	ms.onDepth = f
+	if ms.disp != nil {
+		ms.disp.SetDepthFunc(f)
+	}
+	ms.mu.Unlock()
 }
 
 // SendAsync issues a request; cb runs exactly once with the reply or an

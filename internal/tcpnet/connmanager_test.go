@@ -2,10 +2,14 @@ package tcpnet
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
+
+	"zygos/internal/core"
 )
 
 // Many callers over a two-socket manager: every call answers correctly
@@ -140,4 +144,93 @@ func TestConnManagerRedialsAfterServerClose(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("calls never recovered after server-side close: %v", lastErr)
+}
+
+// Rapid calls against a dead address must not hammer the network: the
+// first failure opens a jittered backoff window during which calls fail
+// fast with ErrDialBackoff and no dial happens; when the window expires
+// the manager tries the network again, and once the server returns the
+// same caller recovers without intervention.
+func TestConnManagerDialBackoff(t *testing.T) {
+	// A port that refuses connections: bind, note the address, close.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	m := NewConnManager(addr, 1, 200*time.Millisecond)
+	defer m.Close()
+	c, err := m.NewCaller()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call([]byte("x")); err == nil {
+		t.Fatal("call to dead address succeeded")
+	}
+	if got := m.Dials(); got != 1 {
+		t.Fatalf("dials = %d after first failing call, want 1", got)
+	}
+
+	backoffs := 0
+	for i := 0; i < 20; i++ {
+		_, err := c.Call([]byte("x"))
+		if err == nil {
+			t.Fatal("call to dead address succeeded")
+		}
+		if errors.Is(err, ErrDialBackoff) {
+			backoffs++
+		}
+	}
+	// The 20 calls take microseconds against a >=10ms window; at most
+	// one expiry could race in.
+	if got := m.Dials(); got > 2 {
+		t.Fatalf("dials = %d during backoff window, want <=2", got)
+	}
+	if backoffs == 0 {
+		t.Fatal("no call failed fast with ErrDialBackoff")
+	}
+
+	// Past the first window (<=30ms jittered) the manager must try the
+	// network again rather than backing off forever.
+	time.Sleep(80 * time.Millisecond)
+	before := m.Dials()
+	if _, err := c.Call([]byte("x")); err == nil || errors.Is(err, ErrDialBackoff) {
+		t.Fatalf("want a fresh dial attempt after window expiry, got err=%v", err)
+	}
+	if got := m.Dials(); got != before+1 {
+		t.Fatalf("dials = %d after window expiry, want %d", got, before+1)
+	}
+
+	// Recovery: the server comes back on the same address; once the
+	// current window expires the same caller succeeds again.
+	rt, err := core.New(core.Config{Cores: 2, Handler: core.HandlerFunc(echoHandler)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(rt)
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	go srv.Serve(l2)
+	t.Cleanup(func() {
+		srv.Close()
+		rt.Close()
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := c.Call([]byte("back"))
+		if err == nil {
+			if string(got) != "back" {
+				t.Fatalf("recovered echo mismatch: %q", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("caller never recovered after server restart: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }

@@ -60,6 +60,9 @@ func NewMux() *Mux {
 // Method 0 is the legacy route: v1/v2 frames, which carry no method
 // field, dispatch there.
 func (m *Mux) Handle(method uint16, h Handler) *Route {
+	if method == MethodHealth {
+		panic("zygos: method 0xFFFF is reserved for depth health frames")
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r := m.routeLocked(method)

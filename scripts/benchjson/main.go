@@ -103,8 +103,9 @@ func main() {
 // runGate compares the measured benches against the committed reference
 // section of the trajectory file — "current" (the most recent committed
 // measurement), falling back to "baseline" — and returns the process
-// exit code: 0 when every shared benchmark's ns/op is within gatePct
-// percent of its reference, 1 otherwise. Anchoring to "current" matters:
+// exit code: 0 when every shared benchmark's ns/op (and every
+// latency-shaped "*ns" extra metric, e.g. the fan-out p99-ns) is within
+// gatePct percent of its reference, 1 otherwise. Anchoring to "current" matters:
 // gating against the never-updated baseline would let a benchmark that
 // has since improved severalfold regress all the way back without
 // tripping. Benchmarks missing from the reference are reported but do
@@ -134,21 +135,40 @@ func runGate(out string, gatePct float64, benches map[string]Result) int {
 	}
 	sort.Strings(names)
 	failed := false
-	for _, name := range names {
-		cur := benches[name]
-		b, ok := base.Benchmarks[name]
-		if !ok || b.NsPerOp == 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: gate: %-32s %10.0f ns/op (no reference, skipped)\n", name, cur.NsPerOp)
-			continue
-		}
-		delta := (cur.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+	check := func(name, unit string, cur, ref float64) {
+		delta := (cur - ref) / ref * 100
 		verdict := "ok"
 		if delta > gatePct {
 			verdict = "REGRESSED"
 			failed = true
 		}
-		fmt.Fprintf(os.Stderr, "benchjson: gate: %-32s %10.0f ns/op vs %s %10.0f (%+6.1f%%, limit +%.0f%%) %s\n",
-			name, cur.NsPerOp, base.Label, b.NsPerOp, delta, gatePct, verdict)
+		fmt.Fprintf(os.Stderr, "benchjson: gate: %-40s %10.0f %s vs %s %10.0f (%+6.1f%%, limit +%.0f%%) %s\n",
+			name, cur, unit, base.Label, ref, delta, gatePct, verdict)
+	}
+	for _, name := range names {
+		cur := benches[name]
+		b, ok := base.Benchmarks[name]
+		if !ok || b.NsPerOp == 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %-40s %10.0f ns/op (no reference, skipped)\n", name, cur.NsPerOp)
+			continue
+		}
+		check(name, "ns/op", cur.NsPerOp, b.NsPerOp)
+		// Latency-shaped extra metrics gate too: the cluster fan-out
+		// benchmarks report tail latency as p99-ns (and p50-ns), and a
+		// tail regression must fail the gate even when the mean ns/op
+		// stays flat. Units are compared only where the reference has a
+		// nonzero value; non-latency extras (bytes/conn, goroutines) are
+		// machine-shape metrics, not gated.
+		extras := make([]string, 0, len(b.Extra))
+		for unit := range b.Extra {
+			if strings.HasSuffix(unit, "ns") && b.Extra[unit] > 0 {
+				extras = append(extras, unit)
+			}
+		}
+		sort.Strings(extras)
+		for _, unit := range extras {
+			check(name+" "+unit, unit, cur.Extra[unit], b.Extra[unit])
+		}
 	}
 	// The reverse direction must fail too: a benchmark present in the
 	// committed reference but absent from the run (renamed, or filtered

@@ -104,6 +104,11 @@ type StatusError = proto.StatusError
 // StatusText returns a short human-readable name for a status code.
 func StatusText(code uint8) string { return proto.StatusText(code) }
 
+// MethodHealth is the reserved wire method ID (0xFFFF) carrying
+// piggybacked depth reports (Config.DepthFrames); it never reaches a
+// Handler and cannot be registered on a Mux.
+const MethodHealth = proto.MethodHealth
+
 // Request is one incoming RPC delivered to a Handler. Middleware may
 // annotate it; the pointer is shared down the chain.
 //
@@ -215,6 +220,12 @@ type Config struct {
 	// (default min(GOMAXPROCS, 4)). The transport's goroutine budget is
 	// O(Pollers + accept shards), independent of connection count.
 	Pollers int
+	// DepthFrames piggybacks the server's live scheduling depth onto
+	// each reply batch as a reserved-method v3 health frame (~20 bytes
+	// per egress flush, read from atomic counters). Clients that
+	// installed OnDepth receive it; all others drop it for free. A
+	// cluster tier's tail-aware balancer routes on these.
+	DepthFrames bool
 }
 
 // LatencySnapshot summarizes one of the server's latency histograms.
@@ -378,6 +389,7 @@ func NewServer(cfg Config) (*Server, error) {
 		DisableProxy:    cfg.NoInterrupts,
 		ParkInterval:    cfg.ParkInterval,
 		LockOSThread:    cfg.LockOSThread,
+		DepthFrames:     cfg.DepthFrames,
 	})
 	if err != nil {
 		return nil, err
@@ -486,6 +498,17 @@ func (s *Server) Stats() Stats {
 	return out
 }
 
+// DepthSnapshot is the server's instantaneous scheduling depth — the
+// load signal the depth piggyback stamps on the wire. See
+// core.DepthSnapshot for field semantics.
+type DepthSnapshot = core.DepthSnapshot
+
+// Depths returns the server's instantaneous scheduling depths:
+// allocation-free atomic reads, cheap enough for the reply hot path and
+// for polling balancers, where the full Stats() snapshot (which builds
+// per-route maps) is not.
+func (s *Server) Depths() DepthSnapshot { return s.rt.Depths() }
+
 // Cores returns the number of scheduler workers.
 func (s *Server) Cores() int { return s.rt.Cores() }
 
@@ -585,6 +608,12 @@ func (c *Client) SendMethodAsync(method uint16, payload []byte, cb func(resp []b
 	return c.cc.SendMethodAsync(method, payload, cb)
 }
 
+// OnDepth installs f to receive the server's live scheduling depth from
+// piggybacked health frames (servers started with Config.DepthFrames).
+// The cluster tier's balancer installs this to route on live queue
+// depth; f must be cheap — it runs on the reply delivery path.
+func (c *Client) OnDepth(f func(depth uint32)) { c.cc.OnDepth(f) }
+
 // SendOneWay issues a fire-and-forget request: the server executes it
 // but transmits no reply.
 func (c *Client) SendOneWay(payload []byte) error { return c.cc.SendOneWay(payload) }
@@ -646,6 +675,10 @@ func (c *TCPClient) SendMethodAsync(method uint16, payload []byte, cb func(resp 
 	return c.tc.SendMethodAsync(method, payload, cb)
 }
 
+// OnDepth installs f to receive the server's live scheduling depth from
+// piggybacked health frames (servers started with Config.DepthFrames).
+func (c *TCPClient) OnDepth(f func(depth uint32)) { c.tc.OnDepth(f) }
+
 // SendOneWay issues a fire-and-forget request: the server executes it
 // but transmits no reply.
 func (c *TCPClient) SendOneWay(payload []byte) error { return c.tc.SendOneWay(payload) }
@@ -689,6 +722,12 @@ func (m *ConnManager) NewCaller() (Caller, error) {
 	}
 	return &ManagedClient{mc: mc}, nil
 }
+
+// OnDepth installs f to receive the server's live scheduling depth from
+// piggybacked health frames, across every socket the manager holds
+// (present and future — the hook survives redials). Passing nil
+// uninstalls.
+func (m *ConnManager) OnDepth(f func(depth uint32)) { m.cm.OnDepth(f) }
 
 // Sockets reports how many physical connections are currently dialed.
 func (m *ConnManager) Sockets() int { return m.cm.Sockets() }
@@ -734,6 +773,11 @@ func (c *ManagedClient) SendAsync(payload []byte, cb func(resp []byte, err error
 func (c *ManagedClient) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
 	return c.mc.SendMethodAsync(method, payload, cb)
 }
+
+// OnDepth installs f to receive the server's live scheduling depth from
+// piggybacked health frames arriving on this caller's socket. The hook
+// survives redials of the underlying socket.
+func (c *ManagedClient) OnDepth(f func(depth uint32)) { c.mc.OnDepth(f) }
 
 // SendOneWay issues a fire-and-forget request: the server executes it
 // but transmits no reply.
