@@ -167,8 +167,8 @@ func splitAddrs(s string) []string {
 }
 
 func logClusterStats(cs zygos.ClusterStats) {
-	log.Printf("cluster: calls=%d hedges=%d hedge_wins=%d failovers=%d losers=%d",
-		cs.Calls, cs.Hedges, cs.HedgeWins, cs.Failovers, cs.Losers)
+	log.Printf("cluster: calls=%d hedges=%d hedge_wins=%d failovers=%d losers=%d replica_write_failures=%d",
+		cs.Calls, cs.Hedges, cs.HedgeWins, cs.Failovers, cs.Losers, cs.ReplicaWriteFailures)
 	for _, b := range cs.Backends {
 		log.Printf("  backend %s: inflight=%d depth=%d depth_age=%v", b.Name, b.Inflight, b.Depth, b.DepthAge)
 	}

@@ -308,14 +308,15 @@ type Cluster struct {
 	backends atomic.Value // []*Backend
 	ring     atomic.Value // *hashRing
 
-	trackers sync.Map // uint16 → *tracker
+	trackers sync.Map // trackerKey (uint32) → *tracker
 	closed   atomic.Bool
 
-	nCalls     atomic.Uint64
-	nHedges    atomic.Uint64
-	nHedgeWins atomic.Uint64
-	nFailovers atomic.Uint64
-	nLosers    atomic.Uint64
+	nCalls       atomic.Uint64
+	nHedges      atomic.Uint64
+	nHedgeWins   atomic.Uint64
+	nFailovers   atomic.Uint64
+	nLosers      atomic.Uint64
+	nReplicaErrs atomic.Uint64
 }
 
 // New creates an empty cluster; wire members in with Add.
@@ -377,6 +378,11 @@ type Stats struct {
 	// Losers counts final replies that arrived after another attempt
 	// had already won and were discarded.
 	Losers uint64
+	// ReplicaWriteFailures counts secondary replica writes lost to
+	// transport errors. The logical reply is driven by the primary
+	// alone, so without this counter a dropped secondary write — and
+	// the stale reads it causes on that replica — would be invisible.
+	ReplicaWriteFailures uint64
 	// Backends is the per-member load view.
 	Backends []BackendStats
 }
@@ -395,12 +401,13 @@ type BackendStats struct {
 func (c *Cluster) Stats() Stats {
 	bs := c.Backends()
 	s := Stats{
-		Calls:     c.nCalls.Load(),
-		Hedges:    c.nHedges.Load(),
-		HedgeWins: c.nHedgeWins.Load(),
-		Failovers: c.nFailovers.Load(),
-		Losers:    c.nLosers.Load(),
-		Backends:  make([]BackendStats, len(bs)),
+		Calls:                c.nCalls.Load(),
+		Hedges:               c.nHedges.Load(),
+		HedgeWins:            c.nHedgeWins.Load(),
+		Failovers:            c.nFailovers.Load(),
+		Losers:               c.nLosers.Load(),
+		ReplicaWriteFailures: c.nReplicaErrs.Load(),
+		Backends:             make([]BackendStats, len(bs)),
 	}
 	now := nanotime()
 	for i, b := range bs {
@@ -497,11 +504,7 @@ func (o *op) dispatch(b *Backend, isHedge bool) error {
 // failures fail over while attempts remain.
 func (o *op) finish(b *Backend, isHedge bool, start time.Time, resp []byte, err error) {
 	b.inflight.Add(-1)
-	final := err == nil
-	if !final {
-		var se *proto.StatusError
-		final = errors.As(err, &se)
-	}
+	final := err == nil || isStatusErr(err)
 	o.mu.Lock()
 	o.outstanding--
 	if o.done {
@@ -513,7 +516,7 @@ func (o *op) finish(b *Backend, isHedge bool, start time.Time, resp []byte, err 
 	}
 	if final {
 		o.settleLocked()
-		o.c.trackerFor(o.method).record(time.Since(start), o.c.cfg.Hedge)
+		o.c.trackerFor(o.method, o.legacy).record(time.Since(start), o.c.cfg.Hedge)
 		if isHedge {
 			o.c.nHedgeWins.Add(1)
 		}
@@ -533,16 +536,56 @@ func (o *op) finish(b *Backend, isHedge bool, start time.Time, resp []byte, err 
 			o.tried = append(o.tried, nb)
 			o.mu.Unlock()
 			o.c.nFailovers.Add(1)
-			if derr := o.dispatch(nb, false); derr == nil {
-				return
+			if o.dispatch(nb, false) != nil {
+				o.noteDispatchFailed(err)
 			}
-			o.mu.Lock()
-			o.outstanding--
-			if o.done || o.outstanding > 0 {
-				o.mu.Unlock()
-				return
-			}
+			return
 		}
+	}
+	o.settleLocked()
+	o.cb(nil, err)
+}
+
+// isStatusErr reports whether err is an application-level StatusError —
+// a valid final reply, as opposed to a transport failure.
+func isStatusErr(err error) bool {
+	var se *proto.StatusError
+	return errors.As(err, &se)
+}
+
+// noteDispatchFailed is the bookkeeping for an attempt whose dispatch
+// failed synchronously after it had been counted outstanding (the
+// transport callback will never run for it). If another attempt is
+// still racing it decides the outcome; otherwise rescue while the
+// attempt budget lasts, and failing that settle the op with err so
+// o.cb still fires exactly once. Without the settle, a hedge refused
+// synchronously (e.g. dial backoff) after the primary's transport
+// failure would leave the op undecided and a blocking Call hung
+// forever.
+func (o *op) noteDispatchFailed(err error) {
+	o.mu.Lock()
+	for {
+		o.outstanding--
+		if o.done || o.outstanding > 0 {
+			o.mu.Unlock()
+			return
+		}
+		if o.attempts >= maxAttempts || o.c.closed.Load() {
+			break
+		}
+		nb := o.c.pickFor(o.owners, o.tried)
+		if nb == nil {
+			break
+		}
+		o.attempts++
+		o.outstanding++
+		o.tried = append(o.tried, nb)
+		o.mu.Unlock()
+		o.c.nFailovers.Add(1)
+		if o.dispatch(nb, false) == nil {
+			return
+		}
+		o.mu.Lock()
 	}
 	o.settleLocked()
 	o.cb(nil, err)
@@ -577,9 +620,7 @@ func (o *op) fireHedge() {
 	o.mu.Unlock()
 	o.c.nHedges.Add(1)
 	if err := o.dispatch(nb, true); err != nil {
-		o.mu.Lock()
-		o.outstanding--
-		o.mu.Unlock()
+		o.noteDispatchFailed(err)
 	}
 }
 
@@ -597,12 +638,22 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(
 	if write && len(owners) > 1 {
 		// Replicate to the secondaries now — transports encode
 		// synchronously, so the caller's payload is still valid — and
-		// drive the logical reply off the primary alone.
+		// drive the logical reply off the primary alone. A secondary
+		// send lost to a transport error (StatusError means the write
+		// reached the backend) is counted: the primary's reply hides it
+		// from the caller, and reads route to any owner.
 		for _, sb := range owners[1:] {
 			sb.inflight.Add(1)
 			rb := sb
-			if err := sb.c.SendMethodAsync(method, payload, func([]byte, error) { rb.inflight.Add(-1) }); err != nil {
+			cb := func(_ []byte, err error) {
 				rb.inflight.Add(-1)
+				if err != nil && !isStatusErr(err) {
+					c.nReplicaErrs.Add(1)
+				}
+			}
+			if err := sb.c.SendMethodAsync(method, payload, cb); err != nil {
+				rb.inflight.Add(-1)
+				c.nReplicaErrs.Add(1)
 			}
 		}
 		owners = owners[:1:1]
@@ -623,7 +674,7 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(
 	o.outstanding = 1
 	o.tried = append(o.tried, b)
 	if c.cfg.Hedge.Enabled && !write {
-		delay := c.trackerFor(method).delay(c.cfg.Hedge)
+		delay := c.trackerFor(method, legacy).delay(c.cfg.Hedge)
 		o.timer = time.AfterFunc(delay, o.fireHedge)
 	}
 	err := o.dispatch(b, false)
@@ -679,9 +730,14 @@ func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
 	owners, write := c.route(method, legacy, payload)
 	if write && len(owners) > 1 {
 		var err error
-		for _, b := range owners {
-			if e := b.c.SendMethodOneWay(method, payload); e != nil && err == nil {
-				err = e
+		for i, b := range owners {
+			if e := b.c.SendMethodOneWay(method, payload); e != nil {
+				if i > 0 {
+					c.nReplicaErrs.Add(1)
+				}
+				if err == nil {
+					err = e
+				}
 			}
 		}
 		return err

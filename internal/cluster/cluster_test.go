@@ -2,9 +2,169 @@ package cluster
 
 import (
 	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// fakeCaller is a scriptable transport: sends are refused synchronously
+// (err), answered inline (autoReply), or parked until fail/reply
+// delivers a verdict. hook runs inside every async send, before the
+// verdict, to force cross-attempt interleavings a real transport only
+// hits under races.
+type fakeCaller struct {
+	name      string
+	err       error  // non-nil: refuse every send synchronously
+	autoReply []byte // non-nil: answer every async send inline
+	hook      func()
+
+	mu  sync.Mutex
+	cbs []func([]byte, error)
+}
+
+func (f *fakeCaller) send(cb func([]byte, error)) error {
+	if f.hook != nil {
+		f.hook()
+	}
+	if f.err != nil {
+		return f.err
+	}
+	if f.autoReply != nil {
+		cb(f.autoReply, nil)
+		return nil
+	}
+	f.mu.Lock()
+	f.cbs = append(f.cbs, cb)
+	f.mu.Unlock()
+	return nil
+}
+
+// fail delivers err to every parked send, as a transport would on
+// connection teardown.
+func (f *fakeCaller) fail(err error) {
+	f.mu.Lock()
+	cbs := f.cbs
+	f.cbs = nil
+	f.mu.Unlock()
+	for _, cb := range cbs {
+		cb(nil, err)
+	}
+}
+
+func (f *fakeCaller) SendAsync(p []byte, cb func([]byte, error)) error { return f.send(cb) }
+func (f *fakeCaller) SendMethodAsync(m uint16, p []byte, cb func([]byte, error)) error {
+	return f.send(cb)
+}
+func (f *fakeCaller) SendOneWay(p []byte) error                 { return f.err }
+func (f *fakeCaller) SendMethodOneWay(m uint16, p []byte) error { return f.err }
+func (f *fakeCaller) Call(p []byte) ([]byte, error)             { return nil, errors.New("unused") }
+func (f *fakeCaller) CallInto(p, b []byte) ([]byte, error)      { return nil, errors.New("unused") }
+func (f *fakeCaller) CallMethod(m uint16, p []byte) ([]byte, error) {
+	return nil, errors.New("unused")
+}
+func (f *fakeCaller) CallMethodInto(m uint16, p, b []byte) ([]byte, error) {
+	return nil, errors.New("unused")
+}
+func (f *fakeCaller) Close() {}
+
+// A hedge refused synchronously after the primary's transport failure
+// must still settle the op: the primary's finish saw the hedge counted
+// outstanding and deferred to it, so if the refusal merely decremented
+// the count the callback would never fire and a blocking Call would
+// hang forever.
+func TestHedgeDispatchFailureSettles(t *testing.T) {
+	transportErr := errors.New("conn reset")
+	dialErr := errors.New("dial backoff")
+
+	holder := &fakeCaller{name: "holder"} // parks the primary attempt
+	refuser := &fakeCaller{name: "refuser", err: dialErr}
+	// Deliver the primary's failure inside the hedge's send, after the
+	// hedge is counted outstanding but before its synchronous refusal:
+	// the exact interleaving that stranded the op.
+	refuser.hook = func() { holder.fail(transportErr) }
+
+	cl := New(Config{
+		Policy: JSQ, // ties break to the first backend: primary is deterministic
+		Hedge:  HedgeConfig{Enabled: true, MaxDelay: time.Millisecond},
+	})
+	cl.Add("holder", holder)
+	cl.Add("refuser", refuser)
+	defer cl.Close()
+
+	var fires atomic.Int32
+	done := make(chan error, 2)
+	if err := cl.SendMethodAsync(1, []byte("x"), func(resp []byte, err error) {
+		fires.Add(1)
+		done <- err
+	}); err != nil {
+		t.Fatalf("SendMethodAsync: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("op settled with a nil error; both attempts failed")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("op hung: callback never fired after the hedge dispatch was refused")
+	}
+	time.Sleep(10 * time.Millisecond)
+	if n := fires.Load(); n != 1 {
+		t.Fatalf("callback fired %d times, want exactly 1", n)
+	}
+}
+
+// A secondary replica write lost to a transport error must be counted:
+// the primary's reply hides the loss from the caller while reads route
+// to any owner, so the counter is the only signal of the stale replica.
+func TestReplicaWriteFailureCounted(t *testing.T) {
+	cl := New(Config{
+		Policy:   JSQ,
+		Replicas: 2,
+		KeyFunc: func(method uint16, payload []byte) ([]byte, bool, bool) {
+			return payload, true, true
+		},
+	})
+	a := &fakeCaller{name: "a", autoReply: []byte("ok")}
+	b := &fakeCaller{name: "b", autoReply: []byte("ok")}
+	cl.Add("a", a)
+	cl.Add("b", b)
+	defer cl.Close()
+
+	// Ring order decides which backend is the key's primary; break the
+	// secondary so the write fan-out loses it while the primary reply
+	// still succeeds.
+	owners := cl.ring.Load().(*hashRing).owners([]byte("key"), 2, cl.Backends())
+	if len(owners) != 2 {
+		t.Fatalf("got %d owners, want 2", len(owners))
+	}
+	owners[1].c.(*fakeCaller).err = errors.New("secondary down")
+
+	resp, err := cl.CallMethod(5, []byte("key"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("primary write failed: resp=%q err=%v", resp, err)
+	}
+	if got := cl.Stats().ReplicaWriteFailures; got != 1 {
+		t.Fatalf("ReplicaWriteFailures = %d, want 1", got)
+	}
+	if inf := owners[1].inflight.Load(); inf != 0 {
+		t.Fatalf("failed secondary left inflight = %d, want 0", inf)
+	}
+}
+
+// Legacy (method-less) traffic must not share a latency window with
+// routed method-0 traffic: the two routes can have unrelated latency
+// profiles, and conflating them skews both adaptive hedge deadlines.
+func TestTrackerKeySeparatesLegacy(t *testing.T) {
+	cl := New(Config{})
+	if cl.trackerFor(0, true) == cl.trackerFor(0, false) {
+		t.Fatal("legacy and method-0 routed traffic share a tracker")
+	}
+	if cl.trackerFor(3, false) != cl.trackerFor(3, false) {
+		t.Fatal("trackerFor is not stable for a fixed route")
+	}
+}
 
 func mkBackends(names ...string) []*Backend {
 	bs := make([]*Backend, len(names))

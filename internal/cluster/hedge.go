@@ -34,12 +34,26 @@ type tracker struct {
 	cached atomic.Int64 // current deadline, ns; 0 = no history yet
 }
 
-// trackerFor returns method's tracker, creating it on first use.
-func (c *Cluster) trackerFor(method uint16) *tracker {
-	if t, ok := c.trackers.Load(method); ok {
+// trackerKey identifies one route's latency window. Legacy
+// (method-less v2) traffic gets its own bit above the 16-bit method
+// space: it shares the wire method value 0 with routed method-0 calls
+// but can have an unrelated latency profile, and folding the two into
+// one window would skew both adaptive deadlines.
+func trackerKey(method uint16, legacy bool) uint32 {
+	k := uint32(method)
+	if legacy {
+		k |= 1 << 16
+	}
+	return k
+}
+
+// trackerFor returns the route's tracker, creating it on first use.
+func (c *Cluster) trackerFor(method uint16, legacy bool) *tracker {
+	key := trackerKey(method, legacy)
+	if t, ok := c.trackers.Load(key); ok {
 		return t.(*tracker)
 	}
-	t, _ := c.trackers.LoadOrStore(method, &tracker{})
+	t, _ := c.trackers.LoadOrStore(key, &tracker{})
 	return t.(*tracker)
 }
 

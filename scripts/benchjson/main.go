@@ -167,7 +167,17 @@ func runGate(out string, gatePct float64, benches map[string]Result) int {
 		}
 		sort.Strings(extras)
 		for _, unit := range extras {
-			check(name+" "+unit, unit, cur.Extra[unit], b.Extra[unit])
+			cv, reported := cur.Extra[unit]
+			if !reported || cv == 0 {
+				// A benchmark that stops emitting a gated latency metric
+				// must fail, not sail through with a -100% "improvement":
+				// silently dropping p99-ns is how a tail gate dies.
+				fmt.Fprintf(os.Stderr, "benchjson: gate: %-40s %s in reference %q but not reported by the run\n",
+					name, unit, base.Label)
+				failed = true
+				continue
+			}
+			check(name+" "+unit, unit, cv, b.Extra[unit])
 		}
 	}
 	// The reverse direction must fail too: a benchmark present in the
