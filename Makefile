@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test vet bench bench-sched bench-conn bench-cluster bench-cluster-gate bench-smoke bench-gate
+.PHONY: all build test vet chaos-soak bench bench-sched bench-conn bench-cluster bench-cluster-gate bench-smoke bench-gate
 
 all: build test
 
@@ -19,6 +19,16 @@ test: vet
 
 vet:
 	$(GO) vet ./...
+
+# Long chaos soak: the seeded fault-injection scenarios (TestChaos* in
+# the root package) under the race detector with a wide seed matrix.
+# Each seed replays deterministically, so a failure here reports the
+# seed to rerun with CHAOS_SEEDS/CHAOS_OPS. CI runs a 2-seed smoke of
+# the same tests; this target is the pre-release/nightly deep run.
+CHAOS_SEEDS ?= 16
+CHAOS_OPS ?= 400
+chaos-soak:
+	CHAOS_SEEDS=$(CHAOS_SEEDS) CHAOS_OPS=$(CHAOS_OPS) $(GO) test -race -run 'TestChaos' -count=1 -timeout 30m -v .
 
 # Hot-path benchmark trajectory: run the BenchmarkHotPath* suite —
 # including BenchmarkHotPathRoutedKV, the method-dispatched GET/SET mix

@@ -1,0 +1,397 @@
+// Chaos soak: seeded fault-injection runs over the full stack. Each
+// scenario drives a conformance workload through faultnet wrappers —
+// caller-level faults over in-process backends, byte-level faults over
+// TCP — and asserts the failure-domain invariants: every op settles
+// exactly once, deadlines bound every blocking call, breakers trip and
+// readmit, and buffer accounting returns to its starting snapshot.
+//
+// Runs are reproducible: a failing seed replays with
+// CHAOS_SEEDS=<n> (seed count) and CHAOS_OPS=<n> (ops per seed). CI
+// smoke uses a short seed matrix; `make chaos-soak` runs the long one.
+package zygos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zygos/internal/bufpool"
+	"zygos/internal/faultnet"
+)
+
+// chaosEnvInt reads a positive integer knob from the environment.
+func chaosEnvInt(name string, def int) int {
+	if s := os.Getenv(name); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func chaosSeedCount(t *testing.T) int {
+	if testing.Short() {
+		return 2
+	}
+	return chaosEnvInt("CHAOS_SEEDS", 8)
+}
+
+func chaosOps() int { return chaosEnvInt("CHAOS_OPS", 200) }
+
+// TestChaosClusterFaultyBackends soaks the cluster tier over three
+// in-process backends whose transports inject resets, blackholes,
+// dropped replies, latency, and depth-report loss. The invariants under
+// fire: every issued op settles exactly once (deadline, failover, or
+// reply), blocking calls return within their budget, and after teardown
+// the runtimes hold zero live segments and the bufpool checkout count
+// returns to its snapshot.
+func TestChaosClusterFaultyBackends(t *testing.T) {
+	ops := chaosOps()
+	// Per-seed bufpool checkouts after teardown. The runtime's event
+	// pool legitimately retains reply-frame buffers up to the peak
+	// concurrency high-water (see TestConnChurnNoLeaks), so the leak
+	// invariant is cross-seed: the count must stop growing once the
+	// first seeds establish the high-water, not return to zero.
+	var endOutstanding []int64
+	for s := 0; s < chaosSeedCount(t); s++ {
+		seed := int64(s + 1)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			oneWays := new(atomic.Int64)
+			mux := newConformanceMux(oneWays)
+			backends := make([]*Server, 3)
+			for i := range backends {
+				b, err := NewServer(Config{Cores: 2, Handler: mux.Handler(), DepthFrames: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				backends[i] = b
+			}
+			cl := NewCluster(ClusterConfig{
+				Policy:      PolicyP2C,
+				Hedge:       HedgeConfig{Enabled: true, MinDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond},
+				CallTimeout: 250 * time.Millisecond,
+				Breaker:     BreakerConfig{Cooldown: 5 * time.Millisecond},
+			})
+			faulty := make([]*faultnet.FaultyCaller, len(backends))
+			for i, b := range backends {
+				faulty[i] = faultnet.WrapCaller(b.NewClient(), faultnet.Plan{
+					Seed:       seed*31 + int64(i),
+					PReset:     0.05,
+					PBlackhole: 0.03,
+					PDropReply: 0.03,
+					PDelay:     0.20,
+					PDropDepth: 0.50,
+				})
+				cl.Add(fmt.Sprintf("b%d", i), faulty[i])
+			}
+
+			var settles, doubles, okCount atomic.Int64
+			flags := make([]atomic.Bool, ops)
+			for i := 0; i < ops; i++ {
+				i := i
+				err := cl.SendMethodAsync(confEchoA, []byte("chaos"), func(resp []byte, err error) {
+					if flags[i].Swap(true) {
+						doubles.Add(1)
+					}
+					if err == nil {
+						okCount.Add(1)
+					}
+					settles.Add(1)
+				})
+				if err != nil {
+					// A synchronous refusal settles the op at the call site;
+					// the callback will never run for it.
+					if flags[i].Swap(true) {
+						doubles.Add(1)
+					}
+					settles.Add(1)
+				}
+			}
+
+			// Blocking calls race the same chaos: each must return within
+			// its deadline budget no matter what the injector does.
+			for i := 0; i < 16; i++ {
+				start := time.Now()
+				_, err := cl.CallMethodTimeout(confEchoA, []byte("blocking"), 100*time.Millisecond)
+				if el := time.Since(start); el > 5*time.Second {
+					t.Fatalf("blocking call %d took %v (err=%v); deadline did not bound it", i, el, err)
+				}
+			}
+
+			deadline := time.Now().Add(30 * time.Second)
+			for settles.Load() < int64(ops) {
+				if time.Now().After(deadline) {
+					t.Fatalf("hang: %d/%d ops settled (seed %d, faults %+v %+v %+v)",
+						settles.Load(), ops, seed,
+						faulty[0].FaultStats(), faulty[1].FaultStats(), faulty[2].FaultStats())
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			if d := doubles.Load(); d != 0 {
+				t.Fatalf("%d ops settled more than once", d)
+			}
+			if ok := okCount.Load(); ok < int64(ops)/4 {
+				t.Fatalf("only %d/%d ops succeeded; fault rates should leave most survivable", ok, ops)
+			}
+
+			cl.Close()
+			// Teardown: every ingress segment must drain.
+			lkDeadline := time.Now().Add(10 * time.Second)
+			for {
+				var live int64
+				for _, b := range backends {
+					live += b.rt.SegmentsLive()
+				}
+				if live == 0 {
+					break
+				}
+				if time.Now().After(lkDeadline) {
+					t.Fatalf("leak after chaos: SegmentsLive=%d", live)
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			for _, b := range backends {
+				b.Close()
+			}
+			endOutstanding = append(endOutstanding, bufpool.Outstanding())
+		})
+	}
+	// Bounded accounting: identical workloads per seed mean the event
+	// pool's high-water is set by the early seeds; a per-op leak would
+	// keep climbing seed over seed. (Skipped under -race: sync.Pool
+	// drops Puts there, so checkouts read as lost forever.)
+	if !raceEnabled && len(endOutstanding) >= 3 {
+		allow := endOutstanding[0]
+		if endOutstanding[1] > allow {
+			allow = endOutstanding[1]
+		}
+		allow += 64
+		if last := endOutstanding[len(endOutstanding)-1]; last > allow {
+			t.Fatalf("bufpool checkouts grew across seeds: %v (allowance %d)", endOutstanding, allow)
+		}
+	}
+}
+
+// TestChaosTCPCorruptStream soaks the TCP path through a fault-wrapped
+// listener injecting corrupt frames, partial writes, resets, and write
+// latency into server replies. Corruption may poison a connection (the
+// client parser refuses the stream) or silently alter a payload, so the
+// only assertions are liveness ones: every blocking call returns within
+// its deadline, a timed-out manager is replaced and the workload
+// continues, and teardown leaks nothing.
+func TestChaosTCPCorruptStream(t *testing.T) {
+	srv, _, _ := newConformanceServer(t)
+	ops := chaosOps()
+	if ops > 64 {
+		ops = 64 // a wedged (corrupt-length) conn costs a deadline per call; keep the soak bounded
+	}
+	for s := 0; s < chaosSeedCount(t); s++ {
+		seed := int64(s + 1)
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl := faultnet.WrapListener(l, faultnet.Plan{
+				Seed:     seed,
+				PCorrupt: 0.02,
+				PPartial: 0.30,
+				PReset:   0.03,
+				PDelay:   0.10,
+			})
+			go srv.Serve(fl)
+			t.Cleanup(func() { l.Close() })
+			addr := l.Addr().String()
+
+			m := NewConnManager(addr, 2, 5*time.Second)
+			mc, err := m.NewCaller()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var okCount, errCount int
+			for i := 0; i < ops; i++ {
+				start := time.Now()
+				_, cerr := mc.CallMethodTimeout(confEchoA, []byte("tcp-chaos"), 500*time.Millisecond)
+				if el := time.Since(start); el > 10*time.Second {
+					t.Fatalf("call %d took %v; deadline did not bound it", i, el)
+				}
+				if cerr == nil {
+					okCount++
+					continue
+				}
+				errCount++
+				if errors.Is(cerr, ErrCallTimeout) {
+					// The deadline is the only wedge detector a client has:
+					// a corrupt length field leaves the conn open but mute.
+					// Replace the manager, as an application would.
+					m.Close()
+					m = NewConnManager(addr, 2, 5*time.Second)
+					if mc, err = m.NewCaller(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			m.Close()
+			if okCount == 0 {
+				t.Fatalf("no call survived the fault plan (errs=%d, faults %+v)", errCount, fl.FaultStats())
+			}
+
+			if !srv.Flush(10 * time.Second) {
+				t.Fatal("flush timed out")
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				segs := srv.rt.SegmentsLive()
+				pollers := int64(srv.tcp.NetStats().Pollers)
+				if segs <= pollers {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("leak after TCP chaos: SegmentsLive=%d pollers=%d (faults %+v)",
+						segs, pollers, fl.FaultStats())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestChaosBlackholeDeadline: a call against a fully blackholed backend
+// must return ErrCallTimeout within its deadline budget — both the
+// configured default and a per-call override.
+func TestChaosBlackholeDeadline(t *testing.T) {
+	oneWays := new(atomic.Int64)
+	b, err := NewServer(Config{Cores: 2, Handler: newConformanceMux(oneWays).Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	cl := NewCluster(ClusterConfig{
+		Policy:      PolicyJSQ,
+		CallTimeout: 50 * time.Millisecond,
+	})
+	cl.Add("blackhole", faultnet.WrapCaller(b.NewClient(), faultnet.Plan{PBlackhole: 1}))
+	t.Cleanup(cl.Close)
+
+	start := time.Now()
+	_, err = cl.CallMethod(confEchoA, []byte("x"))
+	el := time.Since(start)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if el < 40*time.Millisecond || el > 5*time.Second {
+		t.Fatalf("default deadline fired after %v, want ~50ms", el)
+	}
+
+	start = time.Now()
+	_, err = cl.CallMethodTimeout(confEchoA, []byte("x"), 20*time.Millisecond)
+	el = time.Since(start)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("override err = %v, want ErrCallTimeout", err)
+	}
+	if el > 5*time.Second {
+		t.Fatalf("override deadline fired after %v", el)
+	}
+	if got := cl.Stats().DeadlinesExpired; got != 2 {
+		t.Fatalf("DeadlinesExpired = %d, want 2", got)
+	}
+}
+
+// TestChaosBreakerKillRecover kills one backend of three under live
+// load (every send through it resets), proves the breaker trips and the
+// cluster keeps serving, then restores the backend and proves a probe
+// readmits it.
+func TestChaosBreakerKillRecover(t *testing.T) {
+	oneWays := new(atomic.Int64)
+	mux := newConformanceMux(oneWays)
+	backends := make([]*Server, 3)
+	for i := range backends {
+		b, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(b.Close)
+		backends[i] = b
+	}
+
+	var down atomic.Bool
+	script := func(op uint64) (faultnet.Action, bool) {
+		if down.Load() {
+			return faultnet.Reset, true
+		}
+		return faultnet.Pass, true
+	}
+	cl := NewCluster(ClusterConfig{
+		Policy:      PolicyJSQ,
+		CallTimeout: 2 * time.Second,
+		Breaker:     BreakerConfig{Threshold: 3, Cooldown: 20 * time.Millisecond},
+	})
+	cl.Add("victim", faultnet.WrapCaller(backends[0].NewClient(), faultnet.Plan{Script: script}))
+	cl.Add("b1", backends[1].NewClient())
+	cl.Add("b2", backends[2].NewClient())
+	t.Cleanup(cl.Close)
+
+	victimState := func() string {
+		for _, b := range cl.Stats().Backends {
+			if b.Name == "victim" {
+				return b.State
+			}
+		}
+		return "?"
+	}
+
+	// Healthy baseline.
+	for i := 0; i < 50; i++ {
+		if _, err := cl.CallMethod(confEchoA, []byte("warm")); err != nil {
+			t.Fatalf("baseline call %d: %v", i, err)
+		}
+	}
+
+	// Kill the victim: every send through it now resets. Failover keeps
+	// the callers whole while consecutive failures trip the breaker.
+	down.Store(true)
+	deadline := time.Now().Add(10 * time.Second)
+	for cl.Stats().BreakerTrips == 0 {
+		if _, err := cl.CallMethod(confEchoA, []byte("kill")); err != nil {
+			t.Fatalf("call lost during kill (failover should absorb resets): %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never tripped; victim state %q", victimState())
+		}
+	}
+
+	// Tripped: load keeps flowing (probes may fail; failover absorbs
+	// them too).
+	for i := 0; i < 100; i++ {
+		start := time.Now()
+		if _, err := cl.CallMethod(confEchoA, []byte("degraded")); err != nil {
+			t.Fatalf("call %d failed with victim tripped: %v", i, err)
+		}
+		if el := time.Since(start); el > time.Second {
+			t.Fatalf("call %d took %v with victim tripped; tail did not recover", i, el)
+		}
+	}
+
+	// Restart: the next successful probe readmits the victim.
+	down.Store(false)
+	deadline = time.Now().Add(10 * time.Second)
+	for victimState() != "up" {
+		if _, err := cl.CallMethod(confEchoA, []byte("heal")); err != nil {
+			t.Fatalf("call lost during recovery: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("victim never readmitted; state %q, stats %+v", victimState(), cl.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s := cl.Stats()
+	if s.BreakerTrips == 0 || s.BreakerProbes == 0 || s.BreakerReadmits == 0 {
+		t.Fatalf("breaker cycle incomplete: trips=%d probes=%d readmits=%d",
+			s.BreakerTrips, s.BreakerProbes, s.BreakerReadmits)
+	}
+}

@@ -38,8 +38,17 @@ type HedgeConfig = cluster.HedgeConfig
 // Balancer is the load-aware backend picker the cluster routes with.
 type Balancer = cluster.Balancer
 
-// ClusterStats snapshots the cluster's tail-management counters.
+// ClusterStats snapshots the cluster's tail-management and health
+// counters.
 type ClusterStats = cluster.Stats
+
+// ClusterBackendStats is one backend's slice of the cluster load and
+// health view.
+type ClusterBackendStats = cluster.BackendStats
+
+// BreakerConfig parameterizes the cluster's per-backend circuit
+// breaker; the zero value enables it with defaults.
+type BreakerConfig = cluster.BreakerConfig
 
 // ClusterPolicy selects the unkeyed balancing policy.
 type ClusterPolicy = cluster.Policy
@@ -56,6 +65,10 @@ const (
 
 // ErrNoBackends reports a cluster with no eligible backends.
 var ErrNoBackends = cluster.ErrNoBackends
+
+// ErrClusterClosed reports calls issued against a closed cluster;
+// requests still in flight at Close settle with it too.
+var ErrClusterClosed = cluster.ErrClusterClosed
 
 // NewCluster creates an empty cluster; wire members in with Add. Every
 // zygos client type (Client, TCPClient, ManagedClient) is a valid

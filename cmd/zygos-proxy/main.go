@@ -40,6 +40,8 @@ func main() {
 		hedge     = flag.Bool("hedge", true, "hedge requests past the adaptive per-route P99 deadline")
 		hedgeMin  = flag.Duration("hedge-min", 0, "hedge deadline floor (0 = 100µs default)")
 		hedgeMax  = flag.Duration("hedge-max", 0, "hedge deadline cap and cold-start deadline (0 = 20ms default)")
+		callTO    = flag.Duration("call-timeout", 0, "per-request deadline through the cluster (0 = none); expired requests fail fast instead of waiting out a wedged backend")
+		noBreaker = flag.Bool("no-breaker", false, "disable the per-backend circuit breaker")
 		kvRoute   = flag.Bool("kv", false, "route kv methods by key on the consistent-hash ring")
 		replicas  = flag.Int("replicas", 2, "kv: ring owners per key (reads pick the least loaded, writes fan out)")
 		sockets   = flag.Int("sockets", 2, "TCP sockets per backend")
@@ -66,6 +68,8 @@ func main() {
 			MinDelay: *hedgeMin,
 			MaxDelay: *hedgeMax,
 		},
+		CallTimeout: *callTO,
+		Breaker:     zygos.BreakerConfig{Disabled: *noBreaker},
 	}
 	if *kvRoute {
 		cfg.KeyFunc = zygos.KVKeyFunc
@@ -169,7 +173,10 @@ func splitAddrs(s string) []string {
 func logClusterStats(cs zygos.ClusterStats) {
 	log.Printf("cluster: calls=%d hedges=%d hedge_wins=%d failovers=%d losers=%d replica_write_failures=%d",
 		cs.Calls, cs.Hedges, cs.HedgeWins, cs.Failovers, cs.Losers, cs.ReplicaWriteFailures)
+	log.Printf("cluster health: breaker_trips=%d breaker_probes=%d breaker_readmits=%d deadlines_expired=%d read_fallbacks=%d",
+		cs.BreakerTrips, cs.BreakerProbes, cs.BreakerReadmits, cs.DeadlinesExpired, cs.ReadFallbacks)
 	for _, b := range cs.Backends {
-		log.Printf("  backend %s: inflight=%d depth=%d depth_age=%v", b.Name, b.Inflight, b.Depth, b.DepthAge)
+		log.Printf("  backend %s: state=%s fails=%d inflight=%d depth=%d depth_age=%v",
+			b.Name, b.State, b.Fails, b.Inflight, b.Depth, b.DepthAge)
 	}
 }

@@ -127,6 +127,11 @@ func main() {
 	log.Printf("final net: open=%d idle=%d accepted=%d reaped=%d pollers=%d shards=%d egress_resident=%dB",
 		st.Net.Open, st.Net.Idle, st.Net.Accepted, st.Net.Reaped, st.Net.Pollers,
 		len(listeners), st.Net.EgressBytesResident)
+	// The health view a cluster tier balances and breaks circuits on:
+	// after a clean flush everything here should read zero.
+	d := srv.Depths()
+	log.Printf("final health: depth=%d backlog=%d ingress=%d ready=%d depth_frames=%v",
+		d.Load(), d.Backlog, d.Ingress, d.Ready, *depth)
 	if st.Latency.Count > 0 {
 		log.Printf("final latency: %v", st.Latency)
 		log.Printf("final queue delay: %v", st.QueueDelay)

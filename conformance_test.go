@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"zygos/internal/bufpool"
+	"zygos/internal/faultnet"
 	"zygos/internal/proto"
 	"zygos/internal/tcpnet"
 )
@@ -240,6 +241,24 @@ func TestCallerConformance(t *testing.T) {
 				t.Fatalf("one-way handler ran %d times, want %d", got, before+1)
 			}
 		}},
+		{"CallTimeout and CallMethodTimeout complete within budget", func(t *testing.T, c Caller, env *confEnv) {
+			resp, err := c.CallMethodTimeout(confEchoB, []byte("dl"), 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, resp, confEchoB, "dl")
+			resp, err = c.CallTimeout([]byte("dl-legacy"), 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, resp, 0, "dl-legacy")
+			// d < 0 disables the deadline; the call must still complete.
+			resp, err = c.CallMethodTimeout(confEchoA, []byte("dl-off"), -1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantTagged(t, resp, confEchoA, "dl-off")
+		}},
 		{"StatusError propagates from routes", func(t *testing.T, c Caller, env *confEnv) {
 			resp, err := c.CallMethod(confErr, []byte("x"))
 			if resp != nil {
@@ -278,6 +297,22 @@ func TestCallerConformance(t *testing.T) {
 	t.Cleanup(ptcp.Close)
 	pollAddr := pl.Addr().String()
 
+	// A third listener whose accepted conns inject benign byte-level
+	// faults — write latency and partial writes — that reorder the
+	// server's write timing without altering the byte stream. Every
+	// conformance step must still pass verbatim: short reads and delayed
+	// replies are not allowed to be observable at the RPC layer. (The
+	// wrapped conns also lack syscall.Conn, so this doubles as coverage
+	// for the per-conn fallback onto the portable poller.)
+	fll, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := faultnet.WrapListener(fll, faultnet.Plan{Seed: 42, PPartial: 0.5, PDelay: 0.25})
+	go srv.Serve(flaky)
+	t.Cleanup(func() { fll.Close() })
+	flakyAddr := fll.Addr().String()
+
 	// Direct transports share the conformance server's env; the cluster
 	// variant builds its own tier (front proxy over three backends) and
 	// must settle every server in it.
@@ -297,6 +332,13 @@ func TestCallerConformance(t *testing.T) {
 		}},
 		{"tcp-portable-poller", func(t *testing.T) (Caller, *confEnv) {
 			c, err := DialClient(pollAddr, 5*time.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c, baseEnv
+		}},
+		{"flaky-tcp", func(t *testing.T) (Caller, *confEnv) {
+			c, err := DialClient(flakyAddr, 5*time.Second)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -337,6 +379,18 @@ func TestCallerConformance(t *testing.T) {
 func TestConnChurnNoLeaks(t *testing.T) {
 	srv, addr, _ := newConformanceServer(t)
 
+	// A reset-injecting listener for the mid-call-reset leg of the
+	// churn: some replies die half-written, so clients see truncated
+	// streams, EOFs, and calls still in flight at Close — the teardown
+	// orderings most likely to strand a pooled buffer.
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(faultnet.WrapListener(rl, faultnet.Plan{Seed: 99, PReset: 0.25, PPartial: 0.25}))
+	t.Cleanup(func() { rl.Close() })
+	resetAddr := rl.Addr().String()
+
 	outBefore := bufpool.Outstanding()
 	const cycles = 40
 	for i := 0; i < cycles; i++ {
@@ -361,6 +415,17 @@ func TestConnChurnNoLeaks(t *testing.T) {
 			t.Fatal(err)
 		}
 		m.Close()
+
+		// Mid-call resets: a bounded call that may die to an injected
+		// reset, then a close with an async call still in flight. Errors
+		// are expected; leaked buffers are not.
+		rc, err := DialClient(resetAddr, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = rc.CallMethodTimeout(confEchoA, []byte("reset-churn"), 2*time.Second)
+		_ = rc.SendAsync([]byte("mid"), func([]byte, error) {})
+		rc.Close()
 	}
 	if !srv.Flush(10 * time.Second) {
 		t.Fatal("flush timed out after churn")

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Breaker states. A backend starts Up (the zero value, so Backends
+// constructed anywhere are healthy by default). Consecutive transport
+// failures — or a single synchronous dispatch refusal, which means the
+// transport already knows the peer is unreachable (dial backoff, closed
+// manager) — trip it Down. Down backends are excluded from balancer,
+// hedge, failover, and replica picks. After Cooldown one primary request
+// claims the backend as its half-open Probe; the probe's outcome either
+// readmits the backend or re-arms the cooldown.
+const (
+	brUp int32 = iota
+	brDown
+	brProbe
+)
+
+// breaker is the per-backend circuit state. All fields are atomics:
+// health decisions ride the data path (every pick, every completion), so
+// they must not contend on a lock.
+type breaker struct {
+	state atomic.Int32
+	// fails counts consecutive transport failures since the last success.
+	fails atomic.Int32
+	// retryAt is the nanotime after which a Down backend may be probed.
+	retryAt atomic.Int64
+	// probeAt is when the current half-open probe was claimed, so a probe
+	// lost to a blackholed peer cannot wedge the backend in Probe forever.
+	probeAt atomic.Int64
+}
+
+// BreakerConfig parameterizes the per-backend circuit breaker. The zero
+// value enables it with defaults; set Disabled to opt out.
+type BreakerConfig struct {
+	// Disabled turns the breaker off: every backend is always eligible.
+	Disabled bool
+	// Threshold is the consecutive transport-failure count that trips a
+	// backend Down; defaults to 5. Synchronous dispatch refusals trip
+	// immediately regardless.
+	Threshold int
+	// Cooldown is how long a tripped backend stays Down before a probe
+	// may be claimed; defaults to 50ms.
+	Cooldown time.Duration
+	// ProbeTimeout bounds how long a claimed probe may stay unresolved
+	// (e.g. lost to a blackholed peer) before another request may
+	// re-probe; defaults to 1s.
+	ProbeTimeout time.Duration
+}
+
+const (
+	defaultBrThreshold    = 5
+	defaultBrCooldown     = 50 * time.Millisecond
+	defaultBrProbeTimeout = time.Second
+)
+
+// brUnhealthy is the balancer skip predicate: only Up backends take
+// normally-routed traffic (a Probe backend serves exactly its claimed
+// probe request).
+func brUnhealthy(b *Backend) bool { return b.br.state.Load() != brUp }
+
+// State names the backend's breaker state for stats and logs.
+func (b *Backend) State() string {
+	switch b.br.state.Load() {
+	case brDown:
+		return "down"
+	case brProbe:
+		return "probe"
+	default:
+		return "up"
+	}
+}
+
+// tryClaimProbe attempts to claim b for a half-open probe: a Down
+// backend past its cooldown, or a Probe backend whose outstanding probe
+// went stale. The CAS guarantees one claimant per window.
+func (c *Cluster) tryClaimProbe(b *Backend, now int64) bool {
+	switch b.br.state.Load() {
+	case brDown:
+		if now >= b.br.retryAt.Load() && b.br.state.CompareAndSwap(brDown, brProbe) {
+			b.br.probeAt.Store(now)
+			c.nBrProbes.Add(1)
+			return true
+		}
+	case brProbe:
+		at := b.br.probeAt.Load()
+		if now-at > int64(c.cfg.Breaker.ProbeTimeout) && b.br.probeAt.CompareAndSwap(at, now) {
+			c.nBrProbes.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// noteBackendFailure records a transport-level failure against b's
+// breaker. refused marks a synchronous dispatch refusal — the transport
+// already knows the peer is unreachable (ErrDialBackoff, closed
+// manager) — which trips immediately instead of burning Threshold
+// requests on a known-dead backend. A failed probe also re-trips
+// immediately.
+func (c *Cluster) noteBackendFailure(b *Backend, refused bool) {
+	if c.cfg.Breaker.Disabled {
+		return
+	}
+	f := b.br.fails.Add(1)
+	st := b.br.state.Load()
+	if refused || st == brProbe || int(f) >= c.cfg.Breaker.Threshold {
+		b.br.retryAt.Store(nanotime() + int64(c.cfg.Breaker.Cooldown))
+		if b.br.state.Swap(brDown) != brDown {
+			c.nBrTrips.Add(1)
+		}
+	}
+}
+
+// noteBackendSuccess records a final reply from b: the failure streak
+// resets and a Down/Probe backend is readmitted. An application-level
+// StatusError counts — the transport works; the verdict is the app's.
+func (c *Cluster) noteBackendSuccess(b *Backend) {
+	if c.cfg.Breaker.Disabled {
+		return
+	}
+	if b.br.fails.Load() != 0 {
+		b.br.fails.Store(0)
+	}
+	if b.br.state.Load() != brUp && b.br.state.Swap(brUp) != brUp {
+		c.nBrReadmits.Add(1)
+	}
+}

@@ -1,0 +1,420 @@
+package cluster
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zygos/internal/proto"
+)
+
+// trip forces b Down with a cooldown too far out for any probe claim,
+// the state a sustained dial backoff leaves behind.
+func trip(b *Backend) {
+	b.br.state.Store(brDown)
+	b.br.retryAt.Store(nanotime() + int64(time.Hour))
+}
+
+// A synchronous dispatch refusal means the transport already knows the
+// peer is unreachable, so it must trip the breaker immediately — and
+// later requests must route around the backend instead of burning
+// their single failover attempt rediscovering it.
+func TestBreakerSyncRefusalTripsAndSkips(t *testing.T) {
+	dialErr := errors.New("dial backoff")
+	bad := &fakeCaller{name: "bad", err: dialErr}
+	good := &fakeCaller{name: "good", autoReply: []byte("ok")}
+
+	cl := New(Config{
+		Policy:  JSQ, // ties break to the first backend: primary is deterministic
+		Breaker: BreakerConfig{Cooldown: time.Hour},
+	})
+	cl.Add("bad", bad)
+	cl.Add("good", good)
+	defer cl.Close()
+
+	// First request discovers the refusal: primary refused, breaker
+	// trips, the failover serves it.
+	resp, err := cl.CallMethod(1, []byte("x"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("first call: resp=%q err=%v", resp, err)
+	}
+	s := cl.Stats()
+	if s.BreakerTrips != 1 || s.Failovers != 1 {
+		t.Fatalf("after discovery: trips=%d failovers=%d, want 1/1", s.BreakerTrips, s.Failovers)
+	}
+
+	// Later requests skip the tripped backend at pick time: no more
+	// failovers, no more sends into the refusing transport.
+	var refusals atomic.Int32
+	bad.hook = func() { refusals.Add(1) }
+	for i := 0; i < 10; i++ {
+		if resp, err := cl.CallMethod(1, []byte("x")); err != nil || string(resp) != "ok" {
+			t.Fatalf("call %d: resp=%q err=%v", i, resp, err)
+		}
+	}
+	s = cl.Stats()
+	if s.Failovers != 1 {
+		t.Fatalf("tripped backend still burns failovers: %d, want 1", s.Failovers)
+	}
+	if n := refusals.Load(); n != 0 {
+		t.Fatalf("tripped backend received %d sends, want 0", n)
+	}
+	if st := cl.Backends()[0].State(); st != "down" {
+		t.Fatalf("refusing backend state %q, want down", st)
+	}
+}
+
+// Asynchronous transport failures trip only after Threshold consecutive
+// losses: one flaky reply must not eject a backend.
+func TestBreakerThresholdTrips(t *testing.T) {
+	transportErr := errors.New("conn reset")
+	h := &fakeCaller{name: "h"}
+	cl := New(Config{
+		Policy:  JSQ,
+		Breaker: BreakerConfig{Threshold: 3, Cooldown: time.Hour},
+	})
+	b := cl.Add("h", h)
+	defer cl.Close()
+
+	for i := 1; i <= 3; i++ {
+		done := make(chan error, 1)
+		if err := cl.SendMethodAsync(1, []byte("x"), func(_ []byte, err error) { done <- err }); err != nil {
+			t.Fatalf("send %d refused: %v", i, err)
+		}
+		h.fail(transportErr)
+		if err := <-done; !errors.Is(err, transportErr) {
+			t.Fatalf("send %d settled with %v, want transport error", i, err)
+		}
+		if i < 3 {
+			if st := b.State(); st != "up" {
+				t.Fatalf("backend tripped after %d failures (threshold 3): %q", i, st)
+			}
+		}
+	}
+	if st := b.State(); st != "down" {
+		t.Fatalf("backend state %q after 3 consecutive failures, want down", st)
+	}
+	if s := cl.Stats(); s.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", s.BreakerTrips)
+	}
+}
+
+// After the cooldown a primary request claims the Down backend as its
+// half-open probe; a successful probe readmits it.
+func TestBreakerProbeReadmits(t *testing.T) {
+	h := &fakeCaller{name: "h", err: errors.New("dial backoff")}
+	cl := New(Config{
+		Policy:  JSQ,
+		Breaker: BreakerConfig{Cooldown: time.Millisecond},
+	})
+	b := cl.Add("h", h)
+	defer cl.Close()
+
+	// Trip via sync refusal; the lone backend leaves no failover, so the
+	// call surfaces the refusal.
+	if _, err := cl.CallMethod(1, []byte("x")); err == nil {
+		t.Fatal("call against a refusing lone backend succeeded")
+	}
+	if st := b.State(); st != "down" {
+		t.Fatalf("state %q after refusal, want down", st)
+	}
+
+	// Peer recovers; after the cooldown the next primary pick probes it.
+	h.mu.Lock()
+	h.err = nil
+	h.autoReply = []byte("ok")
+	h.mu.Unlock()
+	time.Sleep(5 * time.Millisecond)
+
+	resp, err := cl.CallMethod(1, []byte("x"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("probe call: resp=%q err=%v", resp, err)
+	}
+	if st := b.State(); st != "up" {
+		t.Fatalf("state %q after successful probe, want up", st)
+	}
+	s := cl.Stats()
+	if s.BreakerProbes != 1 || s.BreakerReadmits != 1 {
+		t.Fatalf("probes=%d readmits=%d, want 1/1", s.BreakerProbes, s.BreakerReadmits)
+	}
+}
+
+// A failed probe re-trips immediately and re-arms the cooldown — the
+// backend must not flap between Probe and eligible.
+func TestBreakerFailedProbeRetrips(t *testing.T) {
+	h := &fakeCaller{name: "h", err: errors.New("dial backoff")}
+	cl := New(Config{
+		Policy:  JSQ,
+		Breaker: BreakerConfig{Cooldown: time.Millisecond},
+	})
+	b := cl.Add("h", h)
+	defer cl.Close()
+
+	if _, err := cl.CallMethod(1, []byte("x")); err == nil {
+		t.Fatal("call against a refusing lone backend succeeded")
+	}
+	time.Sleep(5 * time.Millisecond)
+	// Still refusing: the probe is claimed, refused, and re-trips.
+	if _, err := cl.CallMethod(1, []byte("x")); err == nil {
+		t.Fatal("probe against a still-refusing backend succeeded")
+	}
+	if st := b.State(); st != "down" {
+		t.Fatalf("state %q after failed probe, want down", st)
+	}
+	s := cl.Stats()
+	if s.BreakerProbes != 1 || s.BreakerTrips != 2 {
+		t.Fatalf("probes=%d trips=%d, want 1/2", s.BreakerProbes, s.BreakerTrips)
+	}
+}
+
+// Hedge (rescue) picks must skip tripped backends rather than duplicate
+// a request onto a peer known to be down.
+func TestHedgeSkipsTrippedBackend(t *testing.T) {
+	holder := &fakeCaller{name: "holder"} // parks the primary attempt
+	refuser := &fakeCaller{name: "refuser", err: errors.New("dial backoff")}
+	good := &fakeCaller{name: "good", autoReply: []byte("ok")}
+	var refuserSends atomic.Int32
+	refuser.hook = func() { refuserSends.Add(1) }
+
+	cl := New(Config{
+		Policy:  JSQ,
+		Hedge:   HedgeConfig{Enabled: true, MaxDelay: 2 * time.Millisecond},
+		Breaker: BreakerConfig{Cooldown: time.Hour},
+	})
+	cl.Add("holder", holder)
+	rb := cl.Add("refuser", refuser)
+	cl.Add("good", good)
+	defer cl.Close()
+	trip(rb) // sustained dial backoff already tripped it
+
+	resp, err := cl.CallMethod(1, []byte("x"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("resp=%q err=%v", resp, err)
+	}
+	s := cl.Stats()
+	if s.Hedges != 1 || s.HedgeWins != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1/1", s.Hedges, s.HedgeWins)
+	}
+	if n := refuserSends.Load(); n != 0 {
+		t.Fatalf("hedge dispatched %d sends to the tripped backend, want 0", n)
+	}
+	holder.fail(errors.New("late teardown")) // drain the parked primary
+}
+
+// Remove drops a member: the view shrinks, the ring rebuilds, and
+// keyed traffic keeps routing over the survivors.
+func TestClusterRemove(t *testing.T) {
+	cl := New(Config{
+		Policy:   JSQ,
+		Replicas: 2,
+		KeyFunc: func(method uint16, payload []byte) ([]byte, bool, bool) {
+			return payload, false, true
+		},
+	})
+	for _, n := range []string{"a", "b", "c"} {
+		cl.Add(n, &fakeCaller{name: n, autoReply: []byte(n)})
+	}
+	defer cl.Close()
+
+	if rb := cl.Remove("b"); rb == nil || rb.name != "b" {
+		t.Fatalf("Remove(b) = %v", rb)
+	}
+	if rb := cl.Remove("nope"); rb != nil {
+		t.Fatalf("Remove of an absent member returned %v", rb)
+	}
+	if bs := cl.Backends(); len(bs) != 2 {
+		t.Fatalf("Backends() has %d members after Remove, want 2", len(bs))
+	}
+	mv := cl.view.Load().(*membership)
+	owners := mv.ring.owners([]byte("key"), 2, mv.bs)
+	if len(owners) != 2 {
+		t.Fatalf("ring yields %d owners over 2 survivors, want 2", len(owners))
+	}
+	for _, o := range owners {
+		if o.name == "b" {
+			t.Fatal("removed backend still owns keys on the ring")
+		}
+	}
+	resp, err := cl.CallMethod(5, []byte("key"))
+	if err != nil || (string(resp) != "a" && string(resp) != "c") {
+		t.Fatalf("keyed call after Remove: resp=%q err=%v", resp, err)
+	}
+}
+
+// Close must settle an op whose hedge timer is still armed: the
+// callback fires promptly with ErrClusterClosed and the cancelled timer
+// never hedges into the dead cluster.
+func TestCloseSettlesArmedHedge(t *testing.T) {
+	holder := &fakeCaller{name: "holder"}
+	cl := New(Config{
+		Policy: JSQ,
+		Hedge:  HedgeConfig{Enabled: true, MaxDelay: time.Hour}, // armed, never fires
+	})
+	cl.Add("holder", holder)
+
+	var fires atomic.Int32
+	done := make(chan error, 1)
+	if err := cl.SendMethodAsync(1, []byte("x"), func(_ []byte, err error) {
+		fires.Add(1)
+		done <- err
+	}); err != nil {
+		t.Fatalf("SendMethodAsync: %v", err)
+	}
+
+	cl.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClusterClosed) {
+			t.Fatalf("op settled with %v, want ErrClusterClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left the op hanging behind its armed hedge timer")
+	}
+
+	time.Sleep(10 * time.Millisecond)
+	if n := fires.Load(); n != 1 {
+		t.Fatalf("callback fired %d times, want exactly 1", n)
+	}
+	if s := cl.Stats(); s.Hedges != 0 {
+		t.Fatalf("hedge fired after Close: Hedges = %d, want 0", s.Hedges)
+	}
+	if err := cl.SendMethodAsync(1, []byte("x"), func([]byte, error) {}); !errors.Is(err, ErrClusterClosed) {
+		t.Fatalf("send after Close returned %v, want ErrClusterClosed", err)
+	}
+	holder.fail(errors.New("late teardown")) // the late verdict must be a no-op
+	time.Sleep(time.Millisecond)
+	if n := fires.Load(); n != 1 {
+		t.Fatalf("late transport verdict re-fired the callback: %d fires", n)
+	}
+}
+
+// A call against a backend that swallows the request must return within
+// its deadline budget, and the late verdict must be discarded.
+func TestCallDeadlineExpires(t *testing.T) {
+	blackhole := &fakeCaller{name: "blackhole"} // parks every send forever
+	cl := New(Config{
+		Policy:      JSQ,
+		CallTimeout: 30 * time.Millisecond,
+	})
+	cl.Add("blackhole", blackhole)
+	defer cl.Close()
+
+	start := time.Now()
+	_, err := cl.CallMethod(1, []byte("x"))
+	if !errors.Is(err, proto.ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", el)
+	}
+	if s := cl.Stats(); s.DeadlinesExpired != 1 {
+		t.Fatalf("DeadlinesExpired = %d, want 1", s.DeadlinesExpired)
+	}
+
+	// Per-call override beats the config default.
+	start = time.Now()
+	if _, err := cl.CallMethodTimeout(1, []byte("x"), 5*time.Millisecond); !errors.Is(err, proto.ErrCallTimeout) {
+		t.Fatalf("override err = %v, want ErrCallTimeout", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("override deadline took %v", el)
+	}
+	blackhole.fail(errors.New("late teardown")) // late verdicts into settled ops
+	if s := cl.Stats(); s.DeadlinesExpired != 2 {
+		t.Fatalf("DeadlinesExpired = %d, want 2", s.DeadlinesExpired)
+	}
+}
+
+// effTimeout resolves the per-call override against the configured
+// default: positive wins, zero inherits, negative disables.
+func TestEffTimeout(t *testing.T) {
+	cl := New(Config{CallTimeout: 7 * time.Second})
+	defer cl.Close()
+	if got := cl.effTimeout(time.Second); got != time.Second {
+		t.Fatalf("effTimeout(1s) = %v", got)
+	}
+	if got := cl.effTimeout(0); got != 7*time.Second {
+		t.Fatalf("effTimeout(0) = %v, want config default", got)
+	}
+	if got := cl.effTimeout(-1); got != 0 {
+		t.Fatalf("effTimeout(-1) = %v, want 0 (disabled)", got)
+	}
+}
+
+// When every ring owner is Down, a keyed read escapes to a healthy
+// non-owner — unless NoReadFallback pins it to the owner set.
+func TestKeyedReadFallback(t *testing.T) {
+	keyed := func(method uint16, payload []byte) ([]byte, bool, bool) {
+		return payload, false, true
+	}
+	build := func(noFallback bool) (*Cluster, *Backend, *Backend) {
+		cl := New(Config{
+			Policy:         JSQ,
+			Replicas:       1,
+			KeyFunc:        keyed,
+			NoReadFallback: noFallback,
+			Breaker:        BreakerConfig{Cooldown: time.Hour},
+		})
+		cl.Add("a", &fakeCaller{name: "a", autoReply: []byte("a")})
+		cl.Add("b", &fakeCaller{name: "b", autoReply: []byte("b")})
+		mv := cl.view.Load().(*membership)
+		owner := mv.ring.owners([]byte("key"), 1, mv.bs)[0]
+		other := mv.bs[0]
+		if other == owner {
+			other = mv.bs[1]
+		}
+		return cl, owner, other
+	}
+
+	cl, owner, other := build(false)
+	trip(owner)
+	resp, err := cl.CallMethod(5, []byte("key"))
+	if err != nil || string(resp) != other.name {
+		t.Fatalf("fallback read: resp=%q err=%v, want %q", resp, err, other.name)
+	}
+	if s := cl.Stats(); s.ReadFallbacks != 1 {
+		t.Fatalf("ReadFallbacks = %d, want 1", s.ReadFallbacks)
+	}
+	cl.Close()
+
+	// NoReadFallback: the read stays on the owner set even when it is
+	// Down — the health-blind last resort doubles as an early probe.
+	cl, owner, _ = build(true)
+	trip(owner)
+	resp, err = cl.CallMethod(5, []byte("key"))
+	if err != nil || string(resp) != owner.name {
+		t.Fatalf("pinned read: resp=%q err=%v, want owner %q", resp, err, owner.name)
+	}
+	if s := cl.Stats(); s.ReadFallbacks != 0 {
+		t.Fatalf("NoReadFallback still counted %d fallbacks", s.ReadFallbacks)
+	}
+	cl.Close()
+}
+
+// Keyed writes never fall back off the ring: a write landing on a
+// non-owner is silent data misplacement.
+func TestKeyedWriteNeverFallsBack(t *testing.T) {
+	cl := New(Config{
+		Policy:   JSQ,
+		Replicas: 1,
+		KeyFunc: func(method uint16, payload []byte) ([]byte, bool, bool) {
+			return payload, true, true
+		},
+		Breaker: BreakerConfig{Cooldown: time.Hour},
+	})
+	cl.Add("a", &fakeCaller{name: "a", autoReply: []byte("a")})
+	cl.Add("b", &fakeCaller{name: "b", autoReply: []byte("b")})
+	defer cl.Close()
+	mv := cl.view.Load().(*membership)
+	owner := mv.ring.owners([]byte("key"), 1, mv.bs)[0]
+	trip(owner)
+
+	resp, err := cl.CallMethod(5, []byte("key"))
+	if err != nil || string(resp) != owner.name {
+		t.Fatalf("write resp=%q err=%v, want owner %q (never off-ring)", resp, err, owner.name)
+	}
+	if s := cl.Stats(); s.ReadFallbacks != 0 {
+		t.Fatalf("write counted %d read fallbacks", s.ReadFallbacks)
+	}
+}

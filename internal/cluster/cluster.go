@@ -62,8 +62,12 @@ type depthSource interface {
 var (
 	// ErrNoBackends reports a cluster with no (eligible) backends.
 	ErrNoBackends = errors.New("cluster: no backends")
-	// ErrClosed reports calls on a closed cluster.
-	ErrClosed = errors.New("cluster: closed")
+	// ErrClusterClosed reports calls on a closed cluster; requests still
+	// in flight when Close runs settle with it too, so every callback
+	// fires exactly once even across shutdown.
+	ErrClusterClosed = errors.New("cluster: closed")
+	// ErrClosed is the pre-hardening name for ErrClusterClosed.
+	ErrClosed = ErrClusterClosed
 )
 
 // Policy selects how the balancer spreads unkeyed requests.
@@ -136,6 +140,21 @@ type Config struct {
 	// DepthTTL bounds how long a piggybacked depth report keeps
 	// counting toward a backend's score; defaults to 10ms.
 	DepthTTL time.Duration
+	// CallTimeout is the default per-request deadline: a request with no
+	// final reply after this long settles with proto.ErrCallTimeout,
+	// even against a blackholed backend. 0 means no deadline (the
+	// pre-hardening behaviour); per-call CallTimeout/CallMethodTimeout
+	// override it.
+	CallTimeout time.Duration
+	// Breaker parameterizes per-backend health tracking; the zero value
+	// enables it with defaults.
+	Breaker BreakerConfig
+	// NoReadFallback keeps keyed reads pinned to their ring owners even
+	// when every owner is tripped Down. Default (false): a keyed read
+	// whose owners are all unhealthy falls back to any healthy backend —
+	// potentially stale, but bounded staleness beats unavailability for
+	// most kv reads.
+	NoReadFallback bool
 }
 
 const (
@@ -161,6 +180,10 @@ type Backend struct {
 	// depth (piggybacked health frame) and its arrival time.
 	depth   atomic.Uint32
 	depthAt atomic.Int64
+
+	// br is the per-backend circuit breaker (see breaker.go). Zero value
+	// is Up.
+	br breaker
 }
 
 // Name returns the identifier the backend was added under.
@@ -226,9 +249,21 @@ func excluded(b *Backend, exclude []*Backend) bool {
 	return false
 }
 
+// ineligible reports whether b is out of the running: already tried by
+// this request, or rejected by the health predicate.
+func ineligible(b *Backend, exclude []*Backend, skip func(*Backend) bool) bool {
+	return excluded(b, exclude) || (skip != nil && skip(b))
+}
+
 // Pick selects a backend from bs by policy, skipping exclude (backends
 // already tried by this request). Returns nil if none is eligible.
 func (bl *Balancer) Pick(bs []*Backend, exclude []*Backend) *Backend {
+	return bl.pick(bs, exclude, nil)
+}
+
+// pick is Pick with a health predicate: backends for which skip returns
+// true are treated like excluded ones.
+func (bl *Balancer) pick(bs []*Backend, exclude []*Backend, skip func(*Backend) bool) *Backend {
 	n := len(bs)
 	if n == 0 {
 		return nil
@@ -244,15 +279,15 @@ func (bl *Balancer) Pick(bs []*Backend, exclude []*Backend) *Backend {
 				j++
 			}
 			a, b := bs[i], bs[j]
-			if excluded(a, exclude) {
+			if ineligible(a, exclude, skip) {
 				a = nil
 			}
-			if excluded(b, exclude) {
+			if ineligible(b, exclude, skip) {
 				b = nil
 			}
 			switch {
 			case a == nil && b == nil:
-				return bl.Least(bs, exclude)
+				return bl.least(bs, exclude, skip)
 			case a == nil:
 				return b
 			case b == nil:
@@ -265,14 +300,14 @@ func (bl *Balancer) Pick(bs []*Backend, exclude []*Backend) *Backend {
 		}
 		// Too few distinct candidates for a random pair; degrade to a
 		// full scan.
-		return bl.Least(bs, exclude)
+		return bl.least(bs, exclude, skip)
 	case JSQ:
-		return bl.Least(bs, exclude)
+		return bl.least(bs, exclude, skip)
 	default: // RoundRobin
 		start := bl.rr.Add(1)
 		for k := 0; k < n; k++ {
 			b := bs[int((start+uint64(k))%uint64(n))]
-			if !excluded(b, exclude) {
+			if !ineligible(b, exclude, skip) {
 				return b
 			}
 		}
@@ -282,11 +317,16 @@ func (bl *Balancer) Pick(bs []*Backend, exclude []*Backend) *Backend {
 
 // Least returns the lowest-score backend in bs, skipping exclude.
 func (bl *Balancer) Least(bs []*Backend, exclude []*Backend) *Backend {
+	return bl.least(bs, exclude, nil)
+}
+
+// least is Least with a health predicate.
+func (bl *Balancer) least(bs []*Backend, exclude []*Backend, skip func(*Backend) bool) *Backend {
 	now := nanotime()
 	var best *Backend
 	var bestScore int64
 	for _, b := range bs {
-		if excluded(b, exclude) {
+		if ineligible(b, exclude, skip) {
 			continue
 		}
 		s := b.score(now, bl.ttl)
@@ -304,19 +344,30 @@ type Cluster struct {
 	cfg Config
 	bal *Balancer
 
-	mu       sync.Mutex   // guards Add rebuilding the views below
-	backends atomic.Value // []*Backend
-	ring     atomic.Value // *hashRing
+	mu   sync.Mutex   // guards Add/Remove rebuilding the view below
+	view atomic.Value // *membership
 
 	trackers sync.Map // trackerKey (uint32) → *tracker
 	closed   atomic.Bool
 
-	nCalls       atomic.Uint64
-	nHedges      atomic.Uint64
-	nHedgeWins   atomic.Uint64
-	nFailovers   atomic.Uint64
-	nLosers      atomic.Uint64
-	nReplicaErrs atomic.Uint64
+	// opMu guards ops, the registry of undecided requests. Close settles
+	// every registered op with ErrClusterClosed — cancelling its hedge
+	// and deadline timers — instead of relying on transport teardown to
+	// fail them eventually (or never, for a blackholed backend).
+	opMu sync.Mutex
+	ops  map[*op]struct{}
+
+	nCalls        atomic.Uint64
+	nHedges       atomic.Uint64
+	nHedgeWins    atomic.Uint64
+	nFailovers    atomic.Uint64
+	nLosers       atomic.Uint64
+	nReplicaErrs  atomic.Uint64
+	nBrTrips      atomic.Uint64
+	nBrProbes     atomic.Uint64
+	nBrReadmits   atomic.Uint64
+	nDeadlines    atomic.Uint64
+	nReadFallback atomic.Uint64
 }
 
 // New creates an empty cluster; wire members in with Add.
@@ -333,10 +384,31 @@ func New(cfg Config) *Cluster {
 	if cfg.Replicas < 1 {
 		cfg.Replicas = 1
 	}
-	c := &Cluster{cfg: cfg, bal: NewBalancer(cfg.Policy, cfg.DepthTTL)}
-	c.backends.Store([]*Backend(nil))
-	c.ring.Store((*hashRing)(nil))
+	if cfg.Breaker.Threshold <= 0 {
+		cfg.Breaker.Threshold = defaultBrThreshold
+	}
+	if cfg.Breaker.Cooldown <= 0 {
+		cfg.Breaker.Cooldown = defaultBrCooldown
+	}
+	if cfg.Breaker.ProbeTimeout <= 0 {
+		cfg.Breaker.ProbeTimeout = defaultBrProbeTimeout
+	}
+	c := &Cluster{
+		cfg: cfg,
+		bal: NewBalancer(cfg.Policy, cfg.DepthTTL),
+		ops: make(map[*op]struct{}),
+	}
+	c.view.Store(&membership{})
 	return c
+}
+
+// membership is one immutable (backends, ring) snapshot. Bundling the
+// two in a single atomic value means a lookup can never pair a ring with
+// a differently-sized backend slice — which, after Remove, would resolve
+// vnode indices out of range.
+type membership struct {
+	bs   []*Backend
+	ring *hashRing
 }
 
 // Add registers a backend under name. If the transport exposes OnDepth
@@ -349,19 +421,43 @@ func (c *Cluster) Add(name string, caller Caller) *Backend {
 		ds.OnDepth(b.NoteDepth)
 	}
 	c.mu.Lock()
-	old := c.backends.Load().([]*Backend)
+	old := c.Backends()
 	bs := make([]*Backend, len(old), len(old)+1)
 	copy(bs, old)
 	bs = append(bs, b)
-	c.backends.Store(bs)
-	c.ring.Store(buildRing(bs))
+	c.view.Store(&membership{bs: bs, ring: buildRing(bs)})
 	c.mu.Unlock()
 	return b
 }
 
+// Remove drops the backend registered under name from the membership:
+// the ring is rebuilt and no new picks will select it, but requests
+// already dispatched to it complete normally. The removed Backend is
+// returned so the caller can Close its transport once drained (the
+// cluster does not, since the caller may own pooled connections shared
+// elsewhere); nil if no backend has that name.
+func (c *Cluster) Remove(name string) *Backend {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.Backends()
+	var removed *Backend
+	bs := make([]*Backend, 0, len(old))
+	for _, b := range old {
+		if removed == nil && b.name == name {
+			removed = b
+			continue
+		}
+		bs = append(bs, b)
+	}
+	if removed != nil {
+		c.view.Store(&membership{bs: bs, ring: buildRing(bs)})
+	}
+	return removed
+}
+
 // Backends returns the current membership snapshot.
 func (c *Cluster) Backends() []*Backend {
-	return c.backends.Load().([]*Backend)
+	return c.view.Load().(*membership).bs
 }
 
 // Stats is a snapshot of the cluster's tail-management counters.
@@ -383,6 +479,19 @@ type Stats struct {
 	// alone, so without this counter a dropped secondary write — and
 	// the stale reads it causes on that replica — would be invisible.
 	ReplicaWriteFailures uint64
+	// BreakerTrips counts backend transitions to Down.
+	BreakerTrips uint64
+	// BreakerProbes counts half-open probe requests claimed against
+	// cooled-down backends.
+	BreakerProbes uint64
+	// BreakerReadmits counts Down/Probe backends restored to Up by a
+	// successful reply.
+	BreakerReadmits uint64
+	// DeadlinesExpired counts requests settled with ErrCallTimeout.
+	DeadlinesExpired uint64
+	// ReadFallbacks counts keyed reads served by a non-owner because
+	// every ring owner was tripped Down.
+	ReadFallbacks uint64
 	// Backends is the per-member load view.
 	Backends []BackendStats
 }
@@ -395,6 +504,10 @@ type BackendStats struct {
 	// DepthAge is how long ago the depth report arrived; negative if
 	// none ever has.
 	DepthAge time.Duration
+	// State is the breaker state: "up", "down", or "probe".
+	State string
+	// Fails is the consecutive transport-failure streak.
+	Fails int32
 }
 
 // Stats snapshots the counters.
@@ -407,6 +520,11 @@ func (c *Cluster) Stats() Stats {
 		Failovers:            c.nFailovers.Load(),
 		Losers:               c.nLosers.Load(),
 		ReplicaWriteFailures: c.nReplicaErrs.Load(),
+		BreakerTrips:         c.nBrTrips.Load(),
+		BreakerProbes:        c.nBrProbes.Load(),
+		BreakerReadmits:      c.nBrReadmits.Load(),
+		DeadlinesExpired:     c.nDeadlines.Load(),
+		ReadFallbacks:        c.nReadFallback.Load(),
 		Backends:             make([]BackendStats, len(bs)),
 	}
 	now := nanotime()
@@ -420,29 +538,123 @@ func (c *Cluster) Stats() Stats {
 			Inflight: b.inflight.Load(),
 			Depth:    b.depth.Load(),
 			DepthAge: age,
+			State:    b.State(),
+			Fails:    b.br.fails.Load(),
 		}
 	}
 	return s
 }
 
-// Close closes every backend connection; outstanding calls fail through
-// their transports.
+// Close settles every in-flight request with ErrClusterClosed —
+// cancelling pending hedge and deadline timers so none can fire into a
+// dead cluster — then closes the backend connections. Every callback
+// still fires exactly once; replies racing Close are dropped as losers.
 func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
+	}
+	// Snapshot under opMu: trackOp re-checks closed under the same lock,
+	// so an op missing from this snapshot was either already settled or
+	// refused registration — nothing slips between.
+	c.opMu.Lock()
+	pending := make([]*op, 0, len(c.ops))
+	for o := range c.ops {
+		pending = append(pending, o)
+	}
+	c.opMu.Unlock()
+	for _, o := range pending {
+		o.mu.Lock()
+		if o.done {
+			o.mu.Unlock()
+			continue
+		}
+		o.settleLocked()
+		o.cb(nil, ErrClusterClosed)
 	}
 	for _, b := range c.Backends() {
 		b.c.Close()
 	}
 }
 
-// pickFor selects the next backend for a request: least-loaded among
-// the key's owners when the request is keyed, policy pick otherwise.
-func (c *Cluster) pickFor(owners []*Backend, tried []*Backend) *Backend {
-	if len(owners) > 0 {
-		return c.bal.Least(owners, tried)
+// trackOp registers an undecided op for settlement at Close. It returns
+// false — and the op must not dispatch — when the cluster is already
+// closed; checking under opMu closes the race against Close's snapshot.
+func (c *Cluster) trackOp(o *op) bool {
+	c.opMu.Lock()
+	if c.closed.Load() {
+		c.opMu.Unlock()
+		return false
 	}
-	return c.bal.Pick(c.Backends(), tried)
+	c.ops[o] = struct{}{}
+	c.opMu.Unlock()
+	return true
+}
+
+func (c *Cluster) untrackOp(o *op) {
+	c.opMu.Lock()
+	delete(c.ops, o)
+	c.opMu.Unlock()
+}
+
+// pickFor selects the next backend for a request: least-loaded among
+// the key's owners when the request is keyed, policy pick otherwise —
+// in both cases preferring breaker-healthy backends.
+//
+// probe marks primary picks: a cooled-down Down backend may claim the
+// request as its half-open probe, and when every candidate is tripped
+// the pick falls through to health-blind (the attempt doubles as an
+// early probe rather than inventing a fail-fast mode primaries never
+// had). Rescue picks (hedges, failovers) instead return nil when
+// nothing healthy remains — duplicating a request onto a backend known
+// to be down is pure waste.
+//
+// fallback lets a keyed read escape to any healthy non-owner when every
+// ring owner is down; writes never set it (a write landing off-ring is
+// silent data misplacement).
+func (c *Cluster) pickFor(owners []*Backend, tried []*Backend, probe, fallback bool) *Backend {
+	keyed := len(owners) > 0
+	pool := owners
+	if !keyed {
+		pool = c.Backends()
+	}
+	if c.cfg.Breaker.Disabled {
+		return c.rawPick(pool, tried, keyed)
+	}
+	if probe {
+		now := nanotime()
+		for _, b := range pool {
+			if !excluded(b, tried) && c.tryClaimProbe(b, now) {
+				return b
+			}
+		}
+	}
+	if b := c.healthyPick(pool, tried, keyed); b != nil {
+		return b
+	}
+	if keyed && fallback && !c.cfg.NoReadFallback {
+		if b := c.healthyPick(c.Backends(), tried, false); b != nil {
+			c.nReadFallback.Add(1)
+			return b
+		}
+	}
+	if probe {
+		return c.rawPick(pool, tried, keyed)
+	}
+	return nil
+}
+
+func (c *Cluster) rawPick(pool, tried []*Backend, keyed bool) *Backend {
+	if keyed {
+		return c.bal.Least(pool, tried)
+	}
+	return c.bal.Pick(pool, tried)
+}
+
+func (c *Cluster) healthyPick(pool, tried []*Backend, keyed bool) *Backend {
+	if keyed {
+		return c.bal.least(pool, tried, brUnhealthy)
+	}
+	return c.bal.pick(pool, tried, brUnhealthy)
 }
 
 // route resolves keyed routing for a request: the owner set and whether
@@ -456,11 +668,11 @@ func (c *Cluster) route(method uint16, legacy bool, payload []byte) (owners []*B
 	if !ok {
 		return nil, false
 	}
-	ring := c.ring.Load().(*hashRing)
-	if ring == nil {
+	mv := c.view.Load().(*membership)
+	if mv.ring == nil {
 		return nil, false
 	}
-	return ring.owners(key, c.cfg.Replicas, c.Backends()), w
+	return mv.ring.owners(key, c.cfg.Replicas, mv.bs), w
 }
 
 // op is one logical request in flight: up to maxAttempts sends racing,
@@ -473,12 +685,17 @@ type op struct {
 	cb      func(resp []byte, err error)
 	owners  []*Backend // non-nil restricts rescue picks to the replica set
 
+	// fallback permits keyed-read escape to a non-owner when every owner
+	// is tripped Down; never set for writes.
+	fallback bool
+
 	mu          sync.Mutex
 	done        bool
 	attempts    int
 	outstanding int
 	tried       []*Backend
-	timer       *time.Timer
+	timer       *time.Timer // hedge
+	dtimer      *time.Timer // deadline
 }
 
 // dispatch issues one attempt to b. On synchronous error the callback
@@ -495,6 +712,10 @@ func (o *op) dispatch(b *Backend, isHedge bool) error {
 	}
 	if err != nil {
 		b.inflight.Add(-1)
+		// A synchronous refusal means the transport already knows the
+		// peer is unreachable (dial backoff, closed manager): trip now so
+		// later picks — including this op's own rescues — skip it.
+		o.c.noteBackendFailure(b, true)
 	}
 	return err
 }
@@ -505,6 +726,11 @@ func (o *op) dispatch(b *Backend, isHedge bool) error {
 func (o *op) finish(b *Backend, isHedge bool, start time.Time, resp []byte, err error) {
 	b.inflight.Add(-1)
 	final := err == nil || isStatusErr(err)
+	if final {
+		o.c.noteBackendSuccess(b)
+	} else {
+		o.c.noteBackendFailure(b, false)
+	}
 	o.mu.Lock()
 	o.outstanding--
 	if o.done {
@@ -530,7 +756,7 @@ func (o *op) finish(b *Backend, isHedge bool, start time.Time, resp []byte, err 
 		return
 	}
 	if o.attempts < maxAttempts && !o.c.closed.Load() {
-		if nb := o.c.pickFor(o.owners, o.tried); nb != nil {
+		if nb := o.c.pickFor(o.owners, o.tried, false, o.fallback); nb != nil {
 			o.attempts++
 			o.outstanding++
 			o.tried = append(o.tried, nb)
@@ -573,7 +799,7 @@ func (o *op) noteDispatchFailed(err error) {
 		if o.attempts >= maxAttempts || o.c.closed.Load() {
 			break
 		}
-		nb := o.c.pickFor(o.owners, o.tried)
+		nb := o.c.pickFor(o.owners, o.tried, false, o.fallback)
 		if nb == nil {
 			break
 		}
@@ -591,14 +817,21 @@ func (o *op) noteDispatchFailed(err error) {
 	o.cb(nil, err)
 }
 
-// settleLocked marks the op decided and stops the hedge timer. Caller
-// holds o.mu; it is released here so cb runs lock-free.
+// settleLocked marks the op decided, stops its hedge and deadline
+// timers, and deregisters it from the Close registry. Caller holds
+// o.mu; it is released here so cb runs lock-free. (The registry lock is
+// only taken after o.mu is dropped, so settle and Close can never
+// deadlock against each other.)
 func (o *op) settleLocked() {
 	o.done = true
 	if o.timer != nil {
 		o.timer.Stop()
 	}
+	if o.dtimer != nil {
+		o.dtimer.Stop()
+	}
 	o.mu.Unlock()
+	o.c.untrackOp(o)
 }
 
 // fireHedge runs on the hedge timer: the primary is outstanding past
@@ -609,7 +842,7 @@ func (o *op) fireHedge() {
 		o.mu.Unlock()
 		return
 	}
-	nb := o.c.pickFor(o.owners, o.tried)
+	nb := o.c.pickFor(o.owners, o.tried, false, o.fallback)
 	if nb == nil {
 		o.mu.Unlock()
 		return
@@ -624,11 +857,41 @@ func (o *op) fireHedge() {
 	}
 }
 
+// fireDeadline runs on the deadline timer: the op has no final reply
+// within its budget, so settle with ErrCallTimeout now. Attempts still
+// racing resolve as losers; a blackholed backend cannot hold the caller
+// hostage.
+func (o *op) fireDeadline() {
+	o.mu.Lock()
+	if o.done {
+		o.mu.Unlock()
+		return
+	}
+	o.c.nDeadlines.Add(1)
+	o.settleLocked()
+	o.cb(nil, proto.ErrCallTimeout)
+}
+
+// effTimeout resolves a per-call deadline override against the
+// configured default: d > 0 wins, d == 0 inherits Config.CallTimeout,
+// and d < 0 forces no deadline.
+func (c *Cluster) effTimeout(d time.Duration) time.Duration {
+	if d != 0 {
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+	return c.cfg.CallTimeout
+}
+
 // sendAsync is the shared async entry: route, replicate writes, arm
-// the hedge, dispatch the primary, and fail over synchronous refusals.
-func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(resp []byte, err error)) error {
+// the hedge and deadline timers, dispatch the primary, and fail over
+// synchronous refusals. d is the per-call deadline override (see
+// effTimeout).
+func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
 	if c.closed.Load() {
-		return ErrClosed
+		return ErrClusterClosed
 	}
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
@@ -649,27 +912,39 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(
 				rb.inflight.Add(-1)
 				if err != nil && !isStatusErr(err) {
 					c.nReplicaErrs.Add(1)
+					c.noteBackendFailure(rb, false)
+				} else {
+					c.noteBackendSuccess(rb)
 				}
 			}
 			if err := sb.c.SendMethodAsync(method, payload, cb); err != nil {
 				rb.inflight.Add(-1)
 				c.nReplicaErrs.Add(1)
+				c.noteBackendFailure(rb, true)
 			}
 		}
 		owners = owners[:1:1]
 	}
 	o := &op{
-		c:       c,
-		method:  method,
-		legacy:  legacy,
-		payload: append([]byte(nil), payload...),
-		cb:      cb,
-		owners:  owners,
+		c:        c,
+		method:   method,
+		legacy:   legacy,
+		payload:  append([]byte(nil), payload...),
+		cb:       cb,
+		owners:   owners,
+		fallback: len(owners) > 0 && !write,
 	}
-	b := c.pickFor(owners, nil)
+	b := c.pickFor(owners, nil, true, o.fallback)
 	if b == nil {
 		return ErrNoBackends
 	}
+	if !c.trackOp(o) {
+		return ErrClusterClosed
+	}
+	// Arm the timers under o.mu: both fire callbacks take the lock
+	// before touching the op, so holding it across the assignments
+	// orders them against a timer that fires immediately.
+	o.mu.Lock()
 	o.attempts = 1
 	o.outstanding = 1
 	o.tried = append(o.tried, b)
@@ -677,6 +952,10 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(
 		delay := c.trackerFor(method, legacy).delay(c.cfg.Hedge)
 		o.timer = time.AfterFunc(delay, o.fireHedge)
 	}
+	if t := c.effTimeout(d); t > 0 {
+		o.dtimer = time.AfterFunc(t, o.fireDeadline)
+	}
+	o.mu.Unlock()
 	err := o.dispatch(b, false)
 	if err == nil {
 		return nil
@@ -694,7 +973,7 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(
 		o.mu.Unlock()
 		return nil
 	}
-	nb := c.pickFor(owners, o.tried)
+	nb := c.pickFor(owners, o.tried, false, o.fallback)
 	if nb == nil || o.attempts >= maxAttempts {
 		o.settleLocked()
 		return err
@@ -721,7 +1000,7 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, cb func(
 // every owner, everything else goes to one picked backend.
 func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
 	if c.closed.Load() {
-		return ErrClosed
+		return ErrClusterClosed
 	}
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
@@ -732,6 +1011,7 @@ func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
 		var err error
 		for i, b := range owners {
 			if e := b.c.SendMethodOneWay(method, payload); e != nil {
+				c.noteBackendFailure(b, true)
 				if i > 0 {
 					c.nReplicaErrs.Add(1)
 				}
@@ -744,7 +1024,7 @@ func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
 	}
 	var tried []*Backend
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		b := c.pickFor(owners, tried)
+		b := c.pickFor(owners, tried, attempt == 0, !write && len(owners) > 0)
 		if b == nil {
 			if attempt == 0 {
 				return ErrNoBackends
@@ -760,6 +1040,9 @@ func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
 		if err == nil {
 			return nil
 		}
+		// A one-way send fails only synchronously; the transport is
+		// refusing writes to this peer right now.
+		c.noteBackendFailure(b, true)
 		tried = append(tried, b)
 		if attempt == maxAttempts-1 {
 			return err
@@ -772,12 +1055,12 @@ func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
 // SendAsync issues a legacy (method-less) request; cb runs exactly once
 // with the winning reply or the terminal error.
 func (c *Cluster) SendAsync(payload []byte, cb func(resp []byte, err error)) error {
-	return c.sendAsync(0, true, payload, cb)
+	return c.sendAsync(0, true, payload, 0, cb)
 }
 
 // SendMethodAsync is SendAsync with a wire method ID (v3 frame).
 func (c *Cluster) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
-	return c.sendAsync(method, false, payload, cb)
+	return c.sendAsync(method, false, payload, 0, cb)
 }
 
 // SendOneWay issues a fire-and-forget request to one backend.
@@ -816,6 +1099,31 @@ func (c *Cluster) CallMethod(method uint16, payload []byte) ([]byte, error) {
 func (c *Cluster) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
 	w := proto.GetWaiter(buf)
 	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.Wait()
+}
+
+// CallTimeout is Call with a per-call deadline: the op settles with
+// proto.ErrCallTimeout after d even if every attempt is wedged. d == 0
+// inherits Config.CallTimeout; d < 0 disables the deadline entirely.
+func (c *Cluster) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.sendAsync(0, true, payload, d, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	// The op-level deadline drives the callback, so a plain Wait cannot
+	// hang; no waiter-level timer needed.
+	return w.Wait()
+}
+
+// CallMethodTimeout is CallMethod with a per-call deadline (see
+// CallTimeout).
+func (c *Cluster) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.sendAsync(method, false, payload, d, w.Callback()); err != nil {
 		w.Abandon()
 		return nil, err
 	}

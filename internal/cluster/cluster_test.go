@@ -135,7 +135,7 @@ func TestReplicaWriteFailureCounted(t *testing.T) {
 	// Ring order decides which backend is the key's primary; break the
 	// secondary so the write fan-out loses it while the primary reply
 	// still succeeds.
-	owners := cl.ring.Load().(*hashRing).owners([]byte("key"), 2, cl.Backends())
+	owners := cl.view.Load().(*membership).ring.owners([]byte("key"), 2, cl.Backends())
 	if len(owners) != 2 {
 		t.Fatalf("got %d owners, want 2", len(owners))
 	}

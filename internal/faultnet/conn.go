@@ -1,0 +1,139 @@
+package faultnet
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn wraps a net.Conn with byte-level fault injection on the write
+// path. Reads pass through untouched: injecting on one side is enough to
+// fault both directions of an RPC (a corrupted request breaks the reply
+// too), and it keeps the fault model easy to reason about in tests.
+//
+// Conn deliberately does not implement syscall.Conn, so tcpnet servers
+// fall back to their portable deadline-scan poller for wrapped
+// connections and tcpnet clients read them through the plain read loop.
+type Conn struct {
+	net.Conn
+	in *injector
+
+	// wmu serializes faulted writes so a Partial's two segments are not
+	// interleaved with another goroutine's frame.
+	wmu sync.Mutex
+}
+
+// WrapConn wraps nc with the faults described by plan.
+func WrapConn(nc net.Conn, plan Plan) *Conn {
+	return &Conn{Conn: nc, in: newInjector(plan)}
+}
+
+// FaultStats returns the injected-fault counters so far.
+func (c *Conn) FaultStats() Stats { return c.in.stats() }
+
+func (c *Conn) Write(b []byte) (int, error) {
+	a, lat := c.in.decide()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	switch a {
+	case Delay:
+		// Client writers block on their own goroutines; server writers on
+		// the portable poller tolerate sub-millisecond stalls. Keep
+		// injected write latency small in plans that wrap servers.
+		time.Sleep(lat)
+		return c.Conn.Write(b)
+	case Partial:
+		// Two segments with a scheduling gap: exercises every reader's
+		// short-read resumption without changing the byte stream.
+		half := len(b) / 2
+		if half == 0 {
+			return c.Conn.Write(b)
+		}
+		n, err := c.Conn.Write(b[:half])
+		if err != nil {
+			return n, err
+		}
+		time.Sleep(50 * time.Microsecond)
+		m, err := c.Conn.Write(b[half:])
+		return n + m, err
+	case Corrupt:
+		// Flip one byte. The peer sees a garbage frame: bad magic, bad
+		// length, or a scrambled payload — all three are wire-level
+		// corruption modes the parser must survive without wedging the
+		// process or losing buffer accounting.
+		if len(b) == 0 {
+			return c.Conn.Write(b)
+		}
+		cp := append([]byte(nil), b...)
+		cp[int(c.in.pick(len(cp)))] ^= 0x55
+		return c.Conn.Write(cp)
+	case Reset, Blackhole:
+		// Mid-write reset: a prefix escapes, then the conn dies under the
+		// writer. The peer sees a truncated stream then EOF.
+		if len(b) > 1 {
+			c.Conn.Write(b[:len(b)/2])
+		}
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	return c.Conn.Write(b)
+}
+
+// pick returns a deterministic index in [0,n).
+func (in *injector) pick(n int) int64 {
+	in.mu.Lock()
+	v := in.rng.Int63n(int64(n))
+	in.mu.Unlock()
+	return v
+}
+
+// Listener wraps a net.Listener so every accepted conn is fault-
+// injected. Conn i gets an independent injector seeded from Plan.Seed
+// and i, so a multi-conn chaos run still replays from one seed.
+type Listener struct {
+	net.Listener
+	plan Plan
+
+	mu    sync.Mutex
+	n     int64
+	conns []*Conn
+}
+
+// WrapListener wraps l with per-accepted-conn fault injection.
+func WrapListener(l net.Listener, plan Plan) *Listener {
+	return &Listener{Listener: l, plan: plan}
+}
+
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	p := l.plan
+	p.Seed = l.plan.Seed + 0x5851f42d4c957f2d*l.n // large odd stride decorrelates per-conn streams
+	l.n++
+	fc := WrapConn(nc, p)
+	l.conns = append(l.conns, fc)
+	l.mu.Unlock()
+	return fc, nil
+}
+
+// FaultStats sums the counters across all accepted conns.
+func (l *Listener) FaultStats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s Stats
+	for _, c := range l.conns {
+		cs := c.in.stats()
+		s.Ops += cs.Ops
+		s.Delays += cs.Delays
+		s.Partials += cs.Partials
+		s.Resets += cs.Resets
+		s.Blackholes += cs.Blackholes
+		s.DropReplies += cs.DropReplies
+		s.Corrupts += cs.Corrupts
+		s.DropDepths += cs.DropDepths
+	}
+	return s
+}

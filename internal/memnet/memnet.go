@@ -9,6 +9,7 @@ package memnet
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"zygos/internal/core"
 	"zygos/internal/proto"
@@ -164,6 +165,28 @@ func (c *ClientConn) CallMethodInto(method uint16, payload, buf []byte) ([]byte,
 		return nil, err
 	}
 	return w.Wait()
+}
+
+// CallTimeout is Call bounded by d: on expiry it returns
+// proto.ErrCallTimeout promptly and the late reply, if it ever arrives,
+// is discarded at the waiter. d <= 0 means no deadline.
+func (c *ClientConn) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.WaitTimeout(d)
+}
+
+// CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
+func (c *ClientConn) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.WaitTimeout(d)
 }
 
 // OnDepth installs f to receive the server's scheduling depth from

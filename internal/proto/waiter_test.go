@@ -1,0 +1,112 @@
+package proto
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWaiterDeliverThenWait(t *testing.T) {
+	w := GetWaiter(nil)
+	cb := w.Callback()
+	cb([]byte("pong"), nil)
+	resp, err := w.Wait()
+	if err != nil || string(resp) != "pong" {
+		t.Fatalf("Wait = %q, %v", resp, err)
+	}
+}
+
+func TestWaiterTimeoutReturnsPromptly(t *testing.T) {
+	w := GetWaiter(nil)
+	_ = w.Callback()
+	start := time.Now()
+	resp, err := w.WaitTimeout(10 * time.Millisecond)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if resp != nil {
+		t.Fatalf("resp = %q, want nil", resp)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("WaitTimeout took %v", el)
+	}
+}
+
+func TestWaiterReplyBeforeDeadline(t *testing.T) {
+	w := GetWaiter(nil)
+	cb := w.Callback()
+	go func() {
+		time.Sleep(time.Millisecond)
+		cb([]byte("ok"), nil)
+	}()
+	resp, err := w.WaitTimeout(5 * time.Second)
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("WaitTimeout = %q, %v", resp, err)
+	}
+}
+
+// A late delivery after timeout must be dropped without corrupting any
+// pooled waiter that a subsequent call might be using.
+func TestWaiterLateDeliveryDropped(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		w := GetWaiter(nil)
+		cb := w.Callback()
+		if _, err := w.WaitTimeout(time.Nanosecond); !errors.Is(err, ErrCallTimeout) {
+			// The nanosecond deadline may occasionally lose to the
+			// scheduler if a deliver raced in; only a timeout result
+			// exercises the late path below.
+			continue
+		}
+		// Fresh waiters from the pool must not observe the straggler.
+		w2 := GetWaiter(nil)
+		cb([]byte("stale"), nil) // late reply into the timed-out instance
+		cb2 := w2.Callback()
+		cb2([]byte("fresh"), nil)
+		resp, err := w2.Wait()
+		if err != nil || string(resp) != "fresh" {
+			t.Fatalf("cycle %d: pooled waiter got %q, %v", i, resp, err)
+		}
+	}
+}
+
+func TestWaiterAbandonDropsDelivery(t *testing.T) {
+	w := GetWaiter(nil)
+	cb := w.Callback()
+	w.Abandon()
+	cb([]byte("ignored"), nil) // must not panic or block
+}
+
+func TestWaiterDeliverError(t *testing.T) {
+	boom := errors.New("boom")
+	w := GetWaiter(nil)
+	w.Callback()(nil, boom)
+	resp, err := w.WaitTimeout(time.Second)
+	if !errors.Is(err, boom) || resp != nil {
+		t.Fatalf("WaitTimeout = %q, %v", resp, err)
+	}
+}
+
+// Hammer the deliver/timeout race under -race: whichever side wins the
+// CAS, the caller observes exactly one coherent outcome.
+func TestWaiterDeliverTimeoutRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for i := 0; i < 500; i++ {
+		w := GetWaiter(nil)
+		cb := w.Callback()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cb([]byte("r"), nil)
+		}()
+		resp, err := w.WaitTimeout(time.Microsecond)
+		if err == nil {
+			if string(resp) != "r" {
+				t.Fatalf("delivered resp = %q", resp)
+			}
+		} else if !errors.Is(err, ErrCallTimeout) {
+			t.Fatalf("err = %v", err)
+		}
+		wg.Wait()
+	}
+}

@@ -33,9 +33,16 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if tc, ok := nc.(*net.TCPConn); ok {
 		_ = tc.SetNoDelay(true)
 	}
+	return NewClientOn(nc), nil
+}
+
+// NewClientOn builds a client over an already-established connection —
+// the seam where a fault-injecting or otherwise-wrapped net.Conn slots
+// under the RPC stack. The client owns nc and closes it on Close.
+func NewClientOn(nc net.Conn) *Client {
 	c := &Client{nc: nc, disp: proto.NewDispatcher(), wr: bufio.NewWriterSize(nc, 32<<10)}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 func (c *Client) readLoop() {
@@ -164,6 +171,28 @@ func (c *Client) CallMethodInto(method uint16, payload, buf []byte) ([]byte, err
 		return nil, err
 	}
 	return w.Wait()
+}
+
+// CallTimeout is Call bounded by d: on expiry it returns
+// proto.ErrCallTimeout promptly and the late reply, if it ever arrives,
+// is discarded at the waiter. d <= 0 means no deadline.
+func (c *Client) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.WaitTimeout(d)
+}
+
+// CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
+func (c *Client) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.WaitTimeout(d)
 }
 
 // Close shuts the connection down; outstanding calls fail.

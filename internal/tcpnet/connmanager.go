@@ -412,6 +412,28 @@ func (c *ManagedCaller) CallMethodInto(method uint16, payload, buf []byte) ([]by
 	return w.Wait()
 }
 
+// CallTimeout is Call bounded by d: on expiry it returns
+// proto.ErrCallTimeout promptly and the late reply, if it ever arrives,
+// is discarded at the waiter. d <= 0 means no deadline.
+func (c *ManagedCaller) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.SendAsync(payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.WaitTimeout(d)
+}
+
+// CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
+func (c *ManagedCaller) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
+	w := proto.GetWaiter(nil)
+	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	return w.WaitTimeout(d)
+}
+
 // Close retires the logical caller: its future sends fail. The shared
 // socket stays open for the manager's other callers; replies to this
 // caller's still-outstanding requests are delivered normally.

@@ -104,6 +104,12 @@ type StatusError = proto.StatusError
 // StatusText returns a short human-readable name for a status code.
 func StatusText(code uint8) string { return proto.StatusText(code) }
 
+// ErrCallTimeout is returned by CallTimeout/CallMethodTimeout (and by
+// cluster calls bounded by ClusterConfig.CallTimeout) when no final
+// reply arrived within the deadline. The late reply, if it ever lands,
+// is discarded without corrupting pooled buffers or the reply demux.
+var ErrCallTimeout = proto.ErrCallTimeout
+
 // MethodHealth is the reserved wire method ID (0xFFFF) carrying
 // piggybacked depth reports (Config.DepthFrames); it never reaches a
 // Handler and cannot be registered on a Mux.
@@ -545,6 +551,13 @@ type Caller interface {
 	CallMethod(method uint16, payload []byte) ([]byte, error)
 	// CallMethodInto is CallMethod with a caller-owned reply buffer.
 	CallMethodInto(method uint16, payload, buf []byte) ([]byte, error)
+	// CallTimeout is Call bounded by a deadline: on expiry it returns
+	// ErrCallTimeout promptly and the late reply, if one ever arrives,
+	// is discarded safely. d <= 0 means no deadline.
+	CallTimeout(payload []byte, d time.Duration) ([]byte, error)
+	// CallMethodTimeout is CallMethod bounded by a deadline (see
+	// CallTimeout).
+	CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error)
 	// SendAsync issues a request; cb runs exactly once with the reply
 	// payload or an error. The resp slice is valid only for the duration
 	// of the callback. This is the open-loop primitive.
@@ -590,6 +603,18 @@ func (c *Client) CallMethod(method uint16, payload []byte) ([]byte, error) {
 // allocation-free closed-loop form.
 func (c *Client) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
 	return c.cc.CallMethodInto(method, payload, buf)
+}
+
+// CallTimeout is Call bounded by d: on expiry it returns ErrCallTimeout
+// promptly and the late reply is discarded safely. d <= 0 means no
+// deadline.
+func (c *Client) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	return c.cc.CallTimeout(payload, d)
+}
+
+// CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
+func (c *Client) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
+	return c.cc.CallMethodTimeout(method, payload, d)
 }
 
 // Home returns the index of the worker this connection is homed on (its
@@ -662,6 +687,18 @@ func (c *TCPClient) CallMethod(method uint16, payload []byte) ([]byte, error) {
 // allocation-free closed-loop form.
 func (c *TCPClient) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
 	return c.tc.CallMethodInto(method, payload, buf)
+}
+
+// CallTimeout is Call bounded by d: on expiry it returns ErrCallTimeout
+// promptly and the late reply is discarded safely. d <= 0 means no
+// deadline.
+func (c *TCPClient) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	return c.tc.CallTimeout(payload, d)
+}
+
+// CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
+func (c *TCPClient) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
+	return c.tc.CallMethodTimeout(method, payload, d)
 }
 
 // SendAsync issues a request; cb runs exactly once with the reply or an
@@ -761,6 +798,18 @@ func (c *ManagedClient) CallMethod(method uint16, payload []byte) ([]byte, error
 // CallMethodInto is CallMethod with a caller-owned reply buffer.
 func (c *ManagedClient) CallMethodInto(method uint16, payload, buf []byte) ([]byte, error) {
 	return c.mc.CallMethodInto(method, payload, buf)
+}
+
+// CallTimeout is Call bounded by d: on expiry it returns ErrCallTimeout
+// promptly and the late reply is discarded safely. d <= 0 means no
+// deadline.
+func (c *ManagedClient) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	return c.mc.CallTimeout(payload, d)
+}
+
+// CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
+func (c *ManagedClient) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
+	return c.mc.CallMethodTimeout(method, payload, d)
 }
 
 // SendAsync issues a request; cb runs exactly once with the reply or an
