@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test vet chaos-soak bench bench-sched bench-conn bench-cluster bench-cluster-gate bench-smoke bench-gate
+.PHONY: all build test vet chaos-soak bench bench-sched bench-conn bench-cluster bench-cluster-gate bench-slo bench-slo-gate bench-smoke bench-gate
 
 all: build test
 
@@ -35,7 +35,7 @@ chaos-soak:
 # over memnet — and update the "current" section of BENCH_hotpath.json
 # (the committed "baseline" section is preserved for comparison), then
 # do the same for the scheduler-scaling suite in BENCH_sched.json.
-bench: bench-sched bench-conn bench-cluster
+bench: bench-sched bench-conn bench-cluster bench-slo
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label current
 
 # Scheduler-scaling trajectory: BenchmarkSchedScale{1,2,4,8} plus the
@@ -66,6 +66,22 @@ bench-cluster:
 # regression fails even when the mean stays flat.
 bench-cluster-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterFanout' -benchtime 300x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_cluster.json -gate $(GATE_PCT)
+
+# SLO overload trajectory: BenchmarkSLOOverload drives a bimodal
+# kv+scan mix at ~2× capacity with and without overload control and
+# records the admitted-request latency percentiles (p50-ns, p99-ns)
+# plus inverse goodput (goodop-ns) to BENCH_slo.json. The iteration
+# count is pinned so the percentiles come from a fixed sample size and
+# the closed-loop queue reaches the same steady state every run.
+bench-slo:
+	$(GO) test -run '^$$' -bench 'BenchmarkSLOOverload' -benchtime 2000x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_slo.json -label current
+
+# SLO overload regression gate: re-measure and fail if the admitted
+# P99 or the per-good-op cost regressed beyond GATE_PCT against the
+# committed reference — shedding that stops protecting the admitted
+# tail, or sheds so hard goodput collapses, both fail.
+bench-slo-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkSLOOverload' -benchtime 2000x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_slo.json -gate $(GATE_PCT)
 
 # One iteration of every benchmark as a compile-and-run smoke check,
 # then 1x hot-path+sched passes at GOMAXPROCS=1 and GOMAXPROCS=4

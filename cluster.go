@@ -2,6 +2,7 @@ package zygos
 
 import (
 	"errors"
+	"time"
 
 	"zygos/internal/cluster"
 )
@@ -82,15 +83,25 @@ func KVKeyFunc(method uint16, payload []byte) (key []byte, write, ok bool) {
 	return cluster.KVKeyFunc(method, payload)
 }
 
-var _ Caller = (*ClusterCaller)(nil)
+var (
+	_ Caller       = (*ClusterCaller)(nil)
+	_ BudgetCaller = (*ClusterCaller)(nil)
+)
 
 // ProxyHandler adapts a cluster into a server Handler, making the
 // server a protocol-level proxy: each incoming request detaches from
 // its worker, forwards through the cluster, and completes when the
-// winning backend reply lands. Status errors from backends propagate
-// with their original code; transport-level failures surface as
-// StatusInternal. One-way requests forward as one-way and complete
-// immediately (nothing is transmitted for them).
+// winning backend reply lands. Status errors from backends — and from
+// the cluster's own front-tier admission gate — propagate with their
+// original code, so a StatusShed refused at the proxy looks to the
+// client exactly like one refused at a backend; transport-level
+// failures surface as StatusInternal. One-way requests forward as
+// one-way and complete immediately (nothing is transmitted for them).
+//
+// Requests carrying a wire deadline budget are forwarded with the
+// budget *remaining* at the proxy — the hop's queueing and parse time
+// is deducted, not re-granted — and a request whose budget is already
+// gone is answered StatusDeadlineExceeded without touching a backend.
 func ProxyHandler(cl *ClusterCaller) Handler {
 	return func(w ResponseWriter, req *Request) {
 		if req.OneWay {
@@ -101,6 +112,14 @@ func ProxyHandler(cl *ClusterCaller) Handler {
 			}
 			_ = w.Reply(nil)
 			return
+		}
+		var budget time.Duration
+		if rem, ok := req.RemainingBudget(); ok {
+			if rem <= 0 {
+				_ = w.Error(StatusDeadlineExceeded, "proxy: deadline budget exhausted")
+				return
+			}
+			budget = rem
 		}
 		co := w.Detach()
 		cb := func(resp []byte, err error) {
@@ -116,12 +135,22 @@ func ProxyHandler(cl *ClusterCaller) Handler {
 			_ = co.Error(StatusInternal, "proxy: "+err.Error())
 		}
 		var err error
-		if req.Method != 0 {
+		switch {
+		case req.Method != 0 && budget > 0:
+			err = cl.SendMethodBudgetAsync(req.Method, req.Payload, budget, cb)
+		case req.Method != 0:
 			err = cl.SendMethodAsync(req.Method, req.Payload, cb)
-		} else {
+		case budget > 0:
+			err = cl.SendBudgetAsync(req.Payload, budget, cb)
+		default:
 			err = cl.SendAsync(req.Payload, cb)
 		}
 		if err != nil {
+			var se *StatusError
+			if errors.As(err, &se) {
+				_ = co.Error(se.Code, se.Msg)
+				return
+			}
 			_ = co.Error(StatusInternal, "proxy: "+err.Error())
 		}
 	}

@@ -22,12 +22,14 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"zygos"
@@ -53,6 +55,8 @@ func main() {
 		warmup   = flag.Int("warmup", 0, "warmup requests excluded from stats (default 10%)")
 		keys     = flag.Int("keys", 10000, "etc/usr: keyspace size")
 		seed     = flag.Int64("seed", 1, "generator seed")
+		budget   = flag.Duration("budget", 0, "stamp this deadline budget on every request (FlagDeadline wire extension; 0 = none)")
+		retries  = flag.Int("retries", 0, "retry shed requests up to this many times with jittered backoff honoring the server's retry-after hint (0 = off)")
 	)
 	flag.Parse()
 	if *warmup == 0 {
@@ -93,10 +97,29 @@ func main() {
 	}()
 
 	// Both client types satisfy zygos.Caller, which satisfies
-	// mutilate.Target: the run below is transport-agnostic.
+	// mutilate.Target: the run below is transport-agnostic. The budget
+	// and retry wrappers compose on top without mutilate knowing.
+	var retried atomic.Uint64
 	targets := make([]mutilate.Target, len(callers))
 	for i, c := range callers {
-		targets[i] = c
+		var t mutilate.Target = c
+		if *budget > 0 {
+			bc, ok := c.(zygos.BudgetCaller)
+			if !ok {
+				log.Fatalf("-budget: transport %T cannot stamp deadline budgets", c)
+			}
+			t = budgetTarget{bc: bc, d: *budget}
+		}
+		if *retries > 0 {
+			t = &retryTarget{
+				inner:   t,
+				c:       c,
+				rp:      &zygos.RetryPolicy{MaxAttempts: *retries + 1, Rand: rand.New(rand.NewSource(*seed + int64(i)))},
+				budget:  *budget,
+				retried: &retried,
+			}
+		}
+		targets[i] = t
 	}
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
@@ -115,8 +138,8 @@ func main() {
 	if rep.Sent > 0 {
 		allocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rep.Sent)
 	}
-	fmt.Printf("workload=%s offered=%.0f/s achieved=%.0f/s sent=%d completed=%d errors=%d\n",
-		*workload, rep.OfferedRPS, rep.AchievedRPS, rep.Sent, rep.Completed, rep.Errors)
+	fmt.Printf("workload=%s offered=%.0f/s achieved=%.0f/s sent=%d completed=%d errors=%d retried=%d\n",
+		*workload, rep.OfferedRPS, rep.AchievedRPS, rep.Sent, rep.Completed, rep.Errors, retried.Load())
 	fmt.Printf("latency: %s\n", rep.Latencies.Summarize())
 	// GC activity during the run: on an in-process run this covers both
 	// sides of the hot path, so a hot-path allocation regression shows up
@@ -133,6 +156,52 @@ func main() {
 		fmt.Printf("server latency: %v\n", st.Latency)
 		fmt.Printf("server queue delay: %v\n", st.QueueDelay)
 	}
+}
+
+// budgetTarget stamps a fixed wire deadline budget on every open-loop
+// send, so the server's EDF scheduler and expiry shedding see real
+// budgets from this generator.
+type budgetTarget struct {
+	bc zygos.BudgetCaller
+	d  time.Duration
+}
+
+func (t budgetTarget) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	return t.bc.SendMethodBudgetAsync(method, payload, t.d, cb)
+}
+
+// retryTarget retries shed replies through a zygos.RetryPolicy: the
+// retry runs closed-loop on its own goroutine (never on the transport
+// read loop), with jittered backoff that honors the server's
+// retry-after hint. Latency is charged from the original intended send
+// — the coordinated-omission-safe accounting — because cb fires only
+// when the retries resolve.
+type retryTarget struct {
+	inner   mutilate.Target
+	c       zygos.Caller
+	rp      *zygos.RetryPolicy
+	budget  time.Duration
+	retried *atomic.Uint64
+}
+
+func (t *retryTarget) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
+	return t.inner.SendMethodAsync(method, payload, func(resp []byte, err error) {
+		if err == nil || !errors.Is(err, zygos.ErrShed) {
+			cb(resp, err)
+			return
+		}
+		t.retried.Add(1)
+		p := append([]byte(nil), payload...)
+		go func() {
+			resp, err := t.rp.Do(func() ([]byte, error) {
+				if t.budget > 0 {
+					return t.c.CallMethodTimeout(method, p, t.budget)
+				}
+				return t.c.CallMethod(method, p)
+			})
+			cb(resp, err)
+		}()
+	})
 }
 
 // dialTargets opens conns connections as zygos.Caller values: TCP

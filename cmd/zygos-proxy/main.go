@@ -41,6 +41,7 @@ func main() {
 		hedgeMin  = flag.Duration("hedge-min", 0, "hedge deadline floor (0 = 100µs default)")
 		hedgeMax  = flag.Duration("hedge-max", 0, "hedge deadline cap and cold-start deadline (0 = 20ms default)")
 		callTO    = flag.Duration("call-timeout", 0, "per-request deadline through the cluster (0 = none); expired requests fail fast instead of waiting out a wedged backend")
+		admit     = flag.Int("admit", 0, "front-tier admission: shed new requests once the summed backend depth exceeds this (0 = off)")
 		noBreaker = flag.Bool("no-breaker", false, "disable the per-backend circuit breaker")
 		kvRoute   = flag.Bool("kv", false, "route kv methods by key on the consistent-hash ring")
 		replicas  = flag.Int("replicas", 2, "kv: ring owners per key (reads pick the least loaded, writes fan out)")
@@ -68,8 +69,9 @@ func main() {
 			MinDelay: *hedgeMin,
 			MaxDelay: *hedgeMax,
 		},
-		CallTimeout: *callTO,
-		Breaker:     zygos.BreakerConfig{Disabled: *noBreaker},
+		CallTimeout:     *callTO,
+		Breaker:         zygos.BreakerConfig{Disabled: *noBreaker},
+		MaxClusterDepth: *admit,
 	}
 	if *kvRoute {
 		cfg.KeyFunc = zygos.KVKeyFunc
@@ -117,8 +119,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("zygos-proxy policy=%s hedge=%v kv=%v replicas=%d backends=%d sockets=%d listening on %s",
-		pol, *hedge, *kvRoute, cfg.Replicas, len(addrs), *sockets, listeners[0].Addr())
+	log.Printf("zygos-proxy policy=%s hedge=%v kv=%v replicas=%d backends=%d sockets=%d admit=%d listening on %s",
+		pol, *hedge, *kvRoute, cfg.Replicas, len(addrs), *sockets, *admit, listeners[0].Addr())
 
 	if *statsTick > 0 {
 		go func() {
@@ -154,7 +156,8 @@ func main() {
 		log.Printf("flush: in-flight requests still pending after %v", *flushWait)
 	}
 	st := srv.Stats()
-	log.Printf("front: events=%d detached=%d conns=%d latency %v", st.Events, st.Detached, st.Conns, st.Latency)
+	log.Printf("front: events=%d detached=%d conns=%d shed=%d expired=%d latency %v",
+		st.Events, st.Detached, st.Conns, st.Shed, st.Expired, st.Latency)
 	logClusterStats(cl.Stats())
 	srv.Close()
 	cl.Close()
@@ -171,8 +174,8 @@ func splitAddrs(s string) []string {
 }
 
 func logClusterStats(cs zygos.ClusterStats) {
-	log.Printf("cluster: calls=%d hedges=%d hedge_wins=%d failovers=%d losers=%d replica_write_failures=%d",
-		cs.Calls, cs.Hedges, cs.HedgeWins, cs.Failovers, cs.Losers, cs.ReplicaWriteFailures)
+	log.Printf("cluster: calls=%d shed=%d hedges=%d hedge_wins=%d failovers=%d losers=%d replica_write_failures=%d",
+		cs.Calls, cs.Shed, cs.Hedges, cs.HedgeWins, cs.Failovers, cs.Losers, cs.ReplicaWriteFailures)
 	log.Printf("cluster health: breaker_trips=%d breaker_probes=%d breaker_readmits=%d deadlines_expired=%d read_fallbacks=%d",
 		cs.BreakerTrips, cs.BreakerProbes, cs.BreakerReadmits, cs.DeadlinesExpired, cs.ReadFallbacks)
 	for _, b := range cs.Backends {

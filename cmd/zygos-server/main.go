@@ -48,6 +48,7 @@ func main() {
 		noInt       = flag.Bool("nointerrupts", false, "disable the IPI-analogue kernel proxying")
 		warehouses  = flag.Int("warehouses", 2, "tpcc: warehouse count")
 		shed        = flag.Int("shed", 0, "admission control: max in-flight requests before shedding (0 = off)")
+		routeShed   = flag.Bool("routeshed", false, "shed by declared per-route priority instead of uniformly, and enforce route SLOs (kv/tpcc modes; requires -shed)")
 		flushWait   = flag.Duration("flushwait", 5*time.Second, "graceful shutdown: max wait for in-flight requests")
 		shards      = flag.Int("shards", 0, "SO_REUSEPORT accept shards (0 = one per core; Linux only, degrades to 1 elsewhere)")
 		idle        = flag.Duration("idle", 0, "close connections quiet for this long (0 = off)")
@@ -55,7 +56,7 @@ func main() {
 	)
 	flag.Parse()
 
-	handler, cleanup, err := buildHandler(*mode, *warehouses)
+	handler, mux, cleanup, err := buildHandler(*mode, *warehouses)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +74,10 @@ func main() {
 		log.Fatal(err)
 	}
 	srv.Use(srv.LatencyRecording())
-	if *shed > 0 {
+	switch {
+	case *shed > 0 && *routeShed && mux != nil:
+		srv.Use(srv.RouteAwareAdmission(mux, *shed), srv.SLOEnforcement(mux))
+	case *shed > 0:
 		srv.Use(srv.AdmissionControl(*shed))
 	}
 
@@ -118,9 +122,9 @@ func main() {
 		log.Printf("flush: in-flight requests still pending after %v", *flushWait)
 	}
 	st := srv.Stats()
-	log.Printf("final stats: events=%d steals=%d (%.1f%%) proxies=%d (%.1f%%) parks=%d wakes=%d conns=%d detached=%d shed=%d",
+	log.Printf("final stats: events=%d steals=%d (%.1f%%) proxies=%d (%.1f%%) parks=%d wakes=%d conns=%d detached=%d shed=%d expired=%d",
 		st.Events, st.Steals, st.StealFraction()*100, st.Proxies, st.ProxyFraction()*100,
-		st.Parks, st.Wakes, st.Conns, st.Detached, st.Shed)
+		st.Parks, st.Wakes, st.Conns, st.Detached, st.Shed, st.Expired)
 	// Stats().Net.AcceptShards counts listeners *currently* served — zero
 	// by the time shutdown reaches this line — so report the count this
 	// process actually opened.
@@ -144,33 +148,43 @@ func main() {
 	sort.Ints(methods)
 	for _, m := range methods {
 		rs := st.Routes[uint16(m)]
-		log.Printf("final route %d: count=%d %v", m, rs.Count, rs.Latency)
+		log.Printf("final route %d: count=%d shed=%d expired=%d slo_attainment=%.3f %v",
+			m, rs.Count, rs.Shed, rs.Expired, rs.Attainment(), rs.Latency)
 	}
 	srv.Close()
 }
 
-// buildHandler returns the mode's Handler. The kv and tpcc applications
-// mount as method-routed Muxes (each operation or transaction type has
-// its own wire method, with a method-0 legacy route for v1/v2 clients);
-// spin stays a single bare handler.
-func buildHandler(mode string, warehouses int) (zygos.Handler, func(), error) {
+// buildHandler returns the mode's Handler and, for the Mux-routed
+// applications, the Mux itself so SLO-aware middleware can read its
+// route declarations. The kv and tpcc applications mount as
+// method-routed Muxes (each operation or transaction type has its own
+// wire method, with a method-0 legacy route for v1/v2 clients); spin
+// stays a single bare handler.
+func buildHandler(mode string, warehouses int) (zygos.Handler, *zygos.Mux, func(), error) {
 	switch mode {
 	case "spin":
-		return spinHandler, func() {}, nil
+		return spinHandler, nil, func() {}, nil
 	case "kv":
 		store := kv.NewStore(64, 256<<20)
-		return store.NewMux().Handler(), func() {}, nil
+		mux := store.NewMux()
+		// Point lookups and writes are microsecond routes; deletes are
+		// the cheap-to-sacrifice traffic under overload.
+		mux.Route(kv.MethodGet).SLO(200*time.Microsecond, 2*time.Microsecond)
+		mux.Route(kv.MethodSet).SLO(500*time.Microsecond, 4*time.Microsecond)
+		mux.Route(kv.MethodDelete).SLO(500*time.Microsecond, 2*time.Microsecond).ShedPriority(1)
+		return mux.Handler(), mux, func() {}, nil
 	case "tpcc":
 		db := silo.NewDB(10 * time.Millisecond)
 		store, err := tpcc.Load(db, tpcc.Config{Warehouses: warehouses}, 1)
 		if err != nil {
 			db.Close()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		log.Printf("tpcc: loaded %d warehouses", warehouses)
-		return store.NewMux(7).Handler(), db.Close, nil
+		mux := store.NewMux(7)
+		return mux.Handler(), mux, db.Close, nil
 	default:
-		return nil, nil, fmt.Errorf("unknown mode %q", mode)
+		return nil, nil, nil, fmt.Errorf("unknown mode %q", mode)
 	}
 }
 

@@ -28,11 +28,17 @@ import (
 // legacy (v2) traffic and v3 traffic naming method 0 must land on the
 // same handler.
 const (
-	confEchoA uint16 = 1
-	confEchoB uint16 = 2
-	confErr   uint16 = 3
-	confOne   uint16 = 4
+	confEchoA  uint16 = 1
+	confEchoB  uint16 = 2
+	confErr    uint16 = 3
+	confOne    uint16 = 4
+	confShed   uint16 = 5
+	confBudget uint16 = 6
 )
+
+// confShedHint is the retry-after hint the confShed route sheds with;
+// steps assert it survives every transport byte-for-byte.
+const confShedHint = 250 * time.Microsecond
 
 // confEnv is what a conformance step needs beyond the Caller: the
 // shared one-way counter and a flush that settles every server behind
@@ -65,6 +71,26 @@ func newConformanceMux(oneWays *atomic.Int64) *Mux {
 			oneWays.Add(1)
 		}
 		w.Reply(req.Payload)
+	})
+	// confShed always sheds with a retry-after hint, exactly as the
+	// admission middleware would: the client-side contract (errors.Is
+	// ErrShed, parseable hint) must hold over every transport, including
+	// status preservation through the cluster tier's ProxyHandler.
+	mux.HandleFunc(confShed, func(w ResponseWriter, req *Request) {
+		w.Error(StatusShed, proto.FormatRetryAfter(confShedHint, "conformance shed"))
+	})
+	// confBudget reports what the handler saw of the wire deadline
+	// budget: 8 bytes of little-endian remaining nanoseconds when the
+	// request carried one, a single zero byte when it did not.
+	mux.HandleFunc(confBudget, func(w ResponseWriter, req *Request) {
+		rem, ok := req.RemainingBudget()
+		if !ok {
+			w.Reply([]byte{0})
+			return
+		}
+		var p [8]byte
+		binary.LittleEndian.PutUint64(p[:], uint64(rem))
+		w.Reply(p[:])
 	})
 	return mux
 }
@@ -258,6 +284,75 @@ func TestCallerConformance(t *testing.T) {
 				t.Fatal(err)
 			}
 			wantTagged(t, resp, confEchoA, "dl-off")
+		}},
+		{"deadline budgets ride the wire to the handler", func(t *testing.T, c Caller, env *confEnv) {
+			// Without a deadline the handler must see no budget at all —
+			// a transport inventing one would make servers shed work
+			// nobody asked them to.
+			resp, err := c.CallMethod(confBudget, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp) != 1 {
+				t.Fatalf("bare call arrived with a budget: reply %x", resp)
+			}
+			// CallMethodTimeout doubles as the wire budget: the handler
+			// sees the remaining time, already decremented by however
+			// many hops the request crossed (the cluster transport
+			// forwards it through the proxy tier).
+			const budget = 5 * time.Second
+			resp, err = c.CallMethodTimeout(confBudget, nil, budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp) != 8 {
+				t.Fatalf("budgeted call reply %x, want 8-byte remaining", resp)
+			}
+			rem := time.Duration(int64(binary.LittleEndian.Uint64(resp)))
+			if rem <= 0 || rem > budget {
+				t.Fatalf("handler saw remaining budget %v, want in (0, %v]", rem, budget)
+			}
+		}},
+		{"SendMethodBudgetAsync stamps an explicit budget", func(t *testing.T, c Caller, env *confEnv) {
+			bc, ok := c.(BudgetCaller)
+			if !ok {
+				t.Fatalf("%T does not implement BudgetCaller", c)
+			}
+			call := func(d time.Duration) []byte {
+				t.Helper()
+				done := make(chan []byte, 1)
+				if err := bc.SendMethodBudgetAsync(confBudget, nil, d, func(resp []byte, err error) {
+					if err != nil {
+						t.Errorf("SendMethodBudgetAsync(%v): %v", d, err)
+					}
+					done <- append([]byte(nil), resp...)
+				}); err != nil {
+					t.Fatal(err)
+				}
+				return <-done
+			}
+			const budget = 2 * time.Second
+			resp := call(budget)
+			if len(resp) != 8 {
+				t.Fatalf("budgeted send reply %x, want 8-byte remaining", resp)
+			}
+			rem := time.Duration(int64(binary.LittleEndian.Uint64(resp)))
+			if rem <= 0 || rem > budget {
+				t.Fatalf("handler saw remaining budget %v, want in (0, %v]", rem, budget)
+			}
+			// d <= 0 means no budget, not a zero budget.
+			if resp := call(0); len(resp) != 1 {
+				t.Fatalf("zero-budget send arrived with a budget: reply %x", resp)
+			}
+		}},
+		{"shed replies are ErrShed with a retry-after hint", func(t *testing.T, c Caller, env *confEnv) {
+			_, err := c.CallMethod(confShed, []byte("x"))
+			if !errors.Is(err, ErrShed) {
+				t.Fatalf("got %v, want errors.Is ErrShed", err)
+			}
+			if d, ok := RetryAfter(err); !ok || d != confShedHint {
+				t.Fatalf("RetryAfter = %v, %v; want %v, true", d, ok, confShedHint)
+			}
 		}},
 		{"StatusError propagates from routes", func(t *testing.T, c Caller, env *confEnv) {
 			resp, err := c.CallMethod(confErr, []byte("x"))

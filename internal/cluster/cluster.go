@@ -59,6 +59,18 @@ type depthSource interface {
 	OnDepth(f func(depth uint32))
 }
 
+// budgetSender is the optional transport capability deadline budgets
+// ride on: transports that can stamp the FlagDeadline wire extension
+// let the cluster forward each request's *remaining* budget to the
+// backend, re-computed at every dispatch so queueing and hedging delays
+// inside the cluster are charged against the caller's deadline rather
+// than silently absorbed. All zygos clients implement it; transports
+// that don't simply get no budget (the op-level deadline timer still
+// protects the caller).
+type budgetSender interface {
+	SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error
+}
+
 var (
 	// ErrNoBackends reports a cluster with no (eligible) backends.
 	ErrNoBackends = errors.New("cluster: no backends")
@@ -155,6 +167,15 @@ type Config struct {
 	// potentially stale, but bounded staleness beats unavailability for
 	// most kv reads.
 	NoReadFallback bool
+	// MaxClusterDepth is the front-tier admission limit: a new request
+	// is shed with a StatusShed *proto.StatusError — before any backend
+	// sees a byte of it — once the summed cluster load (client-side
+	// in-flight plus fresh self-reported backend depths) exceeds it.
+	// Shedding at the front tier is strictly cheaper than at the
+	// backends: the refused request consumes no socket write, no
+	// backend parse, and no scheduler slot anywhere in the fleet. The
+	// shed message carries a retry-after hint. 0 disables.
+	MaxClusterDepth int
 }
 
 const (
@@ -368,6 +389,7 @@ type Cluster struct {
 	nBrReadmits   atomic.Uint64
 	nDeadlines    atomic.Uint64
 	nReadFallback atomic.Uint64
+	nShed         atomic.Uint64
 }
 
 // New creates an empty cluster; wire members in with Add.
@@ -492,6 +514,9 @@ type Stats struct {
 	// ReadFallbacks counts keyed reads served by a non-owner because
 	// every ring owner was tripped Down.
 	ReadFallbacks uint64
+	// Shed counts requests rejected by front-tier admission
+	// (Config.MaxClusterDepth) before reaching any backend.
+	Shed uint64
 	// Backends is the per-member load view.
 	Backends []BackendStats
 }
@@ -525,6 +550,7 @@ func (c *Cluster) Stats() Stats {
 		BreakerReadmits:      c.nBrReadmits.Load(),
 		DeadlinesExpired:     c.nDeadlines.Load(),
 		ReadFallbacks:        c.nReadFallback.Load(),
+		Shed:                 c.nShed.Load(),
 		Backends:             make([]BackendStats, len(bs)),
 	}
 	now := nanotime()
@@ -689,6 +715,13 @@ type op struct {
 	// is tripped Down; never set for writes.
 	fallback bool
 
+	// deadline is the op's absolute deadline (zero = none). Every
+	// dispatch — primary, hedge, or failover — stamps the budget
+	// *remaining* at that moment onto the wire, so time already burned
+	// queueing or waiting out the hedge delay is not re-granted to the
+	// backend.
+	deadline time.Time
+
 	mu          sync.Mutex
 	done        bool
 	attempts    int
@@ -705,9 +738,23 @@ func (o *op) dispatch(b *Backend, isHedge bool) error {
 	start := time.Now()
 	cb := func(resp []byte, err error) { o.finish(b, isHedge, start, resp, err) }
 	var err error
-	if o.legacy {
+	switch {
+	case o.legacy:
 		err = b.c.SendAsync(o.payload, cb)
-	} else {
+	case !o.deadline.IsZero():
+		if bs, ok := b.c.(budgetSender); ok {
+			rem := time.Until(o.deadline)
+			if rem <= 0 {
+				// Already out of budget: stamp the floor instead of omitting
+				// the extension (no budget means *unlimited* on the wire), so
+				// the backend sheds it as expired-on-arrival for free.
+				rem = time.Microsecond
+			}
+			err = bs.SendMethodBudgetAsync(o.method, o.payload, rem, cb)
+		} else {
+			err = b.c.SendMethodAsync(o.method, o.payload, cb)
+		}
+	default:
 		err = b.c.SendMethodAsync(o.method, o.payload, cb)
 	}
 	if err != nil {
@@ -896,6 +943,9 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, d time.D
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
 	}
+	if err := c.admit(); err != nil {
+		return err
+	}
 	c.nCalls.Add(1)
 	owners, write := c.route(method, legacy, payload)
 	if write && len(owners) > 1 {
@@ -953,6 +1003,7 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, d time.D
 		o.timer = time.AfterFunc(delay, o.fireHedge)
 	}
 	if t := c.effTimeout(d); t > 0 {
+		o.deadline = time.Now().Add(t)
 		o.dtimer = time.AfterFunc(t, o.fireDeadline)
 	}
 	o.mu.Unlock()
@@ -996,6 +1047,48 @@ func (c *Cluster) sendAsync(method uint16, legacy bool, payload []byte, d time.D
 	return nil
 }
 
+// admit is the front-tier admission gate: with MaxClusterDepth set, a
+// request is refused with a StatusShed *proto.StatusError (carrying a
+// retry-after hint) once the fleet-wide load estimate exceeds the
+// limit. The estimate is the same score the balancer routes on — local
+// in-flight plus fresh self-reported depths — summed over the
+// membership, all atomic reads.
+func (c *Cluster) admit() error {
+	limit := int64(c.cfg.MaxClusterDepth)
+	if limit <= 0 {
+		return nil
+	}
+	bs := c.Backends()
+	now := nanotime()
+	ttl := int64(c.cfg.DepthTTL)
+	var depth int64
+	for _, b := range bs {
+		depth += b.score(now, ttl)
+	}
+	if depth <= limit {
+		return nil
+	}
+	c.nShed.Add(1)
+	// Drain-time estimate at a nominal 100µs per queued request spread
+	// over the fleet; clamped like the server-side hint.
+	per := 100 * time.Microsecond
+	n := len(bs)
+	if n < 1 {
+		n = 1
+	}
+	hint := time.Duration(depth-limit) * per / time.Duration(n)
+	if hint < 50*time.Microsecond {
+		hint = 50 * time.Microsecond
+	}
+	if hint > 10*time.Millisecond {
+		hint = 10 * time.Millisecond
+	}
+	return &proto.StatusError{
+		Code: proto.StatusShed,
+		Msg:  proto.FormatRetryAfter(hint, "cluster admission: fleet depth exceeded"),
+	}
+}
+
 // sendOneWay routes a fire-and-forget request: keyed writes fan out to
 // every owner, everything else goes to one picked backend.
 func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
@@ -1004,6 +1097,9 @@ func (c *Cluster) sendOneWay(method uint16, legacy bool, payload []byte) error {
 	}
 	if len(payload) > proto.MaxPayloadV2 {
 		return proto.ErrPayloadTooLarge
+	}
+	if err := c.admit(); err != nil {
+		return err
 	}
 	c.nCalls.Add(1)
 	owners, write := c.route(method, legacy, payload)
@@ -1061,6 +1157,24 @@ func (c *Cluster) SendAsync(payload []byte, cb func(resp []byte, err error)) err
 // SendMethodAsync is SendAsync with a wire method ID (v3 frame).
 func (c *Cluster) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
 	return c.sendAsync(method, false, payload, 0, cb)
+}
+
+// SendMethodBudgetAsync is SendMethodAsync with a deadline budget: the
+// budget is both the op-level deadline (the request settles with
+// proto.ErrCallTimeout when it runs out) and the wire budget stamped —
+// as the time *remaining* — on every dispatch, primary or rescue. d == 0
+// inherits Config.CallTimeout; d < 0 disables the deadline (and stamps
+// nothing).
+func (c *Cluster) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	return c.sendAsync(method, false, payload, d, cb)
+}
+
+// SendBudgetAsync is the legacy (method-less) SendAsync bounded by a
+// deadline budget. v2 sends through the generic Caller interface cannot
+// re-stamp the wire extension, but the op-level deadline still bounds
+// how long the caller can be held.
+func (c *Cluster) SendBudgetAsync(payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	return c.sendAsync(0, true, payload, d, cb)
 }
 
 // SendOneWay issues a fire-and-forget request to one backend.

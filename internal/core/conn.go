@@ -63,6 +63,11 @@ type event struct {
 	msg proto.Message
 	seq uint64
 	at  time.Time
+	// deadline is the event's absolute deadline in unixNanos form (zero =
+	// none), derived at parse time from the frame's FlagDeadline budget:
+	// arrival + budget. The scheduler orders ready connections by it
+	// (earliest first) and sheds events already past it at dispatch.
+	deadline int64
 }
 
 // completion is one resolved token: the frames to transmit when seq's
@@ -103,6 +108,15 @@ type Conn struct {
 	pcbSpare []event
 	seqAlloc uint64
 
+	// edfDeadline caches the earliest absolute deadline (unixNanos) among
+	// the connection's queued events — zero when none carries one (zero
+	// sorts last: "no deadline" is the most patient class). Written under
+	// pcbMu alongside the queue; read lock-free by the scheduler to order
+	// ready connections earliest-deadline-first. It is advisory (a stale
+	// read only costs ordering quality, never correctness), so the
+	// relaxed read is safe.
+	edfDeadline atomic.Int64
+
 	// state is the Figure 5 state machine, stored atomically. Every
 	// transition to Ready accompanies a ready-ring push and runs under
 	// that ring's kernel lock (the home worker's for parse/finalize, a
@@ -139,6 +153,17 @@ func (c *Conn) pending() int {
 	c.pcbMu.Lock()
 	defer c.pcbMu.Unlock()
 	return len(c.pcb)
+}
+
+// edfKey is the connection's scheduling key for earliest-deadline-first
+// ordering: its cached earliest deadline, with "no deadline" mapped to
+// the far future so deadline-free traffic yields to deadline-carrying
+// traffic but keeps FIFO order among itself.
+func (c *Conn) edfKey() int64 {
+	if d := c.edfDeadline.Load(); d != 0 {
+		return d
+	}
+	return 1<<63 - 1
 }
 
 // State returns the connection's current scheduling state (an atomic
@@ -346,6 +371,15 @@ func (x *Ctx) QueueDelay() time.Duration { return x.started.Sub(x.ev.at) }
 // Seq returns the event's completion token: its per-connection sequence
 // number, which is also its guaranteed reply position.
 func (x *Ctx) Seq() uint64 { return x.ev.seq }
+
+// Deadline returns the event's absolute deadline — derived at parse
+// time from the frame's deadline budget — and whether one was carried.
+func (x *Ctx) Deadline() (time.Time, bool) {
+	if x.ev.deadline == 0 {
+		return time.Time{}, false
+	}
+	return time.Unix(0, x.ev.deadline), true
+}
 
 // complete produces the event's reply exactly once and routes it to the
 // TX sequencer: synchronous completions are stashed for the activation

@@ -98,6 +98,12 @@ type Config struct {
 	// batch bound for a v3-speaking peer. Clients without a depth hook
 	// drop the frame for free; a cluster tier's balancer routes on it.
 	DepthFrames bool
+	// OnExpired, when set, is invoked with the wire method of every
+	// event shed at dispatch because its deadline budget had already
+	// expired (StatusDeadlineExceeded). It runs on the activation hot
+	// path and must be cheap — the server layer uses it for per-route
+	// expiry accounting.
+	OnExpired func(method uint16)
 }
 
 // Stats is a snapshot of runtime counters.
@@ -109,6 +115,7 @@ type Stats struct {
 	Detached uint64 // events whose handlers detached their reply
 	Parks    uint64 // times a worker committed to an eventcount sleep
 	Wakes    uint64 // demand wakes delivered to parked workers
+	Expired  uint64 // events shed at dispatch with an already-expired deadline budget
 }
 
 // Runtime is a ZygOS-style work-conserving scheduler instance.
@@ -126,6 +133,7 @@ type Runtime struct {
 	detachTotal atomic.Uint64
 	parks       atomic.Uint64
 	wakes       atomic.Uint64
+	expired     atomic.Uint64
 	// detachedN counts detached events whose Completion has not resolved
 	// yet; quiescence (and therefore Flush) waits for them.
 	detachedN atomic.Int64
@@ -266,6 +274,7 @@ func (rt *Runtime) Stats() Stats {
 		Detached: rt.detachTotal.Load(),
 		Parks:    rt.parks.Load(),
 		Wakes:    rt.wakes.Load(),
+		Expired:  rt.expired.Load(),
 	}
 }
 

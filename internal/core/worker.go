@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"zygos/internal/proto"
 )
 
 // errRuntimeClosed is returned to transport readers blocked on a full
@@ -95,12 +97,13 @@ type Worker struct {
 	parkBackoff time.Duration
 	timerFired  atomic.Bool
 
-	rng      *rand.Rand
-	order    []int
-	stolen   [stealBatchMax]*Conn // stealBatch scratch
-	drainBuf [drainBatch]segment  // kernel-step ingress drain scratch (kernelMu-guarded)
-	inApp    atomic.Bool          // executing application code (IPI-interruptible)
-	active   atomic.Int32         // activations + kernel steps in flight (quiescence)
+	rng        *rand.Rand
+	order      []int
+	stolen     [stealBatchMax]*Conn // stealBatch scratch
+	drainBuf   [drainBatch]segment  // kernel-step ingress drain scratch (kernelMu-guarded)
+	readyBatch []*Conn              // kernel-step EDF publication scratch (kernelMu-guarded)
+	inApp      atomic.Bool          // executing application code (IPI-interruptible)
+	active     atomic.Int32         // activations + kernel steps in flight (quiescence)
 }
 
 // drainBatch is how many ingress segments one kernel-step sweep takes at
@@ -269,10 +272,22 @@ func (w *Worker) kernelStep() bool {
 					// a read, not a contended store per frame.
 					c.sawV3.Store(true)
 				}
+				// A frame-carried deadline budget becomes an absolute
+				// deadline at arrival; the scheduler orders ready
+				// connections by it and sheds events already past it.
+				var dl int64
+				if m.Budget != 0 {
+					dl = now.Add(time.Duration(m.Budget) * time.Microsecond).UnixNano()
+				}
 				c.pcbMu.Lock()
 				seq := c.seqAlloc
 				c.seqAlloc++
-				c.pcb = append(c.pcb, event{msg: m, seq: seq, at: now})
+				c.pcb = append(c.pcb, event{msg: m, seq: seq, at: now, deadline: dl})
+				if dl != 0 {
+					if cur := c.edfDeadline.Load(); cur == 0 || dl < cur {
+						c.edfDeadline.Store(dl)
+					}
+				}
 				c.pcbMu.Unlock()
 				w.rt.parsedN.Add(1)
 				events++
@@ -284,25 +299,51 @@ func (w *Worker) kernelStep() bool {
 				// trailing frame, which can never complete, is dropped.
 				c.parser.ReleaseBuffer()
 			}
-			if events > 0 {
-				w.markReady(c)
+			if events > 0 && ConnState(c.state.Load()) == StateIdle {
+				// Transition to Ready now (under kernelMu, which also
+				// dedups a connection hit by several segments of this
+				// batch) but defer the ring push: the whole batch publishes
+				// together below, sorted earliest-deadline-first, so a µs
+				// budget parsed behind an ms scan still dispatches first.
+				c.state.Store(int32(StateReady))
+				w.readyBatch = append(w.readyBatch, c)
 			}
+		}
+		if len(w.readyBatch) > 0 {
+			w.publishReady()
 		}
 	}
 	return did
 }
 
-// markReady publishes an idle connection in the ready ring (exactly-once:
-// ready connections are already queued, busy ones re-queue themselves in
-// finalizeLocked). Caller holds kernelMu — every Idle↔Ready transition
-// happens under it, which is what lets the ring's push side be
-// single-producer and the transition itself be a plain store.
-func (w *Worker) markReady(c *Conn) {
-	if ConnState(c.state.Load()) != StateIdle {
-		return
+// publishReady pushes the kernel step's batch of newly-ready
+// connections into the ready ring in earliest-deadline-first order.
+// Within one drain batch every event shares an arrival timestamp, so
+// deadline order IS budget order — the EDF sort is what lets a
+// microsecond-budget GET overtake a millisecond-budget scan that
+// arrived in the same sweep (the paper's bimodal-2 pathology).
+// Connections without deadlines keep FIFO order after all
+// deadline-carrying ones (stable insertion sort). Caller holds
+// kernelMu; every connection in the batch is already StateReady.
+func (w *Worker) publishReady() {
+	batch := w.readyBatch
+	if len(batch) > 1 {
+		for i := 1; i < len(batch); i++ {
+			c := batch[i]
+			k := c.edfKey()
+			j := i
+			for j > 0 && batch[j-1].edfKey() > k {
+				batch[j] = batch[j-1]
+				j--
+			}
+			batch[j] = c
+		}
 	}
-	c.state.Store(int32(StateReady))
-	w.ready.push(c)
+	for i, c := range batch {
+		w.ready.push(c)
+		batch[i] = nil
+	}
+	w.readyBatch = batch[:0]
 	w.signal()
 	if w.ready.Len() > 1 || w.inApp.Load() {
 		// More work than the home worker can start right now (or it is
@@ -353,11 +394,14 @@ func (w *Worker) activate(c *Conn) {
 
 	// Take the whole queue, leaving the previously drained backing array
 	// in its place: the two slices ping-pong between producer and
-	// consumer, so steady-state activations allocate nothing.
+	// consumer, so steady-state activations allocate nothing. The EDF
+	// cache resets with it — events arriving after this point set it
+	// afresh under the same lock.
 	c.pcbMu.Lock()
 	evs := c.pcb
 	c.pcb = c.pcbSpare[:0]
 	c.pcbSpare = nil
+	c.edfDeadline.Store(0)
 	c.pcbMu.Unlock()
 
 	cb := getComps()
@@ -365,7 +409,9 @@ func (w *Worker) activate(c *Conn) {
 	// measured to activation start, and another clock read per event
 	// would cost more than the rest of the dispatch bookkeeping.
 	started := time.Now()
+	startedNanos := started.UnixNano()
 	w.inApp.Store(true)
+	clockStale := false
 	for _, ev := range evs {
 		w.rt.events.Add(1)
 		if stolen {
@@ -375,7 +421,30 @@ func (w *Worker) activate(c *Conn) {
 		x.worker, x.conn, x.stolen, x.ev = w, c, stolen, ev
 		x.started = started
 		x.detached, x.done, x.frames = false, false, nil
-		w.rt.handler.Serve(x, c, ev.msg)
+		if ev.deadline != 0 && clockStale {
+			// A handler already ran in this batch, so the batch-start
+			// clock may be arbitrarily stale — a µs budget pipelined
+			// behind a ms handler on the same connection must still
+			// expire. One extra clock read per budgeted event that
+			// follows real work is the price of honoring the budget.
+			startedNanos = time.Now().UnixNano()
+			clockStale = false
+		}
+		if ev.deadline != 0 && ev.deadline <= startedNanos {
+			// Expired on arrival: the client has already given up on this
+			// reply, so running the handler would burn service time on
+			// dead work while live requests queue behind it. Complete
+			// with StatusDeadlineExceeded without dispatching (one-way
+			// events simply advance the sequencer).
+			_ = x.Error(proto.StatusDeadlineExceeded, "deadline budget exhausted before dispatch")
+			w.rt.expired.Add(1)
+			if f := w.rt.cfg.OnExpired; f != nil {
+				f(ev.msg.Method)
+			}
+		} else {
+			w.rt.handler.Serve(x, c, ev.msg)
+			clockStale = true
+		}
 		x.mu.Lock()
 		if x.detached {
 			// The Completion handle owns this token (and the Ctx) now; it
@@ -481,6 +550,19 @@ func (w *Worker) stealWork() bool {
 			continue
 		}
 		w.doneSpinning()
+		// EDF within the batch: execute the earliest-deadline connection
+		// first. The batch left the victim's ring in FIFO order, but a
+		// steal is exactly the moment a backlog exists — the moment
+		// deadline order matters most.
+		if n > 1 {
+			min := 0
+			for i := 1; i < n; i++ {
+				if w.stolen[i].edfKey() < w.stolen[min].edfKey() {
+					min = i
+				}
+			}
+			w.stolen[0], w.stolen[min] = w.stolen[min], w.stolen[0]
+		}
 		// Re-publish everything beyond the first in our own ready ring
 		// (Go's steal-half-into-own-runq pattern): the batch amortizes
 		// the victim's head CAS, but connections pinned in this worker's
@@ -490,8 +572,19 @@ func (w *Worker) stealWork() bool {
 		// connections. In our own ring they stay visible to the home
 		// loop, to other thieves, and to quiescence accounting. Our
 		// kernelMu guards our ring's producer side; if a proxier holds
-		// it, fall back to executing the batch serially.
+		// it, fall back to executing the batch serially. The surplus is
+		// pushed in EDF order too, so our ring's FIFO pop preserves it.
 		if n > 1 && w.kernelMu.TryLock() {
+			for i := 2; i < n; i++ {
+				c := w.stolen[i]
+				k := c.edfKey()
+				j := i
+				for j > 1 && w.stolen[j-1].edfKey() > k {
+					w.stolen[j] = w.stolen[j-1]
+					j--
+				}
+				w.stolen[j] = c
+			}
 			for i := 1; i < n; i++ {
 				w.stolen[i].state.Store(int32(StateReady))
 				w.ready.push(w.stolen[i])

@@ -342,6 +342,26 @@ func (f *FaultyCaller) SendMethodAsync(method uint16, payload []byte, cb func(re
 	})
 }
 
+// budgetSender mirrors the optional deadline-budget surface of the
+// inner transports, so a wrapped caller still carries wire budgets
+// (the cluster tier type-asserts for it at every dispatch).
+type budgetSender interface {
+	SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error
+}
+
+// SendMethodBudgetAsync forwards a budget-stamped send through the
+// fault plan; if the inner transport has no budget surface the budget
+// is dropped and the send degrades to SendMethodAsync.
+func (f *FaultyCaller) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	bs, ok := f.inner.(budgetSender)
+	if !ok {
+		return f.SendMethodAsync(method, payload, cb)
+	}
+	return f.sendFaulted(cb, func(fcb func([]byte, error)) error {
+		return bs.SendMethodBudgetAsync(method, payload, d, fcb)
+	})
+}
+
 func (f *FaultyCaller) oneWayFaulted(fwd func() error) error {
 	a, _ := f.in.decide()
 	switch a {

@@ -83,7 +83,7 @@ func (c *ClientConn) sendFrame(m proto.Message) error {
 		return ErrClosed
 	}
 	c.mu.Unlock()
-	frame := proto.AppendMessage(c.rt.GetSegment(proto.FrameSizeV3(len(m.Payload))), m)
+	frame := proto.AppendMessage(c.rt.GetSegment(proto.FrameSizeMsg(m)), m)
 	return c.rt.IngressOwned(c.server, frame)
 }
 
@@ -114,6 +114,22 @@ func (c *ClientConn) SendMethodAsync(method uint16, payload []byte, cb func(resp
 		return err
 	}
 	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true})
+}
+
+// SendMethodBudgetAsync is SendMethodAsync with a deadline budget: the
+// request frame carries the remaining time the caller is willing to
+// wait (FlagDeadline extension), so the server can shed it once it is
+// already useless and schedule it earliest-deadline-first until then.
+// d <= 0 sends no budget.
+func (c *ClientConn) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.disp.Register(cb)
+	if err != nil {
+		return err
+	}
+	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true, Budget: proto.BudgetMicros(d)})
 }
 
 // SendOneWay issues a fire-and-forget request: the server executes it
@@ -171,8 +187,18 @@ func (c *ClientConn) CallMethodInto(method uint16, payload, buf []byte) ([]byte,
 // proto.ErrCallTimeout promptly and the late reply, if it ever arrives,
 // is discarded at the waiter. d <= 0 means no deadline.
 func (c *ClientConn) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	if len(payload) > proto.MaxPayloadV2 {
+		return nil, proto.ErrPayloadTooLarge
+	}
 	w := proto.GetWaiter(nil)
-	if err := c.SendAsync(payload, w.Callback()); err != nil {
+	id, err := c.disp.Register(w.Callback())
+	if err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	// The deadline doubles as the wire budget: the server sees how long
+	// this caller will actually wait and sheds/schedules accordingly.
+	if err := c.sendFrame(proto.Message{ID: id, Payload: payload, V2: true, Budget: proto.BudgetMicros(d)}); err != nil {
 		w.Abandon()
 		return nil, err
 	}
@@ -182,7 +208,7 @@ func (c *ClientConn) CallTimeout(payload []byte, d time.Duration) ([]byte, error
 // CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
 func (c *ClientConn) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
 	w := proto.GetWaiter(nil)
-	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+	if err := c.SendMethodBudgetAsync(method, payload, d, w.Callback()); err != nil {
 		w.Abandon()
 		return nil, err
 	}

@@ -106,7 +106,24 @@ const (
 	// FlagOneWay marks a request whose sender expects no reply; the
 	// server executes it and sends nothing back.
 	FlagOneWay uint8 = 1 << 0
+	// FlagDeadline marks a v2/v3 frame carrying a trailing deadline
+	// extension: a DeadlineExtSize-byte little-endian deadline budget in
+	// microseconds immediately after the fixed header, before the
+	// payload. The length field still counts payload bytes only, so a
+	// peer that understands the flag skips the extension and an old peer
+	// never sees it (the flag is only set toward servers that already
+	// speak this framing — replies never carry it). The budget is the
+	// *remaining* time the sender is willing to wait; each forwarding
+	// tier re-stamps the frame with what is left, so downstream tiers
+	// shed work the client has already given up on.
+	FlagDeadline uint8 = 1 << 1
 )
+
+// DeadlineExtSize is the length of the deadline extension that follows
+// the fixed v2/v3 header when FlagDeadline is set: a 32-bit
+// little-endian budget in microseconds (~71 minutes max — far beyond
+// any microsecond-scale SLO).
+const DeadlineExtSize = 4
 
 // Wire status codes (v2 only). A v1 reply has no status channel and is
 // always implicitly StatusOK.
@@ -125,6 +142,12 @@ const (
 	// StatusNoMethod reports that the request named a method no handler
 	// is registered for (the Mux's NotFound reply).
 	StatusNoMethod uint8 = 4
+	// StatusDeadlineExceeded reports that the request's deadline budget
+	// expired before a handler ran (shed at dispatch) or before a
+	// forwarding tier was willing to send it on. The work was NOT
+	// executed; the client had already given up, so the server spent
+	// nothing on it.
+	StatusDeadlineExceeded uint8 = 5
 )
 
 // StatusText returns a short human-readable name for a status code.
@@ -140,9 +163,21 @@ func StatusText(code uint8) string {
 		return "internal server error"
 	case StatusNoMethod:
 		return "no such method"
+	case StatusDeadlineExceeded:
+		return "deadline budget exceeded"
 	}
 	return fmt.Sprintf("status %d", code)
 }
+
+// ErrShed and ErrDeadlineExceeded are errors.Is targets for the two
+// overload statuses, so callers can branch on "back off and retry"
+// versus "the work is already useless" without unpacking *StatusError:
+//
+//	if errors.Is(err, proto.ErrShed) { backoff(RetryAfter(err)) }
+var (
+	ErrShed             = &StatusError{Code: StatusShed}
+	ErrDeadlineExceeded = &StatusError{Code: StatusDeadlineExceeded}
+)
 
 // StatusError is the typed error surfaced to callers when a reply
 // carries a non-OK wire status.
@@ -159,6 +194,14 @@ func (e *StatusError) Error() string {
 		return fmt.Sprintf("zygos: %s (status %d)", StatusText(e.Code), e.Code)
 	}
 	return fmt.Sprintf("zygos: %s (status %d): %s", StatusText(e.Code), e.Code, e.Msg)
+}
+
+// Is matches two StatusErrors by code alone, making
+// errors.Is(err, ErrShed) work regardless of the message the server
+// attached (e.g. the retry-after hint in a shed payload).
+func (e *StatusError) Is(target error) bool {
+	t, ok := target.(*StatusError)
+	return ok && t.Code == e.Code
 }
 
 // Message is one framed request or response.
@@ -179,6 +222,11 @@ type Message struct {
 	// V3 records a v3 (method-carrying) frame; it takes precedence over
 	// V2 when selecting the encoding.
 	V3 bool
+	// Budget is the request's remaining deadline budget in microseconds;
+	// zero means no deadline. A nonzero budget on a v2/v3 message makes
+	// the encoder set FlagDeadline and emit the trailing deadline
+	// extension (v1 frames have no flags byte and silently drop it).
+	Budget uint32
 
 	// lease pins the parse buffer Payload points into; nil for messages
 	// built by hand (whose payloads the caller owns).
@@ -251,7 +299,7 @@ func AppendFrameV2(buf []byte, m Message) []byte {
 	if n > MaxPayloadV2 {
 		panic("proto: AppendFrameV2 payload exceeds MaxPayloadV2")
 	}
-	var hdr [HeaderSizeV2]byte
+	var hdr [HeaderSizeV2 + DeadlineExtSize]byte
 	hdr[0] = byte(n)
 	hdr[1] = byte(n >> 8)
 	hdr[2] = byte(n >> 16)
@@ -259,7 +307,13 @@ func AppendFrameV2(buf []byte, m Message) []byte {
 	hdr[4] = m.Flags
 	hdr[5] = m.Status
 	binary.LittleEndian.PutUint64(hdr[6:14], m.ID)
-	buf = append(buf, hdr[:]...)
+	h := HeaderSizeV2
+	if m.Budget != 0 {
+		hdr[4] |= FlagDeadline
+		binary.LittleEndian.PutUint32(hdr[h:h+DeadlineExtSize], m.Budget)
+		h += DeadlineExtSize
+	}
+	buf = append(buf, hdr[:h]...)
 	return append(buf, m.Payload...)
 }
 
@@ -271,7 +325,7 @@ func AppendFrameV3(buf []byte, m Message) []byte {
 	if n > MaxPayloadV2 {
 		panic("proto: AppendFrameV3 payload exceeds MaxPayloadV2")
 	}
-	var hdr [HeaderSizeV3]byte
+	var hdr [HeaderSizeV3 + DeadlineExtSize]byte
 	hdr[0] = byte(n)
 	hdr[1] = byte(n >> 8)
 	hdr[2] = byte(n >> 16)
@@ -280,7 +334,13 @@ func AppendFrameV3(buf []byte, m Message) []byte {
 	hdr[5] = m.Status
 	binary.LittleEndian.PutUint16(hdr[6:8], m.Method)
 	binary.LittleEndian.PutUint64(hdr[8:16], m.ID)
-	buf = append(buf, hdr[:]...)
+	h := HeaderSizeV3
+	if m.Budget != 0 {
+		hdr[4] |= FlagDeadline
+		binary.LittleEndian.PutUint32(hdr[h:h+DeadlineExtSize], m.Budget)
+		h += DeadlineExtSize
+	}
+	buf = append(buf, hdr[:h]...)
 	return append(buf, m.Payload...)
 }
 
@@ -329,6 +389,26 @@ func FrameSizeV2(n int) int { return HeaderSizeV2 + n }
 // FrameSizeV3 returns the encoded size of a v3 frame carrying n payload
 // bytes.
 func FrameSizeV3(n int) int { return HeaderSizeV3 + n }
+
+// FrameSizeMsg returns the exact encoded size of m under AppendMessage,
+// including the deadline extension when m.Budget is set — transports
+// size pooled encode buffers with it so a budget-stamped frame never
+// reallocates out of its pool class mid-append.
+func FrameSizeMsg(m Message) int {
+	n := len(m.Payload)
+	switch {
+	case m.V3:
+		n += HeaderSizeV3
+	case m.V2:
+		n += HeaderSizeV2
+	default:
+		return HeaderSize + n // v1 cannot carry a budget
+	}
+	if m.Budget != 0 {
+		n += DeadlineExtSize
+	}
+	return n
+}
 
 // Parser incrementally decodes a frame stream carrying any mix of v1,
 // v2 and v3 frames. The zero value is ready to use.
@@ -419,49 +499,69 @@ func (p *Parser) Next() (Message, bool, error) {
 // nextV2 decodes a v2 frame; the caller has verified the magic byte and
 // that at least HeaderSize bytes are buffered. buf is pb.data[start:].
 func (p *Parser) nextV2(buf []byte) (Message, bool, error) {
-	if len(buf) < HeaderSizeV2 {
+	// The flags byte is within the guaranteed HeaderSize prefix, so the
+	// deadline extension's presence is decidable before the full header
+	// has arrived.
+	hdr := HeaderSizeV2
+	if buf[4]&FlagDeadline != 0 {
+		hdr += DeadlineExtSize
+	}
+	if len(buf) < hdr {
 		return Message{}, false, nil
 	}
 	n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16
-	if len(buf) < HeaderSizeV2+n {
+	if len(buf) < hdr+n {
 		return Message{}, false, nil
 	}
 	m := Message{
-		Flags:   buf[4],
+		// FlagDeadline is framing metadata, not message state: Budget
+		// carries the value, and the encoder re-derives the flag from it,
+		// so a re-stamped forward never emits the flag without the bytes.
+		Flags:   buf[4] &^ FlagDeadline,
 		Status:  buf[5],
 		ID:      binary.LittleEndian.Uint64(buf[6:14]),
-		Payload: p.view(buf, HeaderSizeV2, n),
+		Payload: p.view(buf, hdr, n),
 		V2:      true,
+	}
+	if hdr > HeaderSizeV2 {
+		m.Budget = binary.LittleEndian.Uint32(buf[HeaderSizeV2 : HeaderSizeV2+DeadlineExtSize])
 	}
 	if m.Payload != nil {
 		m.lease = p.pb
 	}
-	p.consume(HeaderSizeV2+n, m.Payload != nil)
+	p.consume(hdr+n, m.Payload != nil)
 	return m, true, nil
 }
 
 // nextV3 decodes a v3 frame; the caller has verified the magic byte and
 // that at least HeaderSize bytes are buffered. buf is pb.data[start:].
 func (p *Parser) nextV3(buf []byte) (Message, bool, error) {
-	if len(buf) < HeaderSizeV3 {
+	hdr := HeaderSizeV3
+	if buf[4]&FlagDeadline != 0 {
+		hdr += DeadlineExtSize
+	}
+	if len(buf) < hdr {
 		return Message{}, false, nil
 	}
 	n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16
-	if len(buf) < HeaderSizeV3+n {
+	if len(buf) < hdr+n {
 		return Message{}, false, nil
 	}
 	m := Message{
-		Flags:   buf[4],
+		Flags:   buf[4] &^ FlagDeadline,
 		Status:  buf[5],
 		Method:  binary.LittleEndian.Uint16(buf[6:8]),
 		ID:      binary.LittleEndian.Uint64(buf[8:16]),
-		Payload: p.view(buf, HeaderSizeV3, n),
+		Payload: p.view(buf, hdr, n),
 		V3:      true,
+	}
+	if hdr > HeaderSizeV3 {
+		m.Budget = binary.LittleEndian.Uint32(buf[HeaderSizeV3 : HeaderSizeV3+DeadlineExtSize])
 	}
 	if m.Payload != nil {
 		m.lease = p.pb
 	}
-	p.consume(HeaderSizeV3+n, m.Payload != nil)
+	p.consume(hdr+n, m.Payload != nil)
 	return m, true, nil
 }
 

@@ -1,0 +1,75 @@
+package proto
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Budget/deadline helpers shared by every transport: the wire carries
+// budgets as 32-bit microsecond counts (see FlagDeadline), the API
+// speaks time.Duration.
+
+// BudgetMicros converts a deadline budget to its wire encoding,
+// clamping to the representable range. Non-positive durations encode as
+// zero — "no deadline" — because a transport stamping an already-negative
+// remaining budget should have shed the call instead.
+func BudgetMicros(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	us := d / time.Microsecond
+	if us == 0 {
+		us = 1 // a sub-microsecond positive budget still means "now", not "none"
+	}
+	if us > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(us)
+}
+
+// BudgetDuration converts a wire budget back to a duration; zero means
+// no deadline.
+func BudgetDuration(us uint32) time.Duration {
+	return time.Duration(us) * time.Microsecond
+}
+
+// retryAfterPrefix introduces the machine-readable backoff hint a shed
+// payload may carry: "retry-after-us=<n>; <human message>". It rides
+// the existing StatusShed payload (surfaced as StatusError.Msg) so no
+// frame change is needed for it.
+const retryAfterPrefix = "retry-after-us="
+
+// FormatRetryAfter builds a shed-payload message carrying a
+// retry-after hint followed by the human-readable reason.
+func FormatRetryAfter(d time.Duration, msg string) string {
+	us := int64(d / time.Microsecond)
+	if us < 0 {
+		us = 0
+	}
+	return retryAfterPrefix + strconv.FormatInt(us, 10) + "; " + msg
+}
+
+// ParseRetryAfter extracts the retry-after hint from a shed message, if
+// present, returning the suggested backoff and the remaining
+// human-readable part. ok is false when the message carries no hint.
+func ParseRetryAfter(msg string) (d time.Duration, rest string, ok bool) {
+	if !strings.HasPrefix(msg, retryAfterPrefix) {
+		return 0, msg, false
+	}
+	body := msg[len(retryAfterPrefix):]
+	numEnd := strings.IndexByte(body, ';')
+	if numEnd < 0 {
+		numEnd = len(body)
+	}
+	us, err := strconv.ParseInt(strings.TrimSpace(body[:numEnd]), 10, 64)
+	if err != nil || us < 0 {
+		return 0, msg, false
+	}
+	rest = ""
+	if numEnd < len(body) {
+		rest = strings.TrimSpace(body[numEnd+1:])
+	}
+	return time.Duration(us) * time.Microsecond, rest, true
+}

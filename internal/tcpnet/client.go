@@ -75,7 +75,7 @@ func (c *Client) OnDepth(f func(depth uint32)) {
 // as v3. The write is flushed immediately (open-loop latency
 // measurement cannot tolerate client-side batching).
 func (c *Client) sendFrame(m proto.Message) error {
-	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(m.Payload))), m)
+	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeMsg(m)), m)
 	err := c.write(frame)
 	bufpool.Put(frame)
 	return err
@@ -107,6 +107,21 @@ func (c *Client) SendMethodAsync(method uint16, payload []byte, cb func(resp []b
 		return err
 	}
 	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true})
+}
+
+// SendMethodBudgetAsync is SendMethodAsync with a deadline budget
+// stamped on the wire (FlagDeadline extension): the server sees the
+// remaining time the caller will wait and sheds or EDF-schedules the
+// request accordingly. d <= 0 sends no budget.
+func (c *Client) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	if len(payload) > proto.MaxPayloadV2 {
+		return proto.ErrPayloadTooLarge
+	}
+	id, err := c.disp.Register(cb)
+	if err != nil {
+		return err
+	}
+	return c.sendFrame(proto.Message{ID: id, Method: method, Payload: payload, V3: true, Budget: proto.BudgetMicros(d)})
 }
 
 // SendOneWay issues a fire-and-forget request: the server executes it
@@ -177,8 +192,17 @@ func (c *Client) CallMethodInto(method uint16, payload, buf []byte) ([]byte, err
 // proto.ErrCallTimeout promptly and the late reply, if it ever arrives,
 // is discarded at the waiter. d <= 0 means no deadline.
 func (c *Client) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
+	if len(payload) > proto.MaxPayloadV2 {
+		return nil, proto.ErrPayloadTooLarge
+	}
 	w := proto.GetWaiter(nil)
-	if err := c.SendAsync(payload, w.Callback()); err != nil {
+	id, err := c.disp.Register(w.Callback())
+	if err != nil {
+		w.Abandon()
+		return nil, err
+	}
+	// The deadline doubles as the wire budget (see SendMethodBudgetAsync).
+	if err := c.sendFrame(proto.Message{ID: id, Payload: payload, V2: true, Budget: proto.BudgetMicros(d)}); err != nil {
 		w.Abandon()
 		return nil, err
 	}
@@ -188,7 +212,7 @@ func (c *Client) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
 // CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
 func (c *Client) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
 	w := proto.GetWaiter(nil)
-	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+	if err := c.SendMethodBudgetAsync(method, payload, d, w.Callback()); err != nil {
 		w.Abandon()
 		return nil, err
 	}

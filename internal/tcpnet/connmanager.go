@@ -305,7 +305,7 @@ func (ms *managedSock) send(frame []byte) error {
 // are copied into the coalescing buffer, so the frame can return to the
 // pool immediately.
 func (ms *managedSock) sendMessage(m proto.Message) error {
-	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(m.Payload))), m)
+	frame := proto.AppendMessage(bufpool.Get(proto.FrameSizeMsg(m)), m)
 	err := ms.send(frame)
 	bufpool.Put(frame)
 	return err
@@ -342,6 +342,12 @@ func (c *ManagedCaller) SendAsync(payload []byte, cb func(resp []byte, err error
 // SendMethodAsync is SendAsync with a method identifier (v3 frame).
 func (c *ManagedCaller) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
 	return c.sendAsync(proto.Message{Method: method, Payload: payload, V3: true}, cb)
+}
+
+// SendMethodBudgetAsync is SendMethodAsync with a deadline budget
+// stamped on the wire (FlagDeadline extension); d <= 0 sends no budget.
+func (c *ManagedCaller) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	return c.sendAsync(proto.Message{Method: method, Payload: payload, V3: true, Budget: proto.BudgetMicros(d)}, cb)
 }
 
 func (c *ManagedCaller) sendAsync(m proto.Message, cb func(resp []byte, err error)) error {
@@ -417,7 +423,8 @@ func (c *ManagedCaller) CallMethodInto(method uint16, payload, buf []byte) ([]by
 // is discarded at the waiter. d <= 0 means no deadline.
 func (c *ManagedCaller) CallTimeout(payload []byte, d time.Duration) ([]byte, error) {
 	w := proto.GetWaiter(nil)
-	if err := c.SendAsync(payload, w.Callback()); err != nil {
+	// The deadline doubles as the wire budget (see SendMethodBudgetAsync).
+	if err := c.sendAsync(proto.Message{Payload: payload, V2: true, Budget: proto.BudgetMicros(d)}, w.Callback()); err != nil {
 		w.Abandon()
 		return nil, err
 	}
@@ -427,7 +434,7 @@ func (c *ManagedCaller) CallTimeout(payload []byte, d time.Duration) ([]byte, er
 // CallMethodTimeout is CallMethod bounded by d (see CallTimeout).
 func (c *ManagedCaller) CallMethodTimeout(method uint16, payload []byte, d time.Duration) ([]byte, error) {
 	w := proto.GetWaiter(nil)
-	if err := c.SendMethodAsync(method, payload, w.Callback()); err != nil {
+	if err := c.SendMethodBudgetAsync(method, payload, d, w.Callback()); err != nil {
 		w.Abandon()
 		return nil, err
 	}

@@ -282,6 +282,13 @@ func (s *Server) addConn(nc net.Conn) error {
 			}
 		}
 	}
+	// The core connection must exist before the poller can deliver the
+	// first read AND before the conn is published to the registry: the
+	// sweeper walks the registry and dereferences sc.cc, so assigning it
+	// after publication races (a fast sweep tick could even see nil).
+	// NewConn only allocates — on the closed path below the orphan holds
+	// no runtime references and is simply collected.
+	sc.cc = s.rt.NewConn(sc)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -296,9 +303,6 @@ func (s *Server) addConn(nc net.Conn) error {
 	s.conns[sc] = struct{}{}
 	s.accepted.Add(1)
 	s.mu.Unlock()
-	// The core connection must exist before the poller can deliver the
-	// first read.
-	sc.cc = s.rt.NewConn(sc)
 	if err := p.addConn(sc); err != nil {
 		sc.teardown()
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zygos"
 	"zygos/internal/silo"
@@ -77,6 +78,17 @@ func (s *Store) RegisterRoutes(mux *zygos.Mux, seed int64) *zygos.Mux {
 		rng := rngs.get(req.Worker)
 		s.serveTx(w, req.Worker, rng, Pick(rng))
 	})
+	// Declared SLOs — the overload controller's route policy. The hints
+	// are passive until the server installs SLO-aware middleware
+	// (RouteAwareAdmission / SLOEnforcement). NewOrder and Payment, 88%
+	// of the mix and the transactions TPC-C's response-time requirements
+	// bind, shed last; the 4% read-only StockLevel scan sheds first, so
+	// under overload its queue room drains to the routes that matter.
+	mux.Route(TxNewOrder.Method()).SLO(5*time.Millisecond, 500*time.Microsecond)
+	mux.Route(TxPayment.Method()).SLO(5*time.Millisecond, 200*time.Microsecond)
+	mux.Route(TxOrderStatus.Method()).SLO(10*time.Millisecond, 200*time.Microsecond).ShedPriority(1)
+	mux.Route(TxDelivery.Method()).SLO(20*time.Millisecond, 2*time.Millisecond).ShedPriority(1)
+	mux.Route(TxStockLevel.Method()).SLO(20*time.Millisecond, 2*time.Millisecond).ShedPriority(2)
 	return mux
 }
 

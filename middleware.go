@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zygos/internal/core"
+	"zygos/internal/proto"
 	"zygos/internal/stats"
 )
 
@@ -54,12 +55,18 @@ func (s LatencySnapshot) String() string {
 		s.Count, us(s.Mean), us(s.P50), us(s.P99), us(s.Max))
 }
 
-// routeRec is one wire method's share of the traffic: a dispatch
-// counter and an end-to-end latency histogram. The LatencyRecording
-// middleware creates one per method on first sight.
+// routeRec is one wire method's share of the traffic: dispatch, shed,
+// expiry, and SLO-attainment counters plus an end-to-end latency
+// histogram. Created per method on first sight by whichever of the
+// recording or admission middleware (or the scheduler's expiry
+// callback) touches the route first.
 type routeRec struct {
-	count atomic.Uint64
-	lat   lockedHistogram
+	count     atomic.Uint64
+	shed      atomic.Uint64
+	expired   atomic.Uint64
+	sloMet    atomic.Uint64
+	sloMissed atomic.Uint64
+	lat       lockedHistogram
 }
 
 // routeRec returns the record for a wire method, creating it on first
@@ -96,35 +103,48 @@ func (s *Server) LatencyRecording() Middleware {
 			s.qdelay.record(req.QueueDelay)
 			route := s.routeRec(req.Method)
 			route.count.Add(1)
-			next(&timingWriter{inner: w, s: s, route: route, start: req.ArrivedAt}, req)
+			tw := &timingWriter{inner: w, s: s, route: route, start: req.ArrivedAt}
+			tw.deadline, _ = req.Deadline()
+			next(tw, req)
 		}
 	}
 }
 
 // timingWriter records end-to-end latency when the reply completes,
-// following the request through Detach. Shed rejections are excluded:
-// they complete in near-zero time and would dilute the tail-latency
-// metric exactly when overload makes it interesting (they are counted
-// in Stats().Shed instead).
+// following the request through Detach. Shed and deadline-expired
+// rejections are excluded: they complete in near-zero time and would
+// dilute the tail-latency metric exactly when overload makes it
+// interesting (they are counted in Stats().Shed / Stats().Expired
+// instead). Budgeted requests additionally score the route's SLO
+// attainment: did the reply land inside the wire deadline?
 type timingWriter struct {
-	inner ResponseWriter
-	s     *Server
-	route *routeRec
-	start time.Time
+	inner    ResponseWriter
+	s        *Server
+	route    *routeRec
+	start    time.Time
+	deadline time.Time
 }
 
 func (w *timingWriter) finish(err error) error {
 	if err == nil {
-		d := time.Since(w.start)
+		now := time.Now()
+		d := now.Sub(w.start)
 		w.s.latency.record(d)
 		w.route.lat.record(d)
+		if !w.deadline.IsZero() {
+			if now.Before(w.deadline) {
+				w.route.sloMet.Add(1)
+			} else {
+				w.route.sloMissed.Add(1)
+			}
+		}
 	}
 	return err
 }
 
 func (w *timingWriter) Reply(payload []byte) error { return w.finish(w.inner.Reply(payload)) }
 func (w *timingWriter) Error(code uint8, msg string) error {
-	if code == StatusShed {
+	if code == StatusShed || code == StatusDeadlineExceeded {
 		return w.inner.Error(code, msg)
 	}
 	return w.finish(w.inner.Error(code, msg))
@@ -140,7 +160,7 @@ type timingCompletion struct {
 
 func (c *timingCompletion) Reply(payload []byte) error { return c.w.finish(c.co.Reply(payload)) }
 func (c *timingCompletion) Error(code uint8, msg string) error {
-	if code == StatusShed {
+	if code == StatusShed || code == StatusDeadlineExceeded {
 		return c.co.Error(code, msg)
 	}
 	return c.w.finish(c.co.Error(code, msg))
@@ -161,12 +181,118 @@ func (c *timingCompletion) Error(code uint8, msg string) error {
 func (s *Server) AdmissionControl(maxDepth int) Middleware {
 	return func(next Handler) Handler {
 		return func(w ResponseWriter, req *Request) {
-			if s.rt.Backlog() > int64(maxDepth) {
-				s.shed.Add(1)
-				w.Error(StatusShed, "admission control: queue depth exceeded")
+			if backlog := s.rt.Backlog(); backlog > int64(maxDepth) {
+				s.shedReq(w, req, backlog, int64(maxDepth), 0)
 				return
 			}
 			next(w, req)
 		}
 	}
 }
+
+// RouteAwareAdmission returns middleware that sheds load by declared
+// shed priority instead of uniformly: route p's threshold is
+// maxDepth>>p, so as the backlog climbs the cheap-to-sacrifice routes
+// (ShedPriority 1, 2, …) are rejected first while the routes the SLO
+// protects keep admitting until the full limit. With TPC-C's mix that
+// means the 4%-of-traffic StockLevel scan sheds long before the 45%
+// NewOrder path feels anything. Shed replies carry a retry-after hint
+// ("retry-after-us=<n>; …") sized to the excess backlog's estimated
+// drain time; clients recover it with RetryAfter and the RetryPolicy
+// honors it. Hints come from mux's copy-on-write SLO table, so
+// declaring SLOs while serving is safe.
+func (s *Server) RouteAwareAdmission(mux *Mux, maxDepth int) Middleware {
+	return func(next Handler) Handler {
+		return func(w ResponseWriter, req *Request) {
+			slo := mux.SLOHints()[req.Method]
+			limit := int64(maxDepth) >> slo.ShedPriority
+			if limit < 1 {
+				limit = 1
+			}
+			if backlog := s.rt.Backlog(); backlog > limit {
+				s.shedReq(w, req, backlog, limit, slo.Cost)
+				return
+			}
+			next(w, req)
+		}
+	}
+}
+
+// shedReq rejects one request with StatusShed, a retry-after hint in
+// the payload, and the server- and route-level shed counters bumped.
+func (s *Server) shedReq(w ResponseWriter, req *Request, backlog, limit int64, cost time.Duration) {
+	s.shed.Add(1)
+	s.routeRec(req.Method).shed.Add(1)
+	hint := retryAfterHint(backlog-limit, cost, s.rt.Cores())
+	w.Error(StatusShed, proto.FormatRetryAfter(hint, "admission control: queue depth exceeded"))
+}
+
+// retryAfterHint estimates when a shed caller should retry: the time
+// for the excess backlog above the admission limit to drain across the
+// worker pool, at the route's declared cost (nominal 100µs when
+// undeclared), clamped to keep hints sane under both trickles and
+// avalanches. Deliberately atomic-read cheap — it runs on the shed
+// path, which IS the hot path during overload.
+func retryAfterHint(excess int64, cost time.Duration, cores int) time.Duration {
+	if cost <= 0 {
+		cost = 100 * time.Microsecond
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	d := time.Duration(excess) * cost / time.Duration(cores)
+	if d < 50*time.Microsecond {
+		d = 50 * time.Microsecond
+	}
+	if d > 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	return d
+}
+
+// SLOEnforcement returns middleware that keeps slow handlers from
+// blowing fast routes' budgets:
+//
+//   - Requests whose wire deadline has already passed when the chain
+//     runs them are answered StatusDeadlineExceeded without invoking
+//     the handler — a second expiry gate behind the scheduler's, which
+//     catches budget lost inside outer middleware.
+//   - Routes whose declared Cost exceeds their declared Budget are
+//     pre-detached: the handler runs on its own goroutine while the
+//     worker moves on to steal or run budgeted work, so a
+//     milliseconds-long scan cannot pin a core that microsecond
+//     requests are queued behind. Per-connection reply ordering is
+//     preserved by the runtime's completion tokens, exactly as with an
+//     explicit Detach.
+//
+// Detached-by-policy handlers observe the same ResponseWriter contract;
+// a handler that calls Detach itself simply gets the same Completion
+// back. Place SLOEnforcement after admission and recording middleware.
+func (s *Server) SLOEnforcement(mux *Mux) Middleware {
+	return func(next Handler) Handler {
+		return func(w ResponseWriter, req *Request) {
+			if rem, ok := req.RemainingBudget(); ok && rem <= 0 {
+				s.routeRec(req.Method).expired.Add(1)
+				w.Error(StatusDeadlineExceeded, "deadline budget exhausted in middleware")
+				return
+			}
+			slo := mux.SLOHints()[req.Method]
+			if slo.Cost > 0 && slo.Budget > 0 && slo.Cost >= slo.Budget {
+				co := w.Detach()
+				go next(detachedWriter{co}, req)
+				return
+			}
+			next(w, req)
+		}
+	}
+}
+
+// detachedWriter presents an already-detached request's Completion as a
+// ResponseWriter, so handlers auto-detached by SLOEnforcement run
+// unmodified. Detach is idempotent here: the request already left its
+// worker.
+type detachedWriter struct{ co Completion }
+
+func (w detachedWriter) Reply(payload []byte) error         { return w.co.Reply(payload) }
+func (w detachedWriter) Error(code uint8, msg string) error { return w.co.Error(code, msg) }
+func (w detachedWriter) Detach() Completion                 { return w.co }

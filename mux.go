@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Mux routes requests to handlers by the wire method ID carried in v3
@@ -32,6 +33,7 @@ type Mux struct {
 	mu       sync.Mutex
 	routes   map[uint16]*Route
 	table    atomic.Value // map[uint16]Handler: composed per-route chains
+	slo      atomic.Value // map[uint16]RouteSLO: declared SLO hints
 	notFound atomic.Value // Handler
 }
 
@@ -42,6 +44,28 @@ type Route struct {
 	method uint16
 	h      Handler
 	mws    []Middleware
+	slo    RouteSLO
+}
+
+// RouteSLO is a route's declared service-level objective: the latency
+// budget its callers expect, the handler's expected service time, and
+// how eagerly the route may be sacrificed under overload. Declared with
+// Route.SLO and Route.ShedPriority; consumed by the server's
+// SLO-aware middleware (RouteAwareAdmission, SLOEnforcement).
+type RouteSLO struct {
+	// Budget is the end-to-end latency objective. Zero means the route
+	// declared none.
+	Budget time.Duration
+	// Cost is the expected handler service time — the scheduler hint
+	// that lets SLOEnforcement detach handlers too slow for the budget
+	// before they pin a worker.
+	Cost time.Duration
+	// ShedPriority ranks the route for overload shedding: priority p
+	// halves the route's admission threshold p times, so
+	// cheap-to-sacrifice routes (a TPC-C StockLevel scan) drain queue
+	// room for the routes the SLO is really about (NewOrder). Zero —
+	// the default — sheds last, at the full depth limit.
+	ShedPriority int
 }
 
 // NewMux returns an empty Mux whose NotFound handler replies
@@ -52,6 +76,7 @@ func NewMux() *Mux {
 		w.Error(StatusNoMethod, "zygos: no handler for method "+strconv.Itoa(int(req.Method)))
 	}))
 	m.table.Store(map[uint16]Handler{})
+	m.slo.Store(map[uint16]RouteSLO{})
 	return m
 }
 
@@ -110,6 +135,13 @@ func (m *Mux) Methods() []uint16 {
 // Config.Handler or for mounting a Mux under a route of another Mux.
 func (m *Mux) Handler() Handler { return m.ServeRPC }
 
+// SLOHints returns the current copy-on-write snapshot of declared
+// per-route SLOs. The returned map must not be mutated. Lock-free;
+// cheap enough for per-request middleware.
+func (m *Mux) SLOHints() map[uint16]RouteSLO {
+	return m.slo.Load().(map[uint16]RouteSLO)
+}
+
 // ServeRPC dispatches one request to its method's handler chain; it is
 // the Handler a Mux-configured server runs.
 func (m *Mux) ServeRPC(w ResponseWriter, req *Request) {
@@ -131,12 +163,16 @@ func (m *Mux) routeLocked(method uint16) *Route {
 	return r
 }
 
-// recomposeLocked rebuilds the dispatch snapshot: each registered
-// handler wrapped in its route middleware, innermost-last exactly like
-// Server.Use. Caller holds m.mu.
+// recomposeLocked rebuilds the dispatch and SLO snapshots: each
+// registered handler wrapped in its route middleware, innermost-last
+// exactly like Server.Use. Caller holds m.mu.
 func (m *Mux) recomposeLocked() {
 	table := make(map[uint16]Handler, len(m.routes))
+	slo := make(map[uint16]RouteSLO, len(m.routes))
 	for method, r := range m.routes {
+		if r.slo != (RouteSLO{}) {
+			slo[method] = r.slo
+		}
 		if r.h == nil {
 			continue
 		}
@@ -147,6 +183,7 @@ func (m *Mux) recomposeLocked() {
 		table[method] = h
 	}
 	m.table.Store(table)
+	m.slo.Store(slo)
 }
 
 // Use appends middleware to the route's chain (first installed is
@@ -159,6 +196,40 @@ func (r *Route) Use(mws ...Middleware) *Route {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r.mws = append(r.mws, mws...)
+	m.recomposeLocked()
+	return r
+}
+
+// SLO declares the route's latency budget and expected handler cost
+// and returns the route for chaining:
+//
+//	mux.HandleFunc(MethodGet, handleGet).SLO(100*time.Microsecond, 2*time.Microsecond)
+//	mux.HandleFunc(MethodScan, handleScan).SLO(10*time.Millisecond, 3*time.Millisecond)
+//
+// The hints feed the SLO-aware middleware: RouteAwareAdmission sheds
+// against them, SLOEnforcement detaches handlers whose declared cost
+// exceeds the budget, and clients that stamp no explicit wire budget
+// inherit nothing — the declaration is server-side policy only.
+func (r *Route) SLO(budget, cost time.Duration) *Route {
+	m := r.mux
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r.slo.Budget = budget
+	r.slo.Cost = cost
+	m.recomposeLocked()
+	return r
+}
+
+// ShedPriority declares how eagerly the route is sacrificed under
+// overload (see RouteSLO.ShedPriority); p < 0 is clamped to 0.
+func (r *Route) ShedPriority(p int) *Route {
+	m := r.mux
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p < 0 {
+		p = 0
+	}
+	r.slo.ShedPriority = p
 	m.recomposeLocked()
 	return r
 }

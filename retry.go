@@ -1,0 +1,94 @@
+package zygos
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy retries calls rejected by server-side overload control.
+// Only shed rejections (errors.Is(err, ErrShed)) are retried: they are
+// the server explicitly saying "come back later" — every other error,
+// including ErrDeadlineExceeded and transport failures, returns
+// immediately, because retrying work the server already judged
+// unaffordable or undeliverable just feeds the overload.
+//
+// Backoff honors the server's retry-after hint when the shed payload
+// carries one ("retry-after-us=<n>; …"), falling back to jittered
+// exponential backoff otherwise. The zero value is usable:
+//
+//	var rp zygos.RetryPolicy
+//	resp, err := rp.Do(func() ([]byte, error) { return c.CallMethod(m, p) })
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (first call included); <= 0 means
+	// the default of 3.
+	MaxAttempts int
+	// BaseBackoff is the first fallback backoff when no retry-after
+	// hint is present, doubling per attempt; <= 0 means 200µs.
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single sleep, hinted or not; <= 0 means 20ms.
+	MaxBackoff time.Duration
+	// Rand, when set, supplies the backoff jitter — inject a seeded
+	// source for reproducible tests. Guarded internally; nil uses the
+	// global source.
+	Rand *rand.Rand
+
+	mu sync.Mutex // serializes Rand, which is not concurrency-safe
+}
+
+// Do runs call, retrying sheds per the policy. It returns the last
+// reply and error; a shed that exhausts attempts surfaces as the
+// original *StatusError (still errors.Is-matchable against ErrShed).
+func (p *RetryPolicy) Do(call func() ([]byte, error)) ([]byte, error) {
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 200 * time.Microsecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 20 * time.Millisecond
+	}
+	var resp []byte
+	var err error
+	for i := 0; i < attempts; i++ {
+		resp, err = call()
+		if err == nil || !errors.Is(err, ErrShed) {
+			return resp, err
+		}
+		if i == attempts-1 {
+			break
+		}
+		d, hinted := RetryAfter(err)
+		if !hinted || d <= 0 {
+			d = base << i
+		}
+		if d > max {
+			d = max
+		}
+		time.Sleep(p.jitter(d))
+	}
+	return resp, err
+}
+
+// jitter spreads a backoff uniformly over [d/2, d) so synchronized shed
+// waves don't retry in lockstep and re-trigger the admission gate.
+func (p *RetryPolicy) jitter(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	var n int64
+	if p.Rand != nil {
+		p.mu.Lock()
+		n = p.Rand.Int63n(int64(half))
+		p.mu.Unlock()
+	} else {
+		n = rand.Int63n(int64(half))
+	}
+	return half + time.Duration(n)
+}

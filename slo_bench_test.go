@@ -1,0 +1,154 @@
+// SLO overload benchmark: the bimodal kv+scan experiment behind
+// BENCH_slo.json (make bench-slo). A closed loop of 64 in-flight
+// requests — far past what the two-core server drains — offers an
+// 80/20 mix of µs-scale kv lookups and synchronous 300µs scans, the
+// head-of-line regime where a scan parked ahead of a kv request owns
+// its latency. The "bare" case runs the server with no overload
+// control: nothing is refused, every request queues, and the admitted
+// tail is the queueing tail. The "slo" case stamps a 5ms budget on
+// every request and runs route-aware admission plus SLO enforcement:
+// excess load is shed at the door (scans first — they declared
+// ShedPriority 1), expired work is dropped before dispatch, and the
+// requests that are admitted see a short queue.
+//
+// ns/op is the mean settle time per offered request. The extra metrics
+// are the gate: p50-ns/p99-ns are the ADMITTED (successful) request
+// latencies — the paper's headline number, what an accepted request
+// experiences under overload — and goodop-ns is inverse goodput
+// (wall-clock ns per successful reply), so a shedding regression that
+// throttles goodput fails the gate even if the admitted tail stays
+// pretty. The committed trajectory must show slo beating bare on
+// admitted P99.
+package zygos
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func BenchmarkSLOOverload(b *testing.B) {
+	// No "-" in sub-benchmark names: benchjson truncates the key at the
+	// first dash (the GOMAXPROCS suffix).
+	b.Run("bare", func(b *testing.B) { benchSLOOverload(b, false) })
+	b.Run("slo", func(b *testing.B) { benchSLOOverload(b, true) })
+}
+
+func benchSLOOverload(b *testing.B, slo bool) {
+	const (
+		kvRoute   uint16 = 31
+		scanRoute uint16 = 32
+		window           = 64 // closed-loop in-flight ops: ~2× what the server drains
+		budget           = 5 * time.Millisecond
+		scanTime         = 300 * time.Microsecond
+	)
+	mux := NewMux()
+	mux.HandleFunc(kvRoute, func(w ResponseWriter, req *Request) {
+		w.Reply(req.Payload)
+	})
+	mux.HandleFunc(scanRoute, func(w ResponseWriter, req *Request) {
+		time.Sleep(scanTime) // synchronous: pins the worker, like a real scan
+		w.Reply(nil)
+	})
+	mux.Route(kvRoute).SLO(time.Millisecond, 10*time.Microsecond)
+	mux.Route(scanRoute).SLO(budget, scanTime).ShedPriority(1)
+
+	srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	if slo {
+		srv.Use(srv.LatencyRecording(), srv.RouteAwareAdmission(mux, 32), srv.SLOEnforcement(mux))
+	}
+	c := srv.NewClient()
+	defer c.Close()
+
+	payload := []byte("0123456789abcdef")
+	var mu sync.Mutex
+	var admitted []time.Duration
+	var okCount, refused atomic.Int64
+	var bareErr atomic.Pointer[error]
+	tokens := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		tokens <- struct{}{}
+	}
+	var wg sync.WaitGroup
+
+	sendOne := func(i int, record bool) {
+		<-tokens
+		wg.Add(1)
+		method := kvRoute
+		pl := payload
+		if i%5 == 0 {
+			method, pl = scanRoute, nil
+		}
+		start := time.Now()
+		settle := func(_ []byte, err error) {
+			if err == nil {
+				if record {
+					el := time.Since(start)
+					mu.Lock()
+					admitted = append(admitted, el)
+					mu.Unlock()
+				}
+				okCount.Add(1)
+			} else if slo {
+				refused.Add(1) // shed or expired: the control working as designed
+			} else {
+				bareErr.CompareAndSwap(nil, &err)
+			}
+			tokens <- struct{}{}
+			wg.Done()
+		}
+		var serr error
+		if slo {
+			serr = c.SendMethodBudgetAsync(method, pl, budget, settle)
+		} else {
+			serr = c.SendMethodAsync(method, pl, settle)
+		}
+		if serr != nil {
+			settle(nil, serr)
+		}
+	}
+
+	// Warm: fill the pools and drive the queue to its overloaded
+	// steady state before measuring.
+	for i := 0; i < 4*window; i++ {
+		sendOne(i, false)
+	}
+	wg.Wait()
+	okCount.Store(0)
+	refused.Store(0)
+
+	b.ResetTimer()
+	wallStart := time.Now()
+	for i := 0; i < b.N; i++ {
+		sendOne(i, true)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+	b.StopTimer()
+
+	if ep := bareErr.Load(); ep != nil {
+		b.Fatalf("unexpected error without overload control: %v", *ep)
+	}
+	ok := okCount.Load()
+	if ok == 0 {
+		b.Fatalf("no request admitted (refused=%d)", refused.Load())
+	}
+	sort.Slice(admitted, func(i, j int) bool { return admitted[i] < admitted[j] })
+	pct := func(p int) float64 {
+		idx := len(admitted) * p / 100
+		if idx >= len(admitted) {
+			idx = len(admitted) - 1
+		}
+		return float64(admitted[idx].Nanoseconds())
+	}
+	b.ReportMetric(pct(50), "p50-ns")
+	b.ReportMetric(pct(99), "p99-ns")
+	b.ReportMetric(float64(wall.Nanoseconds())/float64(ok), "goodop-ns")
+	b.ReportMetric(float64(refused.Load())/float64(b.N), "shedfrac")
+}

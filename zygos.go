@@ -92,7 +92,39 @@ const (
 	// StatusNoMethod reports that the request named a method no handler
 	// is registered for (the Mux's NotFound reply).
 	StatusNoMethod = proto.StatusNoMethod
+	// StatusDeadlineExceeded reports that the request's wire deadline
+	// budget expired before (or while) the server could serve it — the
+	// reply nobody is waiting for anymore, answered without running the
+	// handler.
+	StatusDeadlineExceeded = proto.StatusDeadlineExceeded
 )
+
+// Typed sentinels for errors.Is: a *StatusError matches when its code
+// matches, regardless of message, so callers can branch on the class of
+// rejection without string inspection:
+//
+//	if errors.Is(err, zygos.ErrShed) { backoff(RetryAfter(err)) }
+var (
+	// ErrShed matches replies rejected by admission control
+	// (StatusShed).
+	ErrShed = proto.ErrShed
+	// ErrDeadlineExceeded matches replies whose deadline budget ran out
+	// server-side (StatusDeadlineExceeded).
+	ErrDeadlineExceeded = proto.ErrDeadlineExceeded
+)
+
+// RetryAfter extracts the server's retry-after hint from a shed error,
+// if err is (or wraps) a *StatusError whose message carries one. Shed
+// replies produced by the admission middleware and the cluster front
+// tier embed the hint; zero, false otherwise.
+func RetryAfter(err error) (time.Duration, bool) {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return 0, false
+	}
+	d, _, ok := proto.ParseRetryAfter(se.Msg)
+	return d, ok
+}
 
 // StatusError is the typed error clients receive when a reply carries a
 // non-OK wire status. Use errors.As to inspect the code:
@@ -153,6 +185,27 @@ type Request struct {
 	// order imposed by per-connection exclusivity, not scheduling, and
 	// is visible in the end-to-end Latency histogram instead.
 	QueueDelay time.Duration
+
+	// deadline is the absolute deadline derived from the wire budget
+	// (FlagDeadline extension); zero when the request carried none.
+	deadline time.Time
+}
+
+// Deadline returns the request's absolute deadline, derived on arrival
+// from the wire deadline budget, and whether the request carried one.
+// Handlers use it to size their own work — skipping optional stages,
+// truncating scans — to what the caller will still wait for.
+func (r *Request) Deadline() (time.Time, bool) {
+	return r.deadline, !r.deadline.IsZero()
+}
+
+// RemainingBudget returns the time left until the request's deadline
+// (negative once passed) and whether the request carried a budget.
+func (r *Request) RemainingBudget() (time.Duration, bool) {
+	if r.deadline.IsZero() {
+		return 0, false
+	}
+	return time.Until(r.deadline), true
 }
 
 // ResponseWriter completes a request. Exactly one completion wins —
@@ -266,8 +319,14 @@ type Stats struct {
 	// watchdog; Wakes ≈ Parks means the fabric is waking them exactly
 	// when work arrives.
 	Wakes uint64
-	// Shed counts requests rejected by the AdmissionControl middleware.
+	// Shed counts requests rejected by the admission middleware
+	// (AdmissionControl or RouteAwareAdmission).
 	Shed uint64
+	// Expired counts requests the scheduler answered
+	// StatusDeadlineExceeded because their wire deadline budget had
+	// already run out when they reached the front of the queue — work
+	// shed for free instead of executed for nobody.
+	Expired uint64
 	// Latency summarizes end-to-end latency (arrival to reply,
 	// including detached time); populated once LatencyRecording is
 	// installed.
@@ -312,9 +371,30 @@ type RouteStats struct {
 	// Count is the number of requests dispatched to the route,
 	// including those still in flight.
 	Count uint64
+	// Shed counts the route's requests rejected by admission control.
+	Shed uint64
+	// Expired counts the route's requests answered
+	// StatusDeadlineExceeded because their budget ran out in the queue.
+	Expired uint64
+	// SLOMet and SLOMissed split the route's completed budgeted
+	// requests by whether the reply finished inside the wire deadline —
+	// the per-route attainment the SLO experiment gates on. Requests
+	// carrying no budget count in neither.
+	SLOMet    uint64
+	SLOMissed uint64
 	// Latency summarizes the route's completed requests end to end
 	// (arrival to reply, detached time included).
 	Latency LatencySnapshot
+}
+
+// Attainment returns the fraction of the route's budgeted completions
+// that met their deadline; 1 when no budgeted request has completed.
+func (r RouteStats) Attainment() float64 {
+	total := r.SLOMet + r.SLOMissed
+	if total == 0 {
+		return 1
+	}
+	return float64(r.SLOMet) / float64(total)
 }
 
 // StealFraction returns steals per executed event (the Figure 8 metric).
@@ -381,6 +461,9 @@ func NewServer(cfg Config) (*Server, error) {
 				ArrivedAt:  ctx.ArrivedAt(),
 				QueueDelay: ctx.QueueDelay(),
 			}
+			if dl, ok := ctx.Deadline(); ok {
+				req.deadline = dl
+			}
 			h := s.handler.Load().(Handler)
 			h(coreWriter{ctx}, req)
 			if !ctx.Detached() {
@@ -396,6 +479,9 @@ func NewServer(cfg Config) (*Server, error) {
 		ParkInterval:    cfg.ParkInterval,
 		LockOSThread:    cfg.LockOSThread,
 		DepthFrames:     cfg.DepthFrames,
+		// Attribute scheduler-level deadline expiries to their route so
+		// Stats().Routes reflects who lost budget in the queue.
+		OnExpired: func(method uint16) { s.routeRec(method).expired.Add(1) },
 	})
 	if err != nil {
 		return nil, err
@@ -480,6 +566,7 @@ func (s *Server) Stats() Stats {
 		Parks:      st.Parks,
 		Wakes:      st.Wakes,
 		Shed:       s.shed.Load(),
+		Expired:    st.Expired,
 		Latency:    s.latency.snapshot(),
 		QueueDelay: s.qdelay.snapshot(),
 	}
@@ -487,7 +574,14 @@ func (s *Server) Stats() Stats {
 	if len(s.routeRecs) > 0 {
 		out.Routes = make(map[uint16]RouteStats, len(s.routeRecs))
 		for method, r := range s.routeRecs {
-			out.Routes[method] = RouteStats{Count: r.count.Load(), Latency: r.lat.snapshot()}
+			out.Routes[method] = RouteStats{
+				Count:     r.count.Load(),
+				Shed:      r.shed.Load(),
+				Expired:   r.expired.Load(),
+				SLOMet:    r.sloMet.Load(),
+				SLOMissed: r.sloMissed.Load(),
+				Latency:   r.lat.snapshot(),
+			}
 		}
 	}
 	s.routeMu.RUnlock()
@@ -573,9 +667,25 @@ type Caller interface {
 	Close()
 }
 
+// BudgetCaller is the optional capability of callers that can stamp an
+// explicit deadline budget on an open-loop send (closed-loop calls get
+// one automatically from CallTimeout/CallMethodTimeout). Client,
+// TCPClient, ManagedClient, and ClusterClient all implement it; code
+// holding a Caller type-asserts for it.
+type BudgetCaller interface {
+	// SendMethodBudgetAsync is SendMethodAsync with a deadline budget
+	// carried on the wire (FlagDeadline extension): the server sheds the
+	// request unserved if the budget runs out in its queues and orders
+	// ready work earliest-deadline-first. d <= 0 sends no budget.
+	SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error
+}
+
 var (
-	_ Caller = (*Client)(nil)
-	_ Caller = (*TCPClient)(nil)
+	_ Caller       = (*Client)(nil)
+	_ Caller       = (*TCPClient)(nil)
+	_ BudgetCaller = (*Client)(nil)
+	_ BudgetCaller = (*TCPClient)(nil)
+	_ BudgetCaller = (*ManagedClient)(nil)
 )
 
 // Client is an in-process connection to a Server. It is safe for
@@ -631,6 +741,12 @@ func (c *Client) SendAsync(payload []byte, cb func(resp []byte, err error)) erro
 // SendMethodAsync is SendAsync with a wire method ID (v3 frame).
 func (c *Client) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
 	return c.cc.SendMethodAsync(method, payload, cb)
+}
+
+// SendMethodBudgetAsync is SendMethodAsync with a wire deadline budget
+// (see BudgetCaller).
+func (c *Client) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	return c.cc.SendMethodBudgetAsync(method, payload, d, cb)
 }
 
 // OnDepth installs f to receive the server's live scheduling depth from
@@ -710,6 +826,12 @@ func (c *TCPClient) SendAsync(payload []byte, cb func(resp []byte, err error)) e
 // SendMethodAsync is SendAsync with a wire method ID (v3 frame).
 func (c *TCPClient) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
 	return c.tc.SendMethodAsync(method, payload, cb)
+}
+
+// SendMethodBudgetAsync is SendMethodAsync with a wire deadline budget
+// (see BudgetCaller).
+func (c *TCPClient) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	return c.tc.SendMethodBudgetAsync(method, payload, d, cb)
 }
 
 // OnDepth installs f to receive the server's live scheduling depth from
@@ -821,6 +943,12 @@ func (c *ManagedClient) SendAsync(payload []byte, cb func(resp []byte, err error
 // SendMethodAsync is SendAsync with a wire method ID (v3 frame).
 func (c *ManagedClient) SendMethodAsync(method uint16, payload []byte, cb func(resp []byte, err error)) error {
 	return c.mc.SendMethodAsync(method, payload, cb)
+}
+
+// SendMethodBudgetAsync is SendMethodAsync with a wire deadline budget
+// (see BudgetCaller).
+func (c *ManagedClient) SendMethodBudgetAsync(method uint16, payload []byte, d time.Duration, cb func(resp []byte, err error)) error {
+	return c.mc.SendMethodBudgetAsync(method, payload, d, cb)
 }
 
 // OnDepth installs f to receive the server's live scheduling depth from
