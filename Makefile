@@ -6,7 +6,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test vet chaos-soak bench bench-sched bench-conn bench-cluster bench-cluster-gate bench-slo bench-slo-gate bench-smoke bench-gate
+.PHONY: all build test vet chaos-soak bench bench-sched bench-conn bench-cluster bench-cluster-gate bench-slo bench-slo-gate bench-pubsub bench-pubsub-gate bench-smoke bench-gate
 
 all: build test
 
@@ -35,7 +35,7 @@ chaos-soak:
 # over memnet — and update the "current" section of BENCH_hotpath.json
 # (the committed "baseline" section is preserved for comparison), then
 # do the same for the scheduler-scaling suite in BENCH_sched.json.
-bench: bench-sched bench-conn bench-cluster bench-slo
+bench: bench-sched bench-conn bench-cluster bench-slo bench-pubsub
 	$(GO) test -run '^$$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | $(GO) run ./scripts/benchjson -out BENCH_hotpath.json -label current
 
 # Scheduler-scaling trajectory: BenchmarkSchedScale{1,2,4,8} plus the
@@ -82,6 +82,23 @@ bench-slo:
 # tail, or sheds so hard goodput collapses, both fail.
 bench-slo-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkSLOOverload' -benchtime 2000x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_slo.json -gate $(GATE_PCT)
+
+# Pub-sub fan-out trajectory: BenchmarkPubSubFanout measures the
+# filtered bus + fair-queued push egress over a subscribers × burst
+# grid — per-frame publish cost (push-ns), drop-oldest eviction
+# fraction (dropfrac, recorded not gated), and the co-resident echo
+# caller's tail (p99-ns) while the firehose runs — recorded to
+# BENCH_pubsub.json. The iteration count is pinned so every cell's
+# P99 comes from the same sample size.
+bench-pubsub:
+	$(GO) test -run '^$$' -bench 'BenchmarkPubSubFanout' -benchtime 2000x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_pubsub.json -label current
+
+# Pub-sub regression gate: re-measure the fan-out grid and fail if the
+# publish cost or the co-resident P99 regressed beyond GATE_PCT
+# against the committed reference — a fair-queuing break shows up as
+# p99-ns inflation long before ns/op moves.
+bench-pubsub-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkPubSubFanout' -benchtime 2000x -benchmem -count 1 -timeout 20m . | $(GO) run ./scripts/benchjson -out BENCH_pubsub.json -gate $(GATE_PCT)
 
 # One iteration of every benchmark as a compile-and-run smoke check,
 # then 1x hot-path+sched passes at GOMAXPROCS=1 and GOMAXPROCS=4

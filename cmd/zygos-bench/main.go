@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -65,11 +66,12 @@ func main() {
 		cores      = flag.Int("cores", 0, "live: worker cores (0 = GOMAXPROCS)")
 		method     = flag.Uint("method", 0, "live: route the echo through this wire method ID via a Mux (0 = bare handler, legacy frames)")
 		targets    = flag.String("targets", "", "live: comma-separated remote server addresses measured through one round-robin caller (skips the local server)")
+		watch      = flag.Bool("watch", false, "live: subscribe to the server's stats stream and print each sample while the run goes")
 	)
 	flag.Parse()
 
 	if *live {
-		if err := runLive(*requests, *cores, uint16(*method), *targets); err != nil {
+		if err := runLive(*requests, *cores, uint16(*method), *targets, *watch); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -107,9 +109,15 @@ func main() {
 // drives the in-process transport and the TCP loopback transport; only
 // the dial differs. With method != 0 the echo handler is mounted on a
 // Mux under that wire method and calls travel as v3 frames —
-// exercising the routed dispatch path end to end.
-func runLive(requests, cores int, method uint16, targets string) error {
+// exercising the routed dispatch path end to end. With watch, the
+// server streams its Stats() over a v4 push subscription and each
+// sample prints as it arrives — the same live telemetry a dashboard
+// would consume, riding the connection under test.
+func runLive(requests, cores int, method uint16, targets string, watch bool) error {
 	if targets != "" {
+		if watch {
+			return fmt.Errorf("-watch requires the local -live server (stats streaming is enabled server-side)")
+		}
 		return runLiveTargets(requests, method, targets)
 	}
 	echo := func(w zygos.ResponseWriter, req *zygos.Request) { w.Reply(req.Payload) }
@@ -134,6 +142,33 @@ func runLive(requests, cores int, method uint16, targets string) error {
 		return err
 	}
 	go srv.Serve(l)
+
+	if watch {
+		stop, err := srv.StreamStats(250 * time.Millisecond)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		wc, err := zygos.DialClient(l.Addr().String(), 5*time.Second)
+		if err != nil {
+			return err
+		}
+		defer wc.Close()
+		sub, err := wc.Subscribe(zygos.TopicStats, zygos.FilterAll(), zygos.SubscribeOptions{},
+			func(seq uint32, payload []byte) {
+				var st zygos.Stats
+				if json.Unmarshal(payload, &st) != nil {
+					return
+				}
+				fmt.Printf("watch #%d: events=%d steals=%d parks=%d pushed=%d dropped=%d subs=%d\n",
+					seq, st.Events, st.Steals, st.Parks,
+					st.PubSub.Pushed, st.PubSub.Dropped, st.PubSub.Subscriptions)
+			})
+		if err != nil {
+			return err
+		}
+		defer sub.Unsubscribe()
+	}
 
 	measure := func(name string, dial func() (zygos.Caller, error)) error {
 		c, err := dial()

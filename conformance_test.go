@@ -21,6 +21,7 @@ import (
 	"zygos/internal/bufpool"
 	"zygos/internal/faultnet"
 	"zygos/internal/proto"
+	"zygos/internal/pubsub"
 	"zygos/internal/tcpnet"
 )
 
@@ -34,6 +35,9 @@ const (
 	confOne    uint16 = 4
 	confShed   uint16 = 5
 	confBudget uint16 = 6
+	// confPush is the pub-sub topic the subscribe step publishes on; it
+	// is a topic, not a request route.
+	confPush uint16 = 7
 )
 
 // confShedHint is the retry-after hint the confShed route sheds with;
@@ -47,6 +51,10 @@ const confShedHint = 250 * time.Microsecond
 type confEnv struct {
 	oneWays *atomic.Int64
 	flush   func(timeout time.Duration) bool
+	// publish emits one pub-sub frame on the server (or, for the cluster
+	// tier, on a backend whose topic is relayed through the front) and
+	// returns how many bus subscriptions matched at the publishing hop.
+	publish func(topic uint16, frameID uint32, payload []byte) int
 }
 
 // newConformanceMux mounts the conformance routes on a fresh Mux,
@@ -144,8 +152,19 @@ func newConformanceCluster(t *testing.T) (*Server, *ClusterCaller, *confEnv) {
 		t.Fatal(err)
 	}
 	t.Cleanup(front.Close)
+	// PUSH forwarding across the proxy hop: the front subscribes to the
+	// backend's push topic once and republishes into its own bus, so the
+	// front's subscribers see frames published behind the ProxyHandler.
+	relaySrc := backends[0].NewClient()
+	t.Cleanup(relaySrc.Close)
+	if _, err := RelayTopic(front, relaySrc, confPush, FilterAll(), SubscribeOptions{}); err != nil {
+		t.Fatal(err)
+	}
 	env := &confEnv{
 		oneWays: oneWays,
+		publish: func(topic uint16, frameID uint32, payload []byte) int {
+			return backends[0].Publish(topic, frameID, payload)
+		},
 		flush: func(timeout time.Duration) bool {
 			if !front.Flush(timeout) {
 				return false
@@ -364,6 +383,56 @@ func TestCallerConformance(t *testing.T) {
 				t.Fatalf("got %v, want StatusAppError", err)
 			}
 		}},
+		{"Subscribe receives filtered pushes; Unsubscribe stops them", func(t *testing.T, c Caller, env *confEnv) {
+			sc, ok := c.(Subscriber)
+			if !ok {
+				t.Fatalf("%T does not implement Subscriber", c)
+			}
+			type push struct {
+				id      uint32
+				payload string
+			}
+			got := make(chan push, 16)
+			sub, err := sc.Subscribe(confPush, FilterRange(100, 199), SubscribeOptions{}, func(id uint32, payload []byte) {
+				got <- push{id: id, payload: string(payload)}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n := env.publish(confPush, 150, []byte("in-range-1")); n < 1 {
+				t.Fatalf("publish matched %d subscriptions", n)
+			}
+			env.publish(confPush, 50, []byte("out-of-range")) // filtered out
+			env.publish(confPush, 199, []byte("in-range-2"))
+			next := func() push {
+				t.Helper()
+				select {
+				case p := <-got:
+					return p
+				case <-time.After(5 * time.Second):
+					t.Fatal("push never arrived")
+					return push{}
+				}
+			}
+			// Per-subscription delivery is FIFO, so receiving both in-range
+			// frames in order with nothing in between proves the
+			// out-of-range frame was filtered, not merely late.
+			if p := next(); p.id != 150 || p.payload != "in-range-1" {
+				t.Fatalf("first push %+v", p)
+			}
+			if p := next(); p.id != 199 || p.payload != "in-range-2" {
+				t.Fatalf("second push %+v", p)
+			}
+			if err := sub.Unsubscribe(); err != nil {
+				t.Fatal(err)
+			}
+			env.publish(confPush, 151, []byte("after-unsubscribe"))
+			select {
+			case p := <-got:
+				t.Fatalf("push after unsubscribe: %+v", p)
+			case <-time.After(100 * time.Millisecond):
+			}
+		}},
 		{"unregistered method returns StatusNoMethod", func(t *testing.T, c Caller, env *confEnv) {
 			_, err := c.CallMethod(60000, []byte("x"))
 			var se *StatusError
@@ -411,7 +480,7 @@ func TestCallerConformance(t *testing.T) {
 	// Direct transports share the conformance server's env; the cluster
 	// variant builds its own tier (front proxy over three backends) and
 	// must settle every server in it.
-	baseEnv := &confEnv{oneWays: oneWays, flush: srv.Flush}
+	baseEnv := &confEnv{oneWays: oneWays, flush: srv.Flush, publish: srv.Publish}
 
 	transports := []struct {
 		name string
@@ -636,4 +705,111 @@ func TestWireVersionInterop(t *testing.T) {
 	if !bytes.Equal(b3, append(tag[:], []byte("v3")...)) {
 		t.Fatalf("v3 reply %q: must route to method %d", b3, confEchoB)
 	}
+}
+
+// TestWireV4Interop pipelines all four frame versions on one raw
+// socket: the v1/v2/v3 RPCs round-trip untouched, the v4 SUBSCRIBE is
+// acked with a version-mirrored v4 frame, a published frame arrives as
+// a well-formed v4 PUSH carrying the subscription ID, and the
+// connection keeps serving v2 RPCs afterwards.
+func TestWireV4Interop(t *testing.T) {
+	srv, addr, _ := newConformanceServer(t)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(10 * time.Second))
+
+	const subID = 0xBEEF
+	spec, err := pubsub.AppendSubSpec(nil, pubsub.SubSpec{Filter: pubsub.Exact(321)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream = proto.AppendFrame(stream, proto.Message{ID: 1, Payload: []byte("v1")})
+	stream = proto.AppendFrameV2(stream, proto.Message{ID: 2, Payload: []byte("v2")})
+	stream = proto.AppendFrameV3(stream, proto.Message{ID: 3, Method: confEchoA, Payload: []byte("v3")})
+	stream = proto.AppendFrameV4(stream, proto.Message{ID: 4, Method: confPush, SubID: subID, Kind: proto.KindSubscribe, Payload: spec})
+	if _, err := nc.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+
+	// readFrame pulls one whole frame of any version off the socket and
+	// returns it parsed.
+	var p proto.Parser
+	defer p.ReleaseBuffer()
+	rbuf := make([]byte, 4096)
+	readFrame := func() proto.Message {
+		t.Helper()
+		for {
+			if m, ok, err := p.Next(); err != nil {
+				t.Fatalf("parse: %v", err)
+			} else if ok {
+				return m
+			}
+			n, err := nc.Read(rbuf)
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			p.Feed(rbuf[:n])
+		}
+	}
+
+	// Replies mirror their request versions, v1/v2/v3 exactly as before
+	// the v4 extension existed.
+	r1 := readFrame()
+	if r1.V2 || r1.V3 || r1.V4 || r1.ID != 1 {
+		t.Fatalf("v1 reply %+v", r1)
+	}
+	r1.Release()
+	r2 := readFrame()
+	if !r2.V2 || r2.V3 || r2.V4 || r2.ID != 2 {
+		t.Fatalf("v2 reply %+v", r2)
+	}
+	r2.Release()
+	r3 := readFrame()
+	if !r3.V3 || r3.V4 || r3.ID != 3 || r3.Method != confEchoA {
+		t.Fatalf("v3 reply %+v", r3)
+	}
+	r3.Release()
+	ack := readFrame()
+	if !ack.V4 || ack.Kind != proto.KindSubscribe || ack.ID != 4 || ack.SubID != subID || ack.Status != proto.StatusOK {
+		t.Fatalf("SUBSCRIBE ack %+v", ack)
+	}
+	ack.Release()
+
+	// A published frame matching the exact filter arrives as a PUSH; a
+	// non-matching one does not (FIFO per subscription, so the matching
+	// frame arriving alone proves it).
+	srv.Publish(confPush, 999, []byte("filtered-out"))
+	if n := srv.Publish(confPush, 321, []byte("pushed")); n != 1 {
+		t.Fatalf("publish matched %d", n)
+	}
+	pushMsg := readFrame()
+	if !pushMsg.V4 || pushMsg.Kind != proto.KindPush || pushMsg.SubID != subID {
+		t.Fatalf("PUSH frame %+v", pushMsg)
+	}
+	if uint32(pushMsg.ID) != 321 || string(pushMsg.Payload) != "pushed" {
+		t.Fatalf("PUSH content id=%d payload=%q", pushMsg.ID, pushMsg.Payload)
+	}
+	pushMsg.Release()
+
+	// UNSUBSCRIBE is acked and the connection still serves RPCs.
+	if _, err := nc.Write(proto.AppendFrameV4(nil, proto.Message{ID: 5, Method: confPush, SubID: subID, Kind: proto.KindUnsubscribe})); err != nil {
+		t.Fatal(err)
+	}
+	uack := readFrame()
+	if !uack.V4 || uack.Kind != proto.KindUnsubscribe || uack.ID != 5 || uack.Status != proto.StatusOK {
+		t.Fatalf("UNSUBSCRIBE ack %+v", uack)
+	}
+	uack.Release()
+	if _, err := nc.Write(proto.AppendFrameV2(nil, proto.Message{ID: 6, Payload: []byte("still-v2")})); err != nil {
+		t.Fatal(err)
+	}
+	r6 := readFrame()
+	if !r6.V2 || r6.ID != 6 || !bytes.Equal(r6.Payload, append([]byte{0, 0}, []byte("still-v2")...)) {
+		t.Fatalf("post-unsubscribe v2 reply %+v", r6)
+	}
+	r6.Release()
 }

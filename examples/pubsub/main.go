@@ -1,0 +1,172 @@
+// pubsub: a near-cache kept coherent by the kv store's invalidation
+// stream — the cache-invalidation pattern the v4 SUBSCRIBE/PUSH frames
+// exist for. A writer mutates the store over TCP while a reader serves
+// from a local map, subscribed to the invalidation topic: every SET or
+// effective DELETE the server handles pushes [op][key] with frame ID
+// InvalidationID(key), and the reader evicts on sight instead of
+// polling or TTL-guessing.
+//
+//	go run ./examples/pubsub
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"zygos"
+	"zygos/internal/kv"
+)
+
+// nearCache is the reader's local view: values it has fetched, evicted
+// the moment the server says they changed.
+type nearCache struct {
+	mu            sync.Mutex
+	vals          map[string][]byte
+	hits, misses  int
+	invalidations int
+}
+
+func (nc *nearCache) get(key string) ([]byte, bool) {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	v, ok := nc.vals[key]
+	if ok {
+		nc.hits++
+	} else {
+		nc.misses++
+	}
+	return v, ok
+}
+
+func (nc *nearCache) fill(key string, v []byte) {
+	nc.mu.Lock()
+	nc.vals[key] = append([]byte(nil), v...)
+	nc.mu.Unlock()
+}
+
+func (nc *nearCache) evict(key string) {
+	nc.mu.Lock()
+	delete(nc.vals, key)
+	nc.invalidations++
+	nc.mu.Unlock()
+}
+
+// setPayload builds the routed SET payload: [klen:2 LE][key][value].
+func setPayload(key, value string) []byte {
+	p := binary.LittleEndian.AppendUint16(nil, uint16(len(key)))
+	return append(append(p, key...), value...)
+}
+
+func main() {
+	store := kv.NewStore(8, 16<<20)
+	srv, err := zygos.NewServer(zygos.Config{
+		Cores:   2,
+		Handler: store.NewMux().Handler(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	// Wire the store's handlers to publish invalidation events; the
+	// server itself is the Publisher.
+	store.PublishInvalidations(srv)
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+
+	// Reader: one connection carries both its GET traffic and the
+	// invalidation subscription — pushes ride the same fair-queued
+	// egress as the replies.
+	reader, err := zygos.DialClient(l.Addr().String(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reader.Close()
+	cache := &nearCache{vals: make(map[string][]byte)}
+	evicted := make(chan string, 64)
+	sub, err := reader.Subscribe(kv.MethodInvalidate, zygos.FilterAll(), zygos.SubscribeOptions{},
+		func(_ uint32, payload []byte) {
+			op, key, err := kv.DecodeInvalidation(payload)
+			if err != nil {
+				return
+			}
+			k := string(key) // copy: the payload is only valid during the callback
+			cache.evict(k)
+			opName := "set"
+			if op == kv.InvalDelete {
+				opName = "delete"
+			}
+			fmt.Printf("reader: invalidated %q (%s)\n", k, opName)
+			evicted <- k
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Unsubscribe()
+
+	get := func(key string) string {
+		if v, ok := cache.get(key); ok {
+			return string(v)
+		}
+		resp, err := reader.CallMethod(kv.MethodGet, []byte(key))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(resp) < 1 || resp[0] != kv.ReplyHit {
+			return "<miss>"
+		}
+		cache.fill(key, resp[1:])
+		return string(resp[1:])
+	}
+
+	// Writer: a separate connection mutating the store.
+	writer, err := zygos.DialClient(l.Addr().String(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer writer.Close()
+	set := func(key, value string) {
+		if _, err := writer.CallMethod(kv.MethodSet, setPayload(key, value)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	set("greeting", "v1")
+	fmt.Printf("reader: get greeting = %q (fetched)\n", get("greeting"))
+	fmt.Printf("reader: get greeting = %q (near-cache)\n", get("greeting"))
+
+	// The writer changes the key; the push evicts the reader's copy, so
+	// the next get refetches the new value instead of serving v1
+	// forever.
+	set("greeting", "v2")
+	for k := range evicted {
+		if k == "greeting" {
+			break
+		}
+	}
+	fmt.Printf("reader: get greeting = %q (refetched after invalidation)\n", get("greeting"))
+
+	if _, err := writer.CallMethod(kv.MethodDelete, []byte("greeting")); err != nil {
+		log.Fatal(err)
+	}
+	for k := range evicted {
+		if k == "greeting" {
+			break
+		}
+	}
+	fmt.Printf("reader: get greeting = %q (after delete)\n", get("greeting"))
+
+	cache.mu.Lock()
+	fmt.Printf("near-cache: hits=%d misses=%d invalidations=%d\n",
+		cache.hits, cache.misses, cache.invalidations)
+	cache.mu.Unlock()
+	st := srv.Stats().PubSub
+	fmt.Printf("server: published=%d pushed=%d dropped=%d subscriptions=%d\n",
+		st.Published, st.Pushed, st.Dropped, st.Subscriptions)
+}

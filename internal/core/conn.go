@@ -137,6 +137,18 @@ type Conn struct {
 	txNext uint64
 	txWait map[uint64][]byte
 	txBuf  []byte
+
+	// Push-subscription state (see push.go): the subscription table,
+	// the round-robin cursor the flusher fair-queues with, and the
+	// CAS-guarded on-demand flusher flag. subsDown latches once
+	// teardownPush has run so late Subscribe calls can't resurrect
+	// state on a closing connection.
+	subMu        sync.Mutex
+	subs         map[uint32]*PushSub
+	subList      []*PushSub
+	subRR        int
+	subsDown     bool
+	pushFlushing atomic.Bool
 }
 
 // ID returns the connection identifier.
@@ -269,6 +281,10 @@ func (c *Conn) poison() {
 		// this release re-leases and then frees it itself on seeing
 		// closed, so the buffer goes home on every interleaving.
 		c.ShrinkIdle()
+		c.teardownPush()
+		if f := c.rt.cfg.OnConnClosed; f != nil {
+			f(c.id)
+		}
 	}
 }
 
@@ -405,7 +421,7 @@ func (x *Ctx) complete(status uint8, payload []byte) error {
 		// would corrupt the whole connection; degrade it to a wire error
 		// the client can at least diagnose.
 		limit := proto.MaxPayload
-		if x.ev.msg.V2 || x.ev.msg.V3 {
+		if x.ev.msg.V2 || x.ev.msg.V3 || x.ev.msg.V4 {
 			limit = proto.MaxPayloadV2
 		}
 		if len(payload) > limit {
@@ -414,14 +430,18 @@ func (x *Ctx) complete(status uint8, payload []byte) error {
 		}
 		// The reply mirrors the request's frame version and echoes its
 		// method, so a client can attribute replies per operation without
-		// tracking IDs.
-		frames = proto.AppendMessage(bufpool.Get(proto.FrameSizeV3(len(payload))), proto.Message{
+		// tracking IDs. v4 control frames (SUBSCRIBE/UNSUBSCRIBE) get
+		// their kind and subscription ID echoed the same way.
+		frames = proto.AppendMessage(bufpool.Get(proto.FrameSizeV4(len(payload))), proto.Message{
 			ID:      x.ev.msg.ID,
 			Payload: payload,
 			Status:  status,
 			Method:  x.ev.msg.Method,
 			V2:      x.ev.msg.V2,
 			V3:      x.ev.msg.V3,
+			V4:      x.ev.msg.V4,
+			Kind:    x.ev.msg.Kind,
+			SubID:   x.ev.msg.SubID,
 		})
 	}
 	if !detached {

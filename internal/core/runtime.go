@@ -104,6 +104,12 @@ type Config struct {
 	// path and must be cheap — the server layer uses it for per-route
 	// expiry accounting.
 	OnExpired func(method uint16)
+	// OnConnClosed, when set, is invoked once with the connection's ID
+	// when it closes (transport teardown, poison, or explicit
+	// CloseConn). The server layer uses it to unhook the connection's
+	// pub-sub subscriptions from the fan-out bus. May be called from
+	// any goroutine; must not block.
+	OnConnClosed func(id uint64)
 }
 
 // Stats is a snapshot of runtime counters.
@@ -116,6 +122,11 @@ type Stats struct {
 	Parks    uint64 // times a worker committed to an eventcount sleep
 	Wakes    uint64 // demand wakes delivered to parked workers
 	Expired  uint64 // events shed at dispatch with an already-expired deadline budget
+
+	PushQueued  uint64 // v4 PUSH frames accepted into subscription rings
+	PushSent    uint64 // v4 PUSH frames handed to transport writers
+	PushDropped uint64 // v4 PUSH frames evicted (drop-oldest) or refused (disconnect/oversize)
+	Subs        int64  // live push subscriptions (gauge)
 }
 
 // Runtime is a ZygOS-style work-conserving scheduler instance.
@@ -147,6 +158,11 @@ type Runtime struct {
 	// runtime or leased to transports — the alloc-guard teardown tests
 	// assert it returns to zero after Close.
 	segsLive atomic.Int64
+	// Push-egress counters (see push.go).
+	pushQueued  atomic.Uint64
+	pushSent    atomic.Uint64
+	pushDropped atomic.Uint64
+	subsLive    atomic.Int64
 	// spinning counts workers currently awake in the steal scan. It
 	// throttles demand wakes the way Go's own scheduler throttles wakep:
 	// while somebody is already scanning, freshly published work will be
@@ -275,6 +291,11 @@ func (rt *Runtime) Stats() Stats {
 		Parks:    rt.parks.Load(),
 		Wakes:    rt.wakes.Load(),
 		Expired:  rt.expired.Load(),
+
+		PushQueued:  rt.pushQueued.Load(),
+		PushSent:    rt.pushSent.Load(),
+		PushDropped: rt.pushDropped.Load(),
+		Subs:        rt.subsLive.Load(),
 	}
 }
 
@@ -362,6 +383,10 @@ func (rt *Runtime) CloseConn(c *Conn) {
 		return
 	}
 	c.ShrinkIdle()
+	c.teardownPush()
+	if f := rt.cfg.OnConnClosed; f != nil {
+		f(c.id)
+	}
 	w := rt.workers[c.home]
 	for i := 0; i < 8; i++ {
 		if w.ingress.tryPush(c, nil) {

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"zygos"
 	"zygos/internal/bufpool"
@@ -37,6 +38,18 @@ const (
 	MethodGet    uint16 = 1
 	MethodSet    uint16 = 2
 	MethodDelete uint16 = 3
+	// MethodInvalidate is the pub-sub topic invalidation events are
+	// published on (see PublishInvalidations); it is a topic, not a
+	// request route, and registers no handler.
+	MethodInvalidate uint16 = 4
+)
+
+// Invalidation event ops, the first byte of an invalidation payload.
+const (
+	// InvalSet reports that a key was written (created or updated).
+	InvalSet byte = iota
+	// InvalDelete reports that a key was removed.
+	InvalDelete
 )
 
 // Op codes of the legacy method-0 encoding: [op:1][klen:2][key][value].
@@ -117,6 +130,11 @@ func DecodeSetPayload(p []byte) (key, value []byte, err error) {
 type Store struct {
 	shards []*shard
 	mask   uint32
+
+	// pub, when set, receives an invalidation event on MethodInvalidate
+	// for every mutation served by the wire handlers. atomic.Value of
+	// zygos.Publisher; nil until PublishInvalidations.
+	pub atomic.Value
 }
 
 type entry struct {
@@ -285,6 +303,60 @@ func (s *Store) Stats() CacheStats {
 	return cs
 }
 
+// PublishInvalidations wires the store's wire handlers to publish an
+// invalidation event on topic MethodInvalidate for every SET and every
+// effective DELETE they serve: caches layered in front of the store
+// subscribe and evict on sight instead of polling. The event's frame ID
+// is InvalidationID(key) — FilterExact/FilterMask/FilterRange narrow a
+// subscription to a key or an ID-space slice — and its payload is
+// [op:1][key]. Passing nil stops publishing. Direct Set/Delete calls on
+// the Store (not via the handlers) do not publish; they are local
+// mutations, not served traffic.
+func (s *Store) PublishInvalidations(pub zygos.Publisher) {
+	if pub == nil {
+		s.pub.Store(pubBox{})
+		return
+	}
+	s.pub.Store(pubBox{p: pub})
+}
+
+// pubBox wraps the Publisher so atomic.Value tolerates differing
+// concrete types (and nil) across Store calls.
+type pubBox struct{ p zygos.Publisher }
+
+// InvalidationID maps a key to the 32-bit frame identifier its
+// invalidation events carry (FNV-1a), letting subscribers filter the
+// invalidation stream by key without decoding payloads.
+func InvalidationID(key []byte) uint32 {
+	h := fnv.New32a()
+	h.Write(key)
+	return h.Sum32()
+}
+
+// EncodeInvalidation builds an invalidation event payload: [op:1][key].
+func EncodeInvalidation(buf []byte, op byte, key []byte) []byte {
+	return append(append(buf, op), key...)
+}
+
+// DecodeInvalidation splits an invalidation event payload.
+func DecodeInvalidation(p []byte) (op byte, key []byte, err error) {
+	if len(p) < 1 {
+		return 0, nil, ErrBadRequest
+	}
+	return p[0], p[1:], nil
+}
+
+// invalidate publishes one invalidation event if a publisher is wired.
+func (s *Store) invalidate(op byte, key []byte) {
+	box, _ := s.pub.Load().(pubBox)
+	if box.p == nil {
+		return
+	}
+	payload := EncodeInvalidation(bufpool.Get(1+len(key)), op, key)
+	box.p.Publish(MethodInvalidate, InvalidationID(key), payload)
+	bufpool.Put(payload)
+}
+
 // RegisterRoutes mounts the store on mux: one route per operation
 // (MethodGet/MethodSet/MethodDelete) plus the legacy opcode-in-payload
 // handler on method 0, so v1/v2 clients keep round-tripping against a
@@ -339,12 +411,14 @@ func (s *Store) HandleSet(w zygos.ResponseWriter, req *zygos.Request) {
 		return
 	}
 	s.Set(key, value)
+	s.invalidate(InvalSet, key)
 	w.Reply(replyBytes[ReplyStored][:])
 }
 
 // HandleDelete serves MethodDelete: the payload is the key.
 func (s *Store) HandleDelete(w zygos.ResponseWriter, req *zygos.Request) {
 	if s.Delete(req.Payload) {
+		s.invalidate(InvalDelete, req.Payload)
 		w.Reply(replyBytes[ReplyDeleted][:])
 		return
 	}
@@ -367,9 +441,11 @@ func (s *Store) ServeLegacy(w zygos.ResponseWriter, req *zygos.Request) {
 		s.replyGet(w, key)
 	case OpSet:
 		s.Set(key, value)
+		s.invalidate(InvalSet, key)
 		w.Reply(replyBytes[ReplyStored][:])
 	case OpDelete:
 		if s.Delete(key) {
+			s.invalidate(InvalDelete, key)
 			w.Reply(replyBytes[ReplyDeleted][:])
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"zygos"
 )
@@ -276,5 +277,108 @@ func BenchmarkAppendGet(b *testing.B) {
 			b.Fatal("miss")
 		}
 		buf = r
+	}
+}
+
+// Invalidation events: every SET and effective DELETE served by the
+// wire handlers publishes [op][key] on MethodInvalidate with the key's
+// FNV-derived frame ID, so front caches can subscribe — including to a
+// single key via FilterExact — and evict on sight.
+func TestInvalidationEvents(t *testing.T) {
+	s := NewStore(4, 1<<20)
+	srv, err := zygos.NewServer(zygos.Config{Cores: 2, Handler: s.NewMux().Handler()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	s.PublishInvalidations(srv)
+	c := srv.NewClient()
+	t.Cleanup(c.Close)
+
+	type event struct {
+		id  uint32
+		op  byte
+		key string
+	}
+	events := make(chan event, 16)
+	if _, err := c.Subscribe(MethodInvalidate, zygos.FilterAll(), zygos.SubscribeOptions{}, func(id uint32, payload []byte) {
+		op, key, err := DecodeInvalidation(payload)
+		if err != nil {
+			t.Errorf("bad invalidation payload: %v", err)
+			return
+		}
+		events <- event{id: id, op: op, key: string(key)}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A keyed subscription: only hot-key events.
+	hotOnly := make(chan event, 16)
+	if _, err := c.Subscribe(MethodInvalidate, zygos.FilterExact(InvalidationID([]byte("hot"))), zygos.SubscribeOptions{}, func(id uint32, payload []byte) {
+		op, key, _ := DecodeInvalidation(payload)
+		hotOnly <- event{id: id, op: op, key: string(key)}
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	next := func(ch chan event) event {
+		t.Helper()
+		select {
+		case e := <-ch:
+			return e
+		case <-time.After(2 * time.Second):
+			t.Fatal("no invalidation event arrived")
+			return event{}
+		}
+	}
+
+	if _, err := c.CallMethod(MethodSet, EncodeSetPayload(nil, []byte("cold"), []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if e := next(events); e.op != InvalSet || e.key != "cold" || e.id != InvalidationID([]byte("cold")) {
+		t.Fatalf("set event %+v", e)
+	}
+	if _, err := c.CallMethod(MethodSet, EncodeSetPayload(nil, []byte("hot"), []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if e := next(events); e.key != "hot" {
+		t.Fatalf("event %+v", e)
+	}
+	if e := next(hotOnly); e.op != InvalSet || e.key != "hot" {
+		t.Fatalf("keyed subscription event %+v", e)
+	}
+	if _, err := c.CallMethod(MethodDelete, []byte("hot")); err != nil {
+		t.Fatal(err)
+	}
+	if e := next(events); e.op != InvalDelete || e.key != "hot" {
+		t.Fatalf("delete event %+v", e)
+	}
+	if e := next(hotOnly); e.op != InvalDelete {
+		t.Fatalf("keyed delete event %+v", e)
+	}
+	// Deleting an absent key changes nothing and publishes nothing; the
+	// legacy route publishes like the routed one.
+	if _, err := c.CallMethod(MethodDelete, []byte("absent")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(EncodeSet(nil, []byte("legacy"), []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	if e := next(events); e.op != InvalSet || e.key != "legacy" {
+		t.Fatalf("legacy set event %+v (absent-delete must publish nothing)", e)
+	}
+	select {
+	case e := <-hotOnly:
+		t.Fatalf("keyed subscription leaked %+v", e)
+	default:
+	}
+	// Unwiring stops the stream.
+	s.PublishInvalidations(nil)
+	if _, err := c.CallMethod(MethodSet, EncodeSetPayload(nil, []byte("quiet"), []byte("v"))); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-events:
+		t.Fatalf("event after unwire: %+v", e)
+	case <-time.After(50 * time.Millisecond):
 	}
 }

@@ -223,6 +223,55 @@ func (c *ClientConn) OnDepth(f func(depth uint32)) {
 	c.disp.SetDepthFunc(f)
 }
 
+// Subscribe sends a v4 SUBSCRIBE for topic carrying spec (an encoded
+// pubsub subscription spec: policy, queue capacity, filter), installs h
+// to receive matching PUSH frames, and blocks for the server's ack.
+// Returns the client-chosen subscription ID that demultiplexes the
+// pushes. h runs on the reply delivery path and must not block; the
+// payload slice is valid only for the duration of the call.
+func (c *ClientConn) Subscribe(topic uint16, spec []byte, h func(frameID uint32, payload []byte)) (uint32, error) {
+	subID, err := c.disp.RegisterPush(h)
+	if err != nil {
+		return 0, err
+	}
+	w := proto.GetWaiter(nil)
+	id, err := c.disp.Register(w.Callback())
+	if err != nil {
+		c.disp.UnregisterPush(subID)
+		w.Abandon()
+		return 0, err
+	}
+	if err := c.sendFrame(proto.Message{ID: id, Method: topic, SubID: subID, Kind: proto.KindSubscribe, V4: true, Payload: spec}); err != nil {
+		c.disp.UnregisterPush(subID)
+		w.Abandon()
+		return 0, err
+	}
+	if _, err := w.Wait(); err != nil {
+		c.disp.UnregisterPush(subID)
+		return 0, err
+	}
+	return subID, nil
+}
+
+// Unsubscribe retires subscription subID on topic: the push handler is
+// removed immediately (pushes already in flight may deliver once) and
+// the server acks the v4 UNSUBSCRIBE.
+func (c *ClientConn) Unsubscribe(topic uint16, subID uint32) error {
+	c.disp.UnregisterPush(subID)
+	w := proto.GetWaiter(nil)
+	id, err := c.disp.Register(w.Callback())
+	if err != nil {
+		w.Abandon()
+		return err
+	}
+	if err := c.sendFrame(proto.Message{ID: id, Method: topic, SubID: subID, Kind: proto.KindUnsubscribe, V4: true}); err != nil {
+		w.Abandon()
+		return err
+	}
+	_, err = w.Wait()
+	return err
+}
+
 // WriteRaw injects raw bytes into the server-side stream, bypassing
 // framing. Tests use it to exercise malformed input handling.
 func (c *ClientConn) WriteRaw(data []byte) error {

@@ -33,6 +33,14 @@ type Dispatcher struct {
 	nextID  uint64
 	closed  bool
 
+	// push maps subscription IDs to handlers for server-initiated v4
+	// PUSH frames, which carry no request ID and demultiplex by SubID
+	// alongside the reply pending map. nextSub allocates the
+	// client-chosen subscription IDs (unique per dispatcher, and so per
+	// socket).
+	push    map[uint32]func(frameID uint32, payload []byte)
+	nextSub uint32
+
 	// depthFn, when set, receives the queue depth carried by piggybacked
 	// health frames (reserved MethodHealth, request ID 0) the server
 	// appends to its reply batches. Without a hook the frames are
@@ -42,10 +50,13 @@ type Dispatcher struct {
 }
 
 // readyReply is one decoded response matched to its callback, staged so
-// the callback can run outside the registry lock.
+// the callback can run outside the registry lock. Exactly one of cb and
+// pushCB is set: replies resolve pending requests, pushes invoke the
+// subscription handler.
 type readyReply struct {
-	cb func(resp []byte, err error)
-	m  Message
+	cb     func(resp []byte, err error)
+	pushCB func(frameID uint32, payload []byte)
+	m      Message
 }
 
 // NewDispatcher returns an empty dispatcher.
@@ -68,6 +79,34 @@ func (d *Dispatcher) Register(cb func(resp []byte, err error)) (uint64, error) {
 	id := d.nextID
 	d.pending[id] = cb
 	return id, nil
+}
+
+// RegisterPush allocates a subscription ID and installs h to receive
+// v4 PUSH frames carrying it. The payload slice is a view into the
+// dispatcher's pooled parse buffer, valid only during the call;
+// handlers that retain it must copy. h runs on the transport's read
+// goroutine and must not block.
+func (d *Dispatcher) RegisterPush(h func(frameID uint32, payload []byte)) (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrDispatcherClosed
+	}
+	if d.push == nil {
+		d.push = make(map[uint32]func(frameID uint32, payload []byte))
+	}
+	d.nextSub++
+	id := d.nextSub
+	d.push[id] = h
+	return id, nil
+}
+
+// UnregisterPush removes the handler for subscription id. Pushes
+// already staged in a concurrent Feed may still be delivered once.
+func (d *Dispatcher) UnregisterPush(id uint32) {
+	d.mu.Lock()
+	delete(d.push, id)
+	d.mu.Unlock()
 }
 
 // SetDepthFunc installs f to receive the server's queue depth from
@@ -121,9 +160,20 @@ func (d *Dispatcher) Feed(data []byte) error {
 			m.Release()
 			continue
 		}
+		if m.V4 && m.Kind == KindPush {
+			// Server-initiated push: demultiplex by subscription ID, not
+			// request ID (the v4 ID field carries the published frame's
+			// identifier instead).
+			if h, found := d.push[m.SubID]; found {
+				ready = append(ready, readyReply{pushCB: h, m: m})
+			} else {
+				m.Release()
+			}
+			continue
+		}
 		if cb, found := d.pending[m.ID]; found {
 			delete(d.pending, m.ID)
-			ready = append(ready, readyReply{cb, m})
+			ready = append(ready, readyReply{cb: cb, m: m})
 		} else {
 			m.Release()
 		}
@@ -137,9 +187,12 @@ func (d *Dispatcher) Feed(data []byte) error {
 	// Invoke outside the registry lock: callbacks may re-enter Register.
 	for i := range ready {
 		r := &ready[i]
-		if r.m.Status != StatusOK {
+		switch {
+		case r.pushCB != nil:
+			r.pushCB(uint32(r.m.ID), r.m.Payload)
+		case r.m.Status != StatusOK:
 			r.cb(nil, &StatusError{Code: r.m.Status, Msg: string(r.m.Payload)})
-		} else {
+		default:
 			r.cb(r.m.Payload, nil)
 		}
 		r.m.Release()

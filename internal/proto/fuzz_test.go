@@ -1,0 +1,80 @@
+package proto
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzParser throws arbitrary byte streams at the Parser — seeded with
+// well-formed v1/v2/v3/v4 frames, deadline extensions, truncations, and
+// corrupt header bytes — and checks the invariants that matter for a
+// server parsing hostile input: no panics, errors are sticky, and every
+// yielded message respects the version's payload bound.
+func FuzzParser(f *testing.F) {
+	// Well-formed single frames of each version.
+	f.Add(AppendFrame(nil, Message{ID: 1, Payload: []byte("v1")}))
+	f.Add(AppendFrameV2(nil, Message{ID: 2, Status: StatusAppError, Payload: []byte("v2")}))
+	f.Add(AppendFrameV3(nil, Message{ID: 3, Method: 7, Payload: []byte("v3")}))
+	f.Add(AppendFrameV4(nil, Message{ID: 4, Method: 7, SubID: 9, Kind: KindSubscribe, Payload: []byte("v4")}))
+	f.Add(AppendFrameV4(nil, Message{ID: 5, SubID: 1, Kind: KindPush, Payload: []byte("push")}))
+	// A deadline-budget frame (trailing 4-byte extension on v3).
+	f.Add(AppendMessage(nil, Message{ID: 6, Method: 1, V3: true, Flags: FlagDeadline, Budget: 1500, Payload: []byte("dl")}))
+	// Mixed-version stream.
+	mixed := AppendFrame(nil, Message{ID: 7, Payload: []byte("a")})
+	mixed = AppendFrameV2(mixed, Message{ID: 8, Payload: []byte("b")})
+	mixed = AppendFrameV3(mixed, Message{ID: 9, Method: 2, Payload: []byte("c")})
+	mixed = AppendFrameV4(mixed, Message{ID: 10, SubID: 2, Kind: KindUnsubscribe})
+	f.Add(mixed)
+	// Truncated v4 header, corrupt kind byte, corrupt deadline ext.
+	f.Add(AppendFrameV4(nil, Message{ID: 11, Kind: KindPush, Payload: []byte("tr")})[:13])
+	bad := AppendFrameV4(nil, Message{ID: 12, Kind: KindPush})
+	bad[4] = 0xEE
+	f.Add(bad)
+	short := AppendMessage(nil, Message{ID: 13, V2: true, Flags: FlagDeadline, Budget: 99})
+	f.Add(short[:len(short)-2])
+	// Oversized v1 length prefix.
+	huge := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(huge, MaxPayload+1)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Parser
+		defer p.Reset()
+		sawErr := false
+		// Feed in two chunks to exercise the compaction/migration path,
+		// then drain.
+		half := len(data) / 2
+		for _, chunk := range [][]byte{data[:half], data[half:]} {
+			p.Feed(chunk)
+			for {
+				m, ok, err := p.Next()
+				if err != nil {
+					sawErr = true
+					// Errors must be sticky: a poisoned stream never
+					// yields another message.
+					if _, ok2, err2 := p.Next(); ok2 || err2 == nil {
+						t.Fatalf("error not sticky: ok=%v err=%v after %v", ok2, err2, err)
+					}
+					break
+				}
+				if !ok {
+					break
+				}
+				if m.V2 || m.V3 || m.V4 {
+					if len(m.Payload) > MaxPayloadV2 {
+						t.Fatalf("payload %d exceeds MaxPayloadV2", len(m.Payload))
+					}
+				} else if len(m.Payload) > MaxPayload {
+					t.Fatalf("payload %d exceeds MaxPayload", len(m.Payload))
+				}
+				if m.V4 && (m.Kind < KindSubscribe || m.Kind > KindPush) {
+					t.Fatalf("v4 message with invalid kind %d", m.Kind)
+				}
+				m.Release()
+			}
+			if sawErr {
+				break
+			}
+		}
+	})
+}

@@ -1,5 +1,5 @@
 // Package proto implements the wire framing used by the runtime's RPC
-// transports. Three frame versions coexist on the same stream:
+// transports. Four frame versions coexist on the same stream:
 //
 //   - v1 (legacy): a fixed 12-byte header — 4-byte little-endian payload
 //     length, 8-byte request identifier — followed by the payload.
@@ -13,15 +13,25 @@
 //     The method names the operation (GET vs SET, NewOrder vs Payment)
 //     at the wire layer, so servers route without inspecting payloads
 //     and per-operation tail latency is observable per frame.
+//   - v4: a fixed 21-byte header carrying the streaming/pub-sub frame
+//     pair — SUBSCRIBE/UNSUBSCRIBE requests and server-initiated PUSH
+//     frames. After the 24-bit length and Magic4 come a kind byte
+//     (KindSubscribe/KindUnsubscribe/KindPush), the v2 flags and status
+//     bytes, the 16-bit topic (reusing the v3 method space), a 32-bit
+//     subscription identifier, and the 8-byte request identifier (which
+//     a PUSH frame repurposes as the published frame's 32-bit ID). v4
+//     frames never carry the deadline extension.
 //
 // The versions are distinguished by the fourth header byte: it is the
 // most significant byte of the v1 length word, which any in-range v1
-// frame leaves at 0x00 or 0x01, while every v2 frame sets it to Magic2
-// and every v3 frame to Magic3. A v1 peer therefore keeps round-tripping
-// against a v2/v3 server unchanged (though without a status channel its
-// error replies degrade to plain payloads), and a malformed stream is
-// detected exactly as before. Replies always mirror the request's frame
-// version, so a peer never receives a header it cannot parse.
+// frame leaves at 0x00 or 0x01, while every v2 frame sets it to Magic2,
+// every v3 frame to Magic3, and every v4 frame to Magic4. A v1 peer
+// therefore keeps round-tripping against a v2/v3/v4 server unchanged
+// (though without a status channel its error replies degrade to plain
+// payloads), and a malformed stream is detected exactly as before.
+// Replies always mirror the request's frame version, so a peer never
+// receives a header it cannot parse — and PUSH frames only ever flow to
+// peers that sent a v4 SUBSCRIBE, proving they parse v4 headers.
 //
 // The Parser is incremental: it accepts arbitrary byte-stream fragments —
 // including fragments that split a header or pipeline several back-to-back
@@ -67,6 +77,35 @@ const Magic2 = 0xA2
 // Magic3 marks a v3 (method-routed) frame in the fourth header byte;
 // like Magic2 it can never alias an in-range v1 length word.
 const Magic3 = 0xA3
+
+// HeaderSizeV4 is the fixed v4 (streaming/pub-sub) frame-header length
+// in bytes: length(3) + magic + kind + flags + status + topic(2) +
+// subscription ID(4) + request/frame ID(8).
+const HeaderSizeV4 = 21
+
+// Magic4 marks a v4 (streaming/pub-sub) frame in the fourth header
+// byte; like Magic2/Magic3 it can never alias an in-range v1 length
+// word.
+const Magic4 = 0xA4
+
+// v4 frame kinds, carried in the fifth header byte. Zero is invalid so
+// a v4 message is always distinguishable from the zero Message.
+const (
+	// KindSubscribe is a client request to register a subscription on a
+	// topic: the payload carries the encoded backpressure options and
+	// filter, the subscription ID names the client-chosen demux key for
+	// future PUSH frames, and the request ID is acked by a mirrored v4
+	// reply of the same kind.
+	KindSubscribe uint8 = 1
+	// KindUnsubscribe is a client request to retire a subscription; the
+	// subscription ID names it and the request ID is acked as above.
+	KindUnsubscribe uint8 = 2
+	// KindPush is a server-initiated published frame: the topic and
+	// subscription ID route it to the client-side handler, and the
+	// request ID field carries the published frame's 32-bit ID (the
+	// CAN-bus-style identifier filters match on).
+	KindPush uint8 = 3
+)
 
 // MaxPayload bounds a single v1 frame's payload to keep a malformed or
 // hostile peer from forcing unbounded buffering.
@@ -222,6 +261,17 @@ type Message struct {
 	// V3 records a v3 (method-carrying) frame; it takes precedence over
 	// V2 when selecting the encoding.
 	V3 bool
+	// V4 records a v4 (streaming/pub-sub) frame; it takes precedence
+	// over V3 and V2 when selecting the encoding. Kind and SubID are
+	// meaningful only when set.
+	V4 bool
+	// Kind is the v4 frame kind (KindSubscribe/KindUnsubscribe/KindPush);
+	// zero on non-v4 frames.
+	Kind uint8
+	// SubID is the v4 subscription identifier: the client-chosen demux
+	// key PUSH frames are routed by, echoed on subscribe/unsubscribe
+	// acks. Zero on non-v4 frames.
+	SubID uint32
 	// Budget is the request's remaining deadline budget in microseconds;
 	// zero means no deadline. A nonzero budget on a v2/v3 message makes
 	// the encoder set FlagDeadline and emit the trailing deadline
@@ -344,6 +394,31 @@ func AppendFrameV3(buf []byte, m Message) []byte {
 	return append(buf, m.Payload...)
 }
 
+// AppendFrameV4 appends the encoded v4 frame for m to buf and returns
+// the extended slice. The same 24-bit length bound as v2 applies; see
+// AppendFrameV2 for why exceeding it panics here. v4 frames never carry
+// the deadline extension — a Budget on m is silently dropped (pushes
+// and subscription control have no per-request deadline semantics).
+func AppendFrameV4(buf []byte, m Message) []byte {
+	n := len(m.Payload)
+	if n > MaxPayloadV2 {
+		panic("proto: AppendFrameV4 payload exceeds MaxPayloadV2")
+	}
+	var hdr [HeaderSizeV4]byte
+	hdr[0] = byte(n)
+	hdr[1] = byte(n >> 8)
+	hdr[2] = byte(n >> 16)
+	hdr[3] = Magic4
+	hdr[4] = m.Kind
+	hdr[5] = m.Flags
+	hdr[6] = m.Status
+	binary.LittleEndian.PutUint16(hdr[7:9], m.Method)
+	binary.LittleEndian.PutUint32(hdr[9:13], m.SubID)
+	binary.LittleEndian.PutUint64(hdr[13:21], m.ID)
+	buf = append(buf, hdr[:]...)
+	return append(buf, m.Payload...)
+}
+
 // AppendHealthFrame appends a piggybacked health frame carrying depth to
 // buf and returns the extended slice: a v3 frame on the reserved
 // MethodHealth route with request ID 0, which no dispatcher ever
@@ -366,9 +441,12 @@ func DecodeHealthPayload(p []byte) (depth uint32, ok bool) {
 	return binary.LittleEndian.Uint32(p), true
 }
 
-// AppendMessage encodes m in the frame version indicated by m.V3/m.V2
-// (v3 wins; neither selected means v1).
+// AppendMessage encodes m in the frame version indicated by
+// m.V4/m.V3/m.V2 (newest wins; none selected means v1).
 func AppendMessage(buf []byte, m Message) []byte {
+	if m.V4 {
+		return AppendFrameV4(buf, m)
+	}
 	if m.V3 {
 		return AppendFrameV3(buf, m)
 	}
@@ -390,6 +468,10 @@ func FrameSizeV2(n int) int { return HeaderSizeV2 + n }
 // bytes.
 func FrameSizeV3(n int) int { return HeaderSizeV3 + n }
 
+// FrameSizeV4 returns the encoded size of a v4 frame carrying n payload
+// bytes.
+func FrameSizeV4(n int) int { return HeaderSizeV4 + n }
+
 // FrameSizeMsg returns the exact encoded size of m under AppendMessage,
 // including the deadline extension when m.Budget is set — transports
 // size pooled encode buffers with it so a budget-stamped frame never
@@ -397,6 +479,8 @@ func FrameSizeV3(n int) int { return HeaderSizeV3 + n }
 func FrameSizeMsg(m Message) int {
 	n := len(m.Payload)
 	switch {
+	case m.V4:
+		return HeaderSizeV4 + n // v4 never carries the deadline extension
 	case m.V3:
 		n += HeaderSizeV3
 	case m.V2:
@@ -476,6 +560,9 @@ func (p *Parser) Next() (Message, bool, error) {
 	}
 	if buf[3] == Magic3 {
 		return p.nextV3(buf)
+	}
+	if buf[3] == Magic4 {
+		return p.nextV4(buf)
 	}
 	n := int(binary.LittleEndian.Uint32(buf[0:4]))
 	if n > MaxPayload {
@@ -562,6 +649,40 @@ func (p *Parser) nextV3(buf []byte) (Message, bool, error) {
 		m.lease = p.pb
 	}
 	p.consume(hdr+n, m.Payload != nil)
+	return m, true, nil
+}
+
+// nextV4 decodes a v4 (streaming/pub-sub) frame; the caller has
+// verified the magic byte and that at least HeaderSize bytes are
+// buffered. buf is pb.data[start:]. v4 has no deadline extension, so
+// the header size is fixed.
+func (p *Parser) nextV4(buf []byte) (Message, bool, error) {
+	if len(buf) < HeaderSizeV4 {
+		return Message{}, false, nil
+	}
+	kind := buf[4]
+	if kind != KindSubscribe && kind != KindUnsubscribe && kind != KindPush {
+		p.err = fmt.Errorf("proto: invalid v4 frame kind %d", kind)
+		return Message{}, false, p.err
+	}
+	n := int(buf[0]) | int(buf[1])<<8 | int(buf[2])<<16
+	if len(buf) < HeaderSizeV4+n {
+		return Message{}, false, nil
+	}
+	m := Message{
+		Kind:    kind,
+		Flags:   buf[5] &^ FlagDeadline,
+		Status:  buf[6],
+		Method:  binary.LittleEndian.Uint16(buf[7:9]),
+		SubID:   binary.LittleEndian.Uint32(buf[9:13]),
+		ID:      binary.LittleEndian.Uint64(buf[13:21]),
+		Payload: p.view(buf, HeaderSizeV4, n),
+		V4:      true,
+	}
+	if m.Payload != nil {
+		m.lease = p.pb
+	}
+	p.consume(HeaderSizeV4+n, m.Payload != nil)
 	return m, true, nil
 }
 

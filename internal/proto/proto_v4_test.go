@@ -1,0 +1,184 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestV4RoundTrip(t *testing.T) {
+	var p Parser
+	frame := AppendFrameV4(nil, Message{
+		ID:      901,
+		Method:  0x0CAF,
+		SubID:   0xDEADBEEF,
+		Kind:    KindPush,
+		Payload: []byte("v4 body"),
+		Status:  StatusOK,
+	})
+	if len(frame) != FrameSizeV4(7) {
+		t.Fatalf("encoded length %d, want %d", len(frame), FrameSizeV4(7))
+	}
+	p.Feed(frame)
+	m, ok, err := p.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v %v", ok, err)
+	}
+	if m.ID != 901 || m.Method != 0x0CAF || m.SubID != 0xDEADBEEF ||
+		m.Kind != KindPush || string(m.Payload) != "v4 body" ||
+		!m.V4 || m.V2 || m.V3 {
+		t.Fatalf("got %+v", m)
+	}
+	if p.Buffered() != 0 {
+		t.Fatal("buffer should be empty")
+	}
+}
+
+func TestV4ByteAtATime(t *testing.T) {
+	var p Parser
+	frame := AppendFrameV4(nil, Message{ID: 5, Method: 3, SubID: 17, Kind: KindSubscribe, Payload: []byte("fragmented-v4")})
+	for _, b := range frame {
+		if _, ok, _ := p.Next(); ok {
+			t.Fatal("message completed early")
+		}
+		p.Feed([]byte{b})
+	}
+	m, ok, err := p.Next()
+	if err != nil || !ok || string(m.Payload) != "fragmented-v4" || m.SubID != 17 || m.Kind != KindSubscribe {
+		t.Fatalf("got %+v ok=%v err=%v", m, ok, err)
+	}
+}
+
+// No valid v1 frame can alias the v4 magic, exactly as for v2/v3.
+func TestMagic4DoesNotAliasV1(t *testing.T) {
+	aliased := uint32(Magic4) << 24
+	if aliased <= MaxPayload {
+		t.Fatalf("magic-aliased v1 length %d must exceed MaxPayload %d", aliased, MaxPayload)
+	}
+}
+
+// An invalid v4 kind (0 or >3) poisons the stream: garbage can't be
+// silently misrouted as control traffic.
+func TestV4InvalidKindPoisons(t *testing.T) {
+	for _, kind := range []uint8{0, 4, 0xFF} {
+		var p Parser
+		frame := AppendFrameV4(nil, Message{ID: 1, Kind: KindPush})
+		frame[4] = kind
+		p.Feed(frame)
+		if _, _, err := p.Next(); err == nil {
+			t.Errorf("kind %d: expected a parse error", kind)
+		}
+		// The error is sticky.
+		if _, _, err := p.Next(); err == nil {
+			t.Errorf("kind %d: error must be sticky", kind)
+		}
+	}
+}
+
+// AppendMessage prefers v4 over v3/v2 when set; FrameSizeMsg agrees and
+// v4 never grows a deadline extension even with FlagDeadline set.
+func TestV4VersionSelectionAndSize(t *testing.T) {
+	m := Message{ID: 2, Method: 9, SubID: 3, Kind: KindUnsubscribe, Payload: []byte("xy"),
+		V2: true, V3: true, V4: true, Flags: FlagDeadline, Budget: 1000}
+	f := AppendMessage(nil, m)
+	if f[3] != Magic4 || len(f) != FrameSizeV4(2) {
+		t.Fatalf("V4 must win version selection, got magic %#x len %d", f[3], len(f))
+	}
+	if got := FrameSizeMsg(m); got != len(f) {
+		t.Fatalf("FrameSizeMsg = %d, want %d", got, len(f))
+	}
+	var p Parser
+	p.Feed(f)
+	got, ok, err := p.Next()
+	if err != nil || !ok {
+		t.Fatalf("Next: %v %v", ok, err)
+	}
+	if !got.V4 || got.Kind != KindUnsubscribe || got.SubID != 3 || got.Method != 9 ||
+		got.Flags&FlagDeadline != 0 || got.Budget != 0 {
+		t.Fatalf("got %+v (v4 must not carry a deadline extension)", got)
+	}
+}
+
+// Property: streams mixing all four frame versions, fed in arbitrary
+// chunk sizes, decode in order with subscription IDs and kinds intact.
+func TestV4RandomSplitRoundTrip(t *testing.T) {
+	f := func(payloads [][]byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stream []byte
+		var want []Message
+		for i, pl := range payloads {
+			if len(pl) > 1024 {
+				pl = pl[:1024]
+			}
+			m := Message{ID: uint64(i), Payload: pl}
+			switch rng.Intn(4) {
+			case 0:
+				m.V4 = true
+				m.Kind = uint8(1 + rng.Intn(3))
+				m.SubID = rng.Uint32()
+				m.Method = uint16(rng.Intn(1 << 16))
+				m.Status = uint8(rng.Intn(5))
+			case 1:
+				m.V3 = true
+				m.Method = uint16(rng.Intn(1 << 16))
+				m.Flags = uint8(rng.Intn(2))
+				m.Status = uint8(rng.Intn(5))
+			case 2:
+				m.V2 = true
+				m.Flags = uint8(rng.Intn(2))
+				m.Status = uint8(rng.Intn(5))
+			}
+			want = append(want, m)
+			stream = AppendMessage(stream, m)
+		}
+		var p Parser
+		var got []Message
+		for off := 0; off < len(stream); {
+			n := 1 + rng.Intn(37)
+			if off+n > len(stream) {
+				n = len(stream) - off
+			}
+			p.Feed(stream[off : off+n])
+			off += n
+			for {
+				m, ok, err := p.Next()
+				if err != nil {
+					return false
+				}
+				if !ok {
+					break
+				}
+				got = append(got, m)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i, m := range got {
+			w := want[i]
+			if m.ID != w.ID || !bytes.Equal(m.Payload, w.Payload) ||
+				m.V2 != w.V2 || m.V3 != w.V3 || m.V4 != w.V4 ||
+				m.Method != w.Method || m.SubID != w.SubID || m.Kind != w.Kind ||
+				m.Flags != w.Flags || m.Status != w.Status {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParseV4(b *testing.B) {
+	frame := AppendFrameV4(nil, Message{ID: 1, Method: 2, SubID: 3, Kind: KindPush, Payload: make([]byte, 64)})
+	var p Parser
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Feed(frame)
+		if _, ok, _ := p.Next(); !ok {
+			b.Fatal("missing message")
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package pubsub
+
+import "sync"
+
+// LoggedBus wraps a Publisher and records every published frame (with a
+// copied payload, since the original is only valid during Publish) so
+// tests can assert on the publication history or replay it into another
+// bus.
+type LoggedBus struct {
+	inner Publisher
+
+	mu  sync.Mutex
+	log []Frame
+}
+
+// NewLoggedBus wraps inner. A nil inner records without forwarding,
+// which makes LoggedBus usable as a bare frame recorder.
+func NewLoggedBus(inner Publisher) *LoggedBus {
+	return &LoggedBus{inner: inner}
+}
+
+// Publish records fr and forwards it to the wrapped publisher.
+func (l *LoggedBus) Publish(fr Frame) int {
+	cp := fr
+	if fr.Payload != nil {
+		cp.Payload = append([]byte(nil), fr.Payload...)
+	}
+	l.mu.Lock()
+	l.log = append(l.log, cp)
+	l.mu.Unlock()
+	if l.inner == nil {
+		return 0
+	}
+	return l.inner.Publish(fr)
+}
+
+// Log returns a snapshot of the recorded frames in publication order.
+func (l *LoggedBus) Log() []Frame {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Frame(nil), l.log...)
+}
+
+// Len reports how many frames have been recorded.
+func (l *LoggedBus) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.log)
+}
+
+// Reset discards the recorded history.
+func (l *LoggedBus) Reset() {
+	l.mu.Lock()
+	l.log = nil
+	l.mu.Unlock()
+}
+
+// Replay publishes the recorded frames, in order, into dst. Returns the
+// total delivery count.
+func (l *LoggedBus) Replay(dst Publisher) int {
+	frames := l.Log()
+	n := 0
+	for _, fr := range frames {
+		n += dst.Publish(fr)
+	}
+	return n
+}

@@ -1,0 +1,135 @@
+package pubsub
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SUBSCRIBE payload layout (the payload of a v4 KindSubscribe frame):
+//
+//	[policy:1][qcap:2 LE][filter...]
+//
+// where filter is [kind:1] followed by kind-specific parameters:
+//
+//	FilterAll    — nothing
+//	FilterExact  — [id:4 LE]
+//	FilterMask   — [id:4 LE][mask:4 LE]
+//	FilterRange  — [lo:4 LE][hi:4 LE]
+//
+// FilterFunc has no wire form: predicates only exist server-side.
+
+// Backpressure policies carried in the SUBSCRIBE payload. They decide
+// what happens when a subscription's push queue is full.
+const (
+	// PolicyDropOldest evicts the oldest queued push to admit the new
+	// one, counting the drop. The publisher never blocks.
+	PolicyDropOldest uint8 = 0
+	// PolicyDisconnect reaps the subscriber's connection when its queue
+	// overflows: a consumer that cannot keep up is cut off rather than
+	// silently lossy.
+	PolicyDisconnect uint8 = 1
+)
+
+var (
+	// ErrBadFilter reports a malformed or truncated wire filter.
+	ErrBadFilter = errors.New("pubsub: malformed filter encoding")
+	// ErrFuncFilter reports an attempt to wire-encode a FilterFunc.
+	ErrFuncFilter = errors.New("pubsub: func filters cannot be encoded")
+)
+
+// AppendFilter appends the wire encoding of f to buf. FilterFunc (and
+// unknown kinds) return ErrFuncFilter / ErrBadFilter.
+func AppendFilter(buf []byte, f Filter) ([]byte, error) {
+	switch f.Kind {
+	case FilterAll:
+		return append(buf, FilterAll), nil
+	case FilterExact:
+		buf = append(buf, FilterExact)
+		return binary.LittleEndian.AppendUint32(buf, f.ID), nil
+	case FilterMask:
+		buf = append(buf, FilterMask)
+		buf = binary.LittleEndian.AppendUint32(buf, f.ID)
+		return binary.LittleEndian.AppendUint32(buf, f.Mask), nil
+	case FilterRange:
+		buf = append(buf, FilterRange)
+		buf = binary.LittleEndian.AppendUint32(buf, f.Lo)
+		return binary.LittleEndian.AppendUint32(buf, f.Hi), nil
+	case FilterFunc:
+		return buf, ErrFuncFilter
+	}
+	return buf, fmt.Errorf("%w: unknown kind %d", ErrBadFilter, f.Kind)
+}
+
+// DecodeFilter parses one wire filter from b, returning the filter and
+// the number of bytes consumed.
+func DecodeFilter(b []byte) (Filter, int, error) {
+	if len(b) < 1 {
+		return Filter{}, 0, ErrBadFilter
+	}
+	switch kind := b[0]; kind {
+	case FilterAll:
+		return Filter{Kind: FilterAll}, 1, nil
+	case FilterExact:
+		if len(b) < 5 {
+			return Filter{}, 0, ErrBadFilter
+		}
+		return Filter{Kind: FilterExact, ID: binary.LittleEndian.Uint32(b[1:5])}, 5, nil
+	case FilterMask:
+		if len(b) < 9 {
+			return Filter{}, 0, ErrBadFilter
+		}
+		return Filter{
+			Kind: FilterMask,
+			ID:   binary.LittleEndian.Uint32(b[1:5]),
+			Mask: binary.LittleEndian.Uint32(b[5:9]),
+		}, 9, nil
+	case FilterRange:
+		if len(b) < 9 {
+			return Filter{}, 0, ErrBadFilter
+		}
+		return Filter{
+			Kind: FilterRange,
+			Lo:   binary.LittleEndian.Uint32(b[1:5]),
+			Hi:   binary.LittleEndian.Uint32(b[5:9]),
+		}, 9, nil
+	default:
+		return Filter{}, 0, fmt.Errorf("%w: unknown kind %d", ErrBadFilter, kind)
+	}
+}
+
+// SubSpec is the decoded SUBSCRIBE payload: backpressure policy, queue
+// capacity (0 selects the server default), and the filter.
+type SubSpec struct {
+	Policy uint8
+	QCap   uint16
+	Filter Filter
+}
+
+// AppendSubSpec appends the wire encoding of s to buf.
+func AppendSubSpec(buf []byte, s SubSpec) ([]byte, error) {
+	buf = append(buf, s.Policy)
+	buf = binary.LittleEndian.AppendUint16(buf, s.QCap)
+	return AppendFilter(buf, s.Filter)
+}
+
+// DecodeSubSpec parses a SUBSCRIBE payload. Trailing bytes after the
+// filter are rejected so corrupt subscriptions fail loudly.
+func DecodeSubSpec(b []byte) (SubSpec, error) {
+	if len(b) < 3 {
+		return SubSpec{}, ErrBadFilter
+	}
+	s := SubSpec{Policy: b[0], QCap: binary.LittleEndian.Uint16(b[1:3])}
+	if s.Policy > PolicyDisconnect {
+		return SubSpec{}, fmt.Errorf("pubsub: unknown backpressure policy %d", s.Policy)
+	}
+	f, n, err := DecodeFilter(b[3:])
+	if err != nil {
+		return SubSpec{}, err
+	}
+	if 3+n != len(b) {
+		return SubSpec{}, fmt.Errorf("%w: %d trailing bytes", ErrBadFilter, len(b)-3-n)
+	}
+	s.Filter = f
+	return s, nil
+}

@@ -103,6 +103,23 @@ func (sc *serverConn) WriteReply(frame []byte) error {
 	return nil
 }
 
+// EgressBacklog implements core.EgressBacklogger: the staged reply
+// bytes not yet on the wire plus the kernel send queue's unacked bytes
+// (SIOCOUTQ, Linux). The runtime's push flusher reads it before adding
+// push traffic behind staged replies, so a firehose subscriber's frames
+// wait in their droppable subscription rings instead of queueing ahead
+// of RPC replies in transport or kernel memory.
+func (sc *serverConn) EgressBacklog() int {
+	sc.mu.Lock()
+	staged := sc.unflushedLocked()
+	closed := sc.closed
+	sc.mu.Unlock()
+	if closed {
+		return staged
+	}
+	return staged + kernelOutq(sc.rc)
+}
+
 // drainLocked writes staged bytes until the buffer empties, the socket
 // would block (park on write readiness), or the connection dies. Caller
 // holds sc.mu; the lock is dropped around each write syscall.

@@ -259,6 +259,28 @@ func (ms *managedSock) register(cb func(resp []byte, err error)) (uint64, error)
 	return ms.disp.Register(cb)
 }
 
+// registerPush installs a push handler on the socket's dispatcher,
+// dialing first if needed. The subscription ID is unique per socket —
+// exactly the scope PUSH frames demultiplex in.
+func (ms *managedSock) registerPush(h func(frameID uint32, payload []byte)) (uint32, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if err := ms.ensureDialedLocked(); err != nil {
+		return 0, err
+	}
+	return ms.disp.RegisterPush(h)
+}
+
+// unregisterPush removes a push handler if the socket still holds its
+// dispatcher (a redial already dropped it otherwise).
+func (ms *managedSock) unregisterPush(id uint32) {
+	ms.mu.Lock()
+	if ms.disp != nil {
+		ms.disp.UnregisterPush(id)
+	}
+	ms.mu.Unlock()
+}
+
 // send stages frame and flushes the socket: if a flusher is already
 // active the bytes ride its next write; otherwise the caller becomes
 // the flusher and loops until co-located callers stop appending.
@@ -439,6 +461,62 @@ func (c *ManagedCaller) CallMethodTimeout(method uint16, payload []byte, d time.
 		return nil, err
 	}
 	return w.WaitTimeout(d)
+}
+
+// Subscribe sends a v4 SUBSCRIBE for topic carrying spec (an encoded
+// pubsub subscription spec), installs h to receive matching PUSH
+// frames, and blocks for the server's ack. The subscription ID is
+// allocated from the caller's socket dispatcher — PUSH frames
+// demultiplex by it alongside reply IDs on the shared socket.
+// Subscriptions do not survive a redial: a socket-level failure drops
+// the dispatcher and with it every push handler, so subscribers must
+// re-subscribe after transport errors.
+func (c *ManagedCaller) Subscribe(topic uint16, spec []byte, h func(frameID uint32, payload []byte)) (uint32, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	subID, err := c.sock.registerPush(h)
+	if err != nil {
+		return 0, err
+	}
+	w := proto.GetWaiter(nil)
+	id, err := c.sock.register(w.Callback())
+	if err != nil {
+		c.sock.unregisterPush(subID)
+		w.Abandon()
+		return 0, err
+	}
+	if err := c.sock.sendMessage(proto.Message{ID: id, Method: topic, SubID: subID, Kind: proto.KindSubscribe, V4: true, Payload: spec}); err != nil {
+		c.sock.unregisterPush(subID)
+		w.Abandon()
+		return 0, err
+	}
+	if _, err := w.Wait(); err != nil {
+		c.sock.unregisterPush(subID)
+		return 0, err
+	}
+	return subID, nil
+}
+
+// Unsubscribe retires subscription subID on topic: the push handler is
+// removed immediately and the server acks the v4 UNSUBSCRIBE.
+func (c *ManagedCaller) Unsubscribe(topic uint16, subID uint32) error {
+	if c.closed.Load() {
+		return net.ErrClosed
+	}
+	c.sock.unregisterPush(subID)
+	w := proto.GetWaiter(nil)
+	id, err := c.sock.register(w.Callback())
+	if err != nil {
+		w.Abandon()
+		return err
+	}
+	if err := c.sock.sendMessage(proto.Message{ID: id, Method: topic, SubID: subID, Kind: proto.KindUnsubscribe, V4: true}); err != nil {
+		w.Abandon()
+		return err
+	}
+	_, err = w.Wait()
+	return err
 }
 
 // Close retires the logical caller: its future sends fail. The shared

@@ -1,0 +1,28 @@
+//go:build linux
+
+package tcpnet
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// kernelOutq returns the bytes queued in the socket's kernel send
+// buffer and not yet acknowledged by the peer (SIOCOUTQ). The push
+// flusher's fairness gate adds it to the staged backlog: without it,
+// nonblocking writes hide megabytes of queued push traffic inside the
+// send buffer, where an RPC reply would wait behind all of it.
+// Best-effort — 0 on any error or when no raw fd is available.
+func kernelOutq(rc syscall.RawConn) int {
+	if rc == nil {
+		return 0
+	}
+	var q int32
+	_ = rc.Control(func(fd uintptr) {
+		_, _, _ = syscall.Syscall(syscall.SYS_IOCTL, fd, syscall.TIOCOUTQ, uintptr(unsafe.Pointer(&q)))
+	})
+	if q < 0 {
+		return 0
+	}
+	return int(q)
+}

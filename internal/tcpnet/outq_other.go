@@ -1,0 +1,9 @@
+//go:build !linux
+
+package tcpnet
+
+import "syscall"
+
+// kernelOutq is unavailable off Linux; the fairness gate sees only the
+// staged backlog there.
+func kernelOutq(rc syscall.RawConn) int { return 0 }

@@ -1,0 +1,123 @@
+// Pub-sub fan-out benchmark: the streaming-tier numbers behind
+// BENCH_pubsub.json (make bench-pubsub). A grid of subscriber counts ×
+// publish burst sizes drives the filtered bus and the per-connection
+// fair-queued push egress: every cell publishes b.N bursts into a
+// topic with N subscribed connections while a co-resident closed-loop
+// echo caller shares the first subscriber's connection — the
+// interference measurement the fair-queuing design exists for.
+//
+// ns/op is the cost of one published burst. The extra metrics:
+// push-ns is the publisher-side cost per delivered frame (encode +
+// ring insert, never blocking), dropfrac is the fraction of deliveries
+// evicted under drop-oldest (environment-dependent, recorded but not
+// gated — no -ns suffix), and p99-ns is the co-resident echo caller's
+// tail while the firehose runs, the number the egress quota is
+// supposed to protect. A fair-queuing regression shows up as p99-ns
+// inflation long before ns/op moves.
+package zygos
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func BenchmarkPubSubFanout(b *testing.B) {
+	// No "-" in sub-benchmark names: benchjson truncates the key at the
+	// first dash (the GOMAXPROCS suffix).
+	for _, subs := range []int{1, 8, 32} {
+		for _, burst := range []int{1, 64} {
+			b.Run(fmt.Sprintf("subs%dburst%d", subs, burst), func(b *testing.B) {
+				benchPubSubFanout(b, subs, burst)
+			})
+		}
+	}
+}
+
+func benchPubSubFanout(b *testing.B, subs, burst int) {
+	const (
+		echoRoute uint16 = 1
+		fanTopic  uint16 = 9
+	)
+	mux := NewMux()
+	mux.HandleFunc(echoRoute, func(w ResponseWriter, req *Request) { w.Reply(req.Payload) })
+	srv, err := NewServer(Config{Cores: 2, Handler: mux.Handler()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	var received atomic.Int64
+	clients := make([]*Client, subs)
+	for i := range clients {
+		c := srv.NewClient()
+		defer c.Close()
+		clients[i] = c
+		if _, err := c.Subscribe(fanTopic, FilterAll(), SubscribeOptions{Buffer: 1024},
+			func(_ uint32, _ []byte) { received.Add(1) }); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Co-resident RPC: an echo caller on the first subscriber's
+	// connection, racing the push firehose for the same egress. Its
+	// latencies become p99-ns. The caller samples at a paced rate
+	// rather than closed-loop flat out: it exists to measure the
+	// interference pushes cause, and an unpaced loop would keep the
+	// server's workers spinning and measure scheduler starvation on
+	// small machines instead.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var lat []time.Duration
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		payload := []byte("coresident")
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if _, err := clients[0].CallMethod(echoRoute, payload); err != nil {
+				return
+			}
+			lat = append(lat, time.Since(t0))
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	payload := make([]byte, 64)
+	var id uint32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			id++
+			srv.Publish(fanTopic, id, payload)
+		}
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+
+	st := srv.Stats().PubSub
+	frames := int64(b.N) * int64(burst)
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(frames*int64(subs)), "push-ns")
+	if st.Delivered > 0 {
+		b.ReportMetric(float64(st.Dropped)/float64(st.Delivered), "dropfrac")
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		idx := len(lat) * 99 / 100
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		b.ReportMetric(float64(lat[idx].Nanoseconds()), "p99-ns")
+	}
+}

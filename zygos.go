@@ -72,6 +72,7 @@ import (
 	"zygos/internal/core"
 	"zygos/internal/memnet"
 	"zygos/internal/proto"
+	"zygos/internal/pubsub"
 	"zygos/internal/tcpnet"
 )
 
@@ -342,6 +343,9 @@ type Stats struct {
 	// Net is the TCP transport's connection registry snapshot. All
 	// zeros for servers never serving TCP.
 	Net NetStats
+	// PubSub is the streaming/pub-sub slice: bus publishes and fan-out
+	// deliveries, push frames sent and dropped, live subscriptions.
+	PubSub PubSubStats
 }
 
 // NetStats is a snapshot of the TCP transport's connection registry.
@@ -437,6 +441,14 @@ type Server struct {
 	// the one-time inserts, hence the RWMutex.
 	routeMu   sync.RWMutex
 	routeRecs map[uint16]*routeRec
+
+	// The pub-sub fan-out bus and the per-connection record of which bus
+	// subscriptions each wire connection holds, so connection teardown
+	// (via the runtime's OnConnClosed) unhooks its fan-out entries.
+	bus            *pubsub.Bus
+	subMu          sync.Mutex
+	connSubs       map[uint64][]connSub
+	statsStreaming atomic.Bool
 }
 
 // NewServer creates and starts a server's worker pool.
@@ -444,11 +456,22 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.Handler == nil {
 		return nil, errors.New("zygos: Config.Handler is required")
 	}
-	s := &Server{base: cfg.Handler}
+	s := &Server{
+		base:     cfg.Handler,
+		bus:      pubsub.NewBus(),
+		connSubs: make(map[uint64][]connSub),
+	}
 	s.handler.Store(cfg.Handler)
 	rt, err := core.New(core.Config{
 		Cores: cfg.Cores,
 		Handler: core.HandlerFunc(func(ctx *core.Ctx, c *core.Conn, m proto.Message) {
+			if m.V4 {
+				// v4 control frames (SUBSCRIBE/UNSUBSCRIBE) are runtime
+				// traffic, not application requests: they never reach the
+				// Handler or its middleware chain.
+				s.handleV4(ctx, c, m)
+				return
+			}
 			req := reqPool.Get().(*Request)
 			*req = Request{
 				ID:         m.ID,
@@ -482,6 +505,9 @@ func NewServer(cfg Config) (*Server, error) {
 		// Attribute scheduler-level deadline expiries to their route so
 		// Stats().Routes reflects who lost budget in the queue.
 		OnExpired: func(method uint16) { s.routeRec(method).expired.Add(1) },
+		// Unhook a closed connection's bus subscriptions so the fan-out
+		// stops delivering into dead push queues.
+		OnConnClosed: s.dropConnSubs,
 	})
 	if err != nil {
 		return nil, err
@@ -585,6 +611,14 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	s.routeMu.RUnlock()
+	bs := s.bus.Stats()
+	out.PubSub = PubSubStats{
+		Published:     bs.Published,
+		Delivered:     bs.Delivered,
+		Pushed:        st.PushSent,
+		Dropped:       st.PushDropped,
+		Subscriptions: int(st.Subs),
+	}
 	ns := s.tcp.NetStats()
 	out.Net = NetStats{
 		Open:                ns.Open,
